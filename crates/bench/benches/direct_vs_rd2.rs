@@ -1,0 +1,47 @@
+//! Ablation for the §5.4 complexity claim: Θ(1) conflict checks per action
+//! with the access-point representation vs Θ(|A|) with the direct
+//! approach.
+//!
+//! Replays put/size storms of growing length into the RD2 trace detector
+//! and the direct detector. RD2's time per trace grows linearly with trace
+//! length (constant per action); the direct detector grows quadratically —
+//! the crossover is visible from the smallest size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crace_bench::{put_size_storm, OBJ};
+use crace_core::{translate, Direct, TraceDetector};
+use crace_model::replay;
+use crace_spec::builtin;
+use std::sync::Arc;
+
+fn bench_direct_vs_rd2(c: &mut Criterion) {
+    let spec = builtin::dictionary();
+    let compiled = Arc::new(translate(&spec).expect("ECL"));
+    let mut group = c.benchmark_group("direct_vs_rd2");
+    for &n in &[200usize, 800, 3_200, 12_800] {
+        let trace = put_size_storm(n, 4, 0xBEEF);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("rd2", n), &trace, |b, trace| {
+            b.iter(|| {
+                let detector = TraceDetector::new();
+                detector.register(OBJ, Arc::clone(&compiled));
+                replay(trace, &detector)
+            });
+        });
+        // The direct detector is quadratic; skip the largest size to keep
+        // wall-clock sane, which itself demonstrates the gap.
+        if n <= 3_200 {
+            group.bench_with_input(BenchmarkId::new("direct", n), &trace, |b, trace| {
+                b.iter(|| {
+                    let detector = Direct::new();
+                    detector.register(OBJ, Arc::new(spec.clone()));
+                    replay(trace, &detector)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_rd2);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Per-event detector cost on recorded traces — the microscopic view of
+//! the Table 2 overhead columns.
+//!
+//! Replays the same mixed dictionary trace into RD2 and the direct
+//! detector, and an equally-sized read/write trace into FastTrack, so the
+//! per-event costs are directly comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crace_bench::{mixed_dict_trace, rw_trace, OBJ};
+use crace_core::{translate, Direct, TraceDetector};
+use crace_fasttrack::FastTrack;
+use crace_model::{replay, NoopAnalysis};
+use crace_spec::builtin;
+use std::sync::Arc;
+
+const N: usize = 10_000;
+
+fn bench_per_event(c: &mut Criterion) {
+    let spec = builtin::dictionary();
+    let compiled = Arc::new(translate(&spec).expect("ECL"));
+    let dict_trace = mixed_dict_trace(N, 4, 64, 0xFEED);
+    let mem_trace = rw_trace(N, 4, 256, 0xFEED);
+
+    let mut group = c.benchmark_group("per_event");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("noop", |b| {
+        b.iter(|| replay(&dict_trace, &NoopAnalysis::new()));
+    });
+
+    group.bench_function("rd2", |b| {
+        b.iter(|| {
+            let detector = TraceDetector::new();
+            detector.register(OBJ, Arc::clone(&compiled));
+            replay(&dict_trace, &detector)
+        });
+    });
+
+    // The direct detector is quadratic: run it on a 10× smaller trace and
+    // report per-element cost (still ~10× worse per event at this size).
+    let small_trace = mixed_dict_trace(N / 10, 4, 64, 0xFEED);
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let detector = Direct::new();
+            detector.register(OBJ, Arc::new(spec.clone()));
+            replay(&small_trace, &detector)
+        });
+    });
+
+    group.bench_function("fasttrack", |b| {
+        b.iter(|| {
+            let detector = FastTrack::new();
+            replay(&mem_trace, &detector)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_event);
+criterion_main!(benches);

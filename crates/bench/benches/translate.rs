@@ -1,0 +1,44 @@
+//! Cost of the ECL → access-point translation (§6.2) and its optimization
+//! pipeline (Appendix A.3), over the builtin specifications and a family
+//! of synthetic specifications of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crace_bench::synthetic_spec;
+use crace_core::translate;
+use crace_spec::builtin;
+
+fn bench_builtins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate_builtin");
+    for spec in builtin::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name().to_string()),
+            &spec,
+            |b, spec| b.iter(|| translate(spec).expect("ECL")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate_synthetic");
+    // Scaling in method count (atoms fixed)…
+    for methods in [2usize, 4, 8] {
+        let spec = synthetic_spec(methods, 2);
+        group.bench_with_input(
+            BenchmarkId::new("methods", methods),
+            &spec,
+            |b, spec| b.iter(|| translate(spec).expect("ECL")),
+        );
+    }
+    // …and in atoms per method (β enumeration is exponential in this).
+    for atoms in [1usize, 3, 5, 7] {
+        let spec = synthetic_spec(2, atoms);
+        group.bench_with_input(BenchmarkId::new("atoms", atoms), &spec, |b, spec| {
+            b.iter(|| translate(spec).expect("ECL"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builtins, bench_synthetic);
+criterion_main!(benches);

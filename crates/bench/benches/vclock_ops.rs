@@ -1,0 +1,38 @@
+//! Vector-clock primitive costs at growing thread counts — the substrate
+//! every detector's per-event cost stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crace_model::ThreadId;
+use crace_vclock::{Epoch, VectorClock};
+use std::hint::black_box;
+
+fn clocks(dim: usize) -> (VectorClock, VectorClock) {
+    let a = VectorClock::from_components((0..dim as u64).map(|i| i * 3 + 1));
+    let b = VectorClock::from_components((0..dim as u64).map(|i| (dim as u64 - i) * 2 + 1));
+    (a, b)
+}
+
+fn bench_vclock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vclock");
+    for &dim in &[4usize, 16, 64, 256] {
+        let (a, b) = clocks(dim);
+        group.bench_with_input(BenchmarkId::new("le", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(&a).le(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("join", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(&a).join(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("clone", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(&a).clone())
+        });
+        // The FastTrack fast path: one component vs the whole vector.
+        let e = Epoch::of(ThreadId(dim as u32 / 2), &a);
+        group.bench_with_input(BenchmarkId::new("epoch_le", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(e).le_clock(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vclock);
+criterion_main!(benches);

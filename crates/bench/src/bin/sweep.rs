@@ -1,0 +1,55 @@
+//! Overhead-vs-concurrency sweep: runs the ComplexConcurrency circuit at
+//! growing worker counts under the three Table 2 settings and prints the
+//! slowdown series.
+//!
+//! Vector-clock work grows with thread count (see the `vclock_ops`
+//! bench), so detector overhead is expected to rise gently with workers —
+//! this binary measures that trend for both detectors.
+//!
+//! Usage: `cargo run -p crace-bench --bin sweep --release [ops_per_worker]`
+
+use crace_fasttrack::FastTrack;
+use crace_model::NoopAnalysis;
+use crace_workloads::circuits::{run_circuit, Circuit, CircuitConfig};
+use crace_core::Rd2;
+use std::sync::Arc;
+
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+
+    println!(
+        "{:>8} {:>16} {:>16} {:>16} {:>12} {:>12}",
+        "workers", "uninstr (qps)", "fasttrack (qps)", "rd2 (qps)", "ft slowdown", "rd2 slowdown"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let config = CircuitConfig {
+            workers,
+            ops_per_worker: ops,
+            keys_per_worker: 1_024,
+            busy_units: 40,
+            seed: 0xFACE,
+            locked_maintenance: true,
+        };
+        let base = run_circuit(
+            Circuit::ComplexConcurrency,
+            Arc::new(NoopAnalysis::new()),
+            &config,
+        )
+        .qps();
+        let ft = run_circuit(
+            Circuit::ComplexConcurrency,
+            Arc::new(FastTrack::new()),
+            &config,
+        )
+        .qps();
+        let rd2 = run_circuit(Circuit::ComplexConcurrency, Arc::new(Rd2::new()), &config).qps();
+        println!(
+            "{workers:>8} {base:>16.0} {ft:>16.0} {rd2:>16.0} {:>11.2}× {:>11.2}×",
+            base / ft.max(1e-9),
+            base / rd2.max(1e-9)
+        );
+    }
+}

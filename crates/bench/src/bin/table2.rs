@@ -1,0 +1,71 @@
+//! Regenerates Table 2 of the paper: six H2 Pole-Position circuits plus
+//! the Cassandra DynamicEndpointSnitch test, each run uninstrumented,
+//! under FastTrack, and under RD2.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p crace-bench --bin table2 --release [scale]
+//! ```
+//!
+//! `scale` multiplies the default operation counts (default 1; use 0 to
+//! get a fast smoke run). Expect qps shape, not the paper's absolute
+//! numbers — the substrate differs (see EXPERIMENTS.md).
+
+use crace_workloads::circuits::CircuitConfig;
+use crace_workloads::snitch::SnitchConfig;
+use crace_workloads::table2::{run_table2, Table2Config};
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let config = if scale == 0 {
+        Table2Config::smoke()
+    } else {
+        Table2Config {
+            circuit: CircuitConfig {
+                workers: 4,
+                ops_per_worker: (20_000 * scale) as usize,
+                keys_per_worker: 2_048,
+                busy_units: 40,
+                seed: 0xC0FFEE,
+                locked_maintenance: true,
+            },
+            snitch: SnitchConfig {
+                nodes: 16,
+                samplers: 4,
+                updates_per_sampler: (30_000 * scale) as usize,
+                rank_iterations: (400 * scale) as usize,
+                busy_units: 30,
+                seed: 0xCA55,
+            },
+        }
+    };
+
+    eprintln!(
+        "running Table 2 (scale {scale}): {} workers × {} ops per circuit …",
+        config.circuit.workers, config.circuit.ops_per_worker
+    );
+    let table = run_table2(&config);
+    println!("{table}");
+
+    // Shape summary, mirroring the paper's observations.
+    println!();
+    for row in &table.rows {
+        let ft = &row.fasttrack;
+        let rd2 = &row.rd2;
+        let slowdown_ft = row.uninstrumented.qps() / ft.qps().max(1e-9);
+        let slowdown_rd2 = row.uninstrumented.qps() / rd2.qps().max(1e-9);
+        println!(
+            "{:<46} FT slowdown {:>5.2}×, RD2 slowdown {:>5.2}×, races FT {} vs RD2 {}",
+            row.benchmark,
+            slowdown_ft,
+            slowdown_rd2,
+            ft.races,
+            rd2.races
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Shared generators for the `crace` benchmarks.
+//!
+//! The benches regenerate the paper's evaluation artifacts:
+//!
+//! * the `table2` **binary** reruns every Table 2 row (six Pole-Position
+//!   circuits under uninstrumented / FastTrack / RD2 + the snitch),
+//! * `direct_vs_rd2` measures the §5.4 complexity claim — Θ(1) checks per
+//!   action with access points vs Θ(|A|) with the direct approach,
+//! * `translate` measures the §6.2 translation + optimization pipeline,
+//! * `per_event` measures raw per-event detector cost on recorded traces,
+//! * `vclock_ops` measures the vector-clock primitives underlying all
+//!   detectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crace_model::{Action, Event, ObjId, ThreadId, Trace, Value};
+use crace_spec::{builtin, CmpOp, Formula, Side, Spec, SpecBuilder, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The object id used by generated traces.
+pub const OBJ: ObjId = ObjId(1);
+
+/// Generates a trace of `n` dictionary actions from `threads` pre-forked
+/// threads: a mix of fresh inserts (each to a distinct key, so the active
+/// access-point set keeps growing) punctuated by `size()` calls.
+///
+/// This is the Fig. 4 shape: under the direct approach each `size()` must
+/// be checked against *every* recorded put, while RD2 performs a single
+/// lookup against the `resize` point.
+pub fn put_size_storm(n: usize, threads: u32, seed: u64) -> Trace {
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").expect("builtin");
+    let size = spec.method_id("size").expect("builtin");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    for t in 1..=threads {
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(t),
+        });
+    }
+    for i in 0..n {
+        let tid = ThreadId(1 + rng.gen_range(0..threads));
+        if i % 64 == 63 {
+            trace.push(Event::Action {
+                tid,
+                action: Action::new(OBJ, size, vec![], Value::Int(i as i64)),
+            });
+        } else {
+            // Fresh key every time: the active set grows linearly.
+            trace.push(Event::Action {
+                tid,
+                action: Action::new(
+                    OBJ,
+                    put,
+                    vec![Value::Int(i as i64), Value::Int(1)],
+                    Value::Nil,
+                ),
+            });
+        }
+    }
+    trace
+}
+
+/// Generates a mixed dictionary trace (puts, gets, sizes over a bounded
+/// key space) for per-event cost measurements.
+pub fn mixed_dict_trace(n: usize, threads: u32, key_space: i64, seed: u64) -> Trace {
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").expect("builtin");
+    let get = spec.method_id("get").expect("builtin");
+    let size = spec.method_id("size").expect("builtin");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    for t in 1..=threads {
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(t),
+        });
+    }
+    for _ in 0..n {
+        let tid = ThreadId(1 + rng.gen_range(0..threads));
+        let k = Value::Int(rng.gen_range(0..key_space));
+        let action = match rng.gen_range(0..10) {
+            0..=5 => Action::new(
+                OBJ,
+                put,
+                vec![k, Value::Int(rng.gen_range(0..100))],
+                Value::Int(rng.gen_range(0..100)),
+            ),
+            6..=8 => Action::new(OBJ, get, vec![k], Value::Int(rng.gen_range(0..100))),
+            _ => Action::new(OBJ, size, vec![], Value::Int(rng.gen_range(0..100))),
+        };
+        trace.push(Event::Action { tid, action });
+    }
+    trace
+}
+
+/// Generates a read/write shadow-memory trace for FastTrack measurements.
+pub fn rw_trace(n: usize, threads: u32, locs: u64, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    for t in 1..=threads {
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(t),
+        });
+    }
+    for _ in 0..n {
+        let tid = ThreadId(1 + rng.gen_range(0..threads));
+        let loc = crace_model::LocId(rng.gen_range(0..locs));
+        if rng.gen_bool(0.3) {
+            trace.push(Event::Write { tid, loc });
+        } else {
+            trace.push(Event::Read { tid, loc });
+        }
+    }
+    trace
+}
+
+/// Builds a synthetic ECL specification with `methods` methods and `atoms`
+/// LB atoms per same-method rule — used to measure how translation scales
+/// with specification size.
+pub fn synthetic_spec(methods: usize, atoms: usize) -> Spec {
+    let mut b = SpecBuilder::new(format!("synthetic_{methods}x{atoms}"));
+    let mut refs = Vec::new();
+    for m in 0..methods {
+        refs.push(b.method(format!("m{m}"), 1));
+    }
+    for (i, mi) in refs.iter().enumerate() {
+        for mj in refs.iter().skip(i) {
+            // k1 != k2 || (per-side atom conjunction)
+            let mut lhs = Formula::True;
+            let mut rhs = Formula::True;
+            for a in 0..atoms {
+                lhs = lhs.and(Formula::atom(
+                    Side::First,
+                    CmpOp::Eq,
+                    Term::Slot(1),
+                    Term::Const(Value::Int(a as i64)),
+                ));
+                rhs = rhs.and(Formula::atom(
+                    Side::Second,
+                    CmpOp::Eq,
+                    Term::Slot(1),
+                    Term::Const(Value::Int(a as i64)),
+                ));
+            }
+            let phi = Formula::NeqCross { i: 0, j: 0 }.or(lhs.and(rhs));
+            b.rule(mi.id, mj.id, phi).expect("well-formed");
+        }
+    }
+    b.finish().expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_has_requested_size() {
+        let t = put_size_storm(256, 4, 1);
+        assert_eq!(t.len(), 256 + 4);
+        assert!(t.iter().any(|e| e.action().is_some()));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(put_size_storm(100, 2, 9), put_size_storm(100, 2, 9));
+        assert_eq!(
+            mixed_dict_trace(100, 2, 16, 9),
+            mixed_dict_trace(100, 2, 16, 9)
+        );
+        assert_eq!(rw_trace(100, 2, 16, 9), rw_trace(100, 2, 16, 9));
+    }
+
+    #[test]
+    fn synthetic_specs_translate() {
+        let spec = synthetic_spec(3, 2);
+        assert!(spec.is_ecl());
+        let compiled = crace_core::translate(&spec).unwrap();
+        assert!(compiled.num_classes() > 0);
+    }
+}

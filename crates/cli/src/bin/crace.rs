@@ -1,0 +1,222 @@
+//! The `crace` command-line tool.
+//!
+//! ```text
+//! crace check   <spec-file>                 # parse + lint a specification
+//! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
+//! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
+//! crace table2  [scale]                     # regenerate Table 2
+//! crace builtins                            # list builtin specifications
+//! ```
+//!
+//! Spec files may also name a builtin (`dictionary`, `dictionary_ext`,
+//! `set`, `counter`, `register`, `queue`) instead of a path.
+
+use crace_cli::parse_trace;
+use crace_core::{translate, Direct, TraceDetector};
+use crace_fasttrack::FastTrack;
+use crace_model::{replay, Event, ObjId, Trace};
+use crace_spec::{builtin, Spec};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("table2") => cmd_table2(&args[1..]),
+        Some("builtins") => cmd_builtins(),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  crace check   <spec-file|builtin>
+  crace compile <spec-file|builtin> [--dot]
+  crace replay  <trace-file> --spec <spec-file|builtin> [--detector rd2|direct|fasttrack]
+  crace table2  [scale]
+  crace builtins
+";
+
+fn load_spec(name: &str) -> Result<Spec, String> {
+    match name {
+        "dictionary" => return Ok(builtin::dictionary()),
+        "dictionary_ext" => return Ok(builtin::dictionary_ext()),
+        "set" => return Ok(builtin::set()),
+        "counter" => return Ok(builtin::counter()),
+        "register" => return Ok(builtin::register()),
+        "queue" => return Ok(builtin::queue()),
+        _ => {}
+    }
+    let source =
+        std::fs::read_to_string(name).map_err(|e| format!("cannot read `{name}`: {e}"))?;
+    crace_spec::parse(&source).map_err(|e| e.render(&source))
+}
+
+fn cmd_builtins() -> Result<(), String> {
+    for spec in builtin::all() {
+        println!(
+            "{:<16} {} method(s), ECL: {}",
+            spec.name(),
+            spec.num_methods(),
+            spec.is_ecl()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("expected a spec file")?;
+    let spec = load_spec(name)?;
+    println!("spec `{}`: {} method(s)", spec.name(), spec.num_methods());
+    println!("  ECL fragment: {}", spec.is_ecl());
+    let missing = spec.missing_rules();
+    if missing.is_empty() {
+        println!("  all method pairs have commute rules");
+    } else {
+        println!("  {} pair(s) default to `false` (never commute):", missing.len());
+        for (a, b) in missing {
+            println!("    ({}, {})", spec.sig(a).name(), spec.sig(b).name());
+        }
+    }
+    match translate(&spec) {
+        Ok(compiled) => {
+            let stats = compiled.stats();
+            println!(
+                "  translation: {} classes (from {} symbolic), max conflict degree {}",
+                stats.classes, stats.raw_classes, stats.max_conflict_degree
+            );
+        }
+        Err(e) => println!("  translation: not translatable — {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("expected a spec file")?;
+    let dot = args.iter().any(|a| a == "--dot");
+    let spec = load_spec(name)?;
+    let compiled = translate(&spec).map_err(|e| e.to_string())?;
+    if dot {
+        println!("graph conflicts {{");
+        println!("  label=\"access-point conflicts of `{}`\";", spec.name());
+        for i in 0..compiled.num_classes() {
+            let class = crace_core::ClassId(i as u32);
+            let shape = match compiled.kind(class) {
+                crace_core::PointKind::Ds => "box",
+                crace_core::PointKind::Slot => "ellipse",
+            };
+            println!("  c{i} [label=\"{}\", shape={shape}];", compiled.label(class));
+        }
+        for i in 0..compiled.num_classes() {
+            let class = crace_core::ClassId(i as u32);
+            for &other in compiled.conflicting(class) {
+                if other.index() >= i {
+                    println!("  c{i} -- c{};", other.index());
+                }
+            }
+        }
+        println!("}}");
+    } else {
+        print!("{compiled}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let trace_path = args.first().ok_or("expected a trace file")?;
+    let mut spec_name = None;
+    let mut detector = "rd2".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => {
+                spec_name = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--detector" => {
+                detector = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let spec = load_spec(&spec_name.ok_or("missing --spec")?)?;
+    let source = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
+    let trace = parse_trace(&source, &spec).map_err(|e| e.to_string())?;
+    println!(
+        "replaying {} event(s), {} thread(s), detector `{detector}` …",
+        trace.len(),
+        trace.num_threads()
+    );
+
+    let report = match detector.as_str() {
+        "rd2" => {
+            let d = TraceDetector::new();
+            let compiled = Arc::new(translate(&spec).map_err(|e| e.to_string())?);
+            for obj in objects_of(&trace) {
+                d.register(obj, Arc::clone(&compiled));
+            }
+            replay(&trace, &d)
+        }
+        "direct" => {
+            let d = Direct::new();
+            let spec = Arc::new(spec);
+            for obj in objects_of(&trace) {
+                d.register(obj, Arc::clone(&spec));
+            }
+            replay(&trace, &d)
+        }
+        "fasttrack" => replay(&trace, &FastTrack::new()),
+        other => return Err(format!("unknown detector `{other}`")),
+    };
+    println!("races: {report}");
+    for race in report.samples() {
+        println!("  - {race}");
+    }
+    Ok(())
+}
+
+fn objects_of(trace: &Trace) -> BTreeSet<ObjId> {
+    trace
+        .iter()
+        .filter_map(|e| match e {
+            Event::Action { action, .. } => Some(action.obj()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn cmd_table2(args: &[String]) -> Result<(), String> {
+    use crace_workloads::table2::{run_table2, Table2Config};
+    let scale: u64 = args
+        .first()
+        .map(|s| s.parse().map_err(|_| format!("bad scale `{s}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let config = if scale == 0 {
+        Table2Config::smoke()
+    } else {
+        let mut c = Table2Config::default();
+        c.circuit.ops_per_worker *= scale as usize;
+        c.snitch.updates_per_sampler *= scale as usize;
+        c.snitch.rank_iterations *= scale as usize;
+        c
+    };
+    println!("{}", run_table2(&config));
+    Ok(())
+}

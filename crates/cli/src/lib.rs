@@ -1,0 +1,29 @@
+//! Library half of the `crace` command-line tool: the textual trace
+//! format.
+//!
+//! Recorded executions can be stored as plain text, one event per line,
+//! and replayed into any detector offline — the workflow RoadRunner users
+//! get from its trace dumps:
+//!
+//! ```text
+//! # fork/join/acq/rel <tid> <id>, act <tid> o<obj> name(args…)/ret
+//! fork 0 1
+//! fork 0 2
+//! act 2 o1 put("a.com", 1)/nil
+//! act 1 o1 put("a.com", 2)/1
+//! join 0 1
+//! join 0 2
+//! act 0 o1 size()/1
+//! ```
+//!
+//! See [`parse_trace`] and [`render_trace`]. Values are `nil`, `true`,
+//! `false`, integers, `"strings"`, and `ref#N`. Method names are resolved
+//! against a [`Spec`](crace_spec::Spec), so a trace file is interpreted relative to the
+//! specification it is replayed under.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tracefmt;
+
+pub use tracefmt::{parse_trace, render_trace, TraceParseError};

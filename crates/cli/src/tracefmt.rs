@@ -1,0 +1,386 @@
+//! Parsing and rendering of the textual trace format.
+
+use crace_model::{Action, Event, LocId, LockId, ObjId, ThreadId, Trace, Value};
+use crace_spec::Spec;
+use std::error::Error;
+use std::fmt;
+
+/// An error while parsing a trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a trace file; method names in `act` lines are resolved against
+/// `spec`.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] with the offending line for malformed
+/// events, unknown methods, or arity mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use crace_cli::parse_trace;
+/// use crace_spec::builtin;
+///
+/// let spec = builtin::dictionary();
+/// let trace = parse_trace("fork 0 1\nact 1 o1 put(5, 7)/nil\n", &spec)?;
+/// assert_eq!(trace.len(), 2);
+/// # Ok::<(), crace_cli::TraceParseError>(())
+/// ```
+pub fn parse_trace(source: &str, spec: &Spec) -> Result<Trace, TraceParseError> {
+    let mut trace = Trace::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.splitn(3, char::is_whitespace);
+        let kind = words.next().expect("nonempty line");
+        let parse_tid = |w: Option<&str>| -> Result<ThreadId, TraceParseError> {
+            w.and_then(|s| s.trim().parse::<u32>().ok())
+                .map(ThreadId)
+                .ok_or_else(|| err(lineno, "expected a thread id"))
+        };
+        match kind {
+            "fork" | "join" => {
+                let parent = parse_tid(words.next())?;
+                let child = parse_tid(words.next())?;
+                trace.push(if kind == "fork" {
+                    Event::Fork { parent, child }
+                } else {
+                    Event::Join { parent, child }
+                });
+            }
+            "acq" | "rel" => {
+                let tid = parse_tid(words.next())?;
+                let lock = words
+                    .next()
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .map(LockId)
+                    .ok_or_else(|| err(lineno, "expected a lock id"))?;
+                trace.push(if kind == "acq" {
+                    Event::Acquire { tid, lock }
+                } else {
+                    Event::Release { tid, lock }
+                });
+            }
+            "read" | "write" => {
+                let tid = parse_tid(words.next())?;
+                let loc = words
+                    .next()
+                    .map(str::trim)
+                    .and_then(|s| s.strip_prefix('@'))
+                    .and_then(|s| {
+                        s.strip_prefix("0x")
+                            .map(|h| u64::from_str_radix(h, 16).ok())
+                            .unwrap_or_else(|| s.parse::<u64>().ok())
+                    })
+                    .map(LocId)
+                    .ok_or_else(|| err(lineno, "expected a location like @16 or @0x10"))?;
+                trace.push(if kind == "read" {
+                    Event::Read { tid, loc }
+                } else {
+                    Event::Write { tid, loc }
+                });
+            }
+            "act" => {
+                let tid = parse_tid(words.next())?;
+                let rest = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "expected `o<id> name(args)/ret`"))?
+                    .trim();
+                let action = parse_action(rest, spec, lineno)?;
+                trace.push(Event::Action { tid, action });
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "unknown event `{other}` (expected fork/join/acq/rel/read/write/act)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(trace)
+}
+
+fn parse_action(text: &str, spec: &Spec, lineno: usize) -> Result<Action, TraceParseError> {
+    // Shape: o<obj> name(arg, …)/ret
+    let text = text.trim();
+    let obj_end = text
+        .find(char::is_whitespace)
+        .ok_or_else(|| err(lineno, "expected `o<id> name(args)/ret`"))?;
+    let obj = text[..obj_end]
+        .strip_prefix('o')
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(ObjId)
+        .ok_or_else(|| err(lineno, format!("bad object id `{}`", &text[..obj_end])))?;
+    let call = text[obj_end..].trim();
+    let open = call
+        .find('(')
+        .ok_or_else(|| err(lineno, "expected `(` in invocation"))?;
+    let name = call[..open].trim();
+    let close = call
+        .rfind(')')
+        .ok_or_else(|| err(lineno, "expected `)` in invocation"))?;
+    if close < open {
+        return Err(err(lineno, "mismatched parentheses"));
+    }
+    let args_text = &call[open + 1..close];
+    let ret_text = call[close + 1..]
+        .trim()
+        .strip_prefix('/')
+        .ok_or_else(|| err(lineno, "expected `/ret` after invocation"))?
+        .trim();
+
+    let method = spec
+        .method_id(name)
+        .ok_or_else(|| err(lineno, format!("unknown method `{name}` in spec `{}`", spec.name())))?;
+    let mut args = Vec::new();
+    if !args_text.trim().is_empty() {
+        for part in split_args(args_text) {
+            args.push(parse_value(part.trim(), lineno)?);
+        }
+    }
+    if args.len() != spec.sig(method).num_args() {
+        return Err(err(
+            lineno,
+            format!(
+                "method `{name}` takes {} argument(s), found {}",
+                spec.sig(method).num_args(),
+                args.len()
+            ),
+        ));
+    }
+    let ret = parse_value(ret_text, lineno)?;
+    Ok(Action::new(obj, method, args, ret))
+}
+
+/// Strips a `#` comment; a `#` counts as a comment start only at the
+/// beginning of the line or after whitespace, so `ref#9` and `"a#b"`
+/// survive.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && (i == 0 || bytes[i - 1].is_ascii_whitespace()) {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+/// Splits a comma-separated argument list, respecting string quotes.
+fn split_args(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, TraceParseError> {
+    match text {
+        "nil" => Ok(Value::Nil),
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
+        _ => {
+            if let Some(stripped) = text.strip_prefix("ref#") {
+                return stripped
+                    .parse::<u64>()
+                    .map(Value::Ref)
+                    .map_err(|_| err(lineno, format!("bad reference `{text}`")));
+            }
+            if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
+                return Ok(Value::str(&text[1..text.len() - 1]));
+            }
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| err(lineno, format!("bad value `{text}`")))
+        }
+    }
+}
+
+/// Renders a trace back to the textual format (method names taken from
+/// `spec`; methods not in the spec render as `m<id>`).
+pub fn render_trace(trace: &Trace, spec: &Spec) -> String {
+    let mut out = String::new();
+    for event in trace {
+        match event {
+            Event::Fork { parent, child } => {
+                out.push_str(&format!("fork {} {}\n", parent.0, child.0));
+            }
+            Event::Join { parent, child } => {
+                out.push_str(&format!("join {} {}\n", parent.0, child.0));
+            }
+            Event::Acquire { tid, lock } => {
+                out.push_str(&format!("acq {} {}\n", tid.0, lock.0));
+            }
+            Event::Release { tid, lock } => {
+                out.push_str(&format!("rel {} {}\n", tid.0, lock.0));
+            }
+            Event::Read { tid, loc } => {
+                out.push_str(&format!("read {} @{}\n", tid.0, loc.0));
+            }
+            Event::Write { tid, loc } => {
+                out.push_str(&format!("write {} @{}\n", tid.0, loc.0));
+            }
+            Event::Action { tid, action } => {
+                out.push_str(&format!(
+                    "act {} o{} {}\n",
+                    tid.0,
+                    action.obj().0,
+                    render_call(action, spec)
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn render_call(action: &Action, spec: &Spec) -> String {
+    let name = if action.method().index() < spec.num_methods() {
+        spec.sig(action.method()).name().to_string()
+    } else {
+        format!("m{}", action.method().0)
+    };
+    let args: Vec<String> = action.args().iter().map(render_value).collect();
+    format!("{name}({})/{}", args.join(", "), render_value(action.ret()))
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Nil => "nil".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => format!("{:?}", s.as_ref()),
+        Value::Ref(r) => format!("ref#{r}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_spec::builtin;
+
+    const SAMPLE: &str = r#"
+# the running example
+fork 0 1
+fork 0 2
+act 2 o1 put("a.com", 1)/nil
+act 1 o1 put("a.com", 2)/1
+join 0 1
+join 0 2
+act 0 o1 size()/1
+"#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let spec = builtin::dictionary();
+        let trace = parse_trace(SAMPLE, &spec).unwrap();
+        assert_eq!(trace.len(), 7);
+        assert_eq!(trace.num_threads(), 3);
+        let act = trace.events()[2].action().unwrap();
+        assert_eq!(act.obj(), ObjId(1));
+        assert_eq!(act.args()[0], Value::str("a.com"));
+        assert_eq!(act.ret(), &Value::Nil);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let spec = builtin::dictionary();
+        let trace = parse_trace(SAMPLE, &spec).unwrap();
+        let rendered = render_trace(&trace, &spec);
+        let reparsed = parse_trace(&rendered, &spec).unwrap();
+        assert_eq!(trace, reparsed);
+    }
+
+    #[test]
+    fn parses_all_value_shapes_and_locations() {
+        let spec = builtin::dictionary();
+        let src = "act 0 o1 put(true, ref#9)/\"x\"\nread 1 @0x10\nwrite 1 @16\nacq 0 3\nrel 0 3\n";
+        let trace = parse_trace(src, &spec).unwrap();
+        let a = trace.events()[0].action().unwrap();
+        assert_eq!(a.args(), &[Value::Bool(true), Value::Ref(9)]);
+        assert_eq!(a.ret(), &Value::str("x"));
+        assert_eq!(
+            trace.events()[1],
+            Event::Read {
+                tid: ThreadId(1),
+                loc: LocId(16)
+            }
+        );
+        assert_eq!(
+            trace.events()[2],
+            Event::Write {
+                tid: ThreadId(1),
+                loc: LocId(16)
+            }
+        );
+    }
+
+    #[test]
+    fn string_arguments_may_contain_commas() {
+        let spec = builtin::dictionary();
+        let trace = parse_trace("act 0 o1 put(\"a,b\", 1)/nil\n", &spec).unwrap();
+        let a = trace.events()[0].action().unwrap();
+        assert_eq!(a.args()[0], Value::str("a,b"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let spec = builtin::dictionary();
+        let e = parse_trace("fork 0 1\nact 1 o1 bogus(1)/nil\n", &spec).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown method"));
+
+        let e = parse_trace("explode 1 2\n", &spec).unwrap_err();
+        assert!(e.message.contains("unknown event"));
+
+        let e = parse_trace("act 0 o1 put(1)/nil\n", &spec).unwrap_err();
+        assert!(e.message.contains("takes 2 argument(s)"));
+
+        let e = parse_trace("act 0 x1 put(1, 2)/nil\n", &spec).unwrap_err();
+        assert!(e.message.contains("bad object id"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let spec = builtin::dictionary();
+        let trace =
+            parse_trace("# header\n\nfork 0 1 # trailing\n   \n", &spec).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+}

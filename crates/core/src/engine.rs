@@ -1,0 +1,299 @@
+//! The per-object core of Algorithm 1.
+
+use crate::points::{AccessPoint, ClassId, CompiledSpec};
+use crace_model::Action;
+use crace_vclock::VectorClock;
+use std::collections::HashMap;
+
+/// One commutativity race found by phase 1 of Algorithm 1: the touched
+/// point's class and the conflicting active class.
+///
+/// Deliberately tiny (two indices): race *recording* must stay cheap even
+/// when a workload races millions of times, so human-readable details are
+/// only rendered for the sampled records a report retains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RaceHit {
+    /// The class of the point touched by the current action.
+    pub touched: ClassId,
+    /// The conflicting active class.
+    pub conflicting: ClassId,
+}
+
+/// The per-object auxiliary state of Algorithm 1: the vector clock
+/// `pt.vc` of every *active* access point.
+///
+/// The paper keeps a global `active : Obj → P(X)` plus a clock map
+/// `ptvc : X → VC`; following the implementation note in §5.3 we attach the
+/// state to the object it belongs to, so reclaiming an object reclaims its
+/// shadow state (the `forget`-style optimization the tool implements).
+///
+/// # Examples
+///
+/// ```
+/// use crace_core::{translate, ObjState};
+/// use crace_model::{Action, ObjId, Value};
+/// use crace_spec::builtin;
+/// use crace_vclock::VectorClock;
+///
+/// let spec = builtin::dictionary();
+/// let compiled = translate(&spec).unwrap();
+/// let put = spec.method_id("put").unwrap();
+/// let mut state = ObjState::new();
+///
+/// // Two concurrent same-key puts: the second one races.
+/// let a = Action::new(ObjId(0), put, vec![Value::Int(5), Value::Int(1)], Value::Nil);
+/// let b = Action::new(ObjId(0), put, vec![Value::Int(5), Value::Int(2)], Value::Int(1));
+/// let c1 = VectorClock::from_components([1, 0]);
+/// let c2 = VectorClock::from_components([0, 1]);
+/// assert_eq!(state.on_action(&compiled, &a, &c1).len(), 0);
+/// assert_eq!(state.on_action(&compiled, &b, &c2).len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ObjState {
+    /// `pt.vc` for every active point, keyed by `(class, value)`.
+    active: HashMap<AccessPoint, VectorClock>,
+    /// Total phase-1 conflict probes performed (one per conflicting class
+    /// per touched point) — the quantity §5.4 bounds by `|Cₒ(pt)|`.
+    probes: u64,
+}
+
+impl ObjState {
+    /// Creates empty state (no active access points).
+    pub fn new() -> ObjState {
+        ObjState::default()
+    }
+
+    /// Number of active access points (the `|active(o)|` the direct
+    /// approach's complexity depends on, §5.4).
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total phase-1 conflict probes performed so far. Per Theorem 6.6
+    /// this grows by at most a spec-dependent constant per action — the
+    /// Fig. 4 claim ("a single conflict check and not three") made
+    /// countable.
+    pub fn num_probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Processes one action event with vector clock `vc(e) = clock`:
+    /// phase 1 checks every touched point against its conflicting active
+    /// points; phase 2 folds `clock` into the touched points' clocks.
+    ///
+    /// Returns one [`RaceHit`] per conflicting access-point pair (what the
+    /// algorithm reports at line 6).
+    pub fn on_action(
+        &mut self,
+        spec: &CompiledSpec,
+        action: &Action,
+        clock: &VectorClock,
+    ) -> Vec<RaceHit> {
+        let touched = spec.touched(action);
+        let mut races = Vec::new();
+
+        // Phase 1: check for commutativity races.
+        for pt in &touched {
+            for &other_class in spec.conflicting(pt.class) {
+                self.probes += 1;
+                let key = AccessPoint {
+                    class: other_class,
+                    value: pt.value.clone(),
+                };
+                if let Some(pt_vc) = self.active.get(&key) {
+                    if !pt_vc.le(clock) {
+                        races.push(RaceHit {
+                            touched: pt.class,
+                            conflicting: other_class,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 2: update auxiliary state.
+        for pt in touched {
+            match self.active.entry(pt) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().join_in_place(clock);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(clock.clone());
+                }
+            }
+        }
+        races
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate;
+    use crace_model::{MethodId, ObjId, Value};
+    use crace_spec::{builtin, Spec};
+
+    fn setup() -> (Spec, CompiledSpec) {
+        let spec = builtin::dictionary();
+        let compiled = translate(&spec).unwrap();
+        (spec, compiled)
+    }
+
+    fn put(spec: &Spec, k: i64, v: Value, p: Value) -> Action {
+        Action::new(
+            ObjId(0),
+            spec.method_id("put").unwrap(),
+            vec![Value::Int(k), v],
+            p,
+        )
+    }
+
+    fn vc(c: &[u64]) -> VectorClock {
+        VectorClock::from_components(c.iter().copied())
+    }
+
+    #[test]
+    fn ordered_actions_do_not_race() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let a = put(&spec, 1, Value::Int(1), Value::Nil);
+        let b = put(&spec, 1, Value::Int(2), Value::Int(1));
+        assert!(st.on_action(&c, &a, &vc(&[1, 0])).is_empty());
+        // b's clock dominates a's: ordered, no race.
+        assert!(st.on_action(&c, &b, &vc(&[2, 1])).is_empty());
+    }
+
+    #[test]
+    fn concurrent_same_key_writes_race() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let a = put(&spec, 1, Value::Int(1), Value::Nil);
+        let b = put(&spec, 1, Value::Int(2), Value::Int(1));
+        assert!(st.on_action(&c, &a, &vc(&[1, 0])).is_empty());
+        let races = st.on_action(&c, &b, &vc(&[0, 1]));
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].touched, races[0].conflicting); // w:k vs w:k
+    }
+
+    #[test]
+    fn concurrent_different_key_writes_do_not_race() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let a = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let b = put(&spec, 2, Value::Int(2), Value::Int(9));
+        assert!(st.on_action(&c, &a, &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &b, &vc(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    fn resize_races_with_concurrent_size() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        // Fresh insert resizes.
+        let grow = put(&spec, 1, Value::Int(1), Value::Nil);
+        let size = Action::new(ObjId(0), spec.method_id("size").unwrap(), vec![], Value::Int(1));
+        assert!(st.on_action(&c, &grow, &vc(&[1, 0])).is_empty());
+        assert_eq!(st.on_action(&c, &size, &vc(&[0, 1])).len(), 1);
+    }
+
+    #[test]
+    fn non_resizing_put_does_not_race_with_size() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        // Overwrite non-nil → non-nil: no resize (the a2/a3 observation in §2).
+        let over = put(&spec, 1, Value::Int(2), Value::Int(1));
+        let size = Action::new(ObjId(0), spec.method_id("size").unwrap(), vec![], Value::Int(1));
+        assert!(st.on_action(&c, &over, &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &size, &vc(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_never_race() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let get = |k: i64| Action::new(
+            ObjId(0),
+            spec.method_id("get").unwrap(),
+            vec![Value::Int(k)],
+            Value::Int(7),
+        );
+        assert!(st.on_action(&c, &get(1), &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &get(1), &vc(&[0, 1])).is_empty());
+        // A read-like put is also a read.
+        let noop = put(&spec, 1, Value::Int(7), Value::Int(7));
+        assert!(st.on_action(&c, &noop, &vc(&[0, 0, 1])).is_empty());
+    }
+
+    #[test]
+    fn read_write_on_same_key_races() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let get = Action::new(
+            ObjId(0),
+            spec.method_id("get").unwrap(),
+            vec![Value::Int(1)],
+            Value::Nil,
+        );
+        let write = put(&spec, 1, Value::Int(5), Value::Nil);
+        assert!(st.on_action(&c, &get, &vc(&[1, 0])).is_empty());
+        let races = st.on_action(&c, &write, &vc(&[0, 1]));
+        // put touches w:1 (conflicts with r:1) and resize (no active size).
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn phase2_joins_clocks_of_repeated_touches() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let w1 = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let w2 = put(&spec, 1, Value::Int(2), Value::Int(1));
+        // τ0 writes, τ1 writes unordered → race; afterwards the point's
+        // clock is the join ⟨1,1⟩, so a later τ0 action with clock ⟨2,1⟩ is
+        // ordered after BOTH writes and must not race (the Fig. 3 a3 case).
+        st.on_action(&c, &w1, &vc(&[1, 0]));
+        assert_eq!(st.on_action(&c, &w2, &vc(&[0, 1])).len(), 1);
+        let w3 = put(&spec, 1, Value::Int(3), Value::Int(2));
+        assert!(st.on_action(&c, &w3, &vc(&[2, 1])).is_empty());
+        // But a τ0 action that saw only its own history still races.
+        let mut st2 = ObjState::new();
+        st2.on_action(&c, &w1, &vc(&[1, 0]));
+        st2.on_action(&c, &w2, &vc(&[0, 1]));
+        assert_eq!(st2.on_action(&c, &w3, &vc(&[2, 0])).len(), 1);
+    }
+
+    #[test]
+    fn one_action_can_race_with_multiple_points() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        // Two concurrent fresh inserts on different keys, then a size()
+        // concurrent with both: size races once per active resize-conflict…
+        st.on_action(&c, &put(&spec, 1, Value::Int(1), Value::Nil), &vc(&[1, 0, 0]));
+        st.on_action(&c, &put(&spec, 2, Value::Int(1), Value::Nil), &vc(&[0, 1, 0]));
+        let size = Action::new(ObjId(0), spec.method_id("size").unwrap(), vec![], Value::Int(2));
+        // …but resize is ONE ds point (value-free), so one race is reported
+        // against the joined clock.
+        let races = st.on_action(&c, &size, &vc(&[0, 0, 1]));
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn num_active_grows_with_distinct_points_only() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        assert_eq!(st.num_active(), 0);
+        st.on_action(&c, &put(&spec, 1, Value::Int(1), Value::Nil), &vc(&[1]));
+        assert_eq!(st.num_active(), 2); // w:1 + resize
+        st.on_action(&c, &put(&spec, 1, Value::Int(2), Value::Int(1)), &vc(&[2]));
+        assert_eq!(st.num_active(), 2); // w:1 again
+        st.on_action(&c, &put(&spec, 2, Value::Int(1), Value::Nil), &vc(&[3]));
+        assert_eq!(st.num_active(), 3); // w:2 (+ resize already active)
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn mismatched_action_arity_panics() {
+        let (_, c) = setup();
+        let bogus = Action::new(ObjId(0), MethodId(0), vec![], Value::Nil);
+        ObjState::new().on_action(&c, &bogus, &VectorClock::new());
+    }
+}

@@ -1,0 +1,285 @@
+//! Compiled access-point representations (§4.2).
+
+use crace_model::{Action, Value};
+use crace_spec::{NormAtom, Spec};
+use std::fmt;
+
+/// Index of an access-point *class* within a [`CompiledSpec`].
+///
+/// A class is what remains of the translation's symbolic access points
+/// (`o.m:β:ds` and `o.m:β:i:wᵢ`, §6.2) after the Appendix A.3 optimizations
+/// merge congruent points and drop conflict-free ones. A concrete access
+/// point is a class plus, for value-carrying classes, the concrete slot
+/// value — see [`AccessPoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// The class index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Whether a class's concrete points carry a slot value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PointKind {
+    /// A `ds` point: witnesses only that the method was invoked (with a
+    /// particular β). Conflicts unconditionally with its conflicting
+    /// classes. Example: `o:resize`.
+    Ds,
+    /// A slot point: carries the concrete argument/return value `wᵢ`, and
+    /// conflicts with a point of a conflicting class only when the values
+    /// are equal (rule 2 of §6.2). Example: `o:w:k`.
+    Slot,
+}
+
+/// A concrete access point touched by an action: a class plus the slot
+/// value for value-carrying classes.
+///
+/// # Examples
+///
+/// ```
+/// use crace_core::translate;
+/// use crace_model::{Action, ObjId, Value};
+/// use crace_spec::builtin;
+///
+/// let spec = builtin::dictionary();
+/// let compiled = translate(&spec).unwrap();
+/// let put = spec.method_id("put").unwrap();
+/// // A fresh insert touches two points: o:w:k and o:resize (Fig. 7b).
+/// let action = Action::new(ObjId(0), put, vec![Value::Int(5), Value::Int(1)], Value::Nil);
+/// let points = compiled.touched(&action);
+/// assert_eq!(points.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AccessPoint {
+    /// The access-point class.
+    pub class: ClassId,
+    /// The concrete slot value, for [`PointKind::Slot`] classes.
+    pub value: Option<Value>,
+}
+
+impl fmt::Display for AccessPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "{}:{v}", self.class),
+            None => write!(f, "{}", self.class),
+        }
+    }
+}
+
+/// How an action of a given method/β touches a class: either as a `ds`
+/// point or by contributing the value of slot `i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TouchTemplate {
+    Ds(ClassId),
+    Slot(ClassId, usize),
+}
+
+/// Per-method compiled tables.
+#[derive(Clone, Debug)]
+pub(crate) struct MethodTable {
+    /// `B(Φ, m)`: the normalized LB atoms relevant to the method, in a
+    /// fixed order; bit `k` of a β index is `atoms[k]`'s truth value.
+    pub atoms: Vec<NormAtom>,
+    /// `touch[β]`: the surviving access points of an action with that β.
+    pub touch: Vec<Vec<TouchTemplate>>,
+}
+
+/// Statistics about a translation, before and after the Appendix A.3
+/// optimizations. Used by tests and the translation benchmarks to check
+/// Theorem 6.6 (bounded conflict degree) quantitatively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Symbolic point classes before optimization.
+    pub raw_classes: usize,
+    /// Classes after congruence merging and cleanup.
+    pub classes: usize,
+    /// The largest `|Cₒ(pt)|` over all classes — the per-point work bound
+    /// of Algorithm 1 (Theorem 6.6 guarantees this is finite; §5.4 uses it
+    /// as the per-action cost).
+    pub max_conflict_degree: usize,
+}
+
+/// A commutativity specification compiled to its access-point
+/// representation `⟨Xₒ, ηₒ, Cₒ⟩` (§4.2, Definition 4.4).
+///
+/// * `Xₒ` is the set of [`AccessPoint`]s: `(class, value)` pairs,
+/// * `ηₒ` is [`CompiledSpec::touched`],
+/// * `Cₒ` is [`CompiledSpec::conflicting`] lifted to values (two slot
+///   points conflict only on equal values).
+///
+/// Produced by [`crate::translate`]; Definition 4.5 equivalence with the
+/// source [`Spec`] is exercised exhaustively by this crate's tests.
+#[derive(Clone, Debug)]
+pub struct CompiledSpec {
+    pub(crate) spec: Spec,
+    pub(crate) methods: Vec<MethodTable>,
+    /// `conflicts[c]`: the classes conflicting with class `c` (symmetric).
+    pub(crate) conflicts: Vec<Vec<ClassId>>,
+    pub(crate) kinds: Vec<PointKind>,
+    pub(crate) labels: Vec<String>,
+    pub(crate) stats: TranslationStats,
+}
+
+impl CompiledSpec {
+    /// The source specification.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Number of access-point classes after optimization.
+    pub fn num_classes(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// The classes conflicting with `class` (the finite `Cₒ(pt)` of §5.4).
+    pub fn conflicting(&self, class: ClassId) -> &[ClassId] {
+        &self.conflicts[class.index()]
+    }
+
+    /// The kind of a class.
+    pub fn kind(&self, class: ClassId) -> PointKind {
+        self.kinds[class.index()]
+    }
+
+    /// A human-readable label for a class, synthesized from the symbolic
+    /// points merged into it (e.g. `put.w0|get.r0` for the dictionary's
+    /// `o:w:k`-style class).
+    pub fn label(&self, class: ClassId) -> &str {
+        &self.labels[class.index()]
+    }
+
+    /// Translation statistics (pre/post-optimization sizes, max degree).
+    pub fn stats(&self) -> TranslationStats {
+        self.stats
+    }
+
+    /// Every `(class, slot)` combination an action of `method` can touch,
+    /// over all possible β vectors; `slot` is `None` for `ds` points.
+    ///
+    /// Used by abstract-lock schemes, which must request locks *before*
+    /// the invocation runs and therefore cannot know the actual β — the
+    /// pessimism that distinguishes Kulkarni et al.'s setting from the
+    /// detector's (§6, "Why ECL?").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range for the specification.
+    pub fn method_touch_universe(
+        &self,
+        method: crace_model::MethodId,
+    ) -> Vec<(ClassId, Option<usize>)> {
+        let table = &self.methods[method.index()];
+        let mut set = std::collections::BTreeSet::new();
+        for templates in &table.touch {
+            for t in templates {
+                match *t {
+                    TouchTemplate::Ds(c) => {
+                        set.insert((c, None));
+                    }
+                    TouchTemplate::Slot(c, i) => {
+                        set.insert((c, Some(i)));
+                    }
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Computes the β index of an action: bit `k` holds atom `k`'s truth
+    /// value on the action's slots.
+    pub(crate) fn beta_of(&self, action: &Action) -> usize {
+        let table = &self.methods[action.method().index()];
+        let slots: Vec<Value> = action.slots().cloned().collect();
+        let mut beta = 0usize;
+        for (k, atom) in table.atoms.iter().enumerate() {
+            if atom.eval(&slots) {
+                beta |= 1 << k;
+            }
+        }
+        beta
+    }
+
+    /// `ηₒ(a)`: the finite set of access points touched by an action
+    /// (Definition 4.4, item 2), after optimization — points whose class
+    /// never conflicts are already dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action's method id or arity does not match the
+    /// specification.
+    pub fn touched(&self, action: &Action) -> Vec<AccessPoint> {
+        assert!(
+            action.method().index() < self.methods.len(),
+            "action {action} does not belong to spec `{}`",
+            self.spec.name()
+        );
+        assert_eq!(
+            action.arity(),
+            self.spec.sig(action.method()).num_slots(),
+            "action {action} has wrong arity for `{}`",
+            self.spec.sig(action.method())
+        );
+        let beta = self.beta_of(action);
+        let table = &self.methods[action.method().index()];
+        table.touch[beta]
+            .iter()
+            .map(|t| match *t {
+                TouchTemplate::Ds(class) => AccessPoint { class, value: None },
+                TouchTemplate::Slot(class, i) => AccessPoint {
+                    class,
+                    value: Some(action.slot(i).expect("arity checked").clone()),
+                },
+            })
+            .collect()
+    }
+
+    /// Do two concrete actions conflict according to the compiled
+    /// representation — i.e. `(ηₒ(a) × ηₒ(b)) ∩ Cₒ ≠ ∅`?
+    ///
+    /// By Definition 4.5 this must equal `¬ϕ(a, b)`; the equivalence is
+    /// what the translation tests check exhaustively.
+    pub fn actions_conflict(&self, a: &Action, b: &Action) -> bool {
+        let pa = self.touched(a);
+        let pb = self.touched(b);
+        pa.iter().any(|x| {
+            self.conflicting(x.class)
+                .iter()
+                .any(|&c| pb.iter().any(|y| y.class == c && y.value == x.value))
+        })
+    }
+}
+
+impl fmt::Display for CompiledSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "access points for `{}` ({} classes):",
+            self.spec.name(),
+            self.num_classes()
+        )?;
+        for (i, adj) in self.conflicts.iter().enumerate() {
+            let kind = match self.kinds[i] {
+                PointKind::Ds => "ds",
+                PointKind::Slot => "slot",
+            };
+            let names: Vec<&str> = adj.iter().map(|c| self.label(*c)).collect();
+            writeln!(
+                f,
+                "  {:<24} [{kind}] conflicts {{{}}}",
+                self.labels[i],
+                names.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,306 @@
+//! RD2 — the online, sharded commutativity race detector for live
+//! multi-threaded programs.
+
+use crate::engine::ObjState;
+use crate::points::CompiledSpec;
+use crace_model::{
+    Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId,
+};
+use crace_vclock::SyncClocks;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The online commutativity race detector (the paper's RD2 tool).
+///
+/// Functionally identical to [`crate::TraceDetector`], but engineered for
+/// concurrent callers, mirroring RoadRunner's shadow-state discipline:
+///
+/// * synchronization clocks live behind a read-write lock — action events
+///   only *read* the acting thread's clock, so the common path takes a
+///   shared lock; fork/join/acquire/release take the exclusive lock,
+/// * each object's access-point state sits behind its own mutex, so actions
+///   on different objects proceed in parallel,
+/// * the race report has its own lock, touched only when a race is found.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use crace_core::{translate, Rd2};
+/// use crace_model::{Action, Analysis, ObjId, ThreadId, Value};
+/// use crace_spec::builtin;
+///
+/// let spec = builtin::dictionary();
+/// let rd2 = Rd2::new();
+/// rd2.register(ObjId(1), Arc::new(translate(&spec)?));
+///
+/// let put = spec.method_id("put").unwrap();
+/// rd2.on_fork(ThreadId(0), ThreadId(1));
+/// rd2.on_action(ThreadId(0), &Action::new(
+///     ObjId(1), put, vec![Value::Int(5), Value::Int(1)], Value::Nil));
+/// rd2.on_action(ThreadId(1), &Action::new(
+///     ObjId(1), put, vec![Value::Int(5), Value::Int(2)], Value::Int(1)));
+/// assert_eq!(rd2.report().total(), 1);
+/// # Ok::<(), crace_core::TranslateError>(())
+/// ```
+pub struct Rd2 {
+    sync: RwLock<SyncClocks>,
+    objects: RwLock<HashMap<ObjId, Arc<ObjEntry>>>,
+    report: Mutex<RaceReport>,
+    /// Cache of compiled specifications, keyed by spec name, so that
+    /// registering the Nth dictionary does not re-run the translation.
+    compiled: Mutex<HashMap<String, Arc<CompiledSpec>>>,
+}
+
+struct ObjEntry {
+    spec: Arc<CompiledSpec>,
+    state: Mutex<ObjState>,
+}
+
+impl Rd2 {
+    /// Creates a detector with no registered objects.
+    pub fn new() -> Rd2 {
+        Rd2 {
+            sync: RwLock::new(SyncClocks::new()),
+            objects: RwLock::new(HashMap::new()),
+            report: Mutex::new(RaceReport::new()),
+            compiled: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers `obj` against an (uncompiled) logical specification,
+    /// translating it on first use and caching the result by spec name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the translation error if the specification is outside ECL.
+    pub fn register_spec(
+        &self,
+        obj: ObjId,
+        spec: &crace_spec::Spec,
+    ) -> Result<(), crate::TranslateError> {
+        let compiled = {
+            let mut cache = self.compiled.lock();
+            match cache.get(spec.name()) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(crate::translate(spec)?);
+                    cache.insert(spec.name().to_string(), Arc::clone(&c));
+                    c
+                }
+            }
+        };
+        self.register(obj, compiled);
+        Ok(())
+    }
+
+    /// Registers `obj` to be checked against `spec`. Actions on
+    /// unregistered objects are ignored (selective instrumentation).
+    pub fn register(&self, obj: ObjId, spec: Arc<CompiledSpec>) {
+        self.objects.write().insert(
+            obj,
+            Arc::new(ObjEntry {
+                spec,
+                state: Mutex::new(ObjState::new()),
+            }),
+        );
+    }
+
+    /// Drops all shadow state of `obj` — the object-reclamation
+    /// optimization of §5.3.
+    pub fn forget(&self, obj: ObjId) {
+        self.objects.write().remove(&obj);
+    }
+}
+
+impl Default for Rd2 {
+    fn default() -> Rd2 {
+        Rd2::new()
+    }
+}
+
+impl Analysis for Rd2 {
+    fn name(&self) -> &str {
+        "rd2"
+    }
+
+    fn on_fork(&self, parent: ThreadId, child: ThreadId) {
+        self.sync.write().fork(parent, child);
+    }
+
+    fn on_join(&self, parent: ThreadId, child: ThreadId) {
+        self.sync.write().join(parent, child);
+    }
+
+    fn on_acquire(&self, tid: ThreadId, lock: LockId) {
+        self.sync.write().acquire(tid, lock);
+    }
+
+    fn on_release(&self, tid: ThreadId, lock: LockId) {
+        self.sync.write().release(tid, lock);
+    }
+
+    fn on_action(&self, tid: ThreadId, action: &Action) {
+        let entry = match self.objects.read().get(&action.obj()) {
+            Some(e) => Arc::clone(e),
+            None => return,
+        };
+        // Ensure the thread's clock is initialized, then snapshot it under
+        // the shared lock. (`clock` takes `&mut` for lazy init, so a brief
+        // write lock is needed only the first time a thread is seen.)
+        let clock = {
+            let sync = self.sync.read();
+            // Fast path: fork already initialized this thread.
+            sync.peek_clock(tid).cloned()
+        };
+        let clock = match clock {
+            Some(c) => c,
+            None => self.sync.write().clock(tid).clone(),
+        };
+        let races = entry.state.lock().on_action(&entry.spec, action, &clock);
+        if !races.is_empty() {
+            let mut report = self.report.lock();
+            let kind = RaceKind::Commutativity { obj: action.obj() };
+            for hit in races {
+                report.record_with(kind.clone(), || RaceRecord {
+                    kind: kind.clone(),
+                    tid,
+                    action: Some(action.clone()),
+                    detail: format!(
+                        "{} touched {} conflicting with active {}",
+                        action,
+                        entry.spec.label(hit.touched),
+                        entry.spec.label(hit.conflicting)
+                    ),
+                });
+            }
+        }
+    }
+
+    fn report(&self) -> RaceReport {
+        self.report.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate;
+    use crace_model::Value;
+    use crace_spec::builtin;
+    use std::thread;
+
+    fn dict_rd2() -> (crace_spec::Spec, Rd2) {
+        let spec = builtin::dictionary();
+        let rd2 = Rd2::new();
+        rd2.register(ObjId(1), Arc::new(translate(&spec).unwrap()));
+        (spec, rd2)
+    }
+
+    #[test]
+    fn detects_the_running_example_race() {
+        let (spec, rd2) = dict_rd2();
+        let put = spec.method_id("put").unwrap();
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_fork(ThreadId(0), ThreadId(2));
+        rd2.on_action(
+            ThreadId(2),
+            &Action::new(ObjId(1), put, vec![Value::str("a.com"), Value::Int(1)], Value::Nil),
+        );
+        rd2.on_action(
+            ThreadId(1),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::str("a.com"), Value::Int(2)],
+                Value::Int(1),
+            ),
+        );
+        let report = rd2.report();
+        assert_eq!(report.total(), 1);
+        assert_eq!(report.distinct(), 1);
+    }
+
+    #[test]
+    fn join_orders_suppress_races() {
+        let (spec, rd2) = dict_rd2();
+        let put = spec.method_id("put").unwrap();
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_action(
+            ThreadId(1),
+            &Action::new(ObjId(1), put, vec![Value::Int(1), Value::Int(1)], Value::Nil),
+        );
+        rd2.on_join(ThreadId(0), ThreadId(1));
+        rd2.on_action(
+            ThreadId(0),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(1), Value::Int(2)],
+                Value::Int(1),
+            ),
+        );
+        assert!(rd2.report().is_empty());
+    }
+
+    #[test]
+    fn concurrent_callers_do_not_deadlock_or_miss_state() {
+        // Hammer one RD2 from many real threads; every thread writes its
+        // own key so no races are expected, which also checks we do not
+        // false-positive under concurrency for per-thread keys.
+        let spec = builtin::dictionary();
+        let rd2 = Arc::new(Rd2::new());
+        rd2.register(ObjId(1), Arc::new(translate(&spec).unwrap()));
+        let put = spec.method_id("put").unwrap();
+        let mut handles = Vec::new();
+        for t in 1..=4u32 {
+            let rd2 = Arc::clone(&rd2);
+            rd2.on_fork(ThreadId(0), ThreadId(t));
+            handles.push(thread::spawn(move || {
+                for i in 0..500i64 {
+                    let prev = if i == 0 { Value::Nil } else { Value::Int(i - 1) };
+                    rd2.on_action(
+                        ThreadId(t),
+                        &Action::new(
+                            ObjId(1),
+                            put,
+                            vec![Value::Int(t as i64 * 1_000), Value::Int(i)],
+                            prev,
+                        ),
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Writes to distinct keys never race; resize points are only touched
+        // by each thread's first insert, which IS concurrent across threads…
+        // each thread's first put resizes, so resize/resize conflicts?
+        // resize conflicts only with size (Fig. 7c), so still no races.
+        assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn forget_makes_later_actions_noops() {
+        let (spec, rd2) = dict_rd2();
+        let put = spec.method_id("put").unwrap();
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_action(
+            ThreadId(0),
+            &Action::new(ObjId(1), put, vec![Value::Int(1), Value::Int(1)], Value::Nil),
+        );
+        rd2.forget(ObjId(1));
+        rd2.on_action(
+            ThreadId(1),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(1), Value::Int(2)],
+                Value::Int(1),
+            ),
+        );
+        assert!(rd2.report().is_empty());
+    }
+}

@@ -1,0 +1,641 @@
+//! The ECL → access-point translation (§6.2) with the Appendix A.3
+//! optimization pipeline.
+//!
+//! The translation proceeds in three stages:
+//!
+//! 1. **Symbolic enumeration.** For every method `m`, the relevant
+//!    normalized LB atoms `B(Φ, m)` are collected and every β vector (a
+//!    truth assignment to them) is enumerated. For every method pair and
+//!    every `(β₁, β₂)`, the specification formula is β-substituted
+//!    (Lemma 6.4) leaving an LS residue; a `false` residue yields a
+//!    `ds`–`ds` conflict (rule 1 of §6.2), and each residual conjunct
+//!    `xᵢ ≠ yⱼ` yields a value-carrying slot–slot conflict (rule 2).
+//! 2. **Congruence merging** (the *consolidation*, *dropping* and
+//!    *replacement* steps of A.3, generalized): two symbolic classes of the
+//!    same kind with identical conflict neighborhoods are interchangeable
+//!    and are merged; merging is iterated to a fixpoint, in the style of
+//!    DFA minimization. This is what collapses the dictionary's
+//!    `2^|B|`-many `put` slot points into the two classes `o:w:k`/`o:r:k`
+//!    of Fig. 7 and merges `get`'s key point into `o:r:k`.
+//! 3. **Cleanup**: symbolic points that participate in no conflict are
+//!    never materialized at all (e.g. `o:noresize`, `get`'s `ds` point).
+//!
+//! The result guarantees Theorem 6.6: every class conflicts with a bounded
+//! number of classes, so Algorithm 1 performs Θ(1) hash lookups per touched
+//! point (§5.4).
+
+use crate::points::{ClassId, CompiledSpec, MethodTable, PointKind, TouchTemplate, TranslationStats};
+use crace_model::MethodId;
+use crace_spec::{LsResidue, NormAtom, Side, Spec};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Maximum number of normalized LB atoms per method (β vectors are
+/// enumerated exhaustively, so this bounds `2^n` blowup).
+const MAX_ATOMS_PER_METHOD: usize = 16;
+
+/// Errors produced by [`translate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A rule is outside the ECL fragment, so no bounded-degree
+    /// access-point representation is derivable by this translation.
+    NotEcl {
+        /// The specification name.
+        spec: String,
+        /// First method of the offending pair.
+        m1: String,
+        /// Second method of the offending pair.
+        m2: String,
+    },
+    /// A method's `B(Φ, m)` is too large to enumerate β vectors for.
+    TooManyAtoms {
+        /// The specification name.
+        spec: String,
+        /// The offending method.
+        method: String,
+        /// Number of atoms found.
+        count: usize,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::NotEcl { spec, m1, m2 } => write!(
+                f,
+                "rule ({m1}, {m2}) of spec `{spec}` is outside ECL; \
+                 use the direct detector for this specification"
+            ),
+            TranslateError::TooManyAtoms {
+                spec,
+                method,
+                count,
+            } => write!(
+                f,
+                "method `{method}` of spec `{spec}` has {count} LB atoms \
+                 (limit {MAX_ATOMS_PER_METHOD})"
+            ),
+        }
+    }
+}
+
+impl Error for TranslateError {}
+
+/// Symbolic access points of the unoptimized translation (§6.2).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Raw {
+    /// `o.m:β:ds`
+    Ds { m: u32, beta: usize },
+    /// `o.m:β:i:wᵢ` (the value is runtime data; the class is symbolic)
+    Slot { m: u32, beta: usize, i: usize },
+}
+
+impl Raw {
+    fn kind(&self) -> PointKind {
+        match self {
+            Raw::Ds { .. } => PointKind::Ds,
+            Raw::Slot { .. } => PointKind::Slot,
+        }
+    }
+}
+
+/// Translates an ECL specification into its compiled access-point
+/// representation.
+///
+/// # Errors
+///
+/// * [`TranslateError::NotEcl`] if any rule lies outside the ECL fragment
+///   (§6.1). Such specifications can still be checked by the
+///   [`crate::DirectDetector`], at Θ(|A|) cost per action.
+/// * [`TranslateError::TooManyAtoms`] if a method accumulates more than 16
+///   normalized LB atoms.
+///
+/// # Examples
+///
+/// ```
+/// use crace_core::translate;
+/// use crace_spec::builtin;
+///
+/// let compiled = translate(&builtin::dictionary())?;
+/// // Fig. 7: o:w:k, o:r:k, o:size, o:resize.
+/// assert_eq!(compiled.num_classes(), 4);
+/// # Ok::<(), crace_core::TranslateError>(())
+/// ```
+pub fn translate(spec: &Spec) -> Result<CompiledSpec, TranslateError> {
+    let num_methods = spec.num_methods();
+
+    // B(Φ, m) per method, in fixed order.
+    let mut atoms: Vec<Vec<NormAtom>> = Vec::with_capacity(num_methods);
+    for m in 0..num_methods {
+        let set = spec.lb_atoms(MethodId(m as u32));
+        if set.len() > MAX_ATOMS_PER_METHOD {
+            return Err(TranslateError::TooManyAtoms {
+                spec: spec.name().to_string(),
+                method: spec.sig(MethodId(m as u32)).name().to_string(),
+                count: set.len(),
+            });
+        }
+        atoms.push(set.into_iter().collect());
+    }
+
+    // Stage 1: enumerate symbolic conflicts.
+    let mut adjacency: BTreeMap<Raw, BTreeSet<Raw>> = BTreeMap::new();
+    let add_conflict = |a: Raw, b: Raw, adj: &mut BTreeMap<Raw, BTreeSet<Raw>>| {
+        adj.entry(a.clone()).or_default().insert(b.clone());
+        adj.entry(b).or_default().insert(a);
+    };
+    for m1 in 0..num_methods {
+        for m2 in m1..num_methods {
+            let phi = spec.formula(MethodId(m1 as u32), MethodId(m2 as u32));
+            if !phi.fragment().is_ecl {
+                return Err(TranslateError::NotEcl {
+                    spec: spec.name().to_string(),
+                    m1: spec.sig(MethodId(m1 as u32)).name().to_string(),
+                    m2: spec.sig(MethodId(m2 as u32)).name().to_string(),
+                });
+            }
+            // Sanity: atoms on each side must be registered for the method.
+            debug_assert!({
+                let mut s = BTreeSet::new();
+                phi.lb_atoms(Side::First, &mut s);
+                s.iter().all(|a| atoms[m1].contains(a))
+            });
+            let n1 = atoms[m1].len();
+            let n2 = atoms[m2].len();
+            for beta1 in 0..(1usize << n1) {
+                for beta2 in 0..(1usize << n2) {
+                    let a1 = &atoms[m1];
+                    let a2 = &atoms[m2];
+                    let b1 = move |p: &NormAtom| {
+                        let k = a1.iter().position(|q| q == p).expect("atom registered");
+                        beta1 & (1 << k) != 0
+                    };
+                    let b2 = move |p: &NormAtom| {
+                        let k = a2.iter().position(|q| q == p).expect("atom registered");
+                        beta2 & (1 << k) != 0
+                    };
+                    match phi.substitute(&b1, &b2) {
+                        LsResidue::False => add_conflict(
+                            Raw::Ds {
+                                m: m1 as u32,
+                                beta: beta1,
+                            },
+                            Raw::Ds {
+                                m: m2 as u32,
+                                beta: beta2,
+                            },
+                            &mut adjacency,
+                        ),
+                        LsResidue::Conjuncts(conjuncts) => {
+                            for (i, j) in conjuncts {
+                                add_conflict(
+                                    Raw::Slot {
+                                        m: m1 as u32,
+                                        beta: beta1,
+                                        i,
+                                    },
+                                    Raw::Slot {
+                                        m: m2 as u32,
+                                        beta: beta2,
+                                        i: j,
+                                    },
+                                    &mut adjacency,
+                                );
+                            }
+                        }
+                        LsResidue::Mixed => {
+                            // Unreachable after the fragment check, but keep
+                            // a defensive error path.
+                            return Err(TranslateError::NotEcl {
+                                spec: spec.name().to_string(),
+                                m1: spec.sig(MethodId(m1 as u32)).name().to_string(),
+                                m2: spec.sig(MethodId(m2 as u32)).name().to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Dense ids for the materialized symbolic classes.
+    let raws: Vec<Raw> = adjacency.keys().cloned().collect();
+    let raw_id: BTreeMap<&Raw, usize> = raws.iter().enumerate().map(|(i, r)| (r, i)).collect();
+    let n = raws.len();
+    let neighbors: Vec<Vec<usize>> = raws
+        .iter()
+        .map(|r| adjacency[r].iter().map(|x| raw_id[x]).collect())
+        .collect();
+
+    // Stage 2: congruence merging to a fixpoint.
+    let mut rep: Vec<usize> = (0..n).collect();
+    loop {
+        // Canonical neighbor sets under the current representative map.
+        let canon: Vec<BTreeSet<usize>> = (0..n)
+            .map(|i| neighbors[i].iter().map(|&x| rep[x]).collect())
+            .collect();
+        let mut groups: BTreeMap<(bool, &BTreeSet<usize>), usize> = BTreeMap::new();
+        let mut changed = false;
+        let mut new_rep = rep.clone();
+        for i in 0..n {
+            if rep[i] != i {
+                continue; // already merged away
+            }
+            let key = (raws[i].kind() == PointKind::Ds, &canon[i]);
+            match groups.get(&key) {
+                Some(&leader) => {
+                    new_rep[i] = leader;
+                    changed = true;
+                }
+                None => {
+                    groups.insert(key, i);
+                }
+            }
+        }
+        // Path-compress: members of merged classes follow their class.
+        for i in 0..n {
+            let mut r = new_rep[i];
+            while new_rep[r] != r {
+                r = new_rep[r];
+            }
+            new_rep[i] = r;
+        }
+        rep = new_rep;
+        if !changed {
+            break;
+        }
+    }
+
+    // Stage 3: number surviving classes and rebuild adjacency.
+    let mut live: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
+    live.sort_unstable();
+    let final_id: BTreeMap<usize, ClassId> = live
+        .iter()
+        .enumerate()
+        .map(|(k, &i)| (i, ClassId(k as u32)))
+        .collect();
+    let mut conflicts: Vec<Vec<ClassId>> = vec![Vec::new(); live.len()];
+    for (&leader, &cid) in &final_id {
+        let mut set: BTreeSet<ClassId> = BTreeSet::new();
+        // All members of the class share the same canonical neighbor set.
+        for i in 0..n {
+            if rep[i] == leader {
+                set.extend(neighbors[i].iter().map(|&x| final_id[&rep[x]]));
+            }
+        }
+        conflicts[cid.index()] = set.into_iter().collect();
+    }
+    let kinds: Vec<PointKind> = live.iter().map(|&i| raws[i].kind()).collect();
+
+    // Labels: the distinct (method, role) combinations merged in.
+    let labels: Vec<String> = live
+        .iter()
+        .map(|&leader| {
+            let mut parts: BTreeSet<String> = BTreeSet::new();
+            for i in 0..n {
+                if rep[i] == leader {
+                    let (m, role) = match &raws[i] {
+                        Raw::Ds { m, .. } => (*m, "ds".to_string()),
+                        Raw::Slot { m, i, .. } => (*m, format!("w{i}")),
+                    };
+                    parts.insert(format!(
+                        "{}.{role}",
+                        spec.sig(MethodId(m)).name()
+                    ));
+                }
+            }
+            parts.into_iter().collect::<Vec<_>>().join("|")
+        })
+        .collect();
+
+    // Touch tables.
+    let mut methods = Vec::with_capacity(num_methods);
+    for (m, method_atoms) in atoms.iter().enumerate() {
+        let n_atoms = method_atoms.len();
+        let num_slots = spec.sig(MethodId(m as u32)).num_slots();
+        let mut touch = Vec::with_capacity(1 << n_atoms);
+        for beta in 0..(1usize << n_atoms) {
+            let mut templates = Vec::new();
+            let ds = Raw::Ds {
+                m: m as u32,
+                beta,
+            };
+            if let Some(&id) = raw_id.get(&ds) {
+                templates.push(TouchTemplate::Ds(final_id[&rep[id]]));
+            }
+            for i in 0..num_slots {
+                let slot = Raw::Slot {
+                    m: m as u32,
+                    beta,
+                    i,
+                };
+                if let Some(&id) = raw_id.get(&slot) {
+                    templates.push(TouchTemplate::Slot(final_id[&rep[id]], i));
+                }
+            }
+            touch.push(templates);
+        }
+        methods.push(MethodTable {
+            atoms: method_atoms.clone(),
+            touch,
+        });
+    }
+
+    let max_conflict_degree = conflicts.iter().map(Vec::len).max().unwrap_or(0);
+    Ok(CompiledSpec {
+        spec: spec.clone(),
+        methods,
+        conflicts,
+        kinds,
+        labels,
+        stats: TranslationStats {
+            raw_classes: n,
+            classes: live.len(),
+            max_conflict_degree,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::AccessPoint;
+    use crace_model::{Action, ObjId, Value};
+    use crace_spec::{builtin, CmpOp, Formula, SpecBuilder, Term};
+    use proptest::prelude::*;
+
+    fn act(spec: &Spec, method: &str, args: Vec<Value>, ret: Value) -> Action {
+        Action::new(ObjId(0), spec.method_id(method).unwrap(), args, ret)
+    }
+
+    #[test]
+    fn dictionary_compiles_to_fig7() {
+        let spec = builtin::dictionary();
+        let c = translate(&spec).unwrap();
+        // Exactly the four classes of Fig. 7: o:w:k, o:r:k, o:size, o:resize.
+        assert_eq!(c.num_classes(), 4, "{c}");
+        let mut degrees: Vec<usize> = (0..4)
+            .map(|i| c.conflicting(ClassId(i as u32)).len())
+            .collect();
+        degrees.sort_unstable();
+        // w conflicts with {w, r}; r with {w}; size with {resize}; resize
+        // with {size}.
+        assert_eq!(degrees, vec![1, 1, 1, 2]);
+        assert!(c.stats().raw_classes > 4); // optimization did real work
+        assert_eq!(c.stats().max_conflict_degree, 2);
+    }
+
+    #[test]
+    fn dictionary_touched_points_match_fig7b() {
+        let spec = builtin::dictionary();
+        let c = translate(&spec).unwrap();
+        // Fresh insert: w:k and resize.
+        let grow = act(&spec, "put", vec![Value::Int(5), Value::Int(1)], Value::Nil);
+        let pts = c.touched(&grow);
+        assert_eq!(pts.len(), 2);
+        let kinds: Vec<_> = pts.iter().map(|p| c.kind(p.class)).collect();
+        assert!(kinds.contains(&PointKind::Ds)); // resize
+        assert!(kinds.contains(&PointKind::Slot)); // w:5
+        assert!(pts.iter().any(|p| p.value == Some(Value::Int(5))));
+
+        // Overwrite with non-nil (v != p, both non-nil): only w:k.
+        let over = act(&spec, "put", vec![Value::Int(5), Value::Int(2)], Value::Int(1));
+        let pts = c.touched(&over);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(c.kind(pts[0].class), PointKind::Slot);
+
+        // Read-like put (v == p): only r:k.
+        let noop = act(&spec, "put", vec![Value::Int(5), Value::Int(1)], Value::Int(1));
+        let noop_pts = c.touched(&noop);
+        assert_eq!(noop_pts.len(), 1);
+        // It must be a *different* class from w.
+        assert_ne!(noop_pts[0].class, pts[0].class);
+
+        // get touches the same r class as a read-like put (the A.3
+        // "replacement" merged them).
+        let get = act(&spec, "get", vec![Value::Int(5)], Value::Int(1));
+        let get_pts = c.touched(&get);
+        assert_eq!(get_pts.len(), 1);
+        assert_eq!(get_pts[0].class, noop_pts[0].class);
+
+        // size touches a single ds point.
+        let size = act(&spec, "size", vec![], Value::Int(3));
+        let size_pts = c.touched(&size);
+        assert_eq!(size_pts, vec![AccessPoint { class: size_pts[0].class, value: None }]);
+    }
+
+    #[test]
+    fn conflict_relation_matches_fig7c() {
+        let spec = builtin::dictionary();
+        let c = translate(&spec).unwrap();
+        let w = c.touched(&act(
+            &spec,
+            "put",
+            vec![Value::Int(5), Value::Int(2)],
+            Value::Int(1),
+        ))[0]
+            .class;
+        let r = c.touched(&act(&spec, "get", vec![Value::Int(5)], Value::Int(1)))[0].class;
+        let size = c.touched(&act(&spec, "size", vec![], Value::Int(0)))[0].class;
+        let grow = c.touched(&act(
+            &spec,
+            "put",
+            vec![Value::Int(5), Value::Int(1)],
+            Value::Nil,
+        ));
+        let resize = grow
+            .iter()
+            .find(|p| c.kind(p.class) == PointKind::Ds)
+            .unwrap()
+            .class;
+        assert_eq!(c.conflicting(w), &[w, r]);
+        assert_eq!(c.conflicting(r), &[w]);
+        assert_eq!(c.conflicting(size), &[resize]);
+        assert_eq!(c.conflicting(resize), &[size]);
+    }
+
+    #[test]
+    fn all_builtins_translate_with_bounded_degree() {
+        for spec in builtin::all() {
+            let c = translate(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            // Theorem 6.6: bounded degree — a small constant per spec
+            // (dictionary hits 2, dictionary_ext 5, queue 3).
+            assert!(c.stats().max_conflict_degree <= 5, "{}: {:?}", spec.name(), c.stats());
+            assert!(c.num_classes() <= c.stats().raw_classes);
+        }
+    }
+
+    #[test]
+    fn non_ecl_spec_is_rejected() {
+        let spec = crace_spec::parse(
+            "spec s { method m(a); commute m(x1), m(x2) when !(x1 != x2); }",
+        )
+        .unwrap();
+        let err = translate(&spec).unwrap_err();
+        assert!(matches!(err, TranslateError::NotEcl { .. }));
+        assert!(err.to_string().contains("outside ECL"));
+    }
+
+    #[test]
+    fn too_many_atoms_is_rejected() {
+        let mut b = SpecBuilder::new("wide");
+        let m = b.method("m", 1);
+        let mut phi = Formula::True;
+        for k in 0..17 {
+            let a1 = Formula::atom(
+                crace_spec::Side::First,
+                CmpOp::Eq,
+                Term::Slot(0),
+                Term::Const(Value::Int(k)),
+            );
+            let a2 = Formula::atom(
+                crace_spec::Side::Second,
+                CmpOp::Eq,
+                Term::Slot(0),
+                Term::Const(Value::Int(k)),
+            );
+            phi = phi.and(a1).and(a2);
+        }
+        b.rule(m.id, m.id, phi).unwrap();
+        let spec = b.finish().unwrap();
+        let err = translate(&spec).unwrap_err();
+        assert!(matches!(err, TranslateError::TooManyAtoms { count: 17, .. }));
+    }
+
+    #[test]
+    fn queue_has_only_ds_points() {
+        let c = translate(&builtin::queue()).unwrap();
+        for i in 0..c.num_classes() {
+            assert_eq!(c.kind(ClassId(i as u32)), PointKind::Ds);
+        }
+    }
+
+    #[test]
+    fn display_lists_classes_with_labels() {
+        let c = translate(&builtin::dictionary()).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("4 classes"), "{s}");
+        assert!(s.contains("size.ds"), "{s}");
+        // The merged read class mentions both get and put.
+        assert!(s.contains("get.w0"), "{s}");
+    }
+
+    // ---- Definition 4.5 equivalence: representation ⇔ formula ----
+
+    /// A dictionary action described by plain data (proptest-friendly).
+    #[derive(Clone, Debug)]
+    enum DictOp {
+        Put(i64, Option<i64>, Option<i64>),
+        Get(i64, Option<i64>),
+        Size(i64),
+    }
+
+    fn arb_dict_op() -> impl Strategy<Value = DictOp> {
+        let key = 0i64..3;
+        let val = proptest::option::of(1i64..4);
+        prop_oneof![
+            (key.clone(), val.clone(), val.clone()).prop_map(|(k, v, p)| DictOp::Put(k, v, p)),
+            (key, val).prop_map(|(k, v)| DictOp::Get(k, v)),
+            (0i64..5).prop_map(DictOp::Size),
+        ]
+    }
+
+    fn dict_action(spec: &Spec, op: &DictOp) -> Action {
+        let v = |o: &Option<i64>| o.map(Value::Int).unwrap_or(Value::Nil);
+        match op {
+            DictOp::Put(k, x, p) => act(spec, "put", vec![Value::Int(*k), v(x)], v(p)),
+            DictOp::Get(k, x) => act(spec, "get", vec![Value::Int(*k)], v(x)),
+            DictOp::Size(r) => act(spec, "size", vec![], Value::Int(*r)),
+        }
+    }
+
+    fn dict_compiled() -> &'static (Spec, CompiledSpec) {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<(Spec, CompiledSpec)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let spec = builtin::dictionary();
+            let compiled = translate(&spec).unwrap();
+            (spec, compiled)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn dictionary_representation_equivalent_to_formula(
+            a in arb_dict_op(), b in arb_dict_op()
+        ) {
+            let (spec, c) = dict_compiled();
+            let a = dict_action(spec, &a);
+            let b = dict_action(spec, &b);
+            prop_assert_eq!(
+                c.actions_conflict(&a, &b),
+                !spec.commute(&a, &b),
+                "a = {}, b = {}", a, b
+            );
+            // The compiled conflict relation is symmetric.
+            prop_assert_eq!(c.actions_conflict(&a, &b), c.actions_conflict(&b, &a));
+        }
+    }
+
+    /// Exhaustive Definition 4.5 check over a small concrete domain for
+    /// every builtin spec: enumerate all actions with keys/values from a
+    /// tiny universe and compare representation conflicts against the
+    /// logical formula.
+    #[test]
+    fn all_builtins_representation_equivalent_exhaustive() {
+        for spec in builtin::all() {
+            let c = translate(&spec).unwrap();
+            let actions = enumerate_actions(&spec);
+            for a in &actions {
+                for b in &actions {
+                    assert_eq!(
+                        c.actions_conflict(a, b),
+                        !spec.commute(a, b),
+                        "spec {}: a = {a}, b = {b}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// All actions of a spec with slot values drawn from a 3-value universe
+    /// (nil, 1, 2) — bounded but covering every β combination.
+    fn enumerate_actions(spec: &Spec) -> Vec<Action> {
+        let universe = [Value::Nil, Value::Int(1), Value::Bool(false)];
+        let mut out = Vec::new();
+        for m in 0..spec.num_methods() {
+            let id = MethodId(m as u32);
+            let slots = spec.sig(id).num_slots();
+            let mut idx = vec![0usize; slots];
+            loop {
+                let vals: Vec<Value> = idx.iter().map(|&i| universe[i].clone()).collect();
+                let (args, ret) = vals.split_at(slots - 1);
+                out.push(Action::new(
+                    ObjId(0),
+                    id,
+                    args.to_vec(),
+                    ret[0].clone(),
+                ));
+                // Odometer increment.
+                let mut k = 0;
+                loop {
+                    if k == slots {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < universe.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == slots {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,104 @@
+//! The Fig. 4 claim, made countable: checking whether `size()` commutes
+//! with N preceding `put`s costs the access-point detector a *constant*
+//! number of conflict probes (one lookup against `o:resize`), while the
+//! direct approach performs one commutativity check per recorded action.
+
+use crace_core::{translate, DirectDetector, ObjState};
+use crace_model::{Action, ObjId, Value};
+use crace_spec::builtin;
+use crace_vclock::VectorClock;
+use std::sync::Arc;
+
+fn clock(tid: usize, n: u64) -> VectorClock {
+    let mut components = vec![0; tid + 1];
+    components[tid] = n;
+    VectorClock::from_components(components)
+}
+
+#[test]
+fn size_costs_one_probe_regardless_of_recorded_puts() {
+    let spec = builtin::dictionary();
+    let compiled = translate(&spec).unwrap();
+    let put = spec.method_id("put").unwrap();
+    let size = spec.method_id("size").unwrap();
+
+    for n_puts in [3usize, 30, 300] {
+        let mut state = ObjState::new();
+        // N successful puts to distinct keys from thread 0 (the Fig. 4
+        // setup: all resize the dictionary).
+        for i in 0..n_puts {
+            let a = Action::new(
+                ObjId(0),
+                put,
+                vec![Value::Int(i as i64), Value::Int(1)],
+                Value::Nil,
+            );
+            state.on_action(&compiled, &a, &clock(0, i as u64 + 1));
+        }
+        let before = state.num_probes();
+        // The size() from another thread (Fig. 4's main thread).
+        let s = Action::new(ObjId(0), size, vec![], Value::Int(n_puts as i64));
+        let races = state.on_action(&compiled, &s, &clock(1, 1));
+        let size_probes = state.num_probes() - before;
+
+        // One touched point (o:size), one conflicting class (o:resize):
+        // exactly ONE probe — independent of how many puts were recorded.
+        assert_eq!(size_probes, 1, "n_puts = {n_puts}");
+        // And the race against the accumulated resize clock is found.
+        assert_eq!(races.len(), 1);
+    }
+}
+
+#[test]
+fn direct_approach_costs_linear_checks() {
+    let spec = Arc::new(builtin::dictionary());
+    let put = spec.method_id("put").unwrap();
+    let size = spec.method_id("size").unwrap();
+    for n_puts in [3usize, 30, 300] {
+        let mut direct = DirectDetector::new(Arc::clone(&spec));
+        for i in 0..n_puts {
+            let a = Action::new(
+                ObjId(0),
+                put,
+                vec![Value::Int(i as i64), Value::Int(1)],
+                Value::Nil,
+            );
+            direct.on_action(&a, &clock(0, i as u64 + 1));
+        }
+        // The direct detector's working set IS the check count for the
+        // next action: one formula evaluation per recorded action.
+        assert_eq!(direct.num_recorded(), n_puts);
+        let s = Action::new(ObjId(0), size, vec![], Value::Int(n_puts as i64));
+        let races = direct.on_action(&s, &clock(1, 1));
+        // …and it reports one race per conflicting recorded put.
+        assert_eq!(races, n_puts);
+    }
+}
+
+#[test]
+fn per_action_probes_are_bounded_by_spec_constant() {
+    // Over a long mixed workload, total probes / actions stays ≤ the
+    // spec's max conflict degree × max touched points (a constant).
+    let spec = builtin::dictionary();
+    let compiled = translate(&spec).unwrap();
+    let put = spec.method_id("put").unwrap();
+    let get = spec.method_id("get").unwrap();
+    let mut state = ObjState::new();
+    let mut actions = 0u64;
+    for i in 0..1_000i64 {
+        let a = if i % 3 == 0 {
+            Action::new(ObjId(0), get, vec![Value::Int(i % 7)], Value::Int(1))
+        } else {
+            Action::new(
+                ObjId(0),
+                put,
+                vec![Value::Int(i % 7), Value::Int(i)],
+                Value::Int(i - 1),
+            )
+        };
+        state.on_action(&compiled, &a, &clock(0, i as u64 + 1));
+        actions += 1;
+    }
+    let bound = (compiled.stats().max_conflict_degree as u64) * 2; // ≤2 touched points
+    assert!(state.num_probes() <= actions * bound);
+}

@@ -1,0 +1,181 @@
+//! Randomized validation of the ECL → access-point translation
+//! (Definition 4.5): for *randomly generated* ECL specifications, the
+//! compiled representation must declare two actions conflicting exactly
+//! when the logical formula says they do not commute.
+//!
+//! This complements the unit tests on the builtin specifications with
+//! structural coverage of the whole fragment grammar: random `LS` parts,
+//! random `LB` parts (with negations and disjunctions), and random ECL
+//! combinations `X ∧ X` / `X ∨ B`.
+
+use crace_core::translate;
+use crace_model::{Action, MethodId, ObjId, Value};
+use crace_spec::{CmpOp, Formula, Side, Spec, SpecBuilder, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SLOTS: usize = 3; // two arguments + return value
+const OBJ: ObjId = ObjId(0);
+
+fn gen_term(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.6) {
+        Term::Slot(rng.gen_range(0..SLOTS))
+    } else {
+        match rng.gen_range(0..3) {
+            0 => Term::Const(Value::Nil),
+            _ => Term::Const(Value::Int(rng.gen_range(0..3))),
+        }
+    }
+}
+
+fn gen_cmp(rng: &mut StdRng) -> CmpOp {
+    match rng.gen_range(0..6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+/// A random `LB` formula (atoms each over a single side).
+fn gen_lb(rng: &mut StdRng, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.4) {
+        let side = if rng.gen_bool(0.5) {
+            Side::First
+        } else {
+            Side::Second
+        };
+        return Formula::atom(side, gen_cmp(rng), gen_term(rng), gen_term(rng));
+    }
+    match rng.gen_range(0..4) {
+        0 => gen_lb(rng, depth - 1).not(),
+        1 => gen_lb(rng, depth - 1).and(gen_lb(rng, depth - 1)),
+        2 => gen_lb(rng, depth - 1).or(gen_lb(rng, depth - 1)),
+        _ => {
+            if rng.gen_bool(0.5) {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+    }
+}
+
+/// A random `LS` formula (conjunctions of cross-inequalities).
+fn gen_ls(rng: &mut StdRng, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.5) {
+        return Formula::NeqCross {
+            i: rng.gen_range(0..SLOTS),
+            j: rng.gen_range(0..SLOTS),
+        };
+    }
+    gen_ls(rng, depth - 1).and(gen_ls(rng, depth - 1))
+}
+
+/// A random ECL formula: `X ::= S | B | X ∧ X | X ∨ B`.
+fn gen_ecl(rng: &mut StdRng, depth: usize) -> Formula {
+    if depth == 0 {
+        return if rng.gen_bool(0.5) {
+            gen_ls(rng, 1)
+        } else {
+            gen_lb(rng, 1)
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => gen_ls(rng, depth),
+        1 => gen_lb(rng, depth),
+        2 => gen_ecl(rng, depth - 1).and(gen_ecl(rng, depth - 1)),
+        _ => gen_ecl(rng, depth - 1).or(gen_lb(rng, depth - 1)),
+    }
+}
+
+/// A random two-method specification with random ECL rules. Same-method
+/// rules are symmetrized as `ϕ ∧ swap(ϕ)` (which stays in ECL).
+fn gen_spec(rng: &mut StdRng) -> Option<Spec> {
+    let mut b = SpecBuilder::new("random");
+    let m0 = b.method("m0", SLOTS - 1);
+    let m1 = b.method("m1", SLOTS - 1);
+    for (a, c) in [(m0.id, m0.id), (m0.id, m1.id), (m1.id, m1.id)] {
+        let phi = gen_ecl(rng, 3);
+        let phi = if a == c { phi.clone().and(phi.swap_sides()) } else { phi };
+        b.rule(a, c, phi).ok()?;
+    }
+    b.finish().ok()
+}
+
+fn gen_action(rng: &mut StdRng, method: MethodId) -> Action {
+    let value = |rng: &mut StdRng| match rng.gen_range(0..4) {
+        0 => Value::Nil,
+        _ => Value::Int(rng.gen_range(0..3)),
+    };
+    let args = (0..SLOTS - 1).map(|_| value(rng)).collect();
+    let ret = value(rng);
+    Action::new(OBJ, method, args, ret)
+}
+
+/// The headline property: compiled conflicts ⇔ logical non-commutativity,
+/// over 300 random specifications × 60 random action pairs each.
+#[test]
+fn translation_is_equivalent_to_formula_on_random_ecl_specs() {
+    let mut tested = 0;
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(spec) = gen_spec(&mut rng) else {
+            continue;
+        };
+        assert!(spec.is_ecl(), "generator stayed inside ECL, seed {seed}");
+        let compiled = match translate(&spec) {
+            Ok(c) => c,
+            Err(e) => panic!("seed {seed}: ECL spec failed to translate: {e}\n{spec}"),
+        };
+        for _ in 0..60 {
+            let ma = MethodId(rng.gen_range(0..2));
+            let mb = MethodId(rng.gen_range(0..2));
+            let a = gen_action(&mut rng, ma);
+            let b = gen_action(&mut rng, mb);
+            assert_eq!(
+                compiled.actions_conflict(&a, &b),
+                !spec.commute(&a, &b),
+                "seed {seed}: a = {a}, b = {b}\nspec = {spec}\n{compiled}"
+            );
+            // Symmetry of the compiled relation.
+            assert_eq!(
+                compiled.actions_conflict(&a, &b),
+                compiled.actions_conflict(&b, &a),
+                "seed {seed}: asymmetric conflicts for {a} / {b}"
+            );
+            tested += 1;
+        }
+        // Theorem 6.6: degree stays bounded by a function of the spec size
+        // (these specs have ≤ ~12 atoms; degrees stay small).
+        assert!(
+            compiled.stats().max_conflict_degree <= 64,
+            "seed {seed}: degree {} suspiciously large",
+            compiled.stats().max_conflict_degree
+        );
+    }
+    assert!(tested > 5_000, "generator kept producing specs ({tested})");
+}
+
+/// Every random ECL spec's touched-point sets stay small (bounded by
+/// slots + 1), matching η's definition.
+#[test]
+fn touched_sets_are_bounded_by_slots_plus_ds() {
+    for seed in 300..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(spec) = gen_spec(&mut rng) else {
+            continue;
+        };
+        let Ok(compiled) = translate(&spec) else {
+            continue;
+        };
+        for _ in 0..20 {
+            let m = MethodId(rng.gen_range(0..2));
+            let a = gen_action(&mut rng, m);
+            let touched = compiled.touched(&a);
+            assert!(touched.len() <= SLOTS + 1, "{a}: {touched:?}");
+        }
+    }
+}

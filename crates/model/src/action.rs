@@ -1,0 +1,215 @@
+//! Actions: method invocations `o.m(u⃗)/v⃗` (§3.1 of the paper).
+
+use crate::{MethodId, ObjId, Value};
+use std::fmt;
+
+/// A method invocation on a shared object, together with its concrete
+/// arguments and return value.
+///
+/// An action `o.m(u⃗)/v` is the unit the commutativity race detector reasons
+/// about; the paper calls them *actions* and treats each as an atomic
+/// transition on the abstract object state (the object is assumed
+/// linearizable).
+///
+/// The paper allows a tuple of return values; every specification in the
+/// evaluation uses exactly one, so we fix a single return slot (`nil` when a
+/// method returns nothing).
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::{Action, MethodId, ObjId, Value};
+///
+/// // o.put(5, 7)/nil — a successful insertion into an empty slot.
+/// let a = Action::new(ObjId(0), MethodId(0), vec![Value::Int(5), Value::Int(7)], Value::Nil);
+/// assert_eq!(a.args().len(), 2);
+/// assert_eq!(a.ret(), &Value::Nil);
+/// // w⃗ = u⃗v⃗ — the numbered slots the ECL translation indexes (§6.2).
+/// assert_eq!(a.slots().count(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Action {
+    obj: ObjId,
+    method: MethodId,
+    args: Vec<Value>,
+    ret: Value,
+}
+
+impl Action {
+    /// Creates an action for method `method` of object `obj` with concrete
+    /// arguments `args` and return value `ret`.
+    pub fn new(obj: ObjId, method: MethodId, args: Vec<Value>, ret: Value) -> Action {
+        Action {
+            obj,
+            method,
+            args,
+            ret,
+        }
+    }
+
+    /// The object the method was invoked on.
+    #[inline]
+    pub fn obj(&self) -> ObjId {
+        self.obj
+    }
+
+    /// The invoked method.
+    #[inline]
+    pub fn method(&self) -> MethodId {
+        self.method
+    }
+
+    /// The concrete arguments `u⃗`.
+    #[inline]
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The concrete return value `v`.
+    #[inline]
+    pub fn ret(&self) -> &Value {
+        &self.ret
+    }
+
+    /// The combined slot vector `w⃗ = u⃗v⃗`: all arguments followed by the
+    /// return value. Slot indices are what the ECL→access-point translation
+    /// numbers `1..n` (we use `0..n`).
+    pub fn slots(&self) -> impl Iterator<Item = &Value> {
+        self.args.iter().chain(std::iter::once(&self.ret))
+    }
+
+    /// The slot at index `i` of `w⃗`, if in range.
+    pub fn slot(&self, i: usize) -> Option<&Value> {
+        if i < self.args.len() {
+            self.args.get(i)
+        } else if i == self.args.len() {
+            Some(&self.ret)
+        } else {
+            None
+        }
+    }
+
+    /// Number of slots (arguments plus the return value).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len() + 1
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}(", self.obj, self.method)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")/{}", self.ret)
+    }
+}
+
+/// The signature of a method as declared by a specification: its name and
+/// the number of declared arguments (the return value is implicit).
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::MethodSig;
+/// let sig = MethodSig::new("put", 2);
+/// assert_eq!(sig.name(), "put");
+/// assert_eq!(sig.num_args(), 2);
+/// assert_eq!(sig.num_slots(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MethodSig {
+    name: String,
+    num_args: usize,
+}
+
+impl MethodSig {
+    /// Creates a signature for a method called `name` taking `num_args`
+    /// arguments.
+    pub fn new(name: impl Into<String>, num_args: usize) -> MethodSig {
+        MethodSig {
+            name: name.into(),
+            num_args,
+        }
+    }
+
+    /// The method name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of declared arguments.
+    #[inline]
+    pub fn num_args(&self) -> usize {
+        self.num_args
+    }
+
+    /// The number of slots: arguments plus the single return value.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.num_args + 1
+    }
+}
+
+impl fmt::Display for MethodSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.num_args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put_action() -> Action {
+        Action::new(
+            ObjId(1),
+            MethodId(0),
+            vec![Value::str("a.com"), Value::Int(2)],
+            Value::Int(1),
+        )
+    }
+
+    #[test]
+    fn slots_concatenate_args_and_ret() {
+        let a = put_action();
+        let slots: Vec<_> = a.slots().cloned().collect();
+        assert_eq!(
+            slots,
+            vec![Value::str("a.com"), Value::Int(2), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn slot_indexing_covers_args_then_ret() {
+        let a = put_action();
+        assert_eq!(a.slot(0), Some(&Value::str("a.com")));
+        assert_eq!(a.slot(1), Some(&Value::Int(2)));
+        assert_eq!(a.slot(2), Some(&Value::Int(1)));
+        assert_eq!(a.slot(3), None);
+    }
+
+    #[test]
+    fn nullary_method_has_single_slot() {
+        let a = Action::new(ObjId(1), MethodId(2), vec![], Value::Int(1));
+        assert_eq!(a.arity(), 1);
+        assert_eq!(a.slot(0), Some(&Value::Int(1)));
+        assert_eq!(a.slot(1), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let a = put_action();
+        assert_eq!(a.to_string(), "o1.m0(\"a.com\", 2)/1");
+    }
+
+    #[test]
+    fn method_sig_slot_count() {
+        assert_eq!(MethodSig::new("size", 0).num_slots(), 1);
+        assert_eq!(MethodSig::new("put", 2).to_string(), "put/2");
+    }
+}

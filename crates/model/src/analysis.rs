@@ -1,0 +1,200 @@
+//! The [`Analysis`] trait — the interface between programs (or recorded
+//! traces) and dynamic detectors.
+
+use crate::{Action, Event, LocId, LockId, RaceReport, ThreadId};
+
+/// A dynamic analysis consuming a stream of program events.
+///
+/// This plays the role RoadRunner's tool interface plays in the paper's
+/// implementation: the instrumented runtime calls one method per event, and
+/// the analysis maintains whatever shadow state it needs (vector clocks,
+/// access points, FastTrack epochs, …). Methods take `&self` so that one
+/// analysis instance can be shared by many real threads; implementations use
+/// interior mutability with their own locking discipline.
+///
+/// The default implementations of [`Analysis::on_read`] / [`Analysis::on_write`]
+/// ignore low-level accesses, which is correct for detectors that only look
+/// at the library interface (the commutativity detectors). The FastTrack
+/// baseline overrides them and ignores [`Analysis::on_action`] instead.
+pub trait Analysis: Send + Sync {
+    /// Human-readable name for reports and benchmark tables.
+    fn name(&self) -> &str;
+
+    /// `parent` forked `child`.
+    fn on_fork(&self, parent: ThreadId, child: ThreadId);
+
+    /// `parent` joined `child` (which has terminated).
+    fn on_join(&self, parent: ThreadId, child: ThreadId);
+
+    /// `tid` acquired `lock`.
+    fn on_acquire(&self, tid: ThreadId, lock: LockId);
+
+    /// `tid` released `lock`.
+    fn on_release(&self, tid: ThreadId, lock: LockId);
+
+    /// `tid` performed the method invocation `action`.
+    fn on_action(&self, tid: ThreadId, action: &Action);
+
+    /// `tid` read low-level location `loc`. Ignored by default.
+    fn on_read(&self, tid: ThreadId, loc: LocId) {
+        let _ = (tid, loc);
+    }
+
+    /// `tid` wrote low-level location `loc`. Ignored by default.
+    fn on_write(&self, tid: ThreadId, loc: LocId) {
+        let _ = (tid, loc);
+    }
+
+    /// Snapshot of the races reported so far.
+    fn report(&self) -> RaceReport;
+
+    /// Dispatches one recorded event to the appropriate callback.
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::Fork { parent, child } => self.on_fork(*parent, *child),
+            Event::Join { parent, child } => self.on_join(*parent, *child),
+            Event::Acquire { tid, lock } => self.on_acquire(*tid, *lock),
+            Event::Release { tid, lock } => self.on_release(*tid, *lock),
+            Event::Action { tid, action } => self.on_action(*tid, action),
+            Event::Read { tid, loc } => self.on_read(*tid, *loc),
+            Event::Write { tid, loc } => self.on_write(*tid, *loc),
+        }
+    }
+}
+
+/// The do-nothing analysis, used for uninstrumented baseline measurements.
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::{Analysis, NoopAnalysis, ThreadId};
+///
+/// let noop = NoopAnalysis::default();
+/// noop.on_fork(ThreadId(0), ThreadId(1));
+/// assert!(noop.report().is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopAnalysis;
+
+impl NoopAnalysis {
+    /// Creates a no-op analysis.
+    pub fn new() -> NoopAnalysis {
+        NoopAnalysis
+    }
+}
+
+impl Analysis for NoopAnalysis {
+    fn name(&self) -> &str {
+        "uninstrumented"
+    }
+
+    fn on_fork(&self, _parent: ThreadId, _child: ThreadId) {}
+    fn on_join(&self, _parent: ThreadId, _child: ThreadId) {}
+    fn on_acquire(&self, _tid: ThreadId, _lock: LockId) {}
+    fn on_release(&self, _tid: ThreadId, _lock: LockId) {}
+    fn on_action(&self, _tid: ThreadId, _action: &Action) {}
+
+    fn report(&self) -> RaceReport {
+        RaceReport::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MethodId, ObjId, Value};
+    use std::sync::Mutex;
+
+    /// A probe analysis recording which callbacks fired, to test `on_event`
+    /// dispatch.
+    #[derive(Default)]
+    struct Probe {
+        log: Mutex<Vec<&'static str>>,
+    }
+
+    impl Analysis for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn on_fork(&self, _: ThreadId, _: ThreadId) {
+            self.log.lock().unwrap().push("fork");
+        }
+        fn on_join(&self, _: ThreadId, _: ThreadId) {
+            self.log.lock().unwrap().push("join");
+        }
+        fn on_acquire(&self, _: ThreadId, _: LockId) {
+            self.log.lock().unwrap().push("acq");
+        }
+        fn on_release(&self, _: ThreadId, _: LockId) {
+            self.log.lock().unwrap().push("rel");
+        }
+        fn on_action(&self, _: ThreadId, _: &Action) {
+            self.log.lock().unwrap().push("action");
+        }
+        fn on_read(&self, _: ThreadId, _: LocId) {
+            self.log.lock().unwrap().push("read");
+        }
+        fn on_write(&self, _: ThreadId, _: LocId) {
+            self.log.lock().unwrap().push("write");
+        }
+        fn report(&self) -> RaceReport {
+            RaceReport::new()
+        }
+    }
+
+    #[test]
+    fn on_event_dispatches_every_variant() {
+        let probe = Probe::default();
+        let t = ThreadId(0);
+        let events = vec![
+            Event::Fork {
+                parent: t,
+                child: ThreadId(1),
+            },
+            Event::Acquire {
+                tid: t,
+                lock: LockId(0),
+            },
+            Event::Action {
+                tid: t,
+                action: Action::new(ObjId(0), MethodId(0), vec![], Value::Nil),
+            },
+            Event::Read {
+                tid: t,
+                loc: LocId(0),
+            },
+            Event::Write {
+                tid: t,
+                loc: LocId(0),
+            },
+            Event::Release {
+                tid: t,
+                lock: LockId(0),
+            },
+            Event::Join {
+                parent: t,
+                child: ThreadId(1),
+            },
+        ];
+        for e in &events {
+            probe.on_event(e);
+        }
+        assert_eq!(
+            *probe.log.lock().unwrap(),
+            vec!["fork", "acq", "action", "read", "write", "rel", "join"]
+        );
+    }
+
+    #[test]
+    fn noop_reports_nothing_and_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoopAnalysis>();
+        let noop = NoopAnalysis::new();
+        noop.on_action(
+            ThreadId(0),
+            &Action::new(ObjId(0), MethodId(0), vec![], Value::Nil),
+        );
+        assert!(noop.report().is_empty());
+        assert_eq!(noop.name(), "uninstrumented");
+    }
+}

@@ -1,0 +1,182 @@
+//! Trace events — the vocabulary of Table 1 of the paper plus low-level
+//! shadow memory accesses.
+
+use crate::{Action, LocId, LockId, ThreadId};
+use std::fmt;
+
+/// One entry of a program trace.
+///
+/// The first four variants are the synchronization events whose standard
+/// vector-clock treatment is given in Table 1 of the paper; [`Event::Action`]
+/// is the novel part handled by Algorithm 1. [`Event::Read`] and
+/// [`Event::Write`] are low-level shadow accesses consumed by the FastTrack
+/// baseline (they are invisible to the commutativity detector, exactly as
+/// RoadRunner feeds different event streams to different back-ends).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `τ : fork(u)` — thread `parent` creates thread `child`.
+    Fork {
+        /// The forking thread.
+        parent: ThreadId,
+        /// The newly created thread.
+        child: ThreadId,
+    },
+    /// `τ : join(u)` — thread `parent` waits until `child` terminates.
+    Join {
+        /// The waiting thread.
+        parent: ThreadId,
+        /// The thread being joined.
+        child: ThreadId,
+    },
+    /// `τ : acq(l)` — thread `tid` acquires lock `lock`.
+    Acquire {
+        /// The acquiring thread.
+        tid: ThreadId,
+        /// The acquired lock.
+        lock: LockId,
+    },
+    /// `τ : rel(l)` — thread `tid` releases lock `lock`.
+    Release {
+        /// The releasing thread.
+        tid: ThreadId,
+        /// The released lock.
+        lock: LockId,
+    },
+    /// `τ : o.m(x⃗)/y⃗` — thread `tid` performs a method invocation.
+    Action {
+        /// The invoking thread.
+        tid: ThreadId,
+        /// The invocation, with concrete arguments and return value.
+        action: Action,
+    },
+    /// Thread `tid` reads low-level location `loc`.
+    Read {
+        /// The reading thread.
+        tid: ThreadId,
+        /// The location read.
+        loc: LocId,
+    },
+    /// Thread `tid` writes low-level location `loc`.
+    Write {
+        /// The writing thread.
+        tid: ThreadId,
+        /// The location written.
+        loc: LocId,
+    },
+}
+
+impl Event {
+    /// The thread that performed this event (for forks, the parent).
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            Event::Fork { parent, .. } | Event::Join { parent, .. } => *parent,
+            Event::Acquire { tid, .. }
+            | Event::Release { tid, .. }
+            | Event::Action { tid, .. }
+            | Event::Read { tid, .. }
+            | Event::Write { tid, .. } => *tid,
+        }
+    }
+
+    /// Returns the action if this is an [`Event::Action`].
+    pub fn action(&self) -> Option<&Action> {
+        match self {
+            Event::Action { action, .. } => Some(action),
+            _ => None,
+        }
+    }
+
+    /// Is this one of the four synchronization events of Table 1?
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Event::Fork { .. } | Event::Join { .. } | Event::Acquire { .. } | Event::Release { .. }
+        )
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Fork { parent, child } => write!(f, "{parent}: fork({child})"),
+            Event::Join { parent, child } => write!(f, "{parent}: join({child})"),
+            Event::Acquire { tid, lock } => write!(f, "{tid}: acq({lock})"),
+            Event::Release { tid, lock } => write!(f, "{tid}: rel({lock})"),
+            Event::Action { tid, action } => write!(f, "{tid}: {action}"),
+            Event::Read { tid, loc } => write!(f, "{tid}: read({loc})"),
+            Event::Write { tid, loc } => write!(f, "{tid}: write({loc})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MethodId, ObjId, Value};
+
+    #[test]
+    fn tid_of_each_variant() {
+        let t = ThreadId(3);
+        assert_eq!(
+            Event::Fork {
+                parent: t,
+                child: ThreadId(4)
+            }
+            .tid(),
+            t
+        );
+        assert_eq!(
+            Event::Join {
+                parent: t,
+                child: ThreadId(4)
+            }
+            .tid(),
+            t
+        );
+        assert_eq!(
+            Event::Acquire {
+                tid: t,
+                lock: LockId(0)
+            }
+            .tid(),
+            t
+        );
+        assert_eq!(
+            Event::Read {
+                tid: t,
+                loc: LocId(1)
+            }
+            .tid(),
+            t
+        );
+    }
+
+    #[test]
+    fn sync_classification() {
+        assert!(Event::Release {
+            tid: ThreadId(0),
+            lock: LockId(0)
+        }
+        .is_sync());
+        assert!(!Event::Read {
+            tid: ThreadId(0),
+            loc: LocId(0)
+        }
+        .is_sync());
+        let act = Event::Action {
+            tid: ThreadId(0),
+            action: Action::new(ObjId(0), MethodId(0), vec![], Value::Nil),
+        };
+        assert!(!act.is_sync());
+        assert!(act.action().is_some());
+    }
+
+    #[test]
+    fn display_matches_table_one_notation() {
+        let e = Event::Acquire {
+            tid: ThreadId(2),
+            lock: LockId(5),
+        };
+        assert_eq!(e.to_string(), "τ2: acq(l5)");
+    }
+}

@@ -1,0 +1,127 @@
+//! Newtype identifiers for threads, objects, locks, methods and memory
+//! locations.
+//!
+//! Keeping these distinct at the type level prevents the classic slip of
+//! passing a lock identifier where an object identifier is expected — every
+//! analysis indexes several side tables by several of these at once.
+
+use std::fmt;
+
+/// Identifier of a thread (`τ ∈ Tid` in the paper).
+///
+/// Thread identifiers are small dense integers so that vector clocks can be
+/// stored as flat vectors indexed by thread. The main thread is
+/// [`ThreadId::MAIN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The identifier of the initial (main) thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the identifier as a `usize` index (for vector-clock slots).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// Identifier of a shared object (`o ∈ Obj`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjId(pub u64);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identifier of a lock (`l ∈ Lock`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(pub u64);
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Identifier of a low-level shadow memory location.
+///
+/// Monitored objects issue [`Event::Read`](crate::Event::Read) and
+/// [`Event::Write`](crate::Event::Write) events on these, which is what the
+/// FastTrack baseline analyses — mirroring how RoadRunner instruments field
+/// and array accesses inside `ConcurrentHashMap`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LocId(pub u64);
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+/// Index of a method within its object's specification.
+///
+/// Method identifiers are only meaningful relative to a specification: the
+/// spec's method table assigns `MethodId(0)` to its first declared method and
+/// so on. Monitored objects are constructed against a compiled specification
+/// and use the same numbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// Returns the identifier as a `usize` index into method tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn thread_id_main_is_zero() {
+        assert_eq!(ThreadId::MAIN, ThreadId(0));
+        assert_eq!(ThreadId::MAIN.index(), 0);
+    }
+
+    #[test]
+    fn display_forms_are_distinct() {
+        assert_eq!(ThreadId(3).to_string(), "τ3");
+        assert_eq!(ObjId(7).to_string(), "o7");
+        assert_eq!(LockId(2).to_string(), "l2");
+        assert_eq!(LocId(255).to_string(), "@0xff");
+        assert_eq!(MethodId(1).to_string(), "m1");
+    }
+
+    #[test]
+    fn ids_are_usable_as_hash_keys() {
+        let mut set = HashSet::new();
+        set.insert(ObjId(1));
+        set.insert(ObjId(2));
+        set.insert(ObjId(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ids_order_by_inner_value() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert!(LocId(9) < LocId(10));
+    }
+}

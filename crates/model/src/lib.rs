@@ -1,0 +1,52 @@
+//! Shared vocabulary for the `crace` commutativity race detection toolkit.
+//!
+//! This crate defines the types every other crate in the workspace speaks:
+//!
+//! * [`Value`] — the domain `U` of method arguments and return values,
+//! * [`Action`] — a method invocation `o.m(u⃗)/v⃗` (§3.1 of the paper),
+//! * [`Event`] — one entry of a program trace: a synchronization operation
+//!   (fork/join/acquire/release), a high-level [`Action`], or a low-level
+//!   shadow memory read/write (the vocabulary of Table 1),
+//! * [`Trace`] — a recorded sequence of events that can be replayed into any
+//!   detector,
+//! * [`Analysis`] — the interface every dynamic analysis implements (the
+//!   commutativity race detector, the FastTrack baseline, the naive direct
+//!   detector, and the no-op used for uninstrumented baselines),
+//! * [`RaceReport`] — what an analysis reports back (total and distinct race
+//!   counts, as in Table 2, plus per-race details).
+//!
+//! # Examples
+//!
+//! ```
+//! use crace_model::{Action, MethodId, ObjId, Value};
+//!
+//! // The overwriting put of the paper's running example: o.put("a.com", c2)/c1
+//! let action = Action::new(
+//!     ObjId(1),
+//!     MethodId(0),
+//!     vec![Value::str("a.com"), Value::Int(2)],
+//!     Value::Int(1),
+//! );
+//! assert_eq!(action.arity(), 3); // two arguments + one return value
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod analysis;
+mod event;
+mod ids;
+mod recorder;
+mod report;
+mod trace;
+mod value;
+
+pub use action::{Action, MethodSig};
+pub use analysis::{Analysis, NoopAnalysis};
+pub use event::Event;
+pub use ids::{LocId, LockId, MethodId, ObjId, ThreadId};
+pub use recorder::Recorder;
+pub use report::{RaceKind, RaceRecord, RaceReport};
+pub use trace::{replay, Trace};
+pub use value::Value;

@@ -1,0 +1,137 @@
+//! Recording analysis: capture a live execution as a [`Trace`].
+
+use crate::{Action, Analysis, Event, LocId, LockId, RaceReport, ThreadId, Trace};
+use std::sync::Mutex;
+
+/// An [`Analysis`] that records every event into a [`Trace`] instead of
+/// analyzing it.
+///
+/// The recorded trace is a linearization of the execution consistent with
+/// the order the instrumentation emitted events (per-thread program order
+/// and lock-protected critical sections are preserved — see the runtime's
+/// emission discipline). Recordings can be replayed offline into any
+/// detector, written to the textual trace format, or fed to the atomicity
+/// checker — the RoadRunner record-and-replay workflow.
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::{Analysis, Recorder, ThreadId};
+///
+/// let recorder = Recorder::new();
+/// recorder.on_fork(ThreadId(0), ThreadId(1));
+/// let trace = recorder.into_trace();
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder {
+    trace: Mutex<Trace>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Consumes the recorder and returns the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace.into_inner().expect("recorder lock poisoned")
+    }
+
+    /// Clones the trace recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        self.trace.lock().expect("recorder lock poisoned").clone()
+    }
+
+    fn push(&self, event: Event) {
+        self.trace.lock().expect("recorder lock poisoned").push(event);
+    }
+}
+
+impl Analysis for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn on_fork(&self, parent: ThreadId, child: ThreadId) {
+        self.push(Event::Fork { parent, child });
+    }
+
+    fn on_join(&self, parent: ThreadId, child: ThreadId) {
+        self.push(Event::Join { parent, child });
+    }
+
+    fn on_acquire(&self, tid: ThreadId, lock: LockId) {
+        self.push(Event::Acquire { tid, lock });
+    }
+
+    fn on_release(&self, tid: ThreadId, lock: LockId) {
+        self.push(Event::Release { tid, lock });
+    }
+
+    fn on_action(&self, tid: ThreadId, action: &Action) {
+        self.push(Event::Action {
+            tid,
+            action: action.clone(),
+        });
+    }
+
+    fn on_read(&self, tid: ThreadId, loc: LocId) {
+        self.push(Event::Read { tid, loc });
+    }
+
+    fn on_write(&self, tid: ThreadId, loc: LocId) {
+        self.push(Event::Write { tid, loc });
+    }
+
+    fn report(&self) -> RaceReport {
+        RaceReport::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{replay, MethodId, ObjId, Value};
+
+    #[test]
+    fn records_all_event_kinds_in_order() {
+        let r = Recorder::new();
+        r.on_fork(ThreadId(0), ThreadId(1));
+        r.on_acquire(ThreadId(1), LockId(2));
+        r.on_action(
+            ThreadId(1),
+            &Action::new(ObjId(3), MethodId(0), vec![Value::Int(1)], Value::Nil),
+        );
+        r.on_read(ThreadId(1), LocId(4));
+        r.on_write(ThreadId(1), LocId(4));
+        r.on_release(ThreadId(1), LockId(2));
+        r.on_join(ThreadId(0), ThreadId(1));
+        let trace = r.into_trace();
+        assert_eq!(trace.len(), 7);
+        assert!(matches!(trace.events()[0], Event::Fork { .. }));
+        assert!(matches!(trace.events()[6], Event::Join { .. }));
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let r = Recorder::new();
+        r.on_fork(ThreadId(0), ThreadId(1));
+        assert_eq!(r.snapshot().len(), 1);
+        r.on_join(ThreadId(0), ThreadId(1));
+        assert_eq!(r.snapshot().len(), 2);
+        assert!(r.report().is_empty());
+    }
+
+    #[test]
+    fn recorded_trace_replays_into_itself() {
+        let r = Recorder::new();
+        r.on_fork(ThreadId(0), ThreadId(1));
+        r.on_write(ThreadId(1), LocId(9));
+        let trace = r.into_trace();
+        let copy = Recorder::new();
+        replay(&trace, &copy);
+        assert_eq!(copy.into_trace(), trace);
+    }
+}

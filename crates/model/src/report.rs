@@ -1,0 +1,267 @@
+//! Race reports — what an analysis hands back, in the shape of Table 2.
+
+use crate::{Action, LocId, ObjId, ThreadId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kind of conflict a race was detected on.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaceKind {
+    /// A commutativity race on a shared object (RD2 / direct detector).
+    Commutativity {
+        /// The object whose invocations did not commute.
+        obj: ObjId,
+    },
+    /// A low-level read-write or write-write data race (FastTrack).
+    ReadWrite {
+        /// The racing memory location.
+        loc: LocId,
+    },
+}
+
+impl RaceKind {
+    /// A stable key identifying the *site* of the race (the object or the
+    /// location) — Table 2 counts distinct sites in parentheses.
+    fn site(&self) -> (u8, u64) {
+        match self {
+            RaceKind::Commutativity { obj } => (0, obj.0),
+            RaceKind::ReadWrite { loc } => (1, loc.0),
+        }
+    }
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::Commutativity { obj } => write!(f, "commutativity race on {obj}"),
+            RaceKind::ReadWrite { loc } => write!(f, "read-write race on {loc}"),
+        }
+    }
+}
+
+/// One detected race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceRecord {
+    /// What kind of race, and on what site.
+    pub kind: RaceKind,
+    /// The thread executing the second (reporting) event.
+    pub tid: ThreadId,
+    /// The reporting action, for commutativity races.
+    pub action: Option<Action>,
+    /// Human-readable detail (e.g. the conflicting access points).
+    pub detail: String,
+}
+
+impl fmt::Display for RaceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {}", self.kind, self.tid)?;
+        if let Some(a) = &self.action {
+            write!(f, " at {a}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated race statistics for one run, in the shape Table 2 reports:
+/// a total count and the number of distinct sites (variables for FastTrack,
+/// objects for RD2), plus a bounded sample of concrete records.
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::{RaceKind, RaceRecord, RaceReport, ObjId, ThreadId};
+///
+/// let mut report = RaceReport::new();
+/// for _ in 0..3 {
+///     report.record(RaceRecord {
+///         kind: RaceKind::Commutativity { obj: ObjId(1) },
+///         tid: ThreadId(2),
+///         action: None,
+///         detail: String::new(),
+///     });
+/// }
+/// assert_eq!(report.total(), 3);
+/// assert_eq!(report.distinct(), 1);
+/// assert_eq!(report.to_string(), "3 (1)");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    total: u64,
+    sites: BTreeSet<(u8, u64)>,
+    samples: Vec<RaceRecord>,
+    max_samples: usize,
+}
+
+/// Default cap on retained concrete race records.
+const DEFAULT_MAX_SAMPLES: usize = 64;
+
+impl RaceReport {
+    /// Creates an empty report retaining up to a default number of samples.
+    pub fn new() -> RaceReport {
+        RaceReport {
+            max_samples: DEFAULT_MAX_SAMPLES,
+            ..RaceReport::default()
+        }
+    }
+
+    /// Creates an empty report retaining up to `max_samples` concrete
+    /// records (counts are always exact regardless of the cap).
+    pub fn with_sample_capacity(max_samples: usize) -> RaceReport {
+        RaceReport {
+            max_samples,
+            ..RaceReport::default()
+        }
+    }
+
+    /// Records one detected race.
+    pub fn record(&mut self, record: RaceRecord) {
+        self.total += 1;
+        self.sites.insert(record.kind.site());
+        if self.samples.len() < self.max_samples {
+            self.samples.push(record);
+        }
+    }
+
+    /// Will the next [`RaceReport::record`] retain its record as a sample?
+    ///
+    /// Producers use this to skip building the (expensive) human-readable
+    /// parts of a record that would only be counted: a workload can race
+    /// hundreds of thousands of times, and reporting must not dominate the
+    /// measured overhead.
+    pub fn wants_detail(&self) -> bool {
+        self.samples.len() < self.max_samples
+    }
+
+    /// Records a race cheaply: `make_record` is only invoked if the record
+    /// will be retained as a sample; otherwise only the counters move.
+    pub fn record_with(&mut self, kind: RaceKind, make_record: impl FnOnce() -> RaceRecord) {
+        self.total += 1;
+        self.sites.insert(kind.site());
+        if self.samples.len() < self.max_samples {
+            self.samples.push(make_record());
+        }
+    }
+
+    /// Total number of races reported (left column of each Table 2 pair).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct racy sites — variables for a read-write detector,
+    /// objects for a commutativity detector (the parenthesised column).
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` iff no race was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The retained sample records (at most the configured capacity).
+    pub fn samples(&self) -> &[RaceRecord] {
+        &self.samples
+    }
+
+    /// Merges another report into this one (used when per-thread or
+    /// per-shard reports are aggregated).
+    pub fn merge(&mut self, other: &RaceReport) {
+        self.total += other.total;
+        self.sites.extend(other.sites.iter().copied());
+        for s in &other.samples {
+            if self.samples.len() >= self.max_samples {
+                break;
+            }
+            self.samples.push(s.clone());
+        }
+    }
+}
+
+impl fmt::Display for RaceReport {
+    /// Formats as `total (distinct)`, the notation of Table 2.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.total, self.sites.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commut(obj: u64) -> RaceRecord {
+        RaceRecord {
+            kind: RaceKind::Commutativity { obj: ObjId(obj) },
+            tid: ThreadId(1),
+            action: None,
+            detail: String::new(),
+        }
+    }
+
+    fn rw(loc: u64) -> RaceRecord {
+        RaceRecord {
+            kind: RaceKind::ReadWrite { loc: LocId(loc) },
+            tid: ThreadId(1),
+            action: None,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = RaceReport::new();
+        assert!(r.is_empty());
+        assert_eq!(r.to_string(), "0 (0)");
+    }
+
+    #[test]
+    fn distinct_counts_sites_not_records() {
+        let mut r = RaceReport::new();
+        r.record(commut(1));
+        r.record(commut(1));
+        r.record(commut(2));
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.distinct(), 2);
+    }
+
+    #[test]
+    fn object_and_location_sites_do_not_collide() {
+        let mut r = RaceReport::new();
+        r.record(commut(7));
+        r.record(rw(7));
+        assert_eq!(r.distinct(), 2);
+    }
+
+    #[test]
+    fn sample_capacity_bounds_samples_not_counts() {
+        let mut r = RaceReport::with_sample_capacity(2);
+        for i in 0..10 {
+            r.record(commut(i));
+        }
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.distinct(), 10);
+        assert_eq!(r.samples().len(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RaceReport::new();
+        a.record(commut(1));
+        let mut b = RaceReport::new();
+        b.record(commut(1));
+        b.record(commut(2));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.distinct(), 2);
+    }
+
+    #[test]
+    fn record_display_mentions_site() {
+        let rec = commut(3);
+        assert!(rec.to_string().contains("o3"));
+    }
+}

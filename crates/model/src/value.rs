@@ -1,0 +1,202 @@
+//! The value domain `U` of method arguments and return values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A concrete argument or return value of a method invocation.
+///
+/// The paper leaves the domain `U` abstract; we provide the closed set of
+/// value shapes the evaluation workloads need: the special no-value `nil`
+/// (what an absent dictionary entry maps to, Fig. 5), booleans, integers,
+/// interned strings and opaque object references (e.g. the connection
+/// objects of the Fig. 1 example).
+///
+/// `Value` is cheap to clone — strings are reference counted — and is
+/// totally ordered so it can key ordered containers. Equality between
+/// variants of different shapes is `false`, never a panic, matching the
+/// untyped evaluation of specification formulas.
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::Value;
+///
+/// let v = Value::str("a.com");
+/// assert_eq!(v, Value::str("a.com"));
+/// assert_ne!(v, Value::Nil);
+/// assert!(!Value::Nil.is_truthy_key());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// The special no-value `nil`.
+    #[default]
+    Nil,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An interned string.
+    Str(Arc<str>),
+    /// An opaque reference to a program object (identity semantics).
+    Ref(u64),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crace_model::Value;
+    /// assert_eq!(Value::str("k").to_string(), "\"k\"");
+    /// ```
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns `true` iff the value is [`Value::Nil`].
+    #[inline]
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Returns `true` iff the value is non-`nil` — i.e. it denotes a present
+    /// dictionary entry. (`|{k | d(k) ≠ nil}|` is the dictionary size in
+    /// Fig. 5.)
+    #[inline]
+    pub fn is_truthy_key(&self) -> bool {
+        !self.is_nil()
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(r) => write!(f, "ref#{r}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    T: Into<Value>,
+{
+    /// Maps `None` to `nil`, mirroring how absent entries are modelled.
+    fn from(opt: Option<T>) -> Value {
+        match opt {
+            None => Value::Nil,
+            Some(v) => v.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn nil_is_default_and_self_equal() {
+        assert_eq!(Value::default(), Value::Nil);
+        assert!(Value::Nil.is_nil());
+        assert!(!Value::Int(0).is_nil());
+    }
+
+    #[test]
+    fn cross_variant_equality_is_false() {
+        assert_ne!(Value::Int(0), Value::Bool(false));
+        assert_ne!(Value::Str(Arc::from("0")), Value::Int(0));
+        assert_ne!(Value::Ref(1), Value::Int(1));
+    }
+
+    #[test]
+    fn string_interning_compares_by_content() {
+        let a = Value::str(String::from("a.") + "com");
+        let b = Value::str("a.com");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn option_conversion_maps_none_to_nil() {
+        assert_eq!(Value::from(None::<i64>), Value::Nil);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    }
+
+    #[test]
+    fn values_are_totally_ordered() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::Nil);
+        set.insert(Value::Int(2));
+        set.insert(Value::Int(1));
+        set.insert(Value::str("x"));
+        let sorted: Vec<_> = set.into_iter().collect();
+        assert_eq!(sorted[0], Value::Nil);
+        assert_eq!(sorted[1], Value::Int(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Ref(9).to_string(), "ref#9");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Nil.as_int(), None);
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Tracked application variables — the plain fields RoadRunner shadows.
+
+use crate::runtime::{Inner, Runtime, ThreadCtx};
+use crace_model::LocId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared *application* variable whose accesses are reported to the
+/// analysis as low-level shadow reads/writes ([`crace_model::Event::Read`]
+/// / [`crace_model::Event::Write`]).
+///
+/// This models the ordinary, possibly-unsynchronized fields of the
+/// evaluated applications: a real racy Java field is represented by a
+/// `TrackedCell` accessed without a [`crate::TrackedMutex`] — the
+/// implementation stays well-defined (a real lock guards the value), but
+/// the *model* access pattern delivered to the analysis is unsynchronized,
+/// so FastTrack reports the data race exactly as it would on the real
+/// program.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use crace_fasttrack::FastTrack;
+/// use crace_model::Analysis;
+/// use crace_runtime::{Runtime, TrackedCell};
+///
+/// let ft = Arc::new(FastTrack::new());
+/// let rt = Runtime::new(ft.clone());
+/// let main = rt.main_ctx();
+/// let cell = TrackedCell::new(&rt, 0i64);
+/// let c2 = cell.clone();
+/// let h = rt.spawn(&main, move |ctx| { c2.write(ctx, 1); });
+/// cell.write(&main, 2); // unordered with the child's write
+/// h.join(&main);
+/// assert_eq!(ft.report().total(), 1);
+/// ```
+pub struct TrackedCell<T> {
+    loc: LocId,
+    value: Mutex<T>,
+    inner: Arc<Inner>,
+}
+
+impl<T: Clone + Send> TrackedCell<T> {
+    /// Creates a tracked variable with an initial value.
+    pub fn new(rt: &Runtime, initial: T) -> Arc<TrackedCell<T>> {
+        Arc::new(TrackedCell {
+            loc: rt.fresh_loc(),
+            value: Mutex::new(initial),
+            inner: Arc::clone(&rt.inner),
+        })
+    }
+
+    /// The variable's shadow location.
+    pub fn loc(&self) -> LocId {
+        self.loc
+    }
+
+    /// Reads the value (reports a shadow read).
+    pub fn read(&self, ctx: &ThreadCtx) -> T {
+        let v = self.value.lock().clone();
+        self.inner.analysis.on_read(ctx.tid(), self.loc);
+        v
+    }
+
+    /// Writes the value (reports a shadow write).
+    pub fn write(&self, ctx: &ThreadCtx, v: T) {
+        *self.value.lock() = v;
+        self.inner.analysis.on_write(ctx.tid(), self.loc);
+    }
+
+    /// Read-modify-write (reports a shadow read *and* write — the classic
+    /// check-then-act shape).
+    pub fn update(&self, ctx: &ThreadCtx, f: impl FnOnce(&T) -> T) {
+        let mut guard = self.value.lock();
+        let next = f(&guard);
+        *guard = next;
+        drop(guard);
+        self.inner.analysis.on_read(ctx.tid(), self.loc);
+        self.inner.analysis.on_write(ctx.tid(), self.loc);
+    }
+
+    /// Unmonitored read, for assertions (emits no event).
+    pub fn get_untracked(&self) -> T {
+        self.value.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_fasttrack::FastTrack;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    #[test]
+    fn value_semantics() {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let ctx = rt.main_ctx();
+        let cell = TrackedCell::new(&rt, 10i64);
+        assert_eq!(cell.read(&ctx), 10);
+        cell.write(&ctx, 20);
+        assert_eq!(cell.read(&ctx), 20);
+        cell.update(&ctx, |v| v + 5);
+        assert_eq!(cell.get_untracked(), 25);
+    }
+
+    #[test]
+    fn lock_protected_updates_are_race_free() {
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let cell = TrackedCell::new(&rt, 0i64);
+        let mutex = Arc::new(rt.new_mutex());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = cell.clone();
+            let mutex = Arc::clone(&mutex);
+            handles.push(rt.spawn(&main, move |ctx| {
+                for _ in 0..50 {
+                    let _g = mutex.lock(ctx);
+                    cell.update(ctx, |v| v + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert_eq!(cell.get_untracked(), 200);
+        assert!(ft.report().is_empty(), "{:?}", ft.report());
+    }
+
+    #[test]
+    fn unprotected_updates_race() {
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let cell = TrackedCell::new(&rt, 0i64);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let cell = cell.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                cell.update(ctx, |v| v + 1);
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        let report = ft.report();
+        assert!(report.total() >= 1, "{report:?}");
+        assert_eq!(report.distinct(), 1);
+    }
+}

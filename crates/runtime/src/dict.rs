@@ -1,0 +1,327 @@
+//! The monitored concurrent dictionary — the `ConcurrentHashMap` analogue.
+
+use crate::runtime::{Inner, Runtime, ThreadCtx};
+use crace_model::{Action, MethodId, ObjId, Value};
+use crace_spec::{builtin, Spec};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SHARDS: usize = 16;
+
+struct DictMethods {
+    spec: Spec,
+    put: MethodId,
+    get: MethodId,
+    size: MethodId,
+    remove: MethodId,
+    contains_key: MethodId,
+}
+
+fn dict_methods() -> &'static DictMethods {
+    static CELL: OnceLock<DictMethods> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let spec = builtin::dictionary_ext();
+        DictMethods {
+            put: spec.method_id("put").expect("builtin"),
+            get: spec.method_id("get").expect("builtin"),
+            size: spec.method_id("size").expect("builtin"),
+            remove: spec.method_id("remove").expect("builtin"),
+            contains_key: spec.method_id("contains_key").expect("builtin"),
+            spec,
+        }
+    })
+}
+
+/// A sharded, lock-striped concurrent dictionary with the abstract
+/// semantics of Fig. 5, monitored at the method level.
+///
+/// Every operation is executed under the key's shard lock and emits its
+/// [`Action`] event (arguments + return value) *while the lock is held*, so
+/// the analysis observes same-shard operations in their true linearization
+/// order — the analogue of RoadRunner's `ConcurrentHashMap` handlers.
+///
+/// Following the abstract state of §3.1, an absent key maps to `nil`:
+/// `put(k, nil)` removes the entry and `get` of an absent key returns
+/// `nil`. Internal synchronization is *not* reported to the analysis
+/// (RoadRunner excludes JDK internals), which is precisely why low-level
+/// race detectors cannot see misuse of a correctly-synchronized map.
+///
+/// The dictionary's commutativity specification is
+/// [`builtin::dictionary_ext`] (Fig. 6 plus `remove`/`contains_key`).
+pub struct MonitoredDict {
+    obj: ObjId,
+    shards: Vec<Mutex<HashMap<Value, Value>>>,
+    size: AtomicI64,
+    inner: Arc<Inner>,
+}
+
+impl MonitoredDict {
+    /// Creates an empty dictionary and registers it with the runtime's
+    /// analysis under the extended dictionary specification.
+    pub fn new(rt: &Runtime) -> Arc<MonitoredDict> {
+        let obj = rt.fresh_obj();
+        rt.analysis().on_new_object(obj, &dict_methods().spec);
+        Arc::new(MonitoredDict {
+            obj,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            size: AtomicI64::new(0),
+            inner: Arc::clone(&rt.inner),
+        })
+    }
+
+    /// The dictionary's object identifier in the event stream.
+    pub fn obj(&self) -> ObjId {
+        self.obj
+    }
+
+    /// This dictionary's commutativity specification.
+    pub fn spec() -> &'static Spec {
+        &dict_methods().spec
+    }
+
+    fn shard(&self, key: &Value) -> &Mutex<HashMap<Value, Value>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
+        self.inner
+            .analysis
+            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+    }
+
+    /// Associates `key` with `value`, returning the previous value (`nil`
+    /// if absent). `put(k, nil)` removes the entry, matching the abstract
+    /// dictionary of Fig. 5.
+    pub fn put(&self, ctx: &ThreadCtx, key: Value, value: Value) -> Value {
+        let mut shard = self.shard(&key).lock();
+        let prev = if value.is_nil() {
+            shard.remove(&key).unwrap_or(Value::Nil)
+        } else {
+            shard.insert(key.clone(), value.clone()).unwrap_or(Value::Nil)
+        };
+        match (prev.is_nil(), value.is_nil()) {
+            (true, false) => {
+                self.size.fetch_add(1, Ordering::Relaxed);
+            }
+            (false, true) => {
+                self.size.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.emit(ctx, dict_methods().put, vec![key, value], prev.clone());
+        prev
+    }
+
+    /// The value associated with `key` (`nil` if absent).
+    pub fn get(&self, ctx: &ThreadCtx, key: Value) -> Value {
+        let shard = self.shard(&key).lock();
+        let value = shard.get(&key).cloned().unwrap_or(Value::Nil);
+        self.emit(ctx, dict_methods().get, vec![key], value.clone());
+        value
+    }
+
+    /// Removes `key`, returning the previous value (`nil` if absent).
+    pub fn remove(&self, ctx: &ThreadCtx, key: Value) -> Value {
+        let mut shard = self.shard(&key).lock();
+        let prev = shard.remove(&key).unwrap_or(Value::Nil);
+        if !prev.is_nil() {
+            self.size.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.emit(ctx, dict_methods().remove, vec![key], prev.clone());
+        prev
+    }
+
+    /// Is `key` present (mapped to a non-`nil` value)?
+    pub fn contains_key(&self, ctx: &ThreadCtx, key: Value) -> bool {
+        let shard = self.shard(&key).lock();
+        let present = shard.contains_key(&key);
+        self.emit(
+            ctx,
+            dict_methods().contains_key,
+            vec![key],
+            Value::Bool(present),
+        );
+        present
+    }
+
+    /// Number of present keys.
+    pub fn size(&self, ctx: &ThreadCtx) -> i64 {
+        let n = self.size.load(Ordering::Relaxed);
+        self.emit(ctx, dict_methods().size, vec![], Value::Int(n));
+        n
+    }
+
+    /// Unmonitored length, for assertions in tests and reports (emits no
+    /// event).
+    pub fn len_untracked(&self) -> i64 {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Unmonitored lookup, for assertions (emits no event).
+    pub fn get_untracked(&self, key: &Value) -> Value {
+        self.shard(key).lock().get(key).cloned().unwrap_or(Value::Nil)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::Rd2;
+    use crace_fasttrack::FastTrack;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    fn noop_rt() -> (Runtime, ThreadCtx) {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let ctx = rt.main_ctx();
+        (rt, ctx)
+    }
+
+    #[test]
+    fn put_get_remove_semantics() {
+        let (rt, ctx) = noop_rt();
+        let d = MonitoredDict::new(&rt);
+        assert_eq!(d.put(&ctx, Value::Int(1), Value::str("a")), Value::Nil);
+        assert_eq!(d.get(&ctx, Value::Int(1)), Value::str("a"));
+        assert_eq!(d.put(&ctx, Value::Int(1), Value::str("b")), Value::str("a"));
+        assert_eq!(d.size(&ctx), 1);
+        assert_eq!(d.remove(&ctx, Value::Int(1)), Value::str("b"));
+        assert_eq!(d.remove(&ctx, Value::Int(1)), Value::Nil);
+        assert_eq!(d.get(&ctx, Value::Int(1)), Value::Nil);
+        assert_eq!(d.size(&ctx), 0);
+    }
+
+    #[test]
+    fn put_nil_removes() {
+        let (rt, ctx) = noop_rt();
+        let d = MonitoredDict::new(&rt);
+        d.put(&ctx, Value::Int(1), Value::Int(5));
+        assert_eq!(d.put(&ctx, Value::Int(1), Value::Nil), Value::Int(5));
+        assert!(!d.contains_key(&ctx, Value::Int(1)));
+        assert_eq!(d.size(&ctx), 0);
+        // put(k, nil) on an absent key is a no-op.
+        assert_eq!(d.put(&ctx, Value::Int(2), Value::Nil), Value::Nil);
+        assert_eq!(d.size(&ctx), 0);
+    }
+
+    #[test]
+    fn size_counts_distinct_present_keys() {
+        let (rt, ctx) = noop_rt();
+        let d = MonitoredDict::new(&rt);
+        for i in 0..10 {
+            d.put(&ctx, Value::Int(i), Value::Int(i));
+        }
+        for i in 0..10 {
+            d.put(&ctx, Value::Int(i), Value::Int(i + 1)); // overwrites
+        }
+        assert_eq!(d.size(&ctx), 10);
+        assert_eq!(d.len_untracked(), 10);
+    }
+
+    #[test]
+    fn rd2_sees_duplicate_key_race() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let d = MonitoredDict::new(&rt);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let d = d.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                d.put(ctx, Value::str("a.com"), Value::Int(7));
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        let report = rd2.report();
+        assert!(report.total() >= 1, "{report:?}");
+        assert_eq!(report.distinct(), 1);
+    }
+
+    #[test]
+    fn rd2_quiet_for_distinct_keys() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let d = MonitoredDict::new(&rt);
+        let mut handles = Vec::new();
+        for i in 0..4i64 {
+            let d = d.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                for j in 0..50 {
+                    d.put(ctx, Value::Int(i * 1000 + j), Value::Int(j));
+                }
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn rd2_sees_size_vs_insert_race() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let d = MonitoredDict::new(&rt);
+        let d2 = d.clone();
+        let h = rt.spawn(&main, move |ctx| {
+            d2.put(ctx, Value::Int(1), Value::Int(1)); // resizes
+        });
+        d.size(&main); // concurrent with the insert
+        h.join(&main);
+        // Either order of real execution yields a commutativity race.
+        assert!(rd2.report().total() >= 1, "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn fasttrack_is_blind_to_dictionary_misuse() {
+        // The same duplicate-key program under FastTrack: the dictionary is
+        // internally synchronized and emits no low-level events, so the
+        // low-level detector sees nothing — the paper's core motivation.
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let d = MonitoredDict::new(&rt);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let d = d.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                d.put(ctx, Value::str("a.com"), Value::Int(7));
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(ft.report().is_empty());
+    }
+
+    #[test]
+    fn concurrent_stress_is_consistent() {
+        let (rt, main) = noop_rt();
+        let d = MonitoredDict::new(&rt);
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let d = d.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                for i in 0..200 {
+                    d.put(ctx, Value::Int(t * 1000 + i), Value::Int(i));
+                }
+                for i in 0..100 {
+                    d.remove(ctx, Value::Int(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert_eq!(d.len_untracked(), 4 * 100);
+    }
+}

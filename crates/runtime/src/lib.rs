@@ -1,0 +1,79 @@
+//! An instrumented concurrent runtime — the RoadRunner substitute.
+//!
+//! The paper implements RD2 inside RoadRunner, which intercepts a Java
+//! program's synchronization operations, field accesses and
+//! `ConcurrentHashMap` calls and forwards them to an analysis back-end.
+//! This crate plays that role for Rust workloads:
+//!
+//! * [`Runtime`] wraps real OS threads: [`Runtime::spawn`] and
+//!   [`TrackedJoinHandle::join`] emit fork/join events; [`TrackedMutex`]
+//!   emits acquire/release events *while holding the real lock*, so the
+//!   analysis observes synchronization in its true serialization order,
+//! * [`MonitoredDict`], [`MonitoredSet`], [`MonitoredCounter`],
+//!   [`MonitoredRegister`] and [`MonitoredQueue`] are real
+//!   thread-safe shared objects whose operations additionally emit
+//!   [`Action`](crace_model::Action) events (with concrete arguments and
+//!   return values, linearized with the operation itself) — the analogue of
+//!   the paper instrumenting `ConcurrentHashMap`,
+//! * [`TrackedCell`] models a *plain application variable*: reads and
+//!   writes emit low-level shadow events for the FastTrack baseline, like
+//!   RoadRunner instrumenting ordinary field accesses. (The monitored
+//!   objects deliberately emit no low-level events: RoadRunner excludes
+//!   JDK internals, so a correctly synchronized `ConcurrentHashMap` is
+//!   invisible to FastTrack — which is exactly why commutativity races on
+//!   it are invisible to low-level detectors.)
+//!
+//! Everything is generic over the [`ObjectRegistry`] trait, so the same
+//! workload runs uninstrumented ([`crace_model::NoopAnalysis`]), under
+//! FastTrack, under RD2, or under the direct detector.
+//!
+//! # Examples
+//!
+//! The Fig. 1 duplicate-connections program:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crace_core::Rd2;
+//! use crace_model::{Analysis, Value};
+//! use crace_runtime::{MonitoredDict, Runtime};
+//!
+//! let analysis = Arc::new(Rd2::new());
+//! let rt = Runtime::new(analysis.clone());
+//! let dict = MonitoredDict::new(&rt);
+//! let hosts = ["a.com", "a.com"]; // duplicate!
+//!
+//! let main = rt.main_ctx();
+//! let mut handles = Vec::new();
+//! for host in hosts {
+//!     let dict = dict.clone();
+//!     handles.push(rt.spawn(&main, move |ctx| {
+//!         dict.put(ctx, Value::str(host), Value::Int(1));
+//!     }));
+//! }
+//! for h in handles {
+//!     h.join(&main);
+//! }
+//! assert!(analysis.report().total() >= 1); // the duplicate put races
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod counter;
+mod dict;
+mod queue;
+mod register;
+mod registry;
+mod runtime;
+mod set;
+pub mod sim;
+
+pub use cell::TrackedCell;
+pub use counter::MonitoredCounter;
+pub use dict::MonitoredDict;
+pub use queue::MonitoredQueue;
+pub use register::MonitoredRegister;
+pub use registry::ObjectRegistry;
+pub use runtime::{Runtime, ThreadCtx, TrackedJoinHandle, TrackedMutex, TrackedMutexGuard};
+pub use set::MonitoredSet;

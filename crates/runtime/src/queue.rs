@@ -1,0 +1,163 @@
+//! The monitored concurrent FIFO queue.
+
+use crate::runtime::{Inner, Runtime, ThreadCtx};
+use crace_model::{Action, MethodId, ObjId, Value};
+use crace_spec::{builtin, Spec};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
+
+struct QueueMethods {
+    spec: Spec,
+    enq: MethodId,
+    deq: MethodId,
+    len: MethodId,
+}
+
+fn queue_methods() -> &'static QueueMethods {
+    static CELL: OnceLock<QueueMethods> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let spec = builtin::queue();
+        QueueMethods {
+            enq: spec.method_id("enq").expect("builtin"),
+            deq: spec.method_id("deq").expect("builtin"),
+            len: spec.method_id("len").expect("builtin"),
+            spec,
+        }
+    })
+}
+
+/// A thread-safe FIFO queue monitored at the method level, with the
+/// [`builtin::queue`] specification — the worst case for commutativity:
+/// queue operations are order-sensitive, so almost any concurrent use is
+/// a race. Useful as a negative control and for demonstrating that a
+/// work-queue accessed from a fork/join pipeline (producer strictly
+/// before consumers) stays race-free.
+pub struct MonitoredQueue {
+    obj: ObjId,
+    items: Mutex<VecDeque<Value>>,
+    inner: Arc<Inner>,
+}
+
+impl MonitoredQueue {
+    /// Creates an empty queue registered with the runtime's analysis.
+    pub fn new(rt: &Runtime) -> Arc<MonitoredQueue> {
+        let obj = rt.fresh_obj();
+        rt.analysis().on_new_object(obj, &queue_methods().spec);
+        Arc::new(MonitoredQueue {
+            obj,
+            items: Mutex::new(VecDeque::new()),
+            inner: Arc::clone(&rt.inner),
+        })
+    }
+
+    /// The queue's object identifier in the event stream.
+    pub fn obj(&self) -> ObjId {
+        self.obj
+    }
+
+    /// This queue's commutativity specification.
+    pub fn spec() -> &'static Spec {
+        &queue_methods().spec
+    }
+
+    fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
+        self.inner
+            .analysis
+            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+    }
+
+    /// Appends `v` to the back.
+    pub fn enq(&self, ctx: &ThreadCtx, v: Value) {
+        let mut items = self.items.lock();
+        items.push_back(v.clone());
+        self.emit(ctx, queue_methods().enq, vec![v], Value::Nil);
+    }
+
+    /// Removes and returns the front element (`nil` if empty).
+    pub fn deq(&self, ctx: &ThreadCtx) -> Value {
+        let mut items = self.items.lock();
+        let v = items.pop_front().unwrap_or(Value::Nil);
+        self.emit(ctx, queue_methods().deq, vec![], v.clone());
+        v
+    }
+
+    /// Current length.
+    pub fn len(&self, ctx: &ThreadCtx) -> i64 {
+        let items = self.items.lock();
+        let n = items.len() as i64;
+        self.emit(ctx, queue_methods().len, vec![], Value::Int(n));
+        n
+    }
+
+    /// Returns `true` iff the queue is empty (monitored as a `len` call).
+    pub fn is_empty(&self, ctx: &ThreadCtx) -> bool {
+        self.len(ctx) == 0
+    }
+
+    /// Unmonitored length, for assertions (emits no event).
+    pub fn len_untracked(&self) -> usize {
+        self.items.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::Rd2;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    #[test]
+    fn fifo_semantics() {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let ctx = rt.main_ctx();
+        let q = MonitoredQueue::new(&rt);
+        assert!(q.is_empty(&ctx));
+        q.enq(&ctx, Value::Int(1));
+        q.enq(&ctx, Value::Int(2));
+        assert_eq!(q.len(&ctx), 2);
+        assert_eq!(q.deq(&ctx), Value::Int(1));
+        assert_eq!(q.deq(&ctx), Value::Int(2));
+        assert_eq!(q.deq(&ctx), Value::Nil);
+    }
+
+    #[test]
+    fn concurrent_enqueues_race() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let q = MonitoredQueue::new(&rt);
+        let mut handles = Vec::new();
+        for t in 0..2i64 {
+            let q = q.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                q.enq(ctx, Value::Int(t));
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(rd2.report().total() >= 1);
+    }
+
+    #[test]
+    fn produce_then_join_then_consume_is_race_free() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let q = MonitoredQueue::new(&rt);
+        // Producer thread fills the queue, is joined, then consumers drain
+        // sequentially from the main thread.
+        let q2 = q.clone();
+        let producer = rt.spawn(&main, move |ctx| {
+            for i in 0..10 {
+                q2.enq(ctx, Value::Int(i));
+            }
+        });
+        producer.join(&main);
+        while !q.is_empty(&main) {
+            q.deq(&main);
+        }
+        assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+    }
+}

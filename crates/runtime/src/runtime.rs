@@ -1,0 +1,285 @@
+//! The instrumented runtime: thread and lock tracking.
+
+use crate::registry::ObjectRegistry;
+use crace_model::{LocId, LockId, ObjId, ThreadId};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared interior of a [`Runtime`].
+pub(crate) struct Inner {
+    pub(crate) analysis: Arc<dyn ObjectRegistry>,
+    next_tid: AtomicU32,
+    next_obj: AtomicU64,
+    next_lock: AtomicU64,
+    next_loc: AtomicU64,
+}
+
+/// An instrumented runtime bound to one analysis.
+///
+/// All identifier allocation (threads, objects, locks, shadow locations)
+/// goes through the runtime, so every entity a workload creates is known to
+/// the attached analysis.
+///
+/// `Runtime` is cheap to clone (it is a handle to shared state).
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Runtime {
+    /// Creates a runtime whose events feed `analysis`. The main thread gets
+    /// [`ThreadId::MAIN`].
+    pub fn new(analysis: Arc<dyn ObjectRegistry>) -> Runtime {
+        Runtime {
+            inner: Arc::new(Inner {
+                analysis,
+                next_tid: AtomicU32::new(1), // 0 is the main thread
+                next_obj: AtomicU64::new(1),
+                next_lock: AtomicU64::new(1),
+                next_loc: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The context of the main thread.
+    pub fn main_ctx(&self) -> ThreadCtx {
+        ThreadCtx {
+            tid: ThreadId::MAIN,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The attached analysis.
+    pub fn analysis(&self) -> &Arc<dyn ObjectRegistry> {
+        &self.inner.analysis
+    }
+
+    /// Allocates a fresh object identifier (used by monitored objects).
+    pub(crate) fn fresh_obj(&self) -> ObjId {
+        ObjId(self.inner.next_obj.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Allocates a fresh lock identifier.
+    pub(crate) fn fresh_lock(&self) -> LockId {
+        LockId(self.inner.next_lock.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Allocates a fresh shadow-memory location.
+    pub(crate) fn fresh_loc(&self) -> LocId {
+        LocId(self.inner.next_loc.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Spawns an instrumented thread: emits the fork event (before the
+    /// child can run), then runs `f` on a new OS thread with the child's
+    /// [`ThreadCtx`].
+    pub fn spawn<F>(&self, parent: &ThreadCtx, f: F) -> TrackedJoinHandle
+    where
+        F: FnOnce(&ThreadCtx) + Send + 'static,
+    {
+        let child = ThreadId(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
+        // The fork event must be processed before any child event; calling
+        // it before `thread::spawn` guarantees that order in real time.
+        self.inner.analysis.on_fork(parent.tid, child);
+        let ctx = ThreadCtx {
+            tid: child,
+            inner: Arc::clone(&self.inner),
+        };
+        let handle = std::thread::spawn(move || f(&ctx));
+        TrackedJoinHandle { handle, child }
+    }
+
+    /// Creates an instrumented mutex.
+    pub fn new_mutex(&self) -> TrackedMutex {
+        TrackedMutex {
+            id: self.fresh_lock(),
+            mutex: Mutex::new(()),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The identity of a running instrumented thread. Passed explicitly to
+/// every instrumented operation (the runtime does not use thread-locals, so
+/// contexts can also drive scripted single-threaded tests).
+#[derive(Clone)]
+pub struct ThreadCtx {
+    tid: ThreadId,
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl ThreadCtx {
+    /// This thread's identifier.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+}
+
+/// Join handle for an instrumented thread.
+pub struct TrackedJoinHandle {
+    handle: JoinHandle<()>,
+    child: ThreadId,
+}
+
+impl TrackedJoinHandle {
+    /// Waits for the thread and emits the join event (after the child has
+    /// finished, so every child event precedes it).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the joined thread.
+    pub fn join(self, parent: &ThreadCtx) {
+        self.handle.join().expect("instrumented thread panicked");
+        parent.inner.analysis.on_join(parent.tid, self.child);
+    }
+
+    /// The spawned thread's identifier.
+    pub fn child_tid(&self) -> ThreadId {
+        self.child
+    }
+}
+
+/// An instrumented mutex: the real lock plus acquire/release events emitted
+/// *while the lock is held*, so the analysis sees critical sections in
+/// their true serialization order.
+pub struct TrackedMutex {
+    id: LockId,
+    mutex: Mutex<()>,
+    inner: Arc<Inner>,
+}
+
+impl TrackedMutex {
+    /// Acquires the lock, emitting the acquire event.
+    pub fn lock<'a>(&'a self, ctx: &ThreadCtx) -> TrackedMutexGuard<'a> {
+        let guard = self.mutex.lock();
+        self.inner.analysis.on_acquire(ctx.tid(), self.id);
+        TrackedMutexGuard {
+            _guard: guard,
+            lock_id: self.id,
+            tid: ctx.tid(),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The lock's identifier in the event stream.
+    pub fn id(&self) -> LockId {
+        self.id
+    }
+}
+
+/// Guard of a [`TrackedMutex`]; emits the release event on drop, before the
+/// real unlock.
+pub struct TrackedMutexGuard<'a> {
+    _guard: MutexGuard<'a, ()>,
+    lock_id: LockId,
+    tid: ThreadId,
+    inner: Arc<Inner>,
+}
+
+impl Drop for TrackedMutexGuard<'_> {
+    fn drop(&mut self) {
+        // Emitted while `_guard` is still held: release precedes the next
+        // holder's acquire in analysis order.
+        self.inner.analysis.on_release(self.tid, self.lock_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_fasttrack::FastTrack;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    #[test]
+    fn spawn_allocates_distinct_tids() {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let main = rt.main_ctx();
+        let h1 = rt.spawn(&main, |_| {});
+        let h2 = rt.spawn(&main, |_| {});
+        assert_ne!(h1.child_tid(), h2.child_tid());
+        assert_ne!(h1.child_tid(), ThreadId::MAIN);
+        h1.join(&main);
+        h2.join(&main);
+    }
+
+    #[test]
+    fn fork_join_order_reaches_analysis() {
+        // FastTrack as a convenient HB-sensitive analysis: parent writes a
+        // location, child writes it too — with fork/join edges there is no
+        // race.
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let loc = LocId(42);
+        ft.on_write(main.tid(), loc);
+        let ft2 = ft.clone();
+        let h = rt.spawn(&main, move |ctx| {
+            ft2.on_write(ctx.tid(), loc);
+        });
+        h.join(&main);
+        ft.on_write(main.tid(), loc);
+        assert!(ft.report().is_empty(), "{:?}", ft.report());
+    }
+
+    #[test]
+    fn tracked_mutex_creates_happens_before() {
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let mutex = Arc::new(rt.new_mutex());
+        let loc = LocId(7);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let ft = ft.clone();
+            let mutex = Arc::clone(&mutex);
+            handles.push(rt.spawn(&main, move |ctx| {
+                for _ in 0..50 {
+                    let _g = mutex.lock(ctx);
+                    ft.on_write(ctx.tid(), loc);
+                    ft.on_read(ctx.tid(), loc);
+                }
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(ft.report().is_empty(), "{:?}", ft.report());
+    }
+
+    #[test]
+    fn unprotected_writes_race_under_fasttrack() {
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let loc = LocId(9);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let ft = ft.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                ft.on_write(ctx.tid(), loc);
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(ft.report().total() >= 1);
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        assert_ne!(rt.fresh_obj(), rt.fresh_obj());
+        assert_ne!(rt.fresh_lock(), rt.fresh_lock());
+        assert_ne!(rt.fresh_loc(), rt.fresh_loc());
+    }
+
+    #[test]
+    #[should_panic(expected = "instrumented thread panicked")]
+    fn join_propagates_child_panic() {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let main = rt.main_ctx();
+        let h = rt.spawn(&main, |_| panic!("boom"));
+        h.join(&main);
+    }
+}

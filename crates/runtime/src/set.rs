@@ -1,0 +1,192 @@
+//! The monitored concurrent set.
+
+use crate::runtime::{Inner, Runtime, ThreadCtx};
+use crace_model::{Action, MethodId, ObjId, Value};
+use crace_spec::{builtin, Spec};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SHARDS: usize = 16;
+
+struct SetMethods {
+    spec: Spec,
+    add: MethodId,
+    remove: MethodId,
+    contains: MethodId,
+    size: MethodId,
+}
+
+fn set_methods() -> &'static SetMethods {
+    static CELL: OnceLock<SetMethods> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let spec = builtin::set();
+        SetMethods {
+            add: spec.method_id("add").expect("builtin"),
+            remove: spec.method_id("remove").expect("builtin"),
+            contains: spec.method_id("contains").expect("builtin"),
+            size: spec.method_id("size").expect("builtin"),
+            spec,
+        }
+    })
+}
+
+/// A sharded concurrent set monitored at the method level, with the
+/// [`builtin::set`] commutativity specification.
+///
+/// `add` and `remove` return whether they changed membership — the "shadow
+/// return values" that make the commutativity conditions expressible
+/// (§4.1).
+pub struct MonitoredSet {
+    obj: ObjId,
+    shards: Vec<Mutex<HashSet<Value>>>,
+    size: AtomicI64,
+    inner: Arc<Inner>,
+}
+
+impl MonitoredSet {
+    /// Creates an empty monitored set registered with the runtime's
+    /// analysis.
+    pub fn new(rt: &Runtime) -> Arc<MonitoredSet> {
+        let obj = rt.fresh_obj();
+        rt.analysis().on_new_object(obj, &set_methods().spec);
+        Arc::new(MonitoredSet {
+            obj,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            size: AtomicI64::new(0),
+            inner: Arc::clone(&rt.inner),
+        })
+    }
+
+    /// The set's object identifier in the event stream.
+    pub fn obj(&self) -> ObjId {
+        self.obj
+    }
+
+    /// This set's commutativity specification.
+    pub fn spec() -> &'static Spec {
+        &set_methods().spec
+    }
+
+    fn shard(&self, x: &Value) -> &Mutex<HashSet<Value>> {
+        let mut h = DefaultHasher::new();
+        x.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
+        self.inner
+            .analysis
+            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+    }
+
+    /// Inserts `x`; returns `true` iff it was newly added.
+    pub fn add(&self, ctx: &ThreadCtx, x: Value) -> bool {
+        let mut shard = self.shard(&x).lock();
+        let fresh = shard.insert(x.clone());
+        if fresh {
+            self.size.fetch_add(1, Ordering::Relaxed);
+        }
+        self.emit(ctx, set_methods().add, vec![x], Value::Bool(fresh));
+        fresh
+    }
+
+    /// Removes `x`; returns `true` iff it was present.
+    pub fn remove(&self, ctx: &ThreadCtx, x: Value) -> bool {
+        let mut shard = self.shard(&x).lock();
+        let hit = shard.remove(&x);
+        if hit {
+            self.size.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.emit(ctx, set_methods().remove, vec![x], Value::Bool(hit));
+        hit
+    }
+
+    /// Is `x` a member?
+    pub fn contains(&self, ctx: &ThreadCtx, x: Value) -> bool {
+        let shard = self.shard(&x).lock();
+        let hit = shard.contains(&x);
+        self.emit(ctx, set_methods().contains, vec![x], Value::Bool(hit));
+        hit
+    }
+
+    /// Number of members.
+    pub fn size(&self, ctx: &ThreadCtx) -> i64 {
+        let n = self.size.load(Ordering::Relaxed);
+        self.emit(ctx, set_methods().size, vec![], Value::Int(n));
+        n
+    }
+
+    /// Unmonitored size, for assertions (emits no event).
+    pub fn len_untracked(&self) -> i64 {
+        self.size.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::Rd2;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    #[test]
+    fn add_remove_contains_semantics() {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let ctx = rt.main_ctx();
+        let s = MonitoredSet::new(&rt);
+        assert!(s.add(&ctx, Value::Int(1)));
+        assert!(!s.add(&ctx, Value::Int(1)));
+        assert!(s.contains(&ctx, Value::Int(1)));
+        assert_eq!(s.size(&ctx), 1);
+        assert!(s.remove(&ctx, Value::Int(1)));
+        assert!(!s.remove(&ctx, Value::Int(1)));
+        assert_eq!(s.size(&ctx), 0);
+    }
+
+    #[test]
+    fn duplicate_adds_race_fresh_vs_duplicate() {
+        // Two threads add the same element: one add is fresh, the other a
+        // duplicate — they do not commute (b1/b2 differ across orders), so
+        // RD2 must flag it.
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let s = MonitoredSet::new(&rt);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let s = s.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                s.add(ctx, Value::Int(42));
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(rd2.report().total() >= 1, "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn disjoint_adds_do_not_race() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let s = MonitoredSet::new(&rt);
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let s = s.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                for i in 0..50 {
+                    s.add(ctx, Value::Int(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+        assert_eq!(s.len_untracked(), 200);
+    }
+}

@@ -1,0 +1,408 @@
+//! Deterministic simulated scheduler: scripted multi-threaded programs
+//! executed under a seeded interleaving, producing reproducible traces.
+//!
+//! Real threads make race *presence* reproducible but not event order;
+//! for schedule-space exploration (run the same program under many
+//! interleavings and check detector invariants on every one) the runtime
+//! offers this single-threaded simulator. A [`SimProgram`] gives each
+//! simulated thread a script of [`SimOp`]s over shared dictionaries and
+//! locks; [`simulate`] interleaves the scripts with a seeded RNG —
+//! respecting lock blocking — executes them against reference semantics
+//! (so return values are those of a real execution under that schedule),
+//! and returns the recorded [`Trace`].
+//!
+//! # Examples
+//!
+//! ```
+//! use crace_model::Value;
+//! use crace_runtime::sim::{simulate, SimOp, SimProgram};
+//!
+//! let program = SimProgram {
+//!     num_dicts: 1,
+//!     num_locks: 0,
+//!     threads: vec![
+//!         vec![SimOp::DictPut { dict: 0, key: Value::Int(1), value: Value::Int(10) }],
+//!         vec![SimOp::DictGet { dict: 0, key: Value::Int(1) }],
+//!     ],
+//! };
+//! let trace = simulate(&program, 42);
+//! assert_eq!(trace, simulate(&program, 42)); // fully deterministic
+//! ```
+
+use crace_model::{Action, Event, LockId, MethodId, ObjId, ThreadId, Trace, Value};
+use crace_spec::builtin;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// One scripted operation of a simulated thread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimOp {
+    /// `dicts[dict].put(key, value)`.
+    DictPut {
+        /// Index of the dictionary.
+        dict: usize,
+        /// The key.
+        key: Value,
+        /// The new value (`nil` removes).
+        value: Value,
+    },
+    /// `dicts[dict].get(key)`.
+    DictGet {
+        /// Index of the dictionary.
+        dict: usize,
+        /// The key.
+        key: Value,
+    },
+    /// `dicts[dict].size()`.
+    DictSize {
+        /// Index of the dictionary.
+        dict: usize,
+    },
+    /// Acquire lock `lock` (blocks while held by another thread).
+    Lock(usize),
+    /// Release lock `lock`.
+    ///
+    /// # Panics
+    ///
+    /// [`simulate`] panics if the thread does not hold it.
+    Unlock(usize),
+}
+
+/// A scripted program: `threads[i]` is the body of simulated thread
+/// `i + 1`; the main thread (id 0) forks them all at the start and joins
+/// them all at the end, as in the paper's fork/join examples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimProgram {
+    /// Number of shared dictionaries (object ids `1..=num_dicts`).
+    pub num_dicts: usize,
+    /// Number of locks (lock ids `0..num_locks`).
+    pub num_locks: usize,
+    /// Per-thread scripts.
+    pub threads: Vec<Vec<SimOp>>,
+}
+
+struct DictIds {
+    put: MethodId,
+    get: MethodId,
+    size: MethodId,
+}
+
+fn dict_ids() -> &'static DictIds {
+    static CELL: OnceLock<DictIds> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let spec = builtin::dictionary();
+        DictIds {
+            put: spec.method_id("put").expect("builtin"),
+            get: spec.method_id("get").expect("builtin"),
+            size: spec.method_id("size").expect("builtin"),
+        }
+    })
+}
+
+/// The object id of simulated dictionary `dict`.
+pub fn sim_dict_obj(dict: usize) -> ObjId {
+    ObjId(dict as u64 + 1)
+}
+
+/// Executes `program` under the seeded schedule and returns the trace
+/// (actions carry the Fig. 5 reference semantics' return values).
+///
+/// Simulated dictionaries use the [`builtin::dictionary`] specification's
+/// method numbering, with object ids [`sim_dict_obj`]`(0..num_dicts)`.
+///
+/// # Panics
+///
+/// Panics on script errors: dictionary/lock indices out of range,
+/// unlocking a lock the thread does not hold, or a deadlock (every
+/// unfinished thread blocked).
+pub fn simulate(program: &SimProgram, seed: u64) -> Trace {
+    simulate_with_state(program, seed).0
+}
+
+/// Like [`simulate`], additionally returning the final contents of every
+/// simulated dictionary — what Theorem 5.2's determinism guarantee talks
+/// about.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_with_state(
+    program: &SimProgram,
+    seed: u64,
+) -> (Trace, Vec<HashMap<Value, Value>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    let main = ThreadId(0);
+    let n = program.threads.len();
+
+    for t in 0..n {
+        trace.push(Event::Fork {
+            parent: main,
+            child: ThreadId(t as u32 + 1),
+        });
+    }
+
+    let mut dicts: Vec<HashMap<Value, Value>> = vec![HashMap::new(); program.num_dicts];
+    let mut lock_owner: Vec<Option<usize>> = vec![None; program.num_locks];
+    let mut pc: Vec<usize> = vec![0; n];
+
+    loop {
+        // Runnable = has ops left and not blocked on a foreign-held lock.
+        let runnable: Vec<usize> = (0..n)
+            .filter(|&t| {
+                let script = &program.threads[t];
+                match script.get(pc[t]) {
+                    None => false,
+                    // Locks are non-reentrant: a thread re-acquiring its own
+                    // lock blocks forever (caught as a deadlock).
+                    Some(SimOp::Lock(l)) => lock_owner[*l].is_none(),
+                    Some(_) => true,
+                }
+            })
+            .collect();
+        if runnable.is_empty() {
+            if (0..n).any(|t| pc[t] < program.threads[t].len()) {
+                panic!("simulated deadlock: all unfinished threads are blocked");
+            }
+            break;
+        }
+        let t = runnable[rng.gen_range(0..runnable.len())];
+        let tid = ThreadId(t as u32 + 1);
+        let op = &program.threads[t][pc[t]];
+        pc[t] += 1;
+        match op {
+            SimOp::DictPut { dict, key, value } => {
+                let map = &mut dicts[*dict];
+                let prev = if value.is_nil() {
+                    map.remove(key).unwrap_or(Value::Nil)
+                } else {
+                    map.insert(key.clone(), value.clone()).unwrap_or(Value::Nil)
+                };
+                trace.push(Event::Action {
+                    tid,
+                    action: Action::new(
+                        sim_dict_obj(*dict),
+                        dict_ids().put,
+                        vec![key.clone(), value.clone()],
+                        prev,
+                    ),
+                });
+            }
+            SimOp::DictGet { dict, key } => {
+                let v = dicts[*dict].get(key).cloned().unwrap_or(Value::Nil);
+                trace.push(Event::Action {
+                    tid,
+                    action: Action::new(sim_dict_obj(*dict), dict_ids().get, vec![key.clone()], v),
+                });
+            }
+            SimOp::DictSize { dict } => {
+                let v = Value::Int(dicts[*dict].len() as i64);
+                trace.push(Event::Action {
+                    tid,
+                    action: Action::new(sim_dict_obj(*dict), dict_ids().size, vec![], v),
+                });
+            }
+            SimOp::Lock(l) => {
+                assert!(lock_owner[*l].is_none(), "scheduler picked a blocked thread");
+                lock_owner[*l] = Some(t);
+                trace.push(Event::Acquire {
+                    tid,
+                    lock: LockId(*l as u64),
+                });
+            }
+            SimOp::Unlock(l) => {
+                assert_eq!(
+                    lock_owner[*l],
+                    Some(t),
+                    "thread {tid} unlocks lock {l} it does not hold"
+                );
+                lock_owner[*l] = None;
+                trace.push(Event::Release {
+                    tid,
+                    lock: LockId(*l as u64),
+                });
+            }
+        }
+    }
+
+    for t in 0..n {
+        trace.push(Event::Join {
+            parent: main,
+            child: ThreadId(t as u32 + 1),
+        });
+    }
+    (trace, dicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::{translate, TraceDetector};
+    use crace_model::replay;
+    use std::sync::Arc;
+
+    fn detect(trace: &Trace, num_dicts: usize) -> u64 {
+        let detector = TraceDetector::new();
+        let compiled = Arc::new(translate(&builtin::dictionary()).unwrap());
+        for d in 0..num_dicts {
+            detector.register(sim_dict_obj(d), Arc::clone(&compiled));
+        }
+        replay(trace, &detector).total()
+    }
+
+    fn put(dict: usize, k: i64, v: i64) -> SimOp {
+        SimOp::DictPut {
+            dict,
+            key: Value::Int(k),
+            value: Value::Int(v),
+        }
+    }
+
+    fn get(dict: usize, k: i64) -> SimOp {
+        SimOp::DictGet {
+            dict,
+            key: Value::Int(k),
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![
+                vec![put(0, 1, 10), get(0, 1), put(0, 2, 20)],
+                vec![put(0, 3, 30), get(0, 3)],
+            ],
+        };
+        assert_eq!(simulate(&program, 1), simulate(&program, 1));
+        // Some pair of seeds yields different interleavings.
+        let t0 = simulate(&program, 0);
+        assert!((1..20).any(|s| simulate(&program, s) != t0));
+    }
+
+    #[test]
+    fn disjoint_keys_are_race_free_under_every_schedule() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![
+                vec![put(0, 1, 10), get(0, 1), put(0, 1, 11)],
+                vec![put(0, 2, 20), get(0, 2)],
+                vec![put(0, 3, 30), SimOp::DictGet { dict: 0, key: Value::Int(3) }],
+            ],
+        };
+        for seed in 0..50 {
+            let trace = simulate(&program, seed);
+            assert_eq!(detect(&trace, 1), 0, "seed {seed}\n{trace}");
+        }
+    }
+
+    #[test]
+    fn same_key_writes_race_under_every_schedule() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![vec![put(0, 1, 10)], vec![put(0, 1, 20)]],
+        };
+        for seed in 0..50 {
+            let trace = simulate(&program, seed);
+            assert!(detect(&trace, 1) > 0, "seed {seed}\n{trace}");
+        }
+    }
+
+    #[test]
+    fn lock_protected_rmw_is_race_free_under_every_schedule() {
+        let rmw = |l: usize| {
+            vec![
+                SimOp::Lock(l),
+                get(0, 1),
+                put(0, 1, 99),
+                SimOp::Unlock(l),
+            ]
+        };
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 1,
+            threads: vec![rmw(0), rmw(0), rmw(0)],
+        };
+        for seed in 0..50 {
+            let trace = simulate(&program, seed);
+            assert_eq!(detect(&trace, 1), 0, "seed {seed}\n{trace}");
+        }
+    }
+
+    #[test]
+    fn unlocked_rmw_races_under_every_schedule() {
+        // Same program without the lock: both orders of the two writes
+        // conflict (v ≠ p in at least one), so every schedule races.
+        let rmw = || vec![get(0, 1), put(0, 1, 99)];
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![rmw(), rmw()],
+        };
+        for seed in 0..50 {
+            let trace = simulate(&program, seed);
+            assert!(detect(&trace, 1) > 0, "seed {seed}\n{trace}");
+        }
+    }
+
+    #[test]
+    fn reference_semantics_produce_correct_returns() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 1,
+            threads: vec![vec![
+                put(0, 7, 1),
+                put(0, 7, 2),
+                get(0, 7),
+                SimOp::DictSize { dict: 0 },
+            ]],
+        };
+        let trace = simulate(&program, 5);
+        let actions: Vec<_> = trace.iter().filter_map(|e| e.action()).collect();
+        assert_eq!(actions[0].ret(), &Value::Nil); // first put: empty slot
+        assert_eq!(actions[1].ret(), &Value::Int(1)); // overwrites 1
+        assert_eq!(actions[2].ret(), &Value::Int(2)); // reads 2
+        assert_eq!(actions[3].ret(), &Value::Int(1)); // one key present
+    }
+
+    #[test]
+    fn multiple_dicts_are_independent() {
+        let program = SimProgram {
+            num_dicts: 2,
+            num_locks: 0,
+            threads: vec![vec![put(0, 1, 10)], vec![put(1, 1, 20)]],
+        };
+        for seed in 0..20 {
+            let trace = simulate(&program, seed);
+            // Same key but different objects: never a race.
+            assert_eq!(detect(&trace, 2), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn unlocking_foreign_lock_panics() {
+        let program = SimProgram {
+            num_dicts: 0,
+            num_locks: 1,
+            threads: vec![vec![SimOp::Unlock(0)]],
+        };
+        simulate(&program, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn self_deadlock_panics() {
+        let program = SimProgram {
+            num_dicts: 0,
+            num_locks: 1,
+            threads: vec![vec![SimOp::Lock(0), SimOp::Lock(0)]],
+        };
+        simulate(&program, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Surface syntax trees produced by the parser, consumed by the resolver.
+
+use crate::error::Span;
+use crace_model::Value;
+
+/// A parsed `spec <name> { … }` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecAst {
+    pub name: String,
+    pub name_span: Span,
+    pub methods: Vec<MethodDecl>,
+    pub rules: Vec<CommuteDecl>,
+}
+
+/// `method name(arg, …) -> ret;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct MethodDecl {
+    pub name: String,
+    pub span: Span,
+    /// Declared argument names (documentation only; binding happens per rule).
+    pub args: Vec<String>,
+    /// Declared return-value name, if any.
+    pub ret: Option<String>,
+}
+
+/// `commute pat1, pat2 when formula;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommuteDecl {
+    pub first: Pattern,
+    pub second: Pattern,
+    pub formula: FormulaAst,
+    pub span: Span,
+}
+
+/// An action pattern `name(v1, …) -> r` binding variables to slots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pattern {
+    pub method: String,
+    pub span: Span,
+    /// One binder per argument.
+    pub args: Vec<Binder>,
+    /// Binder for the return value (wildcard if omitted).
+    pub ret: Binder,
+}
+
+/// A variable binder in a pattern: a name or the wildcard `_`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Binder {
+    Wildcard(Span),
+    Named(String, Span),
+}
+
+/// Unresolved formulas: comparisons over variables and literals, combined
+/// with `&&`, `||` and `!`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FormulaAst {
+    True(Span),
+    False(Span),
+    Cmp {
+        op: crate::formula::CmpOp,
+        lhs: TermAst,
+        rhs: TermAst,
+        span: Span,
+    },
+    Not(Box<FormulaAst>, Span),
+    And(Box<FormulaAst>, Box<FormulaAst>),
+    Or(Box<FormulaAst>, Box<FormulaAst>),
+}
+
+impl FormulaAst {
+    /// The source span covered by the formula.
+    pub fn span(&self) -> Span {
+        match self {
+            FormulaAst::True(s) | FormulaAst::False(s) | FormulaAst::Not(_, s) => *s,
+            FormulaAst::Cmp { span, .. } => *span,
+            FormulaAst::And(a, b) | FormulaAst::Or(a, b) => a.span().cover(b.span()),
+        }
+    }
+}
+
+/// An unresolved term: a variable reference or a literal value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TermAst {
+    Var(String, Span),
+    Lit(Value, Span),
+}
+
+impl TermAst {
+    /// The term's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            TermAst::Var(_, s) | TermAst::Lit(_, s) => *s,
+        }
+    }
+}

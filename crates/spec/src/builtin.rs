@@ -1,0 +1,384 @@
+//! Builtin commutativity specifications for common objects.
+//!
+//! [`dictionary`] is exactly Fig. 6 of the paper; the others follow the same
+//! methodology for the objects the workloads use. All builtins are written
+//! in the textual specification language (doubling as a test of the parser)
+//! and all lie in the ECL fragment.
+
+use crate::{parse, Spec};
+
+/// Source text of the Fig. 6 dictionary specification.
+pub const DICTIONARY_SRC: &str = r#"
+spec dictionary {
+    method put(k, v) -> p;
+    method get(k) -> v;
+    method size() -> r;
+
+    commute put(k1, v1) -> p1, put(k2, v2) -> p2
+        when k1 != k2 || (v1 == p1 && v2 == p2);
+    commute put(k1, v1) -> p1, get(k2) -> v2
+        when k1 != k2 || v1 == p1;
+    commute put(k1, v1) -> p1, size() -> r
+        when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+    commute get(_) -> _, get(_) -> _ when true;
+    commute get(_) -> _, size() -> _ when true;
+    commute size() -> _, size() -> _ when true;
+}
+"#;
+
+/// Source text of the extended dictionary: Fig. 6 plus `remove` and
+/// `contains_key`, which the evaluation workloads (MVStore, snitch) use.
+///
+/// `remove(k)/p` behaves as `put(k, nil)/p`, and its rules are obtained by
+/// specializing the Fig. 6 put rules at `v = nil`. `contains_key` observes
+/// only *presence*, so it tolerates puts that overwrite a present key with
+/// a different value — a strictly more precise rule than `get`'s.
+pub const DICTIONARY_EXT_SRC: &str = r#"
+spec dictionary_ext {
+    method put(k, v) -> p;
+    method get(k) -> v;
+    method size() -> r;
+    method remove(k) -> p;
+    method contains_key(k) -> b;
+
+    commute put(k1, v1) -> p1, put(k2, v2) -> p2
+        when k1 != k2 || (v1 == p1 && v2 == p2);
+    commute put(k1, v1) -> p1, get(k2) -> v2
+        when k1 != k2 || v1 == p1;
+    commute put(k1, v1) -> p1, size() -> r
+        when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+    commute put(k1, v1) -> p1, remove(k2) -> p2
+        when k1 != k2 || (v1 == p1 && p2 == nil);
+    commute put(k1, v1) -> p1, contains_key(k2) -> b2
+        when k1 != k2 || (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+
+    commute get(_) -> _, get(_) -> _ when true;
+    commute get(_) -> _, size() -> _ when true;
+    commute get(k1) -> v1, remove(k2) -> p2
+        when k1 != k2 || p2 == nil;
+    commute get(_) -> _, contains_key(_) -> _ when true;
+
+    commute size() -> _, size() -> _ when true;
+    commute size() -> _, remove(k2) -> p2 when p2 == nil;
+    commute size() -> _, contains_key(_) -> _ when true;
+
+    commute remove(k1) -> p1, remove(k2) -> p2
+        when k1 != k2 || (p1 == nil && p2 == nil);
+    commute remove(k1) -> p1, contains_key(k2) -> b2
+        when k1 != k2 || p1 == nil;
+
+    commute contains_key(_) -> _, contains_key(_) -> _ when true;
+}
+"#;
+
+/// Source text of a mathematical set specification.
+///
+/// `add(x)/b` returns whether `x` was newly inserted; `remove(x)/b` whether
+/// it was present. The shadow returns expose exactly the state the
+/// commutativity conditions need (§4.1's "shadow return values").
+pub const SET_SRC: &str = r#"
+spec set {
+    method add(x) -> b;
+    method remove(x) -> b;
+    method contains(x) -> b;
+    method size() -> r;
+
+    commute add(x1) -> b1, add(x2) -> b2
+        when x1 != x2 || (b1 == false && b2 == false);
+    commute add(x1) -> b1, remove(x2) -> b2
+        when x1 != x2 || (b1 == false && b2 == false);
+    commute add(x1) -> b1, contains(x2) -> _
+        when x1 != x2 || b1 == false;
+    commute add(x1) -> b1, size() -> _
+        when b1 == false;
+
+    commute remove(x1) -> b1, remove(x2) -> b2
+        when x1 != x2 || (b1 == false && b2 == false);
+    commute remove(x1) -> b1, contains(x2) -> _
+        when x1 != x2 || b1 == false;
+    commute remove(x1) -> b1, size() -> _
+        when b1 == false;
+
+    commute contains(_) -> _, contains(_) -> _ when true;
+    commute contains(_) -> _, size() -> _ when true;
+    commute size() -> _, size() -> _ when true;
+}
+"#;
+
+/// Source text of a counter specification.
+///
+/// Increments and decrements return nothing, so they commute with each
+/// other even though a read-write race detector sees every one of them as a
+/// write — the canonical example of commutativity being coarser than
+/// reads/writes.
+pub const COUNTER_SRC: &str = r#"
+spec counter {
+    method inc();
+    method dec();
+    method read() -> v;
+
+    commute inc(), inc() when true;
+    commute inc(), dec() when true;
+    commute dec(), dec() when true;
+    commute inc(), read() -> _ when false;
+    commute dec(), read() -> _ when false;
+    commute read() -> _, read() -> _ when true;
+}
+"#;
+
+/// Source text of an atomic register specification.
+///
+/// Note that `write/write` could be refined to "commute when they write the
+/// same value" — but `x1 == x2` is a cross-action *equality*, which lies
+/// outside ECL (§6.1 admits only cross-action `!=`), so the sound,
+/// imprecise `false` is used (Definition 4.2 permits imprecision).
+pub const REGISTER_SRC: &str = r#"
+spec register {
+    method read() -> v;
+    method write(x);
+
+    commute read() -> _, read() -> _ when true;
+    commute read() -> _, write(_) when false;
+    commute write(_), write(_) when false;
+}
+"#;
+
+/// Source text of a FIFO queue specification. Almost nothing commutes —
+/// queue operations are order-sensitive — making this the worst case for
+/// any commutativity analysis.
+pub const QUEUE_SRC: &str = r#"
+spec queue {
+    method enq(x);
+    method deq() -> v;
+    method len() -> r;
+
+    commute enq(_), enq(_) when false;
+    commute enq(_), deq() -> _ when false;
+    commute enq(_), len() -> _ when false;
+    commute deq() -> _, deq() -> _ when false;
+    commute deq() -> _, len() -> _ when false;
+    commute len() -> _, len() -> _ when true;
+}
+"#;
+
+fn parse_builtin(src: &str) -> Spec {
+    parse(src).expect("builtin specification must parse")
+}
+
+/// The dictionary specification of Fig. 6 (`put`, `get`, `size`).
+pub fn dictionary() -> Spec {
+    parse_builtin(DICTIONARY_SRC)
+}
+
+/// The extended dictionary specification (Fig. 6 plus `remove` and
+/// `contains_key`).
+pub fn dictionary_ext() -> Spec {
+    parse_builtin(DICTIONARY_EXT_SRC)
+}
+
+/// A mathematical set (`add`, `remove`, `contains`, `size`).
+pub fn set() -> Spec {
+    parse_builtin(SET_SRC)
+}
+
+/// A counter (`inc`, `dec`, `read`).
+pub fn counter() -> Spec {
+    parse_builtin(COUNTER_SRC)
+}
+
+/// An atomic register (`read`, `write`).
+pub fn register() -> Spec {
+    parse_builtin(REGISTER_SRC)
+}
+
+/// A FIFO queue (`enq`, `deq`, `len`).
+pub fn queue() -> Spec {
+    parse_builtin(QUEUE_SRC)
+}
+
+/// All builtin specifications.
+pub fn all() -> Vec<Spec> {
+    vec![
+        dictionary(),
+        dictionary_ext(),
+        set(),
+        counter(),
+        register(),
+        queue(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_model::{Action, ObjId, Value};
+
+    fn act(spec: &Spec, method: &str, args: Vec<Value>, ret: Value) -> Action {
+        let id = spec.method_id(method).unwrap_or_else(|| {
+            panic!("method {method} not in spec {}", spec.name())
+        });
+        Action::new(ObjId(0), id, args, ret)
+    }
+
+    #[test]
+    fn all_builtins_parse_are_ecl_and_complete() {
+        for spec in all() {
+            assert!(spec.is_ecl(), "{} is not ECL", spec.name());
+            assert!(
+                spec.missing_rules().is_empty(),
+                "{} has missing rules: {:?}",
+                spec.name(),
+                spec.missing_rules()
+            );
+        }
+    }
+
+    #[test]
+    fn all_builtins_round_trip_through_printer() {
+        for spec in all() {
+            let reparsed = parse(&spec.to_source()).unwrap();
+            assert_eq!(reparsed.num_methods(), spec.num_methods());
+            assert!(reparsed.is_ecl());
+        }
+    }
+
+    #[test]
+    fn dictionary_put_put_cases() {
+        let d = dictionary();
+        // Overwriting puts on the same key: race of the running example.
+        let a = act(&d, "put", vec![Value::str("a.com"), Value::Int(1)], Value::Nil);
+        let b = act(&d, "put", vec![Value::str("a.com"), Value::Int(2)], Value::Int(1));
+        assert!(!d.commute(&a, &b));
+        // Different keys commute.
+        let c = act(&d, "put", vec![Value::str("b.com"), Value::Int(2)], Value::Nil);
+        assert!(d.commute(&a, &c));
+        // Two no-op puts (v == p) on the same key commute.
+        let r1 = act(&d, "put", vec![Value::Int(1), Value::Int(9)], Value::Int(9));
+        let r2 = act(&d, "put", vec![Value::Int(1), Value::Int(9)], Value::Int(9));
+        assert!(d.commute(&r1, &r2));
+    }
+
+    #[test]
+    fn dictionary_put_get_cases() {
+        let d = dictionary();
+        let put = act(&d, "put", vec![Value::Int(5), Value::Int(7)], Value::Nil);
+        let get_same = act(&d, "get", vec![Value::Int(5)], Value::Int(7));
+        let get_other = act(&d, "get", vec![Value::Int(6)], Value::Nil);
+        assert!(!d.commute(&put, &get_same));
+        assert!(!d.commute(&get_same, &put)); // symmetric lookup
+        assert!(d.commute(&put, &get_other));
+        // A read-like put (v == p) commutes with any get.
+        let noop_put = act(&d, "put", vec![Value::Int(5), Value::Int(7)], Value::Int(7));
+        assert!(d.commute(&noop_put, &get_same));
+    }
+
+    #[test]
+    fn dictionary_put_size_depends_only_on_resizing() {
+        let d = dictionary();
+        let size = act(&d, "size", vec![], Value::Int(3));
+        // Insert into empty slot: resizes, conflicts with size().
+        let grow = act(&d, "put", vec![Value::Int(1), Value::Int(2)], Value::Nil);
+        assert!(!d.commute(&grow, &size));
+        // Overwrite present key with non-nil: no resize, commutes.
+        let overwrite = act(&d, "put", vec![Value::Int(1), Value::Int(2)], Value::Int(9));
+        assert!(d.commute(&overwrite, &size));
+        // put(k, nil) on a present key shrinks: conflicts.
+        let shrink = act(&d, "put", vec![Value::Int(1), Value::Nil], Value::Int(9));
+        assert!(!d.commute(&shrink, &size));
+        // put(k, nil) on an absent key: no-op for size.
+        let noop = act(&d, "put", vec![Value::Int(1), Value::Nil], Value::Nil);
+        assert!(d.commute(&noop, &size));
+    }
+
+    #[test]
+    fn dictionary_reads_always_commute() {
+        let d = dictionary();
+        let g1 = act(&d, "get", vec![Value::Int(1)], Value::Int(5));
+        let g2 = act(&d, "get", vec![Value::Int(1)], Value::Int(5));
+        let s = act(&d, "size", vec![], Value::Int(9));
+        assert!(d.commute(&g1, &g2));
+        assert!(d.commute(&g1, &s));
+        assert!(d.commute(&s, &s));
+    }
+
+    #[test]
+    fn dictionary_ext_remove_mirrors_put_nil() {
+        let d = dictionary_ext();
+        let size = act(&d, "size", vec![], Value::Int(0));
+        // Removing a present key conflicts with size.
+        let hit = act(&d, "remove", vec![Value::Int(1)], Value::Int(7));
+        assert!(!d.commute(&hit, &size));
+        // Removing an absent key is a no-op.
+        let miss = act(&d, "remove", vec![Value::Int(1)], Value::Nil);
+        assert!(d.commute(&miss, &size));
+        // remove vs get on the same key: conflicts iff remove hit.
+        let get = act(&d, "get", vec![Value::Int(1)], Value::Int(7));
+        assert!(!d.commute(&hit, &get));
+        assert!(d.commute(&miss, &get));
+    }
+
+    #[test]
+    fn dictionary_ext_contains_is_presence_only() {
+        let d = dictionary_ext();
+        let contains = act(&d, "contains_key", vec![Value::Int(1)], Value::Bool(true));
+        // Overwriting a present key with another non-nil value keeps
+        // presence: commutes with contains_key — unlike get.
+        let overwrite = act(&d, "put", vec![Value::Int(1), Value::Int(2)], Value::Int(9));
+        assert!(d.commute(&overwrite, &contains));
+        let get = act(&d, "get", vec![Value::Int(1)], Value::Int(9));
+        assert!(!d.commute(&overwrite, &get));
+        // Fresh insert changes presence: conflicts.
+        let insert = act(&d, "put", vec![Value::Int(1), Value::Int(2)], Value::Nil);
+        assert!(!d.commute(&insert, &contains));
+    }
+
+    #[test]
+    fn set_add_semantics() {
+        let s = set();
+        let fresh1 = act(&s, "add", vec![Value::Int(1)], Value::Bool(true));
+        let fresh2 = act(&s, "add", vec![Value::Int(1)], Value::Bool(true));
+        let dup = act(&s, "add", vec![Value::Int(1)], Value::Bool(false));
+        let size = act(&s, "size", vec![], Value::Int(1));
+        assert!(!s.commute(&fresh1, &fresh2)); // both changed membership
+        assert!(s.commute(&dup, &dup.clone())); // both no-ops
+        assert!(!s.commute(&fresh1, &size));
+        assert!(s.commute(&dup, &size));
+        let other = act(&s, "add", vec![Value::Int(2)], Value::Bool(true));
+        assert!(s.commute(&fresh1, &other));
+    }
+
+    #[test]
+    fn counter_incs_commute_but_conflict_with_read() {
+        let c = counter();
+        let inc = act(&c, "inc", vec![], Value::Nil);
+        let dec = act(&c, "dec", vec![], Value::Nil);
+        let read = act(&c, "read", vec![], Value::Int(5));
+        assert!(c.commute(&inc, &inc.clone()));
+        assert!(c.commute(&inc, &dec));
+        assert!(!c.commute(&inc, &read));
+        assert!(c.commute(&read, &read.clone()));
+    }
+
+    #[test]
+    fn register_writes_never_commute() {
+        let r = register();
+        let w1 = act(&r, "write", vec![Value::Int(1)], Value::Nil);
+        let w2 = act(&r, "write", vec![Value::Int(1)], Value::Nil);
+        let rd = act(&r, "read", vec![], Value::Int(1));
+        assert!(!r.commute(&w1, &w2));
+        assert!(!r.commute(&w1, &rd));
+        assert!(r.commute(&rd, &rd.clone()));
+    }
+
+    #[test]
+    fn queue_is_order_sensitive() {
+        let q = queue();
+        let enq = act(&q, "enq", vec![Value::Int(1)], Value::Nil);
+        let deq = act(&q, "deq", vec![], Value::Int(1));
+        let len = act(&q, "len", vec![], Value::Int(0));
+        assert!(!q.commute(&enq, &enq.clone()));
+        assert!(!q.commute(&enq, &deq));
+        assert!(!q.commute(&deq, &len));
+        assert!(q.commute(&len, &len.clone()));
+    }
+}

@@ -1,0 +1,149 @@
+//! Diagnostics for the specification language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A byte range within a specification source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `start..end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn cover(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// A zero-width span at `offset` (used for end-of-input errors).
+    pub fn point(offset: u32) -> Span {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// An error produced while lexing, parsing or resolving a specification.
+///
+/// The error carries the offending [`Span`]; [`SpecError::render`] produces
+/// a compiler-style report with line/column information and a caret line
+/// when given the original source.
+///
+/// # Examples
+///
+/// ```
+/// use crace_spec::parse;
+/// let src = "spec s { method m(; }";
+/// let err = parse(src).unwrap_err();
+/// let report = err.render(src);
+/// assert!(report.contains("line 1"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+    span: Span,
+}
+
+impl SpecError {
+    /// Creates an error with a message anchored at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> SpecError {
+        SpecError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The error message (without location information).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source span the error refers to.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders a compiler-style report against the original source text:
+    /// message, `line:column`, the offending line, and a caret marker.
+    pub fn render(&self, source: &str) -> String {
+        let start = (self.span.start as usize).min(source.len());
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_no = source[..start].matches('\n').count() + 1;
+        let col = start - line_start + 1;
+        let line_end = source[start..]
+            .find('\n')
+            .map_or(source.len(), |i| start + i);
+        let line = &source[line_start..line_end];
+        let width = ((self.span.end as usize).min(line_end).max(start + 1) - start).max(1);
+        let mut out = String::new();
+        out.push_str(&format!("error: {} (line {line_no}, column {col})\n", self.message));
+        out.push_str(&format!("  | {line}\n"));
+        out.push_str(&format!("  | {}{}\n", " ".repeat(col - 1), "^".repeat(width)));
+        out
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_spans() {
+        let a = Span::new(3, 5);
+        let b = Span::new(8, 10);
+        assert_eq!(a.cover(b), Span::new(3, 10));
+        assert_eq!(b.cover(a), Span::new(3, 10));
+    }
+
+    #[test]
+    fn render_points_at_offending_text() {
+        let src = "first line\nsecond line here";
+        // Span of "line" on the second line (offset 18..22).
+        let err = SpecError::new("unexpected thing", Span::new(18, 22));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2, column 8"), "{rendered}");
+        assert!(rendered.contains("second line here"));
+        assert!(rendered.contains("^^^^"));
+    }
+
+    #[test]
+    fn render_handles_span_at_end_of_input() {
+        let src = "abc";
+        let err = SpecError::new("unexpected end of input", Span::point(3));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 1, column 4"));
+    }
+
+    #[test]
+    fn display_includes_span() {
+        let err = SpecError::new("boom", Span::new(1, 2));
+        assert_eq!(err.to_string(), "boom at 1..2");
+        assert_eq!(err.message(), "boom");
+    }
+}

@@ -1,0 +1,794 @@
+//! Resolved commutativity formulas, fragment classification (§6.1) and
+//! β-substitution (Lemma 6.4).
+
+use crace_model::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which of the two actions a variable belongs to: `V1` (the first action's
+/// arguments/returns) or `V2` (the second's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// Variables drawn from `V1`.
+    First,
+    /// Variables drawn from `V2`.
+    Second,
+}
+
+impl Side {
+    /// The other side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::First => Side::Second,
+            Side::Second => Side::First,
+        }
+    }
+}
+
+/// Comparison operators available in atomic predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two concrete values. Ordering comparisons
+    /// use the total order on [`Value`].
+    pub fn apply(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The operator with its arguments swapped (`<` ↦ `>` etc.).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A term inside an atomic predicate: a slot of the action the predicate's
+/// side refers to, or a literal constant.
+///
+/// Slot indices number the action's arguments first, then the return value
+/// (the `w⃗ = u⃗v⃗` numbering of §6.2).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// Slot `i` of the owning action.
+    Slot(usize),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl Term {
+    fn eval<'a>(&'a self, slots: &'a [Value]) -> &'a Value {
+        match self {
+            Term::Slot(i) => &slots[*i],
+            Term::Const(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Slot(i) => write!(f, "w{i}"),
+            Term::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An atomic `LB` predicate: a comparison whose variables all refer to slots
+/// of a *single* action. This is the "normalized" form of §6.2 — the side
+/// distinction is erased, so `v1 == p1` and `v2 == p2` are the same
+/// [`Pred`].
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::Value;
+/// use crace_spec::{CmpOp, Pred, Term};
+///
+/// // v == p, for a put(k,v)/p action: slot 1 vs slot 2.
+/// let read_like = Pred::new(CmpOp::Eq, Term::Slot(1), Term::Slot(2));
+/// let slots = [Value::Int(5), Value::Int(7), Value::Int(7)];
+/// assert!(read_like.eval(&slots));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred {
+    op: CmpOp,
+    lhs: Term,
+    rhs: Term,
+}
+
+impl Pred {
+    /// Creates the predicate `lhs op rhs`, canonicalizing the operand order
+    /// for the symmetric operators so that structurally equal predicates
+    /// compare equal.
+    pub fn new(op: CmpOp, lhs: Term, rhs: Term) -> Pred {
+        match op {
+            CmpOp::Eq | CmpOp::Ne if rhs < lhs => Pred {
+                op,
+                lhs: rhs,
+                rhs: lhs,
+            },
+            CmpOp::Gt | CmpOp::Ge => Pred {
+                op: op.swap(),
+                lhs: rhs,
+                rhs: lhs,
+            },
+            _ => Pred { op, lhs, rhs },
+        }
+    }
+
+    /// Evaluates the predicate against the slot vector of one action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot index is out of range for `slots` (specifications
+    /// are resolved against method signatures, so this indicates a
+    /// mismatched action).
+    pub fn eval(&self, slots: &[Value]) -> bool {
+        self.op.apply(self.lhs.eval(slots), self.rhs.eval(slots))
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+
+    /// The left operand (in canonical order).
+    pub fn lhs(&self) -> &Term {
+        &self.lhs
+    }
+
+    /// The right operand (in canonical order).
+    pub fn rhs(&self) -> &Term {
+        &self.rhs
+    }
+
+    /// The largest slot index mentioned, if any.
+    pub fn max_slot(&self) -> Option<usize> {
+        let slot = |t: &Term| match t {
+            Term::Slot(i) => Some(*i),
+            Term::Const(_) => None,
+        };
+        slot(&self.lhs).max(slot(&self.rhs))
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A normalized atom of `B(Φ)`: a [`Pred`] — the name records that the
+/// `V1`/`V2` distinction has been dropped per §6.2.
+pub type NormAtom = Pred;
+
+/// A resolved commutativity formula `ϕ(x⃗₁; x⃗₂)`.
+///
+/// The shape mirrors the grammars of §6.1:
+///
+/// * [`Formula::NeqCross`] is the `LS` atom `xᵢ ≠ yⱼ` (slot `i` of the
+///   first action differs from slot `j` of the second),
+/// * [`Formula::Atom`] is an `LB` atom: a predicate over one side only,
+/// * conjunction, disjunction and negation combine them; which combinations
+///   are legal is *not* enforced structurally but checked by
+///   [`Formula::fragment`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The formula `true` (always commute).
+    True,
+    /// The formula `false` (never commute).
+    False,
+    /// `xᵢ ≠ yⱼ` — slot `i` of the first action differs from slot `j` of
+    /// the second. The only cross-action atom ECL admits.
+    NeqCross {
+        /// Slot index into the first action.
+        i: usize,
+        /// Slot index into the second action.
+        j: usize,
+    },
+    /// An `LB` atom: `pred` evaluated on the `side` action's slots.
+    Atom {
+        /// Which action the predicate reads.
+        side: Side,
+        /// The (normalized) predicate.
+        pred: Pred,
+    },
+    /// Negation (`LB` only, per the grammar).
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Smart constructor for an `LB` atom, canonicalizing the comparison so
+    /// that predicates use only `==` and `<`:
+    ///
+    /// * `a != b` becomes `!(a == b)`,
+    /// * `a <= b` becomes `!(b < a)`,
+    /// * `a >= b` becomes `!(a < b)`,
+    /// * `a > b` becomes `b < a`.
+    ///
+    /// This matches the paper's normalization of `B(Φ)` — Fig. 6's
+    /// `v ≠ nil` is the negation of the atom `v = nil`, not a fourth atom —
+    /// and keeps β vectors minimal.
+    pub fn atom(side: Side, op: CmpOp, lhs: Term, rhs: Term) -> Formula {
+        match op {
+            CmpOp::Ne => Formula::atom(side, CmpOp::Eq, lhs, rhs).not(),
+            CmpOp::Le => Formula::atom(side, CmpOp::Lt, rhs, lhs).not(),
+            CmpOp::Ge => Formula::atom(side, CmpOp::Lt, lhs, rhs).not(),
+            CmpOp::Gt => Formula::Atom {
+                side,
+                pred: Pred::new(CmpOp::Lt, rhs, lhs),
+            },
+            CmpOp::Eq | CmpOp::Lt => Formula::Atom {
+                side,
+                pred: Pred::new(op, lhs, rhs),
+            },
+        }
+    }
+
+    /// Smart conjunction with constant folding.
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (Formula::True, f) | (f, Formula::True) => f,
+            (a, b) => Formula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart disjunction with constant folding.
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (Formula::False, f) | (f, Formula::False) => f,
+            (a, b) => Formula::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart negation with constant folding and double-negation removal.
+    #[allow(clippy::should_implement_trait)] // consuming smart constructor, not an operator
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// Evaluates `ϕ(a, b)` on the slot vectors of two concrete actions.
+    pub fn eval(&self, first: &[Value], second: &[Value]) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::NeqCross { i, j } => first[*i] != second[*j],
+            Formula::Atom { side, pred } => match side {
+                Side::First => pred.eval(first),
+                Side::Second => pred.eval(second),
+            },
+            Formula::Not(f) => !f.eval(first, second),
+            Formula::And(a, b) => a.eval(first, second) && b.eval(first, second),
+            Formula::Or(a, b) => a.eval(first, second) || b.eval(first, second),
+        }
+    }
+
+    /// The formula with the two sides exchanged: `ϕ(x⃗₂; x⃗₁)`.
+    ///
+    /// Used to check the required symmetry of same-method specifications
+    /// and to orient rules stored under a canonical method order.
+    pub fn swap_sides(&self) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::NeqCross { i, j } => Formula::NeqCross { i: *j, j: *i },
+            Formula::Atom { side, pred } => Formula::Atom {
+                side: side.flip(),
+                pred: pred.clone(),
+            },
+            Formula::Not(f) => Formula::Not(Box::new(f.swap_sides())),
+            Formula::And(a, b) => Formula::And(Box::new(a.swap_sides()), Box::new(b.swap_sides())),
+            Formula::Or(a, b) => Formula::Or(Box::new(a.swap_sides()), Box::new(b.swap_sides())),
+        }
+    }
+
+    /// Classifies the formula against the §6.1 grammars.
+    pub fn fragment(&self) -> Fragment {
+        match self {
+            Formula::True | Formula::False => Fragment {
+                is_ls: true,
+                is_lb: true,
+                is_ecl: true,
+            },
+            Formula::NeqCross { .. } => Fragment {
+                is_ls: true,
+                is_lb: false,
+                is_ecl: true,
+            },
+            Formula::Atom { .. } => Fragment {
+                is_ls: false,
+                is_lb: true,
+                is_ecl: true,
+            },
+            Formula::Not(f) => {
+                let inner = f.fragment();
+                Fragment {
+                    is_ls: false,
+                    is_lb: inner.is_lb,
+                    is_ecl: inner.is_lb,
+                }
+            }
+            Formula::And(a, b) => {
+                let (fa, fb) = (a.fragment(), b.fragment());
+                Fragment {
+                    is_ls: fa.is_ls && fb.is_ls,
+                    is_lb: fa.is_lb && fb.is_lb,
+                    // X ∧ X
+                    is_ecl: fa.is_ecl && fb.is_ecl,
+                }
+            }
+            Formula::Or(a, b) => {
+                let (fa, fb) = (a.fragment(), b.fragment());
+                Fragment {
+                    is_ls: false,
+                    is_lb: fa.is_lb && fb.is_lb,
+                    // X ∨ B (we accept B on either side; ∨ is commutative)
+                    is_ecl: (fa.is_ecl && fb.is_lb) || (fa.is_lb && fb.is_ecl),
+                }
+            }
+        }
+    }
+
+    /// Collects the normalized `LB` atoms occurring in the formula that
+    /// refer to the given `side` — the per-method slice of `B(Φ)` (§6.2
+    /// calls it `B(Φ, m)` after normalization).
+    pub fn lb_atoms(&self, side: Side, out: &mut BTreeSet<NormAtom>) {
+        match self {
+            Formula::True | Formula::False | Formula::NeqCross { .. } => {}
+            Formula::Atom { side: s, pred } => {
+                if *s == side {
+                    out.insert(pred.clone());
+                }
+            }
+            Formula::Not(f) => f.lb_atoms(side, out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.lb_atoms(side, out);
+                b.lb_atoms(side, out);
+            }
+        }
+    }
+
+    /// Performs the β-substitution of §6.2: replaces every `LB` atom by its
+    /// truth value under `beta1` (for [`Side::First`] atoms) or `beta2`
+    /// (for [`Side::Second`] atoms) and simplifies.
+    ///
+    /// By Lemma 6.4 the result of substituting into an ECL formula is an
+    /// `LS` formula — a conjunction of cross-inequalities or a constant —
+    /// returned as an [`LsResidue`]. For formulas outside ECL the residue
+    /// may be `Mixed`, which the translation rejects.
+    pub fn substitute(
+        &self,
+        beta1: &dyn Fn(&Pred) -> bool,
+        beta2: &dyn Fn(&Pred) -> bool,
+    ) -> LsResidue {
+        match self {
+            Formula::True => LsResidue::Conjuncts(BTreeSet::new()),
+            Formula::False => LsResidue::False,
+            Formula::NeqCross { i, j } => {
+                let mut set = BTreeSet::new();
+                set.insert((*i, *j));
+                LsResidue::Conjuncts(set)
+            }
+            Formula::Atom { side, pred } => {
+                let truth = match side {
+                    Side::First => beta1(pred),
+                    Side::Second => beta2(pred),
+                };
+                if truth {
+                    LsResidue::Conjuncts(BTreeSet::new())
+                } else {
+                    LsResidue::False
+                }
+            }
+            Formula::Not(f) => match f.substitute(beta1, beta2) {
+                LsResidue::False => LsResidue::Conjuncts(BTreeSet::new()),
+                LsResidue::Conjuncts(c) if c.is_empty() => LsResidue::False,
+                _ => LsResidue::Mixed,
+            },
+            Formula::And(a, b) => {
+                match (a.substitute(beta1, beta2), b.substitute(beta1, beta2)) {
+                    (LsResidue::False, _) | (_, LsResidue::False) => LsResidue::False,
+                    (LsResidue::Mixed, _) | (_, LsResidue::Mixed) => LsResidue::Mixed,
+                    (LsResidue::Conjuncts(mut x), LsResidue::Conjuncts(y)) => {
+                        x.extend(y);
+                        LsResidue::Conjuncts(x)
+                    }
+                }
+            }
+            Formula::Or(a, b) => {
+                match (a.substitute(beta1, beta2), b.substitute(beta1, beta2)) {
+                    // true ∨ _ = true
+                    (LsResidue::Conjuncts(x), _) if x.is_empty() => {
+                        LsResidue::Conjuncts(BTreeSet::new())
+                    }
+                    (_, LsResidue::Conjuncts(y)) if y.is_empty() => {
+                        LsResidue::Conjuncts(BTreeSet::new())
+                    }
+                    (LsResidue::False, r) | (r, LsResidue::False) => r,
+                    // A disjunction of two nontrivial LS residues is not LS.
+                    _ => LsResidue::Mixed,
+                }
+            }
+        }
+    }
+
+    /// The largest slot index mentioned on `side`, if any (used by the
+    /// resolver to validate arity and by the translation to size tables).
+    pub fn max_slot(&self, side: Side) -> Option<usize> {
+        match self {
+            Formula::True | Formula::False => None,
+            Formula::NeqCross { i, j } => match side {
+                Side::First => Some(*i),
+                Side::Second => Some(*j),
+            },
+            Formula::Atom { side: s, pred } => {
+                if *s == side {
+                    pred.max_slot()
+                } else {
+                    None
+                }
+            }
+            Formula::Not(f) => f.max_slot(side),
+            Formula::And(a, b) | Formula::Or(a, b) => a.max_slot(side).max(b.max_slot(side)),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(formula: &Formula, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match formula {
+                Formula::True => write!(f, "true"),
+                Formula::False => write!(f, "false"),
+                Formula::NeqCross { i, j } => write!(f, "x{i} != y{j}"),
+                Formula::Atom { side, pred } => match side {
+                    Side::First => write!(f, "[1]({pred})"),
+                    Side::Second => write!(f, "[2]({pred})"),
+                },
+                Formula::Not(inner) => {
+                    write!(f, "!")?;
+                    go(inner, f, 3)
+                }
+                Formula::And(a, b) => {
+                    let need = prec > 2;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 2)?;
+                    write!(f, " && ")?;
+                    go(b, f, 2)?;
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Formula::Or(a, b) => {
+                    let need = prec > 1;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 1)?;
+                    write!(f, " || ")?;
+                    go(b, f, 1)?;
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+/// The result of classifying a formula against the §6.1 grammars.
+///
+/// `LS ⊆ ECL` and `LB ⊆ ECL`; constants belong to all three.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Member of `LS` (SIMPLE): conjunctions of cross-inequalities.
+    pub is_ls: bool,
+    /// Member of `LB`: boolean combinations of single-side atoms.
+    pub is_lb: bool,
+    /// Member of `ECL = S | B | X∧X | X∨B`.
+    pub is_ecl: bool,
+}
+
+/// What remains of an ECL formula after β-substitution (Lemma 6.4): an `LS`
+/// formula, i.e. `false` or a conjunction of cross-inequalities
+/// `xᵢ ≠ yⱼ` (the empty conjunction being `true`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LsResidue {
+    /// The residue is equivalent to `false`.
+    False,
+    /// A conjunction of the listed `(i, j)` cross-inequalities; empty means
+    /// `true`.
+    Conjuncts(BTreeSet<(usize, usize)>),
+    /// The substitution did not reduce to an `LS` formula — the input was
+    /// not an ECL formula.
+    Mixed,
+}
+
+impl LsResidue {
+    /// Returns `true` iff the residue is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, LsResidue::Conjuncts(c) if c.is_empty())
+    }
+
+    /// Returns `true` iff the residue is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, LsResidue::False)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neq(i: usize, j: usize) -> Formula {
+        Formula::NeqCross { i, j }
+    }
+
+    fn atom(side: Side, op: CmpOp, l: Term, r: Term) -> Formula {
+        Formula::Atom {
+            side,
+            pred: Pred::new(op, l, r),
+        }
+    }
+
+    /// The Fig. 6 put/put formula: k1 != k2 || (v1 == p1 && v2 == p2)
+    /// for put(k,v)/p with slots k=0, v=1, p=2.
+    fn put_put() -> Formula {
+        let reads1 = atom(Side::First, CmpOp::Eq, Term::Slot(1), Term::Slot(2));
+        let reads2 = atom(Side::Second, CmpOp::Eq, Term::Slot(1), Term::Slot(2));
+        neq(0, 0).or(reads1.and(reads2))
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        assert_eq!(Formula::True.and(neq(0, 0)), neq(0, 0));
+        assert_eq!(Formula::False.and(neq(0, 0)), Formula::False);
+        assert_eq!(Formula::False.or(neq(0, 0)), neq(0, 0));
+        assert_eq!(Formula::True.or(neq(0, 0)), Formula::True);
+        assert_eq!(Formula::True.not(), Formula::False);
+        assert_eq!(neq(0, 0).not().not(), neq(0, 0));
+    }
+
+    #[test]
+    fn pred_canonicalization() {
+        // a == b and b == a are the same predicate.
+        assert_eq!(
+            Pred::new(CmpOp::Eq, Term::Slot(2), Term::Slot(1)),
+            Pred::new(CmpOp::Eq, Term::Slot(1), Term::Slot(2))
+        );
+        // a > b is stored as b < a.
+        assert_eq!(
+            Pred::new(CmpOp::Gt, Term::Slot(0), Term::Slot(1)),
+            Pred::new(CmpOp::Lt, Term::Slot(1), Term::Slot(0))
+        );
+    }
+
+    #[test]
+    fn eval_put_put_matches_paper_semantics() {
+        let phi = put_put();
+        // Different keys commute.
+        let a = [Value::Int(1), Value::Int(10), Value::Nil];
+        let b = [Value::Int(2), Value::Int(20), Value::Nil];
+        assert!(phi.eval(&a, &b));
+        // Same key, both are "reads" (v == p): commute.
+        let a = [Value::Int(1), Value::Int(10), Value::Int(10)];
+        let b = [Value::Int(1), Value::Int(10), Value::Int(10)];
+        assert!(phi.eval(&a, &b));
+        // Same key, one write: do not commute.
+        let a = [Value::Int(1), Value::Int(10), Value::Nil];
+        let b = [Value::Int(1), Value::Int(10), Value::Int(10)];
+        assert!(!phi.eval(&a, &b));
+    }
+
+    #[test]
+    fn eval_ordering_atoms() {
+        let f = atom(Side::First, CmpOp::Lt, Term::Slot(0), Term::Const(Value::Int(5)));
+        assert!(f.eval(&[Value::Int(3)], &[]));
+        assert!(!f.eval(&[Value::Int(7)], &[]));
+    }
+
+    #[test]
+    fn swap_sides_is_involutive_and_flips() {
+        let phi = put_put();
+        assert_eq!(phi.swap_sides().swap_sides(), phi);
+        let a = [Value::Int(1), Value::Int(10), Value::Nil];
+        let b = [Value::Int(1), Value::Int(20), Value::Int(20)];
+        assert_eq!(phi.eval(&a, &b), phi.swap_sides().eval(&b, &a));
+    }
+
+    #[test]
+    fn fragment_of_ls_formulas() {
+        let f = neq(0, 0).and(neq(1, 2));
+        let frag = f.fragment();
+        assert!(frag.is_ls && frag.is_ecl && !frag.is_lb);
+    }
+
+    #[test]
+    fn fragment_of_lb_formulas() {
+        let f = atom(Side::First, CmpOp::Eq, Term::Slot(0), Term::Slot(1))
+            .or(atom(Side::Second, CmpOp::Ne, Term::Slot(0), Term::Const(Value::Nil)))
+            .not();
+        let frag = f.fragment();
+        assert!(frag.is_lb && frag.is_ecl && !frag.is_ls);
+    }
+
+    #[test]
+    fn fragment_of_ecl_combination() {
+        let frag = put_put().fragment();
+        assert!(frag.is_ecl);
+        assert!(!frag.is_ls); // contains a disjunction and equality atoms
+        assert!(!frag.is_lb); // contains a cross-inequality
+    }
+
+    #[test]
+    fn fragment_rejects_disjunction_of_two_ls() {
+        // x0 != y0 || x1 != y1 is not in ECL (the paper's X ∨ B only allows
+        // an LB disjunct).
+        let f = neq(0, 0).or(neq(1, 1));
+        let frag = f.fragment();
+        assert!(!frag.is_ecl);
+    }
+
+    #[test]
+    fn fragment_rejects_negated_ls() {
+        let f = neq(0, 0).not();
+        assert!(!f.fragment().is_ecl);
+    }
+
+    #[test]
+    fn constants_are_in_every_fragment() {
+        for f in [Formula::True, Formula::False] {
+            let frag = f.fragment();
+            assert!(frag.is_ls && frag.is_lb && frag.is_ecl);
+        }
+    }
+
+    #[test]
+    fn lb_atoms_collects_per_side_normalized() {
+        let phi = put_put();
+        let mut first = BTreeSet::new();
+        phi.lb_atoms(Side::First, &mut first);
+        let mut second = BTreeSet::new();
+        phi.lb_atoms(Side::Second, &mut second);
+        // Normalization erases sides: the same v == p atom on both sides.
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 1);
+    }
+
+    #[test]
+    fn substitute_put_put_both_reads() {
+        let phi = put_put();
+        // β: v == p is true on both sides → residue is `true`.
+        let t = |_: &Pred| true;
+        assert!(phi.substitute(&t, &t).is_true());
+    }
+
+    #[test]
+    fn substitute_put_put_one_write() {
+        let phi = put_put();
+        let t = |_: &Pred| true;
+        let f = |_: &Pred| false;
+        // One side writes → residue is exactly the conjunct k1 != k2.
+        let residue = phi.substitute(&t, &f);
+        match residue {
+            LsResidue::Conjuncts(c) => {
+                assert_eq!(c.into_iter().collect::<Vec<_>>(), vec![(0, 0)]);
+            }
+            other => panic!("expected conjuncts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitute_yields_false_for_size_conflict() {
+        // ϕ_put_size = (v==nil && p==nil) || (v!=nil && p!=nil): pure LB.
+        let v_nil = Pred::new(CmpOp::Eq, Term::Slot(1), Term::Const(Value::Nil));
+        let p_nil = Pred::new(CmpOp::Eq, Term::Slot(2), Term::Const(Value::Nil));
+        let phi = Formula::Atom {
+            side: Side::First,
+            pred: v_nil.clone(),
+        }
+        .and(Formula::Atom {
+            side: Side::First,
+            pred: p_nil.clone(),
+        })
+        .or(Formula::Atom {
+            side: Side::First,
+            pred: v_nil.clone(),
+        }
+        .not()
+        .and(
+            Formula::Atom {
+                side: Side::First,
+                pred: p_nil.clone(),
+            }
+            .not(),
+        ));
+        // A resizing put: v != nil, p == nil.
+        let beta1 = move |p: &Pred| *p != v_nil;
+        let beta2 = |_: &Pred| true;
+        assert!(phi.substitute(&beta1, &beta2).is_false());
+    }
+
+    #[test]
+    fn substitute_detects_non_ecl_shapes() {
+        let f = neq(0, 0).or(neq(1, 1));
+        let t = |_: &Pred| true;
+        assert_eq!(f.substitute(&t, &t), LsResidue::Mixed);
+        let g = neq(0, 0).not();
+        assert_eq!(g.substitute(&t, &t), LsResidue::Mixed);
+    }
+
+    #[test]
+    fn max_slot_per_side() {
+        let phi = put_put();
+        assert_eq!(phi.max_slot(Side::First), Some(2));
+        assert_eq!(phi.max_slot(Side::Second), Some(2));
+        assert_eq!(neq(3, 1).max_slot(Side::First), Some(3));
+        assert_eq!(neq(3, 1).max_slot(Side::Second), Some(1));
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let phi = put_put();
+        let s = phi.to_string();
+        assert!(s.contains("x0 != y0"), "{s}");
+        assert!(s.contains("&&"), "{s}");
+    }
+}

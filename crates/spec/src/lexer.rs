@@ -1,0 +1,396 @@
+//! Lexer for the specification language.
+
+use crate::error::{Span, SpecError};
+use std::fmt;
+
+/// The kinds of tokens in the specification language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    // Keywords
+    Spec,
+    Method,
+    Commute,
+    When,
+    True,
+    False,
+    Nil,
+    // Literals and identifiers
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Underscore,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Arrow,
+    // Operators
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Spec => write!(f, "`spec`"),
+            TokenKind::Method => write!(f, "`method`"),
+            TokenKind::Commute => write!(f, "`commute`"),
+            TokenKind::When => write!(f, "`when`"),
+            TokenKind::True => write!(f, "`true`"),
+            TokenKind::False => write!(f, "`false`"),
+            TokenKind::Nil => write!(f, "`nil`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Underscore => write!(f, "`_`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Tokenizes `source`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// Line comments start with `//` or `#` and run to end of line.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, SpecError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        // Whitespace
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Comments: `//` and `#`
+        if b == b'#' || (b == b'/' && bytes.get(pos + 1) == Some(&b'/')) {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        let kind = match b {
+            b'(' => {
+                pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                pos += 1;
+                TokenKind::RParen
+            }
+            b'{' => {
+                pos += 1;
+                TokenKind::LBrace
+            }
+            b'}' => {
+                pos += 1;
+                TokenKind::RBrace
+            }
+            b',' => {
+                pos += 1;
+                TokenKind::Comma
+            }
+            b';' => {
+                pos += 1;
+                TokenKind::Semi
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'>') => {
+                pos += 2;
+                TokenKind::Arrow
+            }
+            b'-' if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) => {
+                pos += 1;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let text = &source[start..pos];
+                let value = text.parse::<i64>().map_err(|_| {
+                    SpecError::new(
+                        format!("integer literal `{text}` out of range"),
+                        Span::new(start as u32, pos as u32),
+                    )
+                })?;
+                TokenKind::Int(value)
+            }
+            b'=' if bytes.get(pos + 1) == Some(&b'=') => {
+                pos += 2;
+                TokenKind::EqEq
+            }
+            b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                pos += 2;
+                TokenKind::NotEq
+            }
+            b'!' => {
+                pos += 1;
+                TokenKind::Bang
+            }
+            b'<' if bytes.get(pos + 1) == Some(&b'=') => {
+                pos += 2;
+                TokenKind::Le
+            }
+            b'<' => {
+                pos += 1;
+                TokenKind::Lt
+            }
+            b'>' if bytes.get(pos + 1) == Some(&b'=') => {
+                pos += 2;
+                TokenKind::Ge
+            }
+            b'>' => {
+                pos += 1;
+                TokenKind::Gt
+            }
+            b'&' if bytes.get(pos + 1) == Some(&b'&') => {
+                pos += 2;
+                TokenKind::AndAnd
+            }
+            b'|' if bytes.get(pos + 1) == Some(&b'|') => {
+                pos += 2;
+                TokenKind::OrOr
+            }
+            b'"' => {
+                pos += 1;
+                let content_start = pos;
+                while pos < bytes.len() && bytes[pos] != b'"' {
+                    if bytes[pos] == b'\n' {
+                        return Err(SpecError::new(
+                            "unterminated string literal",
+                            Span::new(start as u32, pos as u32),
+                        ));
+                    }
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(SpecError::new(
+                        "unterminated string literal",
+                        Span::new(start as u32, pos as u32),
+                    ));
+                }
+                let text = source[content_start..pos].to_string();
+                pos += 1; // closing quote
+                TokenKind::Str(text)
+            }
+            b'0'..=b'9' => {
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let text = &source[start..pos];
+                let value = text.parse::<i64>().map_err(|_| {
+                    SpecError::new(
+                        format!("integer literal `{text}` out of range"),
+                        Span::new(start as u32, pos as u32),
+                    )
+                })?;
+                TokenKind::Int(value)
+            }
+            b'_' if !ident_continues(bytes.get(pos + 1)) => {
+                pos += 1;
+                TokenKind::Underscore
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while pos < bytes.len() && ident_continues(Some(&bytes[pos])) {
+                    pos += 1;
+                }
+                match &source[start..pos] {
+                    "spec" => TokenKind::Spec,
+                    "method" => TokenKind::Method,
+                    "commute" => TokenKind::Commute,
+                    "when" => TokenKind::When,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "nil" => TokenKind::Nil,
+                    ident => TokenKind::Ident(ident.to_string()),
+                }
+            }
+            other => {
+                return Err(SpecError::new(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(start as u32, start as u32 + 1),
+                ));
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, pos as u32),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(bytes.len() as u32),
+    });
+    Ok(tokens)
+}
+
+fn ident_continues(b: Option<&u8>) -> bool {
+    matches!(b, Some(b) if b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("spec dictionary when whenx"),
+            vec![
+                TokenKind::Spec,
+                TokenKind::Ident("dictionary".into()),
+                TokenKind::When,
+                TokenKind::Ident("whenx".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("== != <= >= < > && || ! ->"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Arrow,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_alone_is_wildcard_but_prefix_is_ident() {
+        assert_eq!(
+            kinds("_ _x x_"),
+            vec![
+                TokenKind::Underscore,
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("x_".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds(r#"42 "a.com" nil"#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Str("a.com".into()),
+                TokenKind::Nil,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_negative_integers_but_not_arrow() {
+        assert_eq!(
+            kinds("-7 -> -0"),
+            vec![
+                TokenKind::Int(-7),
+                TokenKind::Arrow,
+                TokenKind::Int(0),
+                TokenKind::Eof,
+            ]
+        );
+        // A bare `-` is still an error.
+        assert!(tokenize("a - b").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment ;;;\nb # another\nc"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+        assert_eq!(toks[2].span, Span::point(6));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("\"abc").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+        let err = tokenize("\"abc\ndef\"").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.message().contains('@'));
+        assert_eq!(err.span(), Span::new(2, 3));
+    }
+
+    #[test]
+    fn huge_integer_is_an_error() {
+        let err = tokenize("99999999999999999999").unwrap_err();
+        assert!(err.message().contains("out of range"));
+    }
+
+    #[test]
+    fn single_ampersand_is_an_error() {
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+}

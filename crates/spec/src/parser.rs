@@ -1,0 +1,475 @@
+//! Recursive-descent parser for the specification language.
+//!
+//! Grammar (terminals quoted):
+//!
+//! ```text
+//! file    := spec+
+//! spec    := "spec" IDENT "{" item* "}"
+//! item    := method | rule
+//! method  := "method" IDENT "(" (binder ("," binder)*)? ")" ("->" binder)? ";"
+//! rule    := "commute" pattern "," pattern "when" formula ";"
+//! pattern := IDENT "(" (binder ("," binder)*)? ")" ("->" binder)?
+//! binder  := IDENT | "_"
+//! formula := or
+//! or      := and ("||" and)*
+//! and     := unary ("&&" unary)*
+//! unary   := "!" unary | primary
+//! primary := "true" | "false" | "(" formula ")" | term cmp term
+//! cmp     := "==" | "!=" | "<" | "<=" | ">" | ">="
+//! term    := IDENT | INT | STRING | "nil"
+//! ```
+
+use crate::ast::{Binder, CommuteDecl, FormulaAst, MethodDecl, Pattern, SpecAst, TermAst};
+use crate::error::{Span, SpecError};
+use crate::formula::CmpOp;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crace_model::Value;
+
+/// Parses a source containing exactly one `spec` block.
+pub fn parse_source(source: &str) -> Result<SpecAst, SpecError> {
+    let mut specs = parse_source_multi(source)?;
+    match specs.len() {
+        1 => Ok(specs.pop().expect("length checked")),
+        n => Err(SpecError::new(
+            format!("expected exactly one spec block, found {n}"),
+            Span::point(0),
+        )),
+    }
+}
+
+/// Parses a source containing one or more `spec` blocks.
+pub fn parse_source_multi(source: &str) -> Result<Vec<SpecAst>, SpecError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut specs = Vec::new();
+    while parser.peek() != &TokenKind::Eof {
+        specs.push(parser.spec()?);
+    }
+    if specs.is_empty() {
+        return Err(SpecError::new("expected a `spec` block", Span::point(0)));
+    }
+    Ok(specs)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, SpecError> {
+        if self.peek() == kind {
+            Ok(self.advance())
+        } else {
+            Err(SpecError::new(
+                format!("expected {kind}, found {}", self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SpecError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.advance();
+                Ok((name, span))
+            }
+            other => Err(SpecError::new(
+                format!("expected {what}, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn spec(&mut self) -> Result<SpecAst, SpecError> {
+        self.expect(&TokenKind::Spec)?;
+        let (name, name_span) = self.ident("specification name")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut methods = Vec::new();
+        let mut rules = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Method => methods.push(self.method()?),
+                TokenKind::Commute => rules.push(self.rule()?),
+                TokenKind::RBrace => {
+                    self.advance();
+                    break;
+                }
+                other => {
+                    return Err(SpecError::new(
+                        format!("expected `method`, `commute` or `}}`, found {other}"),
+                        self.peek_span(),
+                    ));
+                }
+            }
+        }
+        Ok(SpecAst {
+            name,
+            name_span,
+            methods,
+            rules,
+        })
+    }
+
+    fn method(&mut self) -> Result<MethodDecl, SpecError> {
+        let start = self.expect(&TokenKind::Method)?.span;
+        let (name, _) = self.ident("method name")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let binder = self.binder()?;
+                args.push(match binder {
+                    Binder::Named(n, _) => n,
+                    Binder::Wildcard(_) => "_".to_string(),
+                });
+                if self.peek() == &TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let ret = if self.peek() == &TokenKind::Arrow {
+            self.advance();
+            match self.binder()? {
+                Binder::Named(n, _) => Some(n),
+                Binder::Wildcard(_) => None,
+            }
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(MethodDecl {
+            name,
+            span: start.cover(end),
+            args,
+            ret,
+        })
+    }
+
+    fn rule(&mut self) -> Result<CommuteDecl, SpecError> {
+        let start = self.expect(&TokenKind::Commute)?.span;
+        let first = self.pattern()?;
+        self.expect(&TokenKind::Comma)?;
+        let second = self.pattern()?;
+        self.expect(&TokenKind::When)?;
+        let formula = self.formula()?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(CommuteDecl {
+            first,
+            second,
+            formula,
+            span: start.cover(end),
+        })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, SpecError> {
+        let (method, span) = self.ident("method name")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.binder()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        let close = self.expect(&TokenKind::RParen)?.span;
+        let ret = if self.peek() == &TokenKind::Arrow {
+            self.advance();
+            self.binder()?
+        } else {
+            Binder::Wildcard(close)
+        };
+        Ok(Pattern {
+            method,
+            span,
+            args,
+            ret,
+        })
+    }
+
+    fn binder(&mut self) -> Result<Binder, SpecError> {
+        match self.peek().clone() {
+            TokenKind::Underscore => {
+                let span = self.peek_span();
+                self.advance();
+                Ok(Binder::Wildcard(span))
+            }
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.advance();
+                Ok(Binder::Named(name, span))
+            }
+            other => Err(SpecError::new(
+                format!("expected variable name or `_`, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn formula(&mut self) -> Result<FormulaAst, SpecError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<FormulaAst, SpecError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::OrOr {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = FormulaAst::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<FormulaAst, SpecError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == &TokenKind::AndAnd {
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = FormulaAst::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<FormulaAst, SpecError> {
+        if self.peek() == &TokenKind::Bang {
+            let span = self.advance().span;
+            let inner = self.unary()?;
+            let full = span.cover(inner.span());
+            return Ok(FormulaAst::Not(Box::new(inner), full));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<FormulaAst, SpecError> {
+        match self.peek().clone() {
+            // `true`/`false` are both nullary formulas and boolean literals;
+            // a following comparison operator disambiguates.
+            TokenKind::True if !self.next_is_cmp() => {
+                let span = self.advance().span;
+                Ok(FormulaAst::True(span))
+            }
+            TokenKind::False if !self.next_is_cmp() => {
+                let span = self.advance().span;
+                Ok(FormulaAst::False(span))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.formula()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    /// Is the token *after* the current one a comparison operator?
+    fn next_is_cmp(&self) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+            Some(
+                TokenKind::EqEq
+                    | TokenKind::NotEq
+                    | TokenKind::Lt
+                    | TokenKind::Le
+                    | TokenKind::Gt
+                    | TokenKind::Ge
+            )
+        )
+    }
+
+    fn comparison(&mut self) -> Result<FormulaAst, SpecError> {
+        let lhs = self.term()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::NotEq => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(SpecError::new(
+                    format!("expected comparison operator, found {other}"),
+                    self.peek_span(),
+                ));
+            }
+        };
+        self.advance();
+        let rhs = self.term()?;
+        let span = lhs.span().cover(rhs.span());
+        Ok(FormulaAst::Cmp { op, lhs, rhs, span })
+    }
+
+    fn term(&mut self) -> Result<TermAst, SpecError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok(TermAst::Var(name, span))
+            }
+            TokenKind::Int(i) => {
+                let span = self.advance().span;
+                Ok(TermAst::Lit(Value::Int(i), span))
+            }
+            TokenKind::Str(s) => {
+                let span = self.advance().span;
+                Ok(TermAst::Lit(Value::str(s), span))
+            }
+            TokenKind::Nil => {
+                let span = self.advance().span;
+                Ok(TermAst::Lit(Value::Nil, span))
+            }
+            TokenKind::True => {
+                let span = self.advance().span;
+                Ok(TermAst::Lit(Value::Bool(true), span))
+            }
+            TokenKind::False => {
+                let span = self.advance().span;
+                Ok(TermAst::Lit(Value::Bool(false), span))
+            }
+            other => Err(SpecError::new(
+                format!("expected a variable or literal, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DICT: &str = r#"
+        spec dictionary {
+            method put(k, v) -> p;
+            method get(k) -> v;
+            method size() -> r;
+            commute put(k1, v1) -> p1, put(k2, v2) -> p2
+                when k1 != k2 || (v1 == p1 && v2 == p2);
+            commute get(_) -> _, size() -> _ when true;
+        }
+    "#;
+
+    #[test]
+    fn parses_dictionary_structure() {
+        let ast = parse_source(DICT).unwrap();
+        assert_eq!(ast.name, "dictionary");
+        assert_eq!(ast.methods.len(), 3);
+        assert_eq!(ast.rules.len(), 2);
+        assert_eq!(ast.methods[0].name, "put");
+        assert_eq!(ast.methods[0].args, vec!["k", "v"]);
+        assert_eq!(ast.methods[0].ret.as_deref(), Some("p"));
+        assert_eq!(ast.methods[2].args.len(), 0);
+    }
+
+    #[test]
+    fn operator_precedence_and_binds_tighter() {
+        let ast = parse_source(
+            "spec s { method m(a); commute m(x1), m(x2) when x1 != x2 || x1 != x2 && x1 != x2; }",
+        )
+        .unwrap();
+        match &ast.rules[0].formula {
+            FormulaAst::Or(_, rhs) => {
+                assert!(matches!(**rhs, FormulaAst::And(_, _)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let ast = parse_source(
+            "spec s { method m(a); commute m(x1), m(x2) when (x1 != x2 || x1 != x2) && x1 != x2; }",
+        )
+        .unwrap();
+        assert!(matches!(ast.rules[0].formula, FormulaAst::And(_, _)));
+    }
+
+    #[test]
+    fn not_parses_prefix() {
+        let ast =
+            parse_source("spec s { method m(a) -> r; commute m(x1) -> r1, m(_) when !(x1 == r1); }")
+                .unwrap();
+        assert!(matches!(ast.rules[0].formula, FormulaAst::Not(_, _)));
+    }
+
+    #[test]
+    fn pattern_without_arrow_gets_wildcard_return() {
+        let ast =
+            parse_source("spec s { method m(a); commute m(x1), m(x2) when x1 != x2; }").unwrap();
+        assert!(matches!(ast.rules[0].first.ret, Binder::Wildcard(_)));
+    }
+
+    #[test]
+    fn literals_in_formulas() {
+        let ast = parse_source(
+            r#"spec s { method m(a); commute m(x1), m(_) when x1 == 3 || x1 == "key" || x1 == nil; }"#,
+        )
+        .unwrap();
+        // Just verify it parsed into a nested Or.
+        assert!(matches!(ast.rules[0].formula, FormulaAst::Or(_, _)));
+    }
+
+    #[test]
+    fn multi_spec_files() {
+        let specs =
+            parse_source_multi("spec a { method m(); } spec b { method n(); }").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].name, "b");
+        assert!(parse_source("spec a { } spec b { }").is_err());
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse_source("spec s { method m() }").unwrap_err();
+        assert!(err.message().contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_missing_when() {
+        let err = parse_source("spec s { method m(); commute m(), m() true; }").unwrap_err();
+        assert!(err.message().contains("`when`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_bare_variable_as_formula() {
+        let err = parse_source("spec s { method m(a); commute m(x), m(_) when x; }").unwrap_err();
+        assert!(err.message().contains("comparison"), "{err}");
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        assert!(parse_source("").is_err());
+        assert!(parse_source("   // just a comment").is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_spans() {
+        let src = "spec s { method m(; }";
+        let err = parse_source(src).unwrap_err();
+        // Span points at the misplaced `;`.
+        assert_eq!(&src[err.span().start as usize..err.span().end as usize], ";");
+    }
+}

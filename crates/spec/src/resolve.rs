@@ -1,0 +1,433 @@
+//! Resolution: surface syntax → resolved [`Spec`], enforcing the ECL
+//! variable discipline (§6.1) with span-carrying diagnostics.
+
+use crate::ast::{Binder, FormulaAst, Pattern, SpecAst, TermAst};
+use crate::error::{Span, SpecError};
+use crate::formula::{CmpOp, Formula, Pred, Side, Term};
+use crate::spec::Spec;
+use crace_model::{MethodId, MethodSig};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Resolves one parsed `spec` block.
+pub fn resolve(ast: &SpecAst) -> Result<Spec, SpecError> {
+    // Method table.
+    let mut methods: Vec<MethodSig> = Vec::new();
+    let mut by_name: HashMap<&str, MethodId> = HashMap::new();
+    for decl in &ast.methods {
+        if by_name.contains_key(decl.name.as_str()) {
+            return Err(SpecError::new(
+                format!("method `{}` declared twice", decl.name),
+                decl.span,
+            ));
+        }
+        by_name.insert(&decl.name, MethodId(methods.len() as u32));
+        methods.push(MethodSig::new(decl.name.clone(), decl.args.len()));
+    }
+
+    // Rules.
+    let mut rules: BTreeMap<(MethodId, MethodId), Formula> = BTreeMap::new();
+    for rule in &ast.rules {
+        let (m1, bind1) = bind_pattern(&rule.first, &methods, &by_name, Side::First)?;
+        let (m2, bind2) = bind_pattern(&rule.second, &methods, &by_name, Side::Second)?;
+        // A name bound in both patterns would be ambiguous in the formula.
+        for (name, (_, _, span)) in &bind2 {
+            if bind1.contains_key(name.as_str()) {
+                return Err(SpecError::new(
+                    format!(
+                        "variable `{name}` is bound by both action patterns; \
+                         use distinct names for the two actions"
+                    ),
+                    *span,
+                ));
+            }
+        }
+        let mut bindings = bind1;
+        bindings.extend(bind2);
+        let formula = resolve_formula(&rule.formula, &bindings)?;
+
+        let (key, oriented) = if m1 <= m2 {
+            ((m1, m2), formula)
+        } else {
+            ((m2, m1), formula.swap_sides())
+        };
+        if rules.contains_key(&key) {
+            return Err(SpecError::new(
+                format!(
+                    "duplicate commute rule for pair ({}, {})",
+                    methods[key.0.index()].name(),
+                    methods[key.1.index()].name()
+                ),
+                rule.span,
+            ));
+        }
+        if key.0 == key.1 && !is_symmetric(&oriented) {
+            return Err(SpecError::new(
+                format!(
+                    "commutativity of ({0}, {0}) must be symmetric: \
+                     ϕ(x⃗₁;x⃗₂) must be equivalent to ϕ(x⃗₂;x⃗₁)",
+                    methods[key.0.index()].name()
+                ),
+                rule.span,
+            ));
+        }
+        rules.insert(key, oriented);
+    }
+
+    Ok(Spec::from_parts(ast.name.clone(), methods, rules))
+}
+
+type Bindings = HashMap<String, (Side, usize, Span)>;
+
+fn bind_pattern(
+    pattern: &Pattern,
+    methods: &[MethodSig],
+    by_name: &HashMap<&str, MethodId>,
+    side: Side,
+) -> Result<(MethodId, Bindings), SpecError> {
+    let id = *by_name.get(pattern.method.as_str()).ok_or_else(|| {
+        SpecError::new(
+            format!("unknown method `{}`", pattern.method),
+            pattern.span,
+        )
+    })?;
+    let sig = &methods[id.index()];
+    if pattern.args.len() != sig.num_args() {
+        return Err(SpecError::new(
+            format!(
+                "method `{}` takes {} argument(s), pattern has {}",
+                sig.name(),
+                sig.num_args(),
+                pattern.args.len()
+            ),
+            pattern.span,
+        ));
+    }
+    let mut bindings = Bindings::new();
+    let binders = pattern
+        .args
+        .iter()
+        .chain(std::iter::once(&pattern.ret))
+        .enumerate();
+    for (slot, binder) in binders {
+        if let Binder::Named(name, span) = binder {
+            if bindings.contains_key(name.as_str()) {
+                return Err(SpecError::new(
+                    format!("variable `{name}` bound twice in the same pattern"),
+                    *span,
+                ));
+            }
+            bindings.insert(name.clone(), (side, slot, *span));
+        }
+    }
+    Ok((id, bindings))
+}
+
+fn resolve_formula(ast: &FormulaAst, bindings: &Bindings) -> Result<Formula, SpecError> {
+    match ast {
+        FormulaAst::True(_) => Ok(Formula::True),
+        FormulaAst::False(_) => Ok(Formula::False),
+        FormulaAst::Not(inner, _) => Ok(resolve_formula(inner, bindings)?.not()),
+        FormulaAst::And(a, b) => {
+            Ok(resolve_formula(a, bindings)?.and(resolve_formula(b, bindings)?))
+        }
+        FormulaAst::Or(a, b) => {
+            Ok(resolve_formula(a, bindings)?.or(resolve_formula(b, bindings)?))
+        }
+        FormulaAst::Cmp { op, lhs, rhs, span } => resolve_cmp(*op, lhs, rhs, *span, bindings),
+    }
+}
+
+enum RTerm {
+    Var(Side, usize),
+    Lit(crace_model::Value),
+}
+
+fn resolve_term(ast: &TermAst, bindings: &Bindings) -> Result<RTerm, SpecError> {
+    match ast {
+        TermAst::Lit(v, _) => Ok(RTerm::Lit(v.clone())),
+        TermAst::Var(name, span) => {
+            let (side, slot, _) = bindings.get(name.as_str()).ok_or_else(|| {
+                SpecError::new(format!("unknown variable `{name}`"), *span)
+            })?;
+            Ok(RTerm::Var(*side, *slot))
+        }
+    }
+}
+
+fn resolve_cmp(
+    op: CmpOp,
+    lhs: &TermAst,
+    rhs: &TermAst,
+    span: Span,
+    bindings: &Bindings,
+) -> Result<Formula, SpecError> {
+    let l = resolve_term(lhs, bindings)?;
+    let r = resolve_term(rhs, bindings)?;
+    match (l, r) {
+        // Both literals: constant-fold.
+        (RTerm::Lit(a), RTerm::Lit(b)) => Ok(if op.apply(&a, &b) {
+            Formula::True
+        } else {
+            Formula::False
+        }),
+        // Cross-action atom: only `x != y` is admitted (the LS atom).
+        (RTerm::Var(s1, i), RTerm::Var(s2, j)) if s1 != s2 => {
+            if op != CmpOp::Ne {
+                return Err(SpecError::new(
+                    format!(
+                        "cross-action comparison `{op}` is outside ECL; \
+                         only `!=` may relate variables of the two actions (§6.1)"
+                    ),
+                    span,
+                ));
+            }
+            let (i, j) = if s1 == Side::First { (i, j) } else { (j, i) };
+            Ok(Formula::NeqCross { i, j })
+        }
+        // Single-side atom (LB), canonicalized to `==`/`<` predicates.
+        (RTerm::Var(side, i), RTerm::Var(_, j)) => {
+            Ok(Formula::atom(side, op, Term::Slot(i), Term::Slot(j)))
+        }
+        (RTerm::Var(side, i), RTerm::Lit(v)) => {
+            Ok(Formula::atom(side, op, Term::Slot(i), Term::Const(v)))
+        }
+        (RTerm::Lit(v), RTerm::Var(side, i)) => {
+            Ok(Formula::atom(side, op.swap(), Term::Slot(i), Term::Const(v)))
+        }
+    }
+}
+
+/// Checks `ϕ(x⃗₁;x⃗₂) ≡ ϕ(x⃗₂;x⃗₁)` by truth-table over the formula's atoms.
+///
+/// Atoms are treated as free boolean variables; this is sound (never accepts
+/// an asymmetric formula) and complete for formulas whose atoms are
+/// semantically independent, which covers all practical specifications.
+/// Formulas with more than 16 distinct atoms are accepted without checking.
+pub(crate) fn is_symmetric(phi: &Formula) -> bool {
+    let swapped = phi.swap_sides();
+    let mut atoms = BTreeSet::new();
+    collect_atoms(phi, &mut atoms);
+    collect_atoms(&swapped, &mut atoms);
+    let atoms: Vec<AtomKey> = atoms.into_iter().collect();
+    if atoms.len() > 16 {
+        return true;
+    }
+    for mask in 0u32..(1 << atoms.len()) {
+        let assign = |key: &AtomKey| -> bool {
+            let idx = atoms.binary_search(key).expect("atom collected");
+            mask & (1 << idx) != 0
+        };
+        if eval_abstract(phi, &assign) != eval_abstract(&swapped, &assign) {
+            return false;
+        }
+    }
+    true
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum AtomKey {
+    Cross(usize, usize),
+    Lb(Side, Pred),
+}
+
+fn collect_atoms(phi: &Formula, out: &mut BTreeSet<AtomKey>) {
+    match phi {
+        Formula::True | Formula::False => {}
+        Formula::NeqCross { i, j } => {
+            out.insert(AtomKey::Cross(*i, *j));
+        }
+        Formula::Atom { side, pred } => {
+            out.insert(AtomKey::Lb(*side, pred.clone()));
+        }
+        Formula::Not(f) => collect_atoms(f, out),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_atoms(a, out);
+            collect_atoms(b, out);
+        }
+    }
+}
+
+fn eval_abstract(phi: &Formula, assign: &dyn Fn(&AtomKey) -> bool) -> bool {
+    match phi {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::NeqCross { i, j } => assign(&AtomKey::Cross(*i, *j)),
+        Formula::Atom { side, pred } => assign(&AtomKey::Lb(*side, pred.clone())),
+        Formula::Not(f) => !eval_abstract(f, assign),
+        Formula::And(a, b) => eval_abstract(a, assign) && eval_abstract(b, assign),
+        Formula::Or(a, b) => eval_abstract(a, assign) || eval_abstract(b, assign),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crace_model::Value;
+
+    #[test]
+    fn resolves_dictionary_put_put() {
+        let spec = parse(
+            r#"spec d {
+                method put(k, v) -> p;
+                commute put(k1, v1) -> p1, put(k2, v2) -> p2
+                    when k1 != k2 || (v1 == p1 && v2 == p2);
+            }"#,
+        )
+        .unwrap();
+        let put = spec.method_id("put").unwrap();
+        let phi = spec.formula(put, put);
+        // Structure: Or(NeqCross(0,0), And(Atom1, Atom2)).
+        match phi {
+            Formula::Or(l, r) => {
+                assert_eq!(*l, Formula::NeqCross { i: 0, j: 0 });
+                assert!(matches!(*r, Formula::And(_, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert!(spec.is_ecl());
+    }
+
+    #[test]
+    fn unknown_method_in_rule() {
+        let err = parse("spec s { commute a(), b() when true; }").unwrap_err();
+        assert!(err.message().contains("unknown method `a`"));
+    }
+
+    #[test]
+    fn arity_mismatch_in_pattern() {
+        let err =
+            parse("spec s { method m(a, b); commute m(x), m(_, _) when true; }").unwrap_err();
+        assert!(err.message().contains("takes 2 argument(s)"));
+    }
+
+    #[test]
+    fn variable_shared_between_patterns() {
+        let err =
+            parse("spec s { method m(a); commute m(x), m(x) when true; }").unwrap_err();
+        assert!(err.message().contains("both action patterns"));
+    }
+
+    #[test]
+    fn variable_bound_twice_in_one_pattern() {
+        let err =
+            parse("spec s { method m(a, b); commute m(x, x), m(_, _) when true; }").unwrap_err();
+        assert!(err.message().contains("bound twice"));
+    }
+
+    #[test]
+    fn unknown_variable_in_formula() {
+        let err = parse("spec s { method m(a); commute m(x), m(_) when z != x; }").unwrap_err();
+        assert!(err.message().contains("unknown variable `z`"));
+    }
+
+    #[test]
+    fn cross_equality_rejected() {
+        let err =
+            parse("spec s { method m(a); commute m(x1), m(x2) when x1 == x2; }").unwrap_err();
+        assert!(err.message().contains("outside ECL"));
+    }
+
+    #[test]
+    fn cross_ordering_rejected() {
+        let err =
+            parse("spec s { method m(a); commute m(x1), m(x2) when x1 < x2; }").unwrap_err();
+        assert!(err.message().contains("outside ECL"));
+    }
+
+    #[test]
+    fn cross_neq_orientation_normalized() {
+        // Writing y != x (second-action var first) resolves to the same
+        // NeqCross as x != y.
+        let spec = parse(
+            "spec s { method m(a); commute m(x1), m(x2) when x2 != x1; }",
+        )
+        .unwrap();
+        let m = spec.method_id("m").unwrap();
+        assert_eq!(spec.formula(m, m), Formula::NeqCross { i: 0, j: 0 });
+    }
+
+    #[test]
+    fn literal_comparisons_fold() {
+        let spec = parse("spec s { method m(); commute m(), m() when 1 == 1; }").unwrap();
+        let m = spec.method_id("m").unwrap();
+        assert_eq!(spec.formula(m, m), Formula::True);
+    }
+
+    #[test]
+    fn literal_on_left_swaps_operator() {
+        let spec = parse(
+            "spec s { method m(a); commute m(x1), m(x2) when (3 < x1 && 3 < x2) || x1 != x2; }",
+        )
+        .unwrap();
+        let m = spec.method_id("m").unwrap();
+        let phi = spec.formula(m, m);
+        // 3 < x becomes the atom x > 3, canonicalized to 3 < x on slot terms;
+        // just verify evaluation semantics.
+        let lo = vec![Value::Int(1), Value::Nil];
+        let hi = vec![Value::Int(5), Value::Nil];
+        assert!(phi.eval(&hi, &hi.clone())); // both > 3
+        assert!(!phi.eval(&lo, &lo.clone())); // same value, not > 3
+    }
+
+    #[test]
+    fn asymmetric_same_method_rule_rejected() {
+        let err = parse(
+            "spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("symmetric"));
+    }
+
+    #[test]
+    fn symmetric_lb_rule_accepted() {
+        let spec = parse(
+            "spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 \
+             when x1 == r1 && x2 == r2; }",
+        )
+        .unwrap();
+        assert!(spec.is_ecl());
+    }
+
+    #[test]
+    fn duplicate_rule_for_pair_rejected() {
+        let err = parse(
+            "spec s { method m(); commute m(), m() when true; commute m(), m() when false; }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn duplicate_method_rejected() {
+        let err = parse("spec s { method m(); method m(a); }").unwrap_err();
+        assert!(err.message().contains("declared twice"));
+    }
+
+    #[test]
+    fn is_symmetric_helper() {
+        assert!(is_symmetric(&Formula::True));
+        assert!(is_symmetric(&Formula::NeqCross { i: 0, j: 0 }));
+        assert!(!is_symmetric(&Formula::NeqCross { i: 0, j: 1 }));
+        // x0≠y1 && x1≠y0 is symmetric.
+        let f = Formula::NeqCross { i: 0, j: 1 }.and(Formula::NeqCross { i: 1, j: 0 });
+        assert!(is_symmetric(&f));
+        let one_sided = Formula::Atom {
+            side: Side::First,
+            pred: Pred::new(CmpOp::Eq, Term::Slot(0), Term::Slot(1)),
+        };
+        assert!(!is_symmetric(&one_sided));
+        let both = one_sided.clone().and(one_sided.swap_sides());
+        assert!(is_symmetric(&both));
+    }
+
+    #[test]
+    fn non_ecl_formula_is_resolved_but_flagged() {
+        // !(x1 != x2) parses and resolves, but is outside ECL (Not over LS).
+        let spec = parse(
+            "spec s { method m(a); commute m(x1), m(x2) when !(x1 != x2); }",
+        )
+        .unwrap();
+        assert!(!spec.is_ecl());
+    }
+}

@@ -1,0 +1,527 @@
+//! Resolved specifications and the programmatic builder.
+
+use crate::error::{Span, SpecError};
+use crate::formula::{Formula, NormAtom, Pred, Side, Term};
+use crace_model::{Action, MethodId, MethodSig};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A resolved logical commutativity specification `Φ` for one object type
+/// (Definition 4.1).
+///
+/// A `Spec` holds the object's method signatures and, for every unordered
+/// method pair `{m1, m2}`, the formula `ϕ_{m1}^{m2}`. Pairs without a
+/// declared rule conservatively get `false` (never commute) — a sound
+/// default, since soundness only requires that `ϕ(a,b)` *implies*
+/// commutativity (Definition 4.2).
+///
+/// Construct a `Spec` by parsing source text with [`crate::parse`] or
+/// programmatically with [`SpecBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::{Action, MethodId, ObjId, Value};
+/// use crace_spec::builtin;
+///
+/// let dict = builtin::dictionary();
+/// let put = dict.method_id("put").unwrap();
+/// // Two puts to different keys commute.
+/// let a = Action::new(ObjId(0), put, vec![Value::Int(1), Value::Int(9)], Value::Nil);
+/// let b = Action::new(ObjId(0), put, vec![Value::Int(2), Value::Int(9)], Value::Nil);
+/// assert!(dict.commute(&a, &b));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Spec {
+    name: String,
+    methods: Vec<MethodSig>,
+    /// Keyed by `(m1, m2)` with `m1 ≤ m2`; the stored formula's first side
+    /// refers to `m1`.
+    rules: BTreeMap<(MethodId, MethodId), Formula>,
+}
+
+impl Spec {
+    pub(crate) fn from_parts(
+        name: String,
+        methods: Vec<MethodSig>,
+        rules: BTreeMap<(MethodId, MethodId), Formula>,
+    ) -> Spec {
+        Spec {
+            name,
+            methods,
+            rules,
+        }
+    }
+
+    /// The specification (object type) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared method signatures, indexed by [`MethodId`].
+    pub fn methods(&self) -> &[MethodSig] {
+        &self.methods
+    }
+
+    /// Number of declared methods.
+    pub fn num_methods(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Looks up a method by name.
+    pub fn method_id(&self, name: &str) -> Option<MethodId> {
+        self.methods
+            .iter()
+            .position(|m| m.name() == name)
+            .map(|i| MethodId(i as u32))
+    }
+
+    /// The signature of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range for this specification.
+    pub fn sig(&self, method: MethodId) -> &MethodSig {
+        &self.methods[method.index()]
+    }
+
+    /// The commutativity formula `ϕ_{m1}^{m2}` oriented so that its first
+    /// side refers to `m1` and its second side to `m2`.
+    ///
+    /// Returns [`Formula::False`] for pairs with no declared rule.
+    pub fn formula(&self, m1: MethodId, m2: MethodId) -> Formula {
+        if m1 <= m2 {
+            self.rules
+                .get(&(m1, m2))
+                .cloned()
+                .unwrap_or(Formula::False)
+        } else {
+            self.rules
+                .get(&(m2, m1))
+                .map(|f| f.swap_sides())
+                .unwrap_or(Formula::False)
+        }
+    }
+
+    /// Evaluates `ϕ(a, b)`: does the specification assert that the two
+    /// actions commute?
+    ///
+    /// Actions of different objects always commute (§3.1); this method
+    /// assumes both actions belong to an object of this specification and
+    /// does **not** compare their object identifiers.
+    pub fn commute(&self, a: &Action, b: &Action) -> bool {
+        let phi = self.formula(a.method(), b.method());
+        let first: Vec<_> = a.slots().cloned().collect();
+        let second: Vec<_> = b.slots().cloned().collect();
+        phi.eval(&first, &second)
+    }
+
+    /// Returns `true` iff every declared rule lies in the ECL fragment, so
+    /// the specification can be translated to a constant-lookup access-point
+    /// representation (§6).
+    pub fn is_ecl(&self) -> bool {
+        self.rules.values().all(|f| f.fragment().is_ecl)
+    }
+
+    /// The normalized `LB` atoms relevant to `method` — `B(Φ, m)` of §6.2:
+    /// atoms of any rule mentioning `method`, on the side referring to it.
+    pub fn lb_atoms(&self, method: MethodId) -> BTreeSet<NormAtom> {
+        let mut atoms = BTreeSet::new();
+        for (&(m1, m2), phi) in &self.rules {
+            if m1 == method {
+                phi.lb_atoms(Side::First, &mut atoms);
+            }
+            if m2 == method {
+                phi.lb_atoms(Side::Second, &mut atoms);
+            }
+        }
+        atoms
+    }
+
+    /// Method pairs with no declared rule (which therefore default to
+    /// `false`). Useful for linting a specification for completeness.
+    pub fn missing_rules(&self) -> Vec<(MethodId, MethodId)> {
+        let mut missing = Vec::new();
+        for i in 0..self.methods.len() {
+            for j in i..self.methods.len() {
+                let key = (MethodId(i as u32), MethodId(j as u32));
+                if !self.rules.contains_key(&key) {
+                    missing.push(key);
+                }
+            }
+        }
+        missing
+    }
+}
+
+impl Spec {
+    /// Renders the specification back to parseable source text, with
+    /// synthesized variable names (`a0…/ar` for the first action, `b0…/br`
+    /// for the second).
+    pub fn to_source(&self) -> String {
+        fn var(side: Side, slot: usize, sig: &MethodSig) -> String {
+            let prefix = if side == Side::First { "a" } else { "b" };
+            if slot == sig.num_args() {
+                format!("{prefix}r")
+            } else {
+                format!("{prefix}{slot}")
+            }
+        }
+        fn term(t: &Term, side: Side, sig: &MethodSig) -> String {
+            match t {
+                Term::Slot(i) => var(side, *i, sig),
+                Term::Const(v) => v.to_string(),
+            }
+        }
+        fn pred_src(p: &Pred, side: Side, sig: &MethodSig) -> String {
+            format!(
+                "{} {} {}",
+                term(p.lhs(), side, sig),
+                p.op(),
+                term(p.rhs(), side, sig)
+            )
+        }
+        fn go(phi: &Formula, sig1: &MethodSig, sig2: &MethodSig, prec: u8, out: &mut String) {
+            match phi {
+                Formula::True => out.push_str("true"),
+                Formula::False => out.push_str("false"),
+                Formula::NeqCross { i, j } => {
+                    out.push_str(&var(Side::First, *i, sig1));
+                    out.push_str(" != ");
+                    out.push_str(&var(Side::Second, *j, sig2));
+                }
+                Formula::Atom { side, pred } => {
+                    let sig = if *side == Side::First { sig1 } else { sig2 };
+                    out.push_str(&pred_src(pred, *side, sig));
+                }
+                Formula::Not(inner) => {
+                    out.push_str("!(");
+                    go(inner, sig1, sig2, 0, out);
+                    out.push(')');
+                }
+                Formula::And(a, b) => {
+                    let need = prec > 2;
+                    if need {
+                        out.push('(');
+                    }
+                    go(a, sig1, sig2, 2, out);
+                    out.push_str(" && ");
+                    go(b, sig1, sig2, 2, out);
+                    if need {
+                        out.push(')');
+                    }
+                }
+                Formula::Or(a, b) => {
+                    let need = prec > 1;
+                    if need {
+                        out.push('(');
+                    }
+                    go(a, sig1, sig2, 1, out);
+                    out.push_str(" || ");
+                    go(b, sig1, sig2, 1, out);
+                    if need {
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        fn pattern(side: Side, sig: &MethodSig) -> String {
+            let args: Vec<_> = (0..sig.num_args()).map(|i| var(side, i, sig)).collect();
+            format!(
+                "{}({}) -> {}",
+                sig.name(),
+                args.join(", "),
+                var(side, sig.num_args(), sig)
+            )
+        }
+        let mut out = format!("spec {} {{\n", self.name);
+        for m in &self.methods {
+            let args: Vec<_> = (0..m.num_args()).map(|i| format!("a{i}")).collect();
+            out.push_str(&format!(
+                "    method {}({}) -> r;\n",
+                m.name(),
+                args.join(", ")
+            ));
+        }
+        for ((m1, m2), phi) in &self.rules {
+            let sig1 = &self.methods[m1.index()];
+            let sig2 = &self.methods[m2.index()];
+            let mut body = String::new();
+            go(phi, sig1, sig2, 0, &mut body);
+            out.push_str(&format!(
+                "    commute {}, {} when {};\n",
+                pattern(Side::First, sig1),
+                pattern(Side::Second, sig2),
+                body
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_source())
+    }
+}
+
+/// A handle to a declared method: its identifier and signature facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodRef {
+    /// The method's identifier within the specification.
+    pub id: MethodId,
+    /// The method's name.
+    pub name: String,
+    /// Number of declared arguments.
+    pub num_args: usize,
+}
+
+/// Builds a [`Spec`] programmatically, as an alternative to the textual
+/// language.
+///
+/// # Examples
+///
+/// ```
+/// use crace_spec::{Formula, SpecBuilder};
+///
+/// let mut b = SpecBuilder::new("register");
+/// let read = b.method("read", 0);
+/// let write = b.method("write", 1);
+/// b.rule(read.id, read.id, Formula::True)?;
+/// b.rule(read.id, write.id, Formula::False)?;
+/// b.rule(write.id, write.id, Formula::False)?;
+/// let spec = b.finish()?;
+/// assert!(spec.is_ecl());
+/// # Ok::<(), crace_spec::SpecError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpecBuilder {
+    name: String,
+    methods: Vec<MethodSig>,
+    rules: BTreeMap<(MethodId, MethodId), Formula>,
+}
+
+impl SpecBuilder {
+    /// Starts a specification called `name`.
+    pub fn new(name: impl Into<String>) -> SpecBuilder {
+        SpecBuilder {
+            name: name.into(),
+            methods: Vec::new(),
+            rules: BTreeMap::new(),
+        }
+    }
+
+    /// Declares a method and returns its handle.
+    pub fn method(&mut self, name: impl Into<String>, num_args: usize) -> MethodRef {
+        let name = name.into();
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(MethodSig::new(name.clone(), num_args));
+        MethodRef { id, name, num_args }
+    }
+
+    /// Declares the commutativity rule for the pair `{m1, m2}`. The
+    /// formula's first side must refer to `m1`, its second side to `m2`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either method is undeclared, the pair already has a rule, a
+    /// slot index is out of range for its method, or `m1 == m2` and the
+    /// formula is not symmetric (the paper requires
+    /// `ϕ_m^m(x⃗₁;x⃗₂) ≡ ϕ_m^m(x⃗₂;x⃗₁)`).
+    pub fn rule(&mut self, m1: MethodId, m2: MethodId, formula: Formula) -> Result<(), SpecError> {
+        let span = Span::point(0);
+        for (m, side) in [(m1, Side::First), (m2, Side::Second)] {
+            let sig = self.methods.get(m.index()).ok_or_else(|| {
+                SpecError::new(format!("unknown method id {m}"), span)
+            })?;
+            if let Some(max) = formula.max_slot(side) {
+                if max >= sig.num_slots() {
+                    return Err(SpecError::new(
+                        format!(
+                            "formula mentions slot {max} of `{}`, which has only {} slots",
+                            sig.name(),
+                            sig.num_slots()
+                        ),
+                        span,
+                    ));
+                }
+            }
+        }
+        let (key, oriented) = if m1 <= m2 {
+            ((m1, m2), formula)
+        } else {
+            ((m2, m1), formula.swap_sides())
+        };
+        if self.rules.contains_key(&key) {
+            return Err(SpecError::new(
+                format!(
+                    "duplicate rule for pair ({}, {})",
+                    self.methods[key.0.index()].name(),
+                    self.methods[key.1.index()].name()
+                ),
+                span,
+            ));
+        }
+        if key.0 == key.1 && !crate::resolve::is_symmetric(&oriented) {
+            return Err(SpecError::new(
+                format!(
+                    "rule for ({0}, {0}) must be symmetric in its two actions",
+                    self.methods[key.0.index()].name()
+                ),
+                span,
+            ));
+        }
+        self.rules.insert(key, oriented);
+        Ok(())
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Errors
+    ///
+    /// Fails if two methods share a name.
+    pub fn finish(self) -> Result<Spec, SpecError> {
+        for (i, m) in self.methods.iter().enumerate() {
+            if self.methods[..i].iter().any(|n| n.name() == m.name()) {
+                return Err(SpecError::new(
+                    format!("method `{}` declared twice", m.name()),
+                    Span::point(0),
+                ));
+            }
+        }
+        Ok(Spec::from_parts(self.name, self.methods, self.rules))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{CmpOp, Pred, Term};
+    use crace_model::{ObjId, Value};
+
+    fn register_spec() -> Spec {
+        let mut b = SpecBuilder::new("register");
+        let read = b.method("read", 0);
+        let write = b.method("write", 1);
+        b.rule(read.id, read.id, Formula::True).unwrap();
+        b.rule(write.id, read.id, Formula::False).unwrap();
+        b.rule(write.id, write.id, Formula::False).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn method_lookup() {
+        let spec = register_spec();
+        assert_eq!(spec.method_id("read"), Some(MethodId(0)));
+        assert_eq!(spec.method_id("write"), Some(MethodId(1)));
+        assert_eq!(spec.method_id("cas"), None);
+        assert_eq!(spec.sig(MethodId(1)).num_args(), 1);
+        assert_eq!(spec.num_methods(), 2);
+    }
+
+    #[test]
+    fn missing_pairs_default_to_false() {
+        let mut b = SpecBuilder::new("s");
+        let m = b.method("m", 0);
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.formula(m.id, m.id), Formula::False);
+        assert_eq!(spec.missing_rules().len(), 1);
+        assert!(register_spec().missing_rules().is_empty());
+    }
+
+    #[test]
+    fn formula_orientation_swaps_for_reversed_lookup() {
+        // Asymmetric cross formula between two different methods:
+        // ϕ_a^b = x0 != y1.
+        let mut b = SpecBuilder::new("s");
+        let ma = b.method("a", 1);
+        let mb = b.method("b", 1);
+        b.rule(ma.id, mb.id, Formula::NeqCross { i: 0, j: 1 }).unwrap();
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.formula(ma.id, mb.id), Formula::NeqCross { i: 0, j: 1 });
+        assert_eq!(spec.formula(mb.id, ma.id), Formula::NeqCross { i: 1, j: 0 });
+    }
+
+    #[test]
+    fn rule_declared_in_reverse_order_is_reoriented() {
+        let mut b = SpecBuilder::new("s");
+        let ma = b.method("a", 1);
+        let mb = b.method("b", 1);
+        // Declared as (b, a) with formula x1 != y0 — stored for (a, b).
+        b.rule(mb.id, ma.id, Formula::NeqCross { i: 1, j: 0 }).unwrap();
+        let spec = b.finish().unwrap();
+        assert_eq!(spec.formula(ma.id, mb.id), Formula::NeqCross { i: 0, j: 1 });
+    }
+
+    #[test]
+    fn commute_evaluates_on_slots() {
+        let spec = register_spec();
+        let read = Action::new(ObjId(0), MethodId(0), vec![], Value::Int(1));
+        let write = Action::new(ObjId(0), MethodId(1), vec![Value::Int(2)], Value::Nil);
+        assert!(spec.commute(&read, &read));
+        assert!(!spec.commute(&read, &write));
+        assert!(!spec.commute(&write, &read));
+    }
+
+    #[test]
+    fn duplicate_rule_rejected() {
+        let mut b = SpecBuilder::new("s");
+        let m = b.method("m", 0);
+        b.rule(m.id, m.id, Formula::True).unwrap();
+        let err = b.rule(m.id, m.id, Formula::False).unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn asymmetric_same_method_rule_rejected() {
+        let mut b = SpecBuilder::new("s");
+        let m = b.method("m", 1);
+        // x0 of the first action equals a constant — not symmetric.
+        let lop = Formula::Atom {
+            side: Side::First,
+            pred: Pred::new(CmpOp::Eq, Term::Slot(0), Term::Const(Value::Int(1))),
+        };
+        let err = b.rule(m.id, m.id, lop).unwrap_err();
+        assert!(err.message().contains("symmetric"));
+    }
+
+    #[test]
+    fn out_of_range_slot_rejected() {
+        let mut b = SpecBuilder::new("s");
+        let m = b.method("m", 0); // slots: just the return, index 0
+        let err = b
+            .rule(m.id, m.id, Formula::NeqCross { i: 1, j: 1 })
+            .unwrap_err();
+        assert!(err.message().contains("slot"));
+    }
+
+    #[test]
+    fn duplicate_method_name_rejected() {
+        let mut b = SpecBuilder::new("s");
+        b.method("m", 0);
+        b.method("m", 1);
+        let err = b.finish().unwrap_err();
+        assert!(err.message().contains("declared twice"));
+    }
+
+    #[test]
+    fn lb_atoms_gathers_both_orientations() {
+        let dict = crate::builtin::dictionary();
+        let put = dict.method_id("put").unwrap();
+        let atoms = dict.lb_atoms(put);
+        // v == p, v == nil, p == nil (normalized).
+        assert_eq!(atoms.len(), 3);
+        let get = dict.method_id("get").unwrap();
+        assert!(dict.lb_atoms(get).is_empty());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let spec = register_spec();
+        let printed = spec.to_string();
+        let reparsed = crate::parse(&printed).unwrap();
+        assert_eq!(reparsed.name(), "register");
+        assert_eq!(reparsed.num_methods(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Pretty-printer ↔ parser round-trip on randomly generated
+//! specifications: `Spec::to_source` must produce text that reparses to a
+//! *semantically identical* specification (same commutativity verdict on
+//! every action pair).
+
+use crace_model::{Action, MethodId, ObjId, Value};
+use crace_spec::{parse, CmpOp, Formula, Side, Spec, SpecBuilder, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SLOTS: usize = 3;
+
+fn gen_term(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.6) {
+        Term::Slot(rng.gen_range(0..SLOTS))
+    } else {
+        match rng.gen_range(0..4) {
+            0 => Term::Const(Value::Nil),
+            1 => Term::Const(Value::Bool(rng.gen_bool(0.5))),
+            2 => Term::Const(Value::str(["a", "b", "c"][rng.gen_range(0..3)])),
+            _ => Term::Const(Value::Int(rng.gen_range(-2..3))),
+        }
+    }
+}
+
+fn gen_lb(rng: &mut StdRng, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.4) {
+        let side = if rng.gen_bool(0.5) {
+            Side::First
+        } else {
+            Side::Second
+        };
+        let op = match rng.gen_range(0..6) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        };
+        return Formula::atom(side, op, gen_term(rng), gen_term(rng));
+    }
+    match rng.gen_range(0..3) {
+        0 => gen_lb(rng, depth - 1).not(),
+        1 => gen_lb(rng, depth - 1).and(gen_lb(rng, depth - 1)),
+        _ => gen_lb(rng, depth - 1).or(gen_lb(rng, depth - 1)),
+    }
+}
+
+fn gen_ecl(rng: &mut StdRng, depth: usize) -> Formula {
+    if depth == 0 {
+        return Formula::NeqCross {
+            i: rng.gen_range(0..SLOTS),
+            j: rng.gen_range(0..SLOTS),
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Formula::NeqCross {
+            i: rng.gen_range(0..SLOTS),
+            j: rng.gen_range(0..SLOTS),
+        },
+        1 => gen_lb(rng, depth),
+        2 => gen_ecl(rng, depth - 1).and(gen_ecl(rng, depth - 1)),
+        _ => gen_ecl(rng, depth - 1).or(gen_lb(rng, depth - 1)),
+    }
+}
+
+fn gen_spec(rng: &mut StdRng) -> Option<Spec> {
+    let mut b = SpecBuilder::new("roundtrip");
+    let m0 = b.method("alpha", SLOTS - 1);
+    let m1 = b.method("beta", SLOTS - 1);
+    for (x, y) in [(m0.id, m0.id), (m0.id, m1.id), (m1.id, m1.id)] {
+        let phi = gen_ecl(rng, 3);
+        let phi = if x == y {
+            phi.clone().and(phi.swap_sides())
+        } else {
+            phi
+        };
+        b.rule(x, y, phi).ok()?;
+    }
+    b.finish().ok()
+}
+
+fn gen_action(rng: &mut StdRng, method: MethodId) -> Action {
+    let value = |rng: &mut StdRng| match rng.gen_range(0..5) {
+        0 => Value::Nil,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::str(["a", "b", "c"][rng.gen_range(0..3)]),
+        _ => Value::Int(rng.gen_range(-2..3)),
+    };
+    let args = (0..SLOTS - 1).map(|_| value(rng)).collect();
+    let ret = value(rng);
+    Action::new(ObjId(0), method, args, ret)
+}
+
+#[test]
+fn random_specs_round_trip_semantically() {
+    let mut checked_pairs = 0u32;
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(spec) = gen_spec(&mut rng) else {
+            continue;
+        };
+        let source = spec.to_source();
+        let reparsed = parse(&source)
+            .unwrap_or_else(|e| panic!("seed {seed}: {}\n{source}", e.render(&source)));
+        assert_eq!(reparsed.num_methods(), spec.num_methods());
+        assert_eq!(reparsed.is_ecl(), spec.is_ecl(), "seed {seed}\n{source}");
+        for _ in 0..40 {
+            let ma = MethodId(rng.gen_range(0..2));
+            let mb = MethodId(rng.gen_range(0..2));
+            let a = gen_action(&mut rng, ma);
+            let b = gen_action(&mut rng, mb);
+            assert_eq!(
+                spec.commute(&a, &b),
+                reparsed.commute(&a, &b),
+                "seed {seed}: a = {a}, b = {b}\n{source}"
+            );
+            checked_pairs += 1;
+        }
+    }
+    assert!(checked_pairs > 4_000);
+}
+
+#[test]
+fn builtin_specs_round_trip_semantically() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for spec in crace_spec::builtin::all() {
+        let source = spec.to_source();
+        let reparsed = parse(&source).expect("builtins round trip");
+        for _ in 0..200 {
+            let ma = MethodId(rng.gen_range(0..spec.num_methods() as u32));
+            let mb = MethodId(rng.gen_range(0..spec.num_methods() as u32));
+            // Build arity-correct random actions.
+            let make = |rng: &mut StdRng, m: MethodId| {
+                let n = spec.sig(m).num_args();
+                let value = |rng: &mut StdRng| match rng.gen_range(0..4) {
+                    0 => Value::Nil,
+                    1 => Value::Bool(rng.gen_bool(0.5)),
+                    _ => Value::Int(rng.gen_range(0..3)),
+                };
+                let args = (0..n).map(|_| value(rng)).collect();
+                let ret = value(rng);
+                Action::new(ObjId(0), m, args, ret)
+            };
+            let (a, b) = {
+                let a = make(&mut rng, ma);
+                let b = make(&mut rng, mb);
+                (a, b)
+            };
+            assert_eq!(
+                spec.commute(&a, &b),
+                reparsed.commute(&a, &b),
+                "{}: a = {a}, b = {b}",
+                spec.name()
+            );
+        }
+    }
+}

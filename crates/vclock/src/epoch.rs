@@ -1,0 +1,117 @@
+//! FastTrack epochs: the `c@t` compressed clocks of Flanagan & Freund.
+
+use crate::VectorClock;
+use crace_model::ThreadId;
+use std::fmt;
+
+/// A FastTrack epoch `c@t`: one clock component `c` together with the thread
+/// `t` that owns it.
+///
+/// FastTrack's key observation is that reads and writes to a variable are
+/// almost always totally ordered, so the last access can be summarized by a
+/// single epoch instead of a full vector clock. An epoch `c@t` *happens
+/// before* a clock `C` iff `c ≤ C(t)` — see [`Epoch::le_clock`].
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::ThreadId;
+/// use crace_vclock::{Epoch, VectorClock};
+///
+/// let write = Epoch::new(ThreadId(1), 3);
+/// let mut now = VectorClock::new();
+/// now.set(ThreadId(1), 5);
+/// assert!(write.le_clock(&now));      // 3 ≤ now(τ1) = 5
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Epoch {
+    tid: ThreadId,
+    clock: u64,
+}
+
+impl Epoch {
+    /// The `0@τ0` epoch, denoting "never accessed".
+    pub const NONE: Epoch = Epoch {
+        tid: ThreadId(0),
+        clock: 0,
+    };
+
+    /// Creates the epoch `clock@tid`.
+    pub fn new(tid: ThreadId, clock: u64) -> Epoch {
+        Epoch { tid, clock }
+    }
+
+    /// The epoch of thread `tid` in clock `c`: `c(tid)@tid` (written `E(t)`
+    /// in the FastTrack paper).
+    pub fn of(tid: ThreadId, clock: &VectorClock) -> Epoch {
+        Epoch {
+            tid,
+            clock: clock.get(tid),
+        }
+    }
+
+    /// The owning thread `t`.
+    #[inline]
+    pub fn tid(self) -> ThreadId {
+        self.tid
+    }
+
+    /// The clock component `c`.
+    #[inline]
+    pub fn clock(self) -> u64 {
+        self.clock
+    }
+
+    /// `c@t ⊑ C` iff `c ≤ C(t)`: the summarized access happens before every
+    /// event at clock `C`.
+    #[inline]
+    pub fn le_clock(self, clock: &VectorClock) -> bool {
+        self.clock <= clock.get(self.tid)
+    }
+
+    /// Returns `true` iff this is the "never accessed" epoch.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.clock == 0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_epoch_precedes_everything() {
+        assert!(Epoch::NONE.is_none());
+        assert!(Epoch::NONE.le_clock(&VectorClock::new()));
+    }
+
+    #[test]
+    fn of_extracts_own_component() {
+        let c = VectorClock::from_components([4, 7]);
+        let e = Epoch::of(ThreadId(1), &c);
+        assert_eq!(e.tid(), ThreadId(1));
+        assert_eq!(e.clock(), 7);
+    }
+
+    #[test]
+    fn le_clock_compares_only_own_component() {
+        let e = Epoch::new(ThreadId(2), 3);
+        // Other components are irrelevant.
+        let big_elsewhere = VectorClock::from_components([100, 100, 2]);
+        assert!(!e.le_clock(&big_elsewhere));
+        let enough = VectorClock::from_components([0, 0, 3]);
+        assert!(e.le_clock(&enough));
+    }
+
+    #[test]
+    fn display_uses_at_notation() {
+        assert_eq!(Epoch::new(ThreadId(1), 5).to_string(), "5@τ1");
+    }
+}

@@ -1,0 +1,39 @@
+//! Calibrated busy-work, standing in for real query processing cost.
+
+use std::hint::black_box;
+
+/// Burns roughly `units` small arithmetic steps of CPU.
+///
+/// Workload operations call this so that an "uninstrumented" run has real
+/// work to measure against — otherwise detector overhead would be divided
+/// by a near-zero baseline and the qps ratios of Table 2 would be
+/// meaningless.
+///
+/// # Examples
+///
+/// ```
+/// // The result is deterministic for a given unit count.
+/// assert_eq!(crace_workloads::busy_work(10), crace_workloads::busy_work(10));
+/// ```
+pub fn busy_work(units: u64) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..units {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(black_box(i));
+        acc ^= acc >> 29;
+    }
+    black_box(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_unit_sensitive() {
+        assert_eq!(busy_work(100), busy_work(100));
+        assert_ne!(busy_work(100), busy_work(101));
+        assert_eq!(busy_work(0), busy_work(0));
+    }
+}

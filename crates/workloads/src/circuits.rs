@@ -1,0 +1,388 @@
+//! Pole-Position-style benchmark circuits over the mini-MVStore.
+//!
+//! The Pole Position suite drives a SQL database through fixed operation
+//! mixes ("circuits"); Table 2 of the paper runs six of them against H2.
+//! We reproduce the six as operation mixes over [`MvStore`]:
+//!
+//! | circuit | character |
+//! |---|---|
+//! | `ComplexConcurrency` | all operation types from N concurrent clients |
+//! | `ComplexConcurrencyAlt` | same circuit, alternate (query-heavier) distribution |
+//! | `QueryCentricConcurrency` | concurrent read-only queries over preloaded rows |
+//! | `InsertCentricConcurrency` | concurrent bulk inserts |
+//! | `Complex` | the full mix from a single client (no concurrent queries) |
+//! | `NestedLists` | single-client nested-structure churn |
+//!
+//! Clients write disjoint key ranges (each Pole Position client inserts its
+//! own rows) but share chunk-level metadata, so the commutativity races
+//! concentrate on the `chunks` and `freedPageSpace` maps, as in the paper.
+//! The two non-concurrent circuits still run H2's background flusher,
+//! whose dirty-flag fields race with the foreground client at the
+//! FastTrack level only.
+
+use crate::mvstore::MvStore;
+use crace_runtime::{ObjectRegistry, Runtime, ThreadCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The six benchmark circuits of Table 2's H2 section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Circuit {
+    /// All operation types from N concurrent clients.
+    ComplexConcurrency,
+    /// ComplexConcurrency with the alternate (query-heavier) distribution.
+    ComplexConcurrencyAlt,
+    /// Concurrent read-only queries over preloaded rows.
+    QueryCentricConcurrency,
+    /// Concurrent bulk inserts.
+    InsertCentricConcurrency,
+    /// The full mix from a single client.
+    Complex,
+    /// Single-client nested-structure churn.
+    NestedLists,
+}
+
+impl Circuit {
+    /// All circuits, in Table 2 order.
+    pub const ALL: [Circuit; 6] = [
+        Circuit::ComplexConcurrency,
+        Circuit::ComplexConcurrencyAlt,
+        Circuit::QueryCentricConcurrency,
+        Circuit::InsertCentricConcurrency,
+        Circuit::Complex,
+        Circuit::NestedLists,
+    ];
+
+    /// The benchmark name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Circuit::ComplexConcurrency => "ComplexConcurrency",
+            Circuit::ComplexConcurrencyAlt => "ComplexConcurrency (alternate query distrib.)",
+            Circuit::QueryCentricConcurrency => "QueryCentricConcurrency",
+            Circuit::InsertCentricConcurrency => "InsertCentricConcurrency",
+            Circuit::Complex => "Complex",
+            Circuit::NestedLists => "NestedLists",
+        }
+    }
+
+    /// Does the circuit issue operations from multiple concurrent clients?
+    pub fn is_concurrent(self) -> bool {
+        matches!(
+            self,
+            Circuit::ComplexConcurrency
+                | Circuit::ComplexConcurrencyAlt
+                | Circuit::QueryCentricConcurrency
+                | Circuit::InsertCentricConcurrency
+        )
+    }
+
+    /// Cumulative operation-mix weights
+    /// `(insert, query, update, delete, commit, compact, free_pages)`,
+    /// out of 100.
+    fn mix(self) -> [u32; 7] {
+        match self {
+            Circuit::ComplexConcurrency | Circuit::Complex => [32, 31, 20, 5, 8, 1, 3],
+            Circuit::ComplexConcurrencyAlt => [16, 51, 15, 5, 8, 1, 4],
+            Circuit::QueryCentricConcurrency => [0, 100, 0, 0, 0, 0, 0],
+            Circuit::InsertCentricConcurrency => [82, 0, 0, 5, 10, 0, 3],
+            Circuit::NestedLists => [25, 20, 40, 10, 3, 0, 2],
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of a circuit run.
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitConfig {
+    /// Concurrent clients (concurrent circuits only; the single-client
+    /// circuits always use one worker plus the background flusher).
+    pub workers: usize,
+    /// Operations per client.
+    pub ops_per_worker: usize,
+    /// Keys per client's private range.
+    pub keys_per_worker: i64,
+    /// CPU units of simulated work per operation.
+    pub busy_units: u64,
+    /// RNG seed (per-client streams are derived from it).
+    pub seed: u64,
+    /// Realistic maintenance locking (see [`MvStore::new`]): `true` for
+    /// measurement runs — routine maintenance synchronizes through the
+    /// store lock and only the buggy paths race, keeping race counts in
+    /// the paper's regime; `false` for deterministic stress tests.
+    pub locked_maintenance: bool,
+}
+
+impl Default for CircuitConfig {
+    fn default() -> CircuitConfig {
+        CircuitConfig {
+            workers: 4,
+            ops_per_worker: 20_000,
+            keys_per_worker: 2_048,
+            busy_units: 40,
+            seed: 0xC0FFEE,
+            locked_maintenance: true,
+        }
+    }
+}
+
+impl CircuitConfig {
+    /// A small configuration for tests (hundreds of operations).
+    pub fn smoke() -> CircuitConfig {
+        CircuitConfig {
+            workers: 3,
+            ops_per_worker: 300,
+            keys_per_worker: 128,
+            busy_units: 0,
+            seed: 7,
+            locked_maintenance: false,
+        }
+    }
+}
+
+/// Result of one circuit run.
+#[derive(Clone, Debug)]
+pub struct CircuitResult {
+    /// The circuit that ran.
+    pub circuit: Circuit,
+    /// Total operations executed across clients.
+    pub total_ops: u64,
+    /// Wall-clock time of the measured section.
+    pub elapsed: Duration,
+}
+
+impl CircuitResult {
+    /// Queries (operations) per second — the Table 2 performance metric.
+    pub fn qps(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs one circuit against a fresh store under the given analysis.
+///
+/// The store is preloaded (query circuits need rows to read) *before* any
+/// worker forks, so preloading is happens-before everything and
+/// contributes no races.
+pub fn run_circuit(
+    circuit: Circuit,
+    analysis: Arc<dyn ObjectRegistry>,
+    config: &CircuitConfig,
+) -> CircuitResult {
+    let rt = Runtime::new(analysis);
+    let main = rt.main_ctx();
+    let store = MvStore::new(&rt, config.busy_units, config.locked_maintenance);
+
+    let workers = if circuit.is_concurrent() {
+        config.workers.max(1)
+    } else {
+        1
+    };
+
+    // Preload every client's key range (ordered before all workers).
+    for w in 0..workers as i64 {
+        for k in 0..config.keys_per_worker {
+            let key = w * config.keys_per_worker + k;
+            store.insert(&main, key, key);
+        }
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let store = store.clone();
+        let cfg = *config;
+        handles.push(rt.spawn(&main, move |ctx| {
+            run_client(circuit, &store, ctx, w as i64, &cfg);
+        }));
+    }
+
+    // The background flusher of the non-concurrent circuits.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flusher = if !circuit.is_concurrent() {
+        let store = store.clone();
+        let stop = Arc::clone(&stop);
+        let ticks = if circuit == Circuit::NestedLists {
+            // NestedLists churns metadata much harder (its Table 2 race
+            // count dwarfs Complex's).
+            config.ops_per_worker / 8
+        } else {
+            config.ops_per_worker / 64
+        }
+        .max(1);
+        Some(rt.spawn(&main, move |ctx| {
+            let mut done = 0usize;
+            while done < ticks && !stop.load(Ordering::Relaxed) {
+                store.flusher_tick(ctx);
+                done += 1;
+                std::thread::yield_now();
+            }
+        }))
+    } else {
+        None
+    };
+
+    for h in handles {
+        h.join(&main);
+    }
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = flusher {
+        h.join(&main);
+    }
+    let elapsed = start.elapsed();
+
+    CircuitResult {
+        circuit,
+        total_ops: (workers * config.ops_per_worker) as u64,
+        elapsed,
+    }
+}
+
+/// One client's operation loop.
+fn run_client(
+    circuit: Circuit,
+    store: &MvStore,
+    ctx: &ThreadCtx,
+    worker: i64,
+    config: &CircuitConfig,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E3779B9));
+    let mix = circuit.mix();
+    let my_base = worker * config.keys_per_worker;
+    let all_keys = (if circuit.is_concurrent() {
+        config.workers as i64
+    } else {
+        1
+    }) * config.keys_per_worker;
+
+    for _ in 0..config.ops_per_worker {
+        let my_key = my_base + rng.gen_range(0..config.keys_per_worker);
+        let any_key = rng.gen_range(0..all_keys);
+        let mut roll = rng.gen_range(0..100u32);
+        let mut op = 0usize;
+        for (i, w) in mix.iter().enumerate() {
+            if roll < *w {
+                op = i;
+                break;
+            }
+            roll -= w;
+            op = i;
+        }
+        match op {
+            0 => store.insert(ctx, my_key, my_key),
+            1 => {
+                // Clients read their own rows (H2's MVCC gives readers a
+                // snapshot, so cross-session read/write pairs are ordered
+                // and invisible to the detector; per-session reads model
+                // that without building full MVCC visibility).
+                store.query(ctx, my_key);
+            }
+            2 => store.update(ctx, my_key, 1),
+            3 => store.delete(ctx, my_key),
+            4 => store.commit(ctx),
+            5 => store.compact(ctx, all_keys / crate::mvstore::CHUNK_SPAN + 1),
+            _ => store.free_pages(ctx, MvStore::chunk_of(any_key), 8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::Rd2;
+    use crace_fasttrack::FastTrack;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    #[test]
+    fn mixes_sum_to_100() {
+        for c in Circuit::ALL {
+            assert_eq!(c.mix().iter().sum::<u32>(), 100, "{c}");
+        }
+    }
+
+    #[test]
+    fn all_circuits_run_under_noop() {
+        for c in Circuit::ALL {
+            let r = run_circuit(c, Arc::new(NoopAnalysis::new()), &CircuitConfig::smoke());
+            assert!(r.total_ops > 0);
+            assert!(r.qps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn query_centric_has_no_commutativity_races() {
+        let rd2 = Arc::new(Rd2::new());
+        run_circuit(
+            Circuit::QueryCentricConcurrency,
+            rd2.clone(),
+            &CircuitConfig::smoke(),
+        );
+        assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn non_concurrent_circuits_have_no_commutativity_races() {
+        for c in [Circuit::Complex, Circuit::NestedLists] {
+            let rd2 = Arc::new(Rd2::new());
+            run_circuit(c, rd2.clone(), &CircuitConfig::smoke());
+            assert!(rd2.report().is_empty(), "{c}: {:?}", rd2.report());
+        }
+    }
+
+    #[test]
+    fn complex_concurrency_races_on_exactly_the_two_mvstore_maps() {
+        let rd2 = Arc::new(Rd2::new());
+        run_circuit(
+            Circuit::ComplexConcurrency,
+            rd2.clone(),
+            &CircuitConfig::smoke(),
+        );
+        let report = rd2.report();
+        assert!(report.total() > 0, "{report:?}");
+        // chunks + freedPageSpace: at most 2 distinct objects.
+        assert!(report.distinct() <= 2, "{report:?}");
+    }
+
+    #[test]
+    fn insert_centric_races_but_less_than_complex() {
+        let rd2 = Arc::new(Rd2::new());
+        run_circuit(
+            Circuit::InsertCentricConcurrency,
+            rd2.clone(),
+            &CircuitConfig::smoke(),
+        );
+        let report = rd2.report();
+        assert!(report.total() > 0, "{report:?}");
+        assert!(report.distinct() <= 2);
+    }
+
+    #[test]
+    fn fasttrack_sees_stat_races_in_concurrent_circuits() {
+        let ft = Arc::new(FastTrack::new());
+        run_circuit(
+            Circuit::ComplexConcurrency,
+            ft.clone(),
+            &CircuitConfig::smoke(),
+        );
+        let report = ft.report();
+        assert!(report.total() > 0);
+        // Many distinct stat fields race.
+        assert!(report.distinct() >= 5, "{report:?}");
+    }
+
+    #[test]
+    fn fasttrack_sees_only_flusher_races_in_non_concurrent_circuits() {
+        let ft = Arc::new(FastTrack::new());
+        run_circuit(Circuit::Complex, ft.clone(), &CircuitConfig::smoke());
+        let report = ft.report();
+        // Only MetaDirty and SyncPending are shared with the flusher.
+        assert!(report.distinct() <= 2, "{report:?}");
+    }
+}

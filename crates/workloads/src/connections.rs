@@ -1,0 +1,98 @@
+//! The Fig. 1 motivating example: concurrently establishing connections.
+//!
+//! Forks one thread per hostname, each storing a freshly "created"
+//! connection into a shared dictionary, then joins all and reads the
+//! dictionary size. With duplicate hostnames, the successful `put` in one
+//! thread and the overwriting `put` in another form a commutativity race —
+//! the first workload of §2.
+
+use crace_model::Value;
+use crace_runtime::{MonitoredDict, ObjectRegistry, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of the connections program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectionsResult {
+    /// What the program prints: the number of established connections.
+    pub connections: i64,
+    /// Number of connection objects actually created (with duplicate
+    /// hosts this exceeds `connections` — the leaked short-lived
+    /// connections §2 warns about).
+    pub created: u64,
+}
+
+/// Runs the Fig. 1 program over `hosts` under the given analysis.
+pub fn run_connections(
+    analysis: Arc<dyn ObjectRegistry>,
+    hosts: &[&'static str],
+) -> ConnectionsResult {
+    let rt = Runtime::new(analysis);
+    let main = rt.main_ctx();
+    let dict = MonitoredDict::new(&rt);
+    let created = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for &host in hosts {
+        let dict = dict.clone();
+        let created = Arc::clone(&created);
+        handles.push(rt.spawn(&main, move |ctx| {
+            // "createConnection(host)": allocate a fresh connection object.
+            let conn = Value::Ref(created.fetch_add(1, Ordering::Relaxed) + 1);
+            dict.put(ctx, Value::str(host), conn);
+        }));
+    }
+    for h in handles {
+        h.join(&main); // joinall
+    }
+    let connections = dict.size(&main);
+    ConnectionsResult {
+        connections,
+        created: created.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::Rd2;
+    use crace_model::{Analysis, NoopAnalysis};
+
+    #[test]
+    fn unique_hosts_are_race_free_and_all_connect() {
+        let rd2 = Arc::new(Rd2::new());
+        let r = run_connections(rd2.clone(), &["a.com", "b.com", "c.com"]);
+        assert_eq!(r.connections, 3);
+        assert_eq!(r.created, 3);
+        assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn duplicate_hosts_race_and_leak_a_connection() {
+        let rd2 = Arc::new(Rd2::new());
+        let r = run_connections(rd2.clone(), &["a.com", "a.com", "b.com"]);
+        assert_eq!(r.connections, 2); // one entry survives per host
+        assert_eq!(r.created, 3); // but three connections were created
+        assert!(rd2.report().total() >= 1, "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn size_after_joinall_never_races() {
+        // Even with duplicates, the joinall orders size() after all puts —
+        // the a3 observation of Fig. 3. All races must involve puts only.
+        let rd2 = Arc::new(Rd2::new());
+        run_connections(rd2.clone(), &["a.com", "a.com"]);
+        for race in rd2.report().samples() {
+            let action = race.action.as_ref().expect("rd2 records actions");
+            let spec = crace_runtime::MonitoredDict::spec();
+            assert_eq!(action.method(), spec.method_id("put").unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_host_list() {
+        let r = run_connections(Arc::new(NoopAnalysis::new()), &[]);
+        assert_eq!(r.connections, 0);
+        assert_eq!(r.created, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Evaluation workloads reproducing the PLDI'14 experimental setup
+//! (Table 2) on the `crace` runtime.
+//!
+//! The paper evaluates RD2 against FASTTRACK on two industrial Java
+//! applications; this crate rebuilds the *relevant mechanics* of both:
+//!
+//! * [`mvstore`] — a miniature multi-version store modeled on H2's MVStore:
+//!   a data map, a `chunks` map populated with a check-then-act pattern,
+//!   and a `freedPageSpace` map updated with read-modify-write at map
+//!   granularity — the two harmful commutativity races RD2 found in H2 —
+//!   plus two dozen plain statistics fields for the low-level baseline to
+//!   shadow (H2's FastTrack races live in such fields),
+//! * [`circuits`] — six Pole-Position-style benchmark circuits
+//!   (ComplexConcurrency, an alternate-query-distribution variant,
+//!   QueryCentricConcurrency, InsertCentricConcurrency, Complex,
+//!   NestedLists) generating the operation mixes of Table 2's H2 rows,
+//! * [`snitch`] — the Cassandra `DynamicEndpointSnitch` simulation: sampler
+//!   threads folding latencies into a `samples` map while rank
+//!   recalculation consults `size()` — the third reported race,
+//! * [`connections`] — the Fig. 1 duplicate-hosts program,
+//! * [`table2`] — the harness that runs every benchmark under
+//!   uninstrumented / FastTrack / RD2 settings and renders the
+//!   qps-and-races table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuits;
+pub mod connections;
+pub mod mvstore;
+pub mod snitch;
+pub mod table2;
+
+mod busy;
+
+pub use busy::busy_work;

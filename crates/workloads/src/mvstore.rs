@@ -1,0 +1,463 @@
+//! A miniature multi-version store modeled on H2's MVStore.
+//!
+//! H2 1.3.174 builds its MVStore on several `ConcurrentHashMap`s; RD2 found
+//! two harmful commutativity races in it (§7):
+//!
+//! 1. **`freedPageSpace`** — concurrent read-modify-write at map
+//!    granularity (`get` then `put` of the accumulated freed bytes) can
+//!    lose updates, leaving the store's space accounting wrong. Exercised
+//!    here by [`MvStore::free_pages`].
+//! 2. **`chunks`** — a check-then-act (`get` → miss → expensive compute →
+//!    `put`) can compute the same chunk twice. Exercised by
+//!    [`MvStore::ensure_chunk`].
+//!
+//! Both maps are perfectly thread-safe *as maps*; the races exist only at
+//! the library interface, which is why the low-level baseline cannot see
+//! them. Conversely, the store carries ~26 plain statistics fields
+//! ([`Stat`]) accessed without synchronization — stand-ins for the ordinary
+//! racy fields in which FASTTRACK's Table 2 races live.
+
+use crace_model::Value;
+use crace_runtime::{
+    MonitoredCounter, MonitoredDict, Runtime, ThreadCtx, TrackedCell, TrackedMutex,
+};
+use std::sync::Arc;
+
+use crate::busy_work;
+
+/// Keys per chunk: inserts within the same `key / CHUNK_SPAN` share chunk
+/// metadata, so workers with disjoint key ranges still collide on chunks.
+pub const CHUNK_SPAN: i64 = 64;
+
+/// The plain (unsynchronized) statistics fields of the store — the
+/// application memory RoadRunner would shadow for FastTrack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing statistics
+pub enum Stat {
+    WriteCount,
+    ReadCount,
+    UpdateCount,
+    DeleteCount,
+    CacheHits,
+    CacheMisses,
+    UnsavedMemory,
+    LastOpTime,
+    LastCommitTime,
+    CommitCount,
+    FileSize,
+    PageCount,
+    ChunkCount,
+    CompactCount,
+    FreeBytesTotal,
+    StoreVersionCache,
+    TxOpen,
+    TxCommitted,
+    AvgLatency,
+    MaxLatency,
+    QueriesActive,
+    InsertsActive,
+    BufferPos,
+    SyncPending,
+    RetentionHint,
+    MetaDirty,
+}
+
+impl Stat {
+    /// All statistics fields.
+    pub const ALL: [Stat; 26] = [
+        Stat::WriteCount,
+        Stat::ReadCount,
+        Stat::UpdateCount,
+        Stat::DeleteCount,
+        Stat::CacheHits,
+        Stat::CacheMisses,
+        Stat::UnsavedMemory,
+        Stat::LastOpTime,
+        Stat::LastCommitTime,
+        Stat::CommitCount,
+        Stat::FileSize,
+        Stat::PageCount,
+        Stat::ChunkCount,
+        Stat::CompactCount,
+        Stat::FreeBytesTotal,
+        Stat::StoreVersionCache,
+        Stat::TxOpen,
+        Stat::TxCommitted,
+        Stat::AvgLatency,
+        Stat::MaxLatency,
+        Stat::QueriesActive,
+        Stat::InsertsActive,
+        Stat::BufferPos,
+        Stat::SyncPending,
+        Stat::RetentionHint,
+        Stat::MetaDirty,
+    ];
+}
+
+/// The miniature multi-version store.
+///
+/// All shared maps are [`MonitoredDict`]s (the `ConcurrentHashMap`
+/// analogue); statistics are [`TrackedCell`]s.
+pub struct MvStore {
+    /// Row data: key → value. Workloads write per-worker key ranges (H2
+    /// sessions insert their own rows), so this map itself stays race-free.
+    pub data: Arc<MonitoredDict>,
+    /// Chunk metadata: chunk id → chunk object. Populated check-then-act.
+    pub chunks: Arc<MonitoredDict>,
+    /// Freed-space accounting: chunk id → freed bytes. Updated RMW.
+    pub freed_page_space: Arc<MonitoredDict>,
+    /// Current store version.
+    pub version: Arc<MonitoredCounter>,
+    /// H2's store-wide commit lock: commits serialize on it, creating the
+    /// happens-before edges a real store has between transactions.
+    store_lock: TrackedMutex,
+    stats: Vec<Arc<TrackedCell<i64>>>,
+    /// CPU units burned per "expensive" operation, to give the
+    /// uninstrumented baseline real work.
+    busy_units: u64,
+    /// When `true` (realistic mode), the routine maintenance performed by
+    /// inserts/deletes runs under the store lock as real H2 does — the
+    /// *unsynchronized* map updates are then only the rare buggy paths
+    /// (explicit `free_pages`, `compact`), so commutativity races are
+    /// occasional, as in the paper. When `false` (stress mode, used by
+    /// smoke tests), all maintenance takes the unsynchronized path and
+    /// races deterministically.
+    locked_maintenance: bool,
+}
+
+impl MvStore {
+    /// Creates a store on `rt` (registering its maps with the analysis).
+    /// `busy_units` calibrates the simulated per-operation work;
+    /// `locked_maintenance` selects realistic vs stress maintenance (see
+    /// the field docs).
+    pub fn new(rt: &Runtime, busy_units: u64, locked_maintenance: bool) -> Arc<MvStore> {
+        Arc::new(MvStore {
+            data: MonitoredDict::new(rt),
+            chunks: MonitoredDict::new(rt),
+            freed_page_space: MonitoredDict::new(rt),
+            version: MonitoredCounter::new(rt),
+            store_lock: rt.new_mutex(),
+            stats: Stat::ALL
+                .iter()
+                .map(|_| TrackedCell::new(rt, 0i64))
+                .collect(),
+            busy_units,
+            locked_maintenance,
+        })
+    }
+
+    /// Bumps a statistics field (unsynchronized read-modify-write).
+    fn bump(&self, ctx: &ThreadCtx, stat: Stat) {
+        self.stats[stat as usize].update(ctx, |v| v + 1);
+    }
+
+    /// Reads a statistics field without synchronization.
+    pub fn stat(&self, ctx: &ThreadCtx, stat: Stat) -> i64 {
+        self.stats[stat as usize].read(ctx)
+    }
+
+    /// The chunk id covering `key`.
+    pub fn chunk_of(key: i64) -> i64 {
+        key.div_euclid(CHUNK_SPAN)
+    }
+
+    /// Ensures chunk metadata exists for `id` — H2's check-then-act on the
+    /// `chunks` map (harmful race #2: the expensive computation may run
+    /// more than once).
+    pub fn ensure_chunk(&self, ctx: &ThreadCtx, id: i64) {
+        if self.chunks.get(ctx, Value::Int(id)).is_nil() {
+            // "Expensive" chunk materialization.
+            busy_work(self.busy_units * 4);
+            self.bump(ctx, Stat::ChunkCount);
+            self.chunks.put(ctx, Value::Int(id), Value::Ref(id as u64));
+        }
+    }
+
+    /// Accounts `bytes` of freed space to `chunk` — H2's map-level
+    /// read-modify-write on `freedPageSpace` (harmful race #1: lost
+    /// updates corrupt the accounting).
+    pub fn free_pages(&self, ctx: &ThreadCtx, chunk: i64, bytes: i64) {
+        let old = self
+            .freed_page_space
+            .get(ctx, Value::Int(chunk))
+            .as_int()
+            .unwrap_or(0);
+        self.freed_page_space
+            .put(ctx, Value::Int(chunk), Value::Int(old + bytes));
+        self.bump(ctx, Stat::FreeBytesTotal);
+    }
+
+    /// Like [`MvStore::ensure_chunk`], but with the chunk materialization
+    /// under the store lock. The *fast-path check* is a double-checked
+    /// lookup outside the lock — H2's actual `chunks` pattern, and the
+    /// reason the map can be read while a chunk is concurrently computed
+    /// (finding #2 of §7).
+    pub fn ensure_chunk_committed(&self, ctx: &ThreadCtx, id: i64) {
+        if !self.chunks.get(ctx, Value::Int(id)).is_nil() {
+            return; // ← unsynchronized fast path
+        }
+        let _guard = self.store_lock.lock(ctx);
+        self.ensure_chunk(ctx, id);
+    }
+
+    /// Like [`MvStore::free_pages`], but under the store lock.
+    pub fn free_pages_committed(&self, ctx: &ThreadCtx, chunk: i64, bytes: i64) {
+        let _guard = self.store_lock.lock(ctx);
+        self.free_pages(ctx, chunk, bytes);
+    }
+
+    /// Inserts a row (caller guarantees per-worker key ranges).
+    pub fn insert(&self, ctx: &ThreadCtx, key: i64, value: i64) {
+        busy_work(self.busy_units);
+        if self.locked_maintenance {
+            self.ensure_chunk_committed(ctx, Self::chunk_of(key));
+        } else {
+            self.ensure_chunk(ctx, Self::chunk_of(key));
+        }
+        self.data.put(ctx, Value::Int(key), Value::Int(value));
+        self.bump(ctx, Stat::WriteCount);
+        self.bump(ctx, Stat::UnsavedMemory);
+        self.bump(ctx, Stat::LastOpTime);
+        self.bump(ctx, Stat::InsertsActive);
+        self.bump(ctx, Stat::PageCount);
+        self.bump(ctx, Stat::FileSize);
+    }
+
+    /// Reads a row.
+    pub fn query(&self, ctx: &ThreadCtx, key: i64) -> Value {
+        busy_work(self.busy_units);
+        let v = self.data.get(ctx, Value::Int(key));
+        self.bump(ctx, Stat::ReadCount);
+        if v.is_nil() {
+            self.bump(ctx, Stat::CacheMisses);
+        } else {
+            self.bump(ctx, Stat::CacheHits);
+        }
+        self.bump(ctx, Stat::QueriesActive);
+        self.bump(ctx, Stat::AvgLatency);
+        v
+    }
+
+    /// Updates a row in place (get-then-put on a per-worker key).
+    pub fn update(&self, ctx: &ThreadCtx, key: i64, delta: i64) {
+        busy_work(self.busy_units);
+        let old = self.data.get(ctx, Value::Int(key)).as_int().unwrap_or(0);
+        self.data.put(ctx, Value::Int(key), Value::Int(old + delta));
+        self.bump(ctx, Stat::UpdateCount);
+        self.bump(ctx, Stat::UnsavedMemory);
+        self.bump(ctx, Stat::LastOpTime);
+        self.bump(ctx, Stat::MetaDirty);
+        self.bump(ctx, Stat::BufferPos);
+    }
+
+    /// Deletes a row, freeing its page space.
+    pub fn delete(&self, ctx: &ThreadCtx, key: i64) {
+        busy_work(self.busy_units);
+        let prev = self.data.remove(ctx, Value::Int(key));
+        if !prev.is_nil() {
+            if self.locked_maintenance {
+                self.free_pages_committed(ctx, Self::chunk_of(key), 16);
+            } else {
+                self.free_pages(ctx, Self::chunk_of(key), 16);
+            }
+        }
+        self.bump(ctx, Stat::DeleteCount);
+        self.bump(ctx, Stat::PageCount);
+        self.bump(ctx, Stat::MetaDirty);
+    }
+
+    /// Commits under the store lock: bumps the store version and commit
+    /// statistics. The lock's happens-before edges are what keeps the bulk
+    /// of the store's map traffic ordered between transactions — only the
+    /// accesses falling *between* two commits can race.
+    pub fn commit(&self, ctx: &ThreadCtx) {
+        let _guard = self.store_lock.lock(ctx);
+        busy_work(self.busy_units);
+        self.version.inc(ctx);
+        self.bump(ctx, Stat::CommitCount);
+        self.bump(ctx, Stat::TxCommitted);
+        self.bump(ctx, Stat::StoreVersionCache);
+        drop(_guard);
+        // The commit timestamp is published outside the lock — one of the
+        // unsynchronized-field patterns FastTrack flags in H2.
+        self.bump(ctx, Stat::LastCommitTime);
+        self.bump(ctx, Stat::SyncPending);
+    }
+
+    /// Compacts. The reclaim scan runs under the store lock (as H2's
+    /// does), but the capacity *hint* is read from
+    /// `freedPageSpace.size()` **outside** the lock — the unsynchronized
+    /// check-then-act that makes the hint racy against concurrent frees
+    /// (one of the two H2 findings of §7).
+    pub fn compact(&self, ctx: &ThreadCtx, chunk_range: i64) {
+        busy_work(self.busy_units * 2);
+        let hint = self.freed_page_space.size(ctx); // ← racy hint read
+        if hint == 0 {
+            return;
+        }
+        // In stress mode (`locked_maintenance == false`) even the scan is
+        // unsynchronized.
+        let guard = self
+            .locked_maintenance
+            .then(|| self.store_lock.lock(ctx));
+        for id in 0..chunk_range {
+            let freed = self
+                .freed_page_space
+                .get(ctx, Value::Int(id))
+                .as_int()
+                .unwrap_or(0);
+            if freed > 64 {
+                self.freed_page_space.remove(ctx, Value::Int(id));
+                self.chunks.remove(ctx, Value::Int(id));
+            }
+        }
+        drop(guard);
+        self.bump(ctx, Stat::CompactCount);
+        self.bump(ctx, Stat::RetentionHint);
+        self.bump(ctx, Stat::FileSize);
+        self.bump(ctx, Stat::ChunkCount);
+    }
+
+    /// Background-flusher heartbeat: touches the two dirty-tracking fields
+    /// also touched by foreground operations (the source of the residual
+    /// FastTrack races in the non-concurrent circuits).
+    pub fn flusher_tick(&self, ctx: &ThreadCtx) {
+        self.bump(ctx, Stat::MetaDirty);
+        self.bump(ctx, Stat::SyncPending);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_core::Rd2;
+    use crace_fasttrack::FastTrack;
+    use crace_model::{Analysis, NoopAnalysis, RaceKind};
+
+    fn quiet_store() -> (Runtime, ThreadCtx, Arc<MvStore>) {
+        let rt = Runtime::new(Arc::new(NoopAnalysis::new()));
+        let ctx = rt.main_ctx();
+        let store = MvStore::new(&rt, 0, false);
+        (rt, ctx, store)
+    }
+
+    #[test]
+    fn insert_query_update_delete_round_trip() {
+        let (_rt, ctx, store) = quiet_store();
+        store.insert(&ctx, 5, 100);
+        assert_eq!(store.query(&ctx, 5), Value::Int(100));
+        store.update(&ctx, 5, 11);
+        assert_eq!(store.query(&ctx, 5), Value::Int(111));
+        store.delete(&ctx, 5);
+        assert_eq!(store.query(&ctx, 5), Value::Nil);
+        // Deleting accounted freed space for chunk 0.
+        assert_eq!(
+            store.freed_page_space.get_untracked(&Value::Int(0)),
+            Value::Int(16)
+        );
+    }
+
+    #[test]
+    fn ensure_chunk_is_idempotent_sequentially() {
+        let (_rt, ctx, store) = quiet_store();
+        store.ensure_chunk(&ctx, 3);
+        store.ensure_chunk(&ctx, 3);
+        assert_eq!(store.chunks.len_untracked(), 1);
+    }
+
+    #[test]
+    fn chunk_of_spans() {
+        assert_eq!(MvStore::chunk_of(0), 0);
+        assert_eq!(MvStore::chunk_of(63), 0);
+        assert_eq!(MvStore::chunk_of(64), 1);
+        assert_eq!(MvStore::chunk_of(-1), -1);
+    }
+
+    #[test]
+    fn compact_reclaims_heavily_freed_chunks() {
+        let (_rt, ctx, store) = quiet_store();
+        store.insert(&ctx, 1, 1); // chunk 0 exists
+        for _ in 0..5 {
+            store.free_pages(&ctx, 0, 20); // 100 > 64
+        }
+        store.compact(&ctx, 4);
+        assert_eq!(store.freed_page_space.len_untracked(), 0);
+        assert_eq!(store.chunks.len_untracked(), 0);
+    }
+
+    #[test]
+    fn concurrent_free_pages_is_a_commutativity_race_on_freed_map() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let store = MvStore::new(&rt, 0, false);
+        let freed_obj = store.freed_page_space.obj();
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let store = store.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                store.free_pages(ctx, 7, 16);
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        let report = rd2.report();
+        assert!(report.total() >= 1, "{report:?}");
+        assert!(report
+            .samples()
+            .iter()
+            .all(|r| r.kind == RaceKind::Commutativity { obj: freed_obj }));
+    }
+
+    #[test]
+    fn concurrent_ensure_chunk_is_a_commutativity_race_on_chunks_map() {
+        let rd2 = Arc::new(Rd2::new());
+        let rt = Runtime::new(rd2.clone());
+        let main = rt.main_ctx();
+        let store = MvStore::new(&rt, 0, false);
+        let chunks_obj = store.chunks.obj();
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let store = store.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                store.ensure_chunk(ctx, 3);
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        let report = rd2.report();
+        assert!(report.total() >= 1, "{report:?}");
+        assert!(report
+            .samples()
+            .iter()
+            .any(|r| r.kind == RaceKind::Commutativity { obj: chunks_obj }));
+    }
+
+    #[test]
+    fn stats_race_under_fasttrack_but_maps_do_not() {
+        let ft = Arc::new(FastTrack::new());
+        let rt = Runtime::new(ft.clone());
+        let main = rt.main_ctx();
+        let store = MvStore::new(&rt, 0, false);
+        let mut handles = Vec::new();
+        for w in 0..2i64 {
+            let store = store.clone();
+            handles.push(rt.spawn(&main, move |ctx| {
+                // Disjoint keys: the maps are used race-free…
+                store.insert(ctx, w * 1000, 1);
+                // …but both threads bump the same stat cells.
+            }));
+        }
+        for h in handles {
+            h.join(&main);
+        }
+        let report = ft.report();
+        assert!(report.total() >= 1, "{report:?}");
+        assert!(report
+            .samples()
+            .iter()
+            .all(|r| matches!(r.kind, RaceKind::ReadWrite { .. })));
+    }
+}

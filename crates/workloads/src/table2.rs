@@ -1,0 +1,251 @@
+//! The Table 2 harness: every benchmark × {uninstrumented, FastTrack,
+//! RD2}, reporting throughput (or seconds) and `total (distinct)` races.
+
+use crate::circuits::{run_circuit, Circuit, CircuitConfig};
+use crate::snitch::{run_snitch, SnitchConfig};
+use crace_core::Rd2;
+use crace_fasttrack::FastTrack;
+use crace_model::{Analysis, NoopAnalysis, RaceReport};
+use crace_runtime::ObjectRegistry;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters for a full Table 2 regeneration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Table2Config {
+    /// Circuit parameters (shared by all six H2 rows).
+    pub circuit: CircuitConfig,
+    /// Snitch parameters (the Cassandra row).
+    pub snitch: SnitchConfig,
+}
+
+impl Table2Config {
+    /// A fast configuration for tests.
+    pub fn smoke() -> Table2Config {
+        Table2Config {
+            circuit: CircuitConfig::smoke(),
+            snitch: SnitchConfig::smoke(),
+        }
+    }
+}
+
+/// One measured cell: performance plus the race report (empty for the
+/// uninstrumented setting).
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Operations executed.
+    pub total_ops: u64,
+    /// Races reported by the analysis.
+    pub races: RaceReport,
+}
+
+impl Measurement {
+    /// Operations per second.
+    pub fn qps(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// One row of the table: a benchmark under the three settings.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Application (H2 database / Cassandra).
+    pub application: &'static str,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `true` for rows reported in seconds (the snitch), `false` for qps.
+    pub in_seconds: bool,
+    /// The uninstrumented baseline.
+    pub uninstrumented: Measurement,
+    /// Under FastTrack.
+    pub fasttrack: Measurement,
+    /// Under RD2.
+    pub rd2: Measurement,
+}
+
+impl Table2Row {
+    fn perf(&self, m: &Measurement) -> String {
+        if self.in_seconds {
+            format!("{:.3} s", m.elapsed.as_secs_f64())
+        } else {
+            format!("{:.0} qps", m.qps())
+        }
+    }
+}
+
+/// A regenerated Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// All measured rows, in paper order.
+    pub rows: Vec<Table2Row>,
+}
+
+enum Setting {
+    Uninstrumented,
+    FastTrack,
+    Rd2,
+}
+
+fn measure<F>(setting: &Setting, run: F) -> Measurement
+where
+    F: FnOnce(Arc<dyn ObjectRegistry>) -> (Duration, u64),
+{
+    match setting {
+        Setting::Uninstrumented => {
+            let analysis = Arc::new(NoopAnalysis::new());
+            let (elapsed, total_ops) = run(analysis);
+            Measurement {
+                elapsed,
+                total_ops,
+                races: RaceReport::new(),
+            }
+        }
+        Setting::FastTrack => {
+            let analysis = Arc::new(FastTrack::new());
+            let (elapsed, total_ops) = run(analysis.clone());
+            Measurement {
+                elapsed,
+                total_ops,
+                races: analysis.report(),
+            }
+        }
+        Setting::Rd2 => {
+            let analysis = Arc::new(Rd2::new());
+            let (elapsed, total_ops) = run(analysis.clone());
+            Measurement {
+                elapsed,
+                total_ops,
+                races: analysis.report(),
+            }
+        }
+    }
+}
+
+/// Runs one circuit under all three settings.
+pub fn run_circuit_row(circuit: Circuit, config: &CircuitConfig) -> Table2Row {
+    let mut cells = Vec::new();
+    for setting in [Setting::Uninstrumented, Setting::FastTrack, Setting::Rd2] {
+        cells.push(measure(&setting, |analysis| {
+            let r = run_circuit(circuit, analysis, config);
+            (r.elapsed, r.total_ops)
+        }));
+    }
+    let rd2 = cells.pop().expect("three settings");
+    let fasttrack = cells.pop().expect("three settings");
+    let uninstrumented = cells.pop().expect("three settings");
+    Table2Row {
+        application: "H2 database",
+        benchmark: circuit.name().to_string(),
+        in_seconds: false,
+        uninstrumented,
+        fasttrack,
+        rd2,
+    }
+}
+
+/// Runs the snitch row under all three settings.
+pub fn run_snitch_row(config: &SnitchConfig) -> Table2Row {
+    let mut cells = Vec::new();
+    for setting in [Setting::Uninstrumented, Setting::FastTrack, Setting::Rd2] {
+        cells.push(measure(&setting, |analysis| {
+            let r = run_snitch(analysis, config);
+            (r.elapsed, r.total_ops)
+        }));
+    }
+    let rd2 = cells.pop().expect("three settings");
+    let fasttrack = cells.pop().expect("three settings");
+    let uninstrumented = cells.pop().expect("three settings");
+    Table2Row {
+        application: "Cassandra",
+        benchmark: "DynamicEndpointSnitch test".to_string(),
+        in_seconds: true,
+        uninstrumented,
+        fasttrack,
+        rd2,
+    }
+}
+
+/// Regenerates the full Table 2: six H2 circuits plus the Cassandra
+/// snitch.
+pub fn run_table2(config: &Table2Config) -> Table2 {
+    let mut rows: Vec<Table2Row> = Circuit::ALL
+        .iter()
+        .map(|c| run_circuit_row(*c, &config.circuit))
+        .collect();
+    rows.push(run_snitch_row(&config.snitch));
+    Table2 { rows }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<13} {:<46} | {:>14} {:>14} {:>14} | {:>12} {:>12}",
+            "Application",
+            "Benchmark",
+            "Uninstrumented",
+            "FastTrack",
+            "RD2",
+            "FT races",
+            "RD2 races"
+        )?;
+        writeln!(f, "{}", "-".repeat(134))?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<13} {:<46} | {:>14} {:>14} {:>14} | {:>12} {:>12}",
+                row.application,
+                row.benchmark,
+                row.perf(&row.uninstrumented),
+                row.perf(&row.fasttrack),
+                row.perf(&row.rd2),
+                row.fasttrack.races.to_string(),
+                row.rd2.races.to_string(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table_has_expected_shape() {
+        let table = run_table2(&Table2Config::smoke());
+        assert_eq!(table.rows.len(), 7);
+        // Query-centric and non-concurrent circuits: RD2 reports nothing.
+        for row in &table.rows {
+            match row.benchmark.as_str() {
+                "QueryCentricConcurrency" | "Complex" | "NestedLists" => {
+                    assert!(row.rd2.races.is_empty(), "{}: {:?}", row.benchmark, row.rd2.races);
+                }
+                "ComplexConcurrency" | "InsertCentricConcurrency" => {
+                    assert!(row.rd2.races.total() > 0, "{}", row.benchmark);
+                    assert!(row.rd2.races.distinct() <= 2);
+                }
+                _ => {}
+            }
+        }
+        // Snitch: RD2 finds more races than FastTrack.
+        let snitch = table.rows.last().unwrap();
+        assert!(snitch.in_seconds);
+        assert!(snitch.rd2.races.total() > snitch.fasttrack.races.total());
+        // Rendering works and mentions every benchmark.
+        let rendered = table.to_string();
+        for row in &table.rows {
+            assert!(rendered.contains(&row.benchmark));
+        }
+    }
+
+    #[test]
+    fn uninstrumented_cells_never_report_races() {
+        let row = run_circuit_row(Circuit::QueryCentricConcurrency, &CircuitConfig::smoke());
+        assert!(row.uninstrumented.races.is_empty());
+        assert!(row.uninstrumented.qps() > 0.0);
+    }
+}

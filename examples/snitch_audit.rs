@@ -1,0 +1,61 @@
+//! Audit the Cassandra DynamicEndpointSnitch simulation — the third
+//! finding of §7: entries are added to the `samples` map while its
+//! `size()` is concurrently used as a performance hint during node-rank
+//! recalculation.
+//!
+//! This is the Table 2 row where RD2 finds *more* races than FastTrack:
+//! the snitch's maps are perfectly synchronized, so the misuse exists only
+//! at the library interface.
+//!
+//! Run with: `cargo run --release --example snitch_audit`
+
+use crace::workloads::snitch::{run_snitch, SnitchConfig};
+use crace::{Analysis, FastTrack, NoopAnalysis, Rd2};
+use std::sync::Arc;
+
+fn main() {
+    let config = SnitchConfig {
+        nodes: 16,
+        samplers: 4,
+        updates_per_sampler: 5_000,
+        rank_iterations: 200,
+        busy_units: 10,
+        seed: 1,
+    };
+    println!(
+        "snitch: {} nodes, {} samplers × {} updates, 2 rankers × {} recalcs\n",
+        config.nodes, config.samplers, config.updates_per_sampler, config.rank_iterations
+    );
+
+    let base = run_snitch(Arc::new(NoopAnalysis::new()), &config);
+    println!("uninstrumented: {:.3} s", base.elapsed.as_secs_f64());
+
+    let ft = Arc::new(FastTrack::new());
+    let r = run_snitch(ft.clone(), &config);
+    println!(
+        "FastTrack:      {:.3} s, races {}",
+        r.elapsed.as_secs_f64(),
+        ft.report()
+    );
+
+    let rd2 = Arc::new(Rd2::new());
+    let r = run_snitch(rd2.clone(), &config);
+    let report = rd2.report();
+    println!(
+        "RD2:            {:.3} s, races {}",
+        r.elapsed.as_secs_f64(),
+        report
+    );
+    for race in report.samples().iter().take(5) {
+        println!("  - {race}");
+    }
+    println!(
+        "\nRD2 found {} races on {} object(s); FastTrack found {} on {} —\n\
+         the harmful size()-as-hint pattern is invisible below the map interface.",
+        report.total(),
+        report.distinct(),
+        ft.report().total(),
+        ft.report().distinct()
+    );
+    assert!(report.total() > ft.report().total());
+}

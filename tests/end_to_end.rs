@@ -1,0 +1,132 @@
+//! End-to-end integration: the full pipeline (spec text → translation →
+//! instrumented runtime → detectors) on the evaluation workloads.
+
+use crace::workloads::circuits::{run_circuit, Circuit, CircuitConfig};
+use crace::workloads::connections::run_connections;
+use crace::workloads::snitch::{run_snitch, SnitchConfig};
+use crace::workloads::table2::{run_circuit_row, run_snitch_row};
+use crace::{Analysis, Direct, FastTrack, NoopAnalysis, Rd2};
+use std::sync::Arc;
+
+#[test]
+fn every_circuit_runs_under_every_detector() {
+    let config = CircuitConfig::smoke();
+    for circuit in Circuit::ALL {
+        for detector in 0..4 {
+            match detector {
+                0 => {
+                    run_circuit(circuit, Arc::new(NoopAnalysis::new()), &config);
+                }
+                1 => {
+                    let ft = Arc::new(FastTrack::new());
+                    run_circuit(circuit, ft.clone(), &config);
+                    let _ = ft.report();
+                }
+                2 => {
+                    let rd2 = Arc::new(Rd2::new());
+                    run_circuit(circuit, rd2.clone(), &config);
+                    let _ = rd2.report();
+                }
+                _ => {
+                    let direct = Arc::new(Direct::new());
+                    run_circuit(circuit, direct.clone(), &config);
+                    let _ = direct.report();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rd2_and_direct_agree_on_race_existence_per_circuit() {
+    // Both are precise detectors (Theorem 5.1); on the same *program* the
+    // interleavings differ between runs, but circuits are either
+    // structurally racy (shared chunk metadata) or structurally race-free
+    // (queries only / single worker), so existence agrees.
+    let config = CircuitConfig::smoke();
+    for circuit in Circuit::ALL {
+        let rd2 = Arc::new(Rd2::new());
+        run_circuit(circuit, rd2.clone(), &config);
+        let direct = Arc::new(Direct::new());
+        run_circuit(circuit, direct.clone(), &config);
+        let structurally_racy = matches!(
+            circuit,
+            Circuit::ComplexConcurrency
+                | Circuit::ComplexConcurrencyAlt
+                | Circuit::InsertCentricConcurrency
+        );
+        assert_eq!(
+            rd2.report().total() > 0,
+            structurally_racy,
+            "{circuit}: rd2 = {:?}",
+            rd2.report()
+        );
+        assert_eq!(
+            direct.report().total() > 0,
+            structurally_racy,
+            "{circuit}: direct = {:?}",
+            direct.report()
+        );
+    }
+}
+
+#[test]
+fn snitch_shape_matches_paper_row() {
+    let config = SnitchConfig::smoke();
+    let rd2 = Arc::new(Rd2::new());
+    run_snitch(rd2.clone(), &config);
+    let ft = Arc::new(FastTrack::new());
+    run_snitch(ft.clone(), &config);
+    // RD2 reports more races than FastTrack, on at most 2 objects.
+    assert!(rd2.report().total() > ft.report().total());
+    assert!(rd2.report().distinct() <= 2);
+    assert!(rd2.report().total() > 0);
+}
+
+#[test]
+fn table_rows_have_consistent_measurements() {
+    let row = run_circuit_row(Circuit::InsertCentricConcurrency, &CircuitConfig::smoke());
+    for m in [&row.uninstrumented, &row.fasttrack, &row.rd2] {
+        assert!(m.total_ops > 0);
+        assert!(m.elapsed.as_nanos() > 0);
+    }
+    assert!(row.uninstrumented.races.is_empty());
+    assert!(row.rd2.races.total() > 0);
+
+    let snitch = run_snitch_row(&SnitchConfig::smoke());
+    assert!(snitch.in_seconds);
+    assert!(snitch.rd2.races.total() > snitch.fasttrack.races.total());
+}
+
+#[test]
+fn connections_example_under_all_detectors() {
+    let hosts: &[&'static str] = &["a.com", "b.com", "a.com", "c.com", "b.com"];
+    // RD2 flags the duplicates.
+    let rd2 = Arc::new(Rd2::new());
+    let r = run_connections(rd2.clone(), hosts);
+    assert_eq!(r.connections, 3);
+    assert_eq!(r.created, 5);
+    assert!(rd2.report().total() >= 2, "{:?}", rd2.report());
+
+    // The direct detector also flags them.
+    let direct = Arc::new(Direct::new());
+    run_connections(direct.clone(), hosts);
+    assert!(direct.report().total() >= 2);
+
+    // FastTrack sees nothing: the dictionary is internally synchronized.
+    let ft = Arc::new(FastTrack::new());
+    run_connections(ft.clone(), hosts);
+    assert!(ft.report().is_empty());
+}
+
+#[test]
+fn repeated_runs_do_not_accumulate_state_across_detectors() {
+    // A fresh detector per run: reports start empty and runs are
+    // independent.
+    for _ in 0..3 {
+        let rd2 = Arc::new(Rd2::new());
+        assert!(rd2.report().is_empty());
+        run_connections(rd2.clone(), &["x.com", "x.com"]);
+        assert!(rd2.report().total() >= 1);
+    }
+}
