@@ -303,11 +303,7 @@ impl AtomicityChecker {
                     if prev != txn {
                         edges.push((
                             prev,
-                            format!(
-                                "{} conflicts {}",
-                                spec.label(pt.class),
-                                spec.label(other)
-                            ),
+                            format!("{} conflicts {}", spec.label(pt.class), spec.label(other)),
                         ));
                     }
                 }
@@ -449,8 +445,7 @@ mod tests {
         // Counter: inc/inc commute → interleaving two inc-inc transactions
         // is fine.
         let counter = builtin::counter();
-        let inc =
-            |_: ()| Action::new(O, counter.method_id("inc").unwrap(), vec![], Value::Nil);
+        let inc = |_: ()| Action::new(O, counter.method_id("inc").unwrap(), vec![], Value::Nil);
         let mut c = AtomicityChecker::new();
         c.register(O, Arc::new(translate(&counter).unwrap()));
         c.begin(T1);

@@ -123,5 +123,8 @@ fn violations_only_ever_name_distinct_transactions() {
     }
     // The generator interleaves writes on a 3-key space: violations must
     // actually occur for this test to mean anything.
-    assert!(total_violations > 10, "only {total_violations} violations sampled");
+    assert!(
+        total_violations > 10,
+        "only {total_violations} violations sampled"
+    );
 }

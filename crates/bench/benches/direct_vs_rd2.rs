@@ -7,11 +7,11 @@
 //! length (constant per action); the direct detector grows quadratically —
 //! the crossover is visible from the smallest size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crace_bench::{put_size_storm, OBJ};
-use crace_core::{translate, Direct, TraceDetector};
+use crace_core::{translate, ClockMode, Direct, TraceDetector};
 use crace_model::replay;
 use crace_spec::builtin;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 
 fn bench_direct_vs_rd2(c: &mut Criterion) {
@@ -24,6 +24,14 @@ fn bench_direct_vs_rd2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rd2", n), &trace, |b, trace| {
             b.iter(|| {
                 let detector = TraceDetector::new();
+                detector.register(OBJ, Arc::clone(&compiled));
+                replay(trace, &detector)
+            });
+        });
+        // The pre-epoch reference: every active point keeps a full vector.
+        group.bench_with_input(BenchmarkId::new("rd2-fullvec", n), &trace, |b, trace| {
+            b.iter(|| {
+                let detector = TraceDetector::with_mode(ClockMode::FullVector);
                 detector.register(OBJ, Arc::clone(&compiled));
                 replay(trace, &detector)
             });

@@ -1,16 +1,20 @@
 //! Per-event detector cost on recorded traces — the microscopic view of
 //! the Table 2 overhead columns.
 //!
-//! Replays the same mixed dictionary trace into RD2 and the direct
-//! detector, and an equally-sized read/write trace into FastTrack, so the
-//! per-event costs are directly comparable.
+//! Replays the same mixed dictionary trace into RD2 (in both clock
+//! representations: the adaptive epoch fast path and the full-vector
+//! reference, so the before/after cost of the epoch compression is a
+//! single diff of adjacent rows), the sharded live `Rd2` analysis, and the
+//! direct detector, and an equally-sized read/write trace into FastTrack,
+//! so the per-event costs are directly comparable. The epoch-hit rate of
+//! the benchmarked trace is printed alongside the timings.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use crace_bench::{mixed_dict_trace, rw_trace, OBJ};
-use crace_core::{translate, Direct, TraceDetector};
+use crace_bench::{local_dict_trace, mixed_dict_trace, rw_trace, OBJ};
+use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector};
 use crace_fasttrack::FastTrack;
 use crace_model::{replay, NoopAnalysis};
 use crace_spec::builtin;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 const N: usize = 10_000;
@@ -19,7 +23,20 @@ fn bench_per_event(c: &mut Criterion) {
     let spec = builtin::dictionary();
     let compiled = Arc::new(translate(&spec).expect("ECL"));
     let dict_trace = mixed_dict_trace(N, 4, 64, 0xFEED);
+    let local_trace = local_dict_trace(N, 4, 64, 0xFEED);
     let mem_trace = rw_trace(N, 4, 256, 0xFEED);
+
+    // How compressible each trace's access points are: replay once and
+    // report the phase-2 update breakdown.
+    for (name, trace) in [("mixed", &dict_trace), ("local", &local_trace)] {
+        let detector = TraceDetector::new();
+        detector.register(OBJ, Arc::clone(&compiled));
+        replay(trace, &detector);
+        println!(
+            "per_event: {name} trace adaptive clock updates: {}",
+            detector.clock_stats()
+        );
+    }
 
     let mut group = c.benchmark_group("per_event");
     group.throughput(Throughput::Elements(N as u64));
@@ -28,9 +45,50 @@ fn bench_per_event(c: &mut Criterion) {
         b.iter(|| replay(&dict_trace, &NoopAnalysis::new()));
     });
 
-    group.bench_function("rd2", |b| {
+    group.bench_function("rd2-adaptive", |b| {
         b.iter(|| {
             let detector = TraceDetector::new();
+            detector.register(OBJ, Arc::clone(&compiled));
+            replay(&dict_trace, &detector)
+        });
+    });
+
+    group.bench_function("rd2-fullvector", |b| {
+        b.iter(|| {
+            let detector = TraceDetector::with_mode(ClockMode::FullVector);
+            detector.register(OBJ, Arc::clone(&compiled));
+            replay(&dict_trace, &detector)
+        });
+    });
+
+    // The thread-local trace: the epoch fast path's best case (every
+    // phase-2 update stays an O(1) epoch overwrite) vs the same trace on
+    // full vectors. The gap widens with the thread count, since a full
+    // vector join is O(threads) while an epoch overwrite stays O(1).
+    for threads in [4u32, 16, 64] {
+        let local = local_dict_trace(N, threads, 64, 0xFEED);
+        group.bench_function(format!("rd2-adaptive-local-t{threads}"), |b| {
+            b.iter(|| {
+                let detector = TraceDetector::new();
+                detector.register(OBJ, Arc::clone(&compiled));
+                replay(&local, &detector)
+            });
+        });
+        group.bench_function(format!("rd2-fullvector-local-t{threads}"), |b| {
+            b.iter(|| {
+                let detector = TraceDetector::with_mode(ClockMode::FullVector);
+                detector.register(OBJ, Arc::clone(&compiled));
+                replay(&local, &detector)
+            });
+        });
+    }
+
+    // The live sharded analysis (published clock snapshots, per-object
+    // mutexes) driven from one thread — measures hot-path bookkeeping, not
+    // contention.
+    group.bench_function("rd2-live", |b| {
+        b.iter(|| {
+            let detector = Rd2::new();
             detector.register(OBJ, Arc::clone(&compiled));
             replay(&dict_trace, &detector)
         });

@@ -2,10 +2,10 @@
 //! pipeline (Appendix A.3), over the builtin specifications and a family
 //! of synthetic specifications of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crace_bench::synthetic_spec;
 use crace_core::translate;
 use crace_spec::builtin;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_builtins(c: &mut Criterion) {
     let mut group = c.benchmark_group("translate_builtin");
@@ -24,11 +24,9 @@ fn bench_synthetic(c: &mut Criterion) {
     // Scaling in method count (atoms fixed)…
     for methods in [2usize, 4, 8] {
         let spec = synthetic_spec(methods, 2);
-        group.bench_with_input(
-            BenchmarkId::new("methods", methods),
-            &spec,
-            |b, spec| b.iter(|| translate(spec).expect("ECL")),
-        );
+        group.bench_with_input(BenchmarkId::new("methods", methods), &spec, |b, spec| {
+            b.iter(|| translate(spec).expect("ECL"))
+        });
     }
     // …and in atoms per method (β enumeration is exponential in this).
     for atoms in [1usize, 3, 5, 7] {

@@ -1,9 +1,9 @@
 //! Vector-clock primitive costs at growing thread counts — the substrate
 //! every detector's per-event cost stands on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crace_model::ThreadId;
 use crace_vclock::{Epoch, VectorClock};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn clocks(dim: usize) -> (VectorClock, VectorClock) {

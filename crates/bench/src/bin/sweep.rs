@@ -8,10 +8,10 @@
 //!
 //! Usage: `cargo run -p crace-bench --bin sweep --release [ops_per_worker]`
 
+use crace_core::Rd2;
 use crace_fasttrack::FastTrack;
 use crace_model::NoopAnalysis;
 use crace_workloads::circuits::{run_circuit, Circuit, CircuitConfig};
-use crace_core::Rd2;
 use std::sync::Arc;
 
 fn main() {

@@ -61,11 +61,7 @@ fn main() {
         let slowdown_rd2 = row.uninstrumented.qps() / rd2.qps().max(1e-9);
         println!(
             "{:<46} FT slowdown {:>5.2}×, RD2 slowdown {:>5.2}×, races FT {} vs RD2 {}",
-            row.benchmark,
-            slowdown_ft,
-            slowdown_rd2,
-            ft.races,
-            rd2.races
+            row.benchmark, slowdown_ft, slowdown_rd2, ft.races, rd2.races
         );
     }
 }

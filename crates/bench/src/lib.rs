@@ -97,6 +97,44 @@ pub fn mixed_dict_trace(n: usize, threads: u32, key_space: i64, seed: u64) -> Tr
     trace
 }
 
+/// Generates a *thread-local* dictionary trace: every thread works a
+/// disjoint key range, so each access point is only ever touched by one
+/// thread. This is the FastTrack-motivating common case where the adaptive
+/// clock representation keeps every `pt.vc` as an epoch — the counterpart
+/// to the contended [`mixed_dict_trace`], whose shared bounded key space
+/// promotes almost every point to a full vector.
+pub fn local_dict_trace(n: usize, threads: u32, keys_per_thread: i64, seed: u64) -> Trace {
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").expect("builtin");
+    let get = spec.method_id("get").expect("builtin");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    for t in 1..=threads {
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(t),
+        });
+    }
+    for _ in 0..n {
+        let t = rng.gen_range(0..threads);
+        let tid = ThreadId(1 + t);
+        let base = i64::from(t) * keys_per_thread;
+        let k = Value::Int(base + rng.gen_range(0..keys_per_thread));
+        let action = if rng.gen_bool(0.6) {
+            Action::new(
+                OBJ,
+                put,
+                vec![k, Value::Int(rng.gen_range(0..100))],
+                Value::Int(rng.gen_range(0..100)),
+            )
+        } else {
+            Action::new(OBJ, get, vec![k], Value::Int(rng.gen_range(0..100)))
+        };
+        trace.push(Event::Action { tid, action });
+    }
+    trace
+}
+
 /// Generates a read/write shadow-memory trace for FastTrack measurements.
 pub fn rw_trace(n: usize, threads: u32, locs: u64, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -61,8 +61,7 @@ fn load_spec(name: &str) -> Result<Spec, String> {
         "queue" => return Ok(builtin::queue()),
         _ => {}
     }
-    let source =
-        std::fs::read_to_string(name).map_err(|e| format!("cannot read `{name}`: {e}"))?;
+    let source = std::fs::read_to_string(name).map_err(|e| format!("cannot read `{name}`: {e}"))?;
     crace_spec::parse(&source).map_err(|e| e.render(&source))
 }
 
@@ -87,7 +86,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     if missing.is_empty() {
         println!("  all method pairs have commute rules");
     } else {
-        println!("  {} pair(s) default to `false` (never commute):", missing.len());
+        println!(
+            "  {} pair(s) default to `false` (never commute):",
+            missing.len()
+        );
         for (a, b) in missing {
             println!("    ({}, {})", spec.sig(a).name(), spec.sig(b).name());
         }
@@ -119,7 +121,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 crace_core::PointKind::Ds => "box",
                 crace_core::PointKind::Slot => "ellipse",
             };
-            println!("  c{i} [label=\"{}\", shape={shape}];", compiled.label(class));
+            println!(
+                "  c{i} [label=\"{}\", shape={shape}];",
+                compiled.label(class)
+            );
         }
         for i in 0..compiled.num_classes() {
             let class = crace_core::ClassId(i as u32);

@@ -117,9 +117,7 @@ pub fn parse_trace(source: &str, spec: &Spec) -> Result<Trace, TraceParseError> 
             other => {
                 return Err(err(
                     lineno,
-                    format!(
-                        "unknown event `{other}` (expected fork/join/acq/rel/read/write/act)"
-                    ),
+                    format!("unknown event `{other}` (expected fork/join/acq/rel/read/write/act)"),
                 ));
             }
         }
@@ -156,9 +154,12 @@ fn parse_action(text: &str, spec: &Spec, lineno: usize) -> Result<Action, TraceP
         .ok_or_else(|| err(lineno, "expected `/ret` after invocation"))?
         .trim();
 
-    let method = spec
-        .method_id(name)
-        .ok_or_else(|| err(lineno, format!("unknown method `{name}` in spec `{}`", spec.name())))?;
+    let method = spec.method_id(name).ok_or_else(|| {
+        err(
+            lineno,
+            format!("unknown method `{name}` in spec `{}`", spec.name()),
+        )
+    })?;
     let mut args = Vec::new();
     if !args_text.trim().is_empty() {
         for part in split_args(args_text) {
@@ -379,8 +380,7 @@ act 0 o1 size()/1
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let spec = builtin::dictionary();
-        let trace =
-            parse_trace("# header\n\nfork 0 1 # trailing\n   \n", &spec).unwrap();
+        let trace = parse_trace("# header\n\nfork 0 1 # trailing\n   \n", &spec).unwrap();
         assert_eq!(trace.len(), 1);
     }
 }

@@ -1,11 +1,9 @@
 //! The offline/single-consumer commutativity race detector.
 
-use crate::engine::ObjState;
+use crate::engine::{ClockMode, ObjState};
 use crate::points::CompiledSpec;
-use crace_model::{
-    Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId,
-};
-use crace_vclock::SyncClocks;
+use crace_model::{Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId};
+use crace_vclock::{ClockStats, SyncClocks};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,11 +33,21 @@ struct Inner {
     objects: HashMap<ObjId, ObjState>,
     report: RaceReport,
     compiled: HashMap<String, Arc<CompiledSpec>>,
+    mode: ClockMode,
 }
 
 impl TraceDetector {
-    /// Creates a detector with no registered objects.
+    /// Creates a detector with no registered objects, using the adaptive
+    /// (epoch-compressed) access-point clocks.
     pub fn new() -> TraceDetector {
+        TraceDetector::with_mode(ClockMode::Adaptive)
+    }
+
+    /// Creates a detector with an explicit clock representation.
+    /// [`ClockMode::FullVector`] keeps every `pt.vc` as a complete vector
+    /// — the reference the differential tests compare the epoch fast path
+    /// against.
+    pub fn with_mode(mode: ClockMode) -> TraceDetector {
         TraceDetector {
             inner: Mutex::new(Inner {
                 sync: SyncClocks::new(),
@@ -47,6 +55,7 @@ impl TraceDetector {
                 objects: HashMap::new(),
                 report: RaceReport::new(),
                 compiled: HashMap::new(),
+                mode,
             }),
         }
     }
@@ -103,6 +112,17 @@ impl TraceDetector {
             .get(&obj)
             .map_or(0, ObjState::num_active)
     }
+
+    /// Aggregated clock-representation statistics over all tracked
+    /// objects: how many phase-2 updates stayed on the O(1) epoch path.
+    pub fn clock_stats(&self) -> ClockStats {
+        let inner = self.inner.lock();
+        let mut stats = ClockStats::default();
+        for state in inner.objects.values() {
+            stats.merge(&state.clock_stats());
+        }
+        stats
+    }
 }
 
 impl Default for TraceDetector {
@@ -139,8 +159,12 @@ impl Analysis for TraceDetector {
         };
         let spec = Arc::clone(spec);
         let clock = inner.sync.clock(tid).clone();
-        let state = inner.objects.entry(action.obj()).or_default();
-        let hits = state.on_action(&spec, action, &clock);
+        let mode = inner.mode;
+        let state = inner
+            .objects
+            .entry(action.obj())
+            .or_insert_with(|| ObjState::with_mode(mode));
+        let hits = state.on_action(&spec, action, tid, &clock);
         let kind = RaceKind::Commutativity { obj: action.obj() };
         for hit in hits {
             inner.report.record_with(kind.clone(), || RaceRecord {
@@ -175,14 +199,7 @@ mod tests {
         (spec, compiled)
     }
 
-    fn put_event(
-        spec: &crace_spec::Spec,
-        tid: u32,
-        obj: u64,
-        k: &str,
-        v: i64,
-        p: Value,
-    ) -> Event {
+    fn put_event(spec: &crace_spec::Spec, tid: u32, obj: u64, k: &str, v: i64, p: Value) -> Event {
         Event::Action {
             tid: ThreadId(tid),
             action: Action::new(
@@ -203,12 +220,24 @@ mod tests {
         detector.register(ObjId(1), compiled);
         let (tm, t2, t3) = (ThreadId(0), ThreadId(1), ThreadId(2));
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: tm, child: t2 });
-        trace.push(Event::Fork { parent: tm, child: t3 });
+        trace.push(Event::Fork {
+            parent: tm,
+            child: t2,
+        });
+        trace.push(Event::Fork {
+            parent: tm,
+            child: t3,
+        });
         trace.push(put_event(&spec, 2, 1, "a.com", 1, Value::Nil));
         trace.push(put_event(&spec, 1, 1, "a.com", 2, Value::Int(1)));
-        trace.push(Event::Join { parent: tm, child: t2 });
-        trace.push(Event::Join { parent: tm, child: t3 });
+        trace.push(Event::Join {
+            parent: tm,
+            child: t2,
+        });
+        trace.push(Event::Join {
+            parent: tm,
+            child: t3,
+        });
         trace.push(Event::Action {
             tid: tm,
             action: Action::new(
@@ -233,8 +262,14 @@ mod tests {
         detector.register(ObjId(1), compiled);
         let (tm, t2, t3) = (ThreadId(0), ThreadId(1), ThreadId(2));
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: tm, child: t2 });
-        trace.push(Event::Fork { parent: tm, child: t3 });
+        trace.push(Event::Fork {
+            parent: tm,
+            child: t2,
+        });
+        trace.push(Event::Fork {
+            parent: tm,
+            child: t3,
+        });
         trace.push(put_event(&spec, 2, 1, "a.com", 1, Value::Nil)); // resizes
         trace.push(put_event(&spec, 1, 1, "a.com", 2, Value::Int(1))); // no resize
         trace.push(Event::Action {
@@ -256,7 +291,10 @@ mod tests {
         let (spec, _) = dict();
         let detector = TraceDetector::new();
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: ThreadId(0), child: ThreadId(1) });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
         trace.push(put_event(&spec, 0, 9, "k", 1, Value::Nil));
         trace.push(put_event(&spec, 1, 9, "k", 2, Value::Int(1)));
         assert!(replay(&trace, &detector).is_empty());
@@ -270,8 +308,14 @@ mod tests {
         let (t1, t2) = (ThreadId(1), ThreadId(2));
         let lock = LockId(0);
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: ThreadId(0), child: t1 });
-        trace.push(Event::Fork { parent: ThreadId(0), child: t2 });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: t1,
+        });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: t2,
+        });
         trace.push(Event::Acquire { tid: t1, lock });
         trace.push(put_event(&spec, 1, 1, "k", 1, Value::Nil));
         trace.push(Event::Release { tid: t1, lock });
@@ -281,10 +325,19 @@ mod tests {
         assert!(replay(&trace, &detector).is_empty());
         // Sanity: without the lock events the same puts do race.
         let detector2 = TraceDetector::new();
-        detector2.register(ObjId(1), Arc::new(translate(&builtin::dictionary()).unwrap()));
+        detector2.register(
+            ObjId(1),
+            Arc::new(translate(&builtin::dictionary()).unwrap()),
+        );
         let mut unordered = Trace::new();
-        unordered.push(Event::Fork { parent: ThreadId(0), child: t1 });
-        unordered.push(Event::Fork { parent: ThreadId(0), child: t2 });
+        unordered.push(Event::Fork {
+            parent: ThreadId(0),
+            child: t1,
+        });
+        unordered.push(Event::Fork {
+            parent: ThreadId(0),
+            child: t2,
+        });
         unordered.push(put_event(&spec, 1, 1, "k", 1, Value::Nil));
         unordered.push(put_event(&spec, 2, 1, "k", 2, Value::Int(1)));
         assert_eq!(replay(&unordered, &detector2).total(), 1);
@@ -297,7 +350,10 @@ mod tests {
         detector.register(ObjId(1), compiled.clone());
         detector.register(ObjId(2), compiled);
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: ThreadId(0), child: ThreadId(1) });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
         for obj in [1u64, 2] {
             trace.push(put_event(&spec, 0, obj, "k", 1, Value::Nil));
             trace.push(put_event(&spec, 1, obj, "k", 2, Value::Int(1)));

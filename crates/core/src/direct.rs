@@ -11,9 +11,7 @@
 //! against (they must report races on exactly the same traces, per
 //! Theorem 5.1 both are precise).
 
-use crace_model::{
-    Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId,
-};
+use crace_model::{Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId};
 use crace_spec::Spec;
 use crace_vclock::{SyncClocks, VectorClock};
 use parking_lot::Mutex;
@@ -177,10 +175,18 @@ mod tests {
         let direct = Direct::new();
         direct.register(ObjId(1), Arc::clone(&spec));
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: ThreadId(0), child: ThreadId(1) });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
         trace.push(Event::Action {
             tid: ThreadId(0),
-            action: Action::new(ObjId(1), put, vec![Value::Int(5), Value::Int(1)], Value::Nil),
+            action: Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(5), Value::Int(1)],
+                Value::Nil,
+            ),
         });
         trace.push(Event::Action {
             tid: ThreadId(1),
@@ -210,7 +216,10 @@ mod tests {
         direct.register(ObjId(1), Arc::clone(&spec));
         let mut trace = Trace::new();
         for t in 1..=3u32 {
-            trace.push(Event::Fork { parent: ThreadId(0), child: ThreadId(t) });
+            trace.push(Event::Fork {
+                parent: ThreadId(0),
+                child: ThreadId(t),
+            });
             trace.push(Event::Action {
                 tid: ThreadId(t),
                 action: Action::new(
@@ -236,12 +245,23 @@ mod tests {
         let direct = Direct::new();
         direct.register(ObjId(1), Arc::clone(&spec));
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: ThreadId(0), child: ThreadId(1) });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
         trace.push(Event::Action {
             tid: ThreadId(1),
-            action: Action::new(ObjId(1), put, vec![Value::Int(5), Value::Int(1)], Value::Nil),
+            action: Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(5), Value::Int(1)],
+                Value::Nil,
+            ),
         });
-        trace.push(Event::Join { parent: ThreadId(0), child: ThreadId(1) });
+        trace.push(Event::Join {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
         trace.push(Event::Action {
             tid: ThreadId(0),
             action: Action::new(
@@ -266,7 +286,10 @@ mod tests {
         let direct = Direct::new();
         direct.register(ObjId(1), Arc::clone(&spec));
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: ThreadId(0), child: ThreadId(1) });
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
         // Same argument: ¬(x1 ≠ x2) holds → commute → no race.
         trace.push(Event::Action {
             tid: ThreadId(0),
@@ -294,7 +317,12 @@ mod tests {
         let put = spec.method_id("put").unwrap();
         let mut d = DirectDetector::new(Arc::clone(&spec));
         for i in 0..100i64 {
-            let a = Action::new(ObjId(0), put, vec![Value::Int(i), Value::Int(1)], Value::Nil);
+            let a = Action::new(
+                ObjId(0),
+                put,
+                vec![Value::Int(i), Value::Int(1)],
+                Value::Nil,
+            );
             d.on_action(&a, &VectorClock::from_components([i as u64 + 1]));
         }
         assert_eq!(d.num_recorded(), 100);

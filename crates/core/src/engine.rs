@@ -1,8 +1,8 @@
 //! The per-object core of Algorithm 1.
 
 use crate::points::{AccessPoint, ClassId, CompiledSpec};
-use crace_model::Action;
-use crace_vclock::VectorClock;
+use crace_model::{Action, ThreadId};
+use crace_vclock::{AdaptiveClock, ClockStats, VectorClock};
 use std::collections::HashMap;
 
 /// One commutativity race found by phase 1 of Algorithm 1: the touched
@@ -19,6 +19,22 @@ pub struct RaceHit {
     pub conflicting: ClassId,
 }
 
+/// Which representation an [`ObjState`] keeps for its access-point clocks.
+///
+/// The two modes are observationally equivalent — same races, same counts
+/// — which `tests/adaptive_vs_full.rs` verifies on random traces; the full
+///-vector mode exists exactly to serve as that differential reference (and
+/// as the before/after baseline in the benchmarks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Epoch-compressed `pt.vc` with promotion on contention (the fast
+    /// default).
+    #[default]
+    Adaptive,
+    /// Always keep the full vector (the seed behaviour; reference mode).
+    FullVector,
+}
+
 /// The per-object auxiliary state of Algorithm 1: the vector clock
 /// `pt.vc` of every *active* access point.
 ///
@@ -27,11 +43,18 @@ pub struct RaceHit {
 /// state to the object it belongs to, so reclaiming an object reclaims its
 /// shadow state (the `forget`-style optimization the tool implements).
 ///
+/// Point clocks are stored as [`AdaptiveClock`]s: an access point touched
+/// by one thread at a time (or handed off in order) costs O(1) per touch —
+/// an epoch compare and overwrite — instead of an O(threads) vector join.
+/// The first concurrent touch promotes that point to a full vector. See
+/// [`AdaptiveClock`] for why this never changes a race verdict, and
+/// [`ObjState::clock_stats`] for how often each path was taken.
+///
 /// # Examples
 ///
 /// ```
 /// use crace_core::{translate, ObjState};
-/// use crace_model::{Action, ObjId, Value};
+/// use crace_model::{Action, ObjId, ThreadId, Value};
 /// use crace_spec::builtin;
 /// use crace_vclock::VectorClock;
 ///
@@ -45,22 +68,34 @@ pub struct RaceHit {
 /// let b = Action::new(ObjId(0), put, vec![Value::Int(5), Value::Int(2)], Value::Int(1));
 /// let c1 = VectorClock::from_components([1, 0]);
 /// let c2 = VectorClock::from_components([0, 1]);
-/// assert_eq!(state.on_action(&compiled, &a, &c1).len(), 0);
-/// assert_eq!(state.on_action(&compiled, &b, &c2).len(), 1);
+/// assert_eq!(state.on_action(&compiled, &a, ThreadId(0), &c1).len(), 0);
+/// assert_eq!(state.on_action(&compiled, &b, ThreadId(1), &c2).len(), 1);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ObjState {
     /// `pt.vc` for every active point, keyed by `(class, value)`.
-    active: HashMap<AccessPoint, VectorClock>,
+    active: HashMap<AccessPoint, AdaptiveClock>,
     /// Total phase-1 conflict probes performed (one per conflicting class
     /// per touched point) — the quantity §5.4 bounds by `|Cₒ(pt)|`.
     probes: u64,
+    /// How the phase-2 updates were served (epoch / promotion / vector).
+    stats: ClockStats,
+    mode: ClockMode,
 }
 
 impl ObjState {
-    /// Creates empty state (no active access points).
+    /// Creates empty state (no active access points), with adaptive
+    /// clocks.
     pub fn new() -> ObjState {
         ObjState::default()
+    }
+
+    /// Creates empty state with an explicit clock representation.
+    pub fn with_mode(mode: ClockMode) -> ObjState {
+        ObjState {
+            mode,
+            ..ObjState::default()
+        }
     }
 
     /// Number of active access points (the `|active(o)|` the direct
@@ -77,9 +112,19 @@ impl ObjState {
         self.probes
     }
 
-    /// Processes one action event with vector clock `vc(e) = clock`:
-    /// phase 1 checks every touched point against its conflicting active
-    /// points; phase 2 folds `clock` into the touched points' clocks.
+    /// How this object's phase-2 clock updates were served — the epoch-hit
+    /// rate of the adaptive representation. All counts land in
+    /// `vector_updates` when the state runs in
+    /// [`ClockMode::FullVector`].
+    pub fn clock_stats(&self) -> ClockStats {
+        self.stats
+    }
+
+    /// Processes one action event by thread `tid` with vector clock
+    /// `vc(e) = clock` (which must be `T(tid)`, the acting thread's
+    /// current clock): phase 1 checks every touched point against its
+    /// conflicting active points; phase 2 folds `clock` into the touched
+    /// points' clocks.
     ///
     /// Returns one [`RaceHit`] per conflicting access-point pair (what the
     /// algorithm reports at line 6).
@@ -87,6 +132,7 @@ impl ObjState {
         &mut self,
         spec: &CompiledSpec,
         action: &Action,
+        tid: ThreadId,
         clock: &VectorClock,
     ) -> Vec<RaceHit> {
         let touched = spec.touched(action);
@@ -114,11 +160,23 @@ impl ObjState {
         // Phase 2: update auxiliary state.
         for pt in touched {
             match self.active.entry(pt) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().join_in_place(clock);
-                }
+                std::collections::hash_map::Entry::Occupied(mut e) => match self.mode {
+                    ClockMode::Adaptive => {
+                        self.stats.record(e.get_mut().observe(tid, clock));
+                    }
+                    ClockMode::FullVector => {
+                        let AdaptiveClock::Vector(v) = e.get_mut() else {
+                            unreachable!("FullVector state never stores epochs");
+                        };
+                        v.join_in_place(clock);
+                        self.stats.record(crace_vclock::Observation::VectorJoin);
+                    }
+                },
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(clock.clone());
+                    e.insert(match self.mode {
+                        ClockMode::Adaptive => AdaptiveClock::first(tid, clock),
+                        ClockMode::FullVector => AdaptiveClock::Vector(clock.clone()),
+                    });
                 }
             }
         }
@@ -152,15 +210,19 @@ mod tests {
         VectorClock::from_components(c.iter().copied())
     }
 
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
     #[test]
     fn ordered_actions_do_not_race() {
         let (spec, c) = setup();
         let mut st = ObjState::new();
         let a = put(&spec, 1, Value::Int(1), Value::Nil);
         let b = put(&spec, 1, Value::Int(2), Value::Int(1));
-        assert!(st.on_action(&c, &a, &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &a, T0, &vc(&[1, 0])).is_empty());
         // b's clock dominates a's: ordered, no race.
-        assert!(st.on_action(&c, &b, &vc(&[2, 1])).is_empty());
+        assert!(st.on_action(&c, &b, T1, &vc(&[2, 1])).is_empty());
     }
 
     #[test]
@@ -169,8 +231,8 @@ mod tests {
         let mut st = ObjState::new();
         let a = put(&spec, 1, Value::Int(1), Value::Nil);
         let b = put(&spec, 1, Value::Int(2), Value::Int(1));
-        assert!(st.on_action(&c, &a, &vc(&[1, 0])).is_empty());
-        let races = st.on_action(&c, &b, &vc(&[0, 1]));
+        assert!(st.on_action(&c, &a, T0, &vc(&[1, 0])).is_empty());
+        let races = st.on_action(&c, &b, T1, &vc(&[0, 1]));
         assert_eq!(races.len(), 1);
         assert_eq!(races[0].touched, races[0].conflicting); // w:k vs w:k
     }
@@ -181,8 +243,8 @@ mod tests {
         let mut st = ObjState::new();
         let a = put(&spec, 1, Value::Int(1), Value::Int(9));
         let b = put(&spec, 2, Value::Int(2), Value::Int(9));
-        assert!(st.on_action(&c, &a, &vc(&[1, 0])).is_empty());
-        assert!(st.on_action(&c, &b, &vc(&[0, 1])).is_empty());
+        assert!(st.on_action(&c, &a, T0, &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &b, T1, &vc(&[0, 1])).is_empty());
     }
 
     #[test]
@@ -191,9 +253,14 @@ mod tests {
         let mut st = ObjState::new();
         // Fresh insert resizes.
         let grow = put(&spec, 1, Value::Int(1), Value::Nil);
-        let size = Action::new(ObjId(0), spec.method_id("size").unwrap(), vec![], Value::Int(1));
-        assert!(st.on_action(&c, &grow, &vc(&[1, 0])).is_empty());
-        assert_eq!(st.on_action(&c, &size, &vc(&[0, 1])).len(), 1);
+        let size = Action::new(
+            ObjId(0),
+            spec.method_id("size").unwrap(),
+            vec![],
+            Value::Int(1),
+        );
+        assert!(st.on_action(&c, &grow, T0, &vc(&[1, 0])).is_empty());
+        assert_eq!(st.on_action(&c, &size, T1, &vc(&[0, 1])).len(), 1);
     }
 
     #[test]
@@ -202,26 +269,33 @@ mod tests {
         let mut st = ObjState::new();
         // Overwrite non-nil → non-nil: no resize (the a2/a3 observation in §2).
         let over = put(&spec, 1, Value::Int(2), Value::Int(1));
-        let size = Action::new(ObjId(0), spec.method_id("size").unwrap(), vec![], Value::Int(1));
-        assert!(st.on_action(&c, &over, &vc(&[1, 0])).is_empty());
-        assert!(st.on_action(&c, &size, &vc(&[0, 1])).is_empty());
+        let size = Action::new(
+            ObjId(0),
+            spec.method_id("size").unwrap(),
+            vec![],
+            Value::Int(1),
+        );
+        assert!(st.on_action(&c, &over, T0, &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &size, T1, &vc(&[0, 1])).is_empty());
     }
 
     #[test]
     fn concurrent_reads_never_race() {
         let (spec, c) = setup();
         let mut st = ObjState::new();
-        let get = |k: i64| Action::new(
-            ObjId(0),
-            spec.method_id("get").unwrap(),
-            vec![Value::Int(k)],
-            Value::Int(7),
-        );
-        assert!(st.on_action(&c, &get(1), &vc(&[1, 0])).is_empty());
-        assert!(st.on_action(&c, &get(1), &vc(&[0, 1])).is_empty());
+        let get = |k: i64| {
+            Action::new(
+                ObjId(0),
+                spec.method_id("get").unwrap(),
+                vec![Value::Int(k)],
+                Value::Int(7),
+            )
+        };
+        assert!(st.on_action(&c, &get(1), T0, &vc(&[1, 0])).is_empty());
+        assert!(st.on_action(&c, &get(1), T1, &vc(&[0, 1])).is_empty());
         // A read-like put is also a read.
         let noop = put(&spec, 1, Value::Int(7), Value::Int(7));
-        assert!(st.on_action(&c, &noop, &vc(&[0, 0, 1])).is_empty());
+        assert!(st.on_action(&c, &noop, T2, &vc(&[0, 0, 1])).is_empty());
     }
 
     #[test]
@@ -235,8 +309,8 @@ mod tests {
             Value::Nil,
         );
         let write = put(&spec, 1, Value::Int(5), Value::Nil);
-        assert!(st.on_action(&c, &get, &vc(&[1, 0])).is_empty());
-        let races = st.on_action(&c, &write, &vc(&[0, 1]));
+        assert!(st.on_action(&c, &get, T0, &vc(&[1, 0])).is_empty());
+        let races = st.on_action(&c, &write, T1, &vc(&[0, 1]));
         // put touches w:1 (conflicts with r:1) and resize (no active size).
         assert_eq!(races.len(), 1);
     }
@@ -250,15 +324,15 @@ mod tests {
         // τ0 writes, τ1 writes unordered → race; afterwards the point's
         // clock is the join ⟨1,1⟩, so a later τ0 action with clock ⟨2,1⟩ is
         // ordered after BOTH writes and must not race (the Fig. 3 a3 case).
-        st.on_action(&c, &w1, &vc(&[1, 0]));
-        assert_eq!(st.on_action(&c, &w2, &vc(&[0, 1])).len(), 1);
+        st.on_action(&c, &w1, T0, &vc(&[1, 0]));
+        assert_eq!(st.on_action(&c, &w2, T1, &vc(&[0, 1])).len(), 1);
         let w3 = put(&spec, 1, Value::Int(3), Value::Int(2));
-        assert!(st.on_action(&c, &w3, &vc(&[2, 1])).is_empty());
+        assert!(st.on_action(&c, &w3, T0, &vc(&[2, 1])).is_empty());
         // But a τ0 action that saw only its own history still races.
         let mut st2 = ObjState::new();
-        st2.on_action(&c, &w1, &vc(&[1, 0]));
-        st2.on_action(&c, &w2, &vc(&[0, 1]));
-        assert_eq!(st2.on_action(&c, &w3, &vc(&[2, 0])).len(), 1);
+        st2.on_action(&c, &w1, T0, &vc(&[1, 0]));
+        st2.on_action(&c, &w2, T1, &vc(&[0, 1]));
+        assert_eq!(st2.on_action(&c, &w3, T0, &vc(&[2, 0])).len(), 1);
     }
 
     #[test]
@@ -267,12 +341,27 @@ mod tests {
         let mut st = ObjState::new();
         // Two concurrent fresh inserts on different keys, then a size()
         // concurrent with both: size races once per active resize-conflict…
-        st.on_action(&c, &put(&spec, 1, Value::Int(1), Value::Nil), &vc(&[1, 0, 0]));
-        st.on_action(&c, &put(&spec, 2, Value::Int(1), Value::Nil), &vc(&[0, 1, 0]));
-        let size = Action::new(ObjId(0), spec.method_id("size").unwrap(), vec![], Value::Int(2));
+        st.on_action(
+            &c,
+            &put(&spec, 1, Value::Int(1), Value::Nil),
+            T0,
+            &vc(&[1, 0, 0]),
+        );
+        st.on_action(
+            &c,
+            &put(&spec, 2, Value::Int(1), Value::Nil),
+            T1,
+            &vc(&[0, 1, 0]),
+        );
+        let size = Action::new(
+            ObjId(0),
+            spec.method_id("size").unwrap(),
+            vec![],
+            Value::Int(2),
+        );
         // …but resize is ONE ds point (value-free), so one race is reported
         // against the joined clock.
-        let races = st.on_action(&c, &size, &vc(&[0, 0, 1]));
+        let races = st.on_action(&c, &size, T2, &vc(&[0, 0, 1]));
         assert_eq!(races.len(), 1);
     }
 
@@ -281,12 +370,80 @@ mod tests {
         let (spec, c) = setup();
         let mut st = ObjState::new();
         assert_eq!(st.num_active(), 0);
-        st.on_action(&c, &put(&spec, 1, Value::Int(1), Value::Nil), &vc(&[1]));
+        st.on_action(&c, &put(&spec, 1, Value::Int(1), Value::Nil), T0, &vc(&[1]));
         assert_eq!(st.num_active(), 2); // w:1 + resize
-        st.on_action(&c, &put(&spec, 1, Value::Int(2), Value::Int(1)), &vc(&[2]));
+        st.on_action(
+            &c,
+            &put(&spec, 1, Value::Int(2), Value::Int(1)),
+            T0,
+            &vc(&[2]),
+        );
         assert_eq!(st.num_active(), 2); // w:1 again
-        st.on_action(&c, &put(&spec, 2, Value::Int(1), Value::Nil), &vc(&[3]));
+        st.on_action(&c, &put(&spec, 2, Value::Int(1), Value::Nil), T0, &vc(&[3]));
         assert_eq!(st.num_active(), 3); // w:2 (+ resize already active)
+    }
+
+    #[test]
+    fn single_thread_workload_stays_all_epochs() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        for i in 1..=10u64 {
+            let prev = if i == 1 {
+                Value::Nil
+            } else {
+                Value::Int(i as i64 - 1)
+            };
+            st.on_action(
+                &c,
+                &put(&spec, 1, Value::Int(i as i64), prev),
+                T0,
+                &vc(&[i]),
+            );
+        }
+        let stats = st.clock_stats();
+        assert_eq!(stats.promotions, 0);
+        assert_eq!(stats.vector_updates, 0);
+        assert!(stats.epoch_updates > 0);
+        assert_eq!(stats.epoch_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn contention_promotes_and_is_counted() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let w1 = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let w2 = put(&spec, 1, Value::Int(2), Value::Int(1));
+        st.on_action(&c, &w1, T0, &vc(&[1, 0]));
+        st.on_action(&c, &w2, T1, &vc(&[0, 1]));
+        let stats = st.clock_stats();
+        assert_eq!(stats.promotions, 1); // the shared w:1 point
+                                         // A third, ordered access joins into the now-vector clock.
+        let w3 = put(&spec, 1, Value::Int(3), Value::Int(2));
+        st.on_action(&c, &w3, T0, &vc(&[2, 1]));
+        assert_eq!(st.clock_stats().vector_updates, 1);
+    }
+
+    #[test]
+    fn full_vector_mode_reports_identically() {
+        let (spec, c) = setup();
+        let mut adaptive = ObjState::new();
+        let mut full = ObjState::with_mode(ClockMode::FullVector);
+        let w1 = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let w2 = put(&spec, 1, Value::Int(2), Value::Int(1));
+        let w3 = put(&spec, 1, Value::Int(3), Value::Int(2));
+        for (action, tid, clock) in [
+            (&w1, T0, vc(&[1, 0])),
+            (&w2, T1, vc(&[0, 1])),
+            (&w3, T0, vc(&[2, 0])),
+        ] {
+            assert_eq!(
+                adaptive.on_action(&c, action, tid, &clock),
+                full.on_action(&c, action, tid, &clock)
+            );
+        }
+        // The reference mode never uses the compressed path.
+        assert_eq!(full.clock_stats().epoch_updates, 0);
+        assert_eq!(full.clock_stats().promotions, 0);
     }
 
     #[test]
@@ -294,6 +451,6 @@ mod tests {
     fn mismatched_action_arity_panics() {
         let (_, c) = setup();
         let bogus = Action::new(ObjId(0), MethodId(0), vec![], Value::Nil);
-        ObjState::new().on_action(&c, &bogus, &VectorClock::new());
+        ObjState::new().on_action(&c, &bogus, T0, &VectorClock::new());
     }
 }

@@ -66,7 +66,7 @@ mod translate;
 
 pub use detector::TraceDetector;
 pub use direct::{Direct, DirectDetector};
-pub use engine::{ObjState, RaceHit};
+pub use engine::{ClockMode, ObjState, RaceHit};
 pub use points::{AccessPoint, ClassId, CompiledSpec, PointKind, TranslationStats};
 pub use translate::{translate, TranslateError};
 

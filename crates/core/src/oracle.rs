@@ -12,11 +12,11 @@
 //! * the direct detector's total count must equal the oracle's pair count
 //!   (it enumerates the same pairs incrementally).
 
+use crace_model::ObjId;
 use crace_model::{Event, Trace};
 use crace_spec::Spec;
 use crace_vclock::{SyncClocks, VectorClock};
 use std::collections::HashMap;
-use crace_model::ObjId;
 
 /// A racing pair of events, by trace position.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -151,12 +151,8 @@ mod tests {
                 }
                 3..=6 => {
                     let k = Value::Int(rng.gen_range(0..3));
-                    let action = Action::new(
-                        ObjId(1),
-                        put,
-                        vec![k, value(&mut rng)],
-                        value(&mut rng),
-                    );
+                    let action =
+                        Action::new(ObjId(1), put, vec![k, value(&mut rng)], value(&mut rng));
                     trace.push(Event::Action { tid, action });
                 }
                 7 | 8 => {
@@ -219,11 +215,21 @@ mod tests {
         // Same key, unordered, but different objects.
         trace.push(Event::Action {
             tid: ThreadId(0),
-            action: Action::new(ObjId(1), put, vec![Value::Int(1), Value::Int(1)], Value::Nil),
+            action: Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(1), Value::Int(1)],
+                Value::Nil,
+            ),
         });
         trace.push(Event::Action {
             tid: ThreadId(1),
-            action: Action::new(ObjId(2), put, vec![Value::Int(1), Value::Int(2)], Value::Nil),
+            action: Action::new(
+                ObjId(2),
+                put,
+                vec![Value::Int(1), Value::Int(2)],
+                Value::Nil,
+            ),
         });
         let registry: HashMap<_, _> = [(ObjId(1), spec)].into();
         assert!(find_races(&trace, &registry).is_empty());
@@ -240,7 +246,12 @@ mod tests {
         });
         trace.push(Event::Action {
             tid: ThreadId(0),
-            action: Action::new(ObjId(1), put, vec![Value::Int(1), Value::Int(1)], Value::Nil),
+            action: Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(1), Value::Int(1)],
+                Value::Nil,
+            ),
         });
         trace.push(Event::Action {
             tid: ThreadId(1),
@@ -253,7 +264,13 @@ mod tests {
         });
         let registry: HashMap<_, _> = [(ObjId(1), spec)].into();
         let races = find_races(&trace, &registry);
-        assert_eq!(races, vec![RacePair { first: 1, second: 2 }]);
+        assert_eq!(
+            races,
+            vec![RacePair {
+                first: 1,
+                second: 2
+            }]
+        );
     }
 
     #[test]

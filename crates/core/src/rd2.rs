@@ -1,27 +1,37 @@
 //! RD2 — the online, sharded commutativity race detector for live
 //! multi-threaded programs.
 
-use crate::engine::ObjState;
+use crate::engine::{ClockMode, ObjState};
 use crate::points::CompiledSpec;
-use crace_model::{
-    Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId,
-};
-use crace_vclock::SyncClocks;
+use crace_model::{Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId};
+use crace_vclock::{ClockStats, PublishedClocks};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Number of shards of the object map. Objects hash to shards by id, so
+/// actions on different objects essentially never contend on a shard lock.
+const OBJ_SHARDS: usize = 64;
+
 /// The online commutativity race detector (the paper's RD2 tool).
 ///
-/// Functionally identical to [`crate::TraceDetector`], but engineered for
-/// concurrent callers, mirroring RoadRunner's shadow-state discipline:
+/// Functionally identical to [`crate::TraceDetector`], but engineered so
+/// that the action hot path acquires **no process-global lock**:
 ///
-/// * synchronization clocks live behind a read-write lock — action events
-///   only *read* the acting thread's clock, so the common path takes a
-///   shared lock; fork/join/acquire/release take the exclusive lock,
-/// * each object's access-point state sits behind its own mutex, so actions
-///   on different objects proceed in parallel,
+/// * synchronization clocks live in a [`PublishedClocks`]: per-thread
+///   `Arc` snapshots in a map sharded by thread id. An action event reads
+///   the acting thread's own snapshot — one shard read lock it shares with
+///   (essentially) nobody, one `Arc` clone, no vector copy. Only
+///   fork/join/acquire/release swap snapshots,
+/// * the object map is sharded by object id; each object's access-point
+///   state sits behind its own mutex, so actions on different objects
+///   proceed fully in parallel and actions on the same object serialize
+///   only with each other,
 /// * the race report has its own lock, touched only when a race is found.
+///
+/// The seed version of this type kept one `RwLock<SyncClocks>` that every
+/// action of every thread locked *and deep-copied a vector clock out of*;
+/// both global points of contention are gone.
 ///
 /// # Examples
 ///
@@ -45,12 +55,13 @@ use std::sync::Arc;
 /// # Ok::<(), crace_core::TranslateError>(())
 /// ```
 pub struct Rd2 {
-    sync: RwLock<SyncClocks>,
-    objects: RwLock<HashMap<ObjId, Arc<ObjEntry>>>,
+    sync: PublishedClocks,
+    objects: [RwLock<HashMap<ObjId, Arc<ObjEntry>>>; OBJ_SHARDS],
     report: Mutex<RaceReport>,
     /// Cache of compiled specifications, keyed by spec name, so that
     /// registering the Nth dictionary does not re-run the translation.
     compiled: Mutex<HashMap<String, Arc<CompiledSpec>>>,
+    mode: ClockMode,
 }
 
 struct ObjEntry {
@@ -59,14 +70,27 @@ struct ObjEntry {
 }
 
 impl Rd2 {
-    /// Creates a detector with no registered objects.
+    /// Creates a detector with no registered objects, using the adaptive
+    /// (epoch-compressed) access-point clocks.
     pub fn new() -> Rd2 {
+        Rd2::with_mode(ClockMode::Adaptive)
+    }
+
+    /// Creates a detector with an explicit clock representation —
+    /// [`ClockMode::FullVector`] is the differential-testing and
+    /// benchmarking reference.
+    pub fn with_mode(mode: ClockMode) -> Rd2 {
         Rd2 {
-            sync: RwLock::new(SyncClocks::new()),
-            objects: RwLock::new(HashMap::new()),
+            sync: PublishedClocks::new(),
+            objects: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             report: Mutex::new(RaceReport::new()),
             compiled: Mutex::new(HashMap::new()),
+            mode,
         }
+    }
+
+    fn shard(&self, obj: ObjId) -> &RwLock<HashMap<ObjId, Arc<ObjEntry>>> {
+        &self.objects[(obj.0 as usize) % OBJ_SHARDS]
     }
 
     /// Registers `obj` against an (uncompiled) logical specification,
@@ -98,11 +122,11 @@ impl Rd2 {
     /// Registers `obj` to be checked against `spec`. Actions on
     /// unregistered objects are ignored (selective instrumentation).
     pub fn register(&self, obj: ObjId, spec: Arc<CompiledSpec>) {
-        self.objects.write().insert(
+        self.shard(obj).write().insert(
             obj,
             Arc::new(ObjEntry {
                 spec,
-                state: Mutex::new(ObjState::new()),
+                state: Mutex::new(ObjState::with_mode(self.mode)),
             }),
         );
     }
@@ -110,7 +134,19 @@ impl Rd2 {
     /// Drops all shadow state of `obj` — the object-reclamation
     /// optimization of §5.3.
     pub fn forget(&self, obj: ObjId) {
-        self.objects.write().remove(&obj);
+        self.shard(obj).write().remove(&obj);
+    }
+
+    /// Aggregated clock-representation statistics over all registered
+    /// objects: how many phase-2 updates stayed on the O(1) epoch path.
+    pub fn clock_stats(&self) -> ClockStats {
+        let mut stats = ClockStats::default();
+        for shard in &self.objects {
+            for entry in shard.read().values() {
+                stats.merge(&entry.state.lock().clock_stats());
+            }
+        }
+        stats
     }
 }
 
@@ -126,39 +162,33 @@ impl Analysis for Rd2 {
     }
 
     fn on_fork(&self, parent: ThreadId, child: ThreadId) {
-        self.sync.write().fork(parent, child);
+        self.sync.fork(parent, child);
     }
 
     fn on_join(&self, parent: ThreadId, child: ThreadId) {
-        self.sync.write().join(parent, child);
+        self.sync.join(parent, child);
     }
 
     fn on_acquire(&self, tid: ThreadId, lock: LockId) {
-        self.sync.write().acquire(tid, lock);
+        self.sync.acquire(tid, lock);
     }
 
     fn on_release(&self, tid: ThreadId, lock: LockId) {
-        self.sync.write().release(tid, lock);
+        self.sync.release(tid, lock);
     }
 
     fn on_action(&self, tid: ThreadId, action: &Action) {
-        let entry = match self.objects.read().get(&action.obj()) {
+        let entry = match self.shard(action.obj()).read().get(&action.obj()) {
             Some(e) => Arc::clone(e),
             None => return,
         };
-        // Ensure the thread's clock is initialized, then snapshot it under
-        // the shared lock. (`clock` takes `&mut` for lazy init, so a brief
-        // write lock is needed only the first time a thread is seen.)
-        let clock = {
-            let sync = self.sync.read();
-            // Fast path: fork already initialized this thread.
-            sync.peek_clock(tid).cloned()
-        };
-        let clock = match clock {
-            Some(c) => c,
-            None => self.sync.write().clock(tid).clone(),
-        };
-        let races = entry.state.lock().on_action(&entry.spec, action, &clock);
+        // A shared snapshot of the acting thread's clock: no global lock,
+        // no vector copy.
+        let clock = self.sync.clock(tid);
+        let races = entry
+            .state
+            .lock()
+            .on_action(&entry.spec, action, tid, &clock);
         if !races.is_empty() {
             let mut report = self.report.lock();
             let kind = RaceKind::Commutativity { obj: action.obj() };
@@ -206,7 +236,12 @@ mod tests {
         rd2.on_fork(ThreadId(0), ThreadId(2));
         rd2.on_action(
             ThreadId(2),
-            &Action::new(ObjId(1), put, vec![Value::str("a.com"), Value::Int(1)], Value::Nil),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::str("a.com"), Value::Int(1)],
+                Value::Nil,
+            ),
         );
         rd2.on_action(
             ThreadId(1),
@@ -229,7 +264,12 @@ mod tests {
         rd2.on_fork(ThreadId(0), ThreadId(1));
         rd2.on_action(
             ThreadId(1),
-            &Action::new(ObjId(1), put, vec![Value::Int(1), Value::Int(1)], Value::Nil),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(1), Value::Int(1)],
+                Value::Nil,
+            ),
         );
         rd2.on_join(ThreadId(0), ThreadId(1));
         rd2.on_action(
@@ -259,7 +299,11 @@ mod tests {
             rd2.on_fork(ThreadId(0), ThreadId(t));
             handles.push(thread::spawn(move || {
                 for i in 0..500i64 {
-                    let prev = if i == 0 { Value::Nil } else { Value::Int(i - 1) };
+                    let prev = if i == 0 {
+                        Value::Nil
+                    } else {
+                        Value::Int(i - 1)
+                    };
                     rd2.on_action(
                         ThreadId(t),
                         &Action::new(
@@ -280,6 +324,10 @@ mod tests {
         // each thread's first put resizes, so resize/resize conflicts?
         // resize conflicts only with size (Fig. 7c), so still no races.
         assert!(rd2.report().is_empty(), "{:?}", rd2.report());
+        // Per-thread keys are single-writer: their updates all take the
+        // epoch path (only the shared resize point may promote).
+        let stats = rd2.clock_stats();
+        assert!(stats.epoch_updates >= 4 * 499, "{stats}");
     }
 
     #[test]
@@ -289,7 +337,12 @@ mod tests {
         rd2.on_fork(ThreadId(0), ThreadId(1));
         rd2.on_action(
             ThreadId(0),
-            &Action::new(ObjId(1), put, vec![Value::Int(1), Value::Int(1)], Value::Nil),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::Int(1), Value::Int(1)],
+                Value::Nil,
+            ),
         );
         rd2.forget(ObjId(1));
         rd2.on_action(
@@ -302,5 +355,79 @@ mod tests {
             ),
         );
         assert!(rd2.report().is_empty());
+    }
+
+    #[test]
+    fn objects_in_different_shards_are_independent() {
+        // Objects 3 and 3 + 64 share a shard; 3 and 4 do not. All work.
+        let spec = builtin::dictionary();
+        let rd2 = Rd2::new();
+        let compiled = Arc::new(translate(&spec).unwrap());
+        for obj in [3u64, 4, 67] {
+            rd2.register(ObjId(obj), Arc::clone(&compiled));
+        }
+        let put = spec.method_id("put").unwrap();
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        for obj in [3u64, 4, 67] {
+            rd2.on_action(
+                ThreadId(0),
+                &Action::new(
+                    ObjId(obj),
+                    put,
+                    vec![Value::Int(1), Value::Int(1)],
+                    Value::Nil,
+                ),
+            );
+            rd2.on_action(
+                ThreadId(1),
+                &Action::new(
+                    ObjId(obj),
+                    put,
+                    vec![Value::Int(1), Value::Int(2)],
+                    Value::Int(1),
+                ),
+            );
+        }
+        let report = rd2.report();
+        assert_eq!(report.total(), 3);
+        assert_eq!(report.distinct(), 3);
+    }
+
+    #[test]
+    fn full_vector_mode_matches_adaptive() {
+        let spec = builtin::dictionary();
+        let compiled = Arc::new(translate(&spec).unwrap());
+        let adaptive = Rd2::new();
+        let full = Rd2::with_mode(ClockMode::FullVector);
+        for rd2 in [&adaptive, &full] {
+            rd2.register(ObjId(1), Arc::clone(&compiled));
+            let put = spec.method_id("put").unwrap();
+            rd2.on_fork(ThreadId(0), ThreadId(1));
+            rd2.on_action(
+                ThreadId(0),
+                &Action::new(
+                    ObjId(1),
+                    put,
+                    vec![Value::Int(1), Value::Int(1)],
+                    Value::Nil,
+                ),
+            );
+            rd2.on_action(
+                ThreadId(1),
+                &Action::new(
+                    ObjId(1),
+                    put,
+                    vec![Value::Int(1), Value::Int(2)],
+                    Value::Int(1),
+                ),
+            );
+        }
+        assert_eq!(adaptive.report().total(), full.report().total());
+        assert_eq!(adaptive.report().distinct(), full.report().distinct());
+        // The contended w:1 point was promoted; the reference mode only
+        // ever performs vector joins.
+        assert_eq!(adaptive.clock_stats().promotions, 1);
+        assert_eq!(full.clock_stats().promotions, 0);
+        assert_eq!(full.clock_stats().epoch_updates, 0);
     }
 }

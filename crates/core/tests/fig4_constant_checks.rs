@@ -4,6 +4,7 @@
 //! direct approach performs one commutativity check per recorded action.
 
 use crace_core::{translate, DirectDetector, ObjState};
+use crace_model::ThreadId;
 use crace_model::{Action, ObjId, Value};
 use crace_spec::builtin;
 use crace_vclock::VectorClock;
@@ -33,12 +34,12 @@ fn size_costs_one_probe_regardless_of_recorded_puts() {
                 vec![Value::Int(i as i64), Value::Int(1)],
                 Value::Nil,
             );
-            state.on_action(&compiled, &a, &clock(0, i as u64 + 1));
+            state.on_action(&compiled, &a, ThreadId(0), &clock(0, i as u64 + 1));
         }
         let before = state.num_probes();
         // The size() from another thread (Fig. 4's main thread).
         let s = Action::new(ObjId(0), size, vec![], Value::Int(n_puts as i64));
-        let races = state.on_action(&compiled, &s, &clock(1, 1));
+        let races = state.on_action(&compiled, &s, ThreadId(1), &clock(1, 1));
         let size_probes = state.num_probes() - before;
 
         // One touched point (o:size), one conflicting class (o:resize):
@@ -96,7 +97,7 @@ fn per_action_probes_are_bounded_by_spec_constant() {
                 Value::Int(i - 1),
             )
         };
-        state.on_action(&compiled, &a, &clock(0, i as u64 + 1));
+        state.on_action(&compiled, &a, ThreadId(0), &clock(0, i as u64 + 1));
         actions += 1;
     }
     let bound = (compiled.stats().max_conflict_degree as u64) * 2; // ≤2 touched points

@@ -99,7 +99,11 @@ fn gen_spec(rng: &mut StdRng) -> Option<Spec> {
     let m1 = b.method("m1", SLOTS - 1);
     for (a, c) in [(m0.id, m0.id), (m0.id, m1.id), (m1.id, m1.id)] {
         let phi = gen_ecl(rng, 3);
-        let phi = if a == c { phi.clone().and(phi.swap_sides()) } else { phi };
+        let phi = if a == c {
+            phi.clone().and(phi.swap_sides())
+        } else {
+            phi
+        };
         b.rule(a, c, phi).ok()?;
     }
     b.finish().ok()

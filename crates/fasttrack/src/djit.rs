@@ -90,14 +90,20 @@ mod tests {
     fn unordered_write_write_races() {
         let mut v = DjitVar::new();
         v.write(ThreadId(0), &vc(&[1, 0]));
-        assert_eq!(v.write(ThreadId(1), &vc(&[0, 1])), Some(AccessRace::WriteWrite));
+        assert_eq!(
+            v.write(ThreadId(1), &vc(&[0, 1])),
+            Some(AccessRace::WriteWrite)
+        );
     }
 
     #[test]
     fn unordered_read_write_races() {
         let mut v = DjitVar::new();
         v.read(ThreadId(0), &vc(&[1, 0]));
-        assert_eq!(v.write(ThreadId(1), &vc(&[0, 1])), Some(AccessRace::ReadWrite));
+        assert_eq!(
+            v.write(ThreadId(1), &vc(&[0, 1])),
+            Some(AccessRace::ReadWrite)
+        );
     }
 
     #[test]

@@ -36,9 +36,7 @@
 mod djit;
 pub use djit::DjitVar;
 
-use crace_model::{
-    Action, Analysis, LocId, LockId, RaceKind, RaceRecord, RaceReport, ThreadId,
-};
+use crace_model::{Action, Analysis, LocId, LockId, RaceKind, RaceRecord, RaceReport, ThreadId};
 use crace_vclock::{Epoch, SyncClocks, VectorClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
@@ -387,9 +385,15 @@ mod tests {
     fn fork_join_program_is_race_free() {
         let ft = FastTrack::new();
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: T0, child: T1 });
+        trace.push(Event::Fork {
+            parent: T0,
+            child: T1,
+        });
         trace.push(Event::Write { tid: T1, loc: X });
-        trace.push(Event::Join { parent: T0, child: T1 });
+        trace.push(Event::Join {
+            parent: T0,
+            child: T1,
+        });
         trace.push(Event::Write { tid: T0, loc: X });
         assert!(replay(&trace, &ft).is_empty());
     }
@@ -399,7 +403,10 @@ mod tests {
         let ft = FastTrack::new();
         let l = LockId(0);
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: T0, child: T1 });
+        trace.push(Event::Fork {
+            parent: T0,
+            child: T1,
+        });
         for &t in &[T0, T1] {
             trace.push(Event::Acquire { tid: t, lock: l });
             trace.push(Event::Write { tid: t, loc: X });
@@ -412,7 +419,10 @@ mod tests {
     fn unlocked_writes_race_once_per_access() {
         let ft = FastTrack::new();
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: T0, child: T1 });
+        trace.push(Event::Fork {
+            parent: T0,
+            child: T1,
+        });
         trace.push(Event::Write { tid: T0, loc: X });
         trace.push(Event::Write { tid: T1, loc: X });
         trace.push(Event::Write { tid: T0, loc: X });
@@ -427,7 +437,10 @@ mod tests {
     fn distinct_locations_count_separately() {
         let ft = FastTrack::new();
         let mut trace = Trace::new();
-        trace.push(Event::Fork { parent: T0, child: T1 });
+        trace.push(Event::Fork {
+            parent: T0,
+            child: T1,
+        });
         for loc in [LocId(1), LocId(2), LocId(3)] {
             trace.push(Event::Write { tid: T0, loc });
             trace.push(Event::Write { tid: T1, loc });

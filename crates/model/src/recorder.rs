@@ -45,7 +45,10 @@ impl Recorder {
     }
 
     fn push(&self, event: Event) {
-        self.trace.lock().expect("recorder lock poisoned").push(event);
+        self.trace
+            .lock()
+            .expect("recorder lock poisoned")
+            .push(event);
     }
 }
 

@@ -103,7 +103,9 @@ impl MonitoredDict {
         let prev = if value.is_nil() {
             shard.remove(&key).unwrap_or(Value::Nil)
         } else {
-            shard.insert(key.clone(), value.clone()).unwrap_or(Value::Nil)
+            shard
+                .insert(key.clone(), value.clone())
+                .unwrap_or(Value::Nil)
         };
         match (prev.is_nil(), value.is_nil()) {
             (true, false) => {
@@ -165,7 +167,11 @@ impl MonitoredDict {
 
     /// Unmonitored lookup, for assertions (emits no event).
     pub fn get_untracked(&self, key: &Value) -> Value {
-        self.shard(key).lock().get(key).cloned().unwrap_or(Value::Nil)
+        self.shard(key)
+            .lock()
+            .get(key)
+            .cloned()
+            .unwrap_or(Value::Nil)
     }
 }
 

@@ -128,10 +128,7 @@ pub fn simulate(program: &SimProgram, seed: u64) -> Trace {
 /// # Panics
 ///
 /// Same conditions as [`simulate`].
-pub fn simulate_with_state(
-    program: &SimProgram,
-    seed: u64,
-) -> (Trace, Vec<HashMap<Value, Value>>) {
+pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashMap<Value, Value>>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::new();
     let main = ThreadId(0);
@@ -205,7 +202,10 @@ pub fn simulate_with_state(
                 });
             }
             SimOp::Lock(l) => {
-                assert!(lock_owner[*l].is_none(), "scheduler picked a blocked thread");
+                assert!(
+                    lock_owner[*l].is_none(),
+                    "scheduler picked a blocked thread"
+                );
                 lock_owner[*l] = Some(t);
                 trace.push(Event::Acquire {
                     tid,
@@ -291,7 +291,13 @@ mod tests {
             threads: vec![
                 vec![put(0, 1, 10), get(0, 1), put(0, 1, 11)],
                 vec![put(0, 2, 20), get(0, 2)],
-                vec![put(0, 3, 30), SimOp::DictGet { dict: 0, key: Value::Int(3) }],
+                vec![
+                    put(0, 3, 30),
+                    SimOp::DictGet {
+                        dict: 0,
+                        key: Value::Int(3),
+                    },
+                ],
             ],
         };
         for seed in 0..50 {
@@ -315,14 +321,7 @@ mod tests {
 
     #[test]
     fn lock_protected_rmw_is_race_free_under_every_schedule() {
-        let rmw = |l: usize| {
-            vec![
-                SimOp::Lock(l),
-                get(0, 1),
-                put(0, 1, 99),
-                SimOp::Unlock(l),
-            ]
-        };
+        let rmw = |l: usize| vec![SimOp::Lock(l), get(0, 1), put(0, 1, 99), SimOp::Unlock(l)];
         let program = SimProgram {
             num_dicts: 1,
             num_locks: 1,

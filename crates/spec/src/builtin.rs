@@ -214,9 +214,9 @@ mod tests {
     use crace_model::{Action, ObjId, Value};
 
     fn act(spec: &Spec, method: &str, args: Vec<Value>, ret: Value) -> Action {
-        let id = spec.method_id(method).unwrap_or_else(|| {
-            panic!("method {method} not in spec {}", spec.name())
-        });
+        let id = spec
+            .method_id(method)
+            .unwrap_or_else(|| panic!("method {method} not in spec {}", spec.name()));
         Action::new(ObjId(0), id, args, ret)
     }
 
@@ -246,11 +246,26 @@ mod tests {
     fn dictionary_put_put_cases() {
         let d = dictionary();
         // Overwriting puts on the same key: race of the running example.
-        let a = act(&d, "put", vec![Value::str("a.com"), Value::Int(1)], Value::Nil);
-        let b = act(&d, "put", vec![Value::str("a.com"), Value::Int(2)], Value::Int(1));
+        let a = act(
+            &d,
+            "put",
+            vec![Value::str("a.com"), Value::Int(1)],
+            Value::Nil,
+        );
+        let b = act(
+            &d,
+            "put",
+            vec![Value::str("a.com"), Value::Int(2)],
+            Value::Int(1),
+        );
         assert!(!d.commute(&a, &b));
         // Different keys commute.
-        let c = act(&d, "put", vec![Value::str("b.com"), Value::Int(2)], Value::Nil);
+        let c = act(
+            &d,
+            "put",
+            vec![Value::str("b.com"), Value::Int(2)],
+            Value::Nil,
+        );
         assert!(d.commute(&a, &c));
         // Two no-op puts (v == p) on the same key commute.
         let r1 = act(&d, "put", vec![Value::Int(1), Value::Int(9)], Value::Int(9));

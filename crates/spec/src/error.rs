@@ -94,9 +94,16 @@ impl SpecError {
         let line = &source[line_start..line_end];
         let width = ((self.span.end as usize).min(line_end).max(start + 1) - start).max(1);
         let mut out = String::new();
-        out.push_str(&format!("error: {} (line {line_no}, column {col})\n", self.message));
+        out.push_str(&format!(
+            "error: {} (line {line_no}, column {col})\n",
+            self.message
+        ));
         out.push_str(&format!("  | {line}\n"));
-        out.push_str(&format!("  | {}{}\n", " ".repeat(col - 1), "^".repeat(width)));
+        out.push_str(&format!(
+            "  | {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
         out
     }
 }

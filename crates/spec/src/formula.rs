@@ -437,16 +437,14 @@ impl Formula {
                 LsResidue::Conjuncts(c) if c.is_empty() => LsResidue::False,
                 _ => LsResidue::Mixed,
             },
-            Formula::And(a, b) => {
-                match (a.substitute(beta1, beta2), b.substitute(beta1, beta2)) {
-                    (LsResidue::False, _) | (_, LsResidue::False) => LsResidue::False,
-                    (LsResidue::Mixed, _) | (_, LsResidue::Mixed) => LsResidue::Mixed,
-                    (LsResidue::Conjuncts(mut x), LsResidue::Conjuncts(y)) => {
-                        x.extend(y);
-                        LsResidue::Conjuncts(x)
-                    }
+            Formula::And(a, b) => match (a.substitute(beta1, beta2), b.substitute(beta1, beta2)) {
+                (LsResidue::False, _) | (_, LsResidue::False) => LsResidue::False,
+                (LsResidue::Mixed, _) | (_, LsResidue::Mixed) => LsResidue::Mixed,
+                (LsResidue::Conjuncts(mut x), LsResidue::Conjuncts(y)) => {
+                    x.extend(y);
+                    LsResidue::Conjuncts(x)
                 }
-            }
+            },
             Formula::Or(a, b) => {
                 match (a.substitute(beta1, beta2), b.substitute(beta1, beta2)) {
                     // true ∨ _ = true
@@ -639,7 +637,12 @@ mod tests {
 
     #[test]
     fn eval_ordering_atoms() {
-        let f = atom(Side::First, CmpOp::Lt, Term::Slot(0), Term::Const(Value::Int(5)));
+        let f = atom(
+            Side::First,
+            CmpOp::Lt,
+            Term::Slot(0),
+            Term::Const(Value::Int(5)),
+        );
         assert!(f.eval(&[Value::Int(3)], &[]));
         assert!(!f.eval(&[Value::Int(7)], &[]));
     }
@@ -663,7 +666,12 @@ mod tests {
     #[test]
     fn fragment_of_lb_formulas() {
         let f = atom(Side::First, CmpOp::Eq, Term::Slot(0), Term::Slot(1))
-            .or(atom(Side::Second, CmpOp::Ne, Term::Slot(0), Term::Const(Value::Nil)))
+            .or(atom(
+                Side::Second,
+                CmpOp::Ne,
+                Term::Slot(0),
+                Term::Const(Value::Nil),
+            ))
             .not();
         let frag = f.fragment();
         assert!(frag.is_lb && frag.is_ecl && !frag.is_ls);

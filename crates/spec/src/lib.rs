@@ -60,7 +60,7 @@ mod parser;
 mod resolve;
 mod spec;
 
-pub use error::{SpecError, Span};
+pub use error::{Span, SpecError};
 pub use formula::{CmpOp, Formula, Fragment, LsResidue, NormAtom, Pred, Side, Term};
 pub use spec::{MethodRef, Spec, SpecBuilder};
 

@@ -409,9 +409,10 @@ mod tests {
 
     #[test]
     fn not_parses_prefix() {
-        let ast =
-            parse_source("spec s { method m(a) -> r; commute m(x1) -> r1, m(_) when !(x1 == r1); }")
-                .unwrap();
+        let ast = parse_source(
+            "spec s { method m(a) -> r; commute m(x1) -> r1, m(_) when !(x1 == r1); }",
+        )
+        .unwrap();
         assert!(matches!(ast.rules[0].formula, FormulaAst::Not(_, _)));
     }
 
@@ -434,8 +435,7 @@ mod tests {
 
     #[test]
     fn multi_spec_files() {
-        let specs =
-            parse_source_multi("spec a { method m(); } spec b { method n(); }").unwrap();
+        let specs = parse_source_multi("spec a { method m(); } spec b { method n(); }").unwrap();
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[1].name, "b");
         assert!(parse_source("spec a { } spec b { }").is_err());
@@ -470,6 +470,9 @@ mod tests {
         let src = "spec s { method m(; }";
         let err = parse_source(src).unwrap_err();
         // Span points at the misplaced `;`.
-        assert_eq!(&src[err.span().start as usize..err.span().end as usize], ";");
+        assert_eq!(
+            &src[err.span().start as usize..err.span().end as usize],
+            ";"
+        );
     }
 }

@@ -85,10 +85,7 @@ fn bind_pattern(
     side: Side,
 ) -> Result<(MethodId, Bindings), SpecError> {
     let id = *by_name.get(pattern.method.as_str()).ok_or_else(|| {
-        SpecError::new(
-            format!("unknown method `{}`", pattern.method),
-            pattern.span,
-        )
+        SpecError::new(format!("unknown method `{}`", pattern.method), pattern.span)
     })?;
     let sig = &methods[id.index()];
     if pattern.args.len() != sig.num_args() {
@@ -130,9 +127,7 @@ fn resolve_formula(ast: &FormulaAst, bindings: &Bindings) -> Result<Formula, Spe
         FormulaAst::And(a, b) => {
             Ok(resolve_formula(a, bindings)?.and(resolve_formula(b, bindings)?))
         }
-        FormulaAst::Or(a, b) => {
-            Ok(resolve_formula(a, bindings)?.or(resolve_formula(b, bindings)?))
-        }
+        FormulaAst::Or(a, b) => Ok(resolve_formula(a, bindings)?.or(resolve_formula(b, bindings)?)),
         FormulaAst::Cmp { op, lhs, rhs, span } => resolve_cmp(*op, lhs, rhs, *span, bindings),
     }
 }
@@ -146,9 +141,9 @@ fn resolve_term(ast: &TermAst, bindings: &Bindings) -> Result<RTerm, SpecError> 
     match ast {
         TermAst::Lit(v, _) => Ok(RTerm::Lit(v.clone())),
         TermAst::Var(name, span) => {
-            let (side, slot, _) = bindings.get(name.as_str()).ok_or_else(|| {
-                SpecError::new(format!("unknown variable `{name}`"), *span)
-            })?;
+            let (side, slot, _) = bindings
+                .get(name.as_str())
+                .ok_or_else(|| SpecError::new(format!("unknown variable `{name}`"), *span))?;
             Ok(RTerm::Var(*side, *slot))
         }
     }
@@ -191,9 +186,12 @@ fn resolve_cmp(
         (RTerm::Var(side, i), RTerm::Lit(v)) => {
             Ok(Formula::atom(side, op, Term::Slot(i), Term::Const(v)))
         }
-        (RTerm::Lit(v), RTerm::Var(side, i)) => {
-            Ok(Formula::atom(side, op.swap(), Term::Slot(i), Term::Const(v)))
-        }
+        (RTerm::Lit(v), RTerm::Var(side, i)) => Ok(Formula::atom(
+            side,
+            op.swap(),
+            Term::Slot(i),
+            Term::Const(v),
+        )),
     }
 }
 
@@ -296,15 +294,13 @@ mod tests {
 
     #[test]
     fn arity_mismatch_in_pattern() {
-        let err =
-            parse("spec s { method m(a, b); commute m(x), m(_, _) when true; }").unwrap_err();
+        let err = parse("spec s { method m(a, b); commute m(x), m(_, _) when true; }").unwrap_err();
         assert!(err.message().contains("takes 2 argument(s)"));
     }
 
     #[test]
     fn variable_shared_between_patterns() {
-        let err =
-            parse("spec s { method m(a); commute m(x), m(x) when true; }").unwrap_err();
+        let err = parse("spec s { method m(a); commute m(x), m(x) when true; }").unwrap_err();
         assert!(err.message().contains("both action patterns"));
     }
 
@@ -323,15 +319,13 @@ mod tests {
 
     #[test]
     fn cross_equality_rejected() {
-        let err =
-            parse("spec s { method m(a); commute m(x1), m(x2) when x1 == x2; }").unwrap_err();
+        let err = parse("spec s { method m(a); commute m(x1), m(x2) when x1 == x2; }").unwrap_err();
         assert!(err.message().contains("outside ECL"));
     }
 
     #[test]
     fn cross_ordering_rejected() {
-        let err =
-            parse("spec s { method m(a); commute m(x1), m(x2) when x1 < x2; }").unwrap_err();
+        let err = parse("spec s { method m(a); commute m(x1), m(x2) when x1 < x2; }").unwrap_err();
         assert!(err.message().contains("outside ECL"));
     }
 
@@ -339,10 +333,7 @@ mod tests {
     fn cross_neq_orientation_normalized() {
         // Writing y != x (second-action var first) resolves to the same
         // NeqCross as x != y.
-        let spec = parse(
-            "spec s { method m(a); commute m(x1), m(x2) when x2 != x1; }",
-        )
-        .unwrap();
+        let spec = parse("spec s { method m(a); commute m(x1), m(x2) when x2 != x1; }").unwrap();
         let m = spec.method_id("m").unwrap();
         assert_eq!(spec.formula(m, m), Formula::NeqCross { i: 0, j: 0 });
     }
@@ -372,10 +363,9 @@ mod tests {
 
     #[test]
     fn asymmetric_same_method_rule_rejected() {
-        let err = parse(
-            "spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; }",
-        )
-        .unwrap_err();
+        let err =
+            parse("spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; }")
+                .unwrap_err();
         assert!(err.message().contains("symmetric"));
     }
 
@@ -424,10 +414,7 @@ mod tests {
     #[test]
     fn non_ecl_formula_is_resolved_but_flagged() {
         // !(x1 != x2) parses and resolves, but is outside ECL (Not over LS).
-        let spec = parse(
-            "spec s { method m(a); commute m(x1), m(x2) when !(x1 != x2); }",
-        )
-        .unwrap();
+        let spec = parse("spec s { method m(a); commute m(x1), m(x2) when !(x1 != x2); }").unwrap();
         assert!(!spec.is_ecl());
     }
 }

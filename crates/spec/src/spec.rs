@@ -91,10 +91,7 @@ impl Spec {
     /// Returns [`Formula::False`] for pairs with no declared rule.
     pub fn formula(&self, m1: MethodId, m2: MethodId) -> Formula {
         if m1 <= m2 {
-            self.rules
-                .get(&(m1, m2))
-                .cloned()
-                .unwrap_or(Formula::False)
+            self.rules.get(&(m1, m2)).cloned().unwrap_or(Formula::False)
         } else {
             self.rules
                 .get(&(m2, m1))
@@ -332,9 +329,10 @@ impl SpecBuilder {
     pub fn rule(&mut self, m1: MethodId, m2: MethodId, formula: Formula) -> Result<(), SpecError> {
         let span = Span::point(0);
         for (m, side) in [(m1, Side::First), (m2, Side::Second)] {
-            let sig = self.methods.get(m.index()).ok_or_else(|| {
-                SpecError::new(format!("unknown method id {m}"), span)
-            })?;
+            let sig = self
+                .methods
+                .get(m.index())
+                .ok_or_else(|| SpecError::new(format!("unknown method id {m}"), span))?;
             if let Some(max) = formula.max_slot(side) {
                 if max >= sig.num_slots() {
                     return Err(SpecError::new(
@@ -437,7 +435,8 @@ mod tests {
         let mut b = SpecBuilder::new("s");
         let ma = b.method("a", 1);
         let mb = b.method("b", 1);
-        b.rule(ma.id, mb.id, Formula::NeqCross { i: 0, j: 1 }).unwrap();
+        b.rule(ma.id, mb.id, Formula::NeqCross { i: 0, j: 1 })
+            .unwrap();
         let spec = b.finish().unwrap();
         assert_eq!(spec.formula(ma.id, mb.id), Formula::NeqCross { i: 0, j: 1 });
         assert_eq!(spec.formula(mb.id, ma.id), Formula::NeqCross { i: 1, j: 0 });
@@ -449,7 +448,8 @@ mod tests {
         let ma = b.method("a", 1);
         let mb = b.method("b", 1);
         // Declared as (b, a) with formula x1 != y0 — stored for (a, b).
-        b.rule(mb.id, ma.id, Formula::NeqCross { i: 1, j: 0 }).unwrap();
+        b.rule(mb.id, ma.id, Formula::NeqCross { i: 1, j: 0 })
+            .unwrap();
         let spec = b.finish().unwrap();
         assert_eq!(spec.formula(ma.id, mb.id), Formula::NeqCross { i: 0, j: 1 });
     }

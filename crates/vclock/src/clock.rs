@@ -175,7 +175,8 @@ impl fmt::Display for VectorClock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn vc(components: &[u64]) -> VectorClock {
         VectorClock::from_components(components.iter().copied())
@@ -242,60 +243,95 @@ mod tests {
         assert_eq!(VectorClock::new().to_string(), "⟨⟩");
     }
 
-    fn arb_clock() -> impl Strategy<Value = VectorClock> {
-        proptest::collection::vec(0u64..6, 0..5).prop_map(VectorClock::from_components)
+    // Randomized lattice-law checks in the seeded-StdRng style of
+    // crates/core/tests/random_formulas.rs. Small dimensions/values make
+    // incomparable, equal and ordered pairs all common.
+    fn random_clock(rng: &mut StdRng) -> VectorClock {
+        let dim = rng.gen_range(0..5usize);
+        VectorClock::from_components((0..dim).map(|_| rng.gen_range(0u64..6)))
     }
 
-    proptest! {
-        #[test]
-        fn join_is_least_upper_bound(a in arb_clock(), b in arb_clock()) {
+    #[test]
+    fn join_is_least_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(0xC10C);
+        for _ in 0..2_000 {
+            let (a, b) = (random_clock(&mut rng), random_clock(&mut rng));
             let j = a.join(&b);
-            prop_assert!(a.le(&j));
-            prop_assert!(b.le(&j));
+            assert!(
+                a.le(&j) && b.le(&j),
+                "{a} ⊔ {b} = {j} is not an upper bound"
+            );
             // Least: every component of the join comes from a or b.
             for i in 0..j.dim() {
                 let t = ThreadId(i as u32);
-                prop_assert_eq!(j.get(t), a.get(t).max(b.get(t)));
+                assert_eq!(j.get(t), a.get(t).max(b.get(t)));
             }
         }
+    }
 
-        #[test]
-        fn join_commutative_associative_idempotent(
-            a in arb_clock(), b in arb_clock(), c in arb_clock()
-        ) {
-            prop_assert_eq!(a.join(&b), b.join(&a));
-            prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
-            prop_assert_eq!(a.join(&a), a);
+    #[test]
+    fn join_commutative_associative_idempotent() {
+        let mut rng = StdRng::seed_from_u64(0x10B);
+        for _ in 0..2_000 {
+            let (a, b, c) = (
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+            );
+            assert_eq!(a.join(&b), b.join(&a));
+            assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+            assert_eq!(a.join(&a), a);
         }
+    }
 
-        #[test]
-        fn order_is_reflexive_and_antisymmetric(a in arb_clock(), b in arb_clock()) {
-            prop_assert!(a.le(&a));
+    #[test]
+    fn order_is_reflexive_and_antisymmetric() {
+        let mut rng = StdRng::seed_from_u64(0x0D0);
+        for _ in 0..2_000 {
+            let (a, b) = (random_clock(&mut rng), random_clock(&mut rng));
+            assert!(a.le(&a));
             if a.le(&b) && b.le(&a) {
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
         }
+    }
 
-        #[test]
-        fn order_is_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+    #[test]
+    fn order_is_transitive() {
+        let mut rng = StdRng::seed_from_u64(0x7A5);
+        for _ in 0..5_000 {
+            let (a, b, c) = (
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+                random_clock(&mut rng),
+            );
             if a.le(&b) && b.le(&c) {
-                prop_assert!(a.le(&c));
+                assert!(a.le(&c), "{a} ⊑ {b} ⊑ {c} but not {a} ⊑ {c}");
             }
         }
+    }
 
-        #[test]
-        fn inc_strictly_increases(mut a in arb_clock(), t in 0u32..5) {
+    #[test]
+    fn inc_strictly_increases() {
+        let mut rng = StdRng::seed_from_u64(0x14C);
+        for _ in 0..2_000 {
+            let mut a = random_clock(&mut rng);
+            let t = rng.gen_range(0u32..5);
             let before = a.clone();
             a.inc(ThreadId(t));
-            prop_assert!(before.le(&a));
-            prop_assert!(!a.le(&before));
+            assert!(before.le(&a));
+            assert!(!a.le(&before));
         }
+    }
 
-        #[test]
-        fn le_agrees_with_partial_cmp(a in arb_clock(), b in arb_clock()) {
+    #[test]
+    fn le_agrees_with_partial_cmp() {
+        let mut rng = StdRng::seed_from_u64(0x1E);
+        for _ in 0..2_000 {
+            let (a, b) = (random_clock(&mut rng), random_clock(&mut rng));
             let le = a.le(&b);
             let cmp = a.partial_cmp(&b);
-            prop_assert_eq!(
+            assert_eq!(
                 le,
                 matches!(cmp, Some(Ordering::Less) | Some(Ordering::Equal))
             );

@@ -9,7 +9,14 @@
 //!   thread that owns it), used by the low-level baseline,
 //! * [`SyncClocks`] — the standard Table 1 treatment of
 //!   fork/join/acquire/release events, maintaining the thread-clock map
-//!   `T : Tid → VC` and the lock-clock map `L : Lock → VC`.
+//!   `T : Tid → VC` and the lock-clock map `L : Lock → VC`,
+//! * [`AdaptiveClock`] — a per-access-point clock that stays an epoch
+//!   while accesses are totally ordered and promotes to a full vector on
+//!   the first concurrent access, with [`ClockStats`] counting how often
+//!   the compressed path was taken,
+//! * [`PublishedClocks`] — the Table 1 state sharded for concurrent
+//!   detectors: reading a thread's clock on the action hot path takes no
+//!   process-global lock and copies no vector.
 //!
 //! # Examples
 //!
@@ -30,10 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod clock;
 mod epoch;
+mod published;
 mod sync;
 
+pub use adaptive::{AdaptiveClock, ClockStats, Observation};
 pub use clock::VectorClock;
 pub use epoch::Epoch;
+pub use published::PublishedClocks;
 pub use sync::SyncClocks;

@@ -1,0 +1,259 @@
+//! Randomized property tests for the vector-clock lattice and the adaptive
+//! epoch representation built on top of it.
+//!
+//! Three groups of laws are checked, each over thousands of random clocks:
+//!
+//! 1. `(VC, ⊔, ⊑)` is a join-semilattice: `⊔` is commutative, associative
+//!    and idempotent, and computes the *least* upper bound of `⊑`.
+//! 2. `⊑` is a partial order: reflexive, antisymmetric, transitive; `inc`
+//!    is strictly inflationary.
+//! 3. [`AdaptiveClock`] is a faithful compression: under simulated
+//!    well-formed histories its `le` answers and its promotion to a full
+//!    [`VectorClock`] agree exactly with the shadow full-vector clock it
+//!    stands for.
+
+use crace_model::ThreadId;
+use crace_vclock::{AdaptiveClock, Epoch, Observation, VectorClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_clock(rng: &mut StdRng) -> VectorClock {
+    let dim = rng.gen_range(0..5usize);
+    VectorClock::from_components((0..dim).map(|_| rng.gen_range(0..6u64)))
+}
+
+// ---------------------------------------------------------------------------
+// Join-semilattice laws.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn join_is_commutative_associative_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xA77);
+    for _ in 0..3000 {
+        let (a, b, c) = (
+            random_clock(&mut rng),
+            random_clock(&mut rng),
+            random_clock(&mut rng),
+        );
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        assert_eq!(a.join(&a), a);
+    }
+}
+
+#[test]
+fn join_is_the_least_upper_bound() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..3000 {
+        let (a, b) = (random_clock(&mut rng), random_clock(&mut rng));
+        let j = a.join(&b);
+        assert!(
+            a.le(&j) && b.le(&j),
+            "{a} ⊔ {b} = {j} is not an upper bound"
+        );
+        // Least: any other upper bound dominates the join.
+        let u = random_clock(&mut rng);
+        if a.le(&u) && b.le(&u) {
+            assert!(j.le(&u), "{j} ⋢ {u} though {u} bounds {a} and {b}");
+        }
+    }
+}
+
+#[test]
+fn join_in_place_matches_join() {
+    let mut rng = StdRng::seed_from_u64(0xC0C);
+    for _ in 0..2000 {
+        let (a, b) = (random_clock(&mut rng), random_clock(&mut rng));
+        let mut inplace = a.clone();
+        inplace.join_in_place(&b);
+        assert_eq!(inplace, a.join(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partial-order laws.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn le_is_a_partial_order_and_inc_is_strict() {
+    let mut rng = StdRng::seed_from_u64(0xD0E);
+    for _ in 0..5000 {
+        let (a, b, c) = (
+            random_clock(&mut rng),
+            random_clock(&mut rng),
+            random_clock(&mut rng),
+        );
+        assert!(a.le(&a), "⊑ must be reflexive");
+        if a.le(&b) && b.le(&a) {
+            assert_eq!(a, b, "⊑ must be antisymmetric");
+        }
+        if a.le(&b) && b.le(&c) {
+            assert!(a.le(&c), "⊑ must be transitive");
+        }
+        let tid = ThreadId(rng.gen_range(0..5u32));
+        let mut bumped = a.clone();
+        bumped.inc(tid);
+        assert!(a.le(&bumped) && a != bumped, "inc must strictly increase");
+        assert!(!bumped.le(&a));
+    }
+}
+
+#[test]
+fn concurrent_with_is_exactly_incomparability() {
+    let mut rng = StdRng::seed_from_u64(0xE0E);
+    for _ in 0..3000 {
+        let (a, b) = (random_clock(&mut rng), random_clock(&mut rng));
+        assert_eq!(a.concurrent_with(&b), !a.le(&b) && !b.le(&a));
+        assert_eq!(a.concurrent_with(&b), b.concurrent_with(&a));
+        assert!(!a.concurrent_with(&a));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch ↔ vector promotion laws.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn epoch_of_records_the_thread_component() {
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    for _ in 0..2000 {
+        let c = random_clock(&mut rng);
+        let tid = ThreadId(rng.gen_range(0..5u32));
+        let e = Epoch::of(tid, &c);
+        assert_eq!(e.tid(), tid);
+        assert_eq!(e.clock(), c.get(tid));
+        // `le_clock` against any clock only inspects that component.
+        let d = random_clock(&mut rng);
+        assert_eq!(e.le_clock(&d), c.get(tid) <= d.get(tid));
+    }
+}
+
+/// Simulates a well-formed single-object history the way `ObjState` drives
+/// `AdaptiveClock`: a sequence of observing thread clocks where each
+/// observer's clock either absorbs the previous owner's epoch (an ordered
+/// handoff) or does not (contention). Alongside the adaptive clock we
+/// maintain the exact full-vector shadow `pt.vc` of Algorithm 1 and assert
+/// the two agree on every query the detector can ever make.
+#[test]
+fn adaptive_clock_agrees_with_its_full_vector_shadow() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..800 {
+        // Per-thread clocks of a tiny simulated program. Each thread's own
+        // component starts at 1 (as after `SyncClocks` thread creation).
+        const THREADS: u32 = 4;
+        let mut clocks: Vec<VectorClock> = (0..THREADS)
+            .map(|t| {
+                let mut c = VectorClock::new();
+                c.set(ThreadId(t), 1);
+                c
+            })
+            .collect();
+
+        let first = rng.gen_range(0..THREADS);
+        let mut adaptive = AdaptiveClock::first(ThreadId(first), &clocks[first as usize]);
+        let mut shadow = clocks[first as usize].clone();
+
+        for _ in 0..rng.gen_range(1..25usize) {
+            // Random synchronization between steps: thread a absorbs
+            // thread b's clock (a release/acquire edge), then advances.
+            if rng.gen_bool(0.5) {
+                let a = rng.gen_range(0..THREADS) as usize;
+                let b = rng.gen_range(0..THREADS) as usize;
+                let other = clocks[b].clone();
+                clocks[a].join_in_place(&other);
+            }
+            let t = rng.gen_range(0..THREADS);
+            let tid = ThreadId(t);
+            clocks[t as usize].inc(tid);
+            let clock = clocks[t as usize].clone();
+
+            // The le query the detector's phase 1 asks *before* updating.
+            assert_eq!(
+                adaptive.le(&clock),
+                shadow.le(&clock),
+                "adaptive {adaptive} vs shadow {shadow} diverge on le({clock})"
+            );
+
+            // Note: the epoch representation is *exact* only for the
+            // queries the detector makes on well-formed traces; here we
+            // drive it through `observe` and check the promotion invariant:
+            // once promoted, the vector dominates the shadow's view of the
+            // touching threads.
+            let obs = adaptive.observe(tid, &clock);
+            shadow.join_in_place(&clock);
+            match obs {
+                Observation::EpochFast => {
+                    assert!(adaptive.is_epoch());
+                    // The epoch stands for the observer's full clock.
+                    assert_eq!(adaptive.to_vector().get(tid), clock.get(tid));
+                }
+                Observation::Promoted | Observation::VectorJoin => {
+                    assert!(!adaptive.is_epoch());
+                }
+            }
+            // Whatever the representation, the materialized vector is
+            // bounded by the exact shadow join and dominates the current
+            // observer's component — enough for phase 1 to answer `le`
+            // identically forever after.
+            let v = adaptive.to_vector();
+            assert!(v.le(&shadow), "materialized {v} exceeds shadow {shadow}");
+            assert_eq!(v.get(tid), shadow.get(tid));
+        }
+    }
+}
+
+/// Promotion round-trip: an epoch promoted by a concurrent observer yields
+/// exactly `observer_clock ⊔ {owner ↦ epoch}` — nothing is lost and
+/// nothing is invented beyond the two participants.
+#[test]
+fn promotion_materializes_exactly_the_two_participants() {
+    let mut rng = StdRng::seed_from_u64(0x9A9);
+    for _ in 0..2000 {
+        let owner = ThreadId(0);
+        let mut owner_clock = random_clock(&mut rng);
+        owner_clock.set(owner, rng.gen_range(1..8u64));
+        let mut ac = AdaptiveClock::first(owner, &owner_clock);
+        assert!(ac.is_epoch());
+        assert_eq!(ac.to_vector(), {
+            let mut v = VectorClock::new();
+            v.set(owner, owner_clock.get(owner));
+            v
+        });
+
+        // A concurrent observer: its clock misses the owner's component.
+        let observer = ThreadId(1);
+        let mut obs_clock = random_clock(&mut rng);
+        obs_clock.set(owner, rng.gen_range(0..owner_clock.get(owner)));
+        obs_clock.set(observer, rng.gen_range(1..8u64));
+        let obs = ac.observe(observer, &obs_clock);
+        assert_eq!(obs, Observation::Promoted);
+        let mut expected = obs_clock.clone();
+        expected.set(owner, owner_clock.get(owner));
+        assert_eq!(ac.to_vector(), expected);
+    }
+}
+
+/// Same-thread re-observation and ordered handoffs never promote.
+#[test]
+fn ordered_histories_never_promote() {
+    let mut rng = StdRng::seed_from_u64(0xABC);
+    for _ in 0..2000 {
+        let t0 = ThreadId(0);
+        let mut c0 = random_clock(&mut rng);
+        c0.set(t0, 3);
+        let mut ac = AdaptiveClock::first(t0, &c0);
+
+        // Same thread again, later clock.
+        c0.inc(t0);
+        assert_eq!(ac.observe(t0, &c0), Observation::EpochFast);
+
+        // Ordered handoff: t1's clock absorbs c0 (join) then advances.
+        let t1 = ThreadId(1);
+        let mut c1 = random_clock(&mut rng);
+        c1.join_in_place(&c0);
+        c1.inc(t1);
+        assert_eq!(ac.observe(t1, &c1), Observation::EpochFast);
+        assert!(ac.is_epoch());
+        assert_eq!(ac.to_vector().get(t1), c1.get(t1));
+    }
+}

@@ -297,9 +297,7 @@ impl MvStore {
         }
         // In stress mode (`locked_maintenance == false`) even the scan is
         // unsynchronized.
-        let guard = self
-            .locked_maintenance
-            .then(|| self.store_lock.lock(ctx));
+        let guard = self.locked_maintenance.then(|| self.store_lock.lock(ctx));
         for id in 0..chunk_range {
             let freed = self
                 .freed_page_space

@@ -222,7 +222,12 @@ mod tests {
         for row in &table.rows {
             match row.benchmark.as_str() {
                 "QueryCentricConcurrency" | "Complex" | "NestedLists" => {
-                    assert!(row.rd2.races.is_empty(), "{}: {:?}", row.benchmark, row.rd2.races);
+                    assert!(
+                        row.rd2.races.is_empty(),
+                        "{}: {:?}",
+                        row.benchmark,
+                        row.rd2.races
+                    );
                 }
                 "ComplexConcurrency" | "InsertCentricConcurrency" => {
                     assert!(row.rd2.races.total() > 0, "{}", row.benchmark);

@@ -33,10 +33,7 @@ fn main() {
     let rd2 = Arc::new(Rd2::new());
     let r = run_circuit(Circuit::ComplexConcurrency, rd2.clone(), &config);
     let rd2_report = rd2.report();
-    println!(
-        "RD2:       {:>9.0} qps, races {rd2_report}",
-        r.qps()
-    );
+    println!("RD2:       {:>9.0} qps, races {rd2_report}", r.qps());
     for race in rd2_report.samples().iter().take(4) {
         println!("  - {race}");
     }
@@ -51,10 +48,7 @@ fn main() {
     let ft = Arc::new(FastTrack::new());
     let r = run_circuit(Circuit::ComplexConcurrency, ft.clone(), &config);
     let ft_report = ft.report();
-    println!(
-        "FastTrack: {:>9.0} qps, races {ft_report}",
-        r.qps()
-    );
+    println!("FastTrack: {:>9.0} qps, races {ft_report}", r.qps());
     for race in ft_report.samples().iter().take(4) {
         println!("  - {race}");
     }

@@ -65,10 +65,7 @@ fn main() {
             "asymmetric same-method rule",
             "spec s { method m(a) -> r; commute m(x1) -> r1, m(_) -> _ when x1 == r1; }",
         ),
-        (
-            "syntax error",
-            "spec s { method m(; }",
-        ),
+        ("syntax error", "spec s { method m(; }"),
     ] {
         let err = parse_spec(bad).expect_err(label);
         println!("\n# {label}\n{}", err.render(bad));

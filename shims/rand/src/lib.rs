@@ -1,0 +1,248 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the *small deterministic subset* of the rand 0.8
+//! API it actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over (inclusive and exclusive) integer ranges, and
+//! [`Rng::gen_bool`].
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood; the seeding PRNG of
+//! xoshiro/xoroshiro): a full-period 2⁶⁴ sequence that passes BigCrush, is
+//! four instructions per draw, and — crucially for this repository's
+//! seeded property tests and benchmark trace generators — is exactly
+//! reproducible from a `u64` seed on every platform.
+//!
+//! Only determinism *within* this workspace matters: the sequences differ
+//! from crates.io `rand`'s, which is fine because every consumer seeds its
+//! own generator and asserts on behaviour, not on concrete draws.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! let idx = rng.gen_range(0..10usize);
+//! assert!(idx < 10);
+//! let _coin: bool = rng.gen_bool(0.5);
+//! // Same seed, same sequence.
+//! let mut rng2 = StdRng::seed_from_u64(42);
+//! assert_eq!(rng2.gen_range(1..=6), die);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator: the single primitive everything else is
+/// derived from.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// sequences.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring the `rand::Rng` extension
+/// trait. Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniformly distributed value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ p ≤ 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53 random bits → a uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from a range (the integer slice of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high]` (both ends inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// The largest representable value (used to detect full-range ends).
+    const MAX: Self;
+
+    /// Steps `high` down by one (to express `low..high` via the inclusive
+    /// sampler).
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            const MAX: $t = <$t>::MAX;
+
+            fn dec(self) -> $t {
+                self - 1
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "empty sample range");
+                // Width of [low, high] as an unsigned value; `None` means
+                // the full domain, where any draw is valid.
+                let span = (high as $u).wrapping_sub(low as $u);
+                if span == <$u>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (span as u128) + 1;
+                // Rejection sampling on the top multiple of `span`, so the
+                // result is exactly uniform (no modulo bias).
+                let zone = u64::MAX - ((u64::MAX as u128 + 1) % span) as u64;
+                loop {
+                    let draw = rng.next_u64();
+                    if draw <= zone {
+                        return low.wrapping_add(((draw as u128 % span) as $u) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty sample range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: SplitMix64.
+    ///
+    /// NOT the crates.io `StdRng` (ChaCha12) — see the crate docs for why
+    /// an exact, dependency-free generator is used instead.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: add the golden-ratio increment, then mix.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+            let w = rng.gen_range(2u32..=4);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5i64);
+    }
+}

@@ -90,15 +90,15 @@ pub use crace_workloads as workloads;
 
 pub use crace_atomicity::AtomicityChecker;
 pub use crace_boost::LockManager;
-pub use crace_core::{translate, Direct, Rd2, TraceDetector, TranslateError};
+pub use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector, TranslateError};
 pub use crace_fasttrack::FastTrack;
 pub use crace_model::{
-    Action, Analysis, Event, LocId, LockId, MethodId, NoopAnalysis, ObjId, RaceReport, Recorder, ThreadId,
-    Trace, Value,
+    Action, Analysis, Event, LocId, LockId, MethodId, NoopAnalysis, ObjId, RaceReport, Recorder,
+    ThreadId, Trace, Value,
 };
 pub use crace_runtime::{
     MonitoredCounter, MonitoredDict, MonitoredQueue, MonitoredRegister, MonitoredSet, Runtime,
     ThreadCtx, TrackedCell, TrackedMutex,
 };
 pub use crace_spec::{parse as parse_spec, Spec, SpecBuilder};
-pub use crace_vclock::VectorClock;
+pub use crace_vclock::{AdaptiveClock, ClockStats, PublishedClocks, VectorClock};

@@ -3,8 +3,7 @@
 //! specifications falling back to the direct detector.
 
 use crace::{
-    parse_spec, translate, Action, Direct, Event, ObjId, ThreadId, Trace,
-    TraceDetector, Value,
+    parse_spec, translate, Action, Direct, Event, ObjId, ThreadId, Trace, TraceDetector, Value,
 };
 use crace_model::replay;
 use std::sync::Arc;
@@ -93,7 +92,8 @@ fn union_find_spec_detects_overlapping_merges() {
     let compiled = Arc::new(translate(&spec).unwrap());
     let union = spec.method_id("union").unwrap();
 
-    let act = |x: i64, y: i64| Action::new(OBJ, union, vec![Value::Int(x), Value::Int(y)], Value::Nil);
+    let act =
+        |x: i64, y: i64| Action::new(OBJ, union, vec![Value::Int(x), Value::Int(y)], Value::Nil);
 
     // Disjoint unions commute.
     let mut trace = fork2();
@@ -128,10 +128,8 @@ fn union_find_spec_detects_overlapping_merges() {
 /// translation, still checkable by the direct detector.
 #[test]
 fn non_ecl_spec_falls_back_to_direct() {
-    let spec = parse_spec(
-        "spec weird { method m(a); commute m(x1), m(x2) when !(x1 != x2); }",
-    )
-    .unwrap();
+    let spec =
+        parse_spec("spec weird { method m(a); commute m(x1), m(x2) when !(x1 != x2); }").unwrap();
     assert!(!spec.is_ecl());
     assert!(translate(&spec).is_err());
 

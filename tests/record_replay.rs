@@ -5,7 +5,7 @@
 use crace::cli::{parse_trace, render_trace};
 use crace::workloads::connections::run_connections;
 use crace::{
-    translate, Analysis, AtomicityChecker, Direct, MonitoredDict, Recorder, Rd2, Runtime,
+    translate, Analysis, AtomicityChecker, Direct, MonitoredDict, Rd2, Recorder, Runtime,
     TraceDetector, Value,
 };
 use crace_model::replay;
@@ -111,7 +111,10 @@ fn recorder_preserves_lock_critical_sections() {
 
     let trace = recorder.snapshot();
     let detector = TraceDetector::new();
-    detector.register(dict.obj(), Arc::new(translate(MonitoredDict::spec()).unwrap()));
+    detector.register(
+        dict.obj(),
+        Arc::new(translate(MonitoredDict::spec()).unwrap()),
+    );
     let report = replay(&trace, &detector);
     assert!(report.is_empty(), "{report:?}");
 }

@@ -54,7 +54,10 @@ fn random_program(rng: &mut StdRng) -> SimProgram {
                     // A lock-protected read-modify-write.
                     let key = Value::Int(rng.gen_range(0..3));
                     ops.push(SimOp::Lock(0));
-                    ops.push(SimOp::DictGet { dict: 0, key: key.clone() });
+                    ops.push(SimOp::DictGet {
+                        dict: 0,
+                        key: key.clone(),
+                    });
                     ops.push(SimOp::DictPut {
                         dict: 0,
                         key,

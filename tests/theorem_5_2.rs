@@ -153,7 +153,7 @@ fn commuting_overlaps_are_race_free_and_deterministic() {
     let program = Program {
         worker_a: vec![Op::Get(1), Op::Size, Op::Get(1)],
         worker_b: vec![Op::Get(1), Op::Size],
-    epilogue: vec![Op::Size],
+        epilogue: vec![Op::Size],
     };
     let mut final_states = Vec::new();
     for schedule in schedules(3, 2) {
