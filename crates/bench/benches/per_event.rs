@@ -12,7 +12,8 @@
 use crace_bench::{local_dict_trace, mixed_dict_trace, rw_trace, OBJ};
 use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector};
 use crace_fasttrack::FastTrack;
-use crace_model::{replay, NoopAnalysis};
+use crace_model::{replay, NoopAnalysis, Observer};
+use crace_obs::Registry;
 use crace_spec::builtin;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
@@ -81,6 +82,40 @@ fn bench_per_event(c: &mut Criterion) {
                 replay(&local, &detector)
             });
         });
+    }
+
+    // The same adaptive run through the Observer tee — the row EXPERIMENTS.md
+    // quotes for the tee's per-event overhead. Once at the default 1-in-64
+    // latency sampling, once with sampling disabled (counters only), so the
+    // cost of the two Instant reads is its own diff.
+    group.bench_function("rd2-adaptive-observed", |b| {
+        b.iter(|| {
+            let detector = TraceDetector::new();
+            detector.register(OBJ, Arc::clone(&compiled));
+            replay(&dict_trace, &Observer::new(detector))
+        });
+    });
+
+    group.bench_function("rd2-adaptive-observed-nosample", |b| {
+        b.iter(|| {
+            let detector = TraceDetector::new();
+            detector.register(OBJ, Arc::clone(&compiled));
+            let observer = Observer::with_sampling(detector, Arc::new(Registry::new()), 0);
+            replay(&dict_trace, &observer)
+        });
+    });
+
+    // One observed replay with its snapshot printed, so a bench run
+    // doubles as a smoke test of the metrics surface.
+    {
+        let detector = TraceDetector::new();
+        detector.register(OBJ, Arc::clone(&compiled));
+        let observer = Observer::new(detector);
+        replay(&dict_trace, &observer);
+        println!(
+            "per_event: observed rd2 snapshot:\n{}",
+            observer.snapshot().to_pretty()
+        );
     }
 
     // The live sharded analysis (published clock snapshots, per-object

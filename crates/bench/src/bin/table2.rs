@@ -5,22 +5,39 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p crace-bench --bin table2 --release [scale]
+//! cargo run -p crace-bench --bin table2 --release [scale] [--metrics[=json|prom]]
 //! ```
 //!
 //! `scale` multiplies the default operation counts (default 1; use 0 to
 //! get a fast smoke run). Expect qps shape, not the paper's absolute
 //! numbers — the substrate differs (see EXPERIMENTS.md).
+//!
+//! `--metrics` re-emits the table as a [`crace_obs`] snapshot (per-row
+//! qps gauges and race counters) after the human-readable rendering —
+//! `json` by default, `prom` for the Prometheus text format — so CI and
+//! dashboards can track the Table 2 shape without scraping the table.
 
+use crace_obs::Registry;
 use crace_workloads::circuits::CircuitConfig;
 use crace_workloads::snitch::SnitchConfig;
 use crace_workloads::table2::{run_table2, Table2Config};
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let mut scale: u64 = 1;
+    let mut metrics: Option<&'static str> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--metrics" | "--metrics=json" => metrics = Some("json"),
+            "--metrics=prom" => metrics = Some("prom"),
+            other => match other.parse() {
+                Ok(s) => scale = s,
+                Err(_) => {
+                    eprintln!("table2: unknown argument {other:?}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
 
     let config = if scale == 0 {
         Table2Config::smoke()
@@ -63,5 +80,32 @@ fn main() {
             "{:<46} FT slowdown {:>5.2}×, RD2 slowdown {:>5.2}×, races FT {} vs RD2 {}",
             row.benchmark, slowdown_ft, slowdown_rd2, ft.races, rd2.races
         );
+    }
+
+    if let Some(format) = metrics {
+        let registry = Registry::new();
+        for row in &table.rows {
+            // Dotted metric names keyed by the benchmark; the Prometheus
+            // renderer mangles the spaces away.
+            let base = format!("table2.{}", row.benchmark);
+            registry.set_gauge(
+                &format!("{base}.qps.uninstrumented"),
+                row.uninstrumented.qps(),
+            );
+            registry.set_gauge(&format!("{base}.qps.fasttrack"), row.fasttrack.qps());
+            registry.set_gauge(&format!("{base}.qps.rd2"), row.rd2.qps());
+            registry
+                .counter(&format!("{base}.races.fasttrack"))
+                .add(row.fasttrack.races.total());
+            registry
+                .counter(&format!("{base}.races.rd2"))
+                .add(row.rd2.races.total());
+        }
+        let snapshot = registry.snapshot();
+        println!();
+        match format {
+            "prom" => print!("{}", snapshot.to_prometheus()),
+            _ => print!("{}", snapshot.to_json()),
+        }
     }
 }

@@ -4,18 +4,24 @@
 //! crace check   <spec-file>                 # parse + lint a specification
 //! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
+//!               [--json] [--metrics[=json|prom]] [--explain]
+//! crace stats   <trace-file> --spec <file> [--detector …] [--format pretty|json|prom]
 //! crace table2  [scale]                     # regenerate Table 2
 //! crace builtins                            # list builtin specifications
 //! ```
 //!
 //! Spec files may also name a builtin (`dictionary`, `dictionary_ext`,
 //! `set`, `counter`, `register`, `queue`) instead of a path.
+//!
+//! Exit codes: 0 success, 1 error, 2 usage, 3 replay found races.
 
 use crace_cli::parse_trace;
 use crace_core::{translate, Direct, TraceDetector};
 use crace_fasttrack::FastTrack;
-use crace_model::{replay, Event, ObjId, Trace};
+use crace_model::{replay, Analysis, Event, ObjId, Observer, RaceReport, Trace};
+use crace_obs::{Registry, Snapshot};
 use crace_spec::{builtin, Spec};
+use crace_vclock::ClockStats;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,6 +32,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("table2") => cmd_table2(&args[1..]),
         Some("builtins") => cmd_builtins(),
         _ => {
@@ -34,7 +41,7 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -46,10 +53,19 @@ const USAGE: &str = "\
 usage:
   crace check   <spec-file|builtin>
   crace compile <spec-file|builtin> [--dot]
-  crace replay  <trace-file> --spec <spec-file|builtin> [--detector rd2|direct|fasttrack]
+  crace replay  <trace-file> --spec <spec-file|builtin>
+                [--detector rd2|direct|fasttrack] [--json]
+                [--metrics[=json|prom]] [--explain]
+  crace stats   <trace-file> --spec <spec-file|builtin>
+                [--detector rd2|direct|fasttrack] [--format pretty|json|prom]
   crace table2  [scale]
   crace builtins
+
+exit codes: 0 ok, 1 error, 2 usage, 3 replay found races
 ";
+
+/// Window of trailing events kept per object for `--explain`.
+const EXPLAIN_WINDOW: usize = 8;
 
 fn load_spec(name: &str) -> Result<Spec, String> {
     match name {
@@ -65,7 +81,7 @@ fn load_spec(name: &str) -> Result<Spec, String> {
     crace_spec::parse(&source).map_err(|e| e.render(&source))
 }
 
-fn cmd_builtins() -> Result<(), String> {
+fn cmd_builtins() -> Result<ExitCode, String> {
     for spec in builtin::all() {
         println!(
             "{:<16} {} method(s), ECL: {}",
@@ -74,10 +90,10 @@ fn cmd_builtins() -> Result<(), String> {
             spec.is_ecl()
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("expected a spec file")?;
     let spec = load_spec(name)?;
     println!("spec `{}`: {} method(s)", spec.name(), spec.num_methods());
@@ -104,10 +120,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
         Err(e) => println!("  translation: not translatable — {e}"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), String> {
+fn cmd_compile(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("expected a spec file")?;
     let dot = args.iter().any(|a| a == "--dot");
     let spec = load_spec(name)?;
@@ -138,62 +154,214 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     } else {
         print!("{compiled}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let trace_path = args.first().ok_or("expected a trace file")?;
+/// Options shared by `replay` and `stats`.
+struct ReplayOpts {
+    trace_path: String,
+    spec_name: String,
+    detector: String,
+}
+
+fn parse_replay_opts<'a>(
+    args: &'a [String],
+    mut extra: impl FnMut(&str, &mut std::slice::Iter<'a, String>) -> Result<bool, String>,
+) -> Result<ReplayOpts, String> {
+    let trace_path = args.first().ok_or("expected a trace file")?.clone();
     let mut spec_name = None;
     let mut detector = "rd2".to_string();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--spec" => {
-                spec_name = args.get(i + 1).cloned();
-                i += 2;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => spec_name = it.next().cloned(),
+            "--detector" => detector = it.next().cloned().unwrap_or_default(),
+            other => {
+                if !extra(other, &mut it)? {
+                    return Err(format!("unknown option `{other}`"));
+                }
             }
-            "--detector" => {
-                detector = args.get(i + 1).cloned().unwrap_or_default();
-                i += 2;
-            }
-            other => return Err(format!("unknown option `{other}`")),
         }
     }
-    let spec = load_spec(&spec_name.ok_or("missing --spec")?)?;
-    let source = std::fs::read_to_string(trace_path)
-        .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
-    let trace = parse_trace(&source, &spec).map_err(|e| e.to_string())?;
-    println!(
-        "replaying {} event(s), {} thread(s), detector `{detector}` …",
-        trace.len(),
-        trace.num_threads()
-    );
+    Ok(ReplayOpts {
+        trace_path,
+        spec_name: spec_name.ok_or("missing --spec")?,
+        detector,
+    })
+}
 
-    let report = match detector.as_str() {
+/// The replayed detector behind one observer, plus the detector-specific
+/// statistics the snapshot should carry.
+struct Replayed {
+    report: RaceReport,
+    snapshot: Snapshot,
+}
+
+/// Feeds [`ClockStats`] into the registry under `<name>.clock.*` — the
+/// epoch-hit-rate view of the adaptive representation.
+fn feed_clock_stats(registry: &Registry, name: &str, stats: &ClockStats) {
+    registry
+        .counter(&format!("{name}.clock.epoch_updates"))
+        .add(stats.epoch_updates);
+    registry
+        .counter(&format!("{name}.clock.promotions"))
+        .add(stats.promotions);
+    registry
+        .counter(&format!("{name}.clock.vector_updates"))
+        .add(stats.vector_updates);
+    registry
+        .gauge(&format!("{name}.clock.epoch_hit_rate"))
+        .set(stats.epoch_hit_rate());
+}
+
+/// Replays `trace` through the named detector wrapped in an [`Observer`],
+/// returning the race report and the full metrics snapshot.
+fn run_observed(
+    trace: &Trace,
+    spec: &Spec,
+    detector: &str,
+    explain: bool,
+) -> Result<Replayed, String> {
+    Ok(match detector {
         "rd2" => {
-            let d = TraceDetector::new();
-            let compiled = Arc::new(translate(&spec).map_err(|e| e.to_string())?);
-            for obj in objects_of(&trace) {
+            let d = if explain {
+                TraceDetector::with_provenance(EXPLAIN_WINDOW)
+            } else {
+                TraceDetector::new()
+            };
+            let compiled = Arc::new(translate(spec).map_err(|e| e.to_string())?);
+            for obj in objects_of(trace) {
                 d.register(obj, Arc::clone(&compiled));
             }
-            replay(&trace, &d)
+            let obs = Observer::new(d);
+            let report = replay(trace, &obs);
+            feed_clock_stats(obs.registry(), obs.name(), &obs.inner().clock_stats());
+            obs.registry()
+                .counter(&format!("{}.conflict_probes", obs.name()))
+                .add(obs.inner().num_probes());
+            Replayed {
+                report,
+                snapshot: obs.snapshot(),
+            }
         }
         "direct" => {
             let d = Direct::new();
-            let spec = Arc::new(spec);
-            for obj in objects_of(&trace) {
+            let spec = Arc::new(spec.clone());
+            for obj in objects_of(trace) {
                 d.register(obj, Arc::clone(&spec));
             }
-            replay(&trace, &d)
+            let obs = Observer::new(d);
+            let report = replay(trace, &obs);
+            Replayed {
+                report,
+                snapshot: obs.snapshot(),
+            }
         }
-        "fasttrack" => replay(&trace, &FastTrack::new()),
+        "fasttrack" => {
+            let d = if explain {
+                FastTrack::with_provenance()
+            } else {
+                FastTrack::new()
+            };
+            let obs = Observer::new(d);
+            let report = replay(trace, &obs);
+            Replayed {
+                report,
+                snapshot: obs.snapshot(),
+            }
+        }
         other => return Err(format!("unknown detector `{other}`")),
-    };
-    println!("races: {report}");
-    for race in report.samples() {
-        println!("  - {race}");
+    })
+}
+
+fn load_trace(opts: &ReplayOpts) -> Result<(Spec, Trace), String> {
+    let spec = load_spec(&opts.spec_name)?;
+    let source = std::fs::read_to_string(&opts.trace_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.trace_path))?;
+    let trace = parse_trace(&source, &spec).map_err(|e| e.to_string())?;
+    Ok((spec, trace))
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut metrics: Option<String> = None;
+    let mut explain = false;
+    let opts = parse_replay_opts(args, |arg, _| {
+        match arg {
+            "--json" => json = true,
+            "--metrics" => metrics = Some("pretty".to_string()),
+            "--explain" => explain = true,
+            _ if arg.starts_with("--metrics=") => {
+                metrics = Some(arg["--metrics=".len()..].to_string());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    if let Some(format) = &metrics {
+        if !matches!(format.as_str(), "json" | "prom" | "pretty") {
+            return Err(format!("unknown metrics format `{format}`"));
+        }
     }
-    Ok(())
+    let (spec, trace) = load_trace(&opts)?;
+    if !json {
+        println!(
+            "replaying {} event(s), {} thread(s), detector `{}` …",
+            trace.len(),
+            trace.num_threads(),
+            opts.detector
+        );
+    }
+    let run = run_observed(&trace, &spec, &opts.detector, explain)?;
+
+    if json {
+        print!("{}", run.report.to_json());
+    } else {
+        println!("races: {}", run.report);
+        for race in run.report.samples() {
+            println!("  - {race}");
+            if explain {
+                if let Some(p) = &race.provenance {
+                    print!("{p}");
+                }
+            }
+        }
+    }
+    if let Some(format) = metrics {
+        match format.as_str() {
+            "json" => print!("{}", run.snapshot.to_json()),
+            "prom" => print!("{}", run.snapshot.to_prometheus()),
+            _ => print!("{}", run.snapshot.to_pretty()),
+        }
+    }
+    Ok(if run.report.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let mut format = "pretty".to_string();
+    let opts = parse_replay_opts(args, |arg, it| {
+        if arg == "--format" {
+            format = it.next().cloned().unwrap_or_default();
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    })?;
+    if !matches!(format.as_str(), "json" | "prom" | "pretty") {
+        return Err(format!("unknown format `{format}`"));
+    }
+    let (spec, trace) = load_trace(&opts)?;
+    let run = run_observed(&trace, &spec, &opts.detector, false)?;
+    match format.as_str() {
+        "json" => print!("{}", run.snapshot.to_json()),
+        "prom" => print!("{}", run.snapshot.to_prometheus()),
+        _ => print!("{}", run.snapshot.to_pretty()),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn objects_of(trace: &Trace) -> BTreeSet<ObjId> {
@@ -206,7 +374,7 @@ fn objects_of(trace: &Trace) -> BTreeSet<ObjId> {
         .collect()
 }
 
-fn cmd_table2(args: &[String]) -> Result<(), String> {
+fn cmd_table2(args: &[String]) -> Result<ExitCode, String> {
     use crace_workloads::table2::{run_table2, Table2Config};
     let scale: u64 = args
         .first()
@@ -223,5 +391,5 @@ fn cmd_table2(args: &[String]) -> Result<(), String> {
         c
     };
     println!("{}", run_table2(&config));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

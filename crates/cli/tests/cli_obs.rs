@@ -1,0 +1,190 @@
+//! End-to-end tests of the observability surface of the `crace` binary:
+//! exit codes, `--json`, `--metrics`, `--explain`, and `stats`. These are
+//! the same invocations CI runs against the committed sample traces.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn data(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests/data");
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+fn crace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_crace"))
+        .args(args)
+        .output()
+        .expect("run crace")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn replay_exits_3_when_races_found() {
+    let out = crace(&["replay", &data("fig3.trace"), "--spec", "dictionary"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(stdout(&out).contains("races: 1 (1)"));
+}
+
+#[test]
+fn replay_exits_0_on_race_free_traces() {
+    let out = crace(&[
+        "replay",
+        &data("fig3_ordered.trace"),
+        "--spec",
+        "dictionary",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("races: 0 (0)"));
+}
+
+#[test]
+fn replay_unknown_subcommand_exits_2() {
+    let out = crace(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn replay_bad_file_exits_1() {
+    let out = crace(&["replay", "/nonexistent.trace", "--spec", "dictionary"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn replay_json_is_valid_and_machine_readable() {
+    let out = crace(&[
+        "replay",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let json = stdout(&out);
+    crace_obs::json::validate(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+    assert!(json.contains("\"total\": 1"));
+    assert!(json.contains("\"sites\": {\"o1\": 1}"));
+    assert!(json.contains("\"kind\": \"commutativity\""));
+}
+
+#[test]
+fn replay_metrics_json_is_valid_and_has_latency_summaries() {
+    let out = crace(&[
+        "replay",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--metrics=json",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let text = stdout(&out);
+    // Two JSON documents: the race report, then the metrics snapshot.
+    // Split at the boundary between them ("}\n{") and validate both.
+    let boundary = text.find("}\n{").expect("two documents") + 2;
+    let (report, metrics) = text.split_at(boundary);
+    crace_obs::json::validate(report).unwrap_or_else(|e| panic!("report: {e}\n{report}"));
+    crace_obs::json::validate(metrics).unwrap_or_else(|e| panic!("metrics: {e}\n{metrics}"));
+    assert!(metrics.contains("\"rd2-trace.events.action\": 3"));
+    assert!(metrics.contains("\"rd2-trace.races.site.o1\""));
+    assert!(metrics.contains("\"p99\""));
+    assert!(metrics.contains("rd2-trace.clock.epoch_hit_rate"));
+}
+
+#[test]
+fn replay_metrics_prom_is_well_formed() {
+    let out = crace(&[
+        "replay",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--metrics=prom",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let text = stdout(&out);
+    let prom_start = text.find("# TYPE").expect("prometheus section");
+    let prom = &text[prom_start..];
+    assert!(prom.contains("# TYPE crace_rd2_trace_events_action counter"));
+    assert!(prom.contains("crace_rd2_trace_events_action 3"));
+    assert!(prom.contains("quantile=\"0.99\""));
+    assert!(prom.contains("crace_rd2_trace_races_site_o1 1"));
+    assert!(prom.contains("crace_rd2_trace_clock_epoch_hit_rate"));
+    for line in prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, value) = line.rsplit_once(' ').expect("name value");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad line: {line}"));
+    }
+}
+
+#[test]
+fn replay_explain_prints_provenance() {
+    let out = crace(&[
+        "replay",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--explain",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let text = stdout(&out);
+    assert!(text.contains("current:"), "{text}");
+    assert!(text.contains("collision:"), "{text}");
+    assert!(text.contains("clocks:"), "{text}");
+    assert!(text.contains("last 1 event(s) on the object:"), "{text}");
+    // Actions render with numeric method ids (the model layer has no
+    // spec-name context): m0 is `put` in the dictionary spec.
+    assert!(text.contains("τ2: o1.m0(\"a.com\", 1)/nil"), "{text}");
+}
+
+#[test]
+fn stats_subcommand_renders_all_formats() {
+    let pretty = crace(&["stats", &data("fig3.trace"), "--spec", "dictionary"]);
+    assert_eq!(pretty.status.code(), Some(0));
+    assert!(stdout(&pretty).contains("rd2-trace.events.action"));
+
+    let json = crace(&[
+        "stats",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(json.status.code(), Some(0));
+    crace_obs::json::validate(&stdout(&json)).expect("valid stats json");
+
+    let prom = crace(&[
+        "stats",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--format",
+        "prom",
+    ]);
+    assert_eq!(prom.status.code(), Some(0));
+    assert!(stdout(&prom).starts_with("# TYPE"));
+}
+
+#[test]
+fn fasttrack_detector_also_reports_through_the_observer() {
+    // The commutativity trace has no low-level reads/writes, so FastTrack
+    // sees only synchronization — no races, exit 0, but events counted.
+    let out = crace(&[
+        "stats",
+        &data("fig3.trace"),
+        "--spec",
+        "dictionary",
+        "--detector",
+        "fasttrack",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("fasttrack.events.fork"));
+}

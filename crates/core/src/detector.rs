@@ -34,6 +34,9 @@ struct Inner {
     report: RaceReport,
     compiled: HashMap<String, Arc<CompiledSpec>>,
     mode: ClockMode,
+    /// When set, objects collect race provenance with an event window of
+    /// this many actions (see [`ObjState::with_provenance`]).
+    provenance_window: Option<usize>,
 }
 
 impl TraceDetector {
@@ -56,8 +59,20 @@ impl TraceDetector {
                 report: RaceReport::new(),
                 compiled: HashMap::new(),
                 mode,
+                provenance_window: None,
             }),
         }
+    }
+
+    /// Creates a detector that collects race provenance: each sampled race
+    /// carries the colliding access points, both clocks at detection time,
+    /// the prior action on the conflicting point, and the last `window`
+    /// actions on the racing object. This is what `crace replay --explain`
+    /// replays through.
+    pub fn with_provenance(window: usize) -> TraceDetector {
+        let detector = TraceDetector::new();
+        detector.inner.lock().provenance_window = Some(window);
+        detector
     }
 
     /// Registers `obj` to be checked against `spec`. Re-registering an
@@ -113,6 +128,17 @@ impl TraceDetector {
             .map_or(0, ObjState::num_active)
     }
 
+    /// Total phase-1 conflict probes across all tracked objects (one per
+    /// conflicting class per touched point — the §5.4 work measure).
+    pub fn num_probes(&self) -> u64 {
+        self.inner
+            .lock()
+            .objects
+            .values()
+            .map(ObjState::num_probes)
+            .sum()
+    }
+
     /// Aggregated clock-representation statistics over all tracked
     /// objects: how many phase-2 updates stayed on the O(1) epoch path.
     pub fn clock_stats(&self) -> ClockStats {
@@ -160,11 +186,16 @@ impl Analysis for TraceDetector {
         let spec = Arc::clone(spec);
         let clock = inner.sync.clock(tid).clone();
         let mode = inner.mode;
+        let provenance_window = inner.provenance_window;
+        let want_detail = provenance_window.is_some() && inner.report.wants_detail();
         let state = inner
             .objects
             .entry(action.obj())
-            .or_insert_with(|| ObjState::with_mode(mode));
-        let hits = state.on_action(&spec, action, tid, &clock);
+            .or_insert_with(|| match provenance_window {
+                Some(window) => ObjState::with_provenance(mode, window),
+                None => ObjState::with_mode(mode),
+            });
+        let hits = state.on_action_detailed(&spec, action, tid, &clock, want_detail);
         let kind = RaceKind::Commutativity { obj: action.obj() };
         for hit in hits {
             inner.report.record_with(kind.clone(), || RaceRecord {
@@ -177,6 +208,7 @@ impl Analysis for TraceDetector {
                     spec.label(hit.touched),
                     spec.label(hit.conflicting)
                 ),
+                provenance: hit.provenance,
             });
         }
     }

@@ -153,6 +153,7 @@ impl Analysis for Direct {
                 tid,
                 action: Some(action.clone()),
                 detail: String::from("direct pairwise check"),
+                provenance: None,
             });
         }
     }

@@ -1,22 +1,27 @@
 //! The per-object core of Algorithm 1.
 
 use crate::points::{AccessPoint, ClassId, CompiledSpec};
-use crace_model::{Action, ThreadId};
+use crace_model::{Action, Provenance, ThreadId};
 use crace_vclock::{AdaptiveClock, ClockStats, VectorClock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One commutativity race found by phase 1 of Algorithm 1: the touched
 /// point's class and the conflicting active class.
 ///
-/// Deliberately tiny (two indices): race *recording* must stay cheap even
-/// when a workload races millions of times, so human-readable details are
-/// only rendered for the sampled records a report retains.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Stays tiny on the default path (two indices and a null pointer): race
+/// *recording* must remain cheap even when a workload races millions of
+/// times, so human-readable details are only rendered for the sampled
+/// records a report retains. The `provenance` box is populated only by
+/// states built with [`ObjState::with_provenance`], and only when the
+/// caller asks for detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RaceHit {
     /// The class of the point touched by the current action.
     pub touched: ClassId,
     /// The conflicting active class.
     pub conflicting: ClassId,
+    /// Full race provenance, when collection is enabled and requested.
+    pub provenance: Option<Box<Provenance>>,
 }
 
 /// Which representation an [`ObjState`] keeps for its access-point clocks.
@@ -81,6 +86,31 @@ pub struct ObjState {
     /// How the phase-2 updates were served (epoch / promotion / vector).
     stats: ClockStats,
     mode: ClockMode,
+    /// Provenance bookkeeping — absent (and costing one branch per action)
+    /// unless the state was built with [`ObjState::with_provenance`].
+    trace: Option<Box<TraceState>>,
+}
+
+/// What [`ObjState`] remembers for race explanations: the trailing window
+/// of event descriptors on the object, and the descriptor of the last
+/// action that touched each active access point.
+#[derive(Clone, Debug, Default)]
+struct TraceState {
+    /// Window capacity; the window holds the most recent `cap` actions.
+    cap: usize,
+    /// The last `cap` action descriptors on this object, oldest first.
+    window: VecDeque<String>,
+    /// Descriptor of the most recent action that touched each point.
+    last_touch: HashMap<AccessPoint, String>,
+}
+
+/// The human-readable name of a concrete access point: the class label
+/// plus the slot value when the class carries one, e.g. `w:"a.com"`.
+fn point_label(spec: &CompiledSpec, pt: &AccessPoint) -> String {
+    match &pt.value {
+        Some(v) => format!("{}:{v}", spec.label(pt.class)),
+        None => spec.label(pt.class).to_string(),
+    }
 }
 
 impl ObjState {
@@ -94,6 +124,21 @@ impl ObjState {
     pub fn with_mode(mode: ClockMode) -> ObjState {
         ObjState {
             mode,
+            ..ObjState::default()
+        }
+    }
+
+    /// Creates empty state that additionally collects race provenance: a
+    /// trailing window of the last `window` actions on the object, plus
+    /// the last action that touched each active access point. A `window`
+    /// of 0 keeps the point/clock provenance but no event window.
+    pub fn with_provenance(mode: ClockMode, window: usize) -> ObjState {
+        ObjState {
+            mode,
+            trace: Some(Box::new(TraceState {
+                cap: window,
+                ..TraceState::default()
+            })),
             ..ObjState::default()
         }
     }
@@ -135,8 +180,26 @@ impl ObjState {
         tid: ThreadId,
         clock: &VectorClock,
     ) -> Vec<RaceHit> {
+        self.on_action_detailed(spec, action, tid, clock, true)
+    }
+
+    /// [`ObjState::on_action`] with explicit control over provenance
+    /// rendering: when `want_detail` is false the bookkeeping (event
+    /// window, last-touch map) still advances but no [`Provenance`] is
+    /// rendered for the returned hits — the path detectors take once their
+    /// report's sample buffer is full.
+    pub fn on_action_detailed(
+        &mut self,
+        spec: &CompiledSpec,
+        action: &Action,
+        tid: ThreadId,
+        clock: &VectorClock,
+        want_detail: bool,
+    ) -> Vec<RaceHit> {
         let touched = spec.touched(action);
         let mut races = Vec::new();
+        // Rendered once per action, only when provenance is on.
+        let desc = self.trace.as_ref().map(|_| format!("{tid}: {action}"));
 
         // Phase 1: check for commutativity races.
         for pt in &touched {
@@ -148,12 +211,39 @@ impl ObjState {
                 };
                 if let Some(pt_vc) = self.active.get(&key) {
                     if !pt_vc.le(clock) {
+                        let provenance = match (&self.trace, &desc, want_detail) {
+                            (Some(trace), Some(desc), true) => Some(Box::new(Provenance {
+                                current: desc.clone(),
+                                prior: trace.last_touch.get(&key).cloned(),
+                                touched: point_label(spec, pt),
+                                conflicting: point_label(spec, &key),
+                                thread_clock: clock.to_string(),
+                                point_clock: pt_vc.to_string(),
+                                recent: trace.window.iter().cloned().collect(),
+                            })),
+                            _ => None,
+                        };
                         races.push(RaceHit {
                             touched: pt.class,
                             conflicting: other_class,
+                            provenance,
                         });
                     }
                 }
+            }
+        }
+
+        // Provenance bookkeeping, before phase 2 consumes the points.
+        if let Some(trace) = &mut self.trace {
+            let desc = desc.as_deref().unwrap_or_default();
+            for pt in &touched {
+                trace.last_touch.insert(pt.clone(), desc.to_string());
+            }
+            if trace.cap > 0 {
+                if trace.window.len() == trace.cap {
+                    trace.window.pop_front();
+                }
+                trace.window.push_back(desc.to_string());
             }
         }
 
@@ -444,6 +534,75 @@ mod tests {
         // The reference mode never uses the compressed path.
         assert_eq!(full.clock_stats().epoch_updates, 0);
         assert_eq!(full.clock_stats().promotions, 0);
+    }
+
+    #[test]
+    fn provenance_carries_points_clocks_and_window() {
+        let (spec, c) = setup();
+        let mut st = ObjState::with_provenance(ClockMode::Adaptive, 4);
+        let w1 = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let w2 = put(&spec, 1, Value::Int(2), Value::Int(1));
+        assert!(st.on_action(&c, &w1, T0, &vc(&[1, 0])).is_empty());
+        let races = st.on_action(&c, &w2, T1, &vc(&[0, 1]));
+        assert_eq!(races.len(), 1);
+        let p = races[0].provenance.as_ref().expect("provenance collected");
+        assert!(p.current.contains("τ1"), "{}", p.current);
+        assert_eq!(p.prior.as_deref(), Some(format!("τ0: {w1}").as_str()));
+        assert_eq!(p.touched, "put.w0:1");
+        assert_eq!(p.conflicting, "put.w0:1");
+        assert_eq!(p.thread_clock, "⟨0, 1⟩");
+        // The conflicting w:1 point was only touched by τ0 → still an epoch.
+        assert_eq!(p.point_clock, "1@τ0");
+        assert_eq!(p.recent, vec![format!("τ0: {w1}")]);
+    }
+
+    #[test]
+    fn provenance_window_is_bounded_and_oldest_first() {
+        let (spec, c) = setup();
+        let mut st = ObjState::with_provenance(ClockMode::Adaptive, 2);
+        for i in 1..=4i64 {
+            st.on_action(
+                &c,
+                &put(&spec, i, Value::Int(i), Value::Nil),
+                T0,
+                &vc(&[i as u64]),
+            );
+        }
+        let racy = put(&spec, 4, Value::Int(9), Value::Int(4));
+        let races = st.on_action(&c, &racy, T1, &vc(&[0, 1]));
+        let p = races[0].provenance.as_ref().unwrap();
+        assert_eq!(p.recent.len(), 2);
+        assert!(p.recent[0].contains("(3, 3)"), "{:?}", p.recent);
+        assert!(p.recent[1].contains("(4, 4)"), "{:?}", p.recent);
+    }
+
+    #[test]
+    fn want_detail_false_skips_rendering_but_keeps_bookkeeping() {
+        let (spec, c) = setup();
+        let mut st = ObjState::with_provenance(ClockMode::Adaptive, 4);
+        let w1 = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let w2 = put(&spec, 1, Value::Int(2), Value::Int(1));
+        st.on_action_detailed(&c, &w1, T0, &vc(&[1, 0]), false);
+        let races = st.on_action_detailed(&c, &w2, T1, &vc(&[0, 1]), false);
+        assert_eq!(races.len(), 1);
+        assert!(races[0].provenance.is_none());
+        // The window kept advancing: a later detailed race still sees w1/w2.
+        let w3 = put(&spec, 1, Value::Int(3), Value::Int(2));
+        let races = st.on_action_detailed(&c, &w3, T2, &vc(&[0, 0, 1]), true);
+        let p = races[0].provenance.as_ref().unwrap();
+        assert_eq!(p.recent.len(), 2);
+    }
+
+    #[test]
+    fn default_state_collects_no_provenance() {
+        let (spec, c) = setup();
+        let mut st = ObjState::new();
+        let w1 = put(&spec, 1, Value::Int(1), Value::Int(9));
+        let w2 = put(&spec, 1, Value::Int(2), Value::Int(1));
+        st.on_action(&c, &w1, T0, &vc(&[1, 0]));
+        let races = st.on_action(&c, &w2, T1, &vc(&[0, 1]));
+        assert_eq!(races.len(), 1);
+        assert!(races[0].provenance.is_none());
     }
 
     #[test]

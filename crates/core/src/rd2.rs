@@ -62,6 +62,9 @@ pub struct Rd2 {
     /// registering the Nth dictionary does not re-run the translation.
     compiled: Mutex<HashMap<String, Arc<CompiledSpec>>>,
     mode: ClockMode,
+    /// When set, objects collect race provenance with an event window of
+    /// this many actions (see [`ObjState::with_provenance`]).
+    provenance_window: Option<usize>,
 }
 
 struct ObjEntry {
@@ -86,6 +89,21 @@ impl Rd2 {
             report: Mutex::new(RaceReport::new()),
             compiled: Mutex::new(HashMap::new()),
             mode,
+            provenance_window: None,
+        }
+    }
+
+    /// Creates a detector that collects race provenance — each sampled
+    /// race carries the colliding access points, both clocks at detection
+    /// time, the prior action on the conflicting point, and the last
+    /// `window` actions on the racing object (`crace replay --explain`).
+    ///
+    /// Provenance costs a descriptor render and window push per action on
+    /// registered objects; leave it off for overhead measurements.
+    pub fn with_provenance(window: usize) -> Rd2 {
+        Rd2 {
+            provenance_window: Some(window),
+            ..Rd2::new()
         }
     }
 
@@ -122,11 +140,15 @@ impl Rd2 {
     /// Registers `obj` to be checked against `spec`. Actions on
     /// unregistered objects are ignored (selective instrumentation).
     pub fn register(&self, obj: ObjId, spec: Arc<CompiledSpec>) {
+        let state = match self.provenance_window {
+            Some(window) => ObjState::with_provenance(self.mode, window),
+            None => ObjState::with_mode(self.mode),
+        };
         self.shard(obj).write().insert(
             obj,
             Arc::new(ObjEntry {
                 spec,
-                state: Mutex::new(ObjState::with_mode(self.mode)),
+                state: Mutex::new(state),
             }),
         );
     }
@@ -135,6 +157,18 @@ impl Rd2 {
     /// optimization of §5.3.
     pub fn forget(&self, obj: ObjId) {
         self.shard(obj).write().remove(&obj);
+    }
+
+    /// Total phase-1 conflict probes across all registered objects (one
+    /// per conflicting class per touched point — the §5.4 work measure).
+    pub fn num_probes(&self) -> u64 {
+        let mut total = 0;
+        for shard in &self.objects {
+            for entry in shard.read().values() {
+                total += entry.state.lock().num_probes();
+            }
+        }
+        total
     }
 
     /// Aggregated clock-representation statistics over all registered
@@ -185,10 +219,14 @@ impl Analysis for Rd2 {
         // A shared snapshot of the acting thread's clock: no global lock,
         // no vector copy.
         let clock = self.sync.clock(tid);
-        let races = entry
-            .state
-            .lock()
-            .on_action(&entry.spec, action, tid, &clock);
+        // Rendering provenance is pointless once the report's sample
+        // buffer is full; the check only costs a lock in provenance mode.
+        let want_detail = self.provenance_window.is_some() && self.report.lock().wants_detail();
+        let races =
+            entry
+                .state
+                .lock()
+                .on_action_detailed(&entry.spec, action, tid, &clock, want_detail);
         if !races.is_empty() {
             let mut report = self.report.lock();
             let kind = RaceKind::Commutativity { obj: action.obj() };
@@ -203,6 +241,7 @@ impl Analysis for Rd2 {
                         entry.spec.label(hit.touched),
                         entry.spec.label(hit.conflicting)
                     ),
+                    provenance: hit.provenance,
                 });
             }
         }

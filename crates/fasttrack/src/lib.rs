@@ -36,7 +36,9 @@
 mod djit;
 pub use djit::DjitVar;
 
-use crace_model::{Action, Analysis, LocId, LockId, RaceKind, RaceRecord, RaceReport, ThreadId};
+use crace_model::{
+    Action, Analysis, LocId, LockId, Provenance, RaceKind, RaceRecord, RaceReport, ThreadId,
+};
 use crace_vclock::{Epoch, SyncClocks, VectorClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
@@ -180,6 +182,14 @@ impl VarState {
     pub fn is_read_shared(&self) -> bool {
         matches!(self.read, ReadState::Shared(_))
     }
+
+    /// The read component as the clock string provenance reports.
+    fn read_desc(&self) -> String {
+        match &self.read {
+            ReadState::Epoch(e) => e.to_string(),
+            ReadState::Shared(vc) => vc.to_string(),
+        }
+    }
 }
 
 impl Default for VarState {
@@ -199,6 +209,10 @@ pub struct FastTrack {
     sync: RwLock<SyncClocks>,
     shards: Vec<Mutex<HashMap<LocId, VarState>>>,
     report: Mutex<RaceReport>,
+    /// Collect race provenance (prior shadow state and both clocks) for
+    /// sampled races. Off by default: it clones the shadow state of every
+    /// access, which the overhead benchmarks must not pay.
+    provenance: bool,
 }
 
 impl FastTrack {
@@ -208,6 +222,17 @@ impl FastTrack {
             sync: RwLock::new(SyncClocks::new()),
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             report: Mutex::new(RaceReport::new()),
+            provenance: false,
+        }
+    }
+
+    /// Creates a detector whose sampled races carry provenance: the
+    /// access pair, the racing thread's clock, and the conflicting shadow
+    /// component's clock at detection time.
+    pub fn with_provenance() -> FastTrack {
+        FastTrack {
+            provenance: true,
+            ..FastTrack::new()
         }
     }
 
@@ -226,22 +251,46 @@ impl FastTrack {
 
     fn access(&self, tid: ThreadId, loc: LocId, is_write: bool) {
         let clock = self.clock_of(tid);
-        let race = {
+        let (race, prior) = {
             let mut shard = self.shard(loc).lock();
             let var = shard.entry(loc).or_default();
-            if is_write {
+            // The update overwrites the conflicting component, so snapshot
+            // the state first — only in provenance mode.
+            let prior = self.provenance.then(|| var.clone());
+            let race = if is_write {
                 var.write(tid, &clock)
             } else {
                 var.read(tid, &clock)
-            }
+            };
+            (race, prior)
         };
         if let Some(kind) = race {
-            self.report.lock().record(RaceRecord {
-                kind: RaceKind::ReadWrite { loc },
-                tid,
-                action: None,
-                detail: kind.describe().to_string(),
-            });
+            self.report
+                .lock()
+                .record_with(RaceKind::ReadWrite { loc }, || RaceRecord {
+                    kind: RaceKind::ReadWrite { loc },
+                    tid,
+                    action: None,
+                    detail: kind.describe().to_string(),
+                    provenance: prior.map(|p| {
+                        let this = if is_write { "write" } else { "read" };
+                        let (conflicting, point_clock) = match kind {
+                            AccessRace::WriteWrite | AccessRace::WriteRead => {
+                                ("write".to_string(), p.write.to_string())
+                            }
+                            AccessRace::ReadWrite => ("read".to_string(), p.read_desc()),
+                        };
+                        Box::new(Provenance {
+                            current: format!("{tid}: {this} {loc}"),
+                            prior: None,
+                            touched: format!("{this}:{loc}"),
+                            conflicting: format!("{conflicting}:{loc}"),
+                            thread_clock: clock.to_string(),
+                            point_clock,
+                            recent: Vec::new(),
+                        })
+                    }),
+                });
         }
     }
 }

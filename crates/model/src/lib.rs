@@ -37,6 +37,7 @@ mod action;
 mod analysis;
 mod event;
 mod ids;
+mod observe;
 mod recorder;
 mod report;
 mod trace;
@@ -46,7 +47,8 @@ pub use action::{Action, MethodSig};
 pub use analysis::{Analysis, NoopAnalysis};
 pub use event::Event;
 pub use ids::{LocId, LockId, MethodId, ObjId, ThreadId};
+pub use observe::Observer;
 pub use recorder::Recorder;
-pub use report::{RaceKind, RaceRecord, RaceReport};
+pub use report::{Provenance, RaceKind, RaceRecord, RaceReport};
 pub use trace::{replay, Trace};
 pub use value::Value;

@@ -1,8 +1,10 @@
 //! Race reports — what an analysis hands back, in the shape of Table 2.
 
 use crate::{Action, LocId, ObjId, ThreadId};
-use std::collections::BTreeSet;
+use crace_obs::json::escape;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// The kind of conflict a race was detected on.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -28,6 +30,107 @@ impl RaceKind {
             RaceKind::ReadWrite { loc } => (1, loc.0),
         }
     }
+
+    /// The short label of a site key (`o3` for objects, `@0x10` for
+    /// locations) — the keys of the per-site breakdowns.
+    fn site_label(site: (u8, u64)) -> String {
+        match site {
+            (0, id) => ObjId(id).to_string(),
+            (_, id) => LocId(id).to_string(),
+        }
+    }
+
+    /// The race family as a lowercase word, for machine-readable output.
+    fn word(&self) -> &'static str {
+        match self {
+            RaceKind::Commutativity { .. } => "commutativity",
+            RaceKind::ReadWrite { .. } => "read-write",
+        }
+    }
+}
+
+/// Where a sampled race came from: the colliding access points, the
+/// descriptors of the two racing actions, both clocks at detection time,
+/// and the trailing window of events on the racing object.
+///
+/// Everything is pre-rendered to strings by the reporting detector, so the
+/// model layer needs no dependency on clock or access-point types and
+/// reports stay cheap to clone. Detectors only build provenance when it is
+/// enabled on their constructor *and* the report will retain the sample
+/// (see [`RaceReport::wants_detail`]); hot paths are untouched otherwise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// The reporting event, e.g. `τ1: o1.put("a.com", 2)/1`.
+    pub current: String,
+    /// The most recent earlier event that touched the conflicting access
+    /// point, when the detector tracks it.
+    pub prior: Option<String>,
+    /// The access point the current action touched, e.g. `w:"a.com"`.
+    pub touched: String,
+    /// The active access point it collided with.
+    pub conflicting: String,
+    /// The reporting thread's vector clock at detection time.
+    pub thread_clock: String,
+    /// The conflicting point's clock at detection time (an epoch `c@t` or
+    /// a full vector, whichever representation the detector held).
+    pub point_clock: String,
+    /// The last events observed on the racing object before detection,
+    /// oldest first (bounded by the detector's configured window).
+    pub recent: Vec<String>,
+}
+
+impl Provenance {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"current\": \"{}\", ", escape(&self.current));
+        match &self.prior {
+            Some(p) => {
+                let _ = write!(out, "\"prior\": \"{}\", ", escape(p));
+            }
+            None => out.push_str("\"prior\": null, "),
+        }
+        let _ = write!(out, "\"touched\": \"{}\", ", escape(&self.touched));
+        let _ = write!(out, "\"conflicting\": \"{}\", ", escape(&self.conflicting));
+        let _ = write!(
+            out,
+            "\"thread_clock\": \"{}\", ",
+            escape(&self.thread_clock)
+        );
+        let _ = write!(out, "\"point_clock\": \"{}\", ", escape(&self.point_clock));
+        out.push_str("\"recent\": [");
+        for (i, e) in self.recent.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape(e));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Provenance {
+    /// The multi-line rendering `crace replay --explain` prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "    current:     {}", self.current)?;
+        if let Some(prior) = &self.prior {
+            writeln!(f, "    prior:       {prior}")?;
+        }
+        writeln!(
+            f,
+            "    collision:   {} vs active {}",
+            self.touched, self.conflicting
+        )?;
+        writeln!(f, "    clocks:      thread {}", self.thread_clock)?;
+        writeln!(f, "                 point  {}", self.point_clock)?;
+        if !self.recent.is_empty() {
+            writeln!(f, "    last {} event(s) on the object:", self.recent.len())?;
+            for e in &self.recent {
+                writeln!(f, "      {e}")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for RaceKind {
@@ -50,6 +153,8 @@ pub struct RaceRecord {
     pub action: Option<Action>,
     /// Human-readable detail (e.g. the conflicting access points).
     pub detail: String,
+    /// Full provenance, when the detector was configured to collect it.
+    pub provenance: Option<Box<Provenance>>,
 }
 
 impl fmt::Display for RaceRecord {
@@ -81,6 +186,7 @@ impl fmt::Display for RaceRecord {
 ///         tid: ThreadId(2),
 ///         action: None,
 ///         detail: String::new(),
+///         provenance: None,
 ///     });
 /// }
 /// assert_eq!(report.total(), 3);
@@ -90,7 +196,9 @@ impl fmt::Display for RaceRecord {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RaceReport {
     total: u64,
-    sites: BTreeSet<(u8, u64)>,
+    /// Races per site — the keys give `distinct()`, the values the
+    /// per-object / per-location breakdown the metrics snapshots expose.
+    sites: BTreeMap<(u8, u64), u64>,
     samples: Vec<RaceRecord>,
     max_samples: usize,
 }
@@ -119,7 +227,7 @@ impl RaceReport {
     /// Records one detected race.
     pub fn record(&mut self, record: RaceRecord) {
         self.total += 1;
-        self.sites.insert(record.kind.site());
+        *self.sites.entry(record.kind.site()).or_insert(0) += 1;
         if self.samples.len() < self.max_samples {
             self.samples.push(record);
         }
@@ -139,7 +247,7 @@ impl RaceReport {
     /// will be retained as a sample; otherwise only the counters move.
     pub fn record_with(&mut self, kind: RaceKind, make_record: impl FnOnce() -> RaceRecord) {
         self.total += 1;
-        self.sites.insert(kind.site());
+        *self.sites.entry(kind.site()).or_insert(0) += 1;
         if self.samples.len() < self.max_samples {
             self.samples.push(make_record());
         }
@@ -168,17 +276,86 @@ impl RaceReport {
         &self.samples
     }
 
+    /// Races per distinct site, as `(label, count)` pairs in label-sorted
+    /// order — `o3` for objects, `@0x10` for memory locations. This is the
+    /// races-per-object breakdown the observability layer exports.
+    pub fn per_site(&self) -> Vec<(String, u64)> {
+        self.sites
+            .iter()
+            .map(|(&site, &count)| (RaceKind::site_label(site), count))
+            .collect()
+    }
+
     /// Merges another report into this one (used when per-thread or
     /// per-shard reports are aggregated).
     pub fn merge(&mut self, other: &RaceReport) {
         self.total += other.total;
-        self.sites.extend(other.sites.iter().copied());
+        for (&site, &count) in &other.sites {
+            *self.sites.entry(site).or_insert(0) += count;
+        }
         for s in &other.samples {
             if self.samples.len() >= self.max_samples {
                 break;
             }
             self.samples.push(s.clone());
         }
+    }
+
+    /// The report as a JSON document (hand-written; the workspace builds
+    /// with no registry access, so no serde):
+    ///
+    /// ```json
+    /// {
+    ///   "total": 2, "distinct": 1,
+    ///   "sites": {"o1": 2},
+    ///   "samples": [{"kind": "commutativity", "site": "o1", "tid": 1,
+    ///                "action": "…", "detail": "…", "provenance": null}]
+    /// }
+    /// ```
+    ///
+    /// The output is a single self-contained object, safe to pipe into any
+    /// JSON consumer — `crace replay --json` prints exactly this.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"total\": {},", self.total);
+        let _ = writeln!(out, "  \"distinct\": {},", self.sites.len());
+        out.push_str("  \"sites\": {");
+        for (i, (&site, &count)) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {count}", escape(&RaceKind::site_label(site)));
+        }
+        out.push_str("},\n  \"samples\": [");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                out,
+                "{{\"kind\": \"{}\", \"site\": \"{}\", \"tid\": {}, ",
+                s.kind.word(),
+                escape(&RaceKind::site_label(s.kind.site())),
+                s.tid.0
+            );
+            match &s.action {
+                Some(a) => {
+                    let _ = write!(out, "\"action\": \"{}\", ", escape(&a.to_string()));
+                }
+                None => out.push_str("\"action\": null, "),
+            }
+            let _ = write!(out, "\"detail\": \"{}\", ", escape(&s.detail));
+            match &s.provenance {
+                Some(p) => {
+                    let _ = write!(out, "\"provenance\": {}", p.to_json());
+                }
+                None => out.push_str("\"provenance\": null"),
+            }
+            out.push('}');
+        }
+        if !self.samples.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 }
 
@@ -199,6 +376,7 @@ mod tests {
             tid: ThreadId(1),
             action: None,
             detail: String::new(),
+            provenance: None,
         }
     }
 
@@ -208,6 +386,7 @@ mod tests {
             tid: ThreadId(1),
             action: None,
             detail: String::new(),
+            provenance: None,
         }
     }
 
@@ -263,5 +442,64 @@ mod tests {
     fn record_display_mentions_site() {
         let rec = commut(3);
         assert!(rec.to_string().contains("o3"));
+    }
+
+    #[test]
+    fn per_site_breaks_down_counts() {
+        let mut r = RaceReport::new();
+        r.record(commut(1));
+        r.record(commut(1));
+        r.record(commut(2));
+        assert_eq!(
+            r.per_site(),
+            vec![("o1".to_string(), 2), ("o2".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn json_is_valid_and_carries_provenance() {
+        let mut r = RaceReport::new();
+        let mut rec = commut(1);
+        rec.detail = "w:\"a\" vs r:\"a\"".to_string();
+        rec.provenance = Some(Box::new(Provenance {
+            current: "τ1: o1.put(\"a\", 2)/1".into(),
+            prior: Some("τ2: o1.get(\"a\")/0".into()),
+            touched: "w:\"a\"".into(),
+            conflicting: "r:\"a\"".into(),
+            thread_clock: "[3, 1]".into(),
+            point_clock: "2@τ2".into(),
+            recent: vec!["τ2: o1.get(\"a\")/0".into()],
+        }));
+        r.record(rec);
+        r.record(rw(16));
+        let json = r.to_json();
+        crace_obs::json::validate(&json).expect("valid json");
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"o1\": 1"));
+        assert!(json.contains("\"point_clock\": \"2@τ2\""));
+        assert!(json.contains("\"provenance\": null"));
+    }
+
+    #[test]
+    fn empty_report_json_is_valid() {
+        let json = RaceReport::new().to_json();
+        crace_obs::json::validate(&json).expect("valid json");
+        assert!(json.contains("\"samples\": []"));
+    }
+
+    #[test]
+    fn provenance_display_lists_collision_and_window() {
+        let p = Provenance {
+            current: "cur".into(),
+            prior: None,
+            touched: "w:k".into(),
+            conflicting: "r:k".into(),
+            thread_clock: "[1]".into(),
+            point_clock: "1@τ1".into(),
+            recent: vec!["e1".into(), "e2".into()],
+        };
+        let text = p.to_string();
+        assert!(text.contains("collision:   w:k vs active r:k"));
+        assert!(text.contains("last 2 event(s)"));
     }
 }

@@ -1,0 +1,240 @@
+//! Fixed-bucket log-scale latency histograms.
+
+use crate::metric::stripe_index;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets. Bucket `b` (for `b ≥ 1`) holds values in
+/// `[2^(b-1), 2^b)`; bucket 0 holds zero; the last bucket additionally
+/// absorbs everything above `2^(NUM_BUCKETS-2)` (≈ 4.6 × 10¹⁸, far beyond
+/// any nanosecond timing).
+pub const NUM_BUCKETS: usize = 64;
+
+/// How many stripes each bucket is split over. Latency recording happens
+/// on the observed hot path, so buckets get the same contention treatment
+/// as [`crate::Counter`] cells (but fewer stripes — 64 buckets × stripes
+/// must stay cache-friendly).
+const HIST_STRIPES: usize = 4;
+
+/// A lock-free histogram over `u64` samples (by convention nanoseconds),
+/// with power-of-two buckets.
+///
+/// Recording is one relaxed `fetch_add` into the sample's bucket plus two
+/// more for the count/sum — no locks, no allocation. Quantiles are
+/// estimated at snapshot time from the bucket cumulative distribution,
+/// reported as the geometric midpoint of the containing bucket (log-scale
+/// resolution: a factor of √2 ≈ ±41%, plenty for "is RD2 2× or 10× slower
+/// per event" questions).
+///
+/// # Examples
+///
+/// ```
+/// use crace_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for ns in [100, 110, 120, 5_000] {
+///     h.record(ns);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 4);
+/// assert!(s.p50 >= 64 && s.p50 < 256, "{}", s.p50);
+/// assert!(s.p99 >= 4_096, "{}", s.p99);
+/// ```
+pub struct Histogram {
+    buckets: Vec<AtomicU64>, // NUM_BUCKETS × HIST_STRIPES, stripe-major
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// The point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NUM_BUCKETS * HIST_STRIPES)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of `value`: 0 for 0, else `⌊log₂ value⌋ + 1`,
+    /// clamped to the last bucket.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        ((64 - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let stripe = stripe_index() % HIST_STRIPES;
+        let idx = stripe * NUM_BUCKETS + Self::bucket_of(value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The merged (stripe-summed) bucket counts.
+    pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        let mut merged = [0u64; NUM_BUCKETS];
+        for stripe in 0..HIST_STRIPES {
+            for (b, m) in merged.iter_mut().enumerate() {
+                *m += self.buckets[stripe * NUM_BUCKETS + b].load(Ordering::Relaxed);
+            }
+        }
+        merged
+    }
+
+    /// A representative value for bucket `b`: the geometric midpoint of
+    /// `[2^(b-1), 2^b)`.
+    fn bucket_value(b: usize) -> u64 {
+        if b == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (b - 1);
+        // ⌊lo·√2⌋ without floating point drama: lo + lo/2 underestimates
+        // √2 by 6%, good enough inside a ±41% bucket.
+        lo + lo / 2
+    }
+
+    /// Point-in-time count/sum/quantile summary.
+    ///
+    /// Quantiles use the "nearest rank" rule over the bucket CDF. A
+    /// concurrent recorder can skew count vs buckets by a few in-flight
+    /// samples; the estimate remains within a bucket of truth.
+    pub fn summary(&self) -> HistogramSummary {
+        let merged = self.bucket_counts();
+        let total: u64 = merged.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (b, &c) in merged.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_value(b);
+                }
+            }
+            Self::bucket_value(NUM_BUCKETS - 1)
+        };
+        HistogramSummary {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_a_skewed_distribution() {
+        let h = Histogram::new();
+        // 95 fast samples (~100ns) and 5 slow (~1ms).
+        for _ in 0..95 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(1_000_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        // p50/p95 in the 100ns bucket [64,128); p99 at the outliers.
+        assert!((64..128).contains(&s.p50), "{}", s.p50);
+        assert!((64..128).contains(&s.p95), "{}", s.p95);
+        assert!(s.p99 > 500_000, "{}", s.p99);
+        assert!((s.mean() - 50_095.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i * 17 % 4096);
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000 {
+                    h.record(t * 1000 + i % 7);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 20_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 20_000);
+    }
+}

@@ -1,0 +1,53 @@
+//! Observability primitives for the `crace` toolkit.
+//!
+//! The paper's evaluation (§7, Table 2) is entirely about *measured*
+//! behaviour — per-event overhead, total vs distinct races — so the
+//! detectors need first-class metrics rather than ad-hoc printouts. This
+//! crate provides the metric vocabulary every other crate records into:
+//!
+//! * [`Counter`] — a monotonic event count (striped atomics, lock-free),
+//! * [`Gauge`] — a last-write-wins instantaneous value,
+//! * [`Histogram`] — a fixed-bucket log₂-scale latency histogram with
+//!   p50/p95/p99 summaries, sized for nanosecond timings,
+//! * [`Registry`] — a named collection of the above; registration takes a
+//!   lock once, recording through the returned [`std::sync::Arc`] handles
+//!   never does,
+//! * [`Snapshot`] — a point-in-time copy of a registry that renders to
+//!   JSON ([`Snapshot::to_json`]) and to the Prometheus text exposition
+//!   format ([`Snapshot::to_prometheus`]) via hand-written writers (the
+//!   workspace builds offline; no serde),
+//! * [`json`] — a dependency-free JSON syntax checker used by the CLI
+//!   tests and available to anything that consumes the JSON snapshots.
+//!
+//! Consistent with the vendored-shims build, this crate depends on
+//! nothing — not even the other `crace` crates — so any layer (model,
+//! detectors, runtime, benches, CLI) can use it without cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use crace_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let events = registry.counter("events.action");
+//! let latency = registry.histogram("event.ns");
+//! events.inc();
+//! latency.record(1_250);
+//! let snapshot = registry.snapshot();
+//! assert!(snapshot.to_json().contains("\"events.action\": 1"));
+//! assert!(snapshot.to_prometheus().contains("# TYPE crace_event_ns summary"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+pub mod json;
+mod metric;
+mod registry;
+mod snapshot;
+
+pub use histogram::{Histogram, HistogramSummary, NUM_BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use snapshot::{MetricValue, Snapshot};

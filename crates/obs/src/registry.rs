@@ -1,0 +1,141 @@
+//! The named-metric registry.
+
+use crate::snapshot::{MetricValue, Snapshot};
+use crate::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes the registry
+/// lock and is meant to happen once per metric at setup; the returned
+/// [`Arc`] handles record lock-free thereafter. Getting an already
+/// registered name returns the same underlying metric, so independent
+/// components can share `events.total` without coordination.
+///
+/// Names are free-form dotted strings (`rd2.event.action.ns`); the
+/// Prometheus writer mangles them into valid identifiers, the JSON writer
+/// keeps them verbatim.
+///
+/// # Panics
+///
+/// Re-registering a name as a *different* metric kind panics — that is a
+/// programming error, not runtime input.
+///
+/// # Examples
+///
+/// ```
+/// use crace_obs::Registry;
+///
+/// let r = Registry::new();
+/// let a = r.counter("events");
+/// let b = r.counter("events");
+/// a.inc();
+/// assert_eq!(b.get(), 1); // same counter
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    /// Convenience: set gauge `name` to `value` in one call (snapshot-time
+    /// feeding of derived values like hit rates).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauge(name).set(value);
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap();
+        let mut values = Vec::with_capacity(metrics.len());
+        for (name, metric) in metrics.iter() {
+            let value = match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+            };
+            values.push((name.clone(), value));
+        }
+        Snapshot::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.rate").set(0.5);
+        r.histogram("c.ns").record(7);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.rate", "b.count", "c.ns"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let r = Registry::new();
+        r.histogram("h").record(1);
+        r.histogram("h").record(2);
+        assert_eq!(r.histogram("h").count(), 2);
+    }
+}

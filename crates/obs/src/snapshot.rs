@@ -1,0 +1,258 @@
+//! Point-in-time metric snapshots and their textual renderings.
+
+use crate::HistogramSummary;
+use std::fmt::Write as _;
+
+/// The value of one metric at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic count.
+    Counter(u64),
+    /// An instantaneous value.
+    Gauge(f64),
+    /// A latency histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// A point-in-time copy of a [`crate::Registry`], ordered by metric name.
+///
+/// Renders to JSON and to the Prometheus text exposition format via
+/// hand-written writers (this workspace builds with no registry access, so
+/// no serde). Both renderings are deterministic: same snapshot, same
+/// bytes.
+///
+/// # Examples
+///
+/// ```
+/// use crace_obs::Registry;
+///
+/// let r = Registry::new();
+/// r.counter("races.total").add(3);
+/// let json = r.snapshot().to_json();
+/// assert_eq!(json, "{\n  \"races.total\": 3\n}\n");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    values: Vec<(String, MetricValue)>,
+}
+
+use crate::json::escape as json_escape;
+
+/// Formats an `f64` as a JSON-legal number (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Mangles a dotted metric name into a Prometheus identifier:
+/// `rd2.event.ns` → `crace_rd2_event_ns`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("crace_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    pub(crate) fn new(values: Vec<(String, MetricValue)>) -> Snapshot {
+        Snapshot { values }
+    }
+
+    /// The captured `(name, value)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, MetricValue)> {
+        self.values.iter()
+    }
+
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.values[i].1)
+    }
+
+    /// Number of captured metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff no metric was captured.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The snapshot as a JSON object: counters as integers, gauges as
+    /// numbers, histograms as `{count, sum, mean, p50, p95, p99}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            let _ = write!(out, "  \"{}\": ", json_escape(name));
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => out.push_str(&json_f64(*g)),
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                        h.count,
+                        h.sum,
+                        json_f64(h.mean()),
+                        h.p50,
+                        h.p95,
+                        h.p99
+                    );
+                }
+            }
+            out.push_str(if i + 1 < self.values.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The snapshot in the Prometheus text exposition format (version
+    /// 0.0.4): counters as `counter`, gauges as `gauge`, histograms as
+    /// `summary` with p50/p95/p99 quantile series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            let id = prom_name(name);
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {id} counter");
+                    let _ = writeln!(out, "{id} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {id} gauge");
+                    let _ = writeln!(out, "{id} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {id} summary");
+                    let _ = writeln!(out, "{id}{{quantile=\"0.5\"}} {}", h.p50);
+                    let _ = writeln!(out, "{id}{{quantile=\"0.95\"}} {}", h.p95);
+                    let _ = writeln!(out, "{id}{{quantile=\"0.99\"}} {}", h.p99);
+                    let _ = writeln!(out, "{id}_sum {}", h.sum);
+                    let _ = writeln!(out, "{id}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// A human-oriented aligned rendering, for `crace stats` and interval
+    /// reports.
+    pub fn to_pretty(&self) -> String {
+        let width = self
+            .values
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{name:<width$}  {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{name:<width$}  {g:.4}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:<width$}  n={} mean={:.0} p50={} p95={} p99={}",
+                        h.count,
+                        h.mean(),
+                        h.p50,
+                        h.p95,
+                        h.p99
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot::new(vec![
+            ("a.count".into(), MetricValue::Counter(7)),
+            ("b.rate".into(), MetricValue::Gauge(0.25)),
+            (
+                "c.ns".into(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 10,
+                    sum: 1000,
+                    p50: 96,
+                    p95: 96,
+                    p99: 192,
+                }),
+            ),
+        ])
+    }
+
+    #[test]
+    fn json_is_well_formed_and_deterministic() {
+        let json = sample().to_json();
+        assert_eq!(json, sample().to_json());
+        crate::json::validate(&json).expect("valid json");
+        assert!(json.contains("\"a.count\": 7"));
+        assert!(json.contains("\"p99\": 192"));
+    }
+
+    #[test]
+    fn prometheus_has_type_lines_and_quantiles() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# TYPE crace_a_count counter"));
+        assert!(prom.contains("crace_a_count 7"));
+        assert!(prom.contains("# TYPE crace_c_ns summary"));
+        assert!(prom.contains("crace_c_ns{quantile=\"0.95\"} 96"));
+        assert!(prom.contains("crace_c_ns_count 10"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            value.parse::<f64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn get_finds_by_name() {
+        let s = sample();
+        assert_eq!(s.get("a.count"), Some(&MetricValue::Counter(7)));
+        assert_eq!(s.get("zzz"), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn pretty_renders_all_kinds() {
+        let text = sample().to_pretty();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("p95=96"));
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 use crace_model::{Action, Event, LockId, MethodId, ObjId, ThreadId, Trace, Value};
+use crace_obs::{Registry, Snapshot};
 use crace_spec::builtin;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -129,16 +130,107 @@ pub fn simulate(program: &SimProgram, seed: u64) -> Trace {
 ///
 /// Same conditions as [`simulate`].
 pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashMap<Value, Value>>) {
+    simulate_inner(program, seed, &mut |_, _| {})
+}
+
+/// Like [`simulate`], additionally metering the run through a
+/// [`crace_obs::Registry`] and handing the caller a [`Snapshot`] every
+/// `every` scheduler steps — the periodic reporter the long-running
+/// workload drivers use to stream progress without stopping the world.
+///
+/// The registry carries `sim.steps` (scheduler decisions taken),
+/// `sim.events.{fork,join,acquire,release,action}` counters and a
+/// `sim.runnable` gauge (threads runnable at the latest step). The
+/// reporter also fires once after the final join events so the last
+/// snapshot always reflects the whole trace. `every = 0` disables the
+/// periodic calls (only the final snapshot is delivered).
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+///
+/// # Examples
+///
+/// ```
+/// use crace_model::Value;
+/// use crace_runtime::sim::{simulate_with_reporter, SimOp, SimProgram};
+///
+/// let program = SimProgram {
+///     num_dicts: 1,
+///     num_locks: 0,
+///     threads: vec![vec![SimOp::DictPut { dict: 0, key: Value::Int(1), value: Value::Int(10) }]],
+/// };
+/// let mut reports = 0;
+/// let trace = simulate_with_reporter(&program, 42, 1, |_snap| reports += 1);
+/// assert_eq!(trace.len(), 3); // fork, put, join
+/// assert!(reports >= 1);
+/// ```
+pub fn simulate_with_reporter<F>(
+    program: &SimProgram,
+    seed: u64,
+    every: u64,
+    mut reporter: F,
+) -> Trace
+where
+    F: FnMut(&Snapshot),
+{
+    let registry = Registry::new();
+    let steps = registry.counter("sim.steps");
+    let counters = [
+        registry.counter("sim.events.fork"),
+        registry.counter("sim.events.join"),
+        registry.counter("sim.events.acquire"),
+        registry.counter("sim.events.release"),
+        registry.counter("sim.events.action"),
+    ];
+    let runnable_gauge = registry.gauge("sim.runnable");
+    let (trace, _) = simulate_inner(program, seed, &mut |event, runnable| {
+        let idx = match event {
+            Event::Fork { .. } => 0,
+            Event::Join { .. } => 1,
+            Event::Acquire { .. } => 2,
+            Event::Release { .. } => 3,
+            Event::Action { .. } | Event::Read { .. } | Event::Write { .. } => 4,
+        };
+        counters[idx].inc();
+        runnable_gauge.set(runnable as f64);
+        steps.inc();
+        if every != 0 && steps.get().is_multiple_of(every) {
+            reporter(&registry.snapshot());
+        }
+    });
+    reporter(&registry.snapshot());
+    trace
+}
+
+/// The scheduling loop shared by all `simulate*` entry points. `observe`
+/// is called once per recorded event with the event and the number of
+/// threads that were runnable when it was chosen (0 for the implicit
+/// fork/join prologue and epilogue of the main thread).
+fn simulate_inner(
+    program: &SimProgram,
+    seed: u64,
+    observe: &mut dyn FnMut(&Event, usize),
+) -> (Trace, Vec<HashMap<Value, Value>>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::new();
     let main = ThreadId(0);
     let n = program.threads.len();
 
+    let mut emit = |trace: &mut Trace, event: Event, runnable: usize| {
+        observe(&event, runnable);
+        trace.push(event);
+    };
+
     for t in 0..n {
-        trace.push(Event::Fork {
-            parent: main,
-            child: ThreadId(t as u32 + 1),
-        });
+        emit(
+            &mut trace,
+            Event::Fork {
+                parent: main,
+                child: ThreadId(t as u32 + 1),
+            },
+            0,
+        );
     }
 
     let mut dicts: Vec<HashMap<Value, Value>> = vec![HashMap::new(); program.num_dicts];
@@ -165,7 +257,8 @@ pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashM
             }
             break;
         }
-        let t = runnable[rng.gen_range(0..runnable.len())];
+        let width = runnable.len();
+        let t = runnable[rng.gen_range(0..width)];
         let tid = ThreadId(t as u32 + 1);
         let op = &program.threads[t][pc[t]];
         pc[t] += 1;
@@ -177,29 +270,46 @@ pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashM
                 } else {
                     map.insert(key.clone(), value.clone()).unwrap_or(Value::Nil)
                 };
-                trace.push(Event::Action {
-                    tid,
-                    action: Action::new(
-                        sim_dict_obj(*dict),
-                        dict_ids().put,
-                        vec![key.clone(), value.clone()],
-                        prev,
-                    ),
-                });
+                emit(
+                    &mut trace,
+                    Event::Action {
+                        tid,
+                        action: Action::new(
+                            sim_dict_obj(*dict),
+                            dict_ids().put,
+                            vec![key.clone(), value.clone()],
+                            prev,
+                        ),
+                    },
+                    width,
+                );
             }
             SimOp::DictGet { dict, key } => {
                 let v = dicts[*dict].get(key).cloned().unwrap_or(Value::Nil);
-                trace.push(Event::Action {
-                    tid,
-                    action: Action::new(sim_dict_obj(*dict), dict_ids().get, vec![key.clone()], v),
-                });
+                emit(
+                    &mut trace,
+                    Event::Action {
+                        tid,
+                        action: Action::new(
+                            sim_dict_obj(*dict),
+                            dict_ids().get,
+                            vec![key.clone()],
+                            v,
+                        ),
+                    },
+                    width,
+                );
             }
             SimOp::DictSize { dict } => {
                 let v = Value::Int(dicts[*dict].len() as i64);
-                trace.push(Event::Action {
-                    tid,
-                    action: Action::new(sim_dict_obj(*dict), dict_ids().size, vec![], v),
-                });
+                emit(
+                    &mut trace,
+                    Event::Action {
+                        tid,
+                        action: Action::new(sim_dict_obj(*dict), dict_ids().size, vec![], v),
+                    },
+                    width,
+                );
             }
             SimOp::Lock(l) => {
                 assert!(
@@ -207,10 +317,14 @@ pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashM
                     "scheduler picked a blocked thread"
                 );
                 lock_owner[*l] = Some(t);
-                trace.push(Event::Acquire {
-                    tid,
-                    lock: LockId(*l as u64),
-                });
+                emit(
+                    &mut trace,
+                    Event::Acquire {
+                        tid,
+                        lock: LockId(*l as u64),
+                    },
+                    width,
+                );
             }
             SimOp::Unlock(l) => {
                 assert_eq!(
@@ -219,19 +333,27 @@ pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashM
                     "thread {tid} unlocks lock {l} it does not hold"
                 );
                 lock_owner[*l] = None;
-                trace.push(Event::Release {
-                    tid,
-                    lock: LockId(*l as u64),
-                });
+                emit(
+                    &mut trace,
+                    Event::Release {
+                        tid,
+                        lock: LockId(*l as u64),
+                    },
+                    width,
+                );
             }
         }
     }
 
     for t in 0..n {
-        trace.push(Event::Join {
-            parent: main,
-            child: ThreadId(t as u32 + 1),
-        });
+        emit(
+            &mut trace,
+            Event::Join {
+                parent: main,
+                child: ThreadId(t as u32 + 1),
+            },
+            0,
+        );
     }
     (trace, dicts)
 }
@@ -380,6 +502,67 @@ mod tests {
             let trace = simulate(&program, seed);
             // Same key but different objects: never a race.
             assert_eq!(detect(&trace, 2), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reporter_counts_every_event_kind() {
+        use crace_obs::MetricValue;
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 1,
+            threads: vec![
+                vec![SimOp::Lock(0), put(0, 1, 10), SimOp::Unlock(0)],
+                vec![get(0, 2)],
+            ],
+        };
+        let mut last = None;
+        let mut calls = 0u64;
+        let trace = simulate_with_reporter(&program, 3, 2, |s| {
+            calls += 1;
+            last = Some(s.clone());
+        });
+        let snap = last.expect("final snapshot");
+        let count = |name: &str| match snap.get(name) {
+            Some(MetricValue::Counter(n)) => *n,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(count("sim.events.fork"), 2);
+        assert_eq!(count("sim.events.join"), 2);
+        assert_eq!(count("sim.events.acquire"), 1);
+        assert_eq!(count("sim.events.release"), 1);
+        assert_eq!(count("sim.events.action"), 2);
+        assert_eq!(count("sim.steps"), trace.len() as u64);
+        // Periodic calls every 2 steps (8 events → 4) plus the final one.
+        assert_eq!(calls, trace.len() as u64 / 2 + 1);
+    }
+
+    #[test]
+    fn reporter_zero_interval_delivers_only_the_final_snapshot() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![vec![put(0, 1, 10), get(0, 1)]],
+        };
+        let mut calls = 0u64;
+        simulate_with_reporter(&program, 7, 0, |_| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn reporter_does_not_perturb_the_schedule() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![
+                vec![put(0, 1, 10), get(0, 1), put(0, 2, 20)],
+                vec![put(0, 3, 30), get(0, 3)],
+            ],
+        };
+        for seed in 0..10 {
+            let plain = simulate(&program, seed);
+            let observed = simulate_with_reporter(&program, seed, 3, |_| {});
+            assert_eq!(plain, observed, "seed {seed}");
         }
     }
 

@@ -24,6 +24,10 @@
 //!   connections program) and the Table 2 harness,
 //! * [`model`] — the shared vocabulary (values, actions, events, traces,
 //!   the [`Analysis`] interface),
+//! * [`obs`] — the observability layer: lock-free counters, gauges and
+//!   latency histograms behind a [`Registry`], rendered as JSON or
+//!   Prometheus text from a [`Snapshot`], fed by the [`Observer`] tee and
+//!   surfaced as race provenance in `crace replay --explain`,
 //! * [`atomicity`] — Velodrome-style atomicity checking generalized to
 //!   access-point conflicts (the §8 extension),
 //! * [`boost`] — abstract locking from access points (commutativity-based
@@ -83,6 +87,7 @@ pub use crace_cli as cli;
 pub use crace_core as core;
 pub use crace_fasttrack as fasttrack;
 pub use crace_model as model;
+pub use crace_obs as obs;
 pub use crace_runtime as runtime;
 pub use crace_spec as spec;
 pub use crace_vclock as vclock;
@@ -93,9 +98,10 @@ pub use crace_boost::LockManager;
 pub use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector, TranslateError};
 pub use crace_fasttrack::FastTrack;
 pub use crace_model::{
-    Action, Analysis, Event, LocId, LockId, MethodId, NoopAnalysis, ObjId, RaceReport, Recorder,
-    ThreadId, Trace, Value,
+    Action, Analysis, Event, LocId, LockId, MethodId, NoopAnalysis, ObjId, Observer, RaceReport,
+    Recorder, ThreadId, Trace, Value,
 };
+pub use crace_obs::{Registry, Snapshot};
 pub use crace_runtime::{
     MonitoredCounter, MonitoredDict, MonitoredQueue, MonitoredRegister, MonitoredSet, Runtime,
     ThreadCtx, TrackedCell, TrackedMutex,
