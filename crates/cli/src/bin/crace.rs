@@ -6,6 +6,8 @@
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
 //!               [--json] [--metrics[=json|prom]] [--explain]
 //! crace stats   <trace-file> --spec <file> [--detector …] [--format pretty|json|prom]
+//! crace explore <program-file> [--no-dpor] [--max-schedules N] [--preemption-bound N]
+//!               [--shrink] [--out <stem>] [--metrics[=json|prom]]
 //! crace table2  [scale]                     # regenerate Table 2
 //! crace builtins                            # list builtin specifications
 //! ```
@@ -13,9 +15,10 @@
 //! Spec files may also name a builtin (`dictionary`, `dictionary_ext`,
 //! `set`, `counter`, `register`, `queue`) instead of a path.
 //!
-//! Exit codes: 0 success, 1 error, 2 usage, 3 replay found races.
+//! Exit codes: 0 success, 1 error, 2 usage, 3 races found (replay or
+//! explore), 4 explore found a detector invariant violation.
 
-use crace_cli::parse_trace;
+use crace_cli::{parse_program, parse_trace, render_program, render_trace};
 use crace_core::{translate, Direct, TraceDetector};
 use crace_fasttrack::FastTrack;
 use crace_model::{replay, Analysis, Event, ObjId, Observer, RaceReport, Trace};
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("table2") => cmd_table2(&args[1..]),
         Some("builtins") => cmd_builtins(),
         _ => {
@@ -58,10 +62,13 @@ usage:
                 [--metrics[=json|prom]] [--explain]
   crace stats   <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--format pretty|json|prom]
+  crace explore <program-file> [--no-dpor] [--max-schedules N]
+                [--preemption-bound N] [--shrink] [--out <stem>]
+                [--metrics[=json|prom]]
   crace table2  [scale]
   crace builtins
 
-exit codes: 0 ok, 1 error, 2 usage, 3 replay found races
+exit codes: 0 ok, 1 error, 2 usage, 3 races found, 4 invariant violation
 ";
 
 /// Window of trailing events kept per object for `--explain`.
@@ -372,6 +379,124 @@ fn objects_of(trace: &Trace) -> BTreeSet<ObjId> {
             _ => None,
         })
         .collect()
+}
+
+fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
+    use crace_runtime::explore::{explore, shrink, ExploreConfig};
+
+    let program_path = args.first().ok_or("expected a program file")?.clone();
+    let mut cfg = ExploreConfig::default();
+    let mut do_shrink = false;
+    let mut out_stem: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-dpor" => cfg.dpor = false,
+            "--max-schedules" => {
+                let n = it.next().ok_or("--max-schedules needs a count")?;
+                cfg.max_schedules = n.parse().map_err(|_| format!("bad count `{n}`"))?;
+            }
+            "--preemption-bound" => {
+                let n = it.next().ok_or("--preemption-bound needs a count")?;
+                cfg.max_preemptions = Some(n.parse().map_err(|_| format!("bad count `{n}`"))?);
+            }
+            "--shrink" => do_shrink = true,
+            "--out" => out_stem = it.next().cloned(),
+            "--metrics" => metrics = Some("pretty".to_string()),
+            other => {
+                if let Some(format) = other.strip_prefix("--metrics=") {
+                    metrics = Some(format.to_string());
+                } else {
+                    return Err(format!("unknown option `{other}`"));
+                }
+            }
+        }
+    }
+    if let Some(format) = &metrics {
+        if !matches!(format.as_str(), "json" | "prom" | "pretty") {
+            return Err(format!("unknown metrics format `{format}`"));
+        }
+    }
+
+    let source = std::fs::read_to_string(&program_path)
+        .map_err(|e| format!("cannot read `{program_path}`: {e}"))?;
+    let program = parse_program(&source).map_err(|e| e.to_string())?;
+    println!(
+        "exploring {} thread(s), {} op(s), dpor {} …",
+        program.threads.len(),
+        program.num_ops(),
+        if cfg.dpor { "on" } else { "off" }
+    );
+
+    let report = explore(&program, &cfg);
+    let mut stats = report.stats;
+    println!(
+        "schedules: {} explored, {} pruned, {} bounded{}",
+        stats.schedules_explored,
+        stats.schedules_pruned,
+        stats.schedules_bounded,
+        if stats.truncated { " (truncated)" } else { "" }
+    );
+    println!(
+        "final states: {} distinct; deadlocks: {}; racy schedules: {}",
+        stats.distinct_final_states, stats.deadlocks, stats.racy_schedules
+    );
+
+    if let Some((violation, witness)) = &report.violation {
+        println!("INVARIANT VIOLATION: {violation}");
+        println!("  schedule: {:?}", witness.schedule);
+    } else if let Some(witness) = &report.race {
+        println!(
+            "race: {} race(s) on schedule {:?}",
+            witness.races, witness.schedule
+        );
+        if do_shrink {
+            let stem = out_stem.unwrap_or_else(|| {
+                program_path
+                    .strip_suffix(".sim")
+                    .unwrap_or(&program_path)
+                    .to_string()
+            });
+            let shrunk = shrink(&program, &cfg).ok_or("shrink lost the race (bound too tight?)")?;
+            stats.shrink_iterations = shrunk.iterations;
+            let spec = builtin::dictionary();
+            let trace_path = format!("{stem}.min.trace");
+            let sim_path = format!("{stem}.min.sim");
+            std::fs::write(&trace_path, render_trace(&shrunk.witness.trace, &spec))
+                .map_err(|e| format!("cannot write `{trace_path}`: {e}"))?;
+            std::fs::write(&sim_path, render_program(&shrunk.program))
+                .map_err(|e| format!("cannot write `{sim_path}`: {e}"))?;
+            println!(
+                "shrunk to {} op(s) on {} thread(s) in {} iteration(s)",
+                shrunk.program.num_ops(),
+                shrunk.program.threads.len(),
+                shrunk.iterations
+            );
+            println!("  wrote {trace_path} and {sim_path}");
+        }
+    } else {
+        println!("no races found");
+    }
+
+    if let Some(format) = metrics {
+        let registry = Registry::new();
+        stats.feed(&registry);
+        let snapshot = registry.snapshot();
+        match format.as_str() {
+            "json" => print!("{}", snapshot.to_json()),
+            "prom" => print!("{}", snapshot.to_prometheus()),
+            _ => print!("{}", snapshot.to_pretty()),
+        }
+    }
+
+    Ok(if report.violation.is_some() {
+        ExitCode::from(4)
+    } else if report.race.is_some() {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_table2(args: &[String]) -> Result<ExitCode, String> {

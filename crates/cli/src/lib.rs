@@ -1,5 +1,5 @@
 //! Library half of the `crace` command-line tool: the textual trace
-//! format.
+//! and simulator-program formats.
 //!
 //! Recorded executions can be stored as plain text, one event per line,
 //! and replayed into any detector offline — the workflow RoadRunner users
@@ -20,10 +20,16 @@
 //! `false`, integers, `"strings"`, and `ref#N`. Method names are resolved
 //! against a [`Spec`](crace_spec::Spec), so a trace file is interpreted relative to the
 //! specification it is replayed under.
+//!
+//! [`parse_program`] and [`render_program`] do the same for the scripted
+//! [`SimProgram`](crace_runtime::sim::SimProgram)s that `crace explore`
+//! model-checks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod progfmt;
 mod tracefmt;
 
+pub use progfmt::{parse_program, render_program, ProgParseError};
 pub use tracefmt::{parse_trace, render_trace, TraceParseError};

@@ -1,0 +1,356 @@
+//! Parsing and rendering of the textual [`SimProgram`] format.
+//!
+//! Scripted simulator programs — the inputs of `crace explore` — are
+//! stored as plain text, one directive or operation per line:
+//!
+//! ```text
+//! # two workers race on key 1, a third is independent
+//! dicts 1
+//! locks 0
+//! thread
+//!   put 0 1 10
+//!   get 0 2
+//! thread
+//!   put 0 1 20
+//! thread
+//!   put 0 2 30
+//! ```
+//!
+//! `dicts N` / `locks N` declare the shared state, each `thread` block
+//! scripts one simulated thread, and the operations are
+//! `put <dict> <key> <value>`, `get <dict> <key>`, `size <dict>`,
+//! `lock <l>` and `unlock <l>`. Keys and values use the trace format's
+//! value syntax (`nil`, `true`, `false`, integers, `"strings"`,
+//! `ref#N`), and `#` starts a comment. See [`parse_program`] and
+//! [`render_program`].
+
+use crate::tracefmt::{parse_value, render_value};
+use crace_runtime::sim::{SimOp, SimProgram};
+use std::error::Error;
+use std::fmt;
+
+/// An error while parsing a program file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgParseError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProgParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ProgParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ProgParseError {
+    ProgParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Splits a line into whitespace-separated tokens, keeping quoted
+/// strings (with escapes) as single tokens.
+fn tokens(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = None;
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '"' => {
+                in_quote = !in_quote;
+                start.get_or_insert(i);
+            }
+            c if c.is_whitespace() && !in_quote => {
+                if let Some(s) = start.take() {
+                    out.push(&line[s..i]);
+                }
+            }
+            _ => {
+                start.get_or_insert(i);
+            }
+        }
+    }
+    if let Some(s) = start {
+        out.push(&line[s..]);
+    }
+    out
+}
+
+/// Strips a `#` comment (quote-aware, like the trace format).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quote => escaped = true,
+            b'"' => in_quote = !in_quote,
+            b'#' if !in_quote && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a program file.
+///
+/// # Errors
+///
+/// Returns a [`ProgParseError`] with the offending line for unknown
+/// directives, operations outside a `thread` block, malformed indices
+/// or values, and dictionary/lock indices out of the declared range
+/// (so a bad file errors cleanly instead of panicking the simulator).
+///
+/// # Examples
+///
+/// ```
+/// use crace_cli::parse_program;
+///
+/// let p = parse_program("dicts 1\nthread\n  put 0 1 10\nthread\n  put 0 1 20\n")?;
+/// assert_eq!(p.threads.len(), 2);
+/// # Ok::<(), crace_cli::ProgParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<SimProgram, ProgParseError> {
+    let mut program = SimProgram {
+        num_dicts: 0,
+        num_locks: 0,
+        threads: Vec::new(),
+    };
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words = tokens(line);
+        let parse_idx = |w: Option<&&str>, what: &str| -> Result<usize, ProgParseError> {
+            w.and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err(lineno, format!("expected {what}")))
+        };
+        let value = |w: Option<&&str>| -> Result<_, ProgParseError> {
+            let text = w.ok_or_else(|| err(lineno, "expected a value"))?;
+            parse_value(text, lineno).map_err(|e| err(e.line, e.message))
+        };
+        let arity = |n: usize| -> Result<(), ProgParseError> {
+            if words.len() == n + 1 {
+                Ok(())
+            } else {
+                Err(err(
+                    lineno,
+                    format!(
+                        "`{}` takes {n} operand(s), found {}",
+                        words[0],
+                        words.len() - 1
+                    ),
+                ))
+            }
+        };
+        let script = program.threads.last_mut();
+        let push = |op: SimOp| -> Result<(), ProgParseError> {
+            script
+                .ok_or_else(|| err(lineno, "operation outside a `thread` block"))?
+                .push(op);
+            Ok(())
+        };
+        match words[0] {
+            "dicts" => {
+                arity(1)?;
+                program.num_dicts = parse_idx(words.get(1), "a dictionary count")?;
+            }
+            "locks" => {
+                arity(1)?;
+                program.num_locks = parse_idx(words.get(1), "a lock count")?;
+            }
+            "thread" => {
+                arity(0)?;
+                program.threads.push(Vec::new());
+            }
+            "put" => {
+                arity(3)?;
+                push(SimOp::DictPut {
+                    dict: parse_idx(words.get(1), "a dictionary index")?,
+                    key: value(words.get(2))?,
+                    value: value(words.get(3))?,
+                })?;
+            }
+            "get" => {
+                arity(2)?;
+                push(SimOp::DictGet {
+                    dict: parse_idx(words.get(1), "a dictionary index")?,
+                    key: value(words.get(2))?,
+                })?;
+            }
+            "size" => {
+                arity(1)?;
+                push(SimOp::DictSize {
+                    dict: parse_idx(words.get(1), "a dictionary index")?,
+                })?;
+            }
+            "lock" => {
+                arity(1)?;
+                push(SimOp::Lock(parse_idx(words.get(1), "a lock index")?))?;
+            }
+            "unlock" => {
+                arity(1)?;
+                push(SimOp::Unlock(parse_idx(words.get(1), "a lock index")?))?;
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "unknown directive `{other}` \
+                         (expected dicts/locks/thread/put/get/size/lock/unlock)"
+                    ),
+                ));
+            }
+        }
+    }
+    validate(&program)?;
+    Ok(program)
+}
+
+/// Rejects out-of-range dictionary and lock indices up front.
+fn validate(program: &SimProgram) -> Result<(), ProgParseError> {
+    for script in &program.threads {
+        for op in script {
+            match op {
+                SimOp::DictPut { dict, .. }
+                | SimOp::DictGet { dict, .. }
+                | SimOp::DictSize { dict } => {
+                    if *dict >= program.num_dicts {
+                        return Err(err(
+                            0,
+                            format!(
+                                "dictionary index {dict} out of range (dicts {})",
+                                program.num_dicts
+                            ),
+                        ));
+                    }
+                }
+                SimOp::Lock(l) | SimOp::Unlock(l) => {
+                    if *l >= program.num_locks {
+                        return Err(err(
+                            0,
+                            format!("lock index {l} out of range (locks {})", program.num_locks),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders a program back to the textual format; `parse_program` of the
+/// result reproduces the program exactly.
+pub fn render_program(program: &SimProgram) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("dicts {}\n", program.num_dicts));
+    out.push_str(&format!("locks {}\n", program.num_locks));
+    for script in &program.threads {
+        out.push_str("thread\n");
+        for op in script {
+            match op {
+                SimOp::DictPut { dict, key, value } => {
+                    out.push_str(&format!(
+                        "  put {dict} {} {}\n",
+                        render_value(key),
+                        render_value(value)
+                    ));
+                }
+                SimOp::DictGet { dict, key } => {
+                    out.push_str(&format!("  get {dict} {}\n", render_value(key)));
+                }
+                SimOp::DictSize { dict } => {
+                    out.push_str(&format!("  size {dict}\n"));
+                }
+                SimOp::Lock(l) => out.push_str(&format!("  lock {l}\n")),
+                SimOp::Unlock(l) => out.push_str(&format!("  unlock {l}\n")),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_model::Value;
+
+    const SAMPLE: &str = r#"
+# the racy3 shape
+dicts 1
+locks 1
+thread
+  lock 0
+  put 0 1 10       # same key as thread 2
+  unlock 0
+thread
+  put 0 1 20
+thread
+  put 0 "a b" true
+  size 0
+"#;
+
+    #[test]
+    fn parses_the_sample() {
+        let p = parse_program(SAMPLE).unwrap();
+        assert_eq!(p.num_dicts, 1);
+        assert_eq!(p.num_locks, 1);
+        assert_eq!(p.threads.len(), 3);
+        assert_eq!(p.threads[0].len(), 3);
+        assert_eq!(
+            p.threads[2][0],
+            SimOp::DictPut {
+                dict: 0,
+                key: Value::str("a b"),
+                value: Value::Bool(true),
+            }
+        );
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let p = parse_program(SAMPLE).unwrap();
+        let rendered = render_program(&p);
+        assert_eq!(parse_program(&rendered).unwrap(), p);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("dicts 1\nput 0 1 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("outside a `thread` block"));
+
+        let e = parse_program("frobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+
+        let e = parse_program("dicts 1\nthread\n  put 0 1\n").unwrap_err();
+        assert!(e.message.contains("takes 3 operand(s)"));
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let e = parse_program("dicts 1\nthread\n  put 1 1 2\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_program("thread\n  lock 0\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+}

@@ -137,12 +137,12 @@ fn parse_action(text: &str, spec: &Spec, lineno: usize) -> Result<Action, TraceP
         .map(ObjId)
         .ok_or_else(|| err(lineno, format!("bad object id `{}`", &text[..obj_end])))?;
     let call = text[obj_end..].trim();
-    let open = call
-        .find('(')
+    let open = find_unquoted(call, '(')
+        .next()
         .ok_or_else(|| err(lineno, "expected `(` in invocation"))?;
     let name = call[..open].trim();
-    let close = call
-        .rfind(')')
+    let close = find_unquoted(call, ')')
+        .last()
         .ok_or_else(|| err(lineno, "expected `)` in invocation"))?;
     if close < open {
         return Err(err(lineno, "mismatched parentheses"));
@@ -180,28 +180,67 @@ fn parse_action(text: &str, spec: &Spec, lineno: usize) -> Result<Action, TraceP
     Ok(Action::new(obj, method, args, ret))
 }
 
-/// Strips a `#` comment; a `#` counts as a comment start only at the
-/// beginning of the line or after whitespace, so `ref#9` and `"a#b"`
-/// survive.
+/// Strips a `#` comment; a `#` counts as a comment start only outside of
+/// string quotes and at the beginning of the line or after whitespace, so
+/// `ref#9`, `"a#b"` and `"a #b"` all survive.
 fn strip_comment(line: &str) -> &str {
     let bytes = line.as_bytes();
+    let mut in_quote = false;
+    let mut escaped = false;
     for (i, &b) in bytes.iter().enumerate() {
-        if b == b'#' && (i == 0 || bytes[i - 1].is_ascii_whitespace()) {
-            return &line[..i];
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quote => escaped = true,
+            b'"' => in_quote = !in_quote,
+            b'#' if !in_quote && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                return &line[..i];
+            }
+            _ => {}
         }
     }
     line
 }
 
-/// Splits a comma-separated argument list, respecting string quotes.
+/// Byte positions of `target` outside string quotes (escape-aware), so
+/// the invocation parentheses are found even when a string value
+/// contains `(` or `)`.
+fn find_unquoted(text: &str, target: char) -> impl Iterator<Item = usize> + '_ {
+    let mut in_quote = false;
+    let mut escaped = false;
+    text.char_indices().filter_map(move |(i, c)| {
+        if escaped {
+            escaped = false;
+            return None;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            c if c == target && !in_quote => return Some(i),
+            _ => {}
+        }
+        None
+    })
+}
+
+/// Splits a comma-separated argument list, respecting string quotes and
+/// backslash escapes inside them.
 fn split_args(text: &str) -> Vec<&str> {
     let mut parts = Vec::new();
-    let mut depth_quote = false;
+    let mut in_quote = false;
+    let mut escaped = false;
     let mut start = 0;
     for (i, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
         match c {
-            '"' => depth_quote = !depth_quote,
-            ',' if !depth_quote => {
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            ',' if !in_quote => {
                 parts.push(&text[start..i]);
                 start = i + 1;
             }
@@ -212,7 +251,46 @@ fn split_args(text: &str) -> Vec<&str> {
     parts
 }
 
-fn parse_value(text: &str, lineno: usize) -> Result<Value, TraceParseError> {
+/// Decodes the body of a quoted string literal: the inverse of
+/// [`crace_obs::json::escape`], which [`render_value`] uses to emit it.
+fn unescape_str(body: &str, lineno: usize) -> Result<String, TraceParseError> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = (hex.len() == 4)
+                    .then(|| u32::from_str_radix(&hex, 16).ok())
+                    .flatten()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| err(lineno, format!("bad \\u escape `\\u{hex}`")))?;
+                out.push(code);
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    match other {
+                        Some(c) => format!("unknown escape `\\{c}` in string"),
+                        None => "string ends in a bare backslash".to_string(),
+                    },
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn parse_value(text: &str, lineno: usize) -> Result<Value, TraceParseError> {
     match text {
         "nil" => Ok(Value::Nil),
         "true" => Ok(Value::Bool(true)),
@@ -225,7 +303,7 @@ fn parse_value(text: &str, lineno: usize) -> Result<Value, TraceParseError> {
                     .map_err(|_| err(lineno, format!("bad reference `{text}`")));
             }
             if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
-                return Ok(Value::str(&text[1..text.len() - 1]));
+                return unescape_str(&text[1..text.len() - 1], lineno).map(|s| Value::str(&s));
             }
             text.parse::<i64>()
                 .map(Value::Int)
@@ -281,12 +359,12 @@ fn render_call(action: &Action, spec: &Spec) -> String {
     format!("{name}({})/{}", args.join(", "), render_value(action.ret()))
 }
 
-fn render_value(v: &Value) -> String {
+pub(crate) fn render_value(v: &Value) -> String {
     match v {
         Value::Nil => "nil".to_string(),
         Value::Bool(b) => b.to_string(),
         Value::Int(i) => i.to_string(),
-        Value::Str(s) => format!("{:?}", s.as_ref()),
+        Value::Str(s) => format!("\"{}\"", crace_obs::json::escape(s)),
         Value::Ref(r) => format!("ref#{r}"),
     }
 }

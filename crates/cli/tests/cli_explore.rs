@@ -1,0 +1,147 @@
+//! End-to-end tests of `crace explore`: exit codes, determinism (no
+//! seed anywhere), DPOR-vs-brute-force schedule counts via `--metrics`,
+//! the fig. 3 regressions, and the shrink → replay pipeline on the
+//! committed fixtures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn data(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests/data");
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+fn crace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_crace"))
+        .args(args)
+        .output()
+        .expect("run crace")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+/// Pulls one counter value out of `--metrics` pretty output.
+fn metric(out: &Output, name: &str) -> u64 {
+    stdout(out)
+        .lines()
+        .find_map(|l| {
+            let mut it = l.split_whitespace();
+            (it.next() == Some(name)).then(|| it.next().expect("value").parse().expect("number"))
+        })
+        .unwrap_or_else(|| panic!("metric `{name}` missing from {out:?}"))
+}
+
+#[test]
+fn explore_finds_the_race_deterministically() {
+    let a = crace(&["explore", &data("racy3.sim")]);
+    let b = crace(&["explore", &data("racy3.sim")]);
+    assert_eq!(a.status.code(), Some(3), "{a:?}");
+    assert_eq!(stdout(&a), stdout(&b), "exploration must be seed-free");
+    assert!(stdout(&a).contains("race:"));
+}
+
+#[test]
+fn dpor_explores_strictly_fewer_schedules_than_brute_force() {
+    let dpor = crace(&["explore", &data("racy3.sim"), "--metrics"]);
+    let brute = crace(&["explore", &data("racy3.sim"), "--no-dpor", "--metrics"]);
+    assert_eq!(dpor.status.code(), Some(3));
+    assert_eq!(brute.status.code(), Some(3));
+    let explored_dpor = metric(&dpor, "explore.schedules.explored");
+    let explored_brute = metric(&brute, "explore.schedules.explored");
+    assert!(
+        explored_dpor < explored_brute,
+        "dpor {explored_dpor} !< brute {explored_brute}"
+    );
+    assert!(metric(&dpor, "explore.schedules.pruned") > 0);
+    assert_eq!(metric(&brute, "explore.schedules.pruned"), 0);
+}
+
+/// Fig. 3 as a scripted program: both interleavings of the two unordered
+/// puts race, and the program is already minimal — the regression pins
+/// the exact schedule counts and the shrunk shape.
+#[test]
+fn fig3_program_races_on_every_interleaving() {
+    let out = crace(&["explore", &data("fig3.sim"), "--metrics"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert_eq!(metric(&out, "explore.schedules.explored"), 2);
+    assert_eq!(metric(&out, "explore.schedules.racy"), 2);
+    assert!(stdout(&out).contains("race: 1 race(s)"));
+}
+
+/// The lock-ordered fig. 3 variant: release→acquire edges order the
+/// puts in every schedule, so exhaustive exploration finds no race —
+/// the explore analogue of `replay fig3_ordered.trace` exiting 0.
+#[test]
+fn fig3_ordered_program_is_race_free_under_exploration() {
+    let out = crace(&["explore", &data("fig3_ordered.sim"), "--metrics"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("no races found"));
+    assert_eq!(metric(&out, "explore.schedules.racy"), 0);
+    // Both acquisition orders are explored (the lock ops conflict).
+    assert!(metric(&out, "explore.schedules.explored") >= 2);
+}
+
+#[test]
+fn shrink_emits_a_minimal_replayable_counterexample() {
+    let dir = std::env::temp_dir().join(format!("crace_explore_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let stem = dir.join("racy3");
+    let stem = stem.to_str().unwrap();
+
+    let out = crace(&["explore", &data("racy3.sim"), "--shrink", "--out", stem]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let text = stdout(&out);
+    assert!(
+        text.contains("shrunk to 2 op(s) on 2 thread(s)"),
+        "counterexample not minimal: {text}"
+    );
+
+    // The shrunk trace replays to the same verdict: exit 3, one race.
+    let min_trace = format!("{stem}.min.trace");
+    let replayed = crace(&["replay", &min_trace, "--spec", "dictionary"]);
+    assert_eq!(replayed.status.code(), Some(3), "{replayed:?}");
+    assert!(stdout(&replayed).contains("races: 1"));
+
+    // And the shrunk program still races when explored again.
+    let min_sim = format!("{stem}.min.sim");
+    let re_explored = crace(&["explore", &min_sim]);
+    assert_eq!(re_explored.status.code(), Some(3), "{re_explored:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explore_bad_program_file_exits_1() {
+    let out = crace(&["explore", "/nonexistent.sim"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let dir = std::env::temp_dir().join(format!("crace_explore_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bad = dir.join("bad.sim");
+    std::fs::write(&bad, "dicts 1\nthread\n  put 9 1 2\n").expect("write");
+    let out = crace(&["explore", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr.clone()).expect("utf-8 stderr");
+    assert!(stderr.contains("out of range"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explore_preemption_bound_reports_the_cut() {
+    let out = crace(&[
+        "explore",
+        &data("racy3.sim"),
+        "--no-dpor",
+        "--preemption-bound",
+        "0",
+        "--metrics",
+    ]);
+    // The racing puts are found even without preemptions…
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    // …and the schedules cut by the bound are reported, not hidden.
+    assert!(metric(&out, "explore.schedules.bounded") > 0);
+}

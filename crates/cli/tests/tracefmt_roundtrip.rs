@@ -1,0 +1,204 @@
+//! Round-trip and robustness property tests for the textual trace
+//! format: `parse_trace ∘ render_trace` must be the identity on every
+//! well-formed trace — including string values full of quotes, commas,
+//! backslashes, newlines, parentheses and `#` — and malformed input must
+//! produce a [`TraceParseError`], never a panic.
+
+use crace_cli::{parse_trace, render_trace};
+use crace_model::{Action, Event, LocId, LockId, ObjId, ThreadId, Trace, Value};
+use crace_spec::{builtin, Spec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Characters deliberately chosen to stress the renderer's escaping and
+/// the parser's quote handling.
+const NASTY: &[char] = &[
+    'a', 'b', '"', '\\', ',', '\n', '\r', '\t', '#', '(', ')', '/', ' ', '\u{1}', 'é', '⚡',
+];
+
+fn random_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..8);
+    (0..len)
+        .map(|_| NASTY[rng.gen_range(0..NASTY.len())])
+        .collect()
+}
+
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5) {
+        0 => Value::Nil,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(-1_000_000..1_000_000)),
+        3 => Value::Ref(rng.gen_range(0..u64::MAX / 2)),
+        _ => Value::str(random_string(rng)),
+    }
+}
+
+fn random_trace(rng: &mut StdRng, spec: &Spec) -> Trace {
+    let mut trace = Trace::new();
+    let num_events = rng.gen_range(1..20);
+    for _ in 0..num_events {
+        let tid = ThreadId(rng.gen_range(0..4) as u32);
+        trace.push(match rng.gen_range(0..7) {
+            0 => Event::Fork {
+                parent: tid,
+                child: ThreadId(rng.gen_range(0..8) as u32),
+            },
+            1 => Event::Join {
+                parent: tid,
+                child: ThreadId(rng.gen_range(0..8) as u32),
+            },
+            2 => Event::Acquire {
+                tid,
+                lock: LockId(rng.gen_range(0..16)),
+            },
+            3 => Event::Release {
+                tid,
+                lock: LockId(rng.gen_range(0..16)),
+            },
+            4 => Event::Read {
+                tid,
+                loc: LocId(rng.gen_range(0..256)),
+            },
+            5 => Event::Write {
+                tid,
+                loc: LocId(rng.gen_range(0..256)),
+            },
+            _ => {
+                let method = crace_model::MethodId(rng.gen_range(0..spec.num_methods()) as u32);
+                let args = (0..spec.sig(method).num_args())
+                    .map(|_| random_value(rng))
+                    .collect();
+                Event::Action {
+                    tid,
+                    action: Action::new(
+                        ObjId(rng.gen_range(1..5)),
+                        method,
+                        args,
+                        random_value(rng),
+                    ),
+                }
+            }
+        });
+    }
+    trace
+}
+
+#[test]
+fn parse_render_is_the_identity_on_random_traces() {
+    let spec = builtin::dictionary();
+    let mut rng = StdRng::seed_from_u64(0x70AD_7217);
+    for i in 0..300 {
+        let trace = random_trace(&mut rng, &spec);
+        let rendered = render_trace(&trace, &spec);
+        let reparsed = parse_trace(&rendered, &spec)
+            .unwrap_or_else(|e| panic!("iteration {i}: failed to reparse: {e}\n{rendered}"));
+        assert_eq!(
+            trace, reparsed,
+            "iteration {i} round-trip mismatch:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn worst_case_strings_round_trip() {
+    let spec = builtin::dictionary();
+    for s in [
+        "",
+        "\"",
+        "\\",
+        "\\\"",
+        "a,b",
+        "a#b",
+        "a #b",
+        "#",
+        "put(x)/nil",
+        "(((",
+        ")/nil",
+        "line\nbreak",
+        "tab\there",
+        "\r\n",
+        "\u{1}\u{2}\u{1f}",
+        "ünïcødé ⚡",
+        "trailing\\",
+    ] {
+        let mut trace = Trace::new();
+        trace.push(Event::Action {
+            tid: ThreadId(0),
+            action: Action::new(
+                ObjId(1),
+                crace_model::MethodId(0), // put(k, v)
+                vec![Value::str(s), Value::str(s)],
+                Value::str(s),
+            ),
+        });
+        let rendered = render_trace(&trace, &spec);
+        let reparsed = parse_trace(&rendered, &spec)
+            .unwrap_or_else(|e| panic!("string {s:?}: {e}\n{rendered}"));
+        assert_eq!(trace, reparsed, "string {s:?} round-trip mismatch");
+    }
+}
+
+/// Every malformed input must surface as a structured parse error — a
+/// panic here means a `crace replay` user can crash the tool with a bad
+/// trace file.
+#[test]
+fn malformed_traces_error_without_panicking() {
+    let spec = builtin::dictionary();
+    let cases: &[&str] = &[
+        // Truncated event lines.
+        "fork",
+        "fork 0",
+        "join 1",
+        "acq 0",
+        "rel",
+        "read 0",
+        "write 0 16",
+        "act",
+        "act 0",
+        "act 0 o1",
+        "act 0 o1 put",
+        "act 0 o1 put(",
+        "act 0 o1 put(1",
+        "act 0 o1 put(1, 2",
+        "act 0 o1 put(1, 2)",
+        "act 0 o1 put(1, 2)/",
+        // Bad ids and locations.
+        "fork x 1",
+        "fork 0 -1",
+        "acq 0 lock",
+        "read 0 16",
+        "read 0 @x10",
+        "act 0 1 put(1, 2)/nil",
+        "act 0 o put(1, 2)/nil",
+        "act 0 o-1 put(1, 2)/nil",
+        // Unknown kinds and methods.
+        "explode 0 1",
+        "act 0 o1 frobnicate(1)/nil",
+        // Arity and value errors.
+        "act 0 o1 put(1)/nil",
+        "act 0 o1 put(1, 2, 3)/nil",
+        "act 0 o1 size(1)/0",
+        "act 0 o1 put(1, 1.5)/nil",
+        "act 0 o1 put(1, ref#)/nil",
+        "act 0 o1 put(1, ref#x)/nil",
+        "act 0 o1 put(1, tru)/nil",
+        // String escape errors.
+        "act 0 o1 put(\"\\q\", 1)/nil",
+        "act 0 o1 put(\"\\u12\", 1)/nil",
+        "act 0 o1 put(\"\\uzzzz\", 1)/nil",
+        "act 0 o1 put(\"a\\\", 1)/nil",
+        // Unterminated strings (the closing paren hides in the quote).
+        "act 0 o1 put(\"abc, 1)/nil",
+        "act 0 o1 put(\"a)b, 1)/nil",
+        // Mismatched parentheses.
+        "act 0 o1 put)1, 2(/nil",
+    ];
+    for case in cases {
+        let result = std::panic::catch_unwind(|| parse_trace(case, &spec));
+        match result {
+            Ok(Ok(trace)) => panic!("`{case}` parsed as {trace:?}, expected an error"),
+            Ok(Err(e)) => assert!(e.line >= 1, "`{case}`: error lost its line number"),
+            Err(_) => panic!("`{case}` panicked instead of returning a parse error"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Edge-case tests for the observability layer: histogram percentile
+//! estimates on degenerate inputs (empty, single sample, everything in
+//! one bucket) and a golden test pinning the exact [`Snapshot`] JSON
+//! bytes, checked against the in-tree RFC 8259 validator.
+
+use crace_obs::{json, Histogram, Registry, Snapshot};
+
+#[test]
+fn empty_histogram_reports_zeros() {
+    let h = Histogram::new();
+    let s = h.summary();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.sum, 0);
+    assert_eq!(s.mean(), 0.0);
+    assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+}
+
+#[test]
+fn single_sample_lands_in_its_own_bucket_for_every_percentile() {
+    for value in [0u64, 1, 2, 3, 7, 8, 1_000, u64::MAX] {
+        let h = Histogram::new();
+        h.record(value);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, value);
+        assert_eq!(s.mean(), value as f64);
+        // With one sample, every percentile is that sample's bucket:
+        // all three must agree exactly.
+        assert_eq!(s.p50, s.p95, "value {value}");
+        assert_eq!(s.p95, s.p99, "value {value}");
+        // And the log₂ bucket's representative is within its ±41% width
+        // (the last bucket absorbs everything ≥ 2^62).
+        if (1..(1u64 << 62)).contains(&value) {
+            assert!(
+                s.p50 >= value / 2 && s.p50 <= value.saturating_mul(2),
+                "value {value} estimated as {}",
+                s.p50
+            );
+        }
+        if value == 0 {
+            assert_eq!(s.p50, 0);
+        }
+    }
+}
+
+#[test]
+fn all_samples_in_one_bucket_collapse_the_percentiles() {
+    let h = Histogram::new();
+    for _ in 0..10_000 {
+        h.record(5); // bucket [4, 8)
+    }
+    let s = h.summary();
+    assert_eq!(s.count, 10_000);
+    assert_eq!(s.sum, 50_000);
+    assert_eq!(s.p50, s.p99);
+    assert!((4..8).contains(&s.p50), "p50 {} outside [4, 8)", s.p50);
+}
+
+#[test]
+fn percentiles_are_monotone_even_on_two_spikes() {
+    // Nine fast samples and one slow one: under the nearest-rank rule
+    // p50 is the low spike (rank 5 of 10) while p95 and p99 both land
+    // on the outlier (rank 10 of 10).
+    let h = Histogram::new();
+    for _ in 0..9 {
+        h.record(1);
+    }
+    h.record(1 << 20);
+    let s = h.summary();
+    assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    assert_eq!(s.p50, 1);
+    assert!(s.p99 >= 1 << 19, "p99 {} missed the outlier", s.p99);
+}
+
+/// The exact JSON bytes of a mixed snapshot, pinned: downstream scrapers
+/// parse this output, so a formatting change must be a conscious one.
+#[test]
+fn snapshot_json_golden() {
+    let r = Registry::new();
+    r.counter("explore.schedules.explored").add(4);
+    r.gauge("explore.truncated").set(0.0);
+    let h = r.histogram("detect.latency");
+    h.record(3);
+    h.record(3);
+    let snapshot = r.snapshot();
+    let expected = "{\n  \
+        \"detect.latency\": {\"count\": 2, \"sum\": 6, \"mean\": 3, \"p50\": 3, \"p95\": 3, \"p99\": 3},\n  \
+        \"explore.schedules.explored\": 4,\n  \
+        \"explore.truncated\": 0\n\
+        }\n";
+    assert_eq!(snapshot.to_json(), expected);
+}
+
+/// Every snapshot rendering — empty, metric names needing escapes,
+/// non-finite gauges — must be valid RFC 8259 JSON per the in-tree
+/// validator.
+#[test]
+fn snapshot_json_always_validates() {
+    let empty = Registry::new().snapshot();
+    json::validate(&empty.to_json()).expect("empty snapshot");
+
+    let r = Registry::new();
+    r.counter("plain").add(1);
+    r.counter("quote\"backslash\\newline\n").add(2);
+    r.gauge("nan").set(f64::NAN);
+    r.gauge("inf").set(f64::INFINITY);
+    r.gauge("neg").set(-2.5);
+    r.histogram("empty.hist");
+    let h = r.histogram("busy.hist");
+    for i in 0..1000 {
+        h.record(i);
+    }
+    let snapshot: Snapshot = r.snapshot();
+    let rendered = snapshot.to_json();
+    json::validate(&rendered).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{rendered}"));
+}

@@ -62,6 +62,7 @@
 mod cell;
 mod counter;
 mod dict;
+pub mod explore;
 mod queue;
 mod register;
 mod registry;

@@ -1,15 +1,22 @@
 //! Deterministic simulated scheduler: scripted multi-threaded programs
-//! executed under a seeded interleaving, producing reproducible traces.
+//! executed under a pluggable interleaving policy, producing reproducible
+//! traces.
 //!
 //! Real threads make race *presence* reproducible but not event order;
 //! for schedule-space exploration (run the same program under many
 //! interleavings and check detector invariants on every one) the runtime
 //! offers this single-threaded simulator. A [`SimProgram`] gives each
 //! simulated thread a script of [`SimOp`]s over shared dictionaries and
-//! locks; [`simulate`] interleaves the scripts with a seeded RNG —
-//! respecting lock blocking — executes them against reference semantics
-//! (so return values are those of a real execution under that schedule),
-//! and returns the recorded [`Trace`].
+//! locks; the scheduling loop interleaves the scripts — respecting lock
+//! blocking — executes them against reference semantics (so return values
+//! are those of a real execution under that schedule), and returns the
+//! recorded [`Trace`].
+//!
+//! Scheduling decisions go through the [`Scheduler`] trait:
+//! [`SeededScheduler`] (what [`simulate`] uses) draws from a seeded RNG,
+//! [`ScriptedScheduler`] replays a fixed choice sequence, and the
+//! [`crate::explore`] model checker drives [`SimState`] directly to
+//! enumerate *every* inequivalent schedule.
 //!
 //! # Examples
 //!
@@ -84,6 +91,14 @@ pub struct SimProgram {
     pub threads: Vec<Vec<SimOp>>,
 }
 
+impl SimProgram {
+    /// Total number of scripted operations across all threads (the exact
+    /// number of scheduling decisions every complete schedule makes).
+    pub fn num_ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+}
+
 struct DictIds {
     put: MethodId,
     get: MethodId,
@@ -105,6 +120,226 @@ fn dict_ids() -> &'static DictIds {
 /// The object id of simulated dictionary `dict`.
 pub fn sim_dict_obj(dict: usize) -> ObjId {
     ObjId(dict as u64 + 1)
+}
+
+/// The builtin-dictionary [`MethodId`]s a [`SimOp`] maps to:
+/// `(put, get, size)`. Exposed so the explorer and the program format can
+/// build [`Action`]s without re-resolving names.
+pub fn sim_dict_methods() -> (MethodId, MethodId, MethodId) {
+    let ids = dict_ids();
+    (ids.put, ids.get, ids.size)
+}
+
+/// A scheduling policy: at every step of the simulation loop, picks which
+/// runnable thread executes its next operation.
+pub trait Scheduler {
+    /// Picks one element of `runnable` — the 0-based indices into
+    /// [`SimProgram::threads`] of the threads that have operations left
+    /// and are not blocked on a foreign-held lock, sorted ascending and
+    /// never empty.
+    fn choose(&mut self, runnable: &[usize]) -> usize;
+}
+
+/// The seeded-RNG scheduler behind [`simulate`]: uniform choice among the
+/// runnable threads, fully reproducible from the seed.
+pub struct SeededScheduler {
+    rng: StdRng,
+}
+
+impl SeededScheduler {
+    /// Creates the scheduler for `seed`. Equal seeds yield equal
+    /// schedules on equal programs.
+    pub fn new(seed: u64) -> SeededScheduler {
+        SeededScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for SeededScheduler {
+    fn choose(&mut self, runnable: &[usize]) -> usize {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Replays a fixed schedule: the thread index to run at each step, as
+/// recorded by the explorer. This is what makes an explored
+/// counterexample *replayable*.
+pub struct ScriptedScheduler {
+    choices: Vec<usize>,
+    pos: usize,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler replaying `choices` in order.
+    pub fn new(choices: Vec<usize>) -> ScriptedScheduler {
+        ScriptedScheduler { choices, pos: 0 }
+    }
+
+    /// How many choices have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    /// # Panics
+    ///
+    /// Panics if the script is exhausted or names a thread that is not
+    /// currently runnable — a scripted schedule is only meaningful for
+    /// the exact program it was recorded from.
+    fn choose(&mut self, runnable: &[usize]) -> usize {
+        let t = *self
+            .choices
+            .get(self.pos)
+            .expect("scripted schedule exhausted before the program finished");
+        self.pos += 1;
+        assert!(
+            runnable.contains(&t),
+            "scripted schedule picks thread {t}, which is not runnable"
+        );
+        t
+    }
+}
+
+/// A mid-execution snapshot of a simulated program: reference-semantics
+/// dictionary contents, lock ownership and per-thread program counters.
+///
+/// [`SimState::step`] executes exactly one operation, and the state is
+/// [`Clone`] — together these let the [`crate::explore`] model checker
+/// fork execution at every scheduling decision instead of re-running the
+/// whole program per schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimState<'p> {
+    program: &'p SimProgram,
+    dicts: Vec<HashMap<Value, Value>>,
+    lock_owner: Vec<Option<usize>>,
+    pc: Vec<usize>,
+}
+
+impl<'p> SimState<'p> {
+    /// The initial state of `program`: empty dictionaries, free locks,
+    /// every thread at its first operation.
+    pub fn new(program: &'p SimProgram) -> SimState<'p> {
+        SimState {
+            program,
+            dicts: vec![HashMap::new(); program.num_dicts],
+            lock_owner: vec![None; program.num_locks],
+            pc: vec![0; program.threads.len()],
+        }
+    }
+
+    /// The threads that can execute a step right now: operations left and
+    /// not blocked on a foreign-held lock, ascending. Locks are
+    /// non-reentrant, so a thread re-acquiring its own lock blocks
+    /// forever (surfacing as a deadlock).
+    pub fn runnable(&self) -> Vec<usize> {
+        (0..self.program.threads.len())
+            .filter(|&t| match self.next_op(t) {
+                None => false,
+                Some(SimOp::Lock(l)) => self.lock_owner[*l].is_none(),
+                Some(_) => true,
+            })
+            .collect()
+    }
+
+    /// The next operation of thread `t`, or `None` if its script is done.
+    pub fn next_op(&self, t: usize) -> Option<&'p SimOp> {
+        self.program.threads[t].get(self.pc[t])
+    }
+
+    /// The program counter of thread `t`: how many of its operations have
+    /// executed.
+    pub fn pc(&self, t: usize) -> usize {
+        self.pc[t]
+    }
+
+    /// Has every thread finished its script?
+    pub fn finished(&self) -> bool {
+        (0..self.program.threads.len()).all(|t| self.next_op(t).is_none())
+    }
+
+    /// The current dictionary contents — after [`SimState::finished`],
+    /// the final state Theorem 5.2's determinism guarantee talks about.
+    pub fn dicts(&self) -> &[HashMap<Value, Value>] {
+        &self.dicts
+    }
+
+    /// Consumes the state, returning the dictionary contents.
+    pub fn into_dicts(self) -> Vec<HashMap<Value, Value>> {
+        self.dicts
+    }
+
+    /// Executes the next operation of thread `t` against the reference
+    /// semantics and returns the recorded event (actions carry the real
+    /// return value under this schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics on script errors: `t` blocked or finished,
+    /// dictionary/lock indices out of range, or unlocking a lock the
+    /// thread does not hold.
+    pub fn step(&mut self, t: usize) -> Event {
+        let tid = ThreadId(t as u32 + 1);
+        let op = self.next_op(t).expect("stepping a finished thread");
+        self.pc[t] += 1;
+        match op {
+            SimOp::DictPut { dict, key, value } => {
+                let map = &mut self.dicts[*dict];
+                let prev = if value.is_nil() {
+                    map.remove(key).unwrap_or(Value::Nil)
+                } else {
+                    map.insert(key.clone(), value.clone()).unwrap_or(Value::Nil)
+                };
+                Event::Action {
+                    tid,
+                    action: Action::new(
+                        sim_dict_obj(*dict),
+                        dict_ids().put,
+                        vec![key.clone(), value.clone()],
+                        prev,
+                    ),
+                }
+            }
+            SimOp::DictGet { dict, key } => {
+                let v = self.dicts[*dict].get(key).cloned().unwrap_or(Value::Nil);
+                Event::Action {
+                    tid,
+                    action: Action::new(sim_dict_obj(*dict), dict_ids().get, vec![key.clone()], v),
+                }
+            }
+            SimOp::DictSize { dict } => {
+                let v = Value::Int(self.dicts[*dict].len() as i64);
+                Event::Action {
+                    tid,
+                    action: Action::new(sim_dict_obj(*dict), dict_ids().size, vec![], v),
+                }
+            }
+            SimOp::Lock(l) => {
+                assert!(
+                    self.lock_owner[*l].is_none(),
+                    "scheduler picked a blocked thread"
+                );
+                self.lock_owner[*l] = Some(t);
+                Event::Acquire {
+                    tid,
+                    lock: LockId(*l as u64),
+                }
+            }
+            SimOp::Unlock(l) => {
+                assert_eq!(
+                    self.lock_owner[*l],
+                    Some(t),
+                    "thread {tid} unlocks lock {l} it does not hold"
+                );
+                self.lock_owner[*l] = None;
+                Event::Release {
+                    tid,
+                    lock: LockId(*l as u64),
+                }
+            }
+        }
+    }
 }
 
 /// Executes `program` under the seeded schedule and returns the trace
@@ -130,7 +365,44 @@ pub fn simulate(program: &SimProgram, seed: u64) -> Trace {
 ///
 /// Same conditions as [`simulate`].
 pub fn simulate_with_state(program: &SimProgram, seed: u64) -> (Trace, Vec<HashMap<Value, Value>>) {
-    simulate_inner(program, seed, &mut |_, _| {})
+    simulate_with_scheduler(program, &mut SeededScheduler::new(seed))
+}
+
+/// Executes `program` under an arbitrary [`Scheduler`], returning the
+/// trace and the final dictionary contents.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`], plus whatever the scheduler's
+/// [`Scheduler::choose`] panics on (e.g. a [`ScriptedScheduler`] replayed
+/// against the wrong program).
+///
+/// # Examples
+///
+/// Replaying an explicit schedule:
+///
+/// ```
+/// use crace_model::Value;
+/// use crace_runtime::sim::{simulate_with_scheduler, ScriptedScheduler, SimOp, SimProgram};
+///
+/// let program = SimProgram {
+///     num_dicts: 1,
+///     num_locks: 0,
+///     threads: vec![
+///         vec![SimOp::DictPut { dict: 0, key: Value::Int(1), value: Value::Int(10) }],
+///         vec![SimOp::DictGet { dict: 0, key: Value::Int(1) }],
+///     ],
+/// };
+/// // Thread 1 (index 0) first, then thread 2: the get sees the put.
+/// let (trace, _) = simulate_with_scheduler(&program, &mut ScriptedScheduler::new(vec![0, 1]));
+/// let get = trace.events()[3].action().unwrap();
+/// assert_eq!(get.ret(), &Value::Int(10));
+/// ```
+pub fn simulate_with_scheduler(
+    program: &SimProgram,
+    scheduler: &mut dyn Scheduler,
+) -> (Trace, Vec<HashMap<Value, Value>>) {
+    simulate_inner(program, scheduler, &mut |_, _| {})
 }
 
 /// Like [`simulate`], additionally metering the run through a
@@ -184,21 +456,25 @@ where
         registry.counter("sim.events.action"),
     ];
     let runnable_gauge = registry.gauge("sim.runnable");
-    let (trace, _) = simulate_inner(program, seed, &mut |event, runnable| {
-        let idx = match event {
-            Event::Fork { .. } => 0,
-            Event::Join { .. } => 1,
-            Event::Acquire { .. } => 2,
-            Event::Release { .. } => 3,
-            Event::Action { .. } | Event::Read { .. } | Event::Write { .. } => 4,
-        };
-        counters[idx].inc();
-        runnable_gauge.set(runnable as f64);
-        steps.inc();
-        if every != 0 && steps.get().is_multiple_of(every) {
-            reporter(&registry.snapshot());
-        }
-    });
+    let (trace, _) = simulate_inner(
+        program,
+        &mut SeededScheduler::new(seed),
+        &mut |event, runnable| {
+            let idx = match event {
+                Event::Fork { .. } => 0,
+                Event::Join { .. } => 1,
+                Event::Acquire { .. } => 2,
+                Event::Release { .. } => 3,
+                Event::Action { .. } | Event::Read { .. } | Event::Write { .. } => 4,
+            };
+            counters[idx].inc();
+            runnable_gauge.set(runnable as f64);
+            steps.inc();
+            if every != 0 && steps.get().is_multiple_of(every) {
+                reporter(&registry.snapshot());
+            }
+        },
+    );
     reporter(&registry.snapshot());
     trace
 }
@@ -209,10 +485,9 @@ where
 /// fork/join prologue and epilogue of the main thread).
 fn simulate_inner(
     program: &SimProgram,
-    seed: u64,
+    scheduler: &mut dyn Scheduler,
     observe: &mut dyn FnMut(&Event, usize),
 ) -> (Trace, Vec<HashMap<Value, Value>>) {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::new();
     let main = ThreadId(0);
     let n = program.threads.len();
@@ -233,116 +508,19 @@ fn simulate_inner(
         );
     }
 
-    let mut dicts: Vec<HashMap<Value, Value>> = vec![HashMap::new(); program.num_dicts];
-    let mut lock_owner: Vec<Option<usize>> = vec![None; program.num_locks];
-    let mut pc: Vec<usize> = vec![0; n];
-
+    let mut state = SimState::new(program);
     loop {
-        // Runnable = has ops left and not blocked on a foreign-held lock.
-        let runnable: Vec<usize> = (0..n)
-            .filter(|&t| {
-                let script = &program.threads[t];
-                match script.get(pc[t]) {
-                    None => false,
-                    // Locks are non-reentrant: a thread re-acquiring its own
-                    // lock blocks forever (caught as a deadlock).
-                    Some(SimOp::Lock(l)) => lock_owner[*l].is_none(),
-                    Some(_) => true,
-                }
-            })
-            .collect();
+        let runnable = state.runnable();
         if runnable.is_empty() {
-            if (0..n).any(|t| pc[t] < program.threads[t].len()) {
+            if !state.finished() {
                 panic!("simulated deadlock: all unfinished threads are blocked");
             }
             break;
         }
         let width = runnable.len();
-        let t = runnable[rng.gen_range(0..width)];
-        let tid = ThreadId(t as u32 + 1);
-        let op = &program.threads[t][pc[t]];
-        pc[t] += 1;
-        match op {
-            SimOp::DictPut { dict, key, value } => {
-                let map = &mut dicts[*dict];
-                let prev = if value.is_nil() {
-                    map.remove(key).unwrap_or(Value::Nil)
-                } else {
-                    map.insert(key.clone(), value.clone()).unwrap_or(Value::Nil)
-                };
-                emit(
-                    &mut trace,
-                    Event::Action {
-                        tid,
-                        action: Action::new(
-                            sim_dict_obj(*dict),
-                            dict_ids().put,
-                            vec![key.clone(), value.clone()],
-                            prev,
-                        ),
-                    },
-                    width,
-                );
-            }
-            SimOp::DictGet { dict, key } => {
-                let v = dicts[*dict].get(key).cloned().unwrap_or(Value::Nil);
-                emit(
-                    &mut trace,
-                    Event::Action {
-                        tid,
-                        action: Action::new(
-                            sim_dict_obj(*dict),
-                            dict_ids().get,
-                            vec![key.clone()],
-                            v,
-                        ),
-                    },
-                    width,
-                );
-            }
-            SimOp::DictSize { dict } => {
-                let v = Value::Int(dicts[*dict].len() as i64);
-                emit(
-                    &mut trace,
-                    Event::Action {
-                        tid,
-                        action: Action::new(sim_dict_obj(*dict), dict_ids().size, vec![], v),
-                    },
-                    width,
-                );
-            }
-            SimOp::Lock(l) => {
-                assert!(
-                    lock_owner[*l].is_none(),
-                    "scheduler picked a blocked thread"
-                );
-                lock_owner[*l] = Some(t);
-                emit(
-                    &mut trace,
-                    Event::Acquire {
-                        tid,
-                        lock: LockId(*l as u64),
-                    },
-                    width,
-                );
-            }
-            SimOp::Unlock(l) => {
-                assert_eq!(
-                    lock_owner[*l],
-                    Some(t),
-                    "thread {tid} unlocks lock {l} it does not hold"
-                );
-                lock_owner[*l] = None;
-                emit(
-                    &mut trace,
-                    Event::Release {
-                        tid,
-                        lock: LockId(*l as u64),
-                    },
-                    width,
-                );
-            }
-        }
+        let t = scheduler.choose(&runnable);
+        let event = state.step(t);
+        emit(&mut trace, event, width);
     }
 
     for t in 0..n {
@@ -355,7 +533,7 @@ fn simulate_inner(
             0,
         );
     }
-    (trace, dicts)
+    (trace, state.into_dicts())
 }
 
 #[cfg(test)]
@@ -403,6 +581,37 @@ mod tests {
         // Some pair of seeds yields different interleavings.
         let t0 = simulate(&program, 0);
         assert!((1..20).any(|s| simulate(&program, s) != t0));
+    }
+
+    #[test]
+    fn scripted_scheduler_reproduces_an_exact_interleaving() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![vec![put(0, 1, 10), get(0, 1)], vec![put(0, 1, 20)]],
+        };
+        // t2's put lands between t1's put and get.
+        let (trace, dicts) =
+            simulate_with_scheduler(&program, &mut ScriptedScheduler::new(vec![0, 1, 0]));
+        let actions: Vec<_> = trace.iter().filter_map(|e| e.action()).collect();
+        assert_eq!(actions[1].ret(), &Value::Int(10)); // t2 overwrites t1's put
+        assert_eq!(actions[2].ret(), &Value::Int(20)); // get sees t2's value
+        assert_eq!(dicts[0][&Value::Int(1)], Value::Int(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "not runnable")]
+    fn scripted_scheduler_rejects_blocked_threads() {
+        let program = SimProgram {
+            num_dicts: 0,
+            num_locks: 1,
+            threads: vec![
+                vec![SimOp::Lock(0), SimOp::Unlock(0)],
+                vec![SimOp::Lock(0), SimOp::Unlock(0)],
+            ],
+        };
+        // Thread 1 (index 1) cannot run while thread 0 holds the lock.
+        simulate_with_scheduler(&program, &mut ScriptedScheduler::new(vec![0, 1, 0, 1]));
     }
 
     #[test]
