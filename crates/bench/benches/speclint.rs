@@ -1,0 +1,41 @@
+//! Cost of the spec linter's full five-pass analysis, over the builtin
+//! specifications and synthetic specifications of growing size. The
+//! soundness audit (L010) only engages for builtin-named specs, so the
+//! builtin group includes the bounded model checking and the synthetic
+//! group isolates the formula/pipeline passes.
+
+use crace_bench::synthetic_spec;
+use crace_spec::builtin;
+use crace_speclint::lint;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_builtins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speclint_builtin");
+    for name in ["dictionary", "dictionary_ext", "set", "queue"] {
+        let source = builtin::source(name).expect("builtin source");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &source, |b, src| {
+            b.iter(|| lint(src).expect("parseable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speclint_synthetic");
+    for methods in [2usize, 4, 8] {
+        let source = synthetic_spec(methods, 2).to_source();
+        group.bench_with_input(BenchmarkId::new("methods", methods), &source, |b, src| {
+            b.iter(|| lint(src).expect("parseable"))
+        });
+    }
+    for atoms in [1usize, 3, 5] {
+        let source = synthetic_spec(2, atoms).to_source();
+        group.bench_with_input(BenchmarkId::new("atoms", atoms), &source, |b, src| {
+            b.iter(|| lint(src).expect("parseable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builtins, bench_synthetic);
+criterion_main!(benches);

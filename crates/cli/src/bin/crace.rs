@@ -1,7 +1,8 @@
 //! The `crace` command-line tool.
 //!
 //! ```text
-//! crace check   <spec-file>                 # parse + lint a specification
+//! crace check   <spec-file>                 # parse a specification, show basic facts
+//! crace lint    <spec-file> [--json]        # full static analysis (L000–L010)
 //! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
 //!               [--json] [--metrics[=json|prom]] [--explain]
@@ -16,10 +17,11 @@
 //! `set`, `counter`, `register`, `queue`) instead of a path.
 //!
 //! Exit codes: 0 success, 1 error, 2 usage, 3 races found (replay or
-//! explore), 4 explore found a detector invariant violation.
+//! explore), 4 explore found a detector invariant violation. `lint` has its
+//! own contract: 0 clean, 2 warnings only, 3 any error.
 
 use crace_cli::{parse_program, parse_trace, render_program, render_trace};
-use crace_core::{translate, Direct, TraceDetector};
+use crace_core::{translate, Direct, TraceDetector, TranslateError};
 use crace_fasttrack::FastTrack;
 use crace_model::{replay, Analysis, Event, ObjId, Observer, RaceReport, Trace};
 use crace_obs::{Registry, Snapshot};
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -56,6 +59,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   crace check   <spec-file|builtin>
+  crace lint    <spec-file|builtin> [--json]
   crace compile <spec-file|builtin> [--dot]
   crace replay  <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--json]
@@ -69,23 +73,53 @@ usage:
   crace builtins
 
 exit codes: 0 ok, 1 error, 2 usage, 3 races found, 4 invariant violation
+            (lint: 0 clean, 2 warnings only, 3 any error)
 ";
 
 /// Window of trailing events kept per object for `--explain`.
 const EXPLAIN_WINDOW: usize = 8;
 
-fn load_spec(name: &str) -> Result<Spec, String> {
-    match name {
-        "dictionary" => return Ok(builtin::dictionary()),
-        "dictionary_ext" => return Ok(builtin::dictionary_ext()),
-        "set" => return Ok(builtin::set()),
-        "counter" => return Ok(builtin::counter()),
-        "register" => return Ok(builtin::register()),
-        "queue" => return Ok(builtin::queue()),
-        _ => {}
+/// Reads a spec source text: a builtin's embedded source, or a file.
+fn load_source(name: &str) -> Result<String, String> {
+    match builtin::source(name) {
+        Some(src) => Ok(src.to_string()),
+        None => std::fs::read_to_string(name).map_err(|e| format!("cannot read `{name}`: {e}")),
     }
-    let source = std::fs::read_to_string(name).map_err(|e| format!("cannot read `{name}`: {e}"))?;
-    crace_spec::parse(&source).map_err(|e| e.render(&source))
+}
+
+/// Loads a spec together with its source text, so later errors (e.g. a
+/// failed translation) can point back into the offending rule.
+fn load_spec(name: &str) -> Result<(Spec, String), String> {
+    let source = load_source(name)?;
+    let spec = crace_spec::parse(&source).map_err(|e| e.render(&source))?;
+    Ok((spec, source))
+}
+
+/// Renders a [`TranslateError`] as a compiler-style report with the span of
+/// the offending rule, falling back to the bare message when the spec has
+/// no recorded span for it.
+fn render_translate_error(e: &TranslateError, spec: &Spec, source: &str) -> String {
+    let span = match e {
+        TranslateError::NotEcl { m1, m2, .. } => spec
+            .method_id(m1)
+            .zip(spec.method_id(m2))
+            .and_then(|(a, b)| spec.rule_span(a, b)),
+        TranslateError::TooManyAtoms { method, .. } => spec.method_id(method).and_then(|m| {
+            (0..spec.num_methods())
+                .filter_map(|o| spec.rule_span(m, crace_model::MethodId(o as u32)))
+                .min_by_key(|s| s.start)
+        }),
+    };
+    match span {
+        Some(span) => {
+            let (line, col) = crace_spec::line_col(source, span);
+            format!(
+                "{e} (line {line}, column {col})\n{}",
+                crace_spec::render_snippet(source, span)
+            )
+        }
+        None => e.to_string(),
+    }
 }
 
 fn cmd_builtins() -> Result<ExitCode, String> {
@@ -100,9 +134,36 @@ fn cmd_builtins() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("expected a spec file")?;
+    let mut json = false;
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let source = load_source(name)?;
+    let report = match crace_speclint::lint(&source) {
+        Ok(report) => report,
+        Err(e) => {
+            // Unrecoverable (syntax / method table): render and use the
+            // lint error exit code.
+            eprint!("{}", e.render(&source));
+            return Ok(ExitCode::from(3));
+        }
+    };
+    if json {
+        println!("{}", report.to_json(&source));
+    } else {
+        print!("{}", report.render_pretty(&source));
+    }
+    Ok(ExitCode::from(report.exit_code() as u8))
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("expected a spec file")?;
-    let spec = load_spec(name)?;
+    let (spec, _) = load_spec(name)?;
     println!("spec `{}`: {} method(s)", spec.name(), spec.num_methods());
     println!("  ECL fragment: {}", spec.is_ecl());
     let missing = spec.missing_rules();
@@ -133,8 +194,8 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_compile(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("expected a spec file")?;
     let dot = args.iter().any(|a| a == "--dot");
-    let spec = load_spec(name)?;
-    let compiled = translate(&spec).map_err(|e| e.to_string())?;
+    let (spec, source) = load_spec(name)?;
+    let compiled = translate(&spec).map_err(|e| render_translate_error(&e, &spec, &source))?;
     if dot {
         println!("graph conflicts {{");
         println!("  label=\"access-point conflicts of `{}`\";", spec.name());
@@ -226,6 +287,7 @@ fn feed_clock_stats(registry: &Registry, name: &str, stats: &ClockStats) {
 fn run_observed(
     trace: &Trace,
     spec: &Spec,
+    source: &str,
     detector: &str,
     explain: bool,
 ) -> Result<Replayed, String> {
@@ -236,7 +298,8 @@ fn run_observed(
             } else {
                 TraceDetector::new()
             };
-            let compiled = Arc::new(translate(spec).map_err(|e| e.to_string())?);
+            let compiled =
+                Arc::new(translate(spec).map_err(|e| render_translate_error(&e, spec, source))?);
             for obj in objects_of(trace) {
                 d.register(obj, Arc::clone(&compiled));
             }
@@ -281,12 +344,12 @@ fn run_observed(
     })
 }
 
-fn load_trace(opts: &ReplayOpts) -> Result<(Spec, Trace), String> {
-    let spec = load_spec(&opts.spec_name)?;
-    let source = std::fs::read_to_string(&opts.trace_path)
+fn load_trace(opts: &ReplayOpts) -> Result<(Spec, String, Trace), String> {
+    let (spec, spec_source) = load_spec(&opts.spec_name)?;
+    let trace_source = std::fs::read_to_string(&opts.trace_path)
         .map_err(|e| format!("cannot read `{}`: {e}", opts.trace_path))?;
-    let trace = parse_trace(&source, &spec).map_err(|e| e.to_string())?;
-    Ok((spec, trace))
+    let trace = parse_trace(&trace_source, &spec).map_err(|e| e.to_string())?;
+    Ok((spec, spec_source, trace))
 }
 
 fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
@@ -310,7 +373,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
             return Err(format!("unknown metrics format `{format}`"));
         }
     }
-    let (spec, trace) = load_trace(&opts)?;
+    let (spec, spec_source, trace) = load_trace(&opts)?;
     if !json {
         println!(
             "replaying {} event(s), {} thread(s), detector `{}` …",
@@ -319,7 +382,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
             opts.detector
         );
     }
-    let run = run_observed(&trace, &spec, &opts.detector, explain)?;
+    let run = run_observed(&trace, &spec, &spec_source, &opts.detector, explain)?;
 
     if json {
         print!("{}", run.report.to_json());
@@ -361,8 +424,8 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     if !matches!(format.as_str(), "json" | "prom" | "pretty") {
         return Err(format!("unknown format `{format}`"));
     }
-    let (spec, trace) = load_trace(&opts)?;
-    let run = run_observed(&trace, &spec, &opts.detector, false)?;
+    let (spec, spec_source, trace) = load_trace(&opts)?;
+    let run = run_observed(&trace, &spec, &spec_source, &opts.detector, false)?;
     match format.as_str() {
         "json" => print!("{}", run.snapshot.to_json()),
         "prom" => print!("{}", run.snapshot.to_prometheus()),

@@ -1,0 +1,155 @@
+//! End-to-end tests of `crace lint`: exit-code contract (0 clean, 2
+//! warnings only, 3 any error), one intended code per seeded-bug fixture,
+//! `--json` output, and the span-carrying compile-error reports. CI runs
+//! the same invocations against the committed fixtures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests/data/lint");
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+fn crace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_crace"))
+        .args(args)
+        .output()
+        .expect("run crace")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+const ALL_CODES: [&str; 11] = [
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+];
+
+/// Lints a fixture and asserts the exit code plus that exactly the intended
+/// diagnostic code appears (possibly several times) and no other one does.
+fn assert_fixture(name: &str, code: &str, exit: i32) {
+    let out = crace(&["lint", &fixture(name)]);
+    assert_eq!(out.status.code(), Some(exit), "{name}: {out:?}");
+    let text = stdout(&out);
+    assert!(text.contains(&format!("[{code}]")), "{name}: {text}");
+    for other in ALL_CODES.iter().filter(|c| *c != &code) {
+        assert!(
+            !text.contains(&format!("[{other}]")),
+            "{name} unexpectedly fired {other}: {text}"
+        );
+    }
+    // The JSON view agrees on the code and the exit code.
+    let out = crace(&["lint", &fixture(name), "--json"]);
+    assert_eq!(out.status.code(), Some(exit), "{name} --json: {out:?}");
+    let json = stdout(&out);
+    crace_obs::json::validate(json.trim()).unwrap_or_else(|e| panic!("{name}: {e}\n{json}"));
+    assert!(
+        json.contains(&format!("\"code\":\"{code}\"")),
+        "{name}: {json}"
+    );
+    assert!(
+        json.contains(&format!("\"exit_code\":{exit}")),
+        "{name}: {json}"
+    );
+}
+
+#[test]
+fn builtins_lint_clean() {
+    for name in [
+        "dictionary",
+        "dictionary_ext",
+        "set",
+        "counter",
+        "register",
+        "queue",
+    ] {
+        let out = crace(&["lint", name]);
+        assert_eq!(out.status.code(), Some(0), "{name}: {out:?}");
+        assert!(stdout(&out).contains("clean: no findings"), "{name}");
+    }
+}
+
+#[test]
+fn asymmetric_rule_fires_l003() {
+    assert_fixture("asymmetric.spec", "L003", 3);
+}
+
+#[test]
+fn non_ecl_formula_fires_l001() {
+    assert_fixture("non_ecl.spec", "L001", 3);
+}
+
+#[test]
+fn subsumed_conjunct_fires_l005() {
+    assert_fixture("subsumed.spec", "L005", 2);
+}
+
+#[test]
+fn dead_conjunct_fires_l006() {
+    assert_fixture("dead_conjunct.spec", "L006", 2);
+}
+
+#[test]
+fn missing_pair_fires_l008() {
+    assert_fixture("missing_pair.spec", "L008", 2);
+}
+
+#[test]
+fn unsound_commute_claim_fires_l010() {
+    assert_fixture("unsound.spec", "L010", 3);
+}
+
+#[test]
+fn disagreeing_orientations_fire_l004() {
+    assert_fixture("orientation.spec", "L004", 3);
+}
+
+#[test]
+fn lint_reports_carets_for_spanned_findings() {
+    let out = crace(&["lint", &fixture("asymmetric.spec")]);
+    let text = stdout(&out);
+    assert!(text.contains("line 4"), "{text}");
+    assert!(text.contains('^'), "{text}");
+}
+
+#[test]
+fn lint_summary_reports_conflict_check_bounds() {
+    // Fig. 7: put triggers at most 3 conflict checks, get and size 1 each.
+    let out = crace(&["lint", "dictionary"]);
+    let text = stdout(&out);
+    assert!(text.contains("put <= 3, get <= 1, size <= 1"), "{text}");
+}
+
+#[test]
+fn lint_syntax_error_exits_3_with_rendered_span() {
+    let dir = std::env::temp_dir().join("crace_lint_syntax");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.spec");
+    std::fs::write(&path, "spec broken {\n  method m(;\n}\n").unwrap();
+    let out = crace(&["lint", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains('^'), "{err}");
+}
+
+#[test]
+fn compile_error_reports_the_offending_rule_span() {
+    // `compile` on a non-ECL spec fails with a caret report pointing at the
+    // rule, not a bare Debug print.
+    let out = crace(&["compile", &fixture("non_ecl.spec")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(err.contains("outside ECL"), "{err}");
+    assert!(err.contains("line 4"), "{err}");
+    assert!(err.contains('^'), "{err}");
+}
+
+#[test]
+fn lint_unknown_option_exits_1() {
+    let out = crace(&["lint", "dictionary", "--bogus"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}

@@ -68,7 +68,9 @@ pub use detector::TraceDetector;
 pub use direct::{Direct, DirectDetector};
 pub use engine::{ClockMode, ObjState, RaceHit};
 pub use points::{AccessPoint, ClassId, CompiledSpec, PointKind, TranslationStats};
-pub use translate::{translate, TranslateError};
+pub use translate::{
+    translate, translate_with, OptPass, TranslateError, A3_PIPELINE, MAX_ATOMS_PER_METHOD,
+};
 
 mod rd2;
 pub use rd2::Rd2;

@@ -99,7 +99,8 @@ pub(crate) struct MethodTable {
 /// Theorem 6.6 (bounded conflict degree) quantitatively.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TranslationStats {
-    /// Symbolic point classes before optimization.
+    /// Symbolic points of the unoptimized §6.2 representation: a `ds`
+    /// point and one point per slot for every `(method, β)`.
     pub raw_classes: usize,
     /// Classes after congruence merging and cleanup.
     pub classes: usize,
@@ -193,6 +194,37 @@ impl CompiledSpec {
             }
         }
         set.into_iter().collect()
+    }
+
+    /// The largest number of pairwise conflict checks an invocation of
+    /// `method` can trigger: the maximum over the method's β vectors of
+    /// `Σ_{pt ∈ ηₒ} |Cₒ(pt.class)|`.
+    ///
+    /// This is the static per-pair bound of Theorem 6.6 — in the ECL
+    /// fragment it is a constant independent of trace length, which is
+    /// exactly what the fragment-conformance lint reports per method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range for the specification.
+    pub fn max_conflict_checks(&self, method: crace_model::MethodId) -> usize {
+        self.methods[method.index()]
+            .touch
+            .iter()
+            .map(|templates| {
+                templates
+                    .iter()
+                    .map(|t| {
+                        let class = match *t {
+                            TouchTemplate::Ds(c) => c,
+                            TouchTemplate::Slot(c, _) => c,
+                        };
+                        self.conflicting(class).len()
+                    })
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Computes the β index of an action: bit `k` holds atom `k`'s truth

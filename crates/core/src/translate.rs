@@ -1,24 +1,33 @@
 //! The ECL → access-point translation (§6.2) with the Appendix A.3
 //! optimization pipeline.
 //!
-//! The translation proceeds in three stages:
+//! The translation first **symbolically enumerates** the unoptimized
+//! representation: for every method `m`, the relevant normalized LB atoms
+//! `B(Φ, m)` are collected and every β vector (a truth assignment to them)
+//! is enumerated, materializing a `ds` point and one point per slot for
+//! each `(m, β)`. For every method pair and every `(β₁, β₂)`, the
+//! specification formula is β-substituted (Lemma 6.4) leaving an LS
+//! residue; a `false` residue yields a `ds`–`ds` conflict (rule 1 of §6.2),
+//! and each residual conjunct `xᵢ ≠ yⱼ` yields a value-carrying slot–slot
+//! conflict (rule 2).
 //!
-//! 1. **Symbolic enumeration.** For every method `m`, the relevant
-//!    normalized LB atoms `B(Φ, m)` are collected and every β vector (a
-//!    truth assignment to them) is enumerated. For every method pair and
-//!    every `(β₁, β₂)`, the specification formula is β-substituted
-//!    (Lemma 6.4) leaving an LS residue; a `false` residue yields a
-//!    `ds`–`ds` conflict (rule 1 of §6.2), and each residual conjunct
-//!    `xᵢ ≠ yⱼ` yields a value-carrying slot–slot conflict (rule 2).
-//! 2. **Congruence merging** (the *consolidation*, *dropping* and
-//!    *replacement* steps of A.3, generalized): two symbolic classes of the
-//!    same kind with identical conflict neighborhoods are interchangeable
-//!    and are merged; merging is iterated to a fixpoint, in the style of
-//!    DFA minimization. This is what collapses the dictionary's
-//!    `2^|B|`-many `put` slot points into the two classes `o:w:k`/`o:r:k`
-//!    of Fig. 7 and merges `get`'s key point into `o:r:k`.
-//! 3. **Cleanup**: symbolic points that participate in no conflict are
-//!    never materialized at all (e.g. `o:noresize`, `get`'s `ds` point).
+//! The A.3 **optimization pipeline** ([`A3_PIPELINE`]) then shrinks the
+//! representation, one [`OptPass`] at a time:
+//!
+//! 1. [`OptPass::Consolidate`] — merge same-method points (same role,
+//!    different β) with identical conflict neighborhoods.
+//! 2. [`OptPass::Drop`] — remove points that participate in no conflict
+//!    (e.g. `o:noresize`, `get`'s `ds` point in Fig. 7).
+//! 3. [`OptPass::Replace`] — merge points *across* methods with identical
+//!    conflict neighborhoods, iterated to a fixpoint in the style of DFA
+//!    minimization; this merges `get`'s key point into `o:r:k`.
+//! 4. [`OptPass::Cleanup`] — final normalization: dense class numbering,
+//!    sorted conflict lists and coalesced labels.
+//!
+//! Each pass is individually semantics-preserving (Definition 4.5 — the
+//! representation conflict relation stays equivalent to `¬ϕ`), which
+//! [`translate_with`] makes externally checkable by accepting any pass
+//! subsequence; the spec linter audits exactly this differentially.
 //!
 //! The result guarantees Theorem 6.6: every class conflicts with a bounded
 //! number of classes, so Algorithm 1 performs Θ(1) hash lookups per touched
@@ -35,7 +44,54 @@ use std::fmt;
 
 /// Maximum number of normalized LB atoms per method (β vectors are
 /// enumerated exhaustively, so this bounds `2^n` blowup).
-const MAX_ATOMS_PER_METHOD: usize = 16;
+pub const MAX_ATOMS_PER_METHOD: usize = 16;
+
+/// One optimization pass of the Appendix A.3 pipeline.
+///
+/// Every pass is semantics-preserving: the compiled conflict relation after
+/// the pass is still equivalent to `¬ϕ` in the sense of Definition 4.5.
+/// [`translate_with`] runs an arbitrary subsequence, which is how the spec
+/// linter audits each pass differentially.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptPass {
+    /// Merge same-method points of the same role (ds, or the same slot
+    /// index) whose conflict neighborhoods are identical — the
+    /// *consolidation* step. This collapses β vectors that a method's
+    /// conflicts cannot distinguish.
+    Consolidate,
+    /// Remove points that participate in no conflict — the *dropping* step.
+    /// Such points can never contribute to a race and need not be tracked
+    /// at runtime.
+    Drop,
+    /// Merge points across methods whose conflict neighborhoods are
+    /// identical, iterated to a fixpoint — the *replacement* step
+    /// (generalized congruence merging in the style of DFA minimization).
+    Replace,
+    /// Final normalization: dense class renumbering in symbolic order,
+    /// sorted deduplicated conflict lists, and coalesced human-readable
+    /// labels. Performed during materialization; semantically a no-op.
+    Cleanup,
+}
+
+impl fmt::Display for OptPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OptPass::Consolidate => "consolidate",
+            OptPass::Drop => "drop",
+            OptPass::Replace => "replace",
+            OptPass::Cleanup => "cleanup",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The full Appendix A.3 optimization pipeline, in order.
+pub const A3_PIPELINE: [OptPass; 4] = [
+    OptPass::Consolidate,
+    OptPass::Drop,
+    OptPass::Replace,
+    OptPass::Cleanup,
+];
 
 /// Errors produced by [`translate`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -125,6 +181,24 @@ impl Raw {
 /// # Ok::<(), crace_core::TranslateError>(())
 /// ```
 pub fn translate(spec: &Spec) -> Result<CompiledSpec, TranslateError> {
+    translate_with(spec, &A3_PIPELINE)
+}
+
+/// Translates with an explicit subsequence of the A.3 optimization
+/// pipeline, for auditing and experimentation.
+///
+/// `translate_with(spec, &A3_PIPELINE)` is exactly [`translate`];
+/// `translate_with(spec, &[])` materializes the raw unoptimized
+/// representation of §6.2 (every `(m, β)` `ds` point and slot point, merged
+/// with nothing and dropped never). Any subsequence in between runs just
+/// those passes, each of which preserves the Definition 4.5 conflict
+/// semantics — the spec linter exercises this to check the passes
+/// differentially.
+///
+/// # Errors
+///
+/// Same conditions as [`translate`].
+pub fn translate_with(spec: &Spec, passes: &[OptPass]) -> Result<CompiledSpec, TranslateError> {
     let num_methods = spec.num_methods();
 
     // B(Φ, m) per method, in fixed order.
@@ -221,57 +295,63 @@ pub fn translate(spec: &Spec) -> Result<CompiledSpec, TranslateError> {
         }
     }
 
-    // Dense ids for the materialized symbolic classes.
-    let raws: Vec<Raw> = adjacency.keys().cloned().collect();
+    // Materialize every symbolic point of the unoptimized representation:
+    // a `ds` point and one point per slot for each `(m, β)`. The pipeline
+    // decides what survives; with no passes this is the raw §6.2 output.
+    let mut all: BTreeSet<Raw> = BTreeSet::new();
+    for (m, method_atoms) in atoms.iter().enumerate().take(num_methods) {
+        let n_atoms = method_atoms.len();
+        let num_slots = spec.sig(MethodId(m as u32)).num_slots();
+        for beta in 0..(1usize << n_atoms) {
+            all.insert(Raw::Ds { m: m as u32, beta });
+            for i in 0..num_slots {
+                all.insert(Raw::Slot {
+                    m: m as u32,
+                    beta,
+                    i,
+                });
+            }
+        }
+    }
+    debug_assert!(adjacency.keys().all(|r| all.contains(r)));
+    let raws: Vec<Raw> = all.into_iter().collect();
     let raw_id: BTreeMap<&Raw, usize> = raws.iter().enumerate().map(|(i, r)| (r, i)).collect();
     let n = raws.len();
-    let neighbors: Vec<Vec<usize>> = raws
+    let neighbors: Vec<BTreeSet<usize>> = raws
         .iter()
-        .map(|r| adjacency[r].iter().map(|x| raw_id[x]).collect())
+        .map(|r| {
+            adjacency
+                .get(r)
+                .map(|s| s.iter().map(|x| raw_id[x]).collect())
+                .unwrap_or_default()
+        })
         .collect();
 
-    // Stage 2: congruence merging to a fixpoint.
+    // Stage 2: the optimization pipeline over a representative map (class
+    // merging) and a liveness map (class dropping).
     let mut rep: Vec<usize> = (0..n).collect();
-    loop {
-        // Canonical neighbor sets under the current representative map.
-        let canon: Vec<BTreeSet<usize>> = (0..n)
-            .map(|i| neighbors[i].iter().map(|&x| rep[x]).collect())
-            .collect();
-        let mut groups: BTreeMap<(bool, &BTreeSet<usize>), usize> = BTreeMap::new();
-        let mut changed = false;
-        let mut new_rep = rep.clone();
-        for i in 0..n {
-            if rep[i] != i {
-                continue; // already merged away
-            }
-            let key = (raws[i].kind() == PointKind::Ds, &canon[i]);
-            match groups.get(&key) {
-                Some(&leader) => {
-                    new_rep[i] = leader;
-                    changed = true;
-                }
-                None => {
-                    groups.insert(key, i);
+    let mut alive: Vec<bool> = vec![true; n];
+    for pass in passes {
+        match pass {
+            OptPass::Consolidate => merge_congruent(&raws, &neighbors, &mut rep, &alive, true),
+            OptPass::Replace => merge_congruent(&raws, &neighbors, &mut rep, &alive, false),
+            OptPass::Drop => {
+                // A point with no conflicts can never race; merging never
+                // grows a neighborhood, so the raw set is authoritative.
+                for i in 0..n {
+                    if neighbors[i].is_empty() {
+                        alive[i] = false;
+                    }
                 }
             }
-        }
-        // Path-compress: members of merged classes follow their class.
-        for i in 0..n {
-            let mut r = new_rep[i];
-            while new_rep[r] != r {
-                r = new_rep[r];
-            }
-            new_rep[i] = r;
-        }
-        rep = new_rep;
-        if !changed {
-            break;
+            // Normalization (dense numbering, sorted conflict lists,
+            // coalesced labels) happens at materialization below.
+            OptPass::Cleanup => {}
         }
     }
 
     // Stage 3: number surviving classes and rebuild adjacency.
-    let mut live: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
-    live.sort_unstable();
+    let live: Vec<usize> = (0..n).filter(|&i| rep[i] == i && alive[i]).collect();
     let final_id: BTreeMap<usize, ClassId> = live
         .iter()
         .enumerate()
@@ -317,7 +397,8 @@ pub fn translate(spec: &Spec) -> Result<CompiledSpec, TranslateError> {
         for beta in 0..(1usize << n_atoms) {
             let mut templates = Vec::new();
             let ds = Raw::Ds { m: m as u32, beta };
-            if let Some(&id) = raw_id.get(&ds) {
+            let id = raw_id[&ds];
+            if alive[id] {
                 templates.push(TouchTemplate::Ds(final_id[&rep[id]]));
             }
             for i in 0..num_slots {
@@ -326,7 +407,8 @@ pub fn translate(spec: &Spec) -> Result<CompiledSpec, TranslateError> {
                     beta,
                     i,
                 };
-                if let Some(&id) = raw_id.get(&slot) {
+                let id = raw_id[&slot];
+                if alive[id] {
                     templates.push(TouchTemplate::Slot(final_id[&rep[id]], i));
                 }
             }
@@ -351,6 +433,68 @@ pub fn translate(spec: &Spec) -> Result<CompiledSpec, TranslateError> {
             max_conflict_degree,
         },
     })
+}
+
+/// Congruence merging to a fixpoint: points with identical canonical
+/// conflict neighborhoods (neighbors mapped through the current
+/// representative map) are interchangeable and merge. With
+/// `same_method_role`, only points of the same method and role (ds, or the
+/// same slot index) merge — the *consolidation* pass; without it, any two
+/// points of the same kind merge — the *replacement* pass.
+///
+/// Merge eligibility is monotone under coarsening (equal canonical
+/// neighborhoods stay equal as the partition coarsens), so the fixpoint is
+/// confluent: consolidation merges a subset of what replacement would, and
+/// running it first never changes replacement's final partition.
+fn merge_congruent(
+    raws: &[Raw],
+    neighbors: &[BTreeSet<usize>],
+    rep: &mut Vec<usize>,
+    alive: &[bool],
+    same_method_role: bool,
+) {
+    let n = raws.len();
+    loop {
+        // Canonical neighbor sets under the current representative map.
+        let canon: Vec<BTreeSet<usize>> = (0..n)
+            .map(|i| neighbors[i].iter().map(|&x| rep[x]).collect())
+            .collect();
+        type Key<'a> = (bool, Option<(u32, usize)>, &'a BTreeSet<usize>);
+        let mut groups: BTreeMap<Key<'_>, usize> = BTreeMap::new();
+        let mut changed = false;
+        let mut new_rep = rep.clone();
+        for i in 0..n {
+            if rep[i] != i || !alive[i] {
+                continue; // already merged away, or dropped
+            }
+            let role = same_method_role.then(|| match &raws[i] {
+                Raw::Ds { m, .. } => (*m, usize::MAX),
+                Raw::Slot { m, i: slot, .. } => (*m, *slot),
+            });
+            let key = (raws[i].kind() == PointKind::Ds, role, &canon[i]);
+            match groups.get(&key) {
+                Some(&leader) => {
+                    new_rep[i] = leader;
+                    changed = true;
+                }
+                None => {
+                    groups.insert(key, i);
+                }
+            }
+        }
+        // Path-compress: members of merged classes follow their class.
+        for i in 0..n {
+            let mut r = new_rep[i];
+            while new_rep[r] != r {
+                r = new_rep[r];
+            }
+            new_rep[i] = r;
+        }
+        *rep = new_rep;
+        if !changed {
+            break;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -482,6 +626,69 @@ mod tests {
             );
             assert!(c.num_classes() <= c.stats().raw_classes);
         }
+    }
+
+    #[test]
+    fn every_pipeline_prefix_and_single_pass_preserves_semantics() {
+        // Definition 4.5 equivalence must hold for the raw representation,
+        // after each individual pass, and after the full pipeline.
+        let variants: Vec<(&str, Vec<OptPass>)> = vec![
+            ("raw", vec![]),
+            ("consolidate", vec![OptPass::Consolidate]),
+            ("drop", vec![OptPass::Drop]),
+            ("replace", vec![OptPass::Replace]),
+            ("cleanup", vec![OptPass::Cleanup]),
+            ("full", A3_PIPELINE.to_vec()),
+        ];
+        for spec in builtin::all() {
+            let actions = enumerate_actions(&spec);
+            for (name, passes) in &variants {
+                let c = translate_with(&spec, passes).unwrap();
+                for a in &actions {
+                    for b in &actions {
+                        assert_eq!(
+                            c.actions_conflict(a, b),
+                            !spec.commute(a, b),
+                            "spec {} pass {name}: a = {a}, b = {b}",
+                            spec.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_pipeline_equals_translate() {
+        for spec in builtin::all() {
+            let via_with = translate_with(&spec, &A3_PIPELINE).unwrap();
+            let via_translate = translate(&spec).unwrap();
+            assert_eq!(via_with.num_classes(), via_translate.num_classes());
+            assert_eq!(via_with.stats(), via_translate.stats());
+        }
+    }
+
+    #[test]
+    fn raw_translation_materializes_every_symbolic_point() {
+        let spec = builtin::dictionary();
+        let raw = translate_with(&spec, &[]).unwrap();
+        // Nothing merged, nothing dropped: classes == raw points.
+        assert_eq!(raw.num_classes(), raw.stats().raw_classes);
+        // The optimized result is strictly smaller.
+        let full = translate(&spec).unwrap();
+        assert!(full.num_classes() < raw.num_classes());
+        assert_eq!(full.stats().raw_classes, raw.stats().raw_classes);
+    }
+
+    #[test]
+    fn max_conflict_checks_matches_fig7() {
+        let spec = builtin::dictionary();
+        let c = translate(&spec).unwrap();
+        // put's worst β touches {o:w:k, o:resize}: |C(w)| + |C(resize)| = 3.
+        assert_eq!(c.max_conflict_checks(spec.method_id("put").unwrap()), 3);
+        // get touches only o:r:k, which conflicts with {o:w:k}.
+        assert_eq!(c.max_conflict_checks(spec.method_id("get").unwrap()), 1);
+        assert_eq!(c.max_conflict_checks(spec.method_id("size").unwrap()), 1);
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! Surface syntax trees produced by the parser, consumed by the resolver.
+//!
+//! The AST is deliberately close to the source text — every node carries the
+//! [`Span`] it was parsed from — so that tools which diagnose rather than
+//! reject (notably `crace-speclint`) can resolve rule-by-rule and report
+//! precise locations even for specs the strict resolver would refuse.
 
 use crate::error::Span;
 use crace_model::Value;
@@ -6,16 +11,22 @@ use crace_model::Value;
 /// A parsed `spec <name> { … }` block.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpecAst {
+    /// The declared specification name.
     pub name: String,
+    /// Span of the name token.
     pub name_span: Span,
+    /// The `method` declarations, in source order.
     pub methods: Vec<MethodDecl>,
+    /// The `commute` rules, in source order.
     pub rules: Vec<CommuteDecl>,
 }
 
 /// `method name(arg, …) -> ret;`
 #[derive(Clone, Debug, PartialEq)]
 pub struct MethodDecl {
+    /// The method name.
     pub name: String,
+    /// Span of the whole declaration.
     pub span: Span,
     /// Declared argument names (documentation only; binding happens per rule).
     pub args: Vec<String>,
@@ -26,16 +37,22 @@ pub struct MethodDecl {
 /// `commute pat1, pat2 when formula;`
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommuteDecl {
+    /// Pattern for the first action.
     pub first: Pattern,
+    /// Pattern for the second action.
     pub second: Pattern,
+    /// The unresolved `when` condition.
     pub formula: FormulaAst,
+    /// Span of the whole rule.
     pub span: Span,
 }
 
 /// An action pattern `name(v1, …) -> r` binding variables to slots.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Pattern {
+    /// The named method.
     pub method: String,
+    /// Span of the pattern.
     pub span: Span,
     /// One binder per argument.
     pub args: Vec<Binder>,
@@ -46,7 +63,9 @@ pub struct Pattern {
 /// A variable binder in a pattern: a name or the wildcard `_`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Binder {
+    /// `_` — the slot is ignored by the formula.
     Wildcard(Span),
+    /// A named binder usable in the `when` formula.
     Named(String, Span),
 }
 
@@ -54,16 +73,26 @@ pub enum Binder {
 /// with `&&`, `||` and `!`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FormulaAst {
+    /// The constant `true`.
     True(Span),
+    /// The constant `false`.
     False(Span),
+    /// A comparison `lhs op rhs`.
     Cmp {
+        /// The comparison operator.
         op: crate::formula::CmpOp,
+        /// Left operand.
         lhs: TermAst,
+        /// Right operand.
         rhs: TermAst,
+        /// Span of the whole comparison.
         span: Span,
     },
+    /// Logical negation `!f`.
     Not(Box<FormulaAst>, Span),
+    /// Conjunction `a && b`.
     And(Box<FormulaAst>, Box<FormulaAst>),
+    /// Disjunction `a || b`.
     Or(Box<FormulaAst>, Box<FormulaAst>),
 }
 
@@ -81,7 +110,9 @@ impl FormulaAst {
 /// An unresolved term: a variable reference or a literal value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TermAst {
+    /// A variable bound by one of the rule's patterns.
     Var(String, Span),
+    /// A literal value.
     Lit(Value, Span),
 }
 

@@ -196,6 +196,23 @@ pub fn queue() -> Spec {
     parse_builtin(QUEUE_SRC)
 }
 
+/// The source text of the builtin specification called `name`, if any.
+///
+/// Names match the spec names used by [`all`]; tools that accept either a
+/// builtin name or a file path (the CLI) use this to recover source text for
+/// span-carrying diagnostics.
+pub fn source(name: &str) -> Option<&'static str> {
+    match name {
+        "dictionary" => Some(DICTIONARY_SRC),
+        "dictionary_ext" => Some(DICTIONARY_EXT_SRC),
+        "set" => Some(SET_SRC),
+        "counter" => Some(COUNTER_SRC),
+        "register" => Some(REGISTER_SRC),
+        "queue" => Some(QUEUE_SRC),
+        _ => None,
+    }
+}
+
 /// All builtin specifications.
 pub fn all() -> Vec<Spec> {
     vec![

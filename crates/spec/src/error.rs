@@ -41,6 +41,73 @@ impl fmt::Display for Span {
     }
 }
 
+/// The 1-based line and column of `span`'s start within `source`.
+///
+/// # Examples
+///
+/// ```
+/// use crace_spec::{line_col, Span};
+/// assert_eq!(line_col("ab\ncd", Span::new(3, 4)), (2, 1));
+/// ```
+pub fn line_col(source: &str, span: Span) -> (usize, usize) {
+    let start = (span.start as usize).min(source.len());
+    let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+    (
+        source[..start].matches('\n').count() + 1,
+        start - line_start + 1,
+    )
+}
+
+/// Maximum number of source lines a snippet renders before eliding.
+const MAX_SNIPPET_LINES: usize = 6;
+
+/// Renders the source lines covered by `span`, each followed by a caret
+/// line marking the covered columns — the snippet half of a compiler-style
+/// report (the header with the message and line/column is the caller's).
+///
+/// Spans that cross newlines (e.g. a whole multi-line `commute` rule) get
+/// every covered line with its own caret run, so the markers always sit
+/// under the text they refer to.
+///
+/// # Examples
+///
+/// ```
+/// use crace_spec::{render_snippet, Span};
+/// let snippet = render_snippet("let x\n  = y;", Span::new(4, 10));
+/// assert_eq!(snippet, "  | let x\n  |     ^\n  |   = y;\n  | ^^^^\n");
+/// ```
+pub fn render_snippet(source: &str, span: Span) -> String {
+    let start = (span.start as usize).min(source.len());
+    let end = (span.end as usize).clamp(start, source.len());
+    let mut out = String::new();
+    let mut line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+    let mut shown = 0usize;
+    loop {
+        let line_end = source[line_start..]
+            .find('\n')
+            .map_or(source.len(), |i| line_start + i);
+        if shown == MAX_SNIPPET_LINES {
+            out.push_str("  | …\n");
+            break;
+        }
+        let line = &source[line_start..line_end];
+        let from = start.clamp(line_start, line_end) - line_start;
+        let to = end.clamp(line_start, line_end) - line_start;
+        out.push_str(&format!("  | {line}\n"));
+        out.push_str(&format!(
+            "  | {}{}\n",
+            " ".repeat(from),
+            "^".repeat((to - from).max(1))
+        ));
+        shown += 1;
+        if end <= line_end || line_end == source.len() {
+            break;
+        }
+        line_start = line_end + 1;
+    }
+    out
+}
+
 /// An error produced while lexing, parsing or resolving a specification.
 ///
 /// The error carries the offending [`Span`]; [`SpecError::render`] produces
@@ -82,29 +149,15 @@ impl SpecError {
     }
 
     /// Renders a compiler-style report against the original source text:
-    /// message, `line:column`, the offending line, and a caret marker.
+    /// message, `line:column`, and every offending line with caret markers
+    /// (multi-line spans render each covered line — see [`render_snippet`]).
     pub fn render(&self, source: &str) -> String {
-        let start = (self.span.start as usize).min(source.len());
-        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
-        let line_no = source[..start].matches('\n').count() + 1;
-        let col = start - line_start + 1;
-        let line_end = source[start..]
-            .find('\n')
-            .map_or(source.len(), |i| start + i);
-        let line = &source[line_start..line_end];
-        let width = ((self.span.end as usize).min(line_end).max(start + 1) - start).max(1);
-        let mut out = String::new();
-        out.push_str(&format!(
-            "error: {} (line {line_no}, column {col})\n",
-            self.message
-        ));
-        out.push_str(&format!("  | {line}\n"));
-        out.push_str(&format!(
-            "  | {}{}\n",
-            " ".repeat(col - 1),
-            "^".repeat(width)
-        ));
-        out
+        let (line_no, col) = line_col(source, self.span);
+        format!(
+            "error: {} (line {line_no}, column {col})\n{}",
+            self.message,
+            render_snippet(source, self.span)
+        )
     }
 }
 
@@ -137,6 +190,36 @@ mod tests {
         assert!(rendered.contains("line 2, column 8"), "{rendered}");
         assert!(rendered.contains("second line here"));
         assert!(rendered.contains("^^^^"));
+    }
+
+    #[test]
+    fn render_multi_line_span_marks_every_line() {
+        let src = "alpha\nbeta gamma\ndelta";
+        // Span from "beta" through "delta" (offsets 6..22), crossing a newline.
+        let err = SpecError::new("spread out", Span::new(6, 22));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2, column 1"), "{rendered}");
+        // Both covered lines appear, each with its own caret run; the caret
+        // run for the middle line spans the whole line.
+        assert!(
+            rendered.contains("  | beta gamma\n  | ^^^^^^^^^^\n"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("  | delta\n  | ^^^^^\n"), "{rendered}");
+        // The first line is not part of the span and must not be shown.
+        assert!(!rendered.contains("alpha"), "{rendered}");
+    }
+
+    #[test]
+    fn render_elides_very_tall_spans() {
+        let src = (0..12)
+            .map(|i| format!("line{i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = SpecError::new("tall", Span::new(0, src.len() as u32));
+        let rendered = err.render(&src);
+        assert!(rendered.contains("…"), "{rendered}");
+        assert!(!rendered.contains("line7"), "{rendered}");
     }
 
     #[test]

@@ -1,9 +1,20 @@
 //! Resolved commutativity formulas, fragment classification (§6.1) and
 //! β-substitution (Lemma 6.4).
 
-use crace_model::Value;
+use crace_model::{MethodSig, Value};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Synthesized source-level variable name for `slot` of the action on
+/// `side`: `a0…` / `b0…` for arguments, `ar` / `br` for the return slot.
+pub(crate) fn slot_var(side: Side, slot: usize, sig: &MethodSig) -> String {
+    let prefix = if side == Side::First { "a" } else { "b" };
+    if slot == sig.num_args() {
+        format!("{prefix}r")
+    } else {
+        format!("{prefix}{slot}")
+    }
+}
 
 /// Which of the two actions a variable belongs to: `V1` (the first action's
 /// arguments/returns) or `V2` (the second's).
@@ -481,6 +492,72 @@ impl Formula {
             Formula::Not(f) => f.max_slot(side),
             Formula::And(a, b) | Formula::Or(a, b) => a.max_slot(side).max(b.max_slot(side)),
         }
+    }
+
+    /// Renders the formula as parseable spec-language source, with the same
+    /// synthesized variable names [`crate::Spec::to_source`] uses (`a0…/ar`
+    /// for the first action, `b0…/br` for the second). `sig1` and `sig2` are
+    /// the signatures of the two methods the formula relates, used to decide
+    /// whether a slot is an argument or the return value.
+    pub fn to_source(&self, sig1: &MethodSig, sig2: &MethodSig) -> String {
+        fn term(t: &Term, side: Side, sig: &MethodSig) -> String {
+            match t {
+                Term::Slot(i) => slot_var(side, *i, sig),
+                Term::Const(v) => v.to_string(),
+            }
+        }
+        fn go(phi: &Formula, sig1: &MethodSig, sig2: &MethodSig, prec: u8, out: &mut String) {
+            match phi {
+                Formula::True => out.push_str("true"),
+                Formula::False => out.push_str("false"),
+                Formula::NeqCross { i, j } => {
+                    out.push_str(&slot_var(Side::First, *i, sig1));
+                    out.push_str(" != ");
+                    out.push_str(&slot_var(Side::Second, *j, sig2));
+                }
+                Formula::Atom { side, pred } => {
+                    let sig = if *side == Side::First { sig1 } else { sig2 };
+                    out.push_str(&format!(
+                        "{} {} {}",
+                        term(pred.lhs(), *side, sig),
+                        pred.op(),
+                        term(pred.rhs(), *side, sig)
+                    ));
+                }
+                Formula::Not(inner) => {
+                    out.push_str("!(");
+                    go(inner, sig1, sig2, 0, out);
+                    out.push(')');
+                }
+                Formula::And(a, b) => {
+                    let need = prec > 2;
+                    if need {
+                        out.push('(');
+                    }
+                    go(a, sig1, sig2, 2, out);
+                    out.push_str(" && ");
+                    go(b, sig1, sig2, 2, out);
+                    if need {
+                        out.push(')');
+                    }
+                }
+                Formula::Or(a, b) => {
+                    let need = prec > 1;
+                    if need {
+                        out.push('(');
+                    }
+                    go(a, sig1, sig2, 1, out);
+                    out.push_str(" || ");
+                    go(b, sig1, sig2, 1, out);
+                    if need {
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, sig1, sig2, 0, &mut out);
+        out
     }
 }
 

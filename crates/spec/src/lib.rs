@@ -51,7 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod ast;
+pub mod ast;
 pub mod builtin;
 mod error;
 mod formula;
@@ -60,9 +60,26 @@ mod parser;
 mod resolve;
 mod spec;
 
-pub use error::{Span, SpecError};
+pub use error::{line_col, render_snippet, Span, SpecError};
 pub use formula::{CmpOp, Formula, Fragment, LsResidue, NormAtom, Pred, Side, Term};
+pub use resolve::{is_symmetric, resolve_methods, resolve_rule, ResolvedRule};
 pub use spec::{MethodRef, Spec, SpecBuilder};
+
+/// Parses a single specification to its surface syntax tree without
+/// resolving it.
+///
+/// This is the entry point for tools that apply their own policy to
+/// whole-spec invariants — the spec linter resolves rule-by-rule with
+/// [`resolve_rule`] so it can report *all* problems instead of stopping at
+/// the first.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for lexical and syntax errors only; name
+/// resolution has not happened yet.
+pub fn parse_ast(source: &str) -> Result<ast::SpecAst, SpecError> {
+    parser::parse_source(source)
+}
 
 /// Parses and resolves a single specification from source text.
 ///

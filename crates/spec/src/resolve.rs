@@ -1,55 +1,109 @@
 //! Resolution: surface syntax → resolved [`Spec`], enforcing the ECL
 //! variable discipline (§6.1) with span-carrying diagnostics.
 
-use crate::ast::{Binder, FormulaAst, Pattern, SpecAst, TermAst};
+use crate::ast::{Binder, CommuteDecl, FormulaAst, Pattern, SpecAst, TermAst};
 use crate::error::{Span, SpecError};
 use crate::formula::{CmpOp, Formula, Pred, Side, Term};
 use crate::spec::Spec;
 use crace_model::{MethodId, MethodSig};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// Resolves one parsed `spec` block.
-pub fn resolve(ast: &SpecAst) -> Result<Spec, SpecError> {
-    // Method table.
+/// A single `commute` rule resolved against a method table, before any
+/// whole-spec well-formedness checks (duplicates, symmetry).
+///
+/// The pair is stored in canonical orientation (`m1 <= m2`) with the formula
+/// swapped to match, so two rules for the same unordered pair compare
+/// directly. Tools that need to diagnose rather than reject — the spec
+/// linter — resolve rule-by-rule with [`resolve_rule`] and apply their own
+/// policy; [`crate::parse`] layers the strict checks on top.
+#[derive(Clone, Debug)]
+pub struct ResolvedRule {
+    /// First method of the canonically-oriented pair (`m1 <= m2`).
+    pub m1: MethodId,
+    /// Second method of the canonically-oriented pair.
+    pub m2: MethodId,
+    /// The commutativity condition, oriented to match `(m1, m2)`.
+    pub formula: Formula,
+    /// Span of the whole `commute` declaration.
+    pub span: Span,
+    /// Span of the `when` formula alone (the interesting part of most
+    /// rule-level diagnostics).
+    pub formula_span: Span,
+    /// Whether the declaration named the pair in the reverse order
+    /// (`(m2, m1)`) and was swapped into canonical orientation.
+    pub swapped: bool,
+}
+
+/// Resolves the `method` declarations of a parsed spec into a method table,
+/// rejecting duplicate names.
+pub fn resolve_methods(ast: &SpecAst) -> Result<Vec<MethodSig>, SpecError> {
     let mut methods: Vec<MethodSig> = Vec::new();
-    let mut by_name: HashMap<&str, MethodId> = HashMap::new();
+    let mut seen: HashMap<&str, ()> = HashMap::new();
     for decl in &ast.methods {
-        if by_name.contains_key(decl.name.as_str()) {
+        if seen.insert(decl.name.as_str(), ()).is_some() {
             return Err(SpecError::new(
                 format!("method `{}` declared twice", decl.name),
                 decl.span,
             ));
         }
-        by_name.insert(&decl.name, MethodId(methods.len() as u32));
         methods.push(MethodSig::new(decl.name.clone(), decl.args.len()));
     }
+    Ok(methods)
+}
 
-    // Rules.
-    let mut rules: BTreeMap<(MethodId, MethodId), Formula> = BTreeMap::new();
-    for rule in &ast.rules {
-        let (m1, bind1) = bind_pattern(&rule.first, &methods, &by_name, Side::First)?;
-        let (m2, bind2) = bind_pattern(&rule.second, &methods, &by_name, Side::Second)?;
-        // A name bound in both patterns would be ambiguous in the formula.
-        for (name, (_, _, span)) in &bind2 {
-            if bind1.contains_key(name.as_str()) {
-                return Err(SpecError::new(
-                    format!(
-                        "variable `{name}` is bound by both action patterns; \
-                         use distinct names for the two actions"
-                    ),
-                    *span,
-                ));
-            }
+/// Resolves one `commute` declaration against a method table.
+///
+/// Checks everything local to the rule (unknown methods, arity, variable
+/// discipline, cross-action atom shape) but none of the whole-spec
+/// invariants — callers that want those use [`crate::parse`].
+pub fn resolve_rule(rule: &CommuteDecl, methods: &[MethodSig]) -> Result<ResolvedRule, SpecError> {
+    let by_name: HashMap<&str, MethodId> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, sig)| (sig.name(), MethodId(i as u32)))
+        .collect();
+    let (m1, bind1) = bind_pattern(&rule.first, methods, &by_name, Side::First)?;
+    let (m2, bind2) = bind_pattern(&rule.second, methods, &by_name, Side::Second)?;
+    // A name bound in both patterns would be ambiguous in the formula.
+    for (name, (_, _, span)) in &bind2 {
+        if bind1.contains_key(name.as_str()) {
+            return Err(SpecError::new(
+                format!(
+                    "variable `{name}` is bound by both action patterns; \
+                     use distinct names for the two actions"
+                ),
+                *span,
+            ));
         }
-        let mut bindings = bind1;
-        bindings.extend(bind2);
-        let formula = resolve_formula(&rule.formula, &bindings)?;
+    }
+    let mut bindings = bind1;
+    bindings.extend(bind2);
+    let formula = resolve_formula(&rule.formula, &bindings)?;
 
-        let (key, oriented) = if m1 <= m2 {
-            ((m1, m2), formula)
-        } else {
-            ((m2, m1), formula.swap_sides())
-        };
+    let ((m1, m2), oriented, swapped) = if m1 <= m2 {
+        ((m1, m2), formula, false)
+    } else {
+        ((m2, m1), formula.swap_sides(), true)
+    };
+    Ok(ResolvedRule {
+        m1,
+        m2,
+        formula: oriented,
+        span: rule.span,
+        formula_span: rule.formula.span(),
+        swapped,
+    })
+}
+
+/// Resolves one parsed `spec` block.
+pub fn resolve(ast: &SpecAst) -> Result<Spec, SpecError> {
+    let methods = resolve_methods(ast)?;
+
+    let mut rules: BTreeMap<(MethodId, MethodId), Formula> = BTreeMap::new();
+    let mut spans: BTreeMap<(MethodId, MethodId), Span> = BTreeMap::new();
+    for rule in &ast.rules {
+        let resolved = resolve_rule(rule, &methods)?;
+        let key = (resolved.m1, resolved.m2);
         if rules.contains_key(&key) {
             return Err(SpecError::new(
                 format!(
@@ -60,20 +114,21 @@ pub fn resolve(ast: &SpecAst) -> Result<Spec, SpecError> {
                 rule.span,
             ));
         }
-        if key.0 == key.1 && !is_symmetric(&oriented) {
+        if key.0 == key.1 && !is_symmetric(&resolved.formula) {
             return Err(SpecError::new(
                 format!(
                     "commutativity of ({0}, {0}) must be symmetric: \
                      ϕ(x⃗₁;x⃗₂) must be equivalent to ϕ(x⃗₂;x⃗₁)",
                     methods[key.0.index()].name()
                 ),
-                rule.span,
+                resolved.formula_span,
             ));
         }
-        rules.insert(key, oriented);
+        spans.insert(key, resolved.span);
+        rules.insert(key, resolved.formula);
     }
 
-    Ok(Spec::from_parts(ast.name.clone(), methods, rules))
+    Ok(Spec::from_parts(ast.name.clone(), methods, rules, spans))
 }
 
 type Bindings = HashMap<String, (Side, usize, Span)>;
@@ -201,7 +256,7 @@ fn resolve_cmp(
 /// an asymmetric formula) and complete for formulas whose atoms are
 /// semantically independent, which covers all practical specifications.
 /// Formulas with more than 16 distinct atoms are accepted without checking.
-pub(crate) fn is_symmetric(phi: &Formula) -> bool {
+pub fn is_symmetric(phi: &Formula) -> bool {
     let swapped = phi.swap_sides();
     let mut atoms = BTreeSet::new();
     collect_atoms(phi, &mut atoms);
@@ -367,6 +422,59 @@ mod tests {
             parse("spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; }")
                 .unwrap_err();
         assert!(err.message().contains("symmetric"));
+    }
+
+    #[test]
+    fn three_line_rule_error_renders_against_the_right_line() {
+        // The rule spans three source lines; the symmetry violation lives in
+        // the `when` formula on the last one, and the caret must land there —
+        // not on the first line of the rule.
+        let src = "spec s {\n\
+                   method m(a) -> r;\n\
+                   commute m(x1) -> r1,\n\
+                   m(x2) -> r2\n\
+                   when x1 == r1;\n\
+                   }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message().contains("symmetric"));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 5"), "{rendered}");
+        assert!(rendered.contains("  | when x1 == r1;\n"), "{rendered}");
+        // The caret line sits under the formula, starting past `when `.
+        assert!(rendered.contains("  |      ^"), "{rendered}");
+        assert!(!rendered.contains("commute"), "{rendered}");
+    }
+
+    #[test]
+    fn resolve_rule_is_lenient_about_whole_spec_invariants() {
+        // An asymmetric same-method rule fails strict `resolve` but
+        // round-trips through `resolve_rule` so tools can diagnose it.
+        let src = "spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; }";
+        let ast = crate::parser::parse_source(src).unwrap();
+        let methods = resolve_methods(&ast).unwrap();
+        let rule = resolve_rule(&ast.rules[0], &methods).unwrap();
+        assert_eq!(rule.m1, rule.m2);
+        assert!(!rule.swapped);
+        assert!(!is_symmetric(&rule.formula));
+        assert!(rule.formula_span.start > rule.span.start);
+    }
+
+    #[test]
+    fn resolve_rule_swaps_reversed_pairs() {
+        let src = "spec s { method a(); method b(x); commute b(x2) -> _, a() when x2 == 1; }";
+        let ast = crate::parser::parse_source(src).unwrap();
+        let methods = resolve_methods(&ast).unwrap();
+        let rule = resolve_rule(&ast.rules[0], &methods).unwrap();
+        assert!(rule.swapped);
+        assert!(rule.m1 < rule.m2);
+        // The formula's atom moved to the second side under the swap.
+        assert!(matches!(
+            rule.formula,
+            Formula::Atom {
+                side: Side::Second,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Resolved specifications and the programmatic builder.
 
 use crate::error::{Span, SpecError};
-use crate::formula::{Formula, NormAtom, Pred, Side, Term};
+use crate::formula::{Formula, NormAtom, Side};
 use crace_model::{Action, MethodId, MethodSig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -38,6 +38,9 @@ pub struct Spec {
     /// Keyed by `(m1, m2)` with `m1 ≤ m2`; the stored formula's first side
     /// refers to `m1`.
     rules: BTreeMap<(MethodId, MethodId), Formula>,
+    /// Source span of each rule, when the spec came from source text
+    /// (empty for built specs). Same key orientation as `rules`.
+    rule_spans: BTreeMap<(MethodId, MethodId), Span>,
 }
 
 impl Spec {
@@ -45,11 +48,13 @@ impl Spec {
         name: String,
         methods: Vec<MethodSig>,
         rules: BTreeMap<(MethodId, MethodId), Formula>,
+        rule_spans: BTreeMap<(MethodId, MethodId), Span>,
     ) -> Spec {
         Spec {
             name,
             methods,
             rules,
+            rule_spans,
         }
     }
 
@@ -135,6 +140,16 @@ impl Spec {
         atoms
     }
 
+    /// The source span of the `commute` rule for the unordered pair
+    /// `{m1, m2}`, when this spec was resolved from source text.
+    ///
+    /// Returns `None` for pairs without a rule and for specs built
+    /// programmatically (e.g. via [`SpecBuilder`]).
+    pub fn rule_span(&self, m1: MethodId, m2: MethodId) -> Option<Span> {
+        let key = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        self.rule_spans.get(&key).copied()
+    }
+
     /// Method pairs with no declared rule (which therefore default to
     /// `false`). Useful for linting a specification for completeness.
     pub fn missing_rules(&self) -> Vec<(MethodId, MethodId)> {
@@ -156,79 +171,15 @@ impl Spec {
     /// synthesized variable names (`a0…/ar` for the first action, `b0…/br`
     /// for the second).
     pub fn to_source(&self) -> String {
-        fn var(side: Side, slot: usize, sig: &MethodSig) -> String {
-            let prefix = if side == Side::First { "a" } else { "b" };
-            if slot == sig.num_args() {
-                format!("{prefix}r")
-            } else {
-                format!("{prefix}{slot}")
-            }
-        }
-        fn term(t: &Term, side: Side, sig: &MethodSig) -> String {
-            match t {
-                Term::Slot(i) => var(side, *i, sig),
-                Term::Const(v) => v.to_string(),
-            }
-        }
-        fn pred_src(p: &Pred, side: Side, sig: &MethodSig) -> String {
-            format!(
-                "{} {} {}",
-                term(p.lhs(), side, sig),
-                p.op(),
-                term(p.rhs(), side, sig)
-            )
-        }
-        fn go(phi: &Formula, sig1: &MethodSig, sig2: &MethodSig, prec: u8, out: &mut String) {
-            match phi {
-                Formula::True => out.push_str("true"),
-                Formula::False => out.push_str("false"),
-                Formula::NeqCross { i, j } => {
-                    out.push_str(&var(Side::First, *i, sig1));
-                    out.push_str(" != ");
-                    out.push_str(&var(Side::Second, *j, sig2));
-                }
-                Formula::Atom { side, pred } => {
-                    let sig = if *side == Side::First { sig1 } else { sig2 };
-                    out.push_str(&pred_src(pred, *side, sig));
-                }
-                Formula::Not(inner) => {
-                    out.push_str("!(");
-                    go(inner, sig1, sig2, 0, out);
-                    out.push(')');
-                }
-                Formula::And(a, b) => {
-                    let need = prec > 2;
-                    if need {
-                        out.push('(');
-                    }
-                    go(a, sig1, sig2, 2, out);
-                    out.push_str(" && ");
-                    go(b, sig1, sig2, 2, out);
-                    if need {
-                        out.push(')');
-                    }
-                }
-                Formula::Or(a, b) => {
-                    let need = prec > 1;
-                    if need {
-                        out.push('(');
-                    }
-                    go(a, sig1, sig2, 1, out);
-                    out.push_str(" || ");
-                    go(b, sig1, sig2, 1, out);
-                    if need {
-                        out.push(')');
-                    }
-                }
-            }
-        }
         fn pattern(side: Side, sig: &MethodSig) -> String {
-            let args: Vec<_> = (0..sig.num_args()).map(|i| var(side, i, sig)).collect();
+            let args: Vec<_> = (0..sig.num_args())
+                .map(|i| crate::formula::slot_var(side, i, sig))
+                .collect();
             format!(
                 "{}({}) -> {}",
                 sig.name(),
                 args.join(", "),
-                var(side, sig.num_args(), sig)
+                crate::formula::slot_var(side, sig.num_args(), sig)
             )
         }
         let mut out = format!("spec {} {{\n", self.name);
@@ -243,13 +194,11 @@ impl Spec {
         for ((m1, m2), phi) in &self.rules {
             let sig1 = &self.methods[m1.index()];
             let sig2 = &self.methods[m2.index()];
-            let mut body = String::new();
-            go(phi, sig1, sig2, 0, &mut body);
             out.push_str(&format!(
                 "    commute {}, {} when {};\n",
                 pattern(Side::First, sig1),
                 pattern(Side::Second, sig2),
-                body
+                phi.to_source(sig1, sig2)
             ));
         }
         out.push('}');
@@ -388,7 +337,12 @@ impl SpecBuilder {
                 ));
             }
         }
-        Ok(Spec::from_parts(self.name, self.methods, self.rules))
+        Ok(Spec::from_parts(
+            self.name,
+            self.methods,
+            self.rules,
+            BTreeMap::new(),
+        ))
     }
 }
 

@@ -1,0 +1,437 @@
+//! The lint driver: lenient resolution, the five analysis passes, and
+//! report assembly.
+
+use crate::{audit, model, passes, Code, Diagnostic, LintReport, MethodCost, Severity, Summary};
+use crace_core::{translate, MAX_ATOMS_PER_METHOD};
+use crace_model::MethodId;
+use crace_spec::{
+    is_symmetric, line_col, resolve_methods, resolve_rule, ResolvedRule, Span, SpecBuilder,
+    SpecError,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lints one specification source text.
+///
+/// Unlike [`crace_spec::parse`], broken rules do not abort the analysis:
+/// each rule is resolved independently and whole-spec defects become
+/// diagnostics, so one report covers everything wrong with the spec.
+///
+/// # Errors
+///
+/// Only unrecoverable defects are returned as `Err`: a syntax error, or a
+/// method table that cannot be built (duplicate method names). Everything
+/// else is a [`Diagnostic`] in the report.
+pub fn lint(source: &str) -> Result<LintReport, SpecError> {
+    let ast = crace_spec::parse_ast(source)?;
+    let methods = resolve_methods(&ast)?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    // Lenient per-rule resolution: broken rules become L000, the rest of
+    // the spec is still analyzed.
+    let mut resolved: Vec<ResolvedRule> = Vec::new();
+    for rule in &ast.rules {
+        match resolve_rule(rule, &methods) {
+            Ok(r) => resolved.push(r),
+            Err(e) => diags.push(Diagnostic {
+                code: Code::L000,
+                severity: Severity::Error,
+                message: e.message().to_string(),
+                span: Some(e.span()),
+                notes: Vec::new(),
+            }),
+        }
+    }
+
+    // Pass 2a (L003): same-method rules must be symmetric in their actions.
+    let mut usable: Vec<&ResolvedRule> = Vec::new();
+    for r in &resolved {
+        if r.m1 == r.m2 && !is_symmetric(&r.formula) {
+            let name = methods[r.m1.index()].name();
+            diags.push(Diagnostic {
+                code: Code::L003,
+                severity: Severity::Error,
+                message: format!(
+                    "rule for (`{name}`, `{name}`) is not symmetric in its two \
+                     actions; ϕ(x⃗₁;x⃗₂) must be equivalent to ϕ(x⃗₂;x⃗₁)"
+                ),
+                span: Some(r.formula_span),
+                notes: vec![
+                    "the two actions of a same-method pair are interchangeable, so an \
+                     asymmetric condition cannot define their commutativity"
+                        .to_string(),
+                ],
+            });
+        } else {
+            usable.push(r);
+        }
+    }
+
+    // Pass 2b (L004): a pair declared more than once — possibly in the two
+    // orientations — must agree. `resolve_rule` canonicalizes orientation,
+    // so agreement is plain formula equivalence.
+    let mut kept: BTreeMap<(MethodId, MethodId), &ResolvedRule> = BTreeMap::new();
+    for r in usable {
+        let Some(first) = kept.get(&(r.m1, r.m2)) else {
+            kept.insert((r.m1, r.m2), r);
+            continue;
+        };
+        let (n1, n2) = (methods[r.m1.index()].name(), methods[r.m2.index()].name());
+        let orientation = if r.swapped != first.swapped {
+            " in both orientations"
+        } else {
+            ""
+        };
+        let first_line = line_col(source, first.span).0;
+        if passes::abstract_equiv(&first.formula, &r.formula) == Some(true) {
+            diags.push(Diagnostic {
+                code: Code::L004,
+                severity: Severity::Warning,
+                message: format!(
+                    "pair (`{n1}`, `{n2}`) is declared more than once{orientation} \
+                     with equivalent conditions; remove the duplicate"
+                ),
+                span: Some(r.span),
+                notes: vec![format!("first declared at line {first_line}")],
+            });
+        } else {
+            diags.push(Diagnostic {
+                code: Code::L004,
+                severity: Severity::Error,
+                message: format!(
+                    "pair (`{n1}`, `{n2}`) is declared more than once{orientation} \
+                     with disagreeing conditions"
+                ),
+                span: Some(r.span),
+                notes: vec![format!(
+                    "first declared at line {first_line}; after orienting both \
+                     declarations to (`{n1}`, `{n2}`) the conditions differ"
+                )],
+            });
+        }
+    }
+
+    // Pass 1 (L001): fragment conformance per kept rule.
+    for ((m1, m2), r) in &kept {
+        if !r.formula.fragment().is_ecl {
+            let (n1, n2) = (methods[m1.index()].name(), methods[m2.index()].name());
+            diags.push(Diagnostic {
+                code: Code::L001,
+                severity: Severity::Error,
+                message: format!(
+                    "condition for (`{n1}`, `{n2}`) is outside the ECL fragment \
+                     (§6.1: X ::= S | B | X∧X | X∨B)"
+                ),
+                span: Some(r.formula_span),
+                notes: vec![
+                    "outside ECL the per-invocation conflict-check count is no longer \
+                     bounded by a spec-only constant (Theorem 6.6)"
+                        .to_string(),
+                ],
+            });
+        }
+    }
+
+    // Build the deep-analysis spec from the kept rules. Rules that already
+    // produced an error are omitted; the pair then defaults to "never
+    // commute", exactly what the detector itself would do.
+    let mut builder = SpecBuilder::new(ast.name.clone());
+    for m in &methods {
+        builder.method(m.name(), m.num_args());
+    }
+    let mut pair_spans: BTreeMap<(MethodId, MethodId), (Span, Span)> = BTreeMap::new();
+    for ((m1, m2), r) in &kept {
+        if builder.rule(*m1, *m2, r.formula.clone()).is_ok() {
+            pair_spans.insert((*m1, *m2), (r.span, r.formula_span));
+        }
+    }
+    let spec = builder.finish()?;
+    let span_of = |m1: MethodId, m2: MethodId| -> Option<Span> {
+        let key = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        pair_spans.get(&key).map(|(s, _)| *s)
+    };
+
+    // Pass 1 (L002): the β-vector enumeration bound.
+    for m in 0..spec.num_methods() {
+        let id = MethodId(m as u32);
+        let atoms = spec.lb_atoms(id).len();
+        if atoms > MAX_ATOMS_PER_METHOD {
+            let span = kept
+                .iter()
+                .filter(|((m1, m2), _)| *m1 == id || *m2 == id)
+                .map(|(_, r)| r.span)
+                .min_by_key(|s| s.start);
+            diags.push(Diagnostic {
+                code: Code::L002,
+                severity: Severity::Error,
+                message: format!(
+                    "method `{}` accumulates {atoms} single-action atoms across its \
+                     rules; the translation enumerates at most {MAX_ATOMS_PER_METHOD} \
+                     β entries per method",
+                    spec.sig(id).name()
+                ),
+                span,
+                notes: Vec::new(),
+            });
+        }
+    }
+
+    // Pass 3 (L005/L006/L007): conjunct diagnostics per kept rule, over the
+    // shared bounded value universe.
+    let universe = audit::spec_universe(&spec);
+    for ((m1, m2), r) in &kept {
+        let ctx = passes::RuleCtx {
+            formula: &r.formula,
+            sig1: spec.sig(*m1),
+            sig2: spec.sig(*m2),
+            span: r.formula_span,
+        };
+        let (subsumed, flagged) = passes::check_subsumed(&ctx, &universe);
+        diags.extend(subsumed);
+        diags.extend(passes::check_dead_conjuncts(&ctx, &flagged));
+        diags.extend(passes::check_constant_atoms(&ctx, &universe));
+    }
+
+    // Pass 3 (L008): pairs silently defaulting to "never commute". Pairs
+    // the source *did* declare (even brokenly) already carry their own
+    // diagnostic and are not re-reported here.
+    let declared: BTreeSet<(MethodId, MethodId)> = resolved.iter().map(|r| (r.m1, r.m2)).collect();
+    for (m1, m2) in spec.missing_rules() {
+        if declared.contains(&(m1, m2)) {
+            continue;
+        }
+        let (n1, n2) = (spec.sig(m1).name(), spec.sig(m2).name());
+        diags.push(Diagnostic {
+            code: Code::L008,
+            severity: Severity::Warning,
+            message: format!(
+                "no rule for pair (`{n1}`, `{n2}`); it silently defaults to \
+                 \"never commute\""
+            ),
+            span: Some(ast.name_span),
+            notes: vec![
+                "the default is sound (Definition 4.2) but maximally imprecise: every \
+                 concurrent use of the pair becomes a race candidate"
+                    .to_string(),
+            ],
+        });
+    }
+
+    // Summary stats, pass 4 (L009) and pass 5 (L010). Translation stats and
+    // the differential pipeline audit need a translatable (ECL, bounded)
+    // spec; the soundness audit only needs `Spec::commute`.
+    let mut summary = Summary {
+        spec_name: ast.name.clone(),
+        methods: spec.num_methods(),
+        rules: ast.rules.len(),
+        is_ecl: spec.is_ecl(),
+        ..Summary::default()
+    };
+    if let Ok(compiled) = translate(&spec) {
+        let stats = compiled.stats();
+        summary.raw_classes = Some(stats.raw_classes);
+        summary.classes = Some(compiled.num_classes());
+        summary.max_conflict_degree = Some(stats.max_conflict_degree);
+        summary.conflict_checks = (0..spec.num_methods())
+            .map(|m| {
+                let id = MethodId(m as u32);
+                MethodCost {
+                    method: spec.sig(id).name().to_string(),
+                    max_conflict_checks: compiled.max_conflict_checks(id),
+                }
+            })
+            .collect();
+        diags.extend(audit::audit_pipeline(&spec, &universe, &span_of));
+    }
+    diags.extend(model::audit_soundness(&spec, &span_of));
+
+    diags.sort_by_key(|d| (d.span.map_or(u32::MAX, |s| s.start), d.code));
+    Ok(LintReport {
+        summary,
+        diagnostics: diags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_spec::builtin;
+
+    fn codes(report: &LintReport) -> Vec<Code> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn builtins_lint_clean() {
+        for name in [
+            "dictionary",
+            "dictionary_ext",
+            "set",
+            "counter",
+            "register",
+            "queue",
+        ] {
+            let source = builtin::source(name).unwrap();
+            let report = lint(source).unwrap();
+            assert_eq!(report.exit_code(), 0, "{name}: {:#?}", report.diagnostics);
+            assert!(report.summary.is_ecl);
+            assert!(report.summary.classes.is_some());
+            assert!(!report.summary.conflict_checks.is_empty());
+        }
+    }
+
+    #[test]
+    fn l000_broken_rule_does_not_abort() {
+        let report =
+            lint("spec s { method m(); commute m(), q() when true; commute m(), m() when true; }")
+                .unwrap();
+        assert_eq!(codes(&report), vec![Code::L000]);
+        assert_eq!(report.exit_code(), 3);
+        assert!(report.diagnostics[0].message.contains("unknown method"));
+    }
+
+    #[test]
+    fn l001_non_ecl_formula() {
+        let report =
+            lint("spec s { method m(a); commute m(x1), m(x2) when !(x1 != x2); }").unwrap();
+        assert_eq!(codes(&report), vec![Code::L001]);
+        assert_eq!(report.exit_code(), 3);
+        assert!(!report.summary.is_ecl);
+    }
+
+    #[test]
+    fn l002_too_many_atoms() {
+        let n = MAX_ATOMS_PER_METHOD + 1;
+        let args: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+        let xs: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+        let conds: Vec<String> = xs.iter().map(|x| format!("{x} == 1")).collect();
+        let src = format!(
+            "spec s {{ method m({}); method u(); \
+             commute m({}) -> _, u() when {}; \
+             commute m({}) -> _, m({}) -> _ when false; \
+             commute u(), u() when true; }}",
+            args.join(", "),
+            xs.join(", "),
+            conds.join(" && "),
+            args.join(", "),
+            xs.join(", "),
+        );
+        let report = lint(&src).unwrap();
+        assert!(
+            codes(&report).contains(&Code::L002),
+            "{:#?}",
+            report.diagnostics
+        );
+        assert_eq!(report.exit_code(), 3);
+    }
+
+    #[test]
+    fn l003_asymmetric_same_method_rule() {
+        let report =
+            lint("spec s { method m(a) -> r; commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; }")
+                .unwrap();
+        assert_eq!(codes(&report), vec![Code::L003]);
+        assert_eq!(report.exit_code(), 3);
+    }
+
+    #[test]
+    fn l004_disagreeing_orientations() {
+        let report = lint(
+            "spec s { method a(x); method b(y); \
+             commute a(x1), b(y2) when x1 == 1; \
+             commute b(y1), a(x2) when true; \
+             commute a(x1), a(x2) when true; \
+             commute b(y1), b(y2) when true; }",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec![Code::L004]);
+        assert_eq!(report.exit_code(), 3);
+        assert!(report.diagnostics[0].message.contains("orientations"));
+    }
+
+    #[test]
+    fn l004_redundant_duplicate_is_a_warning() {
+        let report = lint(
+            "spec s { method m(); \
+             commute m(), m() when true; \
+             commute m(), m() when true; }",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec![Code::L004]);
+        assert_eq!(report.exit_code(), 2);
+    }
+
+    #[test]
+    fn l005_subsumed_conjunct() {
+        let report = lint(
+            "spec s { method m(a); \
+             commute m(x1), m(x2) when (x1 < 1 && x1 < 2) && (x2 < 1 && x2 < 2); }",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec![Code::L005, Code::L005]);
+        assert_eq!(report.exit_code(), 2);
+    }
+
+    #[test]
+    fn l006_dead_conjunct() {
+        let report = lint(
+            "spec s { method m(a); \
+             commute m(x1), m(x2) when (x1 != x2 || x1 == 1) && (x1 != x2 || x2 == 1) \
+             && x1 != x2; }",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec![Code::L006, Code::L006]);
+        assert_eq!(report.exit_code(), 2);
+    }
+
+    #[test]
+    fn l007_constant_atom() {
+        let report = lint(
+            "spec s { method m(a); \
+             commute m(x1), m(x2) when x1 != x2 && x1 == x1 && x2 == x2; }",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec![Code::L007, Code::L007]);
+        assert_eq!(report.exit_code(), 2);
+    }
+
+    #[test]
+    fn l008_missing_pair() {
+        let report = lint(
+            "spec s { method a(); method b(); \
+             commute a(), a() when true; \
+             commute b(), b() when true; }",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec![Code::L008]);
+        assert_eq!(report.exit_code(), 2);
+        assert!(report.diagnostics[0].message.contains("`a`"));
+    }
+
+    #[test]
+    fn l010_refuted_commute_claim() {
+        let src =
+            builtin::DICTIONARY_SRC.replace("when k1 != k2 || (v1 == p1 && v2 == p2)", "when true");
+        let report = lint(&src).unwrap();
+        assert_eq!(codes(&report), vec![Code::L010]);
+        assert_eq!(report.exit_code(), 3);
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_by_source_position() {
+        let report = lint(
+            "spec s { method m(a) -> r; method u(); \
+             commute m(x1) -> r1, m(x2) -> r2 when x1 == r1; \
+             commute u(), q() when true; }",
+        )
+        .unwrap();
+        let starts: Vec<u32> = report
+            .diagnostics
+            .iter()
+            .filter_map(|d| d.span.map(|s| s.start))
+            .collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        assert_eq!(report.exit_code(), 3);
+    }
+}

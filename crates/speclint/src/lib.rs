@@ -1,0 +1,242 @@
+//! Static analysis ("lint") for ECL commutativity specifications.
+//!
+//! The paper's guarantees are only as good as the specification itself:
+//! ECL membership buys the constant conflict-check bound (§6.1), the
+//! Appendix A.3 optimization passes must preserve conflict semantics, and a
+//! spec that wrongly asserts commutativity silently makes the detector
+//! unsound (Definition 4.2 permits imprecision, never unsoundness). The
+//! [`lint`] entry point audits all of this statically, before a spec is
+//! trusted, in five passes:
+//!
+//! 1. **Fragment conformance** — every formula must be in the ECL fragment
+//!    ([`Code::L001`], [`Code::L002`]); for conforming specs the static
+//!    per-method conflict-check bound of Theorem 6.6 is computed and
+//!    reported in the [`Summary`].
+//! 2. **Symmetry** — same-method rules must be symmetric in their two
+//!    actions ([`Code::L003`]), and a pair declared in both orientations
+//!    must agree ([`Code::L004`]).
+//! 3. **Access-point diagnostics** — subsumed or duplicate conjuncts
+//!    ([`Code::L005`]), dead conjuncts ([`Code::L006`]), semantically
+//!    constant atoms whose β entries are unreachable ([`Code::L007`]), and
+//!    method pairs silently defaulting to "never commute" ([`Code::L008`]).
+//! 4. **Pipeline audit** — each A.3 optimization pass is run individually
+//!    and checked differentially against the formula semantics by bounded
+//!    exhaustive enumeration ([`Code::L009`]).
+//! 5. **Soundness audit** — for specs naming a builtin structure, every
+//!    commutativity claim is bounded-model-checked against executable
+//!    method semantics; a small counterexample refutes the claim
+//!    ([`Code::L010`]).
+//!
+//! Semantic checks (implication, constancy, the audits) enumerate **bounded
+//! value domains** — a handful of small integers, `nil`, and every constant
+//! the spec mentions. A clean lint is therefore evidence, not proof: a
+//! defect only visible outside the bounded domain escapes passes 3–5
+//! (passes 1–2 are exact).
+//!
+//! # Exit-code contract
+//!
+//! [`LintReport::exit_code`] is `0` for a clean spec, `2` when only
+//! warnings were found, and `3` when any error was found — mirroring the
+//! `crace` CLI convention (3 = races found).
+//!
+//! # Examples
+//!
+//! ```
+//! use crace_speclint::lint;
+//! use crace_spec::builtin;
+//!
+//! let report = lint(builtin::DICTIONARY_SRC).unwrap();
+//! assert_eq!(report.exit_code(), 0, "{:?}", report.diagnostics);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod audit;
+mod model;
+mod passes;
+mod render;
+
+use crace_spec::Span;
+use std::fmt;
+
+pub use analyze::lint;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The spec is usable but suspicious or wasteful.
+    Warning,
+    /// The spec is broken: outside ECL, inconsistent, or refuted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes emitted by the linter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// A rule failed to resolve (unknown method, arity mismatch, variable
+    /// discipline violation); the rest of the spec is still linted.
+    L000,
+    /// A rule's formula is outside the ECL fragment (§6.1), so the
+    /// per-pair conflict-check count is not constant.
+    L001,
+    /// A method accumulates more normalized LB atoms than the translation
+    /// can enumerate β vectors for.
+    L002,
+    /// A same-method rule is not symmetric in its two actions
+    /// (`ϕ_m^m(x⃗₁;x⃗₂)` must be equivalent to `ϕ_m^m(x⃗₂;x⃗₁)`).
+    L003,
+    /// The same method pair is declared more than once. An error when the
+    /// orientations disagree semantically; a warning when they are
+    /// redundant duplicates.
+    L004,
+    /// A conjunct is subsumed by (or duplicates) another conjunct of the
+    /// same conjunction, so it produces redundant access points.
+    L005,
+    /// A dead conjunct: removing it does not change the formula.
+    L006,
+    /// A semantically constant atom (always true or always false over the
+    /// bounded value domain); its β entries are unreachable.
+    L007,
+    /// A method pair with no declared rule, silently defaulting to "never
+    /// commute" — sound (Definition 4.2) but maximally imprecise.
+    L008,
+    /// An A.3 optimization pass changed conflict semantics on the bounded
+    /// differential audit — a translation bug or a spec outside the
+    /// translation's assumptions.
+    L009,
+    /// The spec claims a pair commutes, but executing the builtin's method
+    /// semantics found a small counterexample state where it does not.
+    L010,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"L003"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::L000 => "L000",
+            Code::L001 => "L001",
+            Code::L002 => "L002",
+            Code::L003 => "L003",
+            Code::L004 => "L004",
+            Code::L005 => "L005",
+            Code::L006 => "L006",
+            Code::L007 => "L007",
+            Code::L008 => "L008",
+            Code::L009 => "L009",
+            Code::L010 => "L010",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code, a severity, a message, and (when the construct has
+/// a source location) a span.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The stable diagnostic code.
+    pub code: Code,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Source span of the offending construct, when known.
+    pub span: Option<Span>,
+    /// Additional context lines (counterexamples, suggestions).
+    pub notes: Vec<String>,
+}
+
+/// The static conflict-check cost of one method (Theorem 6.6).
+#[derive(Clone, Debug)]
+pub struct MethodCost {
+    /// The method name.
+    pub method: String,
+    /// The largest number of pairwise conflict checks one invocation can
+    /// trigger — constant for ECL specs, independent of trace length.
+    pub max_conflict_checks: usize,
+}
+
+/// Non-diagnostic facts about the linted spec, reported alongside findings.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// The spec name.
+    pub spec_name: String,
+    /// Number of declared methods.
+    pub methods: usize,
+    /// Number of declared rules (before deduplication).
+    pub rules: usize,
+    /// Whether every usable rule is in the ECL fragment.
+    pub is_ecl: bool,
+    /// Symbolic points before optimization, when translation succeeded.
+    pub raw_classes: Option<usize>,
+    /// Access-point classes after optimization.
+    pub classes: Option<usize>,
+    /// Largest per-class conflict degree (Theorem 6.6 bound).
+    pub max_conflict_degree: Option<usize>,
+    /// Static per-method conflict-check bounds.
+    pub conflict_checks: Vec<MethodCost>,
+}
+
+/// The result of linting one spec: a [`Summary`] plus the findings.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Facts about the spec (sizes, translation stats, cost bounds).
+    pub summary: Summary,
+    /// All findings, ordered by source position then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any finding is a warning.
+    pub fn has_warnings(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Warning)
+    }
+
+    /// The process exit code for this report: `0` clean, `2` warnings
+    /// only, `3` any error.
+    pub fn exit_code(&self) -> i32 {
+        if self.has_errors() {
+            3
+        } else if self.has_warnings() {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Renders the report as a compiler-style text listing with source
+    /// carets, against the source the spec was linted from.
+    pub fn render_pretty(&self, source: &str) -> String {
+        render::pretty(self, source)
+    }
+
+    /// Renders the report as a JSON object (stable shape, hand-written
+    /// writer — see the `crace lint --json` documentation).
+    pub fn to_json(&self, source: &str) -> String {
+        render::json(self, source)
+    }
+}

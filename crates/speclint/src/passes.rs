@@ -1,0 +1,530 @@
+//! Formula-level lint passes: bounded value domains, abstract equivalence,
+//! and the conjunct diagnostics (L005/L006/L007).
+
+use crate::{Code, Diagnostic, Severity};
+use crace_model::{MethodSig, Value};
+use crace_spec::{Formula, Pred, Side, Span};
+use std::collections::BTreeSet;
+
+/// Skip semantic enumeration beyond this many assignments — the bounded
+/// domains stay bounded.
+const MAX_ASSIGNMENTS: usize = 20_000;
+
+/// Atoms distinguishable by the abstract (truth-table) semantics.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum AtomKey {
+    Cross(usize, usize),
+    Lb(Side, Pred),
+}
+
+fn collect_atoms(phi: &Formula, out: &mut BTreeSet<AtomKey>) {
+    match phi {
+        Formula::True | Formula::False => {}
+        Formula::NeqCross { i, j } => {
+            out.insert(AtomKey::Cross(*i, *j));
+        }
+        Formula::Atom { side, pred } => {
+            out.insert(AtomKey::Lb(*side, pred.clone()));
+        }
+        Formula::Not(f) => collect_atoms(f, out),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_atoms(a, out);
+            collect_atoms(b, out);
+        }
+    }
+}
+
+fn eval_abstract(phi: &Formula, atoms: &[AtomKey], mask: u32) -> bool {
+    match phi {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::NeqCross { i, j } => {
+            let idx = atoms
+                .binary_search(&AtomKey::Cross(*i, *j))
+                .expect("atom collected");
+            mask & (1 << idx) != 0
+        }
+        Formula::Atom { side, pred } => {
+            let idx = atoms
+                .binary_search(&AtomKey::Lb(*side, pred.clone()))
+                .expect("atom collected");
+            mask & (1 << idx) != 0
+        }
+        Formula::Not(f) => !eval_abstract(f, atoms, mask),
+        Formula::And(a, b) => eval_abstract(a, atoms, mask) && eval_abstract(b, atoms, mask),
+        Formula::Or(a, b) => eval_abstract(a, atoms, mask) || eval_abstract(b, atoms, mask),
+    }
+}
+
+/// Truth-table equivalence treating atoms as free booleans. Sound for
+/// distinguishing formulas (`Some(false)` means genuinely different);
+/// returns `None` when the combined atom count exceeds 16.
+pub(crate) fn abstract_equiv(a: &Formula, b: &Formula) -> Option<bool> {
+    let mut atoms = BTreeSet::new();
+    collect_atoms(a, &mut atoms);
+    collect_atoms(b, &mut atoms);
+    let atoms: Vec<AtomKey> = atoms.into_iter().collect();
+    if atoms.len() > 16 {
+        return None;
+    }
+    for mask in 0u32..(1 << atoms.len()) {
+        if eval_abstract(a, &atoms, mask) != eval_abstract(b, &atoms, mask) {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// The bounded value domain used by the semantic checks: `nil`, two small
+/// integers, every constant mentioned by the formulas, and the boolean
+/// partner of any boolean constant (so `b == false` is not "constant" just
+/// because `true` never appears).
+pub(crate) fn value_universe<'a>(formulas: impl Iterator<Item = &'a Formula>) -> Vec<Value> {
+    let mut universe: BTreeSet<Value> = [Value::Nil, Value::Int(1), Value::Int(2)].into();
+    fn walk(phi: &Formula, out: &mut BTreeSet<Value>) {
+        match phi {
+            Formula::True | Formula::False | Formula::NeqCross { .. } => {}
+            Formula::Atom { pred, .. } => {
+                for term in [pred.lhs(), pred.rhs()] {
+                    if let crace_spec::Term::Const(v) = term {
+                        out.insert(v.clone());
+                        if let Value::Bool(b) = v {
+                            out.insert(Value::Bool(!b));
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => walk(f, out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+        }
+    }
+    for phi in formulas {
+        walk(phi, &mut universe);
+    }
+    universe.into_iter().collect()
+}
+
+/// Iterates all `universe^slots` assignments, calling `f` on each; returns
+/// `false` (and stops) if the space exceeds [`MAX_ASSIGNMENTS`].
+fn for_each_assignment(universe: &[Value], slots: usize, mut f: impl FnMut(&[Value])) -> bool {
+    let space = universe.len().checked_pow(slots as u32);
+    if space.is_none_or(|s| s > MAX_ASSIGNMENTS) {
+        return false;
+    }
+    let mut idx = vec![0usize; slots];
+    loop {
+        let vals: Vec<Value> = idx.iter().map(|&i| universe[i].clone()).collect();
+        f(&vals);
+        let mut k = 0;
+        while k < slots {
+            idx[k] += 1;
+            if idx[k] < universe.len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+        if k == slots {
+            return true;
+        }
+    }
+}
+
+/// An atom-like conjunct: a single-side predicate, possibly negated.
+fn atom_like(phi: &Formula) -> Option<(Side, &Pred, bool)> {
+    match phi {
+        Formula::Atom { side, pred } => Some((*side, pred, false)),
+        Formula::Not(inner) => match &**inner {
+            Formula::Atom { side, pred } => Some((*side, pred, true)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A path from the formula root to a subformula: 0 = left/inner child,
+/// 1 = right child.
+type Path = Vec<u8>;
+
+/// Flattens a formula's `And` spine into its conjunct list, with the path
+/// of each conjunct.
+fn flatten_and<'a>(phi: &'a Formula, path: Path, out: &mut Vec<(Path, &'a Formula)>) {
+    match phi {
+        Formula::And(a, b) => {
+            let mut left = path.clone();
+            left.push(0);
+            flatten_and(a, left, out);
+            let mut right = path;
+            right.push(1);
+            flatten_and(b, right, out);
+        }
+        other => out.push((path, other)),
+    }
+}
+
+/// Collects every maximal conjunction in the formula (with conjunct
+/// paths), in traversal order.
+fn and_lists<'a>(phi: &'a Formula, path: Path, out: &mut Vec<Vec<(Path, &'a Formula)>>) {
+    match phi {
+        Formula::And(_, _) => {
+            let mut list = Vec::new();
+            flatten_and(phi, path, &mut list);
+            for (p, c) in list.clone() {
+                // Conjuncts are non-And by construction; look inside them.
+                if let Formula::Or(_, _) | Formula::Not(_) = c {
+                    and_lists_children(c, p, out);
+                }
+            }
+            out.push(list);
+        }
+        Formula::Or(_, _) | Formula::Not(_) => and_lists_children(phi, path, out),
+        _ => {}
+    }
+}
+
+fn and_lists_children<'a>(phi: &'a Formula, path: Path, out: &mut Vec<Vec<(Path, &'a Formula)>>) {
+    match phi {
+        Formula::Or(a, b) => {
+            let mut left = path.clone();
+            left.push(0);
+            and_lists(a, left, out);
+            let mut right = path;
+            right.push(1);
+            and_lists(b, right, out);
+        }
+        Formula::Not(f) => {
+            let mut inner = path;
+            inner.push(0);
+            and_lists(f, inner, out);
+        }
+        _ => {}
+    }
+}
+
+/// Replaces the subformula at `path` with `True`, without smart-constructor
+/// folding (the abstract comparison evaluates semantics anyway).
+fn replace_at_with_true(phi: &Formula, path: &[u8]) -> Formula {
+    let Some((&step, rest)) = path.split_first() else {
+        return Formula::True;
+    };
+    match (phi, step) {
+        (Formula::Not(f), _) => Formula::Not(Box::new(replace_at_with_true(f, rest))),
+        (Formula::And(a, b), 0) => Formula::And(Box::new(replace_at_with_true(a, rest)), b.clone()),
+        (Formula::And(a, b), _) => Formula::And(a.clone(), Box::new(replace_at_with_true(b, rest))),
+        (Formula::Or(a, b), 0) => Formula::Or(Box::new(replace_at_with_true(a, rest)), b.clone()),
+        (Formula::Or(a, b), _) => Formula::Or(a.clone(), Box::new(replace_at_with_true(b, rest))),
+        (other, _) => {
+            debug_assert!(false, "path {path:?} does not exist in {other:?}");
+            other.clone()
+        }
+    }
+}
+
+/// Context for linting one rule's formula.
+pub(crate) struct RuleCtx<'a> {
+    /// The resolved, canonically-oriented formula.
+    pub formula: &'a Formula,
+    /// Signature of the pair's first method.
+    pub sig1: &'a MethodSig,
+    /// Signature of the pair's second method.
+    pub sig2: &'a MethodSig,
+    /// Span the diagnostics anchor at (the `when` formula).
+    pub span: Span,
+}
+
+impl RuleCtx<'_> {
+    fn sig(&self, side: Side) -> &MethodSig {
+        match side {
+            Side::First => self.sig1,
+            Side::Second => self.sig2,
+        }
+    }
+
+    fn show(&self, phi: &Formula) -> String {
+        phi.to_source(self.sig1, self.sig2)
+    }
+}
+
+/// Semantic truth of an atom-like conjunct under a slot assignment.
+fn eval_atom_like(pred: &Pred, negated: bool, slots: &[Value]) -> bool {
+    pred.eval(slots) != negated
+}
+
+/// Does conjunct `a` imply conjunct `b` over the bounded domain? Both must
+/// be atom-like on `side`. Returns `None` when the space is too large.
+fn implies(a: (&Pred, bool), b: (&Pred, bool), slots: usize, universe: &[Value]) -> Option<bool> {
+    let mut holds = true;
+    let complete = for_each_assignment(universe, slots, |vals| {
+        if eval_atom_like(a.0, a.1, vals) && !eval_atom_like(b.0, b.1, vals) {
+            holds = false;
+        }
+    });
+    complete.then_some(holds)
+}
+
+/// L005: duplicate or subsumed conjuncts within each conjunction.
+///
+/// Returns the diagnostics plus the set of flagged conjuncts (by rendered
+/// source), which L006 skips to keep one finding per defect.
+pub(crate) fn check_subsumed(
+    ctx: &RuleCtx<'_>,
+    universe: &[Value],
+) -> (Vec<Diagnostic>, BTreeSet<String>) {
+    let mut diags = Vec::new();
+    let mut flagged = BTreeSet::new();
+    let mut lists = Vec::new();
+    and_lists(ctx.formula, Vec::new(), &mut lists);
+    for list in &lists {
+        for (j, (_, cj)) in list.iter().enumerate() {
+            for (_, ci) in &list[..j] {
+                if ci == cj {
+                    let shown = ctx.show(cj);
+                    if flagged.insert(shown.clone()) {
+                        diags.push(Diagnostic {
+                            code: Code::L005,
+                            severity: Severity::Warning,
+                            message: format!(
+                                "conjunct `{shown}` appears more than once in the same \
+                                 conjunction; the duplicate produces no additional \
+                                 access points"
+                            ),
+                            span: Some(ctx.span),
+                            notes: vec![],
+                        });
+                    }
+                    continue;
+                }
+                let (Some((si, pi, ni)), Some((sj, pj, nj))) = (atom_like(ci), atom_like(cj))
+                else {
+                    continue;
+                };
+                if si != sj {
+                    continue;
+                }
+                let slots = ctx.sig(si).num_slots();
+                let fwd = implies((pi, ni), (pj, nj), slots, universe);
+                if fwd == Some(true) {
+                    let shown = ctx.show(cj);
+                    if flagged.insert(shown.clone()) {
+                        let back = implies((pj, nj), (pi, ni), slots, universe);
+                        let how = if back == Some(true) {
+                            "is equivalent to"
+                        } else {
+                            "is subsumed by"
+                        };
+                        diags.push(Diagnostic {
+                            code: Code::L005,
+                            severity: Severity::Warning,
+                            message: format!(
+                                "conjunct `{shown}` {how} `{}` over the bounded value \
+                                 domain; it adds only redundant access points",
+                                ctx.show(ci)
+                            ),
+                            span: Some(ctx.span),
+                            notes: vec![],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (diags, flagged)
+}
+
+/// L006: dead conjuncts — replacing the conjunct with `true` leaves the
+/// formula (abstractly) unchanged. Conjuncts already flagged by L005 are
+/// skipped so each defect gets one finding.
+pub(crate) fn check_dead_conjuncts(ctx: &RuleCtx<'_>, skip: &BTreeSet<String>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut lists = Vec::new();
+    and_lists(ctx.formula, Vec::new(), &mut lists);
+    let mut checked = BTreeSet::new();
+    for list in &lists {
+        if list.len() < 2 {
+            continue;
+        }
+        for (path, c) in list {
+            let shown = ctx.show(c);
+            if skip.contains(&shown) || !checked.insert(shown.clone()) {
+                continue;
+            }
+            let without = replace_at_with_true(ctx.formula, path);
+            if abstract_equiv(ctx.formula, &without) == Some(true) {
+                diags.push(Diagnostic {
+                    code: Code::L006,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "conjunct `{shown}` is dead: removing it leaves the \
+                         formula unchanged"
+                    ),
+                    span: Some(ctx.span),
+                    notes: vec![],
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// L007: atoms that are semantically constant over the bounded domain —
+/// their β entries can never be reached by a concrete action.
+pub(crate) fn check_constant_atoms(ctx: &RuleCtx<'_>, universe: &[Value]) -> Vec<Diagnostic> {
+    let mut atoms = BTreeSet::new();
+    collect_atoms(ctx.formula, &mut atoms);
+    let mut diags = Vec::new();
+    for key in atoms {
+        let AtomKey::Lb(side, pred) = key else {
+            continue;
+        };
+        let slots = ctx.sig(side).num_slots();
+        let (mut any_true, mut any_false) = (false, false);
+        let complete = for_each_assignment(universe, slots, |vals| {
+            if pred.eval(vals) {
+                any_true = true;
+            } else {
+                any_false = true;
+            }
+        });
+        if !complete || (any_true && any_false) {
+            continue;
+        }
+        let verdict = if any_true { "true" } else { "false" };
+        let atom = Formula::Atom { side, pred };
+        diags.push(Diagnostic {
+            code: Code::L007,
+            severity: Severity::Warning,
+            message: format!(
+                "atom `{}` is always {verdict} over the bounded value domain; \
+                 the β entries for its other truth value are unreachable",
+                ctx.show(&atom)
+            ),
+            span: Some(ctx.span),
+            notes: vec![],
+        });
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_spec::{CmpOp, Term};
+
+    fn sig() -> MethodSig {
+        MethodSig::new("m", 1)
+    }
+
+    fn atom(side: Side, op: CmpOp, rhs: Value) -> Formula {
+        Formula::Atom {
+            side,
+            pred: Pred::new(op, Term::Slot(0), Term::Const(rhs)),
+        }
+    }
+
+    #[test]
+    fn abstract_equiv_basics() {
+        let a = Formula::NeqCross { i: 0, j: 0 };
+        let b = atom(Side::First, CmpOp::Eq, Value::Int(1));
+        assert_eq!(abstract_equiv(&a, &a), Some(true));
+        assert_eq!(abstract_equiv(&a, &b), Some(false));
+        // Absorption: A && (A || B) ≡ A.
+        let absorbed = a.clone().and(a.clone().or(b.clone()));
+        assert_eq!(abstract_equiv(&absorbed, &a), Some(true));
+    }
+
+    #[test]
+    fn universe_includes_spec_constants_and_bool_partner() {
+        let phi = atom(Side::First, CmpOp::Eq, Value::Bool(false));
+        let u = value_universe(std::iter::once(&phi));
+        assert!(u.contains(&Value::Bool(false)));
+        assert!(u.contains(&Value::Bool(true)));
+        assert!(u.contains(&Value::Nil));
+    }
+
+    #[test]
+    fn subsumption_detected_over_bounded_domain() {
+        // a0 < 1 implies a0 < 2 over {nil, 1, 2, …} (nil orders below ints).
+        let tight = atom(Side::First, CmpOp::Lt, Value::Int(1));
+        let loose = atom(Side::First, CmpOp::Lt, Value::Int(2));
+        let phi = tight.clone().and(loose.clone());
+        let u = value_universe(std::iter::once(&phi));
+        let s = sig();
+        let ctx = RuleCtx {
+            formula: &phi,
+            sig1: &s,
+            sig2: &s,
+            span: Span::point(0),
+        };
+        let (diags, flagged) = check_subsumed(&ctx, &u);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("subsumed"),
+            "{}",
+            diags[0].message
+        );
+        // The flagged conjunct is excluded from L006.
+        assert!(check_dead_conjuncts(&ctx, &flagged).is_empty());
+    }
+
+    #[test]
+    fn dead_conjunct_detected_by_absorption() {
+        let a = Formula::NeqCross { i: 0, j: 0 };
+        let b1 = atom(Side::First, CmpOp::Eq, Value::Int(1));
+        // (A || B) && A: the disjunction is dead.
+        let phi = a.clone().or(b1).and(a);
+        let s = sig();
+        let ctx = RuleCtx {
+            formula: &phi,
+            sig1: &s,
+            sig2: &s,
+            span: Span::point(0),
+        };
+        let diags = check_dead_conjuncts(&ctx, &BTreeSet::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::L006);
+    }
+
+    #[test]
+    fn constant_atom_detected() {
+        // a0 == a0 is always true.
+        let phi = Formula::Atom {
+            side: Side::First,
+            pred: Pred::new(CmpOp::Eq, Term::Slot(0), Term::Slot(0)),
+        }
+        .and(Formula::NeqCross { i: 0, j: 0 });
+        let u = value_universe(std::iter::once(&phi));
+        let s = sig();
+        let ctx = RuleCtx {
+            formula: &phi,
+            sig1: &s,
+            sig2: &s,
+            span: Span::point(0),
+        };
+        let diags = check_constant_atoms(&ctx, &u);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::L007);
+        assert!(diags[0].message.contains("always true"));
+    }
+
+    #[test]
+    fn healthy_formula_is_clean() {
+        // The dictionary put/put shape: A || (B1 && B2).
+        let phi = Formula::NeqCross { i: 0, j: 0 }.or(atom(Side::First, CmpOp::Eq, Value::Int(1))
+            .and(atom(Side::Second, CmpOp::Eq, Value::Int(1))));
+        let s = MethodSig::new("put", 2);
+        let u = value_universe(std::iter::once(&phi));
+        let ctx = RuleCtx {
+            formula: &phi,
+            sig1: &s,
+            sig2: &s,
+            span: Span::point(0),
+        };
+        let (d5, flagged) = check_subsumed(&ctx, &u);
+        assert!(d5.is_empty(), "{d5:?}");
+        assert!(check_dead_conjuncts(&ctx, &flagged).is_empty());
+        assert!(check_constant_atoms(&ctx, &u).is_empty());
+    }
+}

@@ -14,6 +14,11 @@
 //! * [`core`] — the ECL → access-point translation and the Algorithm 1
 //!   detectors ([`Rd2`], [`TraceDetector`]) plus the naive
 //!   [`Direct`] baseline and a quadratic test [`oracle`](core::oracle),
+//! * [`speclint`] — static analysis for specifications (`crace lint`):
+//!   fragment conformance, symmetry and orientation consistency,
+//!   access-point diagnostics, a differential audit of the A.3
+//!   optimization passes, and a bounded-model soundness audit against
+//!   executable builtin semantics,
 //! * [`fasttrack`] — the FastTrack read-write race detector baseline,
 //! * [`vclock`] — vector clocks, epochs and Table 1 synchronization
 //!   handling,
@@ -90,6 +95,7 @@ pub use crace_model as model;
 pub use crace_obs as obs;
 pub use crace_runtime as runtime;
 pub use crace_spec as spec;
+pub use crace_speclint as speclint;
 pub use crace_vclock as vclock;
 pub use crace_workloads as workloads;
 
@@ -107,4 +113,5 @@ pub use crace_runtime::{
     ThreadCtx, TrackedCell, TrackedMutex,
 };
 pub use crace_spec::{parse as parse_spec, Spec, SpecBuilder};
+pub use crace_speclint::{lint as lint_spec, LintReport};
 pub use crace_vclock::{AdaptiveClock, ClockStats, PublishedClocks, VectorClock};
