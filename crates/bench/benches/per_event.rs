@@ -12,7 +12,7 @@
 use crace_bench::{local_dict_trace, mixed_dict_trace, rw_trace, OBJ};
 use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector};
 use crace_fasttrack::FastTrack;
-use crace_model::{replay, NoopAnalysis, Observer};
+use crace_model::{replay, Isolated, NoopAnalysis, Observer};
 use crace_obs::Registry;
 use crace_spec::builtin;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -51,6 +51,17 @@ fn bench_per_event(c: &mut Criterion) {
             let detector = TraceDetector::new();
             detector.register(OBJ, Arc::clone(&compiled));
             replay(&dict_trace, &detector)
+        });
+    });
+
+    // The panic shield: the same adaptive run through `Isolated` — the
+    // row EXPERIMENTS.md quotes for the chaos plane's hot-path overhead
+    // (one quarantine load plus a `catch_unwind` frame per dispatch).
+    group.bench_function("rd2-adaptive-isolated", |b| {
+        b.iter(|| {
+            let detector = TraceDetector::new();
+            detector.register(OBJ, Arc::clone(&compiled));
+            replay(&dict_trace, &Isolated::new(detector))
         });
     });
 

@@ -5,10 +5,13 @@
 //! crace lint    <spec-file> [--json]        # full static analysis (L000–L010)
 //! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
-//!               [--json] [--metrics[=json|prom]] [--explain]
+//!               [--json] [--metrics[=json|prom]] [--explain] [--tolerate-truncation]
 //! crace stats   <trace-file> --spec <file> [--detector …] [--format pretty|json|prom]
 //! crace explore <program-file> [--no-dpor] [--max-schedules N] [--preemption-bound N]
 //!               [--shrink] [--out <stem>] [--metrics[=json|prom]]
+//! crace chaos   <program-file> [--seed N] [--trials N] [--faults N]
+//!               [--metrics[=json|prom]]  # fault-injection campaign
+//! crace frame   <trace-file> --spec <file>  # convert to the framed format
 //! crace table2  [scale]                     # regenerate Table 2
 //! crace builtins                            # list builtin specifications
 //! ```
@@ -16,9 +19,12 @@
 //! Spec files may also name a builtin (`dictionary`, `dictionary_ext`,
 //! `set`, `counter`, `register`, `queue`) instead of a path.
 //!
-//! Exit codes: 0 success, 1 error, 2 usage, 3 races found (replay or
-//! explore), 4 explore found a detector invariant violation. `lint` has its
-//! own contract: 0 clean, 2 warnings only, 3 any error.
+//! Exit codes: 0 success, 1 error, 2 usage, 3 races found (replay,
+//! explore or chaos), 4 explore found a detector invariant violation,
+//! 5 chaos found a degradation-contract violation, 6 the trace file is
+//! torn (truncated mid-record; `--tolerate-truncation` recovers the
+//! valid prefix instead). `lint` has its own contract: 0 clean,
+//! 2 warnings only, 3 any error.
 
 use crace_cli::{parse_program, parse_trace, render_program, render_trace};
 use crace_core::{translate, Direct, TraceDetector, TranslateError};
@@ -40,6 +46,8 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
+        Some("frame") => cmd_frame(&args[1..]),
         Some("table2") => cmd_table2(&args[1..]),
         Some("builtins") => cmd_builtins(),
         _ => {
@@ -63,16 +71,20 @@ usage:
   crace compile <spec-file|builtin> [--dot]
   crace replay  <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--json]
-                [--metrics[=json|prom]] [--explain]
+                [--metrics[=json|prom]] [--explain] [--tolerate-truncation]
   crace stats   <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--format pretty|json|prom]
   crace explore <program-file> [--no-dpor] [--max-schedules N]
                 [--preemption-bound N] [--shrink] [--out <stem>]
                 [--metrics[=json|prom]]
+  crace chaos   <program-file> [--seed N] [--trials N] [--faults N]
+                [--metrics[=json|prom]]
+  crace frame   <trace-file> --spec <spec-file|builtin>
   crace table2  [scale]
   crace builtins
 
-exit codes: 0 ok, 1 error, 2 usage, 3 races found, 4 invariant violation
+exit codes: 0 ok, 1 error, 2 usage, 3 races found, 4 invariant violation,
+            5 chaos degradation-contract violation, 6 torn trace file
             (lint: 0 clean, 2 warnings only, 3 any error)
 ";
 
@@ -344,23 +356,91 @@ fn run_observed(
     })
 }
 
-fn load_trace(opts: &ReplayOpts) -> Result<(Spec, String, Trace), String> {
+/// A loaded trace, plus the recovery note when `tolerate` salvaged a
+/// torn file.
+struct LoadedTrace {
+    spec: Spec,
+    spec_source: String,
+    trace: Trace,
+    recovery: Option<crace_cli::TornTrace>,
+}
+
+/// Why a trace failed to load: ordinary errors exit 1, a torn framed
+/// file (without `--tolerate-truncation`) exits 6 with a spanned
+/// diagnostic.
+enum LoadFailure {
+    Message(String),
+    Torn(String),
+}
+
+impl From<String> for LoadFailure {
+    fn from(message: String) -> LoadFailure {
+        LoadFailure::Message(message)
+    }
+}
+
+/// Renders a compiler-style diagnostic pointing at the line where the
+/// trace file tears.
+fn render_torn(path: &str, source: &str, e: &crace_cli::TraceParseError) -> String {
+    let line = source.lines().nth(e.line - 1).unwrap_or("");
+    let shown: String = line.chars().take(60).collect();
+    let ellipsis = if shown.len() < line.len() { "…" } else { "" };
+    format!(
+        "{path}:{}: trace file is torn: {}\n  {} | {shown}{ellipsis}\n  \
+         hint: re-run with --tolerate-truncation to replay the valid prefix",
+        e.line, e.message, e.line
+    )
+}
+
+fn load_trace(opts: &ReplayOpts, tolerate: bool) -> Result<LoadedTrace, LoadFailure> {
     let (spec, spec_source) = load_spec(&opts.spec_name)?;
     let trace_source = std::fs::read_to_string(&opts.trace_path)
         .map_err(|e| format!("cannot read `{}`: {e}", opts.trace_path))?;
-    let trace = parse_trace(&trace_source, &spec).map_err(|e| e.to_string())?;
-    Ok((spec, spec_source, trace))
+    let (trace, recovery) = match parse_trace(&trace_source, &spec) {
+        Ok(trace) => (trace, None),
+        Err(e) if e.kind == crace_cli::TraceErrorKind::Torn && tolerate => {
+            crace_cli::parse_framed_tolerant(&trace_source, &spec)
+        }
+        Err(e) if e.kind == crace_cli::TraceErrorKind::Torn => {
+            return Err(LoadFailure::Torn(render_torn(
+                &opts.trace_path,
+                &trace_source,
+                &e,
+            )));
+        }
+        Err(e) => return Err(LoadFailure::Message(e.to_string())),
+    };
+    Ok(LoadedTrace {
+        spec,
+        spec_source,
+        trace,
+        recovery,
+    })
+}
+
+/// Maps a [`LoadFailure`] to the command result: torn files print their
+/// diagnostic and exit 6, everything else becomes an ordinary error.
+fn torn_exit(failure: LoadFailure) -> Result<ExitCode, String> {
+    match failure {
+        LoadFailure::Message(message) => Err(message),
+        LoadFailure::Torn(diagnostic) => {
+            eprintln!("error: {diagnostic}");
+            Ok(ExitCode::from(6))
+        }
+    }
 }
 
 fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
     let mut metrics: Option<String> = None;
     let mut explain = false;
+    let mut tolerate = false;
     let opts = parse_replay_opts(args, |arg, _| {
         match arg {
             "--json" => json = true,
             "--metrics" => metrics = Some("pretty".to_string()),
             "--explain" => explain = true,
+            "--tolerate-truncation" => tolerate = true,
             _ if arg.starts_with("--metrics=") => {
                 metrics = Some(arg["--metrics=".len()..].to_string());
             }
@@ -373,7 +453,14 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
             return Err(format!("unknown metrics format `{format}`"));
         }
     }
-    let (spec, spec_source, trace) = load_trace(&opts)?;
+    let loaded = match load_trace(&opts, tolerate) {
+        Ok(loaded) => loaded,
+        Err(failure) => return torn_exit(failure),
+    };
+    let (spec, spec_source, trace) = (loaded.spec, loaded.spec_source, loaded.trace);
+    if let Some(recovery) = &loaded.recovery {
+        eprintln!("warning: `{}` is torn: {recovery}", opts.trace_path);
+    }
     if !json {
         println!(
             "replaying {} event(s), {} thread(s), detector `{}` …",
@@ -424,7 +511,11 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     if !matches!(format.as_str(), "json" | "prom" | "pretty") {
         return Err(format!("unknown format `{format}`"));
     }
-    let (spec, spec_source, trace) = load_trace(&opts)?;
+    let loaded = match load_trace(&opts, false) {
+        Ok(loaded) => loaded,
+        Err(failure) => return torn_exit(failure),
+    };
+    let (spec, spec_source, trace) = (loaded.spec, loaded.spec_source, loaded.trace);
     let run = run_observed(&trace, &spec, &spec_source, &opts.detector, false)?;
     match format.as_str() {
         "json" => print!("{}", run.snapshot.to_json()),
@@ -556,6 +647,105 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
     Ok(if report.violation.is_some() {
         ExitCode::from(4)
     } else if report.race.is_some() {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Converts a trace (plain or already framed) to the framed,
+/// checksummed format on stdout — the capture format `crace replay
+/// --tolerate-truncation` can recover after a crash.
+fn cmd_frame(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_replay_opts(args, |_, _| Ok(false))?;
+    let loaded = match load_trace(&opts, false) {
+        Ok(loaded) => loaded,
+        Err(failure) => return torn_exit(failure),
+    };
+    print!("{}", crace_cli::render_framed(&loaded.trace, &loaded.spec));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
+    use crace_runtime::chaos::{run_chaos, ChaosConfig};
+
+    let program_path = args.first().ok_or("expected a program file")?.clone();
+    let mut cfg = ChaosConfig::default();
+    let mut metrics: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let n = it.next().ok_or("--seed needs a number")?;
+                cfg.seed = n.parse().map_err(|_| format!("bad seed `{n}`"))?;
+            }
+            "--trials" => {
+                let n = it.next().ok_or("--trials needs a count")?;
+                cfg.trials = n.parse().map_err(|_| format!("bad count `{n}`"))?;
+            }
+            "--faults" => {
+                let n = it.next().ok_or("--faults needs a count")?;
+                cfg.faults = n.parse().map_err(|_| format!("bad count `{n}`"))?;
+            }
+            "--metrics" => metrics = Some("pretty".to_string()),
+            other => {
+                if let Some(format) = other.strip_prefix("--metrics=") {
+                    metrics = Some(format.to_string());
+                } else {
+                    return Err(format!("unknown option `{other}`"));
+                }
+            }
+        }
+    }
+    if let Some(format) = &metrics {
+        if !matches!(format.as_str(), "json" | "prom" | "pretty") {
+            return Err(format!("unknown metrics format `{format}`"));
+        }
+    }
+
+    let source = std::fs::read_to_string(&program_path)
+        .map_err(|e| format!("cannot read `{program_path}`: {e}"))?;
+    let program = parse_program(&source).map_err(|e| e.to_string())?;
+    println!(
+        "chaos: {} trial(s) over {} thread(s), {} op(s); seed {}, {} fault(s)/trial …",
+        cfg.trials,
+        program.threads.len(),
+        program.num_ops(),
+        cfg.seed,
+        cfg.faults
+    );
+
+    let report = run_chaos(&program, &cfg);
+    println!(
+        "faults: {} fired across {} trial(s); {} thread(s) killed, {} abandoned, {} lock(s) poisoned",
+        report.faults_fired,
+        report.trials_faulted,
+        report.threads_killed,
+        report.threads_abandoned,
+        report.locks_poisoned
+    );
+    println!(
+        "degradation: {} dispatch(es) shed, {} delayed; races on delivered traces: {}",
+        report.events_shed, report.events_delayed, report.races
+    );
+    for violation in &report.violations {
+        println!("CONTRACT VIOLATION: {violation}");
+    }
+
+    if let Some(format) = metrics {
+        let registry = Registry::new();
+        report.feed(&registry);
+        let snapshot = registry.snapshot();
+        match format.as_str() {
+            "json" => print!("{}", snapshot.to_json()),
+            "prom" => print!("{}", snapshot.to_prometheus()),
+            _ => print!("{}", snapshot.to_pretty()),
+        }
+    }
+
+    Ok(if !report.ok() {
+        ExitCode::from(5)
+    } else if report.races > 0 {
         ExitCode::from(3)
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,529 @@
+//! The framed, checksummed trace format: crash-consistent capture.
+//!
+//! The plain textual format (one event per line) cannot tell a complete
+//! trace from one whose writer died mid-line — the torn tail parses as a
+//! malformed event, or worse, as a *different* event. The framed format
+//! makes truncation detectable and the intact prefix recoverable:
+//!
+//! ```text
+//! #%crace-trace v1 framed
+//! =8:9b8b1ef1 fork 0 1
+//! =24:0c33964a act 1 o1 put(5, 7)/nil
+//! ```
+//!
+//! Each record line is `=<len>:<crc32> <event-text>`: the byte length of
+//! the event text in decimal and its IEEE CRC-32 in 8 hex digits. A
+//! writer appends one whole record per event and flushes, so after a
+//! crash the file is a sequence of valid records followed by at most one
+//! torn line. [`parse_framed_tolerant`] recovers exactly that valid
+//! prefix and reports what was lost; [`parse_framed`] (and
+//! [`parse_trace`](crate::parse_trace), which auto-detects the header)
+//! rejects damage with a [`TraceErrorKind::Torn`] error instead.
+//!
+//! The header line starts with `#`, so a framed file shown to the plain
+//! parser fails on the first record rather than being silently
+//! misread — the formats cannot be confused.
+
+use crate::tracefmt::{parse_event, render_event, torn, TraceErrorKind, TraceParseError};
+use crace_model::{Analysis, Event, RaceReport, Trace};
+use crace_spec::Spec;
+use std::io::{self, Write};
+use std::sync::{Mutex, PoisonError};
+
+/// First line of every framed trace file.
+pub const FRAMED_HEADER: &str = "#%crace-trace v1 framed";
+
+/// True iff `source` declares the framed format.
+pub fn is_framed(source: &str) -> bool {
+    source.lines().next() == Some(FRAMED_HEADER)
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn frame(payload: &str) -> String {
+    format!(
+        "={}:{:08x} {payload}",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Renders a whole trace in the framed format (header + one record per
+/// event, each newline-terminated).
+pub fn render_framed(trace: &Trace, spec: &Spec) -> String {
+    let mut out = String::from(FRAMED_HEADER);
+    out.push('\n');
+    for event in trace {
+        out.push_str(&frame(&render_event(event, spec)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Description of the damage [`parse_framed_tolerant`] recovered from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TornTrace {
+    /// Events recovered from the valid prefix.
+    pub recovered_events: usize,
+    /// Bytes after the last valid record that could not be interpreted.
+    pub lost_bytes: usize,
+    /// 1-based line number where the damage starts.
+    pub first_bad_line: usize,
+    /// What exactly was wrong with the first damaged line.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TornTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered {} event(s); lost {} byte(s) from line {} ({})",
+            self.recovered_events, self.lost_bytes, self.first_bad_line, self.reason
+        )
+    }
+}
+
+/// One framed line checked and unwrapped to its payload.
+fn unframe(line: &str, lineno: usize) -> Result<&str, TraceParseError> {
+    let body = line
+        .strip_prefix('=')
+        .ok_or_else(|| torn(lineno, format!("not a framed record: `{}`", clip(line))))?;
+    let (len_text, rest) = body
+        .split_once(':')
+        .ok_or_else(|| torn(lineno, "record header cut before `:`"))?;
+    let len: usize = len_text
+        .parse()
+        .map_err(|_| torn(lineno, format!("bad record length `{}`", clip(len_text))))?;
+    let (crc_text, payload) = rest
+        .split_once(' ')
+        .ok_or_else(|| torn(lineno, "record header cut before payload"))?;
+    let crc = (crc_text.len() == 8)
+        .then(|| u32::from_str_radix(crc_text, 16).ok())
+        .flatten()
+        .ok_or_else(|| torn(lineno, format!("bad record checksum `{}`", clip(crc_text))))?;
+    if payload.len() != len {
+        return Err(torn(
+            lineno,
+            format!(
+                "record cut short: header says {len} byte(s), line has {}",
+                payload.len()
+            ),
+        ));
+    }
+    if crc32(payload.as_bytes()) != crc {
+        return Err(torn(
+            lineno,
+            format!(
+                "checksum mismatch (expected {crc_text}, payload hashes to {:08x})",
+                crc32(payload.as_bytes())
+            ),
+        ));
+    }
+    Ok(payload)
+}
+
+fn clip(text: &str) -> String {
+    let mut s: String = text.chars().take(24).collect();
+    if s.len() < text.len() {
+        s.push('…');
+    }
+    s
+}
+
+/// Strict framed parse: any torn record is an error (kind
+/// [`TraceErrorKind::Torn`]); a valid record whose payload is not a
+/// well-formed event is [`TraceErrorKind::Malformed`].
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] carrying the first offending line.
+///
+/// [`TraceErrorKind::Torn`]: crate::TraceErrorKind::Torn
+/// [`TraceErrorKind::Malformed`]: crate::TraceErrorKind::Malformed
+pub fn parse_framed(source: &str, spec: &Spec) -> Result<Trace, TraceParseError> {
+    let mut trace = Trace::new();
+    match parse_framed_inner(source, spec, &mut trace) {
+        None => Ok(trace),
+        Some((e, _)) => Err(e),
+    }
+}
+
+/// Shared scan: fills `trace` with the longest valid prefix and returns
+/// the first error plus the byte offset where its line starts.
+fn parse_framed_inner(
+    source: &str,
+    spec: &Spec,
+    trace: &mut Trace,
+) -> Option<(TraceParseError, usize)> {
+    assert!(is_framed(source), "not a framed trace");
+    let mut offset = 0usize;
+    for (idx, line) in source.split('\n').enumerate() {
+        let lineno = idx + 1;
+        let start = offset;
+        offset += line.len() + 1; // the split-off '\n'
+        if lineno == 1 || line.is_empty() {
+            continue; // the header, the final newline, or a stray blank
+        }
+        let payload = match unframe(line, lineno) {
+            Ok(payload) => payload,
+            Err(e) => return Some((e, start)),
+        };
+        match parse_event(payload, spec, lineno) {
+            Ok(event) => trace.push(event),
+            Err(e) => return Some((e, start)),
+        }
+    }
+    None
+}
+
+/// Truncation-tolerant framed parse: returns the longest valid prefix
+/// plus, when the file is damaged, a [`TornTrace`] accounting for
+/// exactly what was lost. A malformed *payload* inside a checksummed
+/// record is not truncation — it still ends the prefix, but the reason
+/// says so (it indicates a writer bug, not a crash).
+///
+/// # Panics
+///
+/// Panics if `source` does not start with the framed header — check
+/// [`is_framed`] first.
+pub fn parse_framed_tolerant(source: &str, spec: &Spec) -> (Trace, Option<TornTrace>) {
+    let mut trace = Trace::new();
+    let outcome = parse_framed_inner(source, spec, &mut trace).map(|(e, start)| TornTrace {
+        recovered_events: trace.len(),
+        lost_bytes: source.len() - start,
+        first_bad_line: e.line,
+        reason: match e.kind {
+            TraceErrorKind::Torn => e.message,
+            TraceErrorKind::Malformed => {
+                format!("checksummed record holds a malformed event: {}", e.message)
+            }
+        },
+    });
+    (trace, outcome)
+}
+
+/// A crash-consistent trace writer: one framed record per event, flushed
+/// before [`FramedWriter::record`] returns, so a crash can tear at most
+/// the line being written — exactly the damage
+/// [`parse_framed_tolerant`] undoes.
+pub struct FramedWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> FramedWriter<W> {
+    /// Writes the framed header and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W) -> io::Result<FramedWriter<W>> {
+        sink.write_all(FRAMED_HEADER.as_bytes())?;
+        sink.write_all(b"\n")?;
+        sink.flush()?;
+        Ok(FramedWriter { sink })
+    }
+
+    /// Appends one event as a framed record and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn record(&mut self, event: &Event, spec: &Spec) -> io::Result<()> {
+        self.sink
+            .write_all(frame(&render_event(event, spec)).as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.sink.flush()
+    }
+
+    /// Unwraps the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// An [`Analysis`] that streams every event straight to a
+/// [`FramedWriter`] — the crash-consistent counterpart of
+/// [`Recorder`](crace_model::Recorder). Attach it (e.g. via
+/// [`Observer`](crace_model::Observer) or as the runtime's analysis) and
+/// the capture on disk is complete up to the last flushed event no
+/// matter how the process dies.
+///
+/// The lock is a poisoning [`std::sync::Mutex`], recovered on poison:
+/// a panicking writer thread must not cost the other threads their
+/// capture (the writer only ever appends whole records, so the state is
+/// consistent at every step).
+///
+/// I/O errors are sticky: the first one is kept and later events are
+/// dropped silently ([`StreamingRecorder::io_error`] exposes it; a
+/// capture must never panic the application it observes).
+pub struct StreamingRecorder<W: Write + Send> {
+    writer: Mutex<(FramedWriter<W>, Option<io::Error>)>,
+    spec: Spec,
+}
+
+impl<W: Write + Send> StreamingRecorder<W> {
+    /// Wraps `sink`, writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(sink: W, spec: Spec) -> io::Result<StreamingRecorder<W>> {
+        Ok(StreamingRecorder {
+            writer: Mutex::new((FramedWriter::new(sink)?, None)),
+            spec,
+        })
+    }
+
+    fn write(&self, event: Event) {
+        let mut guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.1.is_some() {
+            return;
+        }
+        if let Err(e) = guard.0.record(&event, &self.spec) {
+            guard.1 = Some(e);
+        }
+    }
+
+    /// The first I/O error the writer hit, if any (later events were
+    /// dropped from the capture).
+    pub fn io_error(&self) -> Option<io::ErrorKind> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .1
+            .as_ref()
+            .map(io::Error::kind)
+    }
+
+    /// Unwraps the underlying sink, discarding any sticky error.
+    pub fn into_inner(self) -> W {
+        self.writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .into_inner()
+    }
+}
+
+impl<W: Write + Send> Analysis for StreamingRecorder<W> {
+    fn name(&self) -> &str {
+        "streaming-recorder"
+    }
+
+    fn on_fork(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        self.write(Event::Fork { parent, child });
+    }
+
+    fn on_join(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        self.write(Event::Join { parent, child });
+    }
+
+    fn on_acquire(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        self.write(Event::Acquire { tid, lock });
+    }
+
+    fn on_release(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        self.write(Event::Release { tid, lock });
+    }
+
+    fn on_read(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        self.write(Event::Read { tid, loc });
+    }
+
+    fn on_write(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        self.write(Event::Write { tid, loc });
+    }
+
+    fn on_action(&self, tid: crace_model::ThreadId, action: &crace_model::Action) {
+        self.write(Event::Action {
+            tid,
+            action: action.clone(),
+        });
+    }
+
+    fn report(&self) -> RaceReport {
+        RaceReport::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_trace;
+    use crace_model::{replay, ThreadId};
+    use crace_spec::builtin;
+
+    fn sample() -> (Trace, Spec) {
+        let spec = builtin::dictionary();
+        let trace = parse_trace(
+            "fork 0 1\nfork 0 2\nact 2 o1 put(\"a.com\", 1)/nil\nact 1 o1 put(\"a.com\", 2)/1\njoin 0 1\njoin 0 2\n",
+            &spec,
+        )
+        .unwrap();
+        (trace, spec)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn framed_round_trip_via_autodetect() {
+        let (trace, spec) = sample();
+        let rendered = render_framed(&trace, &spec);
+        assert!(is_framed(&rendered));
+        // Both the explicit and the auto-detecting entry points agree.
+        assert_eq!(parse_framed(&rendered, &spec).unwrap(), trace);
+        assert_eq!(parse_trace(&rendered, &spec).unwrap(), trace);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_recovered() {
+        let (trace, spec) = sample();
+        let rendered = render_framed(&trace, &spec);
+        // Tear the file mid-way through the final record.
+        let cut = rendered.len() - 7;
+        let torn_text = &rendered[..cut];
+        let e = parse_trace(torn_text, &spec).unwrap_err();
+        assert_eq!(e.kind, crate::TraceErrorKind::Torn);
+
+        let (recovered, outcome) = parse_framed_tolerant(torn_text, &spec);
+        let outcome = outcome.expect("damage must be reported");
+        assert_eq!(recovered.len(), trace.len() - 1);
+        assert_eq!(recovered.events(), &trace.events()[..trace.len() - 1]);
+        assert_eq!(outcome.recovered_events, trace.len() - 1);
+        // Exactly the torn last line was lost.
+        let last_line_start = torn_text.rfind('\n').unwrap() + 1;
+        assert_eq!(outcome.lost_bytes, torn_text.len() - last_line_start);
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_clean_prefix() {
+        let (trace, spec) = sample();
+        let rendered = render_framed(&trace, &spec);
+        for cut in FRAMED_HEADER.len() + 1..rendered.len() {
+            let torn_text = &rendered[..cut];
+            let (recovered, outcome) = parse_framed_tolerant(torn_text, &spec);
+            assert!(recovered.len() <= trace.len());
+            assert_eq!(
+                recovered.events(),
+                &trace.events()[..recovered.len()],
+                "cut at byte {cut} must recover a prefix"
+            );
+            if recovered.len() < trace.len() {
+                match outcome {
+                    Some(outcome) => {
+                        assert_eq!(outcome.recovered_events, recovered.len());
+                        assert!(outcome.lost_bytes > 0);
+                    }
+                    // A cut on a record boundary (or one losing only the
+                    // trailing newline of a CRC-valid record) leaves a
+                    // valid shorter file: only whole events are lost,
+                    // which a record-granular format cannot (and need
+                    // not) flag.
+                    None => assert!(
+                        torn_text.ends_with('\n') || rendered.as_bytes()[cut] == b'\n',
+                        "cut at byte {cut}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_flips_are_always_detected() {
+        let (trace, spec) = sample();
+        let rendered = render_framed(&trace, &spec);
+        let body_start = FRAMED_HEADER.len() + 1;
+        // Flip one bit at a time through the whole body; the parse must
+        // either fail or (for flips inside a record header's numbers
+        // that keep it self-consistent — impossible for CRC-protected
+        // payloads) still yield a prefix of the original.
+        let bytes = rendered.as_bytes();
+        for pos in body_start..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.to_vec();
+                mutated[pos] ^= 1 << bit;
+                let Ok(text) = String::from_utf8(mutated) else {
+                    continue;
+                };
+                match parse_framed(&text, &spec) {
+                    Err(_) => {}
+                    Ok(parsed) => assert_eq!(
+                        parsed, trace,
+                        "flip at byte {pos} bit {bit} silently changed the trace"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_recorder_capture_replays_identically() {
+        let (trace, spec) = sample();
+        let recorder = StreamingRecorder::new(Vec::new(), spec.clone()).unwrap();
+        replay(&trace, &recorder);
+        assert_eq!(recorder.io_error(), None);
+        let bytes = recorder.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(parse_trace(&text, &spec).unwrap(), trace);
+    }
+
+    #[test]
+    fn streaming_recorder_survives_a_poisoned_lock() {
+        let (_, spec) = sample();
+        let recorder =
+            std::sync::Arc::new(StreamingRecorder::new(Vec::new(), spec.clone()).unwrap());
+        let r = std::sync::Arc::clone(&recorder);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::thread::spawn(move || {
+            let _guard = r.writer.lock().unwrap();
+            panic!("die holding the capture lock");
+        })
+        .join();
+        std::panic::set_hook(prev);
+        // The capture keeps working after the poisoning panic.
+        recorder.on_fork(ThreadId(0), ThreadId(1));
+        assert_eq!(recorder.io_error(), None);
+        let text = String::from_utf8(
+            std::sync::Arc::try_unwrap(recorder)
+                .unwrap_or_else(|_| panic!("sole owner"))
+                .into_inner(),
+        )
+        .unwrap();
+        assert_eq!(parse_trace(&text, &spec).unwrap().len(), 1);
+    }
+}

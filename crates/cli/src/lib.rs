@@ -24,12 +24,25 @@
 //! [`parse_program`] and [`render_program`] do the same for the scripted
 //! [`SimProgram`](crace_runtime::sim::SimProgram)s that `crace explore`
 //! model-checks.
+//!
+//! For capture that must survive crashes there is a second, *framed*
+//! trace format ([`render_framed`], [`FramedWriter`],
+//! [`StreamingRecorder`]): every event is a length-prefixed,
+//! CRC-checksummed record, so a file torn mid-write is detected
+//! ([`TraceErrorKind::Torn`]) and its intact prefix recovered
+//! ([`parse_framed_tolerant`]). [`parse_trace`] auto-detects the framed
+//! header, so framed files work everywhere plain ones do.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod framed;
 mod progfmt;
 mod tracefmt;
 
+pub use framed::{
+    crc32, is_framed, parse_framed, parse_framed_tolerant, render_framed, FramedWriter,
+    StreamingRecorder, TornTrace, FRAMED_HEADER,
+};
 pub use progfmt::{parse_program, render_program, ProgParseError};
-pub use tracefmt::{parse_trace, render_trace, TraceParseError};
+pub use tracefmt::{parse_trace, render_trace, TraceErrorKind, TraceParseError};

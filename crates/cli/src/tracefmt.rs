@@ -5,6 +5,20 @@ use crace_spec::Spec;
 use std::error::Error;
 use std::fmt;
 
+/// What class of damage a [`TraceParseError`] describes — callers branch
+/// on this to pick an exit code and to decide whether
+/// truncation-tolerant recovery is even possible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The input is well-framed but the content is wrong: unknown event,
+    /// bad value, arity mismatch. Recovery cannot help.
+    Malformed,
+    /// A framed trace ends mid-record or a record fails its length/CRC
+    /// check — the signature of a crash mid-write. The prefix before the
+    /// damage is intact and recoverable.
+    Torn,
+}
+
 /// An error while parsing a trace file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceParseError {
@@ -12,6 +26,8 @@ pub struct TraceParseError {
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// Whether this is malformed content or a torn (truncated) file.
+    pub kind: TraceErrorKind,
 }
 
 impl fmt::Display for TraceParseError {
@@ -22,10 +38,19 @@ impl fmt::Display for TraceParseError {
 
 impl Error for TraceParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+pub(crate) fn err(line: usize, message: impl Into<String>) -> TraceParseError {
     TraceParseError {
         line,
         message: message.into(),
+        kind: TraceErrorKind::Malformed,
+    }
+}
+
+pub(crate) fn torn(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line,
+        message: message.into(),
+        kind: TraceErrorKind::Torn,
     }
 }
 
@@ -49,6 +74,9 @@ fn err(line: usize, message: impl Into<String>) -> TraceParseError {
 /// # Ok::<(), crace_cli::TraceParseError>(())
 /// ```
 pub fn parse_trace(source: &str, spec: &Spec) -> Result<Trace, TraceParseError> {
+    if crate::framed::is_framed(source) {
+        return crate::framed::parse_framed(source, spec);
+    }
     let mut trace = Trace::new();
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -56,73 +84,82 @@ pub fn parse_trace(source: &str, spec: &Spec) -> Result<Trace, TraceParseError> 
         if line.is_empty() {
             continue;
         }
-        let mut words = line.splitn(3, char::is_whitespace);
-        let kind = words.next().expect("nonempty line");
-        let parse_tid = |w: Option<&str>| -> Result<ThreadId, TraceParseError> {
-            w.and_then(|s| s.trim().parse::<u32>().ok())
-                .map(ThreadId)
-                .ok_or_else(|| err(lineno, "expected a thread id"))
-        };
-        match kind {
-            "fork" | "join" => {
-                let parent = parse_tid(words.next())?;
-                let child = parse_tid(words.next())?;
-                trace.push(if kind == "fork" {
-                    Event::Fork { parent, child }
-                } else {
-                    Event::Join { parent, child }
-                });
-            }
-            "acq" | "rel" => {
-                let tid = parse_tid(words.next())?;
-                let lock = words
-                    .next()
-                    .and_then(|s| s.trim().parse::<u64>().ok())
-                    .map(LockId)
-                    .ok_or_else(|| err(lineno, "expected a lock id"))?;
-                trace.push(if kind == "acq" {
-                    Event::Acquire { tid, lock }
-                } else {
-                    Event::Release { tid, lock }
-                });
-            }
-            "read" | "write" => {
-                let tid = parse_tid(words.next())?;
-                let loc = words
-                    .next()
-                    .map(str::trim)
-                    .and_then(|s| s.strip_prefix('@'))
-                    .and_then(|s| {
-                        s.strip_prefix("0x")
-                            .map(|h| u64::from_str_radix(h, 16).ok())
-                            .unwrap_or_else(|| s.parse::<u64>().ok())
-                    })
-                    .map(LocId)
-                    .ok_or_else(|| err(lineno, "expected a location like @16 or @0x10"))?;
-                trace.push(if kind == "read" {
-                    Event::Read { tid, loc }
-                } else {
-                    Event::Write { tid, loc }
-                });
-            }
-            "act" => {
-                let tid = parse_tid(words.next())?;
-                let rest = words
-                    .next()
-                    .ok_or_else(|| err(lineno, "expected `o<id> name(args)/ret`"))?
-                    .trim();
-                let action = parse_action(rest, spec, lineno)?;
-                trace.push(Event::Action { tid, action });
-            }
-            other => {
-                return Err(err(
-                    lineno,
-                    format!("unknown event `{other}` (expected fork/join/acq/rel/read/write/act)"),
-                ));
-            }
-        }
+        trace.push(parse_event(line, spec, lineno)?);
     }
     Ok(trace)
+}
+
+/// Parses one already-stripped, nonempty event line.
+pub(crate) fn parse_event(
+    line: &str,
+    spec: &Spec,
+    lineno: usize,
+) -> Result<Event, TraceParseError> {
+    let mut words = line.splitn(3, char::is_whitespace);
+    let kind = words.next().expect("nonempty line");
+    let parse_tid = |w: Option<&str>| -> Result<ThreadId, TraceParseError> {
+        w.and_then(|s| s.trim().parse::<u32>().ok())
+            .map(ThreadId)
+            .ok_or_else(|| err(lineno, "expected a thread id"))
+    };
+    Ok(match kind {
+        "fork" | "join" => {
+            let parent = parse_tid(words.next())?;
+            let child = parse_tid(words.next())?;
+            if kind == "fork" {
+                Event::Fork { parent, child }
+            } else {
+                Event::Join { parent, child }
+            }
+        }
+        "acq" | "rel" => {
+            let tid = parse_tid(words.next())?;
+            let lock = words
+                .next()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .map(LockId)
+                .ok_or_else(|| err(lineno, "expected a lock id"))?;
+            if kind == "acq" {
+                Event::Acquire { tid, lock }
+            } else {
+                Event::Release { tid, lock }
+            }
+        }
+        "read" | "write" => {
+            let tid = parse_tid(words.next())?;
+            let loc = words
+                .next()
+                .map(str::trim)
+                .and_then(|s| s.strip_prefix('@'))
+                .and_then(|s| {
+                    s.strip_prefix("0x")
+                        .map(|h| u64::from_str_radix(h, 16).ok())
+                        .unwrap_or_else(|| s.parse::<u64>().ok())
+                })
+                .map(LocId)
+                .ok_or_else(|| err(lineno, "expected a location like @16 or @0x10"))?;
+            if kind == "read" {
+                Event::Read { tid, loc }
+            } else {
+                Event::Write { tid, loc }
+            }
+        }
+        "act" => {
+            let tid = parse_tid(words.next())?;
+            let rest = words
+                .next()
+                .ok_or_else(|| err(lineno, "expected `o<id> name(args)/ret`"))?
+                .trim();
+            let action = parse_action(rest, spec, lineno)?;
+            Event::Action { tid, action }
+        }
+        other => {
+            return Err(err(
+                lineno,
+                format!("unknown event `{other}` (expected fork/join/acq/rel/read/write/act)"),
+            ));
+        }
+    })
 }
 
 fn parse_action(text: &str, spec: &Spec, lineno: usize) -> Result<Action, TraceParseError> {
@@ -317,36 +354,31 @@ pub(crate) fn parse_value(text: &str, lineno: usize) -> Result<Value, TraceParse
 pub fn render_trace(trace: &Trace, spec: &Spec) -> String {
     let mut out = String::new();
     for event in trace {
-        match event {
-            Event::Fork { parent, child } => {
-                out.push_str(&format!("fork {} {}\n", parent.0, child.0));
-            }
-            Event::Join { parent, child } => {
-                out.push_str(&format!("join {} {}\n", parent.0, child.0));
-            }
-            Event::Acquire { tid, lock } => {
-                out.push_str(&format!("acq {} {}\n", tid.0, lock.0));
-            }
-            Event::Release { tid, lock } => {
-                out.push_str(&format!("rel {} {}\n", tid.0, lock.0));
-            }
-            Event::Read { tid, loc } => {
-                out.push_str(&format!("read {} @{}\n", tid.0, loc.0));
-            }
-            Event::Write { tid, loc } => {
-                out.push_str(&format!("write {} @{}\n", tid.0, loc.0));
-            }
-            Event::Action { tid, action } => {
-                out.push_str(&format!(
-                    "act {} o{} {}\n",
-                    tid.0,
-                    action.obj().0,
-                    render_call(action, spec)
-                ));
-            }
-        }
+        out.push_str(&render_event(event, spec));
+        out.push('\n');
     }
     out
+}
+
+/// Renders one event as a single line (no trailing newline) — the unit
+/// the framed format checksums.
+pub(crate) fn render_event(event: &Event, spec: &Spec) -> String {
+    match event {
+        Event::Fork { parent, child } => format!("fork {} {}", parent.0, child.0),
+        Event::Join { parent, child } => format!("join {} {}", parent.0, child.0),
+        Event::Acquire { tid, lock } => format!("acq {} {}", tid.0, lock.0),
+        Event::Release { tid, lock } => format!("rel {} {}", tid.0, lock.0),
+        Event::Read { tid, loc } => format!("read {} @{}", tid.0, loc.0),
+        Event::Write { tid, loc } => format!("write {} @{}", tid.0, loc.0),
+        Event::Action { tid, action } => {
+            format!(
+                "act {} o{} {}",
+                tid.0,
+                action.obj().0,
+                render_call(action, spec)
+            )
+        }
+    }
 }
 
 fn render_call(action: &Action, spec: &Spec) -> String {

@@ -4,7 +4,9 @@
 //! backslashes, newlines, parentheses and `#` — and malformed input must
 //! produce a [`TraceParseError`], never a panic.
 
-use crace_cli::{parse_trace, render_trace};
+use crace_cli::{
+    parse_framed, parse_framed_tolerant, parse_trace, render_framed, render_trace, TraceErrorKind,
+};
 use crace_model::{Action, Event, LocId, LockId, ObjId, ThreadId, Trace, Value};
 use crace_spec::{builtin, Spec};
 use rand::rngs::StdRng;
@@ -135,6 +137,109 @@ fn worst_case_strings_round_trip() {
         let reparsed = parse_trace(&rendered, &spec)
             .unwrap_or_else(|e| panic!("string {s:?}: {e}\n{rendered}"));
         assert_eq!(trace, reparsed, "string {s:?} round-trip mismatch");
+    }
+}
+
+/// The framed (checksummed) format must round-trip every trace the
+/// plain format does — same generator, same nasty strings — through
+/// both the strict parser and `parse_trace`'s header sniffing.
+#[test]
+fn framed_parse_render_is_the_identity_on_random_traces() {
+    let spec = builtin::dictionary();
+    let mut rng = StdRng::seed_from_u64(0xF4A3_ED01);
+    for i in 0..300 {
+        let trace = random_trace(&mut rng, &spec);
+        let rendered = render_framed(&trace, &spec);
+        let strict = parse_framed(&rendered, &spec)
+            .unwrap_or_else(|e| panic!("iteration {i}: strict reparse failed: {e}\n{rendered}"));
+        assert_eq!(trace, strict, "iteration {i}: framed round-trip mismatch");
+        // `parse_trace` sniffs the header and takes the framed path.
+        let sniffed = parse_trace(&rendered, &spec)
+            .unwrap_or_else(|e| panic!("iteration {i}: sniffed reparse failed: {e}"));
+        assert_eq!(trace, sniffed, "iteration {i}: header sniffing mismatch");
+        // A tolerant parse of an intact file loses nothing.
+        let (tolerant, outcome) = parse_framed_tolerant(&rendered, &spec);
+        assert_eq!(trace, tolerant, "iteration {i}: tolerant parse mismatch");
+        assert!(outcome.is_none(), "iteration {i}: intact file flagged torn");
+    }
+}
+
+/// Corruption property: flip any single byte of a framed trace's body
+/// and the strict parser must either reject the file (kind `Torn` for a
+/// broken frame, `Malformed` for a payload the CRC can't save — it
+/// can't, frames are checked first) or — only when the flip lands in
+/// skippable whitespace — still parse to the original trace. A silent
+/// wrong parse is the one forbidden outcome.
+#[test]
+fn random_byte_flips_never_parse_to_a_different_trace() {
+    let spec = builtin::dictionary();
+    let mut rng = StdRng::seed_from_u64(0x0BAD_F11B);
+    for i in 0..150 {
+        let trace = random_trace(&mut rng, &spec);
+        let rendered = render_framed(&trace, &spec);
+        let header_len = rendered.find('\n').unwrap() + 1;
+        if header_len >= rendered.len() {
+            continue;
+        }
+        let pos = rng.gen_range(header_len..rendered.len());
+        let flip = rendered.as_bytes()[pos] ^ (1 << rng.gen_range(0..7));
+        let mut bytes = rendered.clone().into_bytes();
+        bytes[pos] = flip;
+        let Ok(corrupted) = String::from_utf8(bytes) else {
+            continue; // the flip broke UTF-8; parsing never sees it
+        };
+        match parse_framed(&corrupted, &spec) {
+            Err(e) => assert!(
+                matches!(e.kind, TraceErrorKind::Torn | TraceErrorKind::Malformed),
+                "iteration {i}: unexpected error kind"
+            ),
+            Ok(parsed) => assert_eq!(
+                trace, parsed,
+                "iteration {i}: flipped byte {pos} silently changed the trace:\n{corrupted}"
+            ),
+        }
+    }
+}
+
+/// Truncation property: cut a framed trace at any byte offset and the
+/// tolerant parser recovers a prefix of the original events — never
+/// reordered, never invented — and reports a loss iff events were lost.
+#[test]
+fn random_truncations_recover_a_clean_prefix() {
+    let spec = builtin::dictionary();
+    let mut rng = StdRng::seed_from_u64(0x0709_4CA7);
+    for i in 0..150 {
+        let trace = random_trace(&mut rng, &spec);
+        let rendered = render_framed(&trace, &spec);
+        let cut = rng.gen_range(0..rendered.len());
+        let Some(torn) = rendered.get(..cut) else {
+            continue; // cut inside a multi-byte character
+        };
+        if !crace_cli::is_framed(torn) {
+            continue; // the header itself is torn; callers sniff it first
+        }
+        let (recovered, outcome) = parse_framed_tolerant(torn, &spec);
+        assert!(
+            recovered.len() <= trace.len(),
+            "iteration {i}: recovered more events than were written"
+        );
+        assert_eq!(
+            recovered.events(),
+            &trace.events()[..recovered.len()],
+            "iteration {i}: recovered events are not a prefix"
+        );
+        if recovered.len() < trace.len() {
+            // A cut at a record boundary (or one that only eats the final
+            // newline of a CRC-valid record) yields a *valid* shorter
+            // file — undetectable by design. Everywhere else the tear
+            // must be reported.
+            let undetectable = torn.ends_with('\n') || rendered.as_bytes()[cut] == b'\n';
+            assert!(
+                outcome.is_some() || undetectable,
+                "iteration {i}: lost {} event(s) without a torn-trace report",
+                trace.len() - recovered.len()
+            );
+        }
     }
 }
 

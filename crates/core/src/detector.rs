@@ -5,7 +5,7 @@ use crate::points::CompiledSpec;
 use crace_model::{Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId};
 use crace_vclock::{ClockStats, SyncClocks};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// The commutativity race detector of §5 over a single event stream —
@@ -37,6 +37,24 @@ struct Inner {
     /// When set, objects collect race provenance with an event window of
     /// this many actions (see [`ObjState::with_provenance`]).
     provenance_window: Option<usize>,
+    /// Threads abandoned via [`Analysis::abandon_thread`]: their clocks
+    /// are retired and any stray later event naming them is shed, so a
+    /// dead thread can never introduce spurious happens-before edges.
+    abandoned: HashSet<ThreadId>,
+    /// Events shed because they named an abandoned thread.
+    shed: u64,
+}
+
+impl Inner {
+    /// True iff the event should be shed because it names a thread whose
+    /// clock has been finalized.
+    fn sheds(&mut self, tids: &[ThreadId]) -> bool {
+        if !self.abandoned.is_empty() && tids.iter().any(|t| self.abandoned.contains(t)) {
+            self.shed += 1;
+            return true;
+        }
+        false
+    }
 }
 
 impl TraceDetector {
@@ -60,6 +78,8 @@ impl TraceDetector {
                 compiled: HashMap::new(),
                 mode,
                 provenance_window: None,
+                abandoned: HashSet::new(),
+                shed: 0,
             }),
         }
     }
@@ -139,6 +159,11 @@ impl TraceDetector {
             .sum()
     }
 
+    /// Number of events shed because they named an abandoned thread.
+    pub fn events_shed(&self) -> u64 {
+        self.inner.lock().shed
+    }
+
     /// Aggregated clock-representation statistics over all tracked
     /// objects: how many phase-2 updates stayed on the O(1) epoch path.
     pub fn clock_stats(&self) -> ClockStats {
@@ -163,23 +188,46 @@ impl Analysis for TraceDetector {
     }
 
     fn on_fork(&self, parent: ThreadId, child: ThreadId) {
-        self.inner.lock().sync.fork(parent, child);
+        let inner = &mut *self.inner.lock();
+        if inner.sheds(&[parent, child]) {
+            return;
+        }
+        inner.sync.fork(parent, child);
     }
 
     fn on_join(&self, parent: ThreadId, child: ThreadId) {
-        self.inner.lock().sync.join(parent, child);
+        let inner = &mut *self.inner.lock();
+        // A join of an abandoned child is shed too: the child's clock was
+        // retired (reset to ⊥), so folding it into the parent would
+        // either be a no-op or, worse, a spurious edge from a lazily
+        // reinitialized fresh clock.
+        if inner.sheds(&[parent, child]) {
+            return;
+        }
+        inner.sync.join(parent, child);
     }
 
     fn on_acquire(&self, tid: ThreadId, lock: LockId) {
-        self.inner.lock().sync.acquire(tid, lock);
+        let inner = &mut *self.inner.lock();
+        if inner.sheds(&[tid]) {
+            return;
+        }
+        inner.sync.acquire(tid, lock);
     }
 
     fn on_release(&self, tid: ThreadId, lock: LockId) {
-        self.inner.lock().sync.release(tid, lock);
+        let inner = &mut *self.inner.lock();
+        if inner.sheds(&[tid]) {
+            return;
+        }
+        inner.sync.release(tid, lock);
     }
 
     fn on_action(&self, tid: ThreadId, action: &Action) {
         let inner = &mut *self.inner.lock();
+        if inner.sheds(&[tid]) {
+            return;
+        }
         let Some(spec) = inner.registry.get(&action.obj()) else {
             return;
         };
@@ -211,6 +259,16 @@ impl Analysis for TraceDetector {
                 provenance: hit.provenance,
             });
         }
+    }
+
+    /// Finalizes a dead thread: retires its sync clock and sheds any
+    /// later event naming it. Creates no happens-before edges and never
+    /// changes what was already reported — the report over the events
+    /// delivered before the abandonment is untouched.
+    fn abandon_thread(&self, tid: ThreadId) {
+        let inner = &mut *self.inner.lock();
+        inner.abandoned.insert(tid);
+        inner.sync.retire(tid);
     }
 
     fn report(&self) -> RaceReport {
@@ -393,6 +451,56 @@ mod tests {
         let report = replay(&trace, &detector);
         assert_eq!(report.total(), 2);
         assert_eq!(report.distinct(), 2);
+    }
+
+    /// Abandoning a thread must (a) keep every race already reported,
+    /// (b) shed all later events naming the dead tid, and (c) introduce
+    /// no happens-before edges — a survivor's conflicting action still
+    /// races with the dead thread's delivered action.
+    #[test]
+    fn abandon_finalizes_clock_without_ordering_survivors() {
+        let (spec, compiled) = dict();
+        let detector = TraceDetector::new();
+        detector.register(ObjId(1), compiled);
+        let (tm, t1, t2) = (ThreadId(0), ThreadId(1), ThreadId(2));
+        detector.on_fork(tm, t1);
+        detector.on_fork(tm, t2);
+        // t1 delivers one put, then dies mid-flight.
+        detector.on_action(
+            ThreadId(1),
+            &Action::new(
+                ObjId(1),
+                spec.method_id("put").unwrap(),
+                vec![Value::str("k"), Value::Int(1)],
+                Value::Nil,
+            ),
+        );
+        detector.abandon_thread(t1);
+        // Post-abandonment events from the dead tid are shed, including a
+        // stray join that would otherwise fold a reinitialized clock.
+        detector.on_action(
+            ThreadId(1),
+            &Action::new(
+                ObjId(1),
+                spec.method_id("put").unwrap(),
+                vec![Value::str("k"), Value::Int(9)],
+                Value::Int(1),
+            ),
+        );
+        detector.on_join(tm, t1);
+        assert_eq!(detector.events_shed(), 2);
+        // No HB edge was created: t2's overlapping put still races with
+        // t1's delivered one.
+        detector.on_action(
+            ThreadId(2),
+            &Action::new(
+                ObjId(1),
+                spec.method_id("put").unwrap(),
+                vec![Value::str("k"), Value::Int(2)],
+                Value::Int(1),
+            ),
+        );
+        assert_eq!(detector.report().total(), 1);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::points::CompiledSpec;
 use crace_model::{Action, Analysis, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId};
 use crace_vclock::{ClockStats, PublishedClocks};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of shards of the object map. Objects hash to shards by id, so
@@ -65,6 +66,14 @@ pub struct Rd2 {
     /// When set, objects collect race provenance with an event window of
     /// this many actions (see [`ObjState::with_provenance`]).
     provenance_window: Option<usize>,
+    /// Threads abandoned via [`Analysis::abandon_thread`]: retired clocks,
+    /// later events naming them shed.
+    abandoned: RwLock<HashSet<ThreadId>>,
+    /// Fast-path guard: true iff `abandoned` is non-empty, so the common
+    /// (no faults ever) case pays one relaxed load, not a lock.
+    has_abandoned: AtomicBool,
+    /// Events shed because they named an abandoned thread.
+    shed: AtomicU64,
 }
 
 struct ObjEntry {
@@ -90,6 +99,9 @@ impl Rd2 {
             compiled: Mutex::new(HashMap::new()),
             mode,
             provenance_window: None,
+            abandoned: RwLock::new(HashSet::new()),
+            has_abandoned: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +121,27 @@ impl Rd2 {
 
     fn shard(&self, obj: ObjId) -> &RwLock<HashMap<ObjId, Arc<ObjEntry>>> {
         &self.objects[(obj.0 as usize) % OBJ_SHARDS]
+    }
+
+    /// True iff an event naming any of `tids` must be shed because that
+    /// thread was abandoned. One relaxed load when no thread has ever
+    /// been abandoned — the hot path stays lock-free.
+    fn sheds(&self, tids: &[ThreadId]) -> bool {
+        if !self.has_abandoned.load(Ordering::Relaxed) {
+            return false;
+        }
+        let abandoned = self.abandoned.read();
+        if tids.iter().any(|t| abandoned.contains(t)) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of events shed because they named an abandoned thread.
+    pub fn events_shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Registers `obj` against an (uncompiled) logical specification,
@@ -196,22 +229,39 @@ impl Analysis for Rd2 {
     }
 
     fn on_fork(&self, parent: ThreadId, child: ThreadId) {
+        if self.sheds(&[parent, child]) {
+            return;
+        }
         self.sync.fork(parent, child);
     }
 
     fn on_join(&self, parent: ThreadId, child: ThreadId) {
+        // Joining an abandoned child is shed: its slot was dropped, so
+        // the join would fold a lazily reinitialized fresh clock.
+        if self.sheds(&[parent, child]) {
+            return;
+        }
         self.sync.join(parent, child);
     }
 
     fn on_acquire(&self, tid: ThreadId, lock: LockId) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         self.sync.acquire(tid, lock);
     }
 
     fn on_release(&self, tid: ThreadId, lock: LockId) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         self.sync.release(tid, lock);
     }
 
     fn on_action(&self, tid: ThreadId, action: &Action) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         let entry = match self.shard(action.obj()).read().get(&action.obj()) {
             Some(e) => Arc::clone(e),
             None => return,
@@ -245,6 +295,15 @@ impl Analysis for Rd2 {
                 });
             }
         }
+    }
+
+    /// Finalizes a dead thread: retires its published clock slot and
+    /// sheds all later events naming it. No happens-before edges are
+    /// introduced and the report over the delivered prefix is untouched.
+    fn abandon_thread(&self, tid: ThreadId) {
+        self.abandoned.write().insert(tid);
+        self.has_abandoned.store(true, Ordering::Relaxed);
+        self.sync.retire(tid);
     }
 
     fn report(&self) -> RaceReport {
@@ -367,6 +426,48 @@ mod tests {
         // epoch path (only the shared resize point may promote).
         let stats = rd2.clock_stats();
         assert!(stats.epoch_updates >= 4 * 499, "{stats}");
+    }
+
+    /// Mirror of the TraceDetector abandonment test on the sharded
+    /// detector: delivered races survive, later events of the dead tid
+    /// are shed, and no spurious ordering protects survivors.
+    #[test]
+    fn abandon_sheds_late_events_and_orders_nobody() {
+        let (spec, rd2) = dict_rd2();
+        let put = spec.method_id("put").unwrap();
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_fork(ThreadId(0), ThreadId(2));
+        rd2.on_action(
+            ThreadId(1),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::str("k"), Value::Int(1)],
+                Value::Nil,
+            ),
+        );
+        rd2.abandon_thread(ThreadId(1));
+        rd2.on_action(
+            ThreadId(1),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::str("k"), Value::Int(9)],
+                Value::Int(1),
+            ),
+        );
+        rd2.on_join(ThreadId(0), ThreadId(1));
+        assert_eq!(rd2.events_shed(), 2);
+        rd2.on_action(
+            ThreadId(2),
+            &Action::new(
+                ObjId(1),
+                put,
+                vec![Value::str("k"), Value::Int(2)],
+                Value::Int(1),
+            ),
+        );
+        assert_eq!(rd2.report().total(), 1, "{:?}", rd2.report());
     }
 
     #[test]

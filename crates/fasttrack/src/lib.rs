@@ -42,8 +42,9 @@ use crace_model::{
 use crace_vclock::{Epoch, SyncClocks, VectorClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The read component of a location's shadow state: an epoch in the common
 /// totally-ordered case, or a full vector clock once reads are concurrent.
@@ -213,6 +214,13 @@ pub struct FastTrack {
     /// sampled races. Off by default: it clones the shadow state of every
     /// access, which the overhead benchmarks must not pay.
     provenance: bool,
+    /// Threads abandoned via [`Analysis::abandon_thread`]: retired clocks,
+    /// later events naming them shed.
+    abandoned: RwLock<HashSet<ThreadId>>,
+    /// Fast-path guard: true iff `abandoned` is non-empty.
+    has_abandoned: AtomicBool,
+    /// Events shed because they named an abandoned thread.
+    shed: AtomicU64,
 }
 
 impl FastTrack {
@@ -223,6 +231,9 @@ impl FastTrack {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             report: Mutex::new(RaceReport::new()),
             provenance: false,
+            abandoned: RwLock::new(HashSet::new()),
+            has_abandoned: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -240,6 +251,26 @@ impl FastTrack {
         let mut h = DefaultHasher::new();
         loc.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// True iff an event naming any of `tids` must be shed because that
+    /// thread was abandoned. One relaxed load in the fault-free case.
+    fn sheds(&self, tids: &[ThreadId]) -> bool {
+        if !self.has_abandoned.load(Ordering::Relaxed) {
+            return false;
+        }
+        let abandoned = self.abandoned.read();
+        if tids.iter().any(|t| abandoned.contains(t)) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of events shed because they named an abandoned thread.
+    pub fn events_shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     fn clock_of(&self, tid: ThreadId) -> VectorClock {
@@ -307,18 +338,32 @@ impl Analysis for FastTrack {
     }
 
     fn on_fork(&self, parent: ThreadId, child: ThreadId) {
+        if self.sheds(&[parent, child]) {
+            return;
+        }
         self.sync.write().fork(parent, child);
     }
 
     fn on_join(&self, parent: ThreadId, child: ThreadId) {
+        // Joining an abandoned child is shed: its clock was retired, so
+        // the join would fold a lazily reinitialized fresh clock.
+        if self.sheds(&[parent, child]) {
+            return;
+        }
         self.sync.write().join(parent, child);
     }
 
     fn on_acquire(&self, tid: ThreadId, lock: LockId) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         self.sync.write().acquire(tid, lock);
     }
 
     fn on_release(&self, tid: ThreadId, lock: LockId) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         self.sync.write().release(tid, lock);
     }
 
@@ -328,11 +373,26 @@ impl Analysis for FastTrack {
     fn on_action(&self, _tid: ThreadId, _action: &Action) {}
 
     fn on_read(&self, tid: ThreadId, loc: LocId) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         self.access(tid, loc, false);
     }
 
     fn on_write(&self, tid: ThreadId, loc: LocId) {
+        if self.sheds(&[tid]) {
+            return;
+        }
         self.access(tid, loc, true);
+    }
+
+    /// Finalizes a dead thread: retires its sync clock and sheds all
+    /// later events naming it. No happens-before edges are introduced and
+    /// the report over the delivered prefix is untouched.
+    fn abandon_thread(&self, tid: ThreadId) {
+        self.abandoned.write().insert(tid);
+        self.has_abandoned.store(true, Ordering::Relaxed);
+        self.sync.write().retire(tid);
     }
 
     fn report(&self) -> RaceReport {
@@ -511,6 +571,25 @@ mod tests {
             );
         }
         assert!(ft.report().is_empty());
+    }
+
+    /// Abandonment on the low-level detector: the delivered write still
+    /// races with a survivor, late accesses of the dead tid are shed.
+    #[test]
+    fn abandon_sheds_late_accesses_and_orders_nobody() {
+        let ft = FastTrack::new();
+        ft.on_fork(T0, T1);
+        ft.on_fork(T0, T2);
+        ft.on_write(T1, X);
+        ft.abandon_thread(T1);
+        // Late events of the dead thread are shed…
+        ft.on_write(T1, LocId(99));
+        ft.on_join(T0, T1);
+        assert_eq!(ft.events_shed(), 2);
+        assert!(ft.report().is_empty());
+        // …and no HB edge protects T2's concurrent write.
+        ft.on_write(T2, X);
+        assert_eq!(ft.report().total(), 1);
     }
 
     #[test]

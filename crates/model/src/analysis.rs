@@ -45,6 +45,21 @@ pub trait Analysis: Send + Sync {
         let _ = (tid, loc);
     }
 
+    /// `tid` is dead (it panicked or was killed) and will emit no further
+    /// events; any stray event from it after this call may be discarded.
+    ///
+    /// This is a *control-plane* notification, not a trace event: it
+    /// creates **no happens-before edges** (that would hide real races
+    /// with the dead thread's delivered actions) and never changes what
+    /// was already reported. Detectors use it to finalize the dead
+    /// thread's clock — retire its storage and refuse late events —
+    /// instead of leaving it dangling. The default implementation
+    /// ignores the notification, which is correct for any analysis that
+    /// tolerates a thread simply falling silent.
+    fn abandon_thread(&self, tid: ThreadId) {
+        let _ = tid;
+    }
+
     /// Snapshot of the races reported so far.
     fn report(&self) -> RaceReport;
 

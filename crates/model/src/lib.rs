@@ -37,6 +37,7 @@ mod action;
 mod analysis;
 mod event;
 mod ids;
+mod isolated;
 mod observe;
 mod recorder;
 mod report;
@@ -47,6 +48,7 @@ pub use action::{Action, MethodSig};
 pub use analysis::{Analysis, NoopAnalysis};
 pub use event::Event;
 pub use ids::{LocId, LockId, MethodId, ObjId, ThreadId};
+pub use isolated::Isolated;
 pub use observe::Observer;
 pub use recorder::Recorder;
 pub use report::{Provenance, RaceKind, RaceRecord, RaceReport};

@@ -179,6 +179,12 @@ impl<A: Analysis> Analysis for Observer<A> {
         self.observe(6, || self.inner.on_write(tid, loc));
     }
 
+    fn abandon_thread(&self, tid: ThreadId) {
+        // Control-plane notification, not a trace event: forward without
+        // counting it against any event kind.
+        self.inner.abandon_thread(tid);
+    }
+
     fn report(&self) -> RaceReport {
         self.inner.report()
     }

@@ -1,7 +1,7 @@
 //! Recording analysis: capture a live execution as a [`Trace`].
 
 use crate::{Action, Analysis, Event, LocId, LockId, RaceReport, ThreadId, Trace};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// An [`Analysis`] that records every event into a [`Trace`] instead of
 /// analyzing it.
@@ -35,19 +35,31 @@ impl Recorder {
     }
 
     /// Consumes the recorder and returns the recorded trace.
+    ///
+    /// Poison-recovering: a workload thread that panicked while an event
+    /// was being appended never loses the trace collected so far. The
+    /// recorder's invariant (the event vector is valid after every
+    /// `push`) holds even mid-unwind, so recovering the poisoned lock is
+    /// safe.
     pub fn into_trace(self) -> Trace {
-        self.trace.into_inner().expect("recorder lock poisoned")
+        self.trace
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Clones the trace recorded so far.
+    /// Clones the trace recorded so far. Poison-recovering, like
+    /// [`Recorder::into_trace`].
     pub fn snapshot(&self) -> Trace {
-        self.trace.lock().expect("recorder lock poisoned").clone()
+        self.trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     fn push(&self, event: Event) {
         self.trace
             .lock()
-            .expect("recorder lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(event);
     }
 }
@@ -125,6 +137,36 @@ mod tests {
         r.on_join(ThreadId(0), ThreadId(1));
         assert_eq!(r.snapshot().len(), 2);
         assert!(r.report().is_empty());
+    }
+
+    /// A thread that panics while holding the recorder lock poisons it;
+    /// the recorder must still yield the full trace collected so far,
+    /// both as a live snapshot and when consumed.
+    #[test]
+    fn poisoned_lock_still_yields_full_snapshot() {
+        use std::sync::Arc;
+
+        let r = Arc::new(Recorder::new());
+        r.on_fork(ThreadId(0), ThreadId(1));
+        r.on_write(ThreadId(1), LocId(7));
+
+        let poisoner = Arc::clone(&r);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.trace.lock().unwrap();
+            panic!("injected panic while holding the recorder lock");
+        })
+        .join();
+        assert!(result.is_err(), "poisoner thread must panic");
+
+        // Lock is now poisoned; recording and snapshotting must both
+        // keep working without losing anything.
+        r.on_join(ThreadId(0), ThreadId(1));
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(matches!(snap.events()[2], Event::Join { .. }));
+
+        let r = Arc::try_unwrap(r).expect("sole owner");
+        assert_eq!(r.into_trace().len(), 3);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::sync::Arc;
 /// let c2 = cell.clone();
 /// let h = rt.spawn(&main, move |ctx| { c2.write(ctx, 1); });
 /// cell.write(&main, 2); // unordered with the child's write
-/// h.join(&main);
+/// h.join(&main).unwrap();
 /// assert_eq!(ft.report().total(), 1);
 /// ```
 pub struct TrackedCell<T> {
@@ -59,14 +59,14 @@ impl<T: Clone + Send> TrackedCell<T> {
     /// Reads the value (reports a shadow read).
     pub fn read(&self, ctx: &ThreadCtx) -> T {
         let v = self.value.lock().clone();
-        self.inner.analysis.on_read(ctx.tid(), self.loc);
+        self.inner.emit_read(ctx.tid(), self.loc);
         v
     }
 
     /// Writes the value (reports a shadow write).
     pub fn write(&self, ctx: &ThreadCtx, v: T) {
         *self.value.lock() = v;
-        self.inner.analysis.on_write(ctx.tid(), self.loc);
+        self.inner.emit_write(ctx.tid(), self.loc);
     }
 
     /// Read-modify-write (reports a shadow read *and* write — the classic
@@ -76,8 +76,8 @@ impl<T: Clone + Send> TrackedCell<T> {
         let next = f(&guard);
         *guard = next;
         drop(guard);
-        self.inner.analysis.on_read(ctx.tid(), self.loc);
-        self.inner.analysis.on_write(ctx.tid(), self.loc);
+        self.inner.emit_read(ctx.tid(), self.loc);
+        self.inner.emit_write(ctx.tid(), self.loc);
     }
 
     /// Unmonitored read, for assertions (emits no event).
@@ -123,7 +123,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert_eq!(cell.get_untracked(), 200);
         assert!(ft.report().is_empty(), "{:?}", ft.report());
@@ -143,7 +143,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         let report = ft.report();
         assert!(report.total() >= 1, "{report:?}");

@@ -64,8 +64,7 @@ impl MonitoredCounter {
 
     fn emit(&self, ctx: &ThreadCtx, method: MethodId, ret: Value) {
         self.inner
-            .analysis
-            .on_action(ctx.tid(), &Action::new(self.obj, method, vec![], ret));
+            .emit_action(ctx.tid(), &Action::new(self.obj, method, vec![], ret));
     }
 
     /// Atomically increments the counter.
@@ -118,7 +117,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert_eq!(c.value_untracked(), 4 * 75);
         // inc/inc and inc/dec commute: no commutativity races.
@@ -136,7 +135,7 @@ mod tests {
             c2.inc(ctx);
         });
         c.read(&main);
-        h.join(&main);
+        h.join(&main).unwrap();
         assert!(rd2.report().total() >= 1, "{:?}", rd2.report());
     }
 
@@ -148,7 +147,7 @@ mod tests {
         let c = MonitoredCounter::new(&rt);
         let c2 = c.clone();
         let h = rt.spawn(&main, move |ctx| c2.inc(ctx));
-        h.join(&main);
+        h.join(&main).unwrap();
         assert_eq!(c.read(&main), 1);
         assert!(rd2.report().is_empty());
     }

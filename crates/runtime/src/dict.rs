@@ -91,8 +91,7 @@ impl MonitoredDict {
 
     fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
         self.inner
-            .analysis
-            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+            .emit_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
     }
 
     /// Associates `key` with `value`, returning the previous value (`nil`
@@ -243,7 +242,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         let report = rd2.report();
         assert!(report.total() >= 1, "{report:?}");
@@ -266,7 +265,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert!(rd2.report().is_empty(), "{:?}", rd2.report());
     }
@@ -282,7 +281,7 @@ mod tests {
             d2.put(ctx, Value::Int(1), Value::Int(1)); // resizes
         });
         d.size(&main); // concurrent with the insert
-        h.join(&main);
+        h.join(&main).unwrap();
         // Either order of real execution yields a commutativity race.
         assert!(rd2.report().total() >= 1, "{:?}", rd2.report());
     }
@@ -304,7 +303,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert!(ft.report().is_empty());
     }
@@ -326,7 +325,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert_eq!(d.len_untracked(), 4 * 100);
     }

@@ -725,6 +725,33 @@ pub fn shrink(program: &SimProgram, cfg: &ExploreConfig) -> Option<Shrunk> {
     })
 }
 
+/// Replays a chaos run exactly: `choices` is the
+/// [`ChaosOutcome::schedule`](crate::sim::ChaosOutcome::schedule) a
+/// previous [`simulate_with_faults`](crate::sim::simulate_with_faults)
+/// recorded, and `plan` the fault plan it ran under. Returns the same
+/// delivered trace and outcome bit-for-bit — the chaos analogue of
+/// replaying a [`Witness`] schedule.
+///
+/// # Panics
+///
+/// Panics if `choices` does not match the program's runnable sets under
+/// `plan` (a schedule recorded from a different program or plan).
+pub fn replay_with_faults(
+    program: &SimProgram,
+    choices: &[usize],
+    plan: &crate::fault::FaultPlan,
+) -> (Trace, crate::sim::ChaosOutcome) {
+    let mut scheduler = crate::sim::ScriptedScheduler::new(choices.to_vec());
+    let (trace, outcome) =
+        crate::sim::simulate_faulty_with_scheduler(program, &mut scheduler, plan);
+    assert_eq!(
+        scheduler.consumed(),
+        choices.len(),
+        "chaos replay did not consume the whole schedule"
+    );
+    (trace, outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

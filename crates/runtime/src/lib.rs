@@ -51,7 +51,7 @@
 //!     }));
 //! }
 //! for h in handles {
-//!     h.join(&main);
+//!     h.join(&main).unwrap();
 //! }
 //! assert!(analysis.report().total() >= 1); // the duplicate put races
 //! ```
@@ -60,9 +60,11 @@
 #![warn(missing_docs)]
 
 mod cell;
+pub mod chaos;
 mod counter;
 mod dict;
 pub mod explore;
+pub mod fault;
 mod queue;
 mod register;
 mod registry;
@@ -73,8 +75,11 @@ pub mod sim;
 pub use cell::TrackedCell;
 pub use counter::MonitoredCounter;
 pub use dict::MonitoredDict;
+pub use fault::{Fault, FaultInjector, FaultPlan};
 pub use queue::MonitoredQueue;
 pub use register::MonitoredRegister;
 pub use registry::ObjectRegistry;
-pub use runtime::{Runtime, ThreadCtx, TrackedJoinHandle, TrackedMutex, TrackedMutexGuard};
+pub use runtime::{
+    JoinError, Runtime, ThreadCtx, TrackedJoinHandle, TrackedMutex, TrackedMutexGuard,
+};
 pub use set::MonitoredSet;

@@ -63,8 +63,7 @@ impl MonitoredQueue {
 
     fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
         self.inner
-            .analysis
-            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+            .emit_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
     }
 
     /// Appends `v` to the back.
@@ -135,7 +134,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert!(rd2.report().total() >= 1);
     }
@@ -154,7 +153,7 @@ mod tests {
                 q2.enq(ctx, Value::Int(i));
             }
         });
-        producer.join(&main);
+        producer.join(&main).unwrap();
         while !q.is_empty(&main) {
             q.deq(&main);
         }

@@ -58,8 +58,7 @@ impl MonitoredRegister {
 
     fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
         self.inner
-            .analysis
-            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+            .emit_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
     }
 
     /// Reads the current value.
@@ -114,7 +113,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         // write/write is `false` in the spec (ECL cannot say "commute when
         // values are equal" — that is a cross-action equality).
@@ -137,7 +136,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert!(rd2.report().is_empty());
     }

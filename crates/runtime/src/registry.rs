@@ -3,7 +3,7 @@
 
 use crace_core::{Direct, Rd2, TraceDetector};
 use crace_fasttrack::FastTrack;
-use crace_model::{Analysis, NoopAnalysis, ObjId, Recorder};
+use crace_model::{Analysis, Isolated, NoopAnalysis, ObjId, Observer, Recorder};
 use crace_spec::Spec;
 
 /// An [`Analysis`] that monitored objects can register themselves with.
@@ -48,6 +48,21 @@ impl ObjectRegistry for TraceDetector {
 impl ObjectRegistry for Direct {
     fn on_new_object(&self, obj: ObjId, spec: &Spec) {
         self.register(obj, std::sync::Arc::new(spec.clone()));
+    }
+}
+
+/// Registration goes through to the wrapped analysis unguarded: it runs
+/// at object-construction time on a healthy analysis, and a panic there
+/// is misuse (a non-ECL specification), not a runtime fault.
+impl<A: ObjectRegistry> ObjectRegistry for Isolated<A> {
+    fn on_new_object(&self, obj: ObjId, spec: &Spec) {
+        self.inner().on_new_object(obj, spec);
+    }
+}
+
+impl<A: ObjectRegistry> ObjectRegistry for Observer<A> {
+    fn on_new_object(&self, obj: ObjId, spec: &Spec) {
+        self.inner().on_new_object(obj, spec);
     }
 }
 

@@ -79,8 +79,7 @@ impl MonitoredSet {
 
     fn emit(&self, ctx: &ThreadCtx, method: MethodId, args: Vec<Value>, ret: Value) {
         self.inner
-            .analysis
-            .on_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
+            .emit_action(ctx.tid(), &Action::new(self.obj, method, args, ret));
     }
 
     /// Inserts `x`; returns `true` iff it was newly added.
@@ -163,7 +162,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert!(rd2.report().total() >= 1, "{:?}", rd2.report());
     }
@@ -184,7 +183,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         assert!(rd2.report().is_empty(), "{:?}", rd2.report());
         assert_eq!(s.len_untracked(), 200);

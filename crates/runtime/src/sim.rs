@@ -36,6 +36,7 @@
 //! assert_eq!(trace, simulate(&program, 42)); // fully deterministic
 //! ```
 
+use crate::fault::{Degradation, Fault, FaultInjector, FaultPlan};
 use crace_model::{Action, Event, LockId, MethodId, ObjId, ThreadId, Trace, Value};
 use crace_obs::{Registry, Snapshot};
 use crace_spec::builtin;
@@ -268,6 +269,20 @@ impl<'p> SimState<'p> {
     /// Consumes the state, returning the dictionary contents.
     pub fn into_dicts(self) -> Vec<HashMap<Value, Value>> {
         self.dicts
+    }
+
+    /// Marks thread `t` dead: its script is cut short (it executes no
+    /// further operations) and any locks it holds stay held forever —
+    /// the poisoned-lock scenario an injected mid-critical-section panic
+    /// produces. Threads blocked on such a lock never become runnable
+    /// again.
+    pub fn kill(&mut self, t: usize) {
+        self.pc[t] = self.program.threads[t].len();
+    }
+
+    /// The thread currently holding simulated lock `lock`, if any.
+    pub fn lock_owner(&self, lock: usize) -> Option<usize> {
+        self.lock_owner[lock]
     }
 
     /// Executes the next operation of thread `t` against the reference
@@ -536,6 +551,217 @@ fn simulate_inner(
     (trace, state.into_dicts())
 }
 
+/// What happened during one chaos execution, beyond the delivered trace.
+///
+/// Everything needed to *replay* the run is here: the recorded
+/// `schedule` plus the original [`FaultPlan`] reproduce the trace and
+/// this outcome bit-for-bit via [`crate::explore::replay_with_faults`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// Script thread indices killed by an injected [`Fault::PanicThread`].
+    pub panicked: Vec<usize>,
+    /// Script thread indices abandoned at exit: alive but permanently
+    /// blocked on a lock a dead thread still holds.
+    pub abandoned: Vec<usize>,
+    /// Lock indices still held at exit by a dead or abandoned thread.
+    pub poisoned_locks: Vec<usize>,
+    /// Dispatches lost to [`Fault::Drop`] (executed against the reference
+    /// semantics, never recorded in the trace).
+    pub events_shed: u64,
+    /// Dispatches hit by [`Fault::Delay`] (recorded; a delay is an
+    /// identity in the single-consumer simulator, but it is counted so
+    /// degradation totals match the real-thread runtime).
+    pub events_delayed: u64,
+    /// Global event index of the first fault that fired, if any. Every
+    /// slot before it was delivered fault-free, so the trace's first
+    /// `first_fault_index` events are bit-for-bit those of the fault-free
+    /// run under the same schedule — the delivered-prefix guarantee.
+    pub first_fault_index: Option<u64>,
+    /// Total planned faults that actually fired.
+    pub faults_fired: u64,
+    /// Degradation counters as the runtime's [`FaultInjector`] saw them.
+    pub degradation: Degradation,
+    /// Scheduler choices in order, for replay.
+    pub schedule: Vec<usize>,
+}
+
+impl ChaosOutcome {
+    /// True iff no fault fired: the run was observationally fault-free.
+    pub fn clean(&self) -> bool {
+        self.faults_fired == 0
+    }
+}
+
+/// What to do with one dispatch slot after consulting the fault plane.
+enum Slot {
+    Deliver,
+    Shed,
+    Panic,
+}
+
+fn claim_slot(injector: &FaultInjector, outcome: &mut ChaosOutcome, sheddable: bool) -> Slot {
+    let (at, fault) = injector.next();
+    let Some(fault) = fault else {
+        return Slot::Deliver;
+    };
+    if fault == Fault::Drop && !sheddable {
+        // Synchronization events are never shed: losing a happens-before
+        // edge would make the detector invent races. The planned drop is
+        // suppressed (same rule as the real-thread runtime).
+        return Slot::Deliver;
+    }
+    outcome.faults_fired += 1;
+    if outcome.first_fault_index.is_none() {
+        outcome.first_fault_index = Some(at);
+    }
+    match fault {
+        Fault::PanicThread => {
+            injector.record_panic();
+            Slot::Panic
+        }
+        Fault::Drop => {
+            injector.record_drop();
+            outcome.events_shed += 1;
+            Slot::Shed
+        }
+        Fault::Delay(_) => {
+            injector.record_delay();
+            outcome.events_delayed += 1;
+            Slot::Deliver
+        }
+    }
+}
+
+/// Executes `program` under the seeded schedule with `plan`'s faults
+/// injected, returning the *delivered* trace (exactly the events an
+/// analysis would have seen) and the [`ChaosOutcome`].
+///
+/// Fault semantics per dispatch slot (slots are numbered like the
+/// fault-free run: fork prologue, one per scheduled step, join epilogue):
+///
+/// * [`Fault::PanicThread`] on a scheduled step kills the chosen thread
+///   *instead of* executing its operation — its script ends there and any
+///   locks it holds stay held (poisoned). On a fork-prologue slot the
+///   child dies before running anything (and the fork is not delivered);
+///   on a join-epilogue slot the join dispatch is lost but the simulator
+///   host survives, mirroring [`crate::TrackedJoinHandle::join`] catching
+///   the child's panic.
+/// * [`Fault::Drop`] executes the operation against the reference
+///   semantics but does not record the event: shared state advances, the
+///   analysis is blind to it. Only data-plane slots (dictionary actions)
+///   are sheddable — a drop planned on a fork/join/lock/unlock slot is
+///   suppressed and delivers normally, because losing a happens-before
+///   edge would make the detector invent races (degradation must fail
+///   toward fewer reports, never more).
+/// * [`Fault::Delay`] delivers normally (counted; no actual sleep — the
+///   simulator is single-consumer so a delay cannot reorder anything).
+///
+/// Threads left permanently blocked on a dead thread's lock are
+/// *abandoned*: the run ends without a deadlock panic (the degradation
+/// contract's poisoned-lock scenario) and they get no join event, just as
+/// a real host that cannot join a wedged thread would move on. The
+/// deadlock panic is preserved when no fault fired.
+///
+/// # Panics
+///
+/// Same script-error conditions as [`simulate`], plus genuine deadlocks
+/// in fault-free runs.
+pub fn simulate_with_faults(
+    program: &SimProgram,
+    seed: u64,
+    plan: &FaultPlan,
+) -> (Trace, ChaosOutcome) {
+    simulate_faulty_with_scheduler(program, &mut SeededScheduler::new(seed), plan)
+}
+
+/// [`simulate_with_faults`] under an arbitrary [`Scheduler`] — pair with
+/// [`ScriptedScheduler`] over [`ChaosOutcome::schedule`] to replay a
+/// chaos run exactly.
+pub fn simulate_faulty_with_scheduler(
+    program: &SimProgram,
+    scheduler: &mut dyn Scheduler,
+    plan: &FaultPlan,
+) -> (Trace, ChaosOutcome) {
+    let injector = FaultInjector::new(plan.clone());
+    let mut trace = Trace::new();
+    let mut outcome = ChaosOutcome::default();
+    let main = ThreadId(0);
+    let n = program.threads.len();
+    let mut state = SimState::new(program);
+    let mut dead = vec![false; n];
+
+    for (t, slot) in dead.iter_mut().enumerate() {
+        match claim_slot(&injector, &mut outcome, false) {
+            Slot::Deliver => trace.push(Event::Fork {
+                parent: main,
+                child: ThreadId(t as u32 + 1),
+            }),
+            Slot::Shed => {}
+            Slot::Panic => {
+                *slot = true;
+                outcome.panicked.push(t);
+                state.kill(t);
+            }
+        }
+    }
+
+    loop {
+        let runnable = state.runnable();
+        if runnable.is_empty() {
+            break;
+        }
+        let t = scheduler.choose(&runnable);
+        outcome.schedule.push(t);
+        let sheddable = !matches!(state.next_op(t), Some(SimOp::Lock(_) | SimOp::Unlock(_)));
+        match claim_slot(&injector, &mut outcome, sheddable) {
+            Slot::Deliver => {
+                let event = state.step(t);
+                trace.push(event);
+            }
+            Slot::Shed => {
+                let _ = state.step(t);
+            }
+            Slot::Panic => {
+                dead[t] = true;
+                outcome.panicked.push(t);
+                state.kill(t);
+            }
+        }
+    }
+
+    for (t, &is_dead) in dead.iter().enumerate() {
+        if !is_dead && state.next_op(t).is_some() {
+            outcome.abandoned.push(t);
+        }
+    }
+    if !outcome.abandoned.is_empty() && outcome.clean() {
+        panic!("simulated deadlock: all unfinished threads are blocked");
+    }
+    for lock in 0..program.num_locks {
+        if let Some(owner) = state.lock_owner(lock) {
+            if dead[owner] || outcome.abandoned.contains(&owner) {
+                outcome.poisoned_locks.push(lock);
+            }
+        }
+    }
+
+    for t in 0..n {
+        if outcome.abandoned.contains(&t) {
+            continue; // a wedged thread cannot be joined; the host moves on
+        }
+        match claim_slot(&injector, &mut outcome, false) {
+            Slot::Deliver => trace.push(Event::Join {
+                parent: main,
+                child: ThreadId(t as u32 + 1),
+            }),
+            Slot::Shed | Slot::Panic => {}
+        }
+    }
+
+    outcome.degradation = injector.degradation();
+    (trace, outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -795,5 +1021,128 @@ mod tests {
             threads: vec![vec![SimOp::Lock(0), SimOp::Lock(0)]],
         };
         simulate(&program, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_fault_free_run() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 1,
+            threads: vec![
+                vec![SimOp::Lock(0), put(0, 1, 10), SimOp::Unlock(0)],
+                vec![put(0, 2, 20), get(0, 2)],
+            ],
+        };
+        for seed in 0..10 {
+            let plain = simulate(&program, seed);
+            let (chaotic, outcome) = simulate_with_faults(&program, seed, &FaultPlan::new());
+            assert_eq!(plain, chaotic, "seed {seed}");
+            assert!(outcome.clean());
+            assert_eq!(outcome.degradation, Degradation::default());
+        }
+    }
+
+    #[test]
+    fn drop_fault_sheds_one_event_and_keeps_reference_semantics() {
+        // Single thread, so the schedule is forced: slots are
+        // fork(0), put(1), get(2), join(3). Drop the put's dispatch.
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 0,
+            threads: vec![vec![put(0, 1, 10), get(0, 1)]],
+        };
+        let plan = FaultPlan::new().with(1, Fault::Drop);
+        let (trace, outcome) = simulate_with_faults(&program, 0, &plan);
+        assert_eq!(outcome.events_shed, 1);
+        assert_eq!(outcome.first_fault_index, Some(1));
+        // fork, get, join — the put is gone from the trace…
+        assert_eq!(trace.len(), 3);
+        // …but it executed: the get still observes the stored value.
+        let got = trace.events()[1].action().unwrap();
+        assert_eq!(got.ret(), &Value::Int(10));
+    }
+
+    #[test]
+    fn panic_fault_kills_thread_and_poisons_its_lock() {
+        // Thread 0 takes the lock then dies; thread 1 needs the lock and
+        // is abandoned, blocked forever on the poisoned lock.
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 1,
+            threads: vec![
+                vec![SimOp::Lock(0), put(0, 1, 10), SimOp::Unlock(0)],
+                vec![SimOp::Lock(0), put(0, 2, 20), SimOp::Unlock(0)],
+            ],
+        };
+        // Force thread 0 first; slot 2 is fork(0), fork(1), then thread
+        // 0's Lock at slot 2 — panic at slot 3 (its put, lock held).
+        let plan = FaultPlan::new().with(3, Fault::PanicThread);
+        let mut scheduler = ScriptedScheduler::new(vec![0, 0]);
+        let (trace, outcome) = simulate_faulty_with_scheduler(&program, &mut scheduler, &plan);
+        assert_eq!(outcome.panicked, vec![0]);
+        assert_eq!(outcome.abandoned, vec![1]);
+        assert_eq!(outcome.poisoned_locks, vec![0]);
+        assert_eq!(outcome.degradation.panics_injected, 1);
+        // fork, fork, acquire, then the dead thread's join only (the
+        // abandoned thread gets none).
+        assert_eq!(trace.len(), 4);
+        assert!(matches!(
+            trace.events()[3],
+            Event::Join {
+                child: ThreadId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn chaos_runs_replay_bit_for_bit() {
+        let program = SimProgram {
+            num_dicts: 2,
+            num_locks: 1,
+            threads: vec![
+                vec![SimOp::Lock(0), put(0, 1, 10), SimOp::Unlock(0), get(1, 5)],
+                vec![put(0, 1, 20), put(1, 5, 50)],
+                vec![get(0, 1), SimOp::DictSize { dict: 1 }],
+            ],
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::seeded(seed, 20, 3);
+            let (trace, outcome) = simulate_with_faults(&program, seed, &plan);
+            let (trace2, outcome2) = simulate_with_faults(&program, seed, &plan);
+            assert_eq!(trace, trace2, "seed {seed}");
+            assert_eq!(outcome, outcome2, "seed {seed}");
+            let (replayed, routcome) =
+                crate::explore::replay_with_faults(&program, &outcome.schedule, &plan);
+            assert_eq!(trace, replayed, "seed {seed}");
+            assert_eq!(outcome, routcome, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn delivered_prefix_matches_fault_free_run() {
+        let program = SimProgram {
+            num_dicts: 1,
+            num_locks: 1,
+            threads: vec![
+                vec![SimOp::Lock(0), put(0, 1, 10), SimOp::Unlock(0)],
+                vec![put(0, 1, 20), get(0, 1)],
+            ],
+        };
+        for seed in 0..30 {
+            let plain = simulate(&program, seed);
+            let plan = FaultPlan::seeded(seed.wrapping_mul(7), 12, 2);
+            let (trace, outcome) = simulate_with_faults(&program, seed, &plan);
+            let k = outcome
+                .first_fault_index
+                .map(|k| k as usize)
+                .unwrap_or(trace.len());
+            assert!(trace.len() >= k, "seed {seed}");
+            assert_eq!(
+                &trace.events()[..k],
+                &plain.events()[..k],
+                "seed {seed}: delivered prefix diverged"
+            );
+        }
     }
 }

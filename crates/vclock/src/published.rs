@@ -190,6 +190,18 @@ impl PublishedClocks {
         }
     }
 
+    /// Retires a dead thread's clock: removes its slot entirely.
+    ///
+    /// The abandonment analogue of [`crate::SyncClocks::retire`]: no
+    /// happens-before edges are introduced, the slot is simply dropped.
+    /// Snapshots already handed out by [`PublishedClocks::clock`] stay
+    /// valid (they are `Arc`s); a later event naming the retired tid
+    /// would lazily reinitialize it as a fresh thread, so callers shed
+    /// such events.
+    pub fn retire(&self, tid: ThreadId) {
+        self.thread_shard(tid).write().remove(&tid);
+    }
+
     /// Number of threads observed so far.
     pub fn num_threads(&self) -> usize {
         self.threads.iter().map(|s| s.read().len()).sum()
@@ -327,6 +339,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn retire_drops_slot_but_keeps_snapshots_valid() {
+        let s = PublishedClocks::new();
+        s.fork(MAIN, T1);
+        let snapshot = s.clock(T1);
+        let main_before = s.clock(MAIN);
+        s.retire(T1);
+        // No happens-before edges introduced; old snapshots stay usable.
+        assert_eq!(*main_before, *s.clock(MAIN));
+        assert!(snapshot.get(T1) >= 1);
+        assert_eq!(s.num_threads(), 1);
+        // Retiring an unseen thread is a no-op.
+        s.retire(ThreadId(99));
     }
 
     #[test]

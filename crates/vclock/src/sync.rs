@@ -136,6 +136,20 @@ impl SyncClocks {
         }
     }
 
+    /// Retires a dead thread's clock: resets `T(tid)` to `⊥`.
+    ///
+    /// Used by the abandonment path when a monitored thread dies without
+    /// being joined. Retiring introduces **no happens-before edges** —
+    /// nothing is folded into any other clock — it only finalizes the
+    /// slot so stale state cannot leak if the detector ever sees the tid
+    /// again (callers are expected to shed such late events; a retired
+    /// slot reinitializes lazily like a fresh thread if they do not).
+    pub fn retire(&mut self, tid: ThreadId) {
+        if let Some(slot) = self.threads.get_mut(tid.index()) {
+            *slot = VectorClock::new();
+        }
+    }
+
     /// Number of threads observed so far.
     pub fn num_threads(&self) -> usize {
         self.threads.len()
@@ -247,6 +261,22 @@ mod tests {
         });
         let child = s.clock(T1).clone();
         assert!(child.le(s.clock(MAIN)));
+    }
+
+    #[test]
+    fn retire_resets_slot_without_ordering_anyone() {
+        let mut s = SyncClocks::new();
+        s.fork(MAIN, T1);
+        let main_before = s.clock(MAIN).clone();
+        s.retire(T1);
+        // Retiring creates no happens-before edges: main is untouched.
+        assert_eq!(&main_before, s.clock(MAIN));
+        // The slot is back to bottom; a later sighting reinitializes it
+        // as a fresh thread, concurrent with everything.
+        assert!(s.peek_clock(T1).is_none());
+        assert!(s.clock(T1).clone().concurrent_with(&main_before));
+        // Retiring an unseen thread is a no-op.
+        s.retire(ThreadId(99));
     }
 
     #[test]

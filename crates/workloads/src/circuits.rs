@@ -230,11 +230,11 @@ pub fn run_circuit(
     };
 
     for h in handles {
-        h.join(&main);
+        h.join(&main).unwrap();
     }
     stop.store(true, Ordering::Relaxed);
     if let Some(h) = flusher {
-        h.join(&main);
+        h.join(&main).unwrap();
     }
     let elapsed = start.elapsed();
 

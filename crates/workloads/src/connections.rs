@@ -43,7 +43,7 @@ pub fn run_connections(
         }));
     }
     for h in handles {
-        h.join(&main); // joinall
+        h.join(&main).unwrap(); // joinall
     }
     let connections = dict.size(&main);
     ConnectionsResult {

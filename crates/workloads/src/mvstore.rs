@@ -398,7 +398,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         let report = rd2.report();
         assert!(report.total() >= 1, "{report:?}");
@@ -423,7 +423,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         let report = rd2.report();
         assert!(report.total() >= 1, "{report:?}");
@@ -449,7 +449,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
         let report = ft.report();
         assert!(report.total() >= 1, "{report:?}");

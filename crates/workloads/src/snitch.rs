@@ -211,7 +211,7 @@ pub fn run_snitch(analysis: Arc<dyn ObjectRegistry>, config: &SnitchConfig) -> S
     }
 
     for h in handles {
-        h.join(&main);
+        h.join(&main).unwrap();
     }
     let elapsed = start.elapsed();
     SnitchResult {

@@ -28,7 +28,7 @@ fn main() {
         }));
     }
     for w in workers {
-        w.join(&main); // joinall
+        w.join(&main).unwrap(); // joinall
     }
     let connections = dict.size(&main); // safely ordered after the joins
 

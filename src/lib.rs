@@ -58,7 +58,7 @@
 //!     d.put(ctx, Value::str("a.com"), Value::Int(1));
 //! });
 //! dict.put(&main, Value::str("a.com"), Value::Int(2)); // concurrent, same key
-//! worker.join(&main);
+//! worker.join(&main).unwrap();
 //!
 //! assert_eq!(rd2.report().total(), 1); // the commutativity race
 //! ```
@@ -104,13 +104,13 @@ pub use crace_boost::LockManager;
 pub use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector, TranslateError};
 pub use crace_fasttrack::FastTrack;
 pub use crace_model::{
-    Action, Analysis, Event, LocId, LockId, MethodId, NoopAnalysis, ObjId, Observer, RaceReport,
-    Recorder, ThreadId, Trace, Value,
+    replay, Action, Analysis, Event, Isolated, LocId, LockId, MethodId, NoopAnalysis, ObjId,
+    Observer, RaceReport, Recorder, ThreadId, Trace, Value,
 };
 pub use crace_obs::{Registry, Snapshot};
 pub use crace_runtime::{
-    MonitoredCounter, MonitoredDict, MonitoredQueue, MonitoredRegister, MonitoredSet, Runtime,
-    ThreadCtx, TrackedCell, TrackedMutex,
+    Fault, FaultInjector, FaultPlan, JoinError, MonitoredCounter, MonitoredDict, MonitoredQueue,
+    MonitoredRegister, MonitoredSet, Runtime, ThreadCtx, TrackedCell, TrackedMutex,
 };
 pub use crace_spec::{parse as parse_spec, Spec, SpecBuilder};
 pub use crace_speclint::{lint as lint_spec, LintReport};

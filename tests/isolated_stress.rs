@@ -1,0 +1,195 @@
+//! Stress: a panicking analysis behind [`Isolated`] must never crash,
+//! deadlock, or slow-stop the instrumented application — across real
+//! threads, real locks, and real injected faults.
+
+use crace::runtime::ObjectRegistry;
+use crace::{
+    Action, Analysis, Fault, FaultInjector, FaultPlan, Isolated, LockId, MonitoredDict, RaceReport,
+    Recorder, Registry, Runtime, ThreadId, Value,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Panics on the `fuse`-th data-plane delivery, forever after healthy.
+/// Everything else is counted so the test can audit delivery totals.
+struct Flaky {
+    fuse: u64,
+    delivered: AtomicU64,
+}
+
+impl Flaky {
+    fn armed(fuse: u64) -> Flaky {
+        Flaky {
+            fuse,
+            delivered: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Analysis for Flaky {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+    fn on_fork(&self, _: ThreadId, _: ThreadId) {}
+    fn on_join(&self, _: ThreadId, _: ThreadId) {}
+    fn on_acquire(&self, _: ThreadId, _: LockId) {}
+    fn on_release(&self, _: ThreadId, _: LockId) {}
+    fn on_action(&self, _: ThreadId, _: &Action) {
+        let n = self.delivered.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == self.fuse {
+            panic!("flaky analysis blew up at delivery {n}");
+        }
+    }
+    fn report(&self) -> RaceReport {
+        RaceReport::new()
+    }
+}
+
+impl ObjectRegistry for Flaky {}
+
+/// Runs `f` with the default panic hook silenced so the intentional
+/// panics (caught ones included) don't spam the test output.
+fn quiet<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Eight threads hammer a monitored dictionary while the analysis blows
+/// up mid-run. Every application thread must still complete and join
+/// cleanly; the blast is contained to degradation counters.
+#[test]
+fn panicking_analysis_never_takes_down_application_threads() {
+    quiet(|| {
+        let iso = Arc::new(Isolated::new(Flaky::armed(17)));
+        let rt = Runtime::new(iso.clone());
+        let dict = MonitoredDict::new(&rt);
+        let mutex = Arc::new(rt.new_mutex());
+        let main = rt.main_ctx();
+
+        let workers: Vec<_> = (0..8)
+            .map(|w| {
+                let d = dict.clone();
+                let m = Arc::clone(&mutex);
+                rt.spawn(&main, move |ctx| {
+                    for i in 0..20 {
+                        let _g = m.lock(ctx);
+                        d.put(ctx, Value::Int(w * 100 + i), Value::Int(i));
+                        drop(_g);
+                        d.get(ctx, Value::Int(w * 100 + i));
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join(&main).expect("application thread must survive");
+        }
+
+        assert!(iso.quarantined(), "the fuse must have blown");
+        assert_eq!(iso.analysis_panics(), 1);
+        assert!(iso.events_shed() > 0, "post-panic events must be shed");
+        assert!(
+            iso.last_panic()
+                .is_some_and(|m| m.contains("blew up at delivery 17")),
+            "panic message must be captured"
+        );
+        // Fail-open report path still answers.
+        assert!(iso.report().is_empty());
+
+        // Degradation is visible, not hidden.
+        let registry = Registry::new();
+        iso.feed(&registry);
+        let snap = registry.snapshot().to_json();
+        assert!(snap.contains("\"flaky.analysis_panics\""));
+        assert!(snap.contains("\"flaky.degraded_mode\""));
+    });
+}
+
+/// An injected `PanicThread` fault kills the application thread at the
+/// planned event index. The host must observe it as a `JoinError` (with
+/// the payload), the join event must still reach the analysis, and the
+/// runtime must stay usable afterwards.
+#[test]
+fn injected_panic_surfaces_as_join_error_and_join_event_still_lands() {
+    quiet(|| {
+        // Event indices: 0 = fork, 1 = child's put (the planned casualty),
+        // 2 = join.
+        let plan = FaultPlan::new().with(1, Fault::PanicThread);
+        let injector = Arc::new(FaultInjector::new(plan));
+        let recorder = Arc::new(Recorder::new());
+        let rt = Runtime::with_faults(recorder.clone(), Arc::clone(&injector));
+        let dict = MonitoredDict::new(&rt);
+        let main = rt.main_ctx();
+
+        let d = dict.clone();
+        let handle = rt.spawn(&main, move |ctx| {
+            d.put(ctx, Value::str("doomed"), Value::Int(1));
+        });
+        let err = handle
+            .join(&main)
+            .expect_err("the injected panic must surface");
+        assert!(
+            err.message()
+                .is_some_and(|m| m.contains("injected thread panic at event 1")),
+            "JoinError must carry the panic payload, got {:?}",
+            err.message()
+        );
+        let victim = err.tid();
+
+        // The runtime survives: the main thread keeps emitting events.
+        dict.put(&main, Value::str("alive"), Value::Int(2));
+
+        let trace = recorder.snapshot();
+        let rendered: Vec<String> = trace.events().iter().map(|e| format!("{e:?}")).collect();
+        assert!(
+            rendered.iter().any(|e| e.starts_with("Join")),
+            "join event must be delivered even for a panicked child: {rendered:?}"
+        );
+        assert!(
+            !rendered
+                .iter()
+                .any(|e| e.starts_with("Act") && e.contains("doomed")),
+            "the casualty event must not be in the delivered prefix: {rendered:?}"
+        );
+        assert_eq!(injector.degradation().panics_injected, 1);
+        let _ = victim;
+    });
+}
+
+/// Same seeded fault plan, real threads, fifty runs: the degradation
+/// counters the injector reports are identical every time (scheduling
+/// may vary, but a single-threaded pipeline keeps indices stable).
+#[test]
+fn seeded_faults_on_a_single_worker_degrade_identically_across_runs() {
+    quiet(|| {
+        let run = || {
+            let plan = FaultPlan::seeded(7, 12, 3);
+            let injector = Arc::new(FaultInjector::new(plan));
+            let iso = Arc::new(Isolated::new(Flaky::armed(u64::MAX)));
+            let rt = Runtime::with_faults(iso.clone(), Arc::clone(&injector));
+            let dict = MonitoredDict::new(&rt);
+            let main = rt.main_ctx();
+            let d = dict.clone();
+            let worker = rt.spawn(&main, move |ctx| {
+                for i in 0..10 {
+                    d.put(ctx, Value::Int(i), Value::Int(i));
+                }
+            });
+            let joined_ok = worker.join(&main).is_ok();
+            let deg = injector.degradation();
+            (
+                joined_ok,
+                deg.panics_injected,
+                deg.events_dropped,
+                deg.events_delayed,
+                iso.inner().delivered.load(Ordering::Relaxed),
+            )
+        };
+        let reference = run();
+        for i in 0..50 {
+            assert_eq!(run(), reference, "run {i} diverged from the first");
+        }
+    });
+}

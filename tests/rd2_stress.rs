@@ -52,7 +52,7 @@ fn disjoint_key_writers_report_no_races_and_stay_on_epochs() {
         }));
     }
     for h in handles {
-        h.join(&main);
+        h.join(&main).unwrap();
     }
 
     let report = rd2.report();
@@ -87,7 +87,7 @@ fn same_key_writers_race_exactly_2k_minus_3_times() {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
 
         let report = rd2.report();
@@ -124,7 +124,7 @@ fn lock_protected_writers_never_race() {
         }));
     }
     for h in handles {
-        h.join(&main);
+        h.join(&main).unwrap();
     }
     assert_eq!(
         dict.get_untracked(&Value::Int(1)),
@@ -249,7 +249,7 @@ fn live_rd2_report_equals_serial_replay_of_the_recorded_trace() {
             }));
         }
         for h in handles {
-            h.join(&main);
+            h.join(&main).unwrap();
         }
 
         let live = tee.rd2.report();

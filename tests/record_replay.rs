@@ -105,7 +105,7 @@ fn recorder_preserves_lock_critical_sections() {
         }));
     }
     for h in handles {
-        h.join(&main);
+        h.join(&main).unwrap();
     }
     assert_eq!(dict.get_untracked(&Value::Int(1)), Value::Int(60));
 
