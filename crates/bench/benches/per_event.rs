@@ -9,10 +9,10 @@
 //! so the per-event costs are directly comparable. The epoch-hit rate of
 //! the benchmarked trace is printed alongside the timings.
 
-use crace_bench::{local_dict_trace, mixed_dict_trace, rw_trace, OBJ};
-use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector};
+use crace_bench::{local_dict_trace, mixed_dict_trace, rw_trace, sharded_dict_trace, OBJ};
+use crace_core::{translate, ClockMode, Direct, ParallelConfig, ParallelRd2, Rd2, TraceDetector};
 use crace_fasttrack::FastTrack;
-use crace_model::{replay, Isolated, NoopAnalysis, Observer};
+use crace_model::{replay, Analysis, Isolated, NoopAnalysis, ObjId, Observer};
 use crace_obs::Registry;
 use crace_spec::builtin;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -158,7 +158,122 @@ fn bench_per_event(c: &mut Criterion) {
         });
     });
 
+    // The sharded parallel pipeline vs the serial replay paths, all on the
+    // same many-thread multi-dictionary trace. The serial trace detector
+    // pays a sync-clock clone per action (O(threads), and this trace has
+    // 256 threads precisely because many-thread traces are where the
+    // pipeline earns its keep); the pipeline's workers read `Arc`'d
+    // clocks the ingress replayed once, so the pipeline comes out ahead
+    // even on one CPU, and on many CPUs the shards additionally detect
+    // concurrently. Each iteration builds the whole pipeline (thread
+    // spawn included) and ends with the report barrier, so setup and
+    // merge are priced in — which is why these rows use a 10× longer
+    // trace: spawning N worker threads is a fixed millisecond-scale cost
+    // that would otherwise drown the per-event story for both sides.
+    const SHARD_N: usize = 10 * N;
+    const SHARD_THREADS: u32 = 256;
+    const SHARD_OBJECTS: u64 = 48;
+    let sharded = Arc::new(sharded_dict_trace(
+        SHARD_N,
+        SHARD_THREADS,
+        SHARD_OBJECTS,
+        16,
+        0xFEED,
+    ));
+    let objects: Vec<ObjId> = (1..=SHARD_OBJECTS).map(ObjId).collect();
+    group.throughput(Throughput::Elements(SHARD_N as u64));
+
+    group.bench_function("rd2-serial-sharded", |b| {
+        b.iter(|| {
+            let detector = TraceDetector::new();
+            for &obj in &objects {
+                detector.register(obj, Arc::clone(&compiled));
+            }
+            replay(&sharded, &detector)
+        });
+    });
+
+    group.bench_function("rd2-live-sharded", |b| {
+        b.iter(|| {
+            let detector = Rd2::new();
+            for &obj in &objects {
+                detector.register(obj, Arc::clone(&compiled));
+            }
+            replay(&sharded, &detector)
+        });
+    });
+
+    // The parallel rows take the zero-copy offline path (`ingest_shared`):
+    // a recorded trace is already a shared immutable buffer, so the
+    // ingress ships each worker index views into it instead of cloning
+    // events into messages. One chunk for the whole trace: on few cores
+    // there is no pipelining win from smaller chunks, and every chunk
+    // costs one wake per worker.
+    let throughput_cfg = ParallelConfig {
+        batch: usize::MAX,
+        ..ParallelConfig::default()
+    };
+    for workers in [1usize, 2, 4, 8, 16] {
+        group.bench_function(format!("rd2-parallel-w{workers}"), |b| {
+            b.iter(|| {
+                let detector = ParallelRd2::with_config(workers, throughput_cfg.clone());
+                for &obj in &objects {
+                    detector.register(obj, Arc::clone(&compiled));
+                }
+                detector.ingest_shared(&sharded);
+                detector.report()
+            });
+        });
+    }
+
     group.finish();
+
+    write_bench_snapshot();
+}
+
+/// Emits every row of this run as `BENCH_per_event.json` at the repo
+/// root — hand-written RFC 8259 JSON, checked by the crace-obs validator
+/// before it is written. Parallel rows carry their speedup over the
+/// serial replay baseline (`rd2-serial-sharded`, the path `crace replay`
+/// takes without `--workers`).
+fn write_bench_snapshot() {
+    let records: Vec<criterion::measurements::Record> = criterion::measurements::drain()
+        .into_iter()
+        .filter(|r| r.group == "per_event")
+        .collect();
+    let serial_ns = records
+        .iter()
+        .find(|r| r.id == "rd2-serial-sharded")
+        .map(criterion::measurements::Record::ns_per_element);
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let mut row = format!(
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_event\": {:.3}",
+                crace_obs::json::escape(&r.id),
+                r.ns_per_iter,
+                r.ns_per_element()
+            );
+            if let Some(serial) = serial_ns {
+                if r.id.starts_with("rd2-parallel-w") && r.ns_per_element() > 0.0 {
+                    row.push_str(&format!(
+                        ", \"speedup_vs_serial_replay\": {:.3}",
+                        serial / r.ns_per_element()
+                    ));
+                }
+            }
+            row.push('}');
+            row
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"per_event\",\n  \"events_per_iter\": {N},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    crace_obs::json::validate(&json).expect("emitted bench JSON is RFC 8259 valid");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_per_event.json");
+    std::fs::write(path, &json).expect("write BENCH_per_event.json");
+    println!("per_event: wrote {path}");
 }
 
 criterion_group!(benches, bench_per_event);

@@ -135,6 +135,72 @@ pub fn local_dict_trace(n: usize, threads: u32, keys_per_thread: i64, seed: u64)
     trace
 }
 
+/// Generates a *sharded* dictionary trace: `objects` independent
+/// dictionaries (ids `1..=objects`), each worked by all `threads` over a
+/// bounded per-object key space, with realistic cross-thread
+/// synchronization — one warm-up acquire/release of a global lock per
+/// thread (so thread clocks are dense, as they would be in any program
+/// whose threads ever synchronized) and a lock pair every ~200 events
+/// thereafter. Because the dictionaries are
+/// independent, this is the shape the parallel pipeline can split across
+/// detector workers — and the dense clocks make the serial replay path
+/// pay its per-action cost in full (a sync-clock clone per action,
+/// O(threads)), which is exactly the work the pipeline's workers avoid
+/// by reading the `Arc`'d clocks the ingress replayed once. The trace
+/// has `n + 3 * threads` events.
+pub fn sharded_dict_trace(
+    n: usize,
+    threads: u32,
+    objects: u64,
+    key_space: i64,
+    seed: u64,
+) -> Trace {
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").expect("builtin");
+    let get = spec.method_id("get").expect("builtin");
+    let size = spec.method_id("size").expect("builtin");
+    let lock = crace_model::LockId(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    for t in 1..=threads {
+        trace.push(Event::Fork {
+            parent: ThreadId(0),
+            child: ThreadId(t),
+        });
+    }
+    for t in 1..=threads {
+        let tid = ThreadId(t);
+        trace.push(Event::Acquire { tid, lock });
+        trace.push(Event::Release { tid, lock });
+    }
+    let objects = objects.max(1);
+    let mut i = 0usize;
+    while i < n {
+        let tid = ThreadId(1 + rng.gen_range(0..threads));
+        if i % 200 == 198 && i + 1 < n {
+            trace.push(Event::Acquire { tid, lock });
+            trace.push(Event::Release { tid, lock });
+            i += 2;
+            continue;
+        }
+        let obj = ObjId(1 + rng.gen_range(0..objects));
+        let k = Value::Int(rng.gen_range(0..key_space));
+        let action = match rng.gen_range(0..10) {
+            0..=5 => Action::new(
+                obj,
+                put,
+                vec![k, Value::Int(rng.gen_range(0..100))],
+                Value::Int(rng.gen_range(0..100)),
+            ),
+            6..=8 => Action::new(obj, get, vec![k], Value::Int(rng.gen_range(0..100))),
+            _ => Action::new(obj, size, vec![], Value::Int(rng.gen_range(0..100))),
+        };
+        trace.push(Event::Action { tid, action });
+        i += 1;
+    }
+    trace
+}
+
 /// Generates a read/write shadow-memory trace for FastTrack measurements.
 pub fn rw_trace(n: usize, threads: u32, locs: u64, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -211,6 +277,26 @@ mod tests {
             mixed_dict_trace(100, 2, 16, 9)
         );
         assert_eq!(rw_trace(100, 2, 16, 9), rw_trace(100, 2, 16, 9));
+        assert_eq!(
+            sharded_dict_trace(100, 8, 32, 16, 9),
+            sharded_dict_trace(100, 8, 32, 16, 9)
+        );
+    }
+
+    #[test]
+    fn sharded_trace_spreads_over_objects() {
+        let t = sharded_dict_trace(512, 8, 32, 16, 7);
+        assert_eq!(t.len(), 512 + 3 * 8);
+        let objects: std::collections::BTreeSet<_> = t
+            .iter()
+            .filter_map(|e| e.action().map(|a| a.obj()))
+            .collect();
+        assert!(objects.len() > 16, "only {} objects touched", objects.len());
+        let syncs = t
+            .iter()
+            .filter(|e| matches!(e, Event::Acquire { .. } | Event::Release { .. }))
+            .count();
+        assert_eq!(syncs, 2 * 8 + 2 * (512 / 200), "warm-up + sparse pairs");
     }
 
     #[test]

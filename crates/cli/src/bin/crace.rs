@@ -5,12 +5,13 @@
 //! crace lint    <spec-file> [--json]        # full static analysis (L000–L010)
 //! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
-//!               [--json] [--metrics[=json|prom]] [--explain] [--tolerate-truncation]
+//!               [--workers N] [--json] [--metrics[=json|prom]] [--explain]
+//!               [--tolerate-truncation]
 //! crace stats   <trace-file> --spec <file> [--detector …] [--format pretty|json|prom]
 //! crace explore <program-file> [--no-dpor] [--max-schedules N] [--preemption-bound N]
 //!               [--shrink] [--out <stem>] [--metrics[=json|prom]]
 //! crace chaos   <program-file> [--seed N] [--trials N] [--faults N]
-//!               [--metrics[=json|prom]]  # fault-injection campaign
+//!               [--workers N] [--metrics[=json|prom]]  # fault-injection campaign
 //! crace frame   <trace-file> --spec <file>  # convert to the framed format
 //! crace table2  [scale]                     # regenerate Table 2
 //! crace builtins                            # list builtin specifications
@@ -27,7 +28,7 @@
 //! 2 warnings only, 3 any error.
 
 use crace_cli::{parse_program, parse_trace, render_program, render_trace};
-use crace_core::{translate, Direct, TraceDetector, TranslateError};
+use crace_core::{translate, Direct, ParallelRd2, TraceDetector, TranslateError};
 use crace_fasttrack::FastTrack;
 use crace_model::{replay, Analysis, Event, ObjId, Observer, RaceReport, Trace};
 use crace_obs::{Registry, Snapshot};
@@ -70,7 +71,7 @@ usage:
   crace lint    <spec-file|builtin> [--json]
   crace compile <spec-file|builtin> [--dot]
   crace replay  <trace-file> --spec <spec-file|builtin>
-                [--detector rd2|direct|fasttrack] [--json]
+                [--detector rd2|direct|fasttrack] [--workers N] [--json]
                 [--metrics[=json|prom]] [--explain] [--tolerate-truncation]
   crace stats   <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--format pretty|json|prom]
@@ -78,7 +79,7 @@ usage:
                 [--preemption-bound N] [--shrink] [--out <stem>]
                 [--metrics[=json|prom]]
   crace chaos   <program-file> [--seed N] [--trials N] [--faults N]
-                [--metrics[=json|prom]]
+                [--workers N] [--metrics[=json|prom]]
   crace frame   <trace-file> --spec <spec-file|builtin>
   crace table2  [scale]
   crace builtins
@@ -295,15 +296,45 @@ fn feed_clock_stats(registry: &Registry, name: &str, stats: &ClockStats) {
 }
 
 /// Replays `trace` through the named detector wrapped in an [`Observer`],
-/// returning the race report and the full metrics snapshot.
+/// returning the race report and the full metrics snapshot. `workers > 0`
+/// selects the sharded parallel pipeline (rd2 only).
 fn run_observed(
     trace: &Trace,
     spec: &Spec,
     source: &str,
     detector: &str,
+    workers: usize,
     explain: bool,
 ) -> Result<Replayed, String> {
+    if workers > 0 && detector != "rd2" {
+        return Err(format!(
+            "--workers is only supported by the rd2 detector, not `{detector}`"
+        ));
+    }
     Ok(match detector {
+        "rd2" if workers > 0 => {
+            let d = if explain {
+                ParallelRd2::with_provenance(workers, EXPLAIN_WINDOW)
+            } else {
+                ParallelRd2::new(workers)
+            };
+            let compiled =
+                Arc::new(translate(spec).map_err(|e| render_translate_error(&e, spec, source))?);
+            for obj in objects_of(trace) {
+                d.register(obj, Arc::clone(&compiled));
+            }
+            let obs = Observer::new(d);
+            let report = replay(trace, &obs);
+            feed_clock_stats(obs.registry(), obs.name(), &obs.inner().clock_stats());
+            obs.registry()
+                .counter(&format!("{}.conflict_probes", obs.name()))
+                .add(obs.inner().num_probes());
+            obs.inner().feed(obs.registry());
+            Replayed {
+                report,
+                snapshot: obs.snapshot(),
+            }
+        }
         "rd2" => {
             let d = if explain {
                 TraceDetector::with_provenance(EXPLAIN_WINDOW)
@@ -435,12 +466,17 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let mut metrics: Option<String> = None;
     let mut explain = false;
     let mut tolerate = false;
-    let opts = parse_replay_opts(args, |arg, _| {
+    let mut workers = 0usize;
+    let opts = parse_replay_opts(args, |arg, it| {
         match arg {
             "--json" => json = true,
             "--metrics" => metrics = Some("pretty".to_string()),
             "--explain" => explain = true,
             "--tolerate-truncation" => tolerate = true,
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+            }
             _ if arg.starts_with("--metrics=") => {
                 metrics = Some(arg["--metrics=".len()..].to_string());
             }
@@ -462,14 +498,26 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("warning: `{}` is torn: {recovery}", opts.trace_path);
     }
     if !json {
+        let pool = if workers > 0 {
+            format!(" ({workers} worker(s))")
+        } else {
+            String::new()
+        };
         println!(
-            "replaying {} event(s), {} thread(s), detector `{}` …",
+            "replaying {} event(s), {} thread(s), detector `{}`{pool} …",
             trace.len(),
             trace.num_threads(),
             opts.detector
         );
     }
-    let run = run_observed(&trace, &spec, &spec_source, &opts.detector, explain)?;
+    let run = run_observed(
+        &trace,
+        &spec,
+        &spec_source,
+        &opts.detector,
+        workers,
+        explain,
+    )?;
 
     if json {
         print!("{}", run.report.to_json());
@@ -516,7 +564,7 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
         Err(failure) => return torn_exit(failure),
     };
     let (spec, spec_source, trace) = (loaded.spec, loaded.spec_source, loaded.trace);
-    let run = run_observed(&trace, &spec, &spec_source, &opts.detector, false)?;
+    let run = run_observed(&trace, &spec, &spec_source, &opts.detector, 0, false)?;
     match format.as_str() {
         "json" => print!("{}", run.snapshot.to_json()),
         "prom" => print!("{}", run.snapshot.to_prometheus()),
@@ -686,6 +734,10 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
             "--faults" => {
                 let n = it.next().ok_or("--faults needs a count")?;
                 cfg.faults = n.parse().map_err(|_| format!("bad count `{n}`"))?;
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                cfg.workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
             }
             "--metrics" => metrics = Some("pretty".to_string()),
             other => {

@@ -74,3 +74,6 @@ pub use translate::{
 
 mod rd2;
 pub use rd2::Rd2;
+
+mod parallel;
+pub use parallel::{ParallelConfig, ParallelRd2, ParallelStats, WorkerStats};

@@ -1,0 +1,1643 @@
+//! `ParallelRd2` — the sharded parallel detection pipeline.
+//!
+//! RD2 is inherently per-access-point: once the synchronization clocks are
+//! known, actions on different objects never touch the same shadow state.
+//! This module exploits that independence with a pool of N detector
+//! workers, each owning a disjoint slice of the 64-way object-shard space:
+//!
+//! * **routing** — action events are dispatched to the worker owning their
+//!   object's shard (`(obj % 64) % N`, the same shard function the live
+//!   [`Rd2`](crate::Rd2) uses), so each access point is only ever touched
+//!   by one worker and workers need no locks around their shadow state;
+//! * **sync broadcast** — fork/join/acquire/release events are broadcast
+//!   *in ingress order* to every worker. Synchronization events are the
+//!   only events that modify thread clocks (action events read `T(τ)` but
+//!   never write it — the last row of Table 1), so every worker's private
+//!   [`SyncClocks`] replays exactly the serial detector's clock state at
+//!   every point of the stream, and each shard sees a happens-before-
+//!   consistent sub-stream (the offline [`ParallelRd2::ingest_shared`]
+//!   path goes further: the ingress replays sync events once against a
+//!   master replica and ships workers the resulting clocks, so the
+//!   joins are not redone per worker);
+//! * **batched delivery** — events travel through bounded per-worker rings
+//!   in batches; batch buffers are pooled and recycled between producer
+//!   and worker, so steady-state delivery does not allocate per batch;
+//! * **deterministic merge** — every race is tagged with the global
+//!   ingress sequence number of its action; [`ParallelRd2::report`]
+//!   stably sorts the sampled records by that sequence number and rebuilds
+//!   the report through the ordinary [`RaceReport`] machinery, which makes
+//!   the merged report *bit-for-bit equal* to the serial detector's
+//!   (`tests/parallel_vs_serial.rs` asserts exactly that);
+//! * **epoch GC** — the per-thread abandonment of PR 5 generalizes to a
+//!   watermark sweep: every `gc_every` actions a worker computes the meet
+//!   of all live thread clocks and retires access points dominated by it
+//!   (see [`ObjState::retire_quiesced`]); a retired point re-materializes
+//!   exactly if touched again, so GC never changes a report;
+//! * **panic isolation** — each event is processed under `catch_unwind`;
+//!   a panicking worker degrades fail-open (sheds its further events,
+//!   keeps the races found before the panic, still answers report
+//!   barriers) instead of wedging the pipeline.
+
+use crate::engine::{ClockMode, ObjState};
+use crate::points::CompiledSpec;
+use crace_model::{
+    Action, Analysis, Event, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId, Trace,
+};
+use crace_obs::Registry;
+use crace_vclock::{ClockStats, SyncClocks, VectorClock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// The object-shard modulus, kept identical to [`crate::Rd2`]'s sharding
+/// so the two detectors partition objects the same way.
+const OBJ_SHARDS: usize = 64;
+
+/// Sample cap mirrored from the report machinery
+/// (`RaceReport::DEFAULT_MAX_SAMPLES`); a unit test below pins the two
+/// against drifting apart.
+const SAMPLE_CAP: usize = 64;
+
+/// Maximum recycled batch buffers kept per worker ring.
+const FREE_POOL: usize = 16;
+
+/// Tuning knobs of the parallel pipeline. The defaults favor throughput;
+/// tests shrink `batch` to exercise multi-batch delivery on small traces.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Events accumulated per worker before a batch is shipped (report
+    /// barriers flush partial batches). Larger batches amortize ring
+    /// synchronization; smaller ones reduce detection latency.
+    pub batch: usize,
+    /// Maximum in-flight batches per worker ring; producers block (back
+    /// pressure) when a ring is full.
+    pub queue_depth: usize,
+    /// Access-point clock representation, as in the serial detectors.
+    pub mode: ClockMode,
+    /// When set, workers collect race provenance with this event window.
+    pub provenance_window: Option<usize>,
+    /// Run the epoch-GC watermark sweep every this many actions per
+    /// worker; `0` disables GC. Enabling GC assumes a fork-structured
+    /// stream (every thread except the root enters via a fork event).
+    pub gc_every: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            batch: 512,
+            queue_depth: 8,
+            mode: ClockMode::Adaptive,
+            provenance_window: None,
+            gc_every: 0,
+        }
+    }
+}
+
+/// One message on a worker ring. Sync events and control messages are
+/// broadcast to all workers; actions go to their object's owner only.
+enum Msg {
+    Fork(ThreadId, ThreadId),
+    Join(ThreadId, ThreadId),
+    Acquire(ThreadId, LockId),
+    Release(ThreadId, LockId),
+    Action {
+        /// Global ingress sequence number — the merge key.
+        seq: u64,
+        tid: ThreadId,
+        action: Action,
+    },
+    /// A zero-copy view into a shared recorded trace
+    /// ([`ParallelRd2::ingest_shared`]): the ingress indexed the chunk
+    /// once and each worker receives only the trace offsets of its
+    /// shard's actions — no per-event clone, no per-event message, no
+    /// per-worker rescan. Synchronization events are not re-applied by
+    /// workers at all: the ingress replayed them once on its master
+    /// clocks and `sets` carries the resulting thread clocks, which a
+    /// worker installs in O(1) each (an `Arc` pointer into its overlay)
+    /// instead of redoing the O(clock-density) join N times.
+    Shared {
+        /// `base + 1 + offset` is an event's global sequence number.
+        base: u64,
+        trace: Arc<Trace>,
+        /// Trace offsets of this worker's shard's actions, ascending.
+        picks: Vec<u32>,
+        /// Precomputed thread-clock updates of the chunk's sync events,
+        /// ascending by offset, shared by all workers.
+        sets: Arc<Vec<ClockSet>>,
+    },
+    Register(ObjId, Arc<CompiledSpec>),
+    Forget(ObjId),
+    Abandon(ThreadId),
+    /// End-of-[`ParallelRd2::ingest_shared`] reconciliation: replaces the
+    /// worker's private clock replica with the ingress's master state, so
+    /// per-event (online) dispatch composes after a shared stream.
+    SyncState(Arc<SyncClocks>),
+    /// Chaos hook: makes the worker panic while processing, exercising the
+    /// degradation path end to end.
+    Poison,
+    /// Report barrier: snapshot the worker's findings into the reply slot.
+    Collect(Arc<Reply>),
+}
+
+/// One thread-clock change produced by the ingress's master replay of a
+/// shared chunk's synchronization events: `tid`'s clock *after* the sync
+/// event at trace offset `off`.
+struct ClockSet {
+    off: u32,
+    tid: ThreadId,
+    clock: Arc<VectorClock>,
+    /// The thread emits no further events (a joined child): it leaves the
+    /// GC live set instead of entering it.
+    dead: bool,
+}
+
+impl Msg {
+    /// How many events this message stands for in a worker's counters
+    /// (shared views span many; everything else is one).
+    fn weight(&self) -> u64 {
+        match self {
+            Msg::Shared { picks, .. } => picks.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// A one-shot reply slot for a [`Msg::Collect`] barrier.
+#[derive(Default)]
+struct Reply {
+    slot: Mutex<Option<WorkerFindings>>,
+    ready: Condvar,
+}
+
+impl Reply {
+    fn fill(&self, findings: WorkerFindings) {
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(findings);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> WorkerFindings {
+        let mut guard = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(findings) = guard.take() {
+                return findings;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// What a worker hands back at a report barrier.
+#[derive(Clone, Default)]
+struct WorkerFindings {
+    /// The first [`SAMPLE_CAP`] races this worker found, with the global
+    /// sequence number of the racing action.
+    detailed: Vec<(u64, RaceRecord)>,
+    /// Count-only record (no samples) of the races beyond the cap.
+    overflow: RaceReport,
+    clock_stats: ClockStats,
+    probes: u64,
+    gc_retired: u64,
+}
+
+/// The bounded ring between the ingress and one worker: a batch queue plus
+/// a free list of recycled batch buffers.
+struct Ring {
+    state: Mutex<RingState>,
+    can_pop: Condvar,
+    can_push: Condvar,
+    cap: usize,
+}
+
+#[derive(Default)]
+struct RingState {
+    queue: VecDeque<Vec<Msg>>,
+    free: Vec<Vec<Msg>>,
+    closed: bool,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            state: Mutex::new(RingState::default()),
+            can_pop: Condvar::new(),
+            can_push: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Ships one batch, blocking while the ring is full (back pressure).
+    /// Returns a recycled buffer for the producer's next batch.
+    fn push(&self, batch: Vec<Msg>, shared: &WorkerShared) -> Vec<Msg> {
+        let mut state = self.lock();
+        while state.queue.len() >= self.cap && !state.closed {
+            state = self
+                .can_push
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if !state.closed {
+            state.queue.push_back(batch);
+            shared
+                .max_queue_depth
+                .fetch_max(state.queue.len() as u64, Ordering::Relaxed);
+        }
+        let spare = state.free.pop().unwrap_or_default();
+        drop(state);
+        self.can_pop.notify_one();
+        spare
+    }
+
+    /// Takes the next batch; `None` once the ring is closed and drained.
+    fn pop(&self, shared: &WorkerShared) -> Option<Vec<Msg>> {
+        let mut state = self.lock();
+        loop {
+            if let Some(batch) = state.queue.pop_front() {
+                drop(state);
+                self.can_push.notify_one();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            shared.parks.fetch_add(1, Ordering::Relaxed);
+            state = self
+                .can_pop
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Returns a drained batch buffer to the free pool.
+    fn recycle(&self, mut batch: Vec<Msg>) {
+        batch.clear();
+        let mut state = self.lock();
+        if state.free.len() < FREE_POOL {
+            state.free.push(batch);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.can_pop.notify_all();
+        self.can_push.notify_all();
+    }
+}
+
+/// Lock-free per-worker counters, shared between the worker thread and
+/// [`ParallelRd2::stats`].
+#[derive(Default)]
+struct WorkerShared {
+    events: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicU64,
+    parks: AtomicU64,
+    panics: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicBool,
+}
+
+/// Snapshot of one worker's pipeline counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Messages this worker processed (actions, sync events, control).
+    pub events: u64,
+    /// Batches this worker drained from its ring.
+    pub batches: u64,
+    /// High-watermark of the ring's queued-batch depth.
+    pub max_queue_depth: u64,
+    /// Times the worker slept waiting for work (idle transitions).
+    pub parks: u64,
+    /// Panics caught inside this worker.
+    pub panics: u64,
+    /// Events shed after the worker degraded.
+    pub events_shed: u64,
+    /// True once a panic tripped this worker into shedding mode.
+    pub degraded: bool,
+}
+
+/// Snapshot of the whole pipeline's counters — the `parallel.*` metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Events accepted at the ingress (not shed).
+    pub events_in: u64,
+    /// Synchronization events broadcast to every worker.
+    pub sync_broadcasts: u64,
+    /// Events shed at the ingress because they named an abandoned thread.
+    pub events_shed: u64,
+}
+
+impl ParallelStats {
+    /// Exports the pipeline counters into `registry` under `parallel.*`:
+    /// ingress totals as counters, per-worker occupancy (this worker's
+    /// share of processed events), queue-depth high-watermarks and
+    /// degradation flags as gauges. Safe to call repeatedly — counters are
+    /// advanced by delta, never double-counted.
+    pub fn feed(&self, registry: &Registry) {
+        fn bump(registry: &Registry, name: &str, now: u64) {
+            let counter = registry.counter(name);
+            let cur = counter.get();
+            if now > cur {
+                counter.add(now - cur);
+            }
+        }
+        bump(registry, "parallel.events_in", self.events_in);
+        bump(registry, "parallel.sync_broadcasts", self.sync_broadcasts);
+        bump(registry, "parallel.events_shed", self.events_shed);
+        registry.set_gauge("parallel.workers", self.workers.len() as f64);
+        let total: u64 = self.workers.iter().map(|w| w.events).sum();
+        for (i, w) in self.workers.iter().enumerate() {
+            let share = if total > 0 {
+                w.events as f64 / total as f64
+            } else {
+                0.0
+            };
+            registry.set_gauge(&format!("parallel.w{i}.occupancy"), share);
+            registry.set_gauge(
+                &format!("parallel.w{i}.queue_depth_max"),
+                w.max_queue_depth as f64,
+            );
+            registry.set_gauge(
+                &format!("parallel.w{i}.degraded"),
+                if w.degraded { 1.0 } else { 0.0 },
+            );
+        }
+    }
+}
+
+/// Producer-side state, serialized by the ingress lock: the global
+/// sequence counter, the per-worker pending batches, and the abandonment
+/// set (the shed filter runs at the ingress so shed events are never
+/// routed at all, matching the serial detectors' counters).
+struct Ingress {
+    seq: u64,
+    pending: Vec<Vec<Msg>>,
+    abandoned: HashSet<ThreadId>,
+    compiled: HashMap<String, Arc<CompiledSpec>>,
+    /// The master synchronization clocks, kept in lockstep with the
+    /// workers' replicas (every non-shed sync event is applied here too).
+    /// [`ParallelRd2::ingest_shared`] replays a recorded trace's sync
+    /// events against it *once* and ships workers the resulting clocks,
+    /// instead of having every worker redo the joins.
+    sync: SyncClocks,
+}
+
+/// The sharded parallel commutativity race detector.
+///
+/// Functionally identical to the serial [`Rd2`](crate::Rd2) — the
+/// differential suite asserts bit-for-bit equal [`RaceReport`]s — but the
+/// per-event work is split between a thin ingress (route, stamp, batch)
+/// and N single-owner workers that run phase 1/phase 2 of Algorithm 1
+/// without any locking around their shadow state.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use crace_core::{translate, ParallelRd2};
+/// use crace_model::{Action, Analysis, ObjId, ThreadId, Value};
+/// use crace_spec::builtin;
+///
+/// let spec = builtin::dictionary();
+/// let rd2 = ParallelRd2::new(4);
+/// rd2.register(ObjId(1), Arc::new(translate(&spec)?));
+///
+/// let put = spec.method_id("put").unwrap();
+/// rd2.on_fork(ThreadId(0), ThreadId(1));
+/// rd2.on_action(ThreadId(0), &Action::new(
+///     ObjId(1), put, vec![Value::Int(5), Value::Int(1)], Value::Nil));
+/// rd2.on_action(ThreadId(1), &Action::new(
+///     ObjId(1), put, vec![Value::Int(5), Value::Int(2)], Value::Int(1)));
+/// assert_eq!(rd2.report().total(), 1);
+/// # Ok::<(), crace_core::TranslateError>(())
+/// ```
+pub struct ParallelRd2 {
+    ingress: Mutex<Ingress>,
+    rings: Vec<Arc<Ring>>,
+    shared: Vec<Arc<WorkerShared>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    cfg: ParallelConfig,
+    workers: usize,
+    has_abandoned: AtomicBool,
+    shed: AtomicU64,
+    events_in: AtomicU64,
+    sync_broadcasts: AtomicU64,
+}
+
+impl ParallelRd2 {
+    /// Spawns a pipeline with `workers` detector workers (clamped to
+    /// `1..=64`) and default tuning.
+    pub fn new(workers: usize) -> ParallelRd2 {
+        ParallelRd2::with_config(workers, ParallelConfig::default())
+    }
+
+    /// Spawns a pipeline with an explicit clock representation.
+    pub fn with_mode(workers: usize, mode: ClockMode) -> ParallelRd2 {
+        ParallelRd2::with_config(
+            workers,
+            ParallelConfig {
+                mode,
+                ..ParallelConfig::default()
+            },
+        )
+    }
+
+    /// Spawns a pipeline that collects race provenance with the given
+    /// event window, as [`Rd2::with_provenance`](crate::Rd2::with_provenance).
+    pub fn with_provenance(workers: usize, window: usize) -> ParallelRd2 {
+        ParallelRd2::with_config(
+            workers,
+            ParallelConfig {
+                provenance_window: Some(window),
+                ..ParallelConfig::default()
+            },
+        )
+    }
+
+    /// Spawns a pipeline with full control over the tuning knobs.
+    pub fn with_config(workers: usize, cfg: ParallelConfig) -> ParallelRd2 {
+        let workers = workers.clamp(1, OBJ_SHARDS);
+        let cfg = ParallelConfig {
+            batch: cfg.batch.max(1),
+            ..cfg
+        };
+        let rings: Vec<Arc<Ring>> = (0..workers)
+            .map(|_| Arc::new(Ring::new(cfg.queue_depth)))
+            .collect();
+        let shared: Vec<Arc<WorkerShared>> = (0..workers)
+            .map(|_| Arc::new(WorkerShared::default()))
+            .collect();
+        let handles = rings
+            .iter()
+            .zip(&shared)
+            .enumerate()
+            .map(|(w, (ring, shared))| {
+                let ring = Arc::clone(ring);
+                let shared = Arc::clone(shared);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("crace-rd2-w{w}"))
+                    .spawn(move || worker_main(&ring, &shared, &cfg))
+                    .expect("spawn detector worker")
+            })
+            .collect();
+        ParallelRd2 {
+            ingress: Mutex::new(Ingress {
+                seq: 0,
+                pending: (0..workers).map(|_| Vec::new()).collect(),
+                abandoned: HashSet::new(),
+                compiled: HashMap::new(),
+                sync: SyncClocks::new(),
+            }),
+            rings,
+            shared,
+            handles: Mutex::new(handles),
+            cfg,
+            workers,
+            has_abandoned: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            events_in: AtomicU64::new(0),
+            sync_broadcasts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of detector workers in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker owning `obj`'s shard — the same partition the serial
+    /// sharded detector uses, folded onto the worker pool.
+    fn route(&self, obj: ObjId) -> usize {
+        (obj.0 as usize % OBJ_SHARDS) % self.workers
+    }
+
+    fn lock_ingress(&self) -> MutexGuard<'_, Ingress> {
+        self.ingress.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends `msg` to worker `w`'s pending batch, shipping the batch
+    /// when it reaches the configured size.
+    fn enqueue(&self, ingress: &mut Ingress, w: usize, msg: Msg) {
+        ingress.pending[w].push(msg);
+        if ingress.pending[w].len() >= self.cfg.batch {
+            self.flush(ingress, w);
+        }
+    }
+
+    /// Ships worker `w`'s pending batch (if any), leaving a recycled
+    /// buffer in its place.
+    fn flush(&self, ingress: &mut Ingress, w: usize) {
+        if ingress.pending[w].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut ingress.pending[w]);
+        ingress.pending[w] = self.rings[w].push(batch, &self.shared[w]);
+    }
+
+    /// Ingress shed filter (identical to the serial detectors): one shed
+    /// count per event naming an abandoned thread, fast-pathed to a single
+    /// relaxed load while nothing was ever abandoned.
+    fn sheds(&self, ingress: &Ingress, tids: &[ThreadId]) -> bool {
+        if !self.has_abandoned.load(Ordering::Relaxed) {
+            return false;
+        }
+        if tids.iter().any(|t| ingress.abandoned.contains(t)) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Broadcasts one synchronization event, in ingress order, to every
+    /// worker, mirroring it onto the ingress's master clocks.
+    fn sync_event(
+        &self,
+        tids: &[ThreadId],
+        make: impl Fn() -> Msg,
+        apply: impl FnOnce(&mut SyncClocks),
+    ) {
+        let mut ingress = self.lock_ingress();
+        if self.sheds(&ingress, tids) {
+            return;
+        }
+        ingress.seq += 1;
+        self.events_in.fetch_add(1, Ordering::Relaxed);
+        self.sync_broadcasts.fetch_add(1, Ordering::Relaxed);
+        apply(&mut ingress.sync);
+        for w in 0..self.workers {
+            self.enqueue(&mut ingress, w, make());
+        }
+    }
+
+    /// Registers `obj` to be checked against `spec`. Actions on
+    /// unregistered objects are ignored (selective instrumentation).
+    pub fn register(&self, obj: ObjId, spec: Arc<CompiledSpec>) {
+        let mut ingress = self.lock_ingress();
+        let w = self.route(obj);
+        self.enqueue(&mut ingress, w, Msg::Register(obj, spec));
+    }
+
+    /// Registers `obj` against an uncompiled specification, translating on
+    /// first use and caching by spec name (as the serial detectors do).
+    ///
+    /// # Errors
+    ///
+    /// Returns the translation error if the specification is outside ECL.
+    pub fn register_spec(
+        &self,
+        obj: ObjId,
+        spec: &crace_spec::Spec,
+    ) -> Result<(), crate::TranslateError> {
+        let compiled = {
+            let mut ingress = self.lock_ingress();
+            match ingress.compiled.get(spec.name()) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(crate::translate(spec)?);
+                    ingress
+                        .compiled
+                        .insert(spec.name().to_string(), Arc::clone(&c));
+                    c
+                }
+            }
+        };
+        self.register(obj, compiled);
+        Ok(())
+    }
+
+    /// Drops all shadow state of `obj` (the §5.3 reclamation).
+    pub fn forget(&self, obj: ObjId) {
+        let mut ingress = self.lock_ingress();
+        let w = self.route(obj);
+        self.enqueue(&mut ingress, w, Msg::Forget(obj));
+    }
+
+    /// Number of events shed at the ingress because they named an
+    /// abandoned thread.
+    pub fn events_shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Chaos hook: delivers a poison message to `worker` (modulo the pool
+    /// size), making it panic in-stream. The worker degrades fail-open:
+    /// it sheds its further events but keeps the races found so far and
+    /// still answers report barriers.
+    pub fn inject_worker_panic(&self, worker: usize) {
+        let mut ingress = self.lock_ingress();
+        let w = worker % self.workers;
+        self.enqueue(&mut ingress, w, Msg::Poison);
+    }
+
+    /// Zero-copy offline ingestion: feeds an entire recorded trace
+    /// through the pipeline without cloning a single event. The ingress
+    /// scans the trace once, chunk by chunk (`batch` events per chunk),
+    /// replays the chunk's synchronization events against its master
+    /// clocks *once*, and ships each worker the trace *offsets* of its
+    /// shard's actions plus the precomputed thread-clock updates (one
+    /// `Arc`'d clock per sync event, shared by all workers). A worker
+    /// installs each update in O(1) and detects only its own actions, so
+    /// the pipeline's total work is one indexing-and-clock scan plus the
+    /// detection the serial path would do anyway, minus serial's
+    /// per-action clock clone: strictly less per-event work even on one
+    /// CPU, and flat in the worker count (sync-clock maintenance no
+    /// longer multiplies by N). Sequence numbers derive from the trace
+    /// position, so the deterministic merge — and hence the report — is
+    /// bit-for-bit what per-event dispatch produces; a final
+    /// reconciliation message replaces each worker's replica with the
+    /// master state, so the two paths compose freely within one stream.
+    ///
+    /// Falls back to per-event dispatch once any thread has been
+    /// abandoned, because the ingress shed filter must then inspect
+    /// every event individually.
+    pub fn ingest_shared(&self, trace: &Arc<Trace>) {
+        fn snap(sets: &mut Vec<ClockSet>, sync: &SyncClocks, off: u32, tid: ThreadId, dead: bool) {
+            if let Some(clock) = sync.peek_clock(tid) {
+                sets.push(ClockSet {
+                    off,
+                    tid,
+                    clock: Arc::new(clock.clone()),
+                    dead,
+                });
+            }
+        }
+        if trace.is_empty() {
+            return;
+        }
+        if self.has_abandoned.load(Ordering::Relaxed) {
+            for event in trace.events() {
+                self.on_event(event);
+            }
+            return;
+        }
+        let events = trace.events();
+        let mut ingress = self.lock_ingress();
+        // Each event's sequence number is `base + 1 + trace offset`;
+        // unpicked offsets (reads/writes) leave gaps, which the merge
+        // tolerates, and online dispatch can resume after the stream.
+        let base = ingress.seq;
+        ingress.seq += events.len() as u64;
+        let mut start = 0usize;
+        while start < events.len() {
+            let end = start.saturating_add(self.cfg.batch).min(events.len());
+            let mut picks: Vec<Vec<u32>> = vec![Vec::new(); self.workers];
+            let mut sets: Vec<ClockSet> = Vec::new();
+            let (mut syncs, mut actions) = (0u64, 0u64);
+            for (i, event) in events[start..end].iter().enumerate() {
+                let off = (start + i) as u32;
+                match *event {
+                    Event::Fork { parent, child } => {
+                        syncs += 1;
+                        ingress.sync.fork(parent, child);
+                        snap(&mut sets, &ingress.sync, off, parent, false);
+                        snap(&mut sets, &ingress.sync, off, child, false);
+                    }
+                    Event::Join { parent, child } => {
+                        syncs += 1;
+                        ingress.sync.join(parent, child);
+                        snap(&mut sets, &ingress.sync, off, parent, false);
+                        // The child's clock is frozen from here on; ship it
+                        // so workers that never saw the child agree, and
+                        // drop it from the GC live set.
+                        snap(&mut sets, &ingress.sync, off, child, true);
+                    }
+                    Event::Acquire { tid, lock } => {
+                        syncs += 1;
+                        ingress.sync.acquire(tid, lock);
+                        snap(&mut sets, &ingress.sync, off, tid, false);
+                    }
+                    Event::Release { tid, lock } => {
+                        syncs += 1;
+                        ingress.sync.release(tid, lock);
+                        snap(&mut sets, &ingress.sync, off, tid, false);
+                    }
+                    Event::Action { ref action, .. } => {
+                        actions += 1;
+                        picks[self.route(action.obj())].push(off);
+                    }
+                    _ => {}
+                }
+            }
+            self.events_in.fetch_add(syncs + actions, Ordering::Relaxed);
+            self.sync_broadcasts.fetch_add(syncs, Ordering::Relaxed);
+            let sets = Arc::new(sets);
+            for (w, p) in picks.into_iter().enumerate() {
+                if p.is_empty() && sets.is_empty() {
+                    continue;
+                }
+                self.enqueue(
+                    &mut ingress,
+                    w,
+                    Msg::Shared {
+                        base,
+                        trace: Arc::clone(trace),
+                        picks: p,
+                        sets: Arc::clone(&sets),
+                    },
+                );
+                self.flush(&mut ingress, w);
+            }
+            start = end;
+        }
+        // Reconcile every worker's private replica with the master, so
+        // subsequent per-event (online) dispatch starts from the right
+        // clocks. One state clone per worker per ingestion — amortized
+        // across the whole trace.
+        let state = Arc::new(ingress.sync.clone());
+        for w in 0..self.workers {
+            self.enqueue(&mut ingress, w, Msg::SyncState(Arc::clone(&state)));
+        }
+    }
+
+    /// Flushes all pending batches and gathers every worker's findings at
+    /// a barrier.
+    fn collect(&self) -> Vec<WorkerFindings> {
+        let replies: Vec<Arc<Reply>> = (0..self.workers)
+            .map(|_| Arc::new(Reply::default()))
+            .collect();
+        {
+            let mut ingress = self.lock_ingress();
+            for (w, reply) in replies.iter().enumerate() {
+                ingress.pending[w].push(Msg::Collect(Arc::clone(reply)));
+                self.flush(&mut ingress, w);
+            }
+        }
+        replies.iter().map(|reply| reply.wait()).collect()
+    }
+
+    /// Total phase-1 conflict probes across all workers (the §5.4 work
+    /// measure). A report barrier.
+    pub fn num_probes(&self) -> u64 {
+        self.collect().iter().map(|f| f.probes).sum()
+    }
+
+    /// Aggregated clock-representation statistics across all workers. A
+    /// report barrier.
+    pub fn clock_stats(&self) -> ClockStats {
+        let mut stats = ClockStats::default();
+        for findings in self.collect() {
+            stats.merge(&findings.clock_stats);
+        }
+        stats
+    }
+
+    /// Access points retired by the epoch-GC watermark sweeps so far. A
+    /// report barrier.
+    pub fn gc_retired(&self) -> u64 {
+        self.collect().iter().map(|f| f.gc_retired).sum()
+    }
+
+    /// Non-blocking snapshot of the pipeline counters (ingress totals,
+    /// per-worker occupancy / queue depth / degradation).
+    pub fn stats(&self) -> ParallelStats {
+        ParallelStats {
+            workers: self
+                .shared
+                .iter()
+                .map(|s| WorkerStats {
+                    events: s.events.load(Ordering::Relaxed),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    max_queue_depth: s.max_queue_depth.load(Ordering::Relaxed),
+                    parks: s.parks.load(Ordering::Relaxed),
+                    panics: s.panics.load(Ordering::Relaxed),
+                    events_shed: s.shed.load(Ordering::Relaxed),
+                    degraded: s.degraded.load(Ordering::Relaxed),
+                })
+                .collect(),
+            events_in: self.events_in.load(Ordering::Relaxed),
+            sync_broadcasts: self.sync_broadcasts.load(Ordering::Relaxed),
+            events_shed: self.events_shed(),
+        }
+    }
+
+    /// Exports the `parallel.*` metrics into `registry` — see
+    /// [`ParallelStats::feed`].
+    pub fn feed(&self, registry: &Registry) {
+        self.stats().feed(registry);
+    }
+
+    /// True iff any worker has degraded (caught a panic and is shedding).
+    pub fn degraded(&self) -> bool {
+        self.shared
+            .iter()
+            .any(|s| s.degraded.load(Ordering::Relaxed))
+    }
+}
+
+impl Analysis for ParallelRd2 {
+    fn name(&self) -> &str {
+        "rd2-parallel"
+    }
+
+    fn on_fork(&self, parent: ThreadId, child: ThreadId) {
+        self.sync_event(
+            &[parent, child],
+            || Msg::Fork(parent, child),
+            |sync| sync.fork(parent, child),
+        );
+    }
+
+    fn on_join(&self, parent: ThreadId, child: ThreadId) {
+        self.sync_event(
+            &[parent, child],
+            || Msg::Join(parent, child),
+            |sync| sync.join(parent, child),
+        );
+    }
+
+    fn on_acquire(&self, tid: ThreadId, lock: LockId) {
+        self.sync_event(
+            &[tid],
+            || Msg::Acquire(tid, lock),
+            |sync| sync.acquire(tid, lock),
+        );
+    }
+
+    fn on_release(&self, tid: ThreadId, lock: LockId) {
+        self.sync_event(
+            &[tid],
+            || Msg::Release(tid, lock),
+            |sync| sync.release(tid, lock),
+        );
+    }
+
+    fn on_action(&self, tid: ThreadId, action: &Action) {
+        let mut ingress = self.lock_ingress();
+        if self.sheds(&ingress, &[tid]) {
+            return;
+        }
+        ingress.seq += 1;
+        let seq = ingress.seq;
+        self.events_in.fetch_add(1, Ordering::Relaxed);
+        let w = self.route(action.obj());
+        self.enqueue(
+            &mut ingress,
+            w,
+            Msg::Action {
+                seq,
+                tid,
+                action: action.clone(),
+            },
+        );
+    }
+
+    /// Finalizes a dead thread exactly as the serial detectors do: later
+    /// events naming it are shed at the ingress, and every worker retires
+    /// its clock slot in-stream (no happens-before edges introduced).
+    fn abandon_thread(&self, tid: ThreadId) {
+        let mut ingress = self.lock_ingress();
+        ingress.abandoned.insert(tid);
+        ingress.sync.retire(tid);
+        self.has_abandoned.store(true, Ordering::Relaxed);
+        for w in 0..self.workers {
+            self.enqueue(&mut ingress, w, Msg::Abandon(tid));
+        }
+    }
+
+    /// The deterministic merge: flushes the pipeline, gathers per-worker
+    /// findings at a barrier, stably sorts the sampled races by the global
+    /// ingress sequence number of their action, and rebuilds the report —
+    /// bit-for-bit what the serial detector would have produced.
+    fn report(&self) -> RaceReport {
+        let findings = self.collect();
+        let mut detailed: Vec<(u64, RaceRecord)> = Vec::new();
+        for f in &findings {
+            detailed.extend(f.detailed.iter().cloned());
+        }
+        // Stable by construction: sequence numbers are unique per action,
+        // and a single action's multiple hits live on one worker in
+        // detection order.
+        detailed.sort_by_key(|&(seq, _)| seq);
+        let mut report = RaceReport::new();
+        for (_, record) in detailed {
+            report.record(record);
+        }
+        for f in &findings {
+            report.merge(&f.overflow);
+        }
+        report
+    }
+}
+
+impl Drop for ParallelRd2 {
+    fn drop(&mut self) {
+        {
+            let mut ingress = self.lock_ingress();
+            for w in 0..self.workers {
+                self.flush(&mut ingress, w);
+            }
+        }
+        for ring in &self.rings {
+            ring.close();
+        }
+        for handle in self
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker's private shadow state: its replica of the synchronization
+/// clocks, the object states it owns, and its race findings.
+struct WorkerState {
+    mode: ClockMode,
+    provenance_window: Option<usize>,
+    gc_every: usize,
+    sync: SyncClocks,
+    /// Thread clocks installed by a shared stream's precomputed
+    /// [`ClockSet`]s; supersedes `sync` until the end-of-ingestion
+    /// [`Msg::SyncState`] reconciliation clears it.
+    overlay: HashMap<ThreadId, Arc<VectorClock>>,
+    registry: HashMap<ObjId, Arc<CompiledSpec>>,
+    objects: HashMap<ObjId, ObjState>,
+    detailed: Vec<(u64, RaceRecord)>,
+    overflow: RaceReport,
+    /// Threads that may still produce events (observed − joined −
+    /// abandoned); the GC watermark is the meet of their clocks.
+    live: HashSet<ThreadId>,
+    since_gc: usize,
+    gc_retired: u64,
+    /// Counters folded out of object states dropped by the GC, so probe
+    /// and clock statistics survive state reclamation.
+    folded_probes: u64,
+    folded_stats: ClockStats,
+}
+
+impl WorkerState {
+    fn new(cfg: &ParallelConfig) -> WorkerState {
+        WorkerState {
+            mode: cfg.mode,
+            provenance_window: cfg.provenance_window,
+            gc_every: cfg.gc_every,
+            sync: SyncClocks::new(),
+            overlay: HashMap::new(),
+            registry: HashMap::new(),
+            objects: HashMap::new(),
+            detailed: Vec::new(),
+            overflow: RaceReport::with_sample_capacity(0),
+            live: HashSet::new(),
+            since_gc: 0,
+            gc_retired: 0,
+            folded_probes: 0,
+            folded_stats: ClockStats::default(),
+        }
+    }
+
+    fn fork(&mut self, parent: ThreadId, child: ThreadId) {
+        self.sync.fork(parent, child);
+        if self.gc_every > 0 {
+            self.live.insert(parent);
+            self.live.insert(child);
+        }
+    }
+
+    fn join(&mut self, parent: ThreadId, child: ThreadId) {
+        self.sync.join(parent, child);
+        if self.gc_every > 0 {
+            self.live.insert(parent);
+            // A joined thread emits no further events (well-formed
+            // traces), so its frozen clock no longer holds the watermark
+            // back.
+            self.live.remove(&child);
+        }
+    }
+
+    fn acquire(&mut self, tid: ThreadId, lock: LockId) {
+        self.sync.acquire(tid, lock);
+        if self.gc_every > 0 {
+            self.live.insert(tid);
+        }
+    }
+
+    fn release(&mut self, tid: ThreadId, lock: LockId) {
+        self.sync.release(tid, lock);
+        if self.gc_every > 0 {
+            self.live.insert(tid);
+        }
+    }
+
+    /// Installs one precomputed clock update from a shared stream: an
+    /// `Arc` pointer swap instead of replaying the sync event's join.
+    fn clock_set(&mut self, set: &ClockSet) {
+        self.overlay.insert(set.tid, Arc::clone(&set.clock));
+        if self.gc_every > 0 {
+            if set.dead {
+                self.live.remove(&set.tid);
+            } else {
+                self.live.insert(set.tid);
+            }
+        }
+    }
+
+    /// Applies one message; returns how many events of this worker's
+    /// sub-stream it processed (for the occupancy counters).
+    fn process(&mut self, msg: Msg) -> u64 {
+        match msg {
+            Msg::Fork(parent, child) => self.fork(parent, child),
+            Msg::Join(parent, child) => self.join(parent, child),
+            Msg::Acquire(tid, lock) => self.acquire(tid, lock),
+            Msg::Release(tid, lock) => self.release(tid, lock),
+            Msg::Action { seq, tid, action } => self.action(seq, tid, &action),
+            Msg::Shared {
+                base,
+                trace,
+                picks,
+                sets,
+            } => {
+                let events = trace.events();
+                let mut next = 0usize;
+                for &off in &picks {
+                    while next < sets.len() && sets[next].off < off {
+                        self.clock_set(&sets[next]);
+                        next += 1;
+                    }
+                    // The ingress only picks action offsets; anything else
+                    // would be an indexing bug, so don't detect on it.
+                    if let Event::Action { tid, action } = &events[off as usize] {
+                        self.action(base + 1 + u64::from(off), *tid, action);
+                    }
+                }
+                // Updates past the last pick still matter: a later chunk's
+                // actions read the overlay left by this one.
+                for set in &sets[next..] {
+                    self.clock_set(set);
+                }
+                return picks.len() as u64;
+            }
+            Msg::SyncState(state) => {
+                self.sync = (*state).clone();
+                self.overlay.clear();
+            }
+            Msg::Register(obj, spec) => {
+                // Re-registration resets the object's state, as in the
+                // serial detectors.
+                self.objects.remove(&obj);
+                self.registry.insert(obj, spec);
+            }
+            Msg::Forget(obj) => {
+                self.registry.remove(&obj);
+                self.objects.remove(&obj);
+            }
+            Msg::Abandon(tid) => {
+                self.sync.retire(tid);
+                self.overlay.remove(&tid);
+                self.live.remove(&tid);
+            }
+            Msg::Poison => panic!("injected worker panic"),
+            // Handled by the worker loop, never forwarded here.
+            Msg::Collect(_) => unreachable!("collect handled by the worker loop"),
+        }
+        1
+    }
+
+    fn action(&mut self, seq: u64, tid: ThreadId, action: &Action) {
+        let Some(spec) = self.registry.get(&action.obj()) else {
+            return;
+        };
+        if self.gc_every > 0 {
+            self.live.insert(tid);
+        }
+        let want_detail = self.provenance_window.is_some() && self.detailed.len() < SAMPLE_CAP;
+        let (mode, window) = (self.mode, self.provenance_window);
+        let state = self
+            .objects
+            .entry(action.obj())
+            .or_insert_with(|| match window {
+                Some(w) => ObjState::with_provenance(mode, w),
+                None => ObjState::with_mode(mode),
+            });
+        let clock = match self.overlay.get(&tid) {
+            Some(clock) => clock.as_ref(),
+            None => self.sync.clock(tid),
+        };
+        let hits = state.on_action_detailed(spec, action, tid, clock, want_detail);
+        if !hits.is_empty() {
+            let kind = RaceKind::Commutativity { obj: action.obj() };
+            for hit in hits {
+                if self.detailed.len() < SAMPLE_CAP {
+                    self.detailed.push((
+                        seq,
+                        RaceRecord {
+                            kind: kind.clone(),
+                            tid,
+                            action: Some(action.clone()),
+                            detail: format!(
+                                "{} touched {} conflicting with active {}",
+                                action,
+                                spec.label(hit.touched),
+                                spec.label(hit.conflicting)
+                            ),
+                            provenance: hit.provenance,
+                        },
+                    ));
+                } else {
+                    // Count-only: capacity 0 means the closure never runs.
+                    self.overflow
+                        .record_with(kind.clone(), || unreachable!("sample capacity is 0"));
+                }
+            }
+        }
+        self.maybe_gc();
+    }
+
+    /// The epoch-GC sweep: when due, computes the watermark (meet of all
+    /// live thread clocks) and retires dominated access points. Whole
+    /// object states emptied by the sweep are reclaimed (their counters
+    /// folded), except in provenance mode where the event window must
+    /// survive for later explanations.
+    fn maybe_gc(&mut self) {
+        if self.gc_every == 0 {
+            return;
+        }
+        self.since_gc += 1;
+        if self.since_gc < self.gc_every {
+            return;
+        }
+        self.since_gc = 0;
+        let mut watermark: Option<VectorClock> = None;
+        for &tid in &self.live {
+            match self.sync.peek_clock(tid) {
+                Some(clock) => match &mut watermark {
+                    Some(wm) => wm.meet_in_place(clock),
+                    None => watermark = Some(clock.clone()),
+                },
+                // A live thread without an initialized clock: skip the
+                // sweep rather than retire against a wrong bound.
+                None => return,
+            }
+        }
+        // No live thread at all: be conservative and keep everything (a
+        // fresh root thread could still appear in a hand-written trace).
+        let Some(watermark) = watermark else { return };
+        let keep_empty = self.provenance_window.is_some();
+        let mut retired = 0u64;
+        let mut folded_probes = 0u64;
+        let mut folded_stats = ClockStats::default();
+        self.objects.retain(|_, state| {
+            retired += state.retire_quiesced(&watermark) as u64;
+            if state.num_active() == 0 && !keep_empty {
+                folded_probes += state.num_probes();
+                folded_stats.merge(&state.clock_stats());
+                false
+            } else {
+                true
+            }
+        });
+        self.gc_retired += retired;
+        self.folded_probes += folded_probes;
+        self.folded_stats.merge(&folded_stats);
+    }
+
+    fn findings(&self) -> WorkerFindings {
+        let mut clock_stats = self.folded_stats;
+        let mut probes = self.folded_probes;
+        for state in self.objects.values() {
+            clock_stats.merge(&state.clock_stats());
+            probes += state.num_probes();
+        }
+        WorkerFindings {
+            detailed: self.detailed.clone(),
+            overflow: self.overflow.clone(),
+            clock_stats,
+            probes,
+            gc_retired: self.gc_retired,
+        }
+    }
+}
+
+/// The worker loop: drain batches, process each message under a panic
+/// shield, answer report barriers even when degraded.
+fn worker_main(ring: &Ring, shared: &WorkerShared, cfg: &ParallelConfig) {
+    let mut state = WorkerState::new(cfg);
+    while let Some(mut batch) = ring.pop(shared) {
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        for msg in batch.drain(..) {
+            if let Msg::Collect(reply) = msg {
+                // Fail-open report path: a panic while snapshotting trips
+                // the quarantine and answers with what we have (nothing).
+                let findings =
+                    catch_unwind(AssertUnwindSafe(|| state.findings())).unwrap_or_else(|_| {
+                        shared.panics.fetch_add(1, Ordering::Relaxed);
+                        shared.degraded.store(true, Ordering::Relaxed);
+                        WorkerFindings::default()
+                    });
+                reply.fill(findings);
+                continue;
+            }
+            if shared.degraded.load(Ordering::Relaxed) {
+                shared.shed.fetch_add(msg.weight(), Ordering::Relaxed);
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| state.process(msg))) {
+                Ok(processed) => {
+                    shared.events.fetch_add(processed, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    shared.degraded.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        ring.recycle(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate;
+    use crate::Rd2;
+    use crace_model::Value;
+    use crace_spec::builtin;
+
+    fn dict_pair() -> (crace_spec::Spec, Arc<CompiledSpec>) {
+        let spec = builtin::dictionary();
+        let compiled = Arc::new(translate(&spec).unwrap());
+        (spec, compiled)
+    }
+
+    fn put(spec: &crace_spec::Spec, obj: u64, k: i64, v: i64, prev: Value) -> Action {
+        Action::new(
+            ObjId(obj),
+            spec.method_id("put").unwrap(),
+            vec![Value::Int(k), Value::Int(v)],
+            prev,
+        )
+    }
+
+    /// Runs `f` with the default panic hook silenced, so intentional
+    /// worker panics don't spam test output.
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    /// The cap mirrored in this module must match the report machinery's
+    /// default, or the merged sample set would diverge from serial.
+    #[test]
+    fn sample_cap_matches_report_default() {
+        let mut report = RaceReport::new();
+        for i in 0..SAMPLE_CAP + 5 {
+            assert_eq!(report.wants_detail(), i < SAMPLE_CAP, "at {i}");
+            report.record(RaceRecord {
+                kind: RaceKind::Commutativity { obj: ObjId(1) },
+                tid: ThreadId(0),
+                action: None,
+                detail: String::new(),
+                provenance: None,
+            });
+        }
+        assert_eq!(report.samples().len(), SAMPLE_CAP);
+    }
+
+    #[test]
+    fn detects_the_running_example_race_at_any_width() {
+        let (spec, compiled) = dict_pair();
+        for workers in [1, 2, 4] {
+            let rd2 = ParallelRd2::new(workers);
+            rd2.register(ObjId(1), Arc::clone(&compiled));
+            rd2.on_fork(ThreadId(0), ThreadId(1));
+            rd2.on_fork(ThreadId(0), ThreadId(2));
+            rd2.on_action(ThreadId(2), &put(&spec, 1, 5, 1, Value::Nil));
+            rd2.on_action(ThreadId(1), &put(&spec, 1, 5, 2, Value::Int(1)));
+            let report = rd2.report();
+            assert_eq!(report.total(), 1, "workers={workers}");
+            assert_eq!(report.distinct(), 1, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn merged_report_equals_serial_rd2_across_objects() {
+        let (spec, compiled) = dict_pair();
+        let parallel = ParallelRd2::with_config(
+            3,
+            ParallelConfig {
+                batch: 2, // force multi-batch delivery
+                ..ParallelConfig::default()
+            },
+        );
+        let serial = Rd2::new();
+        for obj in 1..=8u64 {
+            parallel.register(ObjId(obj), Arc::clone(&compiled));
+            serial.register(ObjId(obj), Arc::clone(&compiled));
+        }
+        let drive = |a: &dyn Analysis| {
+            a.on_fork(ThreadId(0), ThreadId(1));
+            a.on_fork(ThreadId(0), ThreadId(2));
+            for obj in 1..=8u64 {
+                a.on_action(ThreadId(1), &put(&spec, obj, 1, 1, Value::Nil));
+                a.on_action(ThreadId(2), &put(&spec, obj, 1, 2, Value::Int(1)));
+            }
+            a.on_join(ThreadId(0), ThreadId(1));
+            a.on_action(ThreadId(0), &put(&spec, 3, 1, 3, Value::Int(2)));
+        };
+        drive(&parallel);
+        drive(&serial);
+        assert_eq!(parallel.report(), serial.report());
+    }
+
+    /// A recorded trace exercising every event kind the shared path
+    /// handles: forks, racing puts across several objects, a
+    /// lock-protected action, and a join.
+    fn recorded_trace(spec: &crace_spec::Spec) -> Trace {
+        let mut trace = Trace::new();
+        for t in 1..=3 {
+            trace.push(Event::Fork {
+                parent: ThreadId(0),
+                child: ThreadId(t),
+            });
+        }
+        for obj in 1..=6u64 {
+            trace.push(Event::Action {
+                tid: ThreadId(1),
+                action: put(spec, obj, 1, 1, Value::Nil),
+            });
+            trace.push(Event::Action {
+                tid: ThreadId(2),
+                action: put(spec, obj, 1, 2, Value::Int(1)),
+            });
+        }
+        trace.push(Event::Acquire {
+            tid: ThreadId(3),
+            lock: LockId(1),
+        });
+        trace.push(Event::Action {
+            tid: ThreadId(3),
+            action: put(spec, 1, 9, 1, Value::Nil),
+        });
+        trace.push(Event::Release {
+            tid: ThreadId(3),
+            lock: LockId(1),
+        });
+        trace.push(Event::Join {
+            parent: ThreadId(0),
+            child: ThreadId(1),
+        });
+        trace
+    }
+
+    #[test]
+    fn shared_ingestion_matches_per_event_dispatch_and_serial() {
+        let (spec, compiled) = dict_pair();
+        let trace = Arc::new(recorded_trace(&spec));
+        let serial = Rd2::new();
+        for obj in 1..=6u64 {
+            serial.register(ObjId(obj), Arc::clone(&compiled));
+        }
+        let expected = crace_model::replay(&trace, &serial);
+        for workers in [1usize, 3] {
+            for batch in [1usize, 4, 512] {
+                let rd2 = ParallelRd2::with_config(
+                    workers,
+                    ParallelConfig {
+                        batch,
+                        ..ParallelConfig::default()
+                    },
+                );
+                for obj in 1..=6u64 {
+                    rd2.register(ObjId(obj), Arc::clone(&compiled));
+                }
+                rd2.ingest_shared(&trace);
+                assert_eq!(rd2.report(), expected, "workers={workers} batch={batch}");
+                assert_eq!(rd2.stats().events_in, trace.len() as u64);
+            }
+        }
+    }
+
+    /// GC must stay report-preserving on the shared path too, where the
+    /// watermark is computed from the (possibly stale) private replica
+    /// while overlay clocks are fresher — stale clocks only make the
+    /// watermark smaller, i.e. the sweep more conservative.
+    #[test]
+    fn shared_ingestion_with_gc_matches_gc_off() {
+        let (spec, compiled) = dict_pair();
+        let trace = Arc::new(recorded_trace(&spec));
+        let run = |gc_every: usize| {
+            let rd2 = ParallelRd2::with_config(
+                2,
+                ParallelConfig {
+                    gc_every,
+                    batch: 4,
+                    ..ParallelConfig::default()
+                },
+            );
+            for obj in 1..=6u64 {
+                rd2.register(ObjId(obj), Arc::clone(&compiled));
+            }
+            rd2.ingest_shared(&trace);
+            rd2.report()
+        };
+        assert_eq!(run(3), run(0));
+    }
+
+    #[test]
+    fn shared_ingestion_falls_back_to_the_shed_filter_after_abandonment() {
+        let (spec, compiled) = dict_pair();
+        let rd2 = ParallelRd2::new(2);
+        rd2.register(ObjId(1), Arc::clone(&compiled));
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_fork(ThreadId(0), ThreadId(2));
+        rd2.abandon_thread(ThreadId(2));
+        let mut trace = Trace::new();
+        trace.push(Event::Action {
+            tid: ThreadId(1),
+            action: put(&spec, 1, 1, 1, Value::Nil),
+        });
+        trace.push(Event::Action {
+            tid: ThreadId(2), // abandoned: must be shed, not detected
+            action: put(&spec, 1, 1, 9, Value::Int(1)),
+        });
+        trace.push(Event::Action {
+            tid: ThreadId(0),
+            action: put(&spec, 1, 1, 2, Value::Int(1)),
+        });
+        rd2.ingest_shared(&Arc::new(trace));
+        assert_eq!(rd2.events_shed(), 1);
+        assert_eq!(rd2.report().total(), 1);
+    }
+
+    #[test]
+    fn report_is_deterministic_across_collections() {
+        let (spec, compiled) = dict_pair();
+        let rd2 = ParallelRd2::new(4);
+        for obj in 1..=16u64 {
+            rd2.register(ObjId(obj), Arc::clone(&compiled));
+        }
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        for obj in 1..=16u64 {
+            rd2.on_action(ThreadId(0), &put(&spec, obj, 1, 1, Value::Nil));
+            rd2.on_action(ThreadId(1), &put(&spec, obj, 1, 2, Value::Int(1)));
+        }
+        let first = rd2.report();
+        assert_eq!(first.total(), 16);
+        for _ in 0..5 {
+            assert_eq!(rd2.report(), first);
+        }
+    }
+
+    #[test]
+    fn abandonment_sheds_at_the_ingress_like_serial() {
+        let (spec, compiled) = dict_pair();
+        let rd2 = ParallelRd2::new(2);
+        rd2.register(ObjId(1), Arc::clone(&compiled));
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_fork(ThreadId(0), ThreadId(2));
+        rd2.on_action(ThreadId(1), &put(&spec, 1, 1, 1, Value::Nil));
+        rd2.abandon_thread(ThreadId(1));
+        rd2.on_action(ThreadId(1), &put(&spec, 1, 1, 9, Value::Int(1)));
+        rd2.on_join(ThreadId(0), ThreadId(1));
+        assert_eq!(rd2.events_shed(), 2);
+        rd2.on_action(ThreadId(2), &put(&spec, 1, 1, 2, Value::Int(1)));
+        assert_eq!(rd2.report().total(), 1, "{:?}", rd2.report());
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_fail_open() {
+        quiet(|| {
+            let (spec, compiled) = dict_pair();
+            // Two objects on the same (single) worker: the race before the
+            // poison survives, events after it are shed, report still works.
+            let rd2 = ParallelRd2::new(1);
+            rd2.register(ObjId(1), Arc::clone(&compiled));
+            rd2.on_fork(ThreadId(0), ThreadId(1));
+            rd2.on_action(ThreadId(0), &put(&spec, 1, 1, 1, Value::Nil));
+            rd2.on_action(ThreadId(1), &put(&spec, 1, 1, 2, Value::Int(1)));
+            rd2.inject_worker_panic(0);
+            rd2.on_action(ThreadId(0), &put(&spec, 1, 2, 1, Value::Nil));
+            rd2.on_action(ThreadId(1), &put(&spec, 1, 2, 2, Value::Int(1)));
+            let report = rd2.report();
+            assert_eq!(report.total(), 1, "pre-panic race kept, no invented races");
+            assert!(rd2.degraded());
+            let stats = rd2.stats();
+            assert_eq!(stats.workers[0].panics, 1);
+            assert!(stats.workers[0].events_shed >= 2);
+        });
+    }
+
+    #[test]
+    fn gc_on_and_off_report_identically_and_gc_retires() {
+        let (spec, compiled) = dict_pair();
+        let gc = ParallelRd2::with_config(
+            2,
+            ParallelConfig {
+                gc_every: 4,
+                ..ParallelConfig::default()
+            },
+        );
+        let plain = ParallelRd2::new(2);
+        for rd2 in [&gc, &plain] {
+            rd2.register(ObjId(1), Arc::clone(&compiled));
+            rd2.register(ObjId(2), Arc::clone(&compiled));
+        }
+        let drive = |a: &dyn Analysis| {
+            // Fork/join generations touching generation-unique keys: once a
+            // generation is joined back, its points are dominated by every
+            // later clock and the next watermark sweep retires them. The
+            // two children of each generation race on shared keys, so GC
+            // must also preserve already-found races exactly.
+            let root = ThreadId(0);
+            for g in 0..6u32 {
+                let (c1, c2) = (ThreadId(2 * g + 1), ThreadId(2 * g + 2));
+                a.on_fork(root, c1);
+                a.on_fork(root, c2);
+                for i in 0..4i64 {
+                    let key = 10 * i64::from(g) + i;
+                    let obj = 1 + (i as u64 % 2);
+                    a.on_action(c1, &put(&spec, obj, key, 1, Value::Nil));
+                }
+                for i in 0..4i64 {
+                    let key = 10 * i64::from(g) + i;
+                    let obj = 1 + (i as u64 % 2);
+                    a.on_action(c2, &put(&spec, obj, key, 2, Value::Int(1)));
+                }
+                a.on_join(root, c1);
+                a.on_join(root, c2);
+            }
+        };
+        drive(&gc);
+        drive(&plain);
+        let (gc_report, plain_report) = (gc.report(), plain.report());
+        assert_eq!(gc_report, plain_report);
+        assert_eq!(
+            gc_report.total(),
+            24,
+            "one race per shared key per generation"
+        );
+        assert!(gc.gc_retired() > 0, "watermark sweep never retired a point");
+        assert_eq!(plain.gc_retired(), 0);
+    }
+
+    #[test]
+    fn stats_and_feed_expose_worker_occupancy() {
+        let (spec, compiled) = dict_pair();
+        let rd2 = ParallelRd2::new(2);
+        for obj in 1..=4u64 {
+            rd2.register(ObjId(obj), Arc::clone(&compiled));
+        }
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        for obj in 1..=4u64 {
+            for i in 0..10i64 {
+                rd2.on_action(ThreadId(1), &put(&spec, obj, i, i, Value::Int(7)));
+            }
+        }
+        let _ = rd2.report(); // barrier: everything delivered
+        let stats = rd2.stats();
+        assert_eq!(stats.events_in, 41);
+        assert_eq!(stats.sync_broadcasts, 1);
+        let processed: u64 = stats.workers.iter().map(|w| w.events).sum();
+        // Each worker processed its actions + registrations + the broadcast fork.
+        assert_eq!(processed, 40 + 4 + 2);
+        assert!(stats.workers.iter().all(|w| w.events > 0));
+
+        let registry = Registry::new();
+        rd2.feed(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("parallel.events_in"),
+            Some(&crace_obs::MetricValue::Counter(41))
+        );
+        assert!(snap.get("parallel.w0.occupancy").is_some());
+        assert!(snap.get("parallel.w1.queue_depth_max").is_some());
+        // Feeding twice must not double-count.
+        rd2.feed(&registry);
+        assert_eq!(
+            registry.snapshot().get("parallel.events_in"),
+            Some(&crace_obs::MetricValue::Counter(41))
+        );
+    }
+
+    #[test]
+    fn forget_and_reregister_reset_state_in_stream() {
+        let (spec, compiled) = dict_pair();
+        let rd2 = ParallelRd2::new(2);
+        rd2.register(ObjId(1), Arc::clone(&compiled));
+        rd2.on_fork(ThreadId(0), ThreadId(1));
+        rd2.on_action(ThreadId(0), &put(&spec, 1, 1, 1, Value::Nil));
+        rd2.forget(ObjId(1));
+        // Unregistered: ignored.
+        rd2.on_action(ThreadId(1), &put(&spec, 1, 1, 2, Value::Int(1)));
+        rd2.register(ObjId(1), Arc::clone(&compiled));
+        // Fresh state: no active point to conflict with.
+        rd2.on_action(ThreadId(1), &put(&spec, 1, 1, 2, Value::Int(1)));
+        assert!(rd2.report().is_empty());
+    }
+}

@@ -77,6 +77,52 @@ pub trait Analysis: Send + Sync {
     }
 }
 
+/// A boxed analysis is an analysis: every callback delegates to the
+/// pointee. This makes `Box<dyn Analysis>` usable wherever a concrete
+/// detector is expected — the chaos harness and the CLI pick a detector at
+/// runtime (serial or parallel, by `--workers`) and drive it uniformly.
+impl<A: Analysis + ?Sized> Analysis for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_fork(&self, parent: ThreadId, child: ThreadId) {
+        (**self).on_fork(parent, child);
+    }
+
+    fn on_join(&self, parent: ThreadId, child: ThreadId) {
+        (**self).on_join(parent, child);
+    }
+
+    fn on_acquire(&self, tid: ThreadId, lock: LockId) {
+        (**self).on_acquire(tid, lock);
+    }
+
+    fn on_release(&self, tid: ThreadId, lock: LockId) {
+        (**self).on_release(tid, lock);
+    }
+
+    fn on_action(&self, tid: ThreadId, action: &Action) {
+        (**self).on_action(tid, action);
+    }
+
+    fn on_read(&self, tid: ThreadId, loc: LocId) {
+        (**self).on_read(tid, loc);
+    }
+
+    fn on_write(&self, tid: ThreadId, loc: LocId) {
+        (**self).on_write(tid, loc);
+    }
+
+    fn abandon_thread(&self, tid: ThreadId) {
+        (**self).abandon_thread(tid);
+    }
+
+    fn report(&self) -> RaceReport {
+        (**self).report()
+    }
+}
+
 /// The do-nothing analysis, used for uninstrumented baseline measurements.
 ///
 /// # Examples

@@ -26,8 +26,8 @@
 
 use crate::fault::FaultPlan;
 use crate::sim::{sim_dict_obj, simulate, simulate_with_faults, SimProgram};
-use crace_core::TraceDetector;
-use crace_model::{replay, Analysis as _, Isolated, RaceReport, ThreadId, Trace};
+use crace_core::{ParallelRd2, TraceDetector};
+use crace_model::{replay, Analysis, Isolated, RaceReport, ThreadId, Trace};
 use crace_obs::Registry;
 use crace_spec::builtin;
 
@@ -41,6 +41,10 @@ pub struct ChaosConfig {
     pub trials: u64,
     /// Faults drawn per trial's plan.
     pub faults: usize,
+    /// Detector workers: `0` runs the serial trace detector, `n > 0` the
+    /// sharded parallel pipeline — the contract checks are detector-
+    /// agnostic, so a campaign doubles as a differential test of the two.
+    pub workers: usize,
 }
 
 impl Default for ChaosConfig {
@@ -49,6 +53,7 @@ impl Default for ChaosConfig {
             seed: 42,
             trials: 20,
             faults: 2,
+            workers: 0,
         }
     }
 }
@@ -111,25 +116,42 @@ impl ChaosReport {
     }
 }
 
-/// A [`TraceDetector`] with the program's dictionary specifications
+/// A detector — serial [`TraceDetector`] or the sharded [`ParallelRd2`]
+/// pipeline, by `workers` — with the program's dictionary specifications
 /// registered, wrapped in [`Isolated`] so a panicking analysis degrades
 /// instead of killing the campaign.
-fn armed_detector(program: &SimProgram) -> Isolated<TraceDetector> {
-    let detector = TraceDetector::new();
+fn armed_detector(program: &SimProgram, workers: usize) -> Isolated<Box<dyn Analysis>> {
     let dict = builtin::dictionary();
-    for d in 0..program.num_dicts {
-        detector
-            .register_spec(sim_dict_obj(d), &dict)
-            .expect("the dictionary specification is ECL");
-    }
+    let detector: Box<dyn Analysis> = if workers > 0 {
+        let detector = ParallelRd2::new(workers);
+        for d in 0..program.num_dicts {
+            detector
+                .register_spec(sim_dict_obj(d), &dict)
+                .expect("the dictionary specification is ECL");
+        }
+        Box::new(detector)
+    } else {
+        let detector = TraceDetector::new();
+        for d in 0..program.num_dicts {
+            detector
+                .register_spec(sim_dict_obj(d), &dict)
+                .expect("the dictionary specification is ECL");
+        }
+        Box::new(detector)
+    };
     Isolated::new(detector)
 }
 
 /// Replays `trace` through an armed detector, abandoning `panicked`
 /// threads afterwards (the runtime does this when a join observes the
 /// child's panic payload), and returns the report.
-fn detect(program: &SimProgram, trace: &Trace, panicked: &[usize]) -> (RaceReport, bool) {
-    let isolated = armed_detector(program);
+fn detect(
+    program: &SimProgram,
+    trace: &Trace,
+    panicked: &[usize],
+    workers: usize,
+) -> (RaceReport, bool) {
+    let isolated = armed_detector(program, workers);
     let report = replay(trace, &isolated);
     for &t in panicked {
         isolated.abandon_thread(ThreadId(t as u32 + 1));
@@ -201,9 +223,14 @@ pub fn run_chaos(program: &SimProgram, cfg: &ChaosConfig) -> ChaosReport {
 
         // 2. Prefix-report equality (and no detector panics on either side).
         let k = k.min(trace.len()).min(clean_trace.len());
-        let (faulty_report, faulty_quarantined) =
-            detect(program, &prefix_of(&trace, k), &outcome.panicked);
-        let (clean_report, clean_quarantined) = detect(program, &prefix_of(&clean_trace, k), &[]);
+        let (faulty_report, faulty_quarantined) = detect(
+            program,
+            &prefix_of(&trace, k),
+            &outcome.panicked,
+            cfg.workers,
+        );
+        let (clean_report, clean_quarantined) =
+            detect(program, &prefix_of(&clean_trace, k), &[], cfg.workers);
         if faulty_quarantined || clean_quarantined {
             violation("detector panicked on a delivered prefix".to_string());
         } else if faulty_report.to_json() != clean_report.to_json() {
@@ -215,7 +242,8 @@ pub fn run_chaos(program: &SimProgram, cfg: &ChaosConfig) -> ChaosReport {
         }
 
         // Races on the full delivered trace (what an operator would see).
-        let (delivered_report, delivered_quarantined) = detect(program, &trace, &outcome.panicked);
+        let (delivered_report, delivered_quarantined) =
+            detect(program, &trace, &outcome.panicked, cfg.workers);
         if delivered_quarantined {
             violation("detector panicked on the full delivered trace".to_string());
         }
@@ -269,6 +297,7 @@ mod tests {
             seed: 7,
             trials: 40,
             faults: 2,
+            workers: 0,
         };
         let report = run_chaos(&racy_program(), &cfg);
         assert!(report.ok(), "violations: {:?}", report.violations);
@@ -291,6 +320,7 @@ mod tests {
             seed: 3,
             trials: 5,
             faults: 1,
+            workers: 0,
         };
         let report = run_chaos(&racy_program(), &cfg);
         let registry = Registry::new();
@@ -304,11 +334,27 @@ mod tests {
     }
 
     #[test]
+    fn parallel_campaign_agrees_with_serial() {
+        let serial = run_chaos(&racy_program(), &ChaosConfig::default());
+        let parallel = run_chaos(
+            &racy_program(),
+            &ChaosConfig {
+                workers: 4,
+                ..ChaosConfig::default()
+            },
+        );
+        assert!(parallel.ok(), "violations: {:?}", parallel.violations);
+        assert_eq!(serial.races, parallel.races);
+        assert_eq!(serial.violations, parallel.violations);
+    }
+
+    #[test]
     fn fault_free_plan_reports_the_same_races_as_simulate() {
         let cfg = ChaosConfig {
             seed: 11,
             trials: 1,
             faults: 0,
+            workers: 0,
         };
         let report = run_chaos(&racy_program(), &cfg);
         assert!(report.ok());

@@ -101,7 +101,10 @@ pub use crace_workloads as workloads;
 
 pub use crace_atomicity::AtomicityChecker;
 pub use crace_boost::LockManager;
-pub use crace_core::{translate, ClockMode, Direct, Rd2, TraceDetector, TranslateError};
+pub use crace_core::{
+    translate, ClockMode, Direct, ParallelConfig, ParallelRd2, ParallelStats, Rd2, TraceDetector,
+    TranslateError,
+};
 pub use crace_fasttrack::FastTrack;
 pub use crace_model::{
     replay, Action, Analysis, Event, Isolated, LocId, LockId, MethodId, NoopAnalysis, ObjId,

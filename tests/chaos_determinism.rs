@@ -171,6 +171,7 @@ fn chaos_campaigns_uphold_the_contract_on_random_programs() {
             seed: 1000 + i as u64,
             trials: 10,
             faults: 2,
+            workers: 0,
         };
         let report = run_chaos(program, &cfg);
         assert!(
