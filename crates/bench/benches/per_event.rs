@@ -13,12 +13,25 @@ use crace_bench::{local_dict_trace, mixed_dict_trace, rw_trace, sharded_dict_tra
 use crace_core::{translate, ClockMode, Direct, ParallelConfig, ParallelRd2, Rd2, TraceDetector};
 use crace_fasttrack::FastTrack;
 use crace_model::{replay, Analysis, Isolated, NoopAnalysis, ObjId, Observer};
-use crace_obs::Registry;
+use crace_obs::{Registry, Tracer};
 use crace_spec::builtin;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 const N: usize = 10_000;
+
+/// Span-sampling period of the `-traced` rows: the tracer's cost is
+/// amortized 1-in-64 exactly as `crace replay --trace-out` configures it.
+const TRACE_SAMPLE_EVERY: u64 = 64;
+
+/// Workload shape of the sharded parallel rows (10× longer trace so the
+/// fixed thread-spawn cost does not drown the per-event story).
+const SHARD_N: usize = 10 * N;
+const SHARD_THREADS: u32 = 256;
+const SHARD_OBJECTS: u64 = 48;
+
+/// Worker widths measured by the `rd2-parallel-w*` rows.
+const WORKER_WIDTHS: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn bench_per_event(c: &mut Criterion) {
     let spec = builtin::dictionary();
@@ -64,6 +77,22 @@ fn bench_per_event(c: &mut Criterion) {
             replay(&dict_trace, &Isolated::new(detector))
         });
     });
+
+    // The tracing plane's hot-path overhead: the same adaptive run with a
+    // live tracer sampling `rd2.on_action` spans 1-in-64 — the row the
+    // acceptance gate holds within 1.05× of `rd2-adaptive`. The tracer
+    // outlives the iterations (lanes are keyed by name, so every
+    // iteration reuses the same bounded ring).
+    {
+        let tracer = Tracer::new();
+        group.bench_function("rd2-adaptive-traced", |b| {
+            b.iter(|| {
+                let detector = TraceDetector::with_tracer(&tracer, TRACE_SAMPLE_EVERY);
+                detector.register(OBJ, Arc::clone(&compiled));
+                replay(&dict_trace, &detector)
+            });
+        });
+    }
 
     group.bench_function("rd2-fullvector", |b| {
         b.iter(|| {
@@ -170,9 +199,6 @@ fn bench_per_event(c: &mut Criterion) {
     // merge are priced in — which is why these rows use a 10× longer
     // trace: spawning N worker threads is a fixed millisecond-scale cost
     // that would otherwise drown the per-event story for both sides.
-    const SHARD_N: usize = 10 * N;
-    const SHARD_THREADS: u32 = 256;
-    const SHARD_OBJECTS: u64 = 48;
     let sharded = Arc::new(sharded_dict_trace(
         SHARD_N,
         SHARD_THREADS,
@@ -213,10 +239,31 @@ fn bench_per_event(c: &mut Criterion) {
         batch: usize::MAX,
         ..ParallelConfig::default()
     };
-    for workers in [1usize, 2, 4, 8, 16] {
+    for workers in WORKER_WIDTHS {
         group.bench_function(format!("rd2-parallel-w{workers}"), |b| {
             b.iter(|| {
                 let detector = ParallelRd2::with_config(workers, throughput_cfg.clone());
+                for &obj in &objects {
+                    detector.register(obj, Arc::clone(&compiled));
+                }
+                detector.ingest_shared(&sharded);
+                detector.report()
+            });
+        });
+    }
+
+    // The pipeline with span tracing on every phase (ingress, workers,
+    // sync, merge) — the parallel side of the ≤1.05× overhead gate,
+    // diffed against `rd2-parallel-w8`.
+    {
+        let tracer = Arc::new(Tracer::new());
+        let traced_cfg = ParallelConfig {
+            tracer: Some(Arc::clone(&tracer)),
+            ..throughput_cfg.clone()
+        };
+        group.bench_function("rd2-parallel-w8-traced", |b| {
+            b.iter(|| {
+                let detector = ParallelRd2::with_config(8, traced_cfg.clone());
                 for &obj in &objects {
                     detector.register(obj, Arc::clone(&compiled));
                 }
@@ -233,9 +280,12 @@ fn bench_per_event(c: &mut Criterion) {
 
 /// Emits every row of this run as `BENCH_per_event.json` at the repo
 /// root — hand-written RFC 8259 JSON, checked by the crace-obs validator
-/// before it is written. Parallel rows carry their speedup over the
-/// serial replay baseline (`rd2-serial-sharded`, the path `crace replay`
-/// takes without `--workers`).
+/// and the crace-bench schema before it is written. The `meta` object
+/// records the machine (CPU count) and workload shape, so `crace
+/// bench-diff` comparisons across snapshots can be read in context.
+/// Parallel rows carry their speedup over the serial replay baseline
+/// (`rd2-serial-sharded`, the path `crace replay` takes without
+/// `--workers`).
 fn write_bench_snapshot() {
     let records: Vec<criterion::measurements::Record> = criterion::measurements::drain()
         .into_iter()
@@ -266,11 +316,22 @@ fn write_bench_snapshot() {
             row
         })
         .collect();
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let widths: Vec<String> = WORKER_WIDTHS.iter().map(usize::to_string).collect();
+    let meta = format!(
+        "    \"host_cpus\": {host_cpus},\n    \"events_per_iter\": {N},\n    \
+         \"sharded_events\": {SHARD_N},\n    \"sharded_threads\": {SHARD_THREADS},\n    \
+         \"sharded_objects\": {SHARD_OBJECTS},\n    \
+         \"trace_sample_every\": {TRACE_SAMPLE_EVERY},\n    \
+         \"worker_widths\": [{}]",
+        widths.join(", ")
+    );
     let json = format!(
-        "{{\n  \"bench\": \"per_event\",\n  \"events_per_iter\": {N},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"per_event\",\n  \"events_per_iter\": {N},\n  \"meta\": {{\n{meta}\n  }},\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     crace_obs::json::validate(&json).expect("emitted bench JSON is RFC 8259 valid");
+    crace_bench::snapshot::validate_per_event(&json).expect("emitted bench JSON matches schema");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_per_event.json");
     std::fs::write(path, &json).expect("write BENCH_per_event.json");
     println!("per_event: wrote {path}");

@@ -223,6 +223,81 @@ pub fn rw_trace(n: usize, threads: u32, locs: u64, seed: u64) -> Trace {
     trace
 }
 
+/// Schema checks for the machine-readable snapshots the benches emit at
+/// the repo root (`BENCH_per_event.json`), so a malformed emitter — or a
+/// hand-edited snapshot — fails loudly instead of silently feeding
+/// garbage to `crace bench-diff`.
+pub mod snapshot {
+    use crace_obs::json::{self, Json};
+
+    /// Validates a `BENCH_per_event.json` document: RFC 8259 syntax, the
+    /// `bench`/`events_per_iter` header, a `meta` object describing the
+    /// machine and workload shape, and a non-empty `rows` array whose
+    /// entries carry unique ids with finite non-negative timings.
+    /// Returns the first problem found.
+    pub fn validate_per_event(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        if doc.get("bench").and_then(Json::as_str) != Some("per_event") {
+            return Err("`bench` must be the string \"per_event\"".to_string());
+        }
+        doc.get("events_per_iter")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "`events_per_iter` must be a number".to_string())?;
+        let meta = doc
+            .get("meta")
+            .filter(|m| m.as_object().is_some())
+            .ok_or_else(|| "missing `meta` object".to_string())?;
+        for key in [
+            "host_cpus",
+            "events_per_iter",
+            "sharded_events",
+            "sharded_threads",
+            "sharded_objects",
+            "trace_sample_every",
+        ] {
+            meta.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`meta.{key}` must be a number"))?;
+        }
+        let widths = meta
+            .get("worker_widths")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "`meta.worker_widths` must be an array".to_string())?;
+        if widths.is_empty() || widths.iter().any(|w| w.as_f64().is_none()) {
+            return Err("`meta.worker_widths` must be a non-empty array of numbers".to_string());
+        }
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "`rows` must be an array".to_string())?;
+        if rows.is_empty() {
+            return Err("`rows` must not be empty".to_string());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, row) in rows.iter().enumerate() {
+            let id = row
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("row {i}: `id` must be a string"))?;
+            if !seen.insert(id.to_string()) {
+                return Err(format!("row `{id}` appears twice"));
+            }
+            for key in ["ns_per_iter", "ns_per_event"] {
+                let v = row
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("row `{id}`: `{key}` must be a number"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "row `{id}`: `{key}` must be finite and non-negative"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Builds a synthetic ECL specification with `methods` methods and `atoms`
 /// LB atoms per same-method rule — used to measure how translation scales
 /// with specification size.
@@ -297,6 +372,57 @@ mod tests {
             .filter(|e| matches!(e, Event::Acquire { .. } | Event::Release { .. }))
             .count();
         assert_eq!(syncs, 2 * 8 + 2 * (512 / 200), "warm-up + sparse pairs");
+    }
+
+    #[test]
+    fn committed_bench_snapshot_matches_schema() {
+        let text = include_str!("../../../BENCH_per_event.json");
+        snapshot::validate_per_event(text).expect("committed BENCH_per_event.json");
+    }
+
+    #[test]
+    fn per_event_schema_rejects_malformed_documents() {
+        let ok = r#"{"bench": "per_event", "events_per_iter": 10,
+            "meta": {"host_cpus": 8, "events_per_iter": 10, "sharded_events": 100,
+                     "sharded_threads": 4, "sharded_objects": 2,
+                     "trace_sample_every": 64, "worker_widths": [1, 2]},
+            "rows": [{"id": "a", "ns_per_iter": 1.0, "ns_per_event": 0.1}]}"#;
+        snapshot::validate_per_event(ok).expect("well-formed document");
+
+        let cases: &[(&str, &str)] = &[
+            ("not json", "at byte 0"),
+            (r#"{"bench": "other"}"#, "`bench`"),
+            (r#"{"bench": "per_event"}"#, "`events_per_iter`"),
+            (
+                r#"{"bench": "per_event", "events_per_iter": 10, "rows": []}"#,
+                "`meta`",
+            ),
+            (&ok.replace(r#""host_cpus": 8, "#, ""), "`meta.host_cpus`"),
+            (&ok.replace("[1, 2]", "[]"), "`meta.worker_widths`"),
+            (
+                &ok.replace(
+                    r#"[{"id": "a", "ns_per_iter": 1.0, "ns_per_event": 0.1}]"#,
+                    "[]",
+                ),
+                "`rows` must not be empty",
+            ),
+            (
+                &ok.replace(r#""ns_per_event": 0.1}"#, r#""ns_per_event": -0.1}"#),
+                "non-negative",
+            ),
+            (
+                &ok.replace(
+                    r#"{"id": "a", "ns_per_iter": 1.0, "ns_per_event": 0.1}"#,
+                    r#"{"id": "a", "ns_per_iter": 1.0, "ns_per_event": 0.1},
+                       {"id": "a", "ns_per_iter": 1.0, "ns_per_event": 0.1}"#,
+                ),
+                "appears twice",
+            ),
+        ];
+        for (doc, want) in cases {
+            let err = snapshot::validate_per_event(doc).expect_err(doc);
+            assert!(err.contains(want), "`{err}` should mention {want}");
+        }
     }
 
     #[test]

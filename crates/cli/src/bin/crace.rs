@@ -6,12 +6,15 @@
 //! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
 //!               [--workers N] [--json] [--metrics[=json|prom]] [--explain]
-//!               [--tolerate-truncation]
+//!               [--sample-rate N] [--trace-out <file>] [--tolerate-truncation]
 //! crace stats   <trace-file> --spec <file> [--detector …] [--format pretty|json|prom]
+//! crace profile <trace-file> --spec <file> [--workers N] [--sample-rate N]
+//!               [--out spans.json] [--folded out.txt]  # span-timeline profile
 //! crace explore <program-file> [--no-dpor] [--max-schedules N] [--preemption-bound N]
-//!               [--shrink] [--out <stem>] [--metrics[=json|prom]]
+//!               [--shrink] [--out <stem>] [--metrics[=json|prom]] [--trace-out <file>]
 //! crace chaos   <program-file> [--seed N] [--trials N] [--faults N]
-//!               [--workers N] [--metrics[=json|prom]]  # fault-injection campaign
+//!               [--workers N] [--metrics[=json|prom]] [--trace-out <file>]
+//! crace bench-diff <old.json> <new.json> [--threshold PCT]  # bench regression gate
 //! crace frame   <trace-file> --spec <file>  # convert to the framed format
 //! crace table2  [scale]                     # regenerate Table 2
 //! crace builtins                            # list builtin specifications
@@ -21,17 +24,18 @@
 //! `set`, `counter`, `register`, `queue`) instead of a path.
 //!
 //! Exit codes: 0 success, 1 error, 2 usage, 3 races found (replay,
-//! explore or chaos), 4 explore found a detector invariant violation,
-//! 5 chaos found a degradation-contract violation, 6 the trace file is
-//! torn (truncated mid-record; `--tolerate-truncation` recovers the
-//! valid prefix instead). `lint` has its own contract: 0 clean,
-//! 2 warnings only, 3 any error.
+//! profile, explore or chaos), 4 explore found a detector invariant
+//! violation, 5 chaos found a degradation-contract violation, 6 the
+//! trace file is torn (truncated mid-record; `--tolerate-truncation`
+//! recovers the valid prefix instead). `lint` has its own contract:
+//! 0 clean, 2 warnings only, 3 any error. `bench-diff` exits 2 when a
+//! row regresses beyond the threshold.
 
 use crace_cli::{parse_program, parse_trace, render_program, render_trace};
-use crace_core::{translate, Direct, ParallelRd2, TraceDetector, TranslateError};
+use crace_core::{translate, Direct, ParallelConfig, ParallelRd2, TraceDetector, TranslateError};
 use crace_fasttrack::FastTrack;
 use crace_model::{replay, Analysis, Event, ObjId, Observer, RaceReport, Trace};
-use crace_obs::{Registry, Snapshot};
+use crace_obs::{json::Json, Registry, Snapshot, Tracer};
 use crace_spec::{builtin, Spec};
 use crace_vclock::ClockStats;
 use std::collections::BTreeSet;
@@ -46,6 +50,8 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("frame") => cmd_frame(&args[1..]),
@@ -72,25 +78,39 @@ usage:
   crace compile <spec-file|builtin> [--dot]
   crace replay  <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--workers N] [--json]
-                [--metrics[=json|prom]] [--explain] [--tolerate-truncation]
+                [--metrics[=json|prom]] [--explain] [--sample-rate N]
+                [--trace-out <file>] [--tolerate-truncation]
   crace stats   <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--format pretty|json|prom]
+  crace profile <trace-file> --spec <spec-file|builtin> [--workers N]
+                [--sample-rate N] [--out spans.json] [--folded out.txt]
   crace explore <program-file> [--no-dpor] [--max-schedules N]
                 [--preemption-bound N] [--shrink] [--out <stem>]
-                [--metrics[=json|prom]]
+                [--metrics[=json|prom]] [--trace-out <file>]
   crace chaos   <program-file> [--seed N] [--trials N] [--faults N]
-                [--workers N] [--metrics[=json|prom]]
+                [--workers N] [--metrics[=json|prom]] [--trace-out <file>]
+  crace bench-diff <old.json> <new.json> [--threshold PCT]
   crace frame   <trace-file> --spec <spec-file|builtin>
   crace table2  [scale]
   crace builtins
 
 exit codes: 0 ok, 1 error, 2 usage, 3 races found, 4 invariant violation,
             5 chaos degradation-contract violation, 6 torn trace file
-            (lint: 0 clean, 2 warnings only, 3 any error)
+            (lint: 0 clean, 2 warnings only, 3 any error;
+             bench-diff: 2 when a row regresses beyond the threshold)
 ";
 
 /// Window of trailing events kept per object for `--explain`.
 const EXPLAIN_WINDOW: usize = 8;
+
+/// `on_action` span sampling period used when `--trace-out` enables
+/// tracing on a serial replay — the same 1-in-64 default as the
+/// observer's latency sampling.
+const TRACE_SAMPLE_EVERY: u64 = 64;
+
+/// GC sweep period used by `crace profile --workers N`, so the timeline
+/// shows epoch-GC pauses alongside batch dispatch.
+const PROFILE_GC_EVERY: usize = 64;
 
 /// Reads a spec source text: a builtin's embedded source, or a file.
 fn load_source(name: &str) -> Result<String, String> {
@@ -297,7 +317,13 @@ fn feed_clock_stats(registry: &Registry, name: &str, stats: &ClockStats) {
 
 /// Replays `trace` through the named detector wrapped in an [`Observer`],
 /// returning the race report and the full metrics snapshot. `workers > 0`
-/// selects the sharded parallel pipeline (rd2 only).
+/// selects the sharded parallel pipeline (rd2 only). `sample_rate` is the
+/// observer's 1-in-N latency sampling period (`0` disables timing).
+/// When `tracer` is set, the rd2 paths additionally record span
+/// timelines into it (and fold the derived timeline metrics into the
+/// snapshot); `direct` and `fasttrack` are not instrumented and leave
+/// the tracer empty.
+#[allow(clippy::too_many_arguments)]
 fn run_observed(
     trace: &Trace,
     spec: &Spec,
@@ -305,6 +331,8 @@ fn run_observed(
     detector: &str,
     workers: usize,
     explain: bool,
+    sample_rate: u64,
+    tracer: Option<&Arc<Tracer>>,
 ) -> Result<Replayed, String> {
     if workers > 0 && detector != "rd2" {
         return Err(format!(
@@ -313,23 +341,27 @@ fn run_observed(
     }
     Ok(match detector {
         "rd2" if workers > 0 => {
-            let d = if explain {
-                ParallelRd2::with_provenance(workers, EXPLAIN_WINDOW)
-            } else {
-                ParallelRd2::new(workers)
+            let cfg = ParallelConfig {
+                provenance_window: explain.then_some(EXPLAIN_WINDOW),
+                tracer: tracer.cloned(),
+                ..ParallelConfig::default()
             };
+            let d = ParallelRd2::with_config(workers, cfg);
             let compiled =
                 Arc::new(translate(spec).map_err(|e| render_translate_error(&e, spec, source))?);
             for obj in objects_of(trace) {
                 d.register(obj, Arc::clone(&compiled));
             }
-            let obs = Observer::new(d);
+            let obs = Observer::with_sampling(d, Arc::new(Registry::new()), sample_rate);
             let report = replay(trace, &obs);
             feed_clock_stats(obs.registry(), obs.name(), &obs.inner().clock_stats());
             obs.registry()
                 .counter(&format!("{}.conflict_probes", obs.name()))
                 .add(obs.inner().num_probes());
             obs.inner().feed(obs.registry());
+            if let Some(t) = tracer {
+                t.feed_timeline(obs.registry());
+            }
             Replayed {
                 report,
                 snapshot: obs.snapshot(),
@@ -338,6 +370,8 @@ fn run_observed(
         "rd2" => {
             let d = if explain {
                 TraceDetector::with_provenance(EXPLAIN_WINDOW)
+            } else if let Some(t) = tracer {
+                TraceDetector::with_tracer(t, TRACE_SAMPLE_EVERY)
             } else {
                 TraceDetector::new()
             };
@@ -346,12 +380,15 @@ fn run_observed(
             for obj in objects_of(trace) {
                 d.register(obj, Arc::clone(&compiled));
             }
-            let obs = Observer::new(d);
+            let obs = Observer::with_sampling(d, Arc::new(Registry::new()), sample_rate);
             let report = replay(trace, &obs);
             feed_clock_stats(obs.registry(), obs.name(), &obs.inner().clock_stats());
             obs.registry()
                 .counter(&format!("{}.conflict_probes", obs.name()))
                 .add(obs.inner().num_probes());
+            if let Some(t) = tracer {
+                t.feed_timeline(obs.registry());
+            }
             Replayed {
                 report,
                 snapshot: obs.snapshot(),
@@ -363,7 +400,7 @@ fn run_observed(
             for obj in objects_of(trace) {
                 d.register(obj, Arc::clone(&spec));
             }
-            let obs = Observer::new(d);
+            let obs = Observer::with_sampling(d, Arc::new(Registry::new()), sample_rate);
             let report = replay(trace, &obs);
             Replayed {
                 report,
@@ -376,7 +413,7 @@ fn run_observed(
             } else {
                 FastTrack::new()
             };
-            let obs = Observer::new(d);
+            let obs = Observer::with_sampling(d, Arc::new(Registry::new()), sample_rate);
             let report = replay(trace, &obs);
             Replayed {
                 report,
@@ -467,6 +504,8 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let mut explain = false;
     let mut tolerate = false;
     let mut workers = 0usize;
+    let mut sample_rate = crace_model::DEFAULT_SAMPLE_EVERY;
+    let mut trace_out: Option<String> = None;
     let opts = parse_replay_opts(args, |arg, it| {
         match arg {
             "--json" => json = true,
@@ -477,6 +516,13 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
                 let n = it.next().ok_or("--workers needs a count")?;
                 workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
             }
+            "--sample-rate" => {
+                let n = it
+                    .next()
+                    .ok_or("--sample-rate needs a period (0 disables)")?;
+                sample_rate = n.parse().map_err(|_| format!("bad sample rate `{n}`"))?;
+            }
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a file")?.clone()),
             _ if arg.starts_with("--metrics=") => {
                 metrics = Some(arg["--metrics=".len()..].to_string());
             }
@@ -510,6 +556,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
             opts.detector
         );
     }
+    let tracer = trace_out.as_ref().map(|_| Arc::new(Tracer::new()));
     let run = run_observed(
         &trace,
         &spec,
@@ -517,7 +564,12 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
         &opts.detector,
         workers,
         explain,
+        sample_rate,
+        tracer.as_ref(),
     )?;
+    if let (Some(path), Some(tracer)) = (&trace_out, &tracer) {
+        write_span_trace(path, tracer)?;
+    }
 
     if json {
         print!("{}", run.report.to_json());
@@ -564,7 +616,16 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
         Err(failure) => return torn_exit(failure),
     };
     let (spec, spec_source, trace) = (loaded.spec, loaded.spec_source, loaded.trace);
-    let run = run_observed(&trace, &spec, &spec_source, &opts.detector, 0, false)?;
+    let run = run_observed(
+        &trace,
+        &spec,
+        &spec_source,
+        &opts.detector,
+        0,
+        false,
+        crace_model::DEFAULT_SAMPLE_EVERY,
+        None,
+    )?;
     match format.as_str() {
         "json" => print!("{}", run.snapshot.to_json()),
         "prom" => print!("{}", run.snapshot.to_prometheus()),
@@ -583,18 +644,220 @@ fn objects_of(trace: &Trace) -> BTreeSet<ObjId> {
         .collect()
 }
 
+/// Writes a tracer's Chrome trace-event JSON to `path` (self-checked
+/// against the RFC 8259 validator first) and prints a one-line summary
+/// on stderr. Open the file in `chrome://tracing` or Perfetto.
+fn write_span_trace(path: &str, tracer: &Tracer) -> Result<(), String> {
+    let chrome = tracer.to_chrome_json();
+    crace_obs::json::validate(&chrome)
+        .map_err(|e| format!("internal: chrome trace export is not valid JSON: {e}"))?;
+    std::fs::write(path, &chrome).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!(
+        "trace: wrote {} span event(s) across {} lane(s) ({} dropped) to `{path}`",
+        tracer.recorded(),
+        tracer.lanes().len(),
+        tracer.dropped()
+    );
+    Ok(())
+}
+
+/// Replays a trace through rd2 with span tracing on every phase and
+/// exports the timeline: Chrome trace-event JSON via `--out` (stdout when
+/// no output is chosen) and/or collapsed flamegraph stacks via
+/// `--folded`. `--workers N` profiles the sharded parallel pipeline
+/// (with epoch GC enabled so sweeps show up); the serial path records a
+/// sampled `rd2.on_action` timeline (`--sample-rate`, default every
+/// action).
+fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
+    let mut workers = 0usize;
+    let mut out: Option<String> = None;
+    let mut folded: Option<String> = None;
+    let mut sample_rate = 1u64;
+    let opts = parse_replay_opts(args, |arg, it| {
+        match arg {
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+            }
+            "--sample-rate" => {
+                let n = it.next().ok_or("--sample-rate needs a period")?;
+                sample_rate = n.parse().map_err(|_| format!("bad sample rate `{n}`"))?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+            "--folded" => folded = Some(it.next().ok_or("--folded needs a file")?.clone()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    if opts.detector != "rd2" {
+        return Err(format!(
+            "profile instruments the rd2 detector only, not `{}`",
+            opts.detector
+        ));
+    }
+    let loaded = match load_trace(&opts, false) {
+        Ok(loaded) => loaded,
+        Err(failure) => return torn_exit(failure),
+    };
+    let compiled = Arc::new(
+        translate(&loaded.spec)
+            .map_err(|e| render_translate_error(&e, &loaded.spec, &loaded.spec_source))?,
+    );
+    let tracer = Arc::new(Tracer::new());
+    let report = if workers > 0 {
+        let cfg = ParallelConfig {
+            gc_every: PROFILE_GC_EVERY,
+            tracer: Some(Arc::clone(&tracer)),
+            ..ParallelConfig::default()
+        };
+        let d = ParallelRd2::with_config(workers, cfg);
+        for obj in objects_of(&loaded.trace) {
+            d.register(obj, Arc::clone(&compiled));
+        }
+        replay(&loaded.trace, &d)
+    } else {
+        let d = TraceDetector::with_tracer(&tracer, sample_rate);
+        for obj in objects_of(&loaded.trace) {
+            d.register(obj, Arc::clone(&compiled));
+        }
+        replay(&loaded.trace, &d)
+    };
+    eprintln!(
+        "profile: {} event(s) replayed, races: {}; {} span event(s), {} dropped",
+        loaded.trace.len(),
+        report,
+        tracer.recorded(),
+        tracer.dropped()
+    );
+    for lane in tracer.lanes() {
+        eprintln!(
+            "  lane {:<12} {} event(s), {} dropped",
+            lane.name(),
+            lane.len(),
+            lane.dropped()
+        );
+    }
+    if let Some(path) = &out {
+        write_span_trace(path, &tracer)?;
+    }
+    if let Some(path) = &folded {
+        std::fs::write(path, tracer.to_folded())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("trace: wrote collapsed stacks to `{path}`");
+    }
+    if out.is_none() && folded.is_none() {
+        let chrome = tracer.to_chrome_json();
+        crace_obs::json::validate(&chrome)
+            .map_err(|e| format!("internal: chrome trace export is not valid JSON: {e}"))?;
+        print!("{chrome}");
+    }
+    Ok(if report.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
+/// Extracts `(id, ns_per_event)` per row from a `BENCH_per_event.json`
+/// snapshot. Lenient about extra fields (`meta`, `speedup_*`), so old
+/// and new snapshots may differ in schema revision.
+fn load_bench_rows(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let json = crace_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or(format!("{path}: missing `rows` array"))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let id = row
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}: row {i} has no `id`"))?;
+            let ns = row
+                .get("ns_per_event")
+                .and_then(Json::as_f64)
+                .ok_or(format!("{path}: row `{id}` has no `ns_per_event`"))?;
+            Ok((id.to_string(), ns))
+        })
+        .collect()
+}
+
+/// Compares two bench snapshots row by row: prints the per-event-cost
+/// delta for every row present in both, notes added/removed rows, and
+/// exits 2 when any shared row slowed down by more than the threshold
+/// (percent, default 10).
+fn cmd_bench_diff(args: &[String]) -> Result<ExitCode, String> {
+    let old_path = args.first().ok_or("expected <old.json> <new.json>")?;
+    let new_path = args.get(1).ok_or("expected <old.json> <new.json>")?;
+    let mut threshold = 10.0f64;
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let n = it.next().ok_or("--threshold needs a percentage")?;
+                threshold = n.parse().map_err(|_| format!("bad threshold `{n}`"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let old = load_bench_rows(old_path)?;
+    let new = load_bench_rows(new_path)?;
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "row", "old ns/ev", "new ns/ev", "delta"
+    );
+    let mut regressions = 0usize;
+    for (id, old_ns) in &old {
+        match new.iter().find(|(nid, _)| nid == id) {
+            Some((_, new_ns)) => {
+                // Sub-nanosecond rows (the noop baseline) are pure jitter;
+                // never flag them.
+                let delta = if *old_ns >= 1.0 {
+                    (new_ns - old_ns) / old_ns * 100.0
+                } else {
+                    0.0
+                };
+                let flag = if delta > threshold {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!("{id:<34} {old_ns:>12.3} {new_ns:>12.3} {delta:>+7.1}%{flag}");
+            }
+            None => println!("{id:<34} {old_ns:>12.3} {:>12}  (row removed)", "-"),
+        }
+    }
+    for (id, new_ns) in &new {
+        if !old.iter().any(|(oid, _)| oid == id) {
+            println!("{id:<34} {:>12} {new_ns:>12.3}  (new row)", "-");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench-diff: {regressions} row(s) regressed beyond {threshold}%");
+        Ok(ExitCode::from(2))
+    } else {
+        println!("bench-diff: no row regressed beyond {threshold}%");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
-    use crace_runtime::explore::{explore, shrink, ExploreConfig};
+    use crace_runtime::explore::{explore_traced, shrink, ExploreConfig};
 
     let program_path = args.first().ok_or("expected a program file")?.clone();
     let mut cfg = ExploreConfig::default();
     let mut do_shrink = false;
     let mut out_stem: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-dpor" => cfg.dpor = false,
+            "--trace-out" => trace_out = it.next().cloned(),
             "--max-schedules" => {
                 let n = it.next().ok_or("--max-schedules needs a count")?;
                 cfg.max_schedules = n.parse().map_err(|_| format!("bad count `{n}`"))?;
@@ -631,7 +894,11 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
         if cfg.dpor { "on" } else { "off" }
     );
 
-    let report = explore(&program, &cfg);
+    let tracer = trace_out.as_ref().map(|_| Tracer::new());
+    let report = explore_traced(&program, &cfg, tracer.as_ref());
+    if let (Some(path), Some(tracer)) = (&trace_out, &tracer) {
+        write_span_trace(path, tracer)?;
+    }
     let mut stats = report.stats;
     println!(
         "schedules: {} explored, {} pruned, {} bounded{}",
@@ -715,14 +982,16 @@ fn cmd_frame(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
-    use crace_runtime::chaos::{run_chaos, ChaosConfig};
+    use crace_runtime::chaos::{run_chaos_traced, ChaosConfig};
 
     let program_path = args.first().ok_or("expected a program file")?.clone();
     let mut cfg = ChaosConfig::default();
     let mut metrics: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-out" => trace_out = it.next().cloned(),
             "--seed" => {
                 let n = it.next().ok_or("--seed needs a number")?;
                 cfg.seed = n.parse().map_err(|_| format!("bad seed `{n}`"))?;
@@ -767,7 +1036,11 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
         cfg.faults
     );
 
-    let report = run_chaos(&program, &cfg);
+    let tracer = trace_out.as_ref().map(|_| Tracer::new());
+    let report = run_chaos_traced(&program, &cfg, tracer.as_ref());
+    if let (Some(path), Some(tracer)) = (&trace_out, &tracer) {
+        write_span_trace(path, tracer)?;
+    }
     println!(
         "faults: {} fired across {} trial(s); {} thread(s) killed, {} abandoned, {} lock(s) poisoned",
         report.faults_fired,

@@ -25,6 +25,9 @@ use std::sync::Arc;
 /// See the crate-level example, which runs the Fig. 3 trace.
 pub struct TraceDetector {
     inner: Mutex<Inner>,
+    /// When set, `on_action` records sampled spans into a tracer lane
+    /// (see [`TraceDetector::with_tracer`]); `None` costs one branch.
+    tracer: Option<crace_obs::SampledSpans>,
 }
 
 struct Inner {
@@ -81,6 +84,7 @@ impl TraceDetector {
                 abandoned: HashSet::new(),
                 shed: 0,
             }),
+            tracer: None,
         }
     }
 
@@ -92,6 +96,21 @@ impl TraceDetector {
     pub fn with_provenance(window: usize) -> TraceDetector {
         let detector = TraceDetector::new();
         detector.inner.lock().provenance_window = Some(window);
+        detector
+    }
+
+    /// Creates a detector that records one-in-`sample_every` `on_action`
+    /// dispatches as spans on `tracer`'s `rd2` lane (phase
+    /// `rd2.on_action`), like [`crate::Rd2::with_tracer`].
+    /// `sample_every == 0` disables the sampling.
+    pub fn with_tracer(tracer: &crace_obs::Tracer, sample_every: u64) -> TraceDetector {
+        let mut detector = TraceDetector::new();
+        detector.tracer = Some(crace_obs::SampledSpans::new(
+            tracer,
+            "rd2",
+            "rd2.on_action",
+            sample_every,
+        ));
         detector
     }
 
@@ -224,6 +243,10 @@ impl Analysis for TraceDetector {
     }
 
     fn on_action(&self, tid: ThreadId, action: &Action) {
+        let _span = self
+            .tracer
+            .as_ref()
+            .and_then(crace_obs::SampledSpans::maybe);
         let inner = &mut *self.inner.lock();
         if inner.sheds(&[tid]) {
             return;

@@ -43,6 +43,7 @@ use crate::points::CompiledSpec;
 use crace_model::{
     Action, Analysis, Event, LockId, ObjId, RaceKind, RaceRecord, RaceReport, ThreadId, Trace,
 };
+use crace_obs::trace::{Lane, PhaseId, Tracer};
 use crace_obs::Registry;
 use crace_vclock::{ClockStats, SyncClocks, VectorClock};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -82,6 +83,13 @@ pub struct ParallelConfig {
     /// worker; `0` disables GC. Enabling GC assumes a fork-structured
     /// stream (every thread except the root enters via a fork event).
     pub gc_every: usize,
+    /// When set, the pipeline records span timelines into this tracer:
+    /// ingress batch pushes, sync broadcasts, per-worker batch dispatch,
+    /// GC sweeps, and the report merge, plus ring-queue-depth counter
+    /// samples. `None` (the default) records nothing and adds no work to
+    /// any path — the same double-gating discipline as
+    /// `provenance_window`.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ParallelConfig {
@@ -92,6 +100,7 @@ impl Default for ParallelConfig {
             mode: ClockMode::Adaptive,
             provenance_window: None,
             gc_every: 0,
+            tracer: None,
         }
     }
 }
@@ -291,6 +300,29 @@ impl Ring {
         self.can_pop.notify_all();
         self.can_push.notify_all();
     }
+
+    /// Batches currently queued (traced runs sample this after pushes).
+    fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+}
+
+/// Pre-resolved tracing handles of the ingress side; present only when
+/// [`ParallelConfig::tracer`] is set.
+struct IngressTrace {
+    lane: Arc<Lane>,
+    p_ingress: PhaseId,
+    p_sync: PhaseId,
+    p_merge: PhaseId,
+    p_depth: PhaseId,
+}
+
+/// Pre-resolved tracing handles of one worker thread.
+#[derive(Clone)]
+struct WorkerTrace {
+    lane: Arc<Lane>,
+    p_batch: PhaseId,
+    p_gc: PhaseId,
 }
 
 /// Lock-free per-worker counters, shared between the worker thread and
@@ -433,6 +465,7 @@ pub struct ParallelRd2 {
     shed: AtomicU64,
     events_in: AtomicU64,
     sync_broadcasts: AtomicU64,
+    trace: Option<IngressTrace>,
 }
 
 impl ParallelRd2 {
@@ -488,10 +521,17 @@ impl ParallelRd2 {
                 let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("crace-rd2-w{w}"))
-                    .spawn(move || worker_main(&ring, &shared, &cfg))
+                    .spawn(move || worker_main(&ring, &shared, &cfg, w))
                     .expect("spawn detector worker")
             })
             .collect();
+        let trace = cfg.tracer.as_ref().map(|t| IngressTrace {
+            lane: t.lane("ingress"),
+            p_ingress: t.phase("parallel.ingress"),
+            p_sync: t.phase("parallel.sync"),
+            p_merge: t.phase("parallel.merge"),
+            p_depth: t.phase("parallel.queue_depth"),
+        });
         ParallelRd2 {
             ingress: Mutex::new(Ingress {
                 seq: 0,
@@ -509,6 +549,7 @@ impl ParallelRd2 {
             shed: AtomicU64::new(0),
             events_in: AtomicU64::new(0),
             sync_broadcasts: AtomicU64::new(0),
+            trace,
         }
     }
 
@@ -543,7 +584,16 @@ impl ParallelRd2 {
             return;
         }
         let batch = std::mem::take(&mut ingress.pending[w]);
+        let span = self.trace.as_ref().map(|t| {
+            let mut span = t.lane.span(t.p_ingress);
+            span.set_aux(batch.len() as u64);
+            span
+        });
         ingress.pending[w] = self.rings[w].push(batch, &self.shared[w]);
+        drop(span);
+        if let Some(t) = &self.trace {
+            t.lane.counter(t.p_depth, self.rings[w].depth() as u64);
+        }
     }
 
     /// Ingress shed filter (identical to the serial detectors): one shed
@@ -576,6 +626,7 @@ impl ParallelRd2 {
         ingress.seq += 1;
         self.events_in.fetch_add(1, Ordering::Relaxed);
         self.sync_broadcasts.fetch_add(1, Ordering::Relaxed);
+        let _span = self.trace.as_ref().map(|t| t.lane.span(t.p_sync));
         apply(&mut ingress.sync);
         for w in 0..self.workers {
             self.enqueue(&mut ingress, w, make());
@@ -692,6 +743,11 @@ impl ParallelRd2 {
         let mut start = 0usize;
         while start < events.len() {
             let end = start.saturating_add(self.cfg.batch).min(events.len());
+            let _span = self.trace.as_ref().map(|t| {
+                let mut span = t.lane.span(t.p_ingress);
+                span.set_aux((end - start) as u64);
+                span
+            });
             let mut picks: Vec<Vec<u32>> = vec![Vec::new(); self.workers];
             let mut sets: Vec<ClockSet> = Vec::new();
             let (mut syncs, mut actions) = (0u64, 0u64);
@@ -911,6 +967,7 @@ impl Analysis for ParallelRd2 {
     /// ingress sequence number of their action, and rebuilds the report —
     /// bit-for-bit what the serial detector would have produced.
     fn report(&self) -> RaceReport {
+        let _span = self.trace.as_ref().map(|t| t.lane.span(t.p_merge));
         let findings = self.collect();
         let mut detailed: Vec<(u64, RaceRecord)> = Vec::new();
         for f in &findings {
@@ -977,10 +1034,12 @@ struct WorkerState {
     /// and clock statistics survive state reclamation.
     folded_probes: u64,
     folded_stats: ClockStats,
+    /// Tracing handles for the GC sweep span; `None` when untraced.
+    trace: Option<WorkerTrace>,
 }
 
 impl WorkerState {
-    fn new(cfg: &ParallelConfig) -> WorkerState {
+    fn new(cfg: &ParallelConfig, trace: Option<WorkerTrace>) -> WorkerState {
         WorkerState {
             mode: cfg.mode,
             provenance_window: cfg.provenance_window,
@@ -996,6 +1055,7 @@ impl WorkerState {
             gc_retired: 0,
             folded_probes: 0,
             folded_stats: ClockStats::default(),
+            trace,
         }
     }
 
@@ -1170,6 +1230,7 @@ impl WorkerState {
             return;
         }
         self.since_gc = 0;
+        let _span = self.trace.as_ref().map(|t| t.lane.span(t.p_gc));
         let mut watermark: Option<VectorClock> = None;
         for &tid in &self.live {
             match self.sync.peek_clock(tid) {
@@ -1223,10 +1284,19 @@ impl WorkerState {
 
 /// The worker loop: drain batches, process each message under a panic
 /// shield, answer report barriers even when degraded.
-fn worker_main(ring: &Ring, shared: &WorkerShared, cfg: &ParallelConfig) {
-    let mut state = WorkerState::new(cfg);
+fn worker_main(ring: &Ring, shared: &WorkerShared, cfg: &ParallelConfig, w: usize) {
+    let trace = cfg.tracer.as_ref().map(|t| WorkerTrace {
+        lane: t.lane(&format!("worker{w}")),
+        p_batch: t.phase("parallel.worker"),
+        p_gc: t.phase("parallel.gc"),
+    });
+    let mut state = WorkerState::new(cfg, trace.clone());
     while let Some(mut batch) = ring.pop(shared) {
         shared.batches.fetch_add(1, Ordering::Relaxed);
+        // The batch span's `aux` accumulates exactly what `events` gets:
+        // the span-derived per-worker occupancy share is the counter-based
+        // `parallel.*` one by construction.
+        let mut span = trace.as_ref().map(|t| t.lane.span(t.p_batch));
         for msg in batch.drain(..) {
             if let Msg::Collect(reply) = msg {
                 // Fail-open report path: a panic while snapshotting trips
@@ -1247,6 +1317,9 @@ fn worker_main(ring: &Ring, shared: &WorkerShared, cfg: &ParallelConfig) {
             match catch_unwind(AssertUnwindSafe(|| state.process(msg))) {
                 Ok(processed) => {
                     shared.events.fetch_add(processed, Ordering::Relaxed);
+                    if let Some(span) = span.as_mut() {
+                        span.add_aux(processed);
+                    }
                 }
                 Err(_) => {
                     shared.panics.fetch_add(1, Ordering::Relaxed);
@@ -1254,6 +1327,7 @@ fn worker_main(ring: &Ring, shared: &WorkerShared, cfg: &ParallelConfig) {
                 }
             }
         }
+        drop(span);
         ring.recycle(batch);
     }
 }

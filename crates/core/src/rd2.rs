@@ -74,6 +74,9 @@ pub struct Rd2 {
     has_abandoned: AtomicBool,
     /// Events shed because they named an abandoned thread.
     shed: AtomicU64,
+    /// When set, `on_action` records sampled spans into a tracer lane
+    /// (see [`Rd2::with_tracer`]); `None` costs one branch per action.
+    tracer: Option<crace_obs::SampledSpans>,
 }
 
 struct ObjEntry {
@@ -102,6 +105,7 @@ impl Rd2 {
             abandoned: RwLock::new(HashSet::new()),
             has_abandoned: AtomicBool::new(false),
             shed: AtomicU64::new(0),
+            tracer: None,
         }
     }
 
@@ -115,6 +119,22 @@ impl Rd2 {
     pub fn with_provenance(window: usize) -> Rd2 {
         Rd2 {
             provenance_window: Some(window),
+            ..Rd2::new()
+        }
+    }
+
+    /// Creates a detector that records one-in-`sample_every` `on_action`
+    /// dispatches as spans on `tracer`'s `rd2` lane (phase
+    /// `rd2.on_action`). `sample_every == 0` disables the sampling; the
+    /// untraced constructors skip even the sampling branch's atomic.
+    pub fn with_tracer(tracer: &crace_obs::Tracer, sample_every: u64) -> Rd2 {
+        Rd2 {
+            tracer: Some(crace_obs::SampledSpans::new(
+                tracer,
+                "rd2",
+                "rd2.on_action",
+                sample_every,
+            )),
             ..Rd2::new()
         }
     }
@@ -262,6 +282,10 @@ impl Analysis for Rd2 {
         if self.sheds(&[tid]) {
             return;
         }
+        let _span = self
+            .tracer
+            .as_ref()
+            .and_then(crace_obs::SampledSpans::maybe);
         let entry = match self.shard(action.obj()).read().get(&action.obj()) {
             Some(e) => Arc::clone(e),
             None => return,

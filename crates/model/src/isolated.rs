@@ -53,7 +53,24 @@ pub struct Isolated<A> {
     events_shed: AtomicU64,
     /// Message of the most recent caught panic, for diagnostics.
     last_panic: Mutex<Option<String>>,
+    /// When set, quarantine transitions and shed progress are recorded
+    /// onto a tracer lane (see [`Isolated::with_tracer`]).
+    trace: Option<ShieldTrace>,
 }
+
+/// Pre-resolved tracing handles of the shield: an instant event per
+/// caught panic (the quarantine transition) and a running shed counter
+/// sampled every [`SHED_SAMPLE`] shed events.
+struct ShieldTrace {
+    lane: std::sync::Arc<crace_obs::Lane>,
+    p_panic: crace_obs::PhaseId,
+    p_shed: crace_obs::PhaseId,
+}
+
+/// Sampling stride of the shed-counter trace events: dense enough to see
+/// degradation progress on a timeline, sparse enough to stay off the
+/// per-event cost profile.
+const SHED_SAMPLE: u64 = 64;
 
 impl<A: Analysis> Isolated<A> {
     /// Wraps `inner` in a fresh, un-quarantined shield.
@@ -64,7 +81,22 @@ impl<A: Analysis> Isolated<A> {
             analysis_panics: AtomicU64::new(0),
             events_shed: AtomicU64::new(0),
             last_panic: Mutex::new(None),
+            trace: None,
         }
+    }
+
+    /// Wraps `inner` in a shield that records its degradation timeline
+    /// onto `tracer`'s `shield` lane: one `shield.panic` instant per
+    /// caught panic and a `shield.shed` counter sample every
+    /// 64 shed events (plus the first).
+    pub fn with_tracer(inner: A, tracer: &crace_obs::Tracer) -> Isolated<A> {
+        let mut isolated = Isolated::new(inner);
+        isolated.trace = Some(ShieldTrace {
+            lane: tracer.lane("shield"),
+            p_panic: tracer.phase("shield.panic"),
+            p_shed: tracer.phase("shield.shed"),
+        });
+        isolated
     }
 
     /// The wrapped analysis. Its shadow state is suspect once
@@ -127,6 +159,9 @@ impl<A: Analysis> Isolated<A> {
     /// trips the quarantine.
     fn trip(&self, payload: Box<dyn std::any::Any + Send>) {
         self.analysis_panics.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.lane.instant(t.p_panic);
+        }
         let msg = payload
             .downcast_ref::<&str>()
             .map(|s| s.to_string())
@@ -148,7 +183,12 @@ impl<A: Analysis> Isolated<A> {
     /// except through the equally shielded `report()` path.
     fn shield(&self, f: impl FnOnce()) {
         if self.quarantined() {
-            self.events_shed.fetch_add(1, Ordering::Relaxed);
+            let shed = self.events_shed.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(t) = &self.trace {
+                if shed % SHED_SAMPLE == 1 {
+                    t.lane.counter(t.p_shed, shed);
+                }
+            }
             return;
         }
         if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {

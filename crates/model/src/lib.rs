@@ -49,7 +49,7 @@ pub use analysis::{Analysis, NoopAnalysis};
 pub use event::Event;
 pub use ids::{LocId, LockId, MethodId, ObjId, ThreadId};
 pub use isolated::Isolated;
-pub use observe::Observer;
+pub use observe::{Observer, DEFAULT_SAMPLE_EVERY};
 pub use recorder::Recorder;
 pub use report::{Provenance, RaceKind, RaceRecord, RaceReport};
 pub use trace::{replay, Trace};

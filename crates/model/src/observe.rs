@@ -25,7 +25,7 @@ const KIND_NAMES: [&str; KINDS] = [
 
 /// Default sampling period for dispatch timing: time one event in 64.
 /// Counting stays exact; only the latency histogram is sampled.
-const DEFAULT_SAMPLE_EVERY: u64 = 64;
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
 
 /// Wraps an [`Analysis`], forwarding every callback while recording
 /// per-kind event counters (`<name>.events.<kind>`, exact) and sampled
@@ -72,6 +72,15 @@ impl<A: Analysis> Observer<A> {
     /// can span several observed detectors, or application metrics).
     pub fn with_registry(inner: A, registry: Arc<Registry>) -> Observer<A> {
         Observer::with_sampling(inner, registry, DEFAULT_SAMPLE_EVERY)
+    }
+
+    /// Wraps `inner` with a fresh registry and an explicit dispatch-latency
+    /// sampling rate: time one event in `rate` (`1` times every dispatch,
+    /// `0` disables timing). Event counting stays exact regardless. The
+    /// default rate is [`DEFAULT_SAMPLE_EVERY`] (64), surfaced on the CLI
+    /// as `crace replay --metrics --sample-rate <n>`.
+    pub fn with_sample_rate(inner: A, rate: u64) -> Observer<A> {
+        Observer::with_sampling(inner, Arc::new(Registry::new()), rate)
     }
 
     /// Full-control constructor: `sample_every` = 1 times every dispatch

@@ -16,8 +16,12 @@
 //!   JSON ([`Snapshot::to_json`]) and to the Prometheus text exposition
 //!   format ([`Snapshot::to_prometheus`]) via hand-written writers (the
 //!   workspace builds offline; no serde),
-//! * [`json`] — a dependency-free JSON syntax checker used by the CLI
-//!   tests and available to anything that consumes the JSON snapshots.
+//! * [`json`] — a dependency-free JSON syntax checker and small value
+//!   parser used by the CLI tests and anything consuming JSON snapshots,
+//! * [`trace`] — a lock-free structured-tracing subsystem ([`Tracer`] /
+//!   [`Lane`] / [`SpanGuard`]): bounded drop-oldest span ring buffers per
+//!   worker, Chrome trace-event JSON and collapsed-stack flamegraph
+//!   exports, and derived timeline metrics fed back into a [`Registry`].
 //!
 //! Consistent with the vendored-shims build, this crate depends on
 //! nothing — not even the other `crace` crates — so any layer (model,
@@ -46,8 +50,12 @@ pub mod json;
 mod metric;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSummary, NUM_BUCKETS};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
-pub use snapshot::{MetricValue, Snapshot};
+pub use snapshot::{prom_escape_label, MetricValue, Snapshot};
+pub use trace::{
+    EventKind, Lane, PhaseId, SampledSpans, SpanGuard, TraceEvent, Tracer, DEFAULT_LANE_CAPACITY,
+};

@@ -47,6 +47,28 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Escapes `s` as a Prometheus label *value* (exposition format 0.0.4):
+/// backslash, double quote, and newline are the only characters that need
+/// escaping inside `label="..."`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(crace_obs::prom_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+/// ```
+pub fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Mangles a dotted metric name into a Prometheus identifier:
 /// `rd2.event.ns` → `crace_rd2_event_ns`.
 fn prom_name(name: &str) -> String {
@@ -142,9 +164,9 @@ impl Snapshot {
                 }
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(out, "# TYPE {id} summary");
-                    let _ = writeln!(out, "{id}{{quantile=\"0.5\"}} {}", h.p50);
-                    let _ = writeln!(out, "{id}{{quantile=\"0.95\"}} {}", h.p95);
-                    let _ = writeln!(out, "{id}{{quantile=\"0.99\"}} {}", h.p99);
+                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                        let _ = writeln!(out, "{id}{{quantile=\"{}\"}} {v}", prom_escape_label(q));
+                    }
                     let _ = writeln!(out, "{id}_sum {}", h.sum);
                     let _ = writeln!(out, "{id}_count {}", h.count);
                 }

@@ -1,0 +1,818 @@
+//! Lock-free structured tracing: span timelines for the detection pipeline.
+//!
+//! Counters and histograms ([`crate::Registry`]) answer *how much*; this
+//! module answers *where time goes, over time*. A [`Tracer`] owns a set of
+//! [`Lane`]s — one per worker thread or pipeline stage — and each lane is a
+//! bounded ring of fixed-size event slots written with plain atomic stores:
+//! recording a span never takes a lock, never allocates, and never blocks
+//! the detector hot path. When the ring fills, the oldest events are
+//! overwritten (drop-oldest) and [`Lane::dropped`] counts how many were
+//! lost, so a trace is always a *suffix* of the run with an explicit gap
+//! size rather than a silent truncation.
+//!
+//! Spans are recorded through the RAII [`SpanGuard`]: opening captures a
+//! start timestamp, dropping writes one complete event (start + duration +
+//! an optional `aux` payload such as events-per-batch). Instant events and
+//! counter samples share the same slot format.
+//!
+//! Two export formats, both dependency-free:
+//!
+//! * [`Tracer::to_chrome_json`] — Chrome trace-event JSON (`ph: "X"/"i"/"C"`)
+//!   that loads directly in `chrome://tracing` and Perfetto, valid per the
+//!   sibling [`crate::json`] validator,
+//! * [`Tracer::to_folded`] — collapsed-stack flamegraph text
+//!   (`lane;outer;inner <self-ns>` lines) for `flamegraph.pl`/speedscope.
+//!
+//! [`Tracer::feed_timeline`] derives summary metrics (per-lane occupancy,
+//! per-phase duration histograms, counter-sample peaks) into a metrics
+//! [`crate::Registry`] so span data reaches the same `Snapshot` surface as
+//! everything else.
+//!
+//! Concurrency contract: any number of threads may record into the same
+//! lane concurrently (slot claim is a single `fetch_add`); exports are
+//! intended to run after the traced activity has quiesced (workers joined).
+//! Exporting while writers are live is memory-safe but may observe torn or
+//! partially overwritten slots, which are skipped.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// Default per-lane ring capacity, in events.
+pub const DEFAULT_LANE_CAPACITY: usize = 16 * 1024;
+
+const KIND_EMPTY: u64 = 0;
+const KIND_SPAN: u64 = 1;
+const KIND_INSTANT: u64 = 2;
+const KIND_COUNTER: u64 = 3;
+
+/// An interned phase (span/event) name, cheap to copy into hot paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhaseId(u16);
+
+/// What one recorded trace event is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete span: `ts_ns..ts_ns + dur_ns`, Chrome `ph: "X"`.
+    Span,
+    /// A point-in-time marker, Chrome `ph: "i"`.
+    Instant,
+    /// A sampled counter value (in `aux`), Chrome `ph: "C"`.
+    Counter,
+}
+
+/// One decoded event read back out of a lane's ring.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Span, instant, or counter sample.
+    pub kind: EventKind,
+    /// Which interned phase name this event belongs to.
+    pub phase: PhaseId,
+    /// Start time, nanoseconds since the owning [`Tracer`]'s epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants and counters).
+    pub dur_ns: u64,
+    /// Free payload: events-per-batch for spans, value for counters.
+    pub aux: u64,
+}
+
+/// One ring slot: four plain atomics, written without locks.
+///
+/// `meta` packs the event kind (low 16 bits) and phase id (next 16 bits);
+/// it is stored last with `Release` so a decoded non-empty `meta` implies
+/// the payload words were written by the same push (modulo lapping, which
+/// the export path tolerates by design).
+struct Slot {
+    meta: AtomicU64,
+    ts: AtomicU64,
+    dur: AtomicU64,
+    aux: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            meta: AtomicU64::new(KIND_EMPTY),
+            ts: AtomicU64::new(0),
+            dur: AtomicU64::new(0),
+            aux: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded, drop-oldest ring of trace events, usually one per worker
+/// thread or pipeline stage. Created via [`Tracer::lane`].
+pub struct Lane {
+    name: String,
+    id: u32,
+    epoch: Instant,
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl Lane {
+    fn new(name: String, id: u32, epoch: Instant, capacity: usize) -> Lane {
+        let capacity = capacity.max(1);
+        Lane {
+            name,
+            id,
+            epoch,
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The lane's name, as passed to [`Tracer::lane`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nanoseconds elapsed since the owning tracer's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn push(&self, kind: u64, phase: PhaseId, ts_ns: u64, dur_ns: u64, aux: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        // Invalidate first so a concurrent reader lapped mid-write skips
+        // the slot instead of pairing a stale payload with a fresh meta.
+        slot.meta.store(KIND_EMPTY, Ordering::Release);
+        slot.ts.store(ts_ns, Ordering::Relaxed);
+        slot.dur.store(dur_ns, Ordering::Relaxed);
+        slot.aux.store(aux, Ordering::Relaxed);
+        slot.meta
+            .store(kind | (u64::from(phase.0) << 16), Ordering::Release);
+    }
+
+    /// Opens a span; the event is recorded when the guard drops.
+    #[inline]
+    pub fn span(self: &Arc<Self>, phase: PhaseId) -> SpanGuard {
+        SpanGuard {
+            start_ns: self.now_ns(),
+            lane: Arc::clone(self),
+            phase,
+            aux: 0,
+        }
+    }
+
+    /// Records a point-in-time marker.
+    #[inline]
+    pub fn instant(&self, phase: PhaseId) {
+        self.push(KIND_INSTANT, phase, self.now_ns(), 0, 0);
+    }
+
+    /// Records a sampled counter value (e.g. current queue depth).
+    #[inline]
+    pub fn counter(&self, phase: PhaseId, value: u64) {
+        self.push(KIND_COUNTER, phase, self.now_ns(), 0, value);
+    }
+
+    /// Total events ever pushed into this lane, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events currently resident in the ring.
+    pub fn len(&self) -> usize {
+        self.recorded().min(self.slots.len() as u64) as usize
+    }
+
+    /// `true` when no event has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// Events lost to drop-oldest overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Decodes the resident events, oldest first by push order.
+    ///
+    /// Run this after the traced activity quiesces for exact results;
+    /// concurrent pushes may lap slots, which are skipped when torn.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let n = head.min(cap);
+        let mut out = Vec::with_capacity(n as usize);
+        for seq in head - n..head {
+            let slot = &self.slots[(seq % cap) as usize];
+            let meta = slot.meta.load(Ordering::Acquire);
+            let kind = match meta & 0xffff {
+                KIND_SPAN => EventKind::Span,
+                KIND_INSTANT => EventKind::Instant,
+                KIND_COUNTER => EventKind::Counter,
+                _ => continue, // empty or torn mid-write
+            };
+            out.push(TraceEvent {
+                kind,
+                phase: PhaseId((meta >> 16) as u16),
+                ts_ns: slot.ts.load(Ordering::Relaxed),
+                dur_ns: slot.dur.load(Ordering::Relaxed),
+                aux: slot.aux.load(Ordering::Relaxed),
+            });
+        }
+        out
+    }
+}
+
+/// RAII span: opening captures the start time, dropping records one
+/// complete event into the lane. Owns its lane handle, so guards can be
+/// held across arbitrary scopes (GC sweeps, worker batches) without
+/// borrowing the surrounding state.
+pub struct SpanGuard {
+    lane: Arc<Lane>,
+    phase: PhaseId,
+    start_ns: u64,
+    aux: u64,
+}
+
+impl SpanGuard {
+    /// Sets the span's `aux` payload (e.g. events processed in a batch).
+    pub fn set_aux(&mut self, aux: u64) {
+        self.aux = aux;
+    }
+
+    /// Adds to the span's `aux` payload.
+    pub fn add_aux(&mut self, delta: u64) {
+        self.aux += delta;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = self.lane.now_ns();
+        self.lane.push(
+            KIND_SPAN,
+            self.phase,
+            self.start_ns,
+            end.saturating_sub(self.start_ns),
+            self.aux,
+        );
+    }
+}
+
+struct TracerInner {
+    phases: Vec<String>,
+    lanes: Vec<Arc<Lane>>,
+}
+
+/// The root of a trace: interns phase names, hands out lanes, exports.
+///
+/// Mirrors the metrics [`Registry`] contract: setup (creating lanes,
+/// interning phases) takes a lock once; recording through the returned
+/// handles never does.
+pub struct Tracer {
+    epoch: Instant,
+    inner: Mutex<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Tracer")
+            .field("phases", &inner.phases.len())
+            .field("lanes", &inner.lanes.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer; its epoch (time zero) is *now*.
+    pub fn new() -> Tracer {
+        Tracer {
+            epoch: Instant::now(),
+            inner: Mutex::new(TracerInner {
+                phases: Vec::new(),
+                lanes: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TracerInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Interns `name`, returning a copyable id for hot-path recording.
+    pub fn phase(&self, name: &str) -> PhaseId {
+        let mut inner = self.lock();
+        if let Some(i) = inner.phases.iter().position(|p| p == name) {
+            return PhaseId(i as u16);
+        }
+        assert!(inner.phases.len() < u16::MAX as usize, "too many phases");
+        inner.phases.push(name.to_string());
+        PhaseId((inner.phases.len() - 1) as u16)
+    }
+
+    /// The interned name behind `id`, if it exists.
+    pub fn phase_name(&self, id: PhaseId) -> Option<String> {
+        self.lock().phases.get(id.0 as usize).cloned()
+    }
+
+    /// Gets or creates the lane called `name` with the default capacity.
+    ///
+    /// Lanes are keyed by name: two detector instances sharing a tracer
+    /// share lanes (multi-writer pushes are safe), and re-creating a
+    /// detector per benchmark iteration does not grow the lane set.
+    pub fn lane(&self, name: &str) -> Arc<Lane> {
+        self.lane_with_capacity(name, DEFAULT_LANE_CAPACITY)
+    }
+
+    /// Gets or creates the lane called `name`; `capacity` (in events,
+    /// min 1) applies only if the lane does not already exist.
+    pub fn lane_with_capacity(&self, name: &str, capacity: usize) -> Arc<Lane> {
+        let mut inner = self.lock();
+        if let Some(lane) = inner.lanes.iter().find(|l| l.name == name) {
+            return Arc::clone(lane);
+        }
+        let lane = Arc::new(Lane::new(
+            name.to_string(),
+            inner.lanes.len() as u32,
+            self.epoch,
+            capacity,
+        ));
+        inner.lanes.push(Arc::clone(&lane));
+        lane
+    }
+
+    /// All lanes, in creation order.
+    pub fn lanes(&self) -> Vec<Arc<Lane>> {
+        self.lock().lanes.clone()
+    }
+
+    /// Total events recorded across every lane (including overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.lanes().iter().map(|l| l.recorded()).sum()
+    }
+
+    /// Total events lost to drop-oldest across every lane.
+    pub fn dropped(&self) -> u64 {
+        self.lanes().iter().map(|l| l.dropped()).sum()
+    }
+
+    /// Renders the whole trace as Chrome trace-event JSON.
+    ///
+    /// The output is an object with a `traceEvents` array — the format
+    /// `chrome://tracing` and Perfetto load natively. Spans become
+    /// complete events (`ph: "X"`, microsecond `ts`/`dur` with nanosecond
+    /// precision kept as fractions), instants `ph: "i"`, counter samples
+    /// `ph: "C"`. Every lane gets a `thread_name` metadata record.
+    pub fn to_chrome_json(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.lock();
+        let phases = inner.phases.clone();
+        let lanes = inner.lanes.clone();
+        drop(inner);
+
+        let phase_name =
+            |p: PhaseId| -> &str { phases.get(p.0 as usize).map_or("<unknown>", |s| s.as_str()) };
+        let us = |ns: u64| format!("{}.{:03}", ns / 1000, ns % 1000);
+
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        let mut emit = |out: &mut String, ev: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            out.push_str(&ev);
+        };
+        emit(
+            &mut out,
+            "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, \
+             \"args\": {\"name\": \"crace\"}}"
+                .to_string(),
+        );
+        for lane in &lanes {
+            emit(
+                &mut out,
+                format!(
+                    "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {}, \
+                     \"args\": {{\"name\": \"{}\"}}}}",
+                    lane.id,
+                    crate::json::escape(&lane.name)
+                ),
+            );
+        }
+        for lane in &lanes {
+            let mut events = lane.events();
+            events.sort_by_key(|e| e.ts_ns);
+            for e in events {
+                let name = crate::json::escape(phase_name(e.phase));
+                let body = match e.kind {
+                    EventKind::Span => format!(
+                        "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"crace\", \"pid\": 1, \
+                         \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{\"aux\": {}}}}}",
+                        name,
+                        lane.id,
+                        us(e.ts_ns),
+                        us(e.dur_ns),
+                        e.aux
+                    ),
+                    EventKind::Instant => format!(
+                        "{{\"ph\": \"i\", \"name\": \"{}\", \"cat\": \"crace\", \"pid\": 1, \
+                         \"tid\": {}, \"ts\": {}, \"s\": \"t\"}}",
+                        name,
+                        lane.id,
+                        us(e.ts_ns)
+                    ),
+                    EventKind::Counter => format!(
+                        "{{\"ph\": \"C\", \"name\": \"{}\", \"cat\": \"crace\", \"pid\": 1, \
+                         \"tid\": {}, \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                        name,
+                        lane.id,
+                        us(e.ts_ns),
+                        e.aux
+                    ),
+                };
+                emit(&mut out, body);
+            }
+        }
+        let dropped = lanes.iter().map(|l| l.dropped()).sum::<u64>();
+        let _ = write!(out, "\n], \"crace_dropped_events\": {dropped}}}");
+        out
+    }
+
+    /// Renders the trace as collapsed flamegraph stacks: one
+    /// `lane;outer;inner <self-time-ns>` line per distinct stack, sorted.
+    ///
+    /// Nesting is reconstructed from span intervals per lane (a span is a
+    /// child of the most recent still-open span); self-time is the span's
+    /// duration minus its children's. Partially overlapping spans from
+    /// concurrent writers into one lane are attributed as if nested —
+    /// an approximation documented here rather than an error.
+    pub fn to_folded(&self) -> String {
+        let inner = self.lock();
+        let phases = inner.phases.clone();
+        let lanes = inner.lanes.clone();
+        drop(inner);
+        let phase_name =
+            |p: PhaseId| -> &str { phases.get(p.0 as usize).map_or("<unknown>", |s| s.as_str()) };
+
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for lane in &lanes {
+            let mut spans: Vec<TraceEvent> = lane
+                .events()
+                .into_iter()
+                .filter(|e| e.kind == EventKind::Span)
+                .collect();
+            // Parents first at equal start times: longer span is the parent.
+            spans.sort_by(|a, b| a.ts_ns.cmp(&b.ts_ns).then(b.dur_ns.cmp(&a.dur_ns)));
+
+            // (end_ns, dur_ns, phase, child_ns)
+            let mut stack: Vec<(u64, u64, PhaseId, u64)> = Vec::new();
+            let pop_emit = |stack: &mut Vec<(u64, u64, PhaseId, u64)>,
+                            stacks: &mut BTreeMap<String, u64>| {
+                let (_, dur, phase, child) = stack.pop().expect("pop_emit on empty stack");
+                let mut path = lane.name.clone();
+                for (_, _, p, _) in stack.iter() {
+                    path.push(';');
+                    path.push_str(phase_name(*p));
+                }
+                path.push(';');
+                path.push_str(phase_name(phase));
+                *stacks.entry(path).or_insert(0) += dur.saturating_sub(child);
+            };
+            for s in spans {
+                while stack.last().is_some_and(|&(end, ..)| end <= s.ts_ns) {
+                    pop_emit(&mut stack, &mut stacks);
+                }
+                if let Some(top) = stack.last_mut() {
+                    top.3 += s.dur_ns;
+                }
+                stack.push((s.ts_ns + s.dur_ns, s.dur_ns, s.phase, 0));
+            }
+            while !stack.is_empty() {
+                pop_emit(&mut stack, &mut stacks);
+            }
+        }
+
+        let mut out = String::new();
+        for (path, ns) in stacks {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Derives timeline summary metrics into `registry`.
+    ///
+    /// Per lane: `trace.lane.<name>.occupancy` (union of span intervals
+    /// over the lane's active wall span, 0..=1), `.spans`, `.dropped`, and
+    /// `.aux_total` gauges. Per phase: a `trace.<phase>.ns` histogram of
+    /// span durations (so e.g. GC pause p99 lands in the snapshot) and,
+    /// for counter samples, `trace.<phase>.last` / `trace.<phase>.max`
+    /// gauges (e.g. peak ring-queue depth).
+    ///
+    /// Histograms accumulate: call once per completed run per registry.
+    pub fn feed_timeline(&self, registry: &Registry) {
+        let inner = self.lock();
+        let phases = inner.phases.clone();
+        let lanes = inner.lanes.clone();
+        drop(inner);
+
+        let mut hists: Vec<Option<Arc<crate::Histogram>>> = vec![None; phases.len()];
+        for lane in &lanes {
+            let mut events = lane.events();
+            events.sort_by_key(|e| e.ts_ns);
+
+            let mut busy = 0u64;
+            let mut cur_end = 0u64;
+            let mut min_ts = u64::MAX;
+            let mut max_end = 0u64;
+            let mut span_count = 0u64;
+            let mut aux_total = 0u64;
+            let mut counter_last: BTreeMap<PhaseId, u64> = BTreeMap::new();
+            let mut counter_max: BTreeMap<PhaseId, u64> = BTreeMap::new();
+            for e in &events {
+                match e.kind {
+                    EventKind::Span => {
+                        span_count += 1;
+                        aux_total += e.aux;
+                        min_ts = min_ts.min(e.ts_ns);
+                        let end = e.ts_ns + e.dur_ns;
+                        max_end = max_end.max(end);
+                        if e.ts_ns >= cur_end {
+                            busy += e.dur_ns;
+                            cur_end = end;
+                        } else if end > cur_end {
+                            busy += end - cur_end;
+                            cur_end = end;
+                        }
+                        if let Some(slot) = hists.get_mut(e.phase.0 as usize) {
+                            let hist = slot.get_or_insert_with(|| {
+                                registry
+                                    .histogram(&format!("trace.{}.ns", phases[e.phase.0 as usize]))
+                            });
+                            hist.record(e.dur_ns);
+                        }
+                    }
+                    EventKind::Instant => {
+                        min_ts = min_ts.min(e.ts_ns);
+                        max_end = max_end.max(e.ts_ns);
+                    }
+                    EventKind::Counter => {
+                        counter_last.insert(e.phase, e.aux);
+                        let m = counter_max.entry(e.phase).or_insert(0);
+                        *m = (*m).max(e.aux);
+                    }
+                }
+            }
+            let wall = max_end.saturating_sub(if min_ts == u64::MAX { 0 } else { min_ts });
+            let occupancy = if wall > 0 {
+                busy as f64 / wall as f64
+            } else {
+                0.0
+            };
+            let base = format!("trace.lane.{}", lane.name);
+            registry.set_gauge(&format!("{base}.occupancy"), occupancy);
+            registry.set_gauge(&format!("{base}.spans"), span_count as f64);
+            registry.set_gauge(&format!("{base}.dropped"), lane.dropped() as f64);
+            registry.set_gauge(&format!("{base}.aux_total"), aux_total as f64);
+            for (phase, last) in counter_last {
+                let name = phases.get(phase.0 as usize).cloned().unwrap_or_default();
+                registry.set_gauge(&format!("trace.{name}.last"), last as f64);
+            }
+            for (phase, max) in counter_max {
+                let name = phases.get(phase.0 as usize).cloned().unwrap_or_default();
+                registry.set_gauge(&format!("trace.{name}.max"), max as f64);
+            }
+        }
+    }
+}
+
+/// A pre-resolved, rate-limited span source for per-event hot paths.
+///
+/// `Rd2::on_action` fires millions of times; recording a span for each
+/// would cost more than the detection. `SampledSpans` opens a span for one
+/// in `every` calls (the first call always samples, so short runs still
+/// produce spans) and costs a single relaxed `fetch_add` plus a branch
+/// otherwise. `every == 0` disables sampling entirely.
+pub struct SampledSpans {
+    lane: Arc<Lane>,
+    phase: PhaseId,
+    every: u64,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for SampledSpans {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampledSpans")
+            .field("lane", &self.lane.name)
+            .field("every", &self.every)
+            .finish()
+    }
+}
+
+impl SampledSpans {
+    /// Resolves `lane`/`phase` against `tracer`; samples one in `every`.
+    pub fn new(tracer: &Tracer, lane: &str, phase: &str, every: u64) -> SampledSpans {
+        SampledSpans {
+            lane: tracer.lane(lane),
+            phase: tracer.phase(phase),
+            every,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens a span if this call is selected by the sampling rate.
+    #[inline]
+    pub fn maybe(&self) -> Option<SpanGuard> {
+        if self.every == 0 {
+            return None;
+        }
+        if !self
+            .seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
+        {
+            return None;
+        }
+        Some(self.lane.span(self.phase))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane_with_capacity("l", 8);
+        let p = tracer.phase("tick");
+        for _ in 0..20 {
+            lane.instant(p);
+        }
+        assert_eq!(lane.recorded(), 20);
+        assert_eq!(lane.len(), 8);
+        assert_eq!(lane.dropped(), 12);
+        assert_eq!(tracer.dropped(), 12);
+        assert_eq!(lane.events().len(), 8);
+    }
+
+    #[test]
+    fn lanes_are_keyed_by_name() {
+        let tracer = Tracer::new();
+        let a = tracer.lane("w0");
+        let b = tracer.lane("w0");
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = tracer.lane("w1");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(tracer.lanes().len(), 2);
+    }
+
+    #[test]
+    fn phase_interning_is_stable() {
+        let tracer = Tracer::new();
+        let a = tracer.phase("x");
+        let b = tracer.phase("y");
+        let a2 = tracer.phase("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(tracer.phase_name(a).as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn span_guard_records_duration_and_aux() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("l");
+        let p = tracer.phase("work");
+        {
+            let mut span = lane.span(p);
+            span.set_aux(5);
+            span.add_aux(2);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = lane.events();
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert_eq!(e.kind, EventKind::Span);
+        assert_eq!(e.aux, 7);
+        assert!(e.dur_ns >= 1_000_000, "dur {} < 1ms", e.dur_ns);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_all_kinds() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("worker \"0\"\n");
+        let work = tracer.phase("work");
+        let depth = tracer.phase("queue_depth");
+        let mark = tracer.phase("mark");
+        drop(lane.span(work));
+        lane.instant(mark);
+        lane.counter(depth, 42);
+        let json = tracer.to_chrome_json();
+        crate::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"ph\": \"C\""));
+        assert!(json.contains("\"value\": 42"));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("\"crace_dropped_events\": 0"));
+    }
+
+    #[test]
+    fn empty_tracer_exports_validate() {
+        let tracer = Tracer::new();
+        crate::json::validate(&tracer.to_chrome_json()).unwrap();
+        assert_eq!(tracer.to_folded(), "");
+    }
+
+    #[test]
+    fn folded_reconstructs_nesting_and_self_time() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("l");
+        let outer = tracer.phase("outer");
+        let inner = tracer.phase("inner");
+        // Deterministic timestamps via the private push: outer spans
+        // [0, 100), inner [10, 40).
+        lane.push(KIND_SPAN, outer, 0, 100, 0);
+        lane.push(KIND_SPAN, inner, 10, 30, 0);
+        let folded = tracer.to_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"l;outer 70"), "{folded}");
+        assert!(lines.contains(&"l;outer;inner 30"), "{folded}");
+    }
+
+    #[test]
+    fn feed_timeline_derives_occupancy_and_peaks() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("w0");
+        let work = tracer.phase("work");
+        let depth = tracer.phase("depth");
+        // Busy [0,50) and [50,100) of a 100ns wall: occupancy 1.0.
+        lane.push(KIND_SPAN, work, 0, 50, 10);
+        lane.push(KIND_SPAN, work, 50, 50, 5);
+        lane.counter(depth, 3);
+        lane.counter(depth, 9);
+        lane.counter(depth, 4);
+        let registry = Registry::new();
+        tracer.feed_timeline(&registry);
+        let snap = registry.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"trace.lane.w0.occupancy\": 1"), "{json}");
+        assert!(json.contains("\"trace.lane.w0.spans\": 2"), "{json}");
+        assert!(json.contains("\"trace.lane.w0.aux_total\": 15"), "{json}");
+        assert!(json.contains("\"trace.depth.max\": 9"), "{json}");
+        assert!(json.contains("\"trace.depth.last\": 4"), "{json}");
+        assert!(json.contains("\"trace.work.ns\""), "{json}");
+    }
+
+    #[test]
+    fn sampled_spans_fire_once_per_period() {
+        let tracer = Tracer::new();
+        let sampled = SampledSpans::new(&tracer, "hot", "hot.event", 64);
+        for _ in 0..640 {
+            drop(sampled.maybe());
+        }
+        let lane = tracer.lane("hot");
+        assert_eq!(lane.recorded(), 10);
+
+        let off = SampledSpans::new(&tracer, "off", "hot.event", 0);
+        for _ in 0..10 {
+            assert!(off.maybe().is_none());
+        }
+        assert_eq!(tracer.lane("off").recorded(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_are_safe() {
+        let tracer = Arc::new(Tracer::new());
+        let lane = tracer.lane_with_capacity("shared", 128);
+        let p = tracer.phase("w");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let lane = Arc::clone(&lane);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        drop(lane.span(p));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(lane.recorded(), 4000);
+        assert_eq!(lane.len(), 128);
+        crate::json::validate(&tracer.to_chrome_json()).unwrap();
+    }
+}

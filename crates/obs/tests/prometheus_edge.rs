@@ -1,0 +1,109 @@
+//! Edge cases of the Prometheus text exposition rendering: metric-name
+//! sanitization, label-value escaping, and quantile monotonicity in the
+//! rendered output.
+
+use crace_obs::{prom_escape_label, Registry};
+
+/// Parses `name{labels} value` lines out of an exposition document,
+/// returning `(series, value)` pairs for every non-comment line.
+fn series(prom: &str) -> Vec<(String, f64)> {
+    prom.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| {
+            let (name, value) = l.rsplit_once(' ').expect("name value");
+            (name.to_string(), value.parse::<f64>().expect("numeric"))
+        })
+        .collect()
+}
+
+#[test]
+fn metric_names_are_sanitized_to_prometheus_identifiers() {
+    let registry = Registry::new();
+    registry.counter("weird-name.µ.with space/slash").inc();
+    registry.set_gauge("trace.lane.worker \"0\"\n.occupancy", 0.5);
+    let prom = registry.snapshot().to_prometheus();
+    for line in prom.lines().filter(|l| !l.starts_with('#')) {
+        let (name, _) = line.rsplit_once(' ').expect("name value");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.starts_with("crace_")
+                && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "unsanitized series name: {name:?}"
+        );
+    }
+    // The µ, space, slash, quote, and newline all collapse to `_`.
+    assert!(
+        prom.contains("crace_weird_name___with_space_slash 1"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("crace_trace_lane_worker__0___occupancy 0.5"),
+        "{prom}"
+    );
+}
+
+#[test]
+fn label_values_escape_backslash_quote_newline() {
+    assert_eq!(prom_escape_label("plain"), "plain");
+    assert_eq!(prom_escape_label("a\\b"), "a\\\\b");
+    assert_eq!(prom_escape_label("a\"b"), "a\\\"b");
+    assert_eq!(prom_escape_label("a\nb"), "a\\nb");
+    assert_eq!(
+        prom_escape_label("\\\"\n"),
+        "\\\\\\\"\\n",
+        "all three specials in sequence"
+    );
+    // The escaped form never contains a raw newline or an unescaped quote,
+    // so a series line `name{l="<escaped>"} v` stays one parseable line.
+    for nasty in ["a\\b\"c\nd", "\n\n", "\\\\", "\"\""] {
+        let escaped = prom_escape_label(nasty);
+        assert!(!escaped.contains('\n'), "{escaped:?}");
+        let mut prev_backslash = false;
+        for c in escaped.chars() {
+            assert!(c != '"' || prev_backslash, "unescaped quote in {escaped:?}");
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+    }
+}
+
+#[test]
+fn rendered_quantiles_are_monotone() {
+    let registry = Registry::new();
+    let hist = registry.histogram("latency.ns");
+    // A spread of values across several log2 buckets.
+    for i in 0..1000u64 {
+        hist.record(i * 37 + 1);
+    }
+    let prom = registry.snapshot().to_prometheus();
+    let all = series(&prom);
+    let q = |which: &str| -> f64 {
+        all.iter()
+            .find(|(name, _)| name.contains(&format!("quantile=\"{which}\"")))
+            .unwrap_or_else(|| panic!("missing quantile {which} in {prom}"))
+            .1
+    };
+    let (p50, p95, p99) = (q("0.5"), q("0.95"), q("0.99"));
+    assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+    assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+    // _count and _sum are present and consistent.
+    let count = all.iter().find(|(n, _)| n.ends_with("_count")).unwrap().1;
+    let sum = all.iter().find(|(n, _)| n.ends_with("_sum")).unwrap().1;
+    assert_eq!(count, 1000.0);
+    assert!(sum > 0.0);
+}
+
+#[test]
+fn quantile_labels_render_inside_braces() {
+    let registry = Registry::new();
+    registry.histogram("h.ns").record(10);
+    let prom = registry.snapshot().to_prometheus();
+    assert!(prom.contains("crace_h_ns{quantile=\"0.5\"}"), "{prom}");
+    assert!(prom.contains("crace_h_ns{quantile=\"0.95\"}"), "{prom}");
+    assert!(prom.contains("crace_h_ns{quantile=\"0.99\"}"), "{prom}");
+    // Exactly one TYPE line per metric family.
+    assert_eq!(
+        prom.matches("# TYPE crace_h_ns summary").count(),
+        1,
+        "{prom}"
+    );
+}

@@ -178,9 +178,25 @@ fn prefix_of(trace: &Trace, k: usize) -> Trace {
 /// fault-free deadlock) — the same conditions as
 /// [`simulate`].
 pub fn run_chaos(program: &SimProgram, cfg: &ChaosConfig) -> ChaosReport {
+    run_chaos_traced(program, cfg, None)
+}
+
+/// [`run_chaos`] with an optional span tracer: each trial records one
+/// `chaos.trial` span on the `chaos` lane (`aux` = faults fired in the
+/// trial), so a timeline shows where a campaign spends its time. `None`
+/// is exactly `run_chaos`.
+pub fn run_chaos_traced(
+    program: &SimProgram,
+    cfg: &ChaosConfig,
+    tracer: Option<&crace_obs::Tracer>,
+) -> ChaosReport {
+    let trace_handles = tracer.map(|t| (t.lane("chaos"), t.phase("chaos.trial")));
     let mut report = ChaosReport::default();
     let horizon = (program.num_ops() + 2 * program.threads.len()) as u64;
     for i in 0..cfg.trials {
+        let mut span = trace_handles
+            .as_ref()
+            .map(|(lane, phase)| lane.span(*phase));
         let seed = cfg.seed.wrapping_add(i);
         let plan = FaultPlan::seeded(seed, horizon, cfg.faults);
         let clean_trace = simulate(program, seed);
@@ -189,6 +205,9 @@ pub fn run_chaos(program: &SimProgram, cfg: &ChaosConfig) -> ChaosReport {
         report.trials += 1;
         if !outcome.clean() {
             report.trials_faulted += 1;
+        }
+        if let Some(span) = span.as_mut() {
+            span.set_aux(outcome.faults_fired);
         }
         report.faults_fired += outcome.faults_fired;
         report.threads_killed += outcome.panicked.len() as u64;

@@ -340,6 +340,8 @@ struct Explorer<'p> {
     schedule: Vec<usize>,
     events: Vec<Event>,
     done: bool,
+    /// Lane + phase for per-schedule spans; `None` when untraced.
+    trace: Option<(Arc<crace_obs::Lane>, crace_obs::PhaseId)>,
 }
 
 impl<'p> Explorer<'p> {
@@ -367,6 +369,7 @@ impl<'p> Explorer<'p> {
             schedule: Vec::new(),
             events: Vec::new(),
             done: false,
+            trace: None,
         }
     }
 
@@ -417,8 +420,12 @@ impl<'p> Explorer<'p> {
 
     fn on_terminal(&mut self, state: &SimState<'_>) {
         self.stats.schedules_explored += 1;
+        let mut span = self.trace.as_ref().map(|(lane, phase)| lane.span(*phase));
         let trace = self.build_trace();
         let races = self.detect(&trace);
+        if let Some(span) = span.as_mut() {
+            span.set_aux(races);
+        }
         if self.cfg.check_invariants {
             let pairs = find_races(&trace, &self.oracle_specs);
             if (races > 0) == pairs.is_empty() {
@@ -541,11 +548,28 @@ impl<'p> Explorer<'p> {
 /// unlocking a lock the thread does not hold) and on programs with more
 /// than 64 threads.
 pub fn explore(program: &SimProgram, cfg: &ExploreConfig) -> ExploreReport {
+    explore_traced(program, cfg, None)
+}
+
+/// [`explore`] with an optional span tracer: each completed schedule
+/// records one `explore.schedule` span on the `explore` lane (`aux` =
+/// races found on that schedule), timing the per-schedule detect +
+/// invariant check. `None` is exactly [`explore`].
+///
+/// # Panics
+///
+/// As [`explore`].
+pub fn explore_traced(
+    program: &SimProgram,
+    cfg: &ExploreConfig,
+    tracer: Option<&crace_obs::Tracer>,
+) -> ExploreReport {
     assert!(
         program.threads.len() <= 64,
         "explorer supports at most 64 threads"
     );
     let mut explorer = Explorer::new(program, cfg);
+    explorer.trace = tracer.map(|t| (t.lane("explore"), t.phase("explore.schedule")));
     let initial = SimState::new(program);
     explorer.dfs(&initial, 0, None, 0);
     explorer.stats.distinct_final_states = explorer.final_states.len() as u64;

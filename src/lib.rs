@@ -110,7 +110,7 @@ pub use crace_model::{
     replay, Action, Analysis, Event, Isolated, LocId, LockId, MethodId, NoopAnalysis, ObjId,
     Observer, RaceReport, Recorder, ThreadId, Trace, Value,
 };
-pub use crace_obs::{Registry, Snapshot};
+pub use crace_obs::{Registry, Snapshot, SpanGuard, Tracer};
 pub use crace_runtime::{
     Fault, FaultInjector, FaultPlan, JoinError, MonitoredCounter, MonitoredDict, MonitoredQueue,
     MonitoredRegister, MonitoredSet, Runtime, ThreadCtx, TrackedCell, TrackedMutex,

@@ -1,0 +1,312 @@
+//! Differential guarantees for the tracing plane.
+//!
+//! Span tracing is observability, not semantics: wiring a [`Tracer`]
+//! into any detector must not change a single bit of its [`RaceReport`],
+//! at any worker count, with GC on or off. This file replays random
+//! well-formed programs through the serial detectors and the parallel
+//! pipeline with tracing enabled, disabled, and absent, and asserts the
+//! reports are identical — then checks the timeline itself: every
+//! pipeline phase shows up as at least one span, the Chrome export
+//! parses under the repo's RFC 8259 validator, the collapsed stacks are
+//! non-empty, and per-worker occupancy derived from span payloads agrees
+//! with the pipeline's own `parallel.*` counters.
+
+use std::sync::Arc;
+
+use crace::core::{ParallelConfig, ParallelRd2};
+use crace::model::replay;
+use crace::obs::EventKind;
+use crace::spec::builtin;
+use crace::{
+    translate, Action, Analysis, Event, LockId, ObjId, RaceReport, Rd2, ThreadId, Trace,
+    TraceDetector, Tracer, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const NUM_OBJECTS: u64 = 4;
+
+/// Random well-formed dictionary programs over four monitored objects —
+/// the same generator shape as `parallel_vs_serial.rs`.
+fn random_trace(seed: u64, events: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").unwrap();
+    let get = spec.method_id("get").unwrap();
+    let size = spec.method_id("size").unwrap();
+    let mut trace = Trace::new();
+    let mut live: Vec<u32> = vec![0];
+    let mut next_tid = 1u32;
+    let value = |rng: &mut StdRng| -> Value {
+        if rng.gen_bool(0.3) {
+            Value::Nil
+        } else {
+            Value::Int(rng.gen_range(0..3))
+        }
+    };
+    for _ in 0..events {
+        let tid = ThreadId(live[rng.gen_range(0..live.len())]);
+        let obj = ObjId(1 + rng.gen_range(0..NUM_OBJECTS));
+        match rng.gen_range(0..10) {
+            0 => {
+                let child = ThreadId(next_tid);
+                next_tid += 1;
+                trace.push(Event::Fork { parent: tid, child });
+                live.push(child.0);
+            }
+            1 if live.len() > 1 => {
+                let other = live[rng.gen_range(0..live.len())];
+                if other != tid.0 {
+                    trace.push(Event::Join {
+                        parent: tid,
+                        child: ThreadId(other),
+                    });
+                    live.retain(|&t| t != other);
+                }
+            }
+            2 => {
+                let lock = LockId(rng.gen_range(0..2));
+                trace.push(Event::Acquire { tid, lock });
+                trace.push(Event::Release { tid, lock });
+            }
+            3..=6 => {
+                let k = Value::Int(rng.gen_range(0..3));
+                let action = Action::new(obj, put, vec![k, value(&mut rng)], value(&mut rng));
+                trace.push(Event::Action { tid, action });
+            }
+            7 | 8 => {
+                let k = Value::Int(rng.gen_range(0..3));
+                let action = Action::new(obj, get, vec![k], value(&mut rng));
+                trace.push(Event::Action { tid, action });
+            }
+            _ => {
+                let action = Action::new(obj, size, vec![], Value::Int(rng.gen_range(0..4)));
+                trace.push(Event::Action { tid, action });
+            }
+        }
+    }
+    trace
+}
+
+fn compiled_dict() -> Arc<crace::core::CompiledSpec> {
+    Arc::new(translate(&builtin::dictionary()).unwrap())
+}
+
+fn register_all<A: Analysis, F: Fn(&A, ObjId)>(detector: &A, register: F) -> &A {
+    for obj in 1..=NUM_OBJECTS {
+        register(detector, ObjId(obj));
+    }
+    detector
+}
+
+fn run_trace_detector(trace: &Trace, tracer: Option<&Tracer>, sample: u64) -> RaceReport {
+    let detector = match tracer {
+        Some(t) => TraceDetector::with_tracer(t, sample),
+        None => TraceDetector::new(),
+    };
+    let compiled = compiled_dict();
+    register_all(&detector, |d, obj| d.register(obj, Arc::clone(&compiled)));
+    replay(trace, &detector)
+}
+
+fn run_rd2(trace: &Trace, tracer: Option<&Tracer>, sample: u64) -> RaceReport {
+    let detector = match tracer {
+        Some(t) => Rd2::with_tracer(t, sample),
+        None => Rd2::new(),
+    };
+    let compiled = compiled_dict();
+    register_all(&detector, |d, obj| d.register(obj, Arc::clone(&compiled)));
+    replay(trace, &detector)
+}
+
+fn run_parallel(trace: &Trace, workers: usize, cfg: ParallelConfig) -> (RaceReport, ParallelRd2) {
+    let detector = ParallelRd2::with_config(workers, cfg);
+    let compiled = compiled_dict();
+    register_all(&detector, |d, obj| d.register(obj, Arc::clone(&compiled)));
+    let report = replay(trace, &detector);
+    (report, detector)
+}
+
+/// Serial detectors: the report with a tracer attached (at several
+/// sampling periods, including every-action) is bit-for-bit the report
+/// without one.
+#[test]
+fn serial_reports_are_identical_traced_and_untraced() {
+    for seed in 0..30u64 {
+        let trace = random_trace(seed, 120);
+        let base_td = run_trace_detector(&trace, None, 0);
+        let base_rd2 = run_rd2(&trace, None, 0);
+        for sample in [1u64, 64] {
+            let tracer = Tracer::new();
+            assert_eq!(
+                run_trace_detector(&trace, Some(&tracer), sample),
+                base_td,
+                "seed {seed}, sample {sample}: TraceDetector report changed under tracing"
+            );
+            let tracer = Tracer::new();
+            assert_eq!(
+                run_rd2(&trace, Some(&tracer), sample),
+                base_rd2,
+                "seed {seed}, sample {sample}: Rd2 report changed under tracing"
+            );
+        }
+    }
+}
+
+/// The pipeline: at widths 1/2/4/8, with GC off and aggressively on, the
+/// traced report equals the untraced one bit for bit.
+#[test]
+fn parallel_reports_are_identical_traced_and_untraced_at_every_width() {
+    for seed in 100..130u64 {
+        let trace = random_trace(seed, 150);
+        for workers in WIDTHS {
+            for gc_every in [0usize, 8] {
+                let cfg = ParallelConfig {
+                    batch: 16,
+                    gc_every,
+                    ..ParallelConfig::default()
+                };
+                let (untraced, _) = run_parallel(&trace, workers, cfg.clone());
+                let tracer = Arc::new(Tracer::new());
+                let traced_cfg = ParallelConfig {
+                    tracer: Some(Arc::clone(&tracer)),
+                    ..cfg
+                };
+                let (traced, _) = run_parallel(&trace, workers, traced_cfg);
+                assert_eq!(
+                    traced, untraced,
+                    "seed {seed}, {workers} worker(s), gc {gc_every}: tracing changed the report"
+                );
+            }
+        }
+    }
+}
+
+/// Returns the total span `aux` payload per phase name, across lanes.
+fn aux_by_phase(tracer: &Tracer) -> std::collections::BTreeMap<String, (u64, u64)> {
+    let mut by_phase = std::collections::BTreeMap::new();
+    for lane in tracer.lanes() {
+        for event in lane.events() {
+            if let Some(name) = tracer.phase_name(event.phase) {
+                let slot = by_phase.entry(name).or_insert((0u64, 0u64));
+                slot.0 += 1;
+                slot.1 += event.aux;
+            }
+        }
+    }
+    by_phase
+}
+
+/// A traced pipeline run covers every phase — ingress, worker batches,
+/// sync broadcasts, GC sweeps, and the report merge all record at least
+/// one span — and both exports are well-formed.
+#[test]
+fn parallel_timeline_covers_every_phase_and_exports_validate() {
+    let trace = random_trace(4242, 400);
+    let tracer = Arc::new(Tracer::new());
+    let cfg = ParallelConfig {
+        batch: 8,
+        gc_every: 8,
+        tracer: Some(Arc::clone(&tracer)),
+        ..ParallelConfig::default()
+    };
+    let (_, _detector) = run_parallel(&trace, 4, cfg);
+
+    let by_phase = aux_by_phase(&tracer);
+    for phase in [
+        "parallel.ingress",
+        "parallel.worker",
+        "parallel.sync",
+        "parallel.gc",
+        "parallel.merge",
+    ] {
+        let (spans, _) = by_phase.get(phase).copied().unwrap_or((0, 0));
+        assert!(
+            spans > 0,
+            "phase {phase} recorded no span; got {by_phase:?}"
+        );
+    }
+
+    let chrome = tracer.to_chrome_json();
+    crace::obs::json::validate(&chrome).expect("chrome export is RFC 8259 valid");
+    assert!(chrome.contains("\"traceEvents\""));
+    let folded = tracer.to_folded();
+    assert!(!folded.is_empty(), "collapsed stacks are empty");
+    assert!(
+        folded.lines().all(|l| l.rsplit_once(' ').is_some()),
+        "every folded line ends in a self-time sample"
+    );
+}
+
+/// Span payloads are the pipeline's own counters: each worker's batch
+/// spans accumulate exactly the messages that worker processed, so the
+/// span-derived per-worker occupancy share must agree with
+/// [`ParallelStats`](crace::ParallelStats) — the acceptance bound is 5%,
+/// the construction makes it exact.
+#[test]
+fn span_derived_worker_occupancy_agrees_with_pipeline_stats() {
+    let trace = random_trace(777, 600);
+    let tracer = Arc::new(Tracer::new());
+    let cfg = ParallelConfig {
+        batch: 8,
+        tracer: Some(Arc::clone(&tracer)),
+        ..ParallelConfig::default()
+    };
+    let (_, detector) = run_parallel(&trace, 4, cfg);
+    let stats = detector.stats();
+
+    let total_events: u64 = stats.workers.iter().map(|w| w.events).sum();
+    assert!(total_events > 0, "pipeline processed nothing");
+    for (w, worker) in stats.workers.iter().enumerate() {
+        let lane = tracer.lane(&format!("worker{w}"));
+        let span_events: u64 = lane
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Span)
+                    && tracer.phase_name(e.phase).as_deref() == Some("parallel.worker")
+            })
+            .map(|e| e.aux)
+            .sum();
+        assert!(lane.dropped() == 0, "worker{w} lane overflowed the test");
+        let span_share = span_events as f64 / total_events as f64;
+        let stats_share = worker.events as f64 / total_events as f64;
+        assert!(
+            (span_share - stats_share).abs() <= 0.05,
+            "worker{w}: span share {span_share:.4} vs stats share {stats_share:.4}"
+        );
+    }
+}
+
+/// Tracing composes with the zero-copy offline path: `ingest_shared`
+/// under a tracer still produces the untraced report and a phase-complete
+/// timeline.
+#[test]
+fn shared_ingestion_is_unchanged_by_tracing() {
+    let trace = Arc::new(random_trace(999, 300));
+    let untraced = {
+        let detector = ParallelRd2::with_config(4, ParallelConfig::default());
+        let compiled = compiled_dict();
+        register_all(&detector, |d, obj| d.register(obj, Arc::clone(&compiled)));
+        detector.ingest_shared(&trace);
+        detector.report()
+    };
+    let tracer = Arc::new(Tracer::new());
+    let cfg = ParallelConfig {
+        tracer: Some(Arc::clone(&tracer)),
+        ..ParallelConfig::default()
+    };
+    let detector = ParallelRd2::with_config(4, cfg);
+    let compiled = compiled_dict();
+    register_all(&detector, |d, obj| d.register(obj, Arc::clone(&compiled)));
+    detector.ingest_shared(&trace);
+    assert_eq!(detector.report(), untraced, "tracing changed the report");
+    let by_phase = aux_by_phase(&tracer);
+    for phase in ["parallel.ingress", "parallel.worker", "parallel.merge"] {
+        assert!(
+            by_phase.get(phase).is_some_and(|&(spans, _)| spans > 0),
+            "phase {phase} missing from shared-ingestion timeline: {by_phase:?}"
+        );
+    }
+}
