@@ -77,6 +77,35 @@ fn frame(payload: &str) -> String {
     )
 }
 
+/// Renders one event as a single framed record line (no trailing
+/// newline) — the streaming counterpart of [`render_framed`], for
+/// writers that emit records one at a time (e.g. a socket client).
+pub fn frame_event(event: &Event, spec: &Spec) -> String {
+    frame(&render_event(event, spec))
+}
+
+/// Checks and parses one framed record line (without its newline) into
+/// an event — the streaming counterpart of [`parse_framed`], for readers
+/// that consume records one at a time (e.g. a socket server). `lineno`
+/// is only used in error messages.
+///
+/// # Errors
+///
+/// [`TraceErrorKind::Torn`] for framing damage (bad prefix, length, or
+/// checksum), [`TraceErrorKind::Malformed`] for a checksummed record
+/// whose payload is not a well-formed event.
+///
+/// [`TraceErrorKind::Torn`]: crate::TraceErrorKind::Torn
+/// [`TraceErrorKind::Malformed`]: crate::TraceErrorKind::Malformed
+pub fn parse_framed_record(
+    line: &str,
+    spec: &Spec,
+    lineno: usize,
+) -> Result<Event, TraceParseError> {
+    let payload = unframe(line, lineno)?;
+    parse_event(payload, spec, lineno)
+}
+
 /// Renders a whole trace in the framed format (header + one record per
 /// event, each newline-terminated).
 pub fn render_framed(trace: &Trace, spec: &Spec) -> String {
@@ -488,6 +517,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn per_record_api_round_trips_and_rejects_damage() {
+        let (trace, spec) = sample();
+        for (i, event) in trace.iter().enumerate() {
+            let line = frame_event(event, &spec);
+            assert_eq!(&parse_framed_record(&line, &spec, i + 1).unwrap(), event);
+            // A flipped payload byte must be caught by the checksum.
+            let mut damaged = line.clone().into_bytes();
+            let last = damaged.len() - 1;
+            damaged[last] ^= 0x20;
+            let damaged = String::from_utf8(damaged).unwrap();
+            if damaged != line {
+                let e = parse_framed_record(&damaged, &spec, i + 1).unwrap_err();
+                assert_eq!(e.kind, crate::TraceErrorKind::Torn);
+            }
+        }
+        // The per-record renderer agrees with the whole-trace renderer.
+        let rendered = render_framed(&trace, &spec);
+        let from_records: String = std::iter::once(FRAMED_HEADER.to_string())
+            .chain(trace.iter().map(|e| frame_event(e, &spec)))
+            .map(|l| l + "\n")
+            .collect();
+        assert_eq!(rendered, from_records);
     }
 
     #[test]

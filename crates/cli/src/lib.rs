@@ -41,8 +41,8 @@ mod progfmt;
 mod tracefmt;
 
 pub use framed::{
-    crc32, is_framed, parse_framed, parse_framed_tolerant, render_framed, FramedWriter,
-    StreamingRecorder, TornTrace, FRAMED_HEADER,
+    crc32, frame_event, is_framed, parse_framed, parse_framed_record, parse_framed_tolerant,
+    render_framed, FramedWriter, StreamingRecorder, TornTrace, FRAMED_HEADER,
 };
 pub use progfmt::{parse_program, render_program, ProgParseError};
 pub use tracefmt::{parse_trace, render_trace, TraceErrorKind, TraceParseError};

@@ -1,0 +1,249 @@
+//! The line-oriented control protocol spoken on a daemon connection.
+//!
+//! A detection session is driven by four request shapes, one per line:
+//!
+//! ```text
+//! HELLO <session> <spec> [workers=N] [faults=<plan>]
+//! =<len>:<crc32> <event-text>          # one framed trace record
+//! REPORT                               # interim report, session stays open
+//! BYE                                  # final report + stats, then close
+//! ```
+//!
+//! Framed records are exactly the lines of the crash-consistent trace
+//! format (see `crace_cli::frame_event`), so a client can stream a
+//! `.framed.trace` file verbatim — the `#%crace-trace v1 framed` header
+//! and blank lines are accepted and ignored, like comments in the plain
+//! format.
+//!
+//! The server answers `OK …` to a HELLO, `ERR <message>` to anything it
+//! rejects, `REPORT <nbytes>` followed by exactly `nbytes` of report
+//! JSON, and — after a BYE or a torn stream — a final `STATS k=v …`
+//! line. The same socket also answers `GET /metrics` with an HTTP
+//! scrape, sniffed from the first line (see [`crate::server`]).
+//!
+//! Parsing here must never panic on arbitrary bytes: this is the surface
+//! `protocol_fuzz.rs` hammers. Inputs are bounded before they are
+//! interpreted ([`MAX_LINE_BYTES`], [`MAX_SESSION_NAME`],
+//! [`MAX_SPEC_NAME`]), and a framed record's *contents* are validated by
+//! the session against its spec — this module only classifies the line.
+
+/// Longest accepted request line, in bytes, excluding the newline. A
+/// framed record announcing a longer payload is rejected before any
+/// allocation proportional to the announced length.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Longest accepted session name.
+pub const MAX_SESSION_NAME: usize = 64;
+
+/// Longest accepted spec name (it may be a file path on the server).
+pub const MAX_SPEC_NAME: usize = 256;
+
+/// Upper bound on `workers=N` — far above any sensible shard count, low
+/// enough that a hostile HELLO cannot spawn unbounded threads.
+pub const MAX_WORKERS: usize = 64;
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `HELLO <session> <spec> [workers=N] [faults=<plan>]` — open a session.
+    Hello(Hello),
+    /// A framed trace record, still in wire form (`=<len>:<crc32> …`).
+    /// The session decodes it against its spec.
+    Record(String),
+    /// `REPORT` — render the report so far; the session stays open.
+    Report,
+    /// `BYE` — final report + stats, clean close.
+    Bye,
+    /// A header, comment, or blank line — accepted and ignored, so a
+    /// framed trace file can be streamed verbatim.
+    Ignored,
+}
+
+/// The fields of a HELLO request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Tenant-chosen session name (unique among live sessions).
+    pub session: String,
+    /// Spec to detect against: a builtin name or a server-side path.
+    pub spec: String,
+    /// Worker count for the sharded detector; `0` means serial.
+    pub workers: usize,
+    /// Textual `FaultPlan` for the chaos test plane, if any.
+    pub faults: Option<String>,
+}
+
+/// True iff `name` is a well-formed session name: 1–[`MAX_SESSION_NAME`]
+/// characters from `[A-Za-z0-9._-]`, not starting with `-` (so names
+/// never look like options) or `.` (so per-session files are never
+/// hidden or `..`).
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_SESSION_NAME
+        && !name.starts_with('-')
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Classifies one request line (without its newline).
+///
+/// # Errors
+///
+/// Returns a human-readable message for anything outside the protocol;
+/// the connection handler forwards it as `ERR <message>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!(
+            "line of {} byte(s) exceeds the {MAX_LINE_BYTES}-byte limit",
+            line.len()
+        ));
+    }
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Request::Ignored);
+    }
+    if let Some(rest) = line.strip_prefix('=') {
+        // Cheap sanity check before the session does the real decode: the
+        // announced length must not exceed what a line this long can hold.
+        if let Some((len_text, _)) = rest.split_once(':') {
+            if let Ok(len) = len_text.parse::<usize>() {
+                if len > MAX_LINE_BYTES {
+                    return Err(format!(
+                        "framed record announces {len} byte(s), limit is {MAX_LINE_BYTES}"
+                    ));
+                }
+            }
+        }
+        return Ok(Request::Record(line.to_string()));
+    }
+    let mut words = line.split(' ').filter(|w| !w.is_empty());
+    match words.next() {
+        Some("REPORT") => match words.next() {
+            None => Ok(Request::Report),
+            Some(extra) => Err(format!("REPORT takes no arguments (got `{extra}`)")),
+        },
+        Some("BYE") => match words.next() {
+            None => Ok(Request::Bye),
+            Some(extra) => Err(format!("BYE takes no arguments (got `{extra}`)")),
+        },
+        Some("HELLO") => {
+            let session = words.next().ok_or("HELLO needs: <session> <spec>")?;
+            let spec = words.next().ok_or("HELLO needs: <session> <spec>")?;
+            if !valid_session_name(session) {
+                return Err(format!(
+                    "bad session name `{}` (want 1-{MAX_SESSION_NAME} chars of [A-Za-z0-9._-], \
+                     not starting with `-` or `.`)",
+                    clip(session)
+                ));
+            }
+            if spec.len() > MAX_SPEC_NAME {
+                return Err(format!(
+                    "spec name of {} byte(s) exceeds the {MAX_SPEC_NAME}-byte limit",
+                    spec.len()
+                ));
+            }
+            let mut hello = Hello {
+                session: session.to_string(),
+                spec: spec.to_string(),
+                workers: 0,
+                faults: None,
+            };
+            for option in words {
+                if let Some(n) = option.strip_prefix("workers=") {
+                    let workers: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad worker count `{}`", clip(n)))?;
+                    if workers > MAX_WORKERS {
+                        return Err(format!(
+                            "workers={workers} exceeds the limit of {MAX_WORKERS}"
+                        ));
+                    }
+                    hello.workers = workers;
+                } else if let Some(plan) = option.strip_prefix("faults=") {
+                    hello.faults = Some(plan.to_string());
+                } else {
+                    return Err(format!("unknown HELLO option `{}`", clip(option)));
+                }
+            }
+            Ok(Request::Hello(hello))
+        }
+        Some(other) => Err(format!("unknown request `{}`", clip(other))),
+        None => Ok(Request::Ignored),
+    }
+}
+
+/// Truncates untrusted text for inclusion in an error message.
+fn clip(text: &str) -> String {
+    let mut s: String = text.chars().take(32).collect();
+    if s.len() < text.len() {
+        s.push('…');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_with_options_parses() {
+        let r = parse_request("HELLO tenant-1 dictionary workers=4 faults=panic@5").unwrap();
+        assert_eq!(
+            r,
+            Request::Hello(Hello {
+                session: "tenant-1".into(),
+                spec: "dictionary".into(),
+                workers: 4,
+                faults: Some("panic@5".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn control_verbs_parse_and_reject_arguments() {
+        assert_eq!(parse_request("REPORT").unwrap(), Request::Report);
+        assert_eq!(parse_request("BYE").unwrap(), Request::Bye);
+        assert!(parse_request("REPORT now").is_err());
+        assert!(parse_request("BYE now").is_err());
+    }
+
+    #[test]
+    fn records_headers_and_comments_classify() {
+        assert!(matches!(
+            parse_request("=8:9b8b1ef1 fork 0 1").unwrap(),
+            Request::Record(_)
+        ));
+        assert_eq!(
+            parse_request(crace_cli::FRAMED_HEADER).unwrap(),
+            Request::Ignored
+        );
+        assert_eq!(parse_request("").unwrap(), Request::Ignored);
+    }
+
+    #[test]
+    fn bad_names_and_verbs_are_rejected() {
+        for bad in [
+            "HELLO",
+            "HELLO x",
+            "HELLO -x dictionary",
+            "HELLO .x dictionary",
+            "HELLO a/b dictionary",
+            "HELLO ok dictionary workers=abc",
+            "HELLO ok dictionary workers=9999",
+            "HELLO ok dictionary frobnicate=1",
+            "NOPE",
+            "hello x dictionary",
+        ] {
+            assert!(parse_request(bad).is_err(), "`{bad}` should be rejected");
+        }
+        let long = format!("HELLO {} dictionary", "a".repeat(MAX_SESSION_NAME + 1));
+        assert!(parse_request(&long).is_err());
+    }
+
+    #[test]
+    fn oversized_announcements_are_rejected_without_allocation() {
+        assert!(parse_request("=999999999:deadbeef x").is_err());
+        let long = "x".repeat(MAX_LINE_BYTES + 1);
+        assert!(parse_request(&long).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Bounded per-session ingress ring: backpressure first, shed second.
+//!
+//! Each session owns one ring between its connection reader and its
+//! dispatcher thread. The overload ladder implements the degradation
+//! contract of DESIGN.md at the socket layer:
+//!
+//! 1. **Backpressure.** A full ring blocks the reader — and a blocked
+//!    reader stops draining the socket, so the client's writes stall.
+//!    That is the first response to overload, and for synchronization
+//!    events it is the *only* response: a lost happens-before edge could
+//!    make the detector report races the program cannot have, so sync
+//!    events wait as long as it takes.
+//! 2. **Shed.** A data-plane event (action, read, write) waits only for
+//!    the shed grace period; if the ring is still full, the event is
+//!    dropped and counted. Shedding actions can only *hide* races,
+//!    never invent them (action dispatch never modifies thread clocks).
+//!
+//! The ring also knows when it is fully drained — not just empty, but
+//! with no event still being processed by the dispatcher — which is what
+//! an interim `REPORT` waits on.
+
+use crace_model::Event;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct State {
+    queue: VecDeque<Event>,
+    closed: bool,
+    /// True while the dispatcher is between popping an event and asking
+    /// for the next one — the window where the ring looks empty but the
+    /// session has not yet absorbed the event.
+    in_flight: bool,
+}
+
+/// A bounded MPSC-ish ring (one reader thread, one dispatcher thread in
+/// practice; safe for more) with the backpressure-then-shed ladder.
+pub struct IngressRing {
+    state: Mutex<State>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    shed_grace: Duration,
+    pushed: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl IngressRing {
+    /// A ring holding at most `capacity` queued events; data-plane
+    /// pushes into a full ring wait `shed_grace` before being shed.
+    pub fn new(capacity: usize, shed_grace: Duration) -> IngressRing {
+        IngressRing {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                in_flight: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            shed_grace,
+            pushed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `event`, applying the ladder. Returns `false` iff the
+    /// event was shed (possible only for data-plane events, or for any
+    /// event once the ring is closed).
+    pub fn push(&self, event: Event) -> bool {
+        let sync = event.is_sync();
+        let deadline = Instant::now() + self.shed_grace;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.closed {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if state.queue.len() < self.capacity {
+                state.queue.push_back(event);
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                self.not_empty.notify_one();
+                return true;
+            }
+            if sync {
+                // Backpressure, indefinitely: never shed a sync event.
+                state = self
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            } else {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                state = self
+                    .not_full
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+    }
+
+    /// Dequeues the next event, blocking while the ring is open and
+    /// empty. Returns `None` once the ring is closed and drained.
+    pub fn pop(&self) -> Option<Event> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(event) = state.queue.pop_front() {
+                state.in_flight = true;
+                self.not_full.notify_all();
+                return Some(event);
+            }
+            // Empty: the previous event (if any) has been fully absorbed
+            // by the time the dispatcher asks again.
+            if state.in_flight {
+                state.in_flight = false;
+                self.not_full.notify_all();
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until every pushed event has been absorbed by the
+    /// dispatcher (queue empty and nothing in flight) — the barrier an
+    /// interim `REPORT` needs so it reflects everything ingested so far.
+    pub fn wait_drained(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while !state.queue.is_empty() || state.in_flight {
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the ring: queued events still drain, new pushes are shed,
+    /// and `pop` returns `None` once empty.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Events accepted into the ring so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Events shed by the ladder so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued (diagnostic; racy by nature).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_model::{LocId, LockId, ThreadId};
+    use std::sync::Arc;
+
+    fn data(n: u64) -> Event {
+        Event::Read {
+            tid: ThreadId(0),
+            loc: LocId(n),
+        }
+    }
+
+    fn sync() -> Event {
+        Event::Acquire {
+            tid: ThreadId(0),
+            lock: LockId(0),
+        }
+    }
+
+    #[test]
+    fn fifo_through_the_ring() {
+        let ring = IngressRing::new(8, Duration::from_millis(1));
+        for i in 0..5 {
+            assert!(ring.push(data(i)));
+        }
+        ring.close();
+        let mut seen = Vec::new();
+        while let Some(e) = ring.pop() {
+            seen.push(e);
+        }
+        assert_eq!(seen, (0..5).map(data).collect::<Vec<_>>());
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.shed(), 0);
+    }
+
+    #[test]
+    fn full_ring_sheds_data_after_grace_but_never_sync() {
+        let ring = Arc::new(IngressRing::new(2, Duration::from_millis(5)));
+        assert!(ring.push(data(0)));
+        assert!(ring.push(data(1)));
+        // No consumer: the data push times out and sheds.
+        assert!(!ring.push(data(2)));
+        assert_eq!(ring.shed(), 1);
+
+        // A sync push blocks until a consumer makes room.
+        let r = Arc::clone(&ring);
+        let pusher = std::thread::spawn(move || r.push(sync()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !pusher.is_finished(),
+            "sync push must backpressure, not shed"
+        );
+        assert!(ring.pop().is_some());
+        assert!(pusher.join().unwrap(), "sync push must deliver");
+        assert_eq!(ring.shed(), 1);
+    }
+
+    #[test]
+    fn wait_drained_covers_the_in_flight_window() {
+        // Generous grace: this test is about the drain barrier, so no
+        // push may shed while the slow consumer works through the queue.
+        let ring = Arc::new(IngressRing::new(8, Duration::from_secs(5)));
+        let r = Arc::clone(&ring);
+        let consumer = std::thread::spawn(move || {
+            let mut n = 0;
+            while let Some(_e) = r.pop() {
+                std::thread::sleep(Duration::from_millis(2));
+                n += 1;
+            }
+            n
+        });
+        for i in 0..10 {
+            ring.push(data(i));
+        }
+        ring.wait_drained();
+        assert_eq!(ring.depth(), 0);
+        ring.close();
+        assert_eq!(consumer.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn closed_ring_sheds_everything() {
+        let ring = IngressRing::new(2, Duration::from_millis(1));
+        ring.close();
+        assert!(!ring.push(data(0)));
+        assert!(!ring.push(sync()));
+        assert_eq!(ring.shed(), 2);
+        assert!(ring.pop().is_none());
+    }
+}

@@ -1,0 +1,624 @@
+//! One detection session: a tenant's spec, detector, metrics, tracer,
+//! ingress ring, and dispatcher thread.
+//!
+//! A session is the unit of isolation. Each owns:
+//!
+//! * its compiled spec (and the [`Spec`] used to decode wire records),
+//! * its detector — serial [`TraceDetector`] or sharded [`ParallelRd2`],
+//!   wrapped as `Isolated<FaultedAnalysis<…>>` so an analysis panic
+//!   (organic or injected through the `faults=` test plane) quarantines
+//!   *this* session and fails open, leaving other tenants untouched,
+//! * its own [`Registry`] and [`Tracer`] — tenants never share detector
+//!   state, so they never physically conflict (the Scalable
+//!   Commutativity Rule posture),
+//! * a bounded [`IngressRing`] and the dispatcher thread draining it.
+//!
+//! Objects are registered lazily, on the first action naming them: a
+//! streaming server cannot scan the trace for its object set up front
+//! the way `crace replay` does. Registration on a fresh object only
+//! installs the spec (no clock interaction), so lazy and up-front
+//! registration yield bit-for-bit identical reports — the property
+//! `tests/daemon_vs_replay.rs` checks at every worker width.
+
+use crate::ring::IngressRing;
+use crace_cli::{parse_framed_record, FramedWriter, TraceParseError};
+use crace_core::{CompiledSpec, ParallelConfig, ParallelRd2, TraceDetector};
+use crace_model::{Analysis, Isolated, ObjId, RaceReport};
+use crace_obs::{Registry, Tracer};
+use crace_runtime::{FaultInjector, FaultPlan, FaultedAnalysis};
+use crace_spec::Spec;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sampling period for per-event dispatch spans on the session lane.
+const DISPATCH_SPAN_EVERY: u64 = 64;
+
+/// Per-session knobs, resolved by the server from its config plus the
+/// HELLO options.
+pub struct SessionConfig {
+    /// Worker count for the sharded detector; `0` selects the serial one.
+    pub workers: usize,
+    /// Ingress ring capacity (events).
+    pub ring_capacity: usize,
+    /// How long a data-plane push waits on a full ring before shedding.
+    pub shed_grace: Duration,
+    /// Fault plan for the chaos test plane, armed on the dispatch path.
+    pub faults: Option<FaultPlan>,
+    /// When set, every decoded event is also appended to this sink as a
+    /// framed record (the per-session capture file).
+    pub record_to: Option<Box<dyn Write + Send>>,
+    /// When `true`, a tracer records the session's span timeline.
+    pub traced: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            workers: 0,
+            ring_capacity: 4096,
+            shed_grace: Duration::from_millis(50),
+            faults: None,
+            record_to: None,
+            traced: false,
+        }
+    }
+}
+
+/// The detector behind a session: the serial reference or the sharded
+/// pipeline, behind one face.
+enum DetectorCore {
+    Serial(TraceDetector),
+    Parallel(ParallelRd2),
+}
+
+impl DetectorCore {
+    fn register(&self, obj: ObjId, spec: Arc<CompiledSpec>) {
+        match self {
+            DetectorCore::Serial(d) => d.register(obj, spec),
+            DetectorCore::Parallel(d) => d.register(obj, spec),
+        }
+    }
+
+    fn feed(&self, registry: &Registry) {
+        match self {
+            DetectorCore::Serial(d) => {
+                let stats = d.clock_stats();
+                registry.counter("rd2.conflict_probes").add(
+                    d.num_probes()
+                        .saturating_sub(registry.counter("rd2.conflict_probes").get()),
+                );
+                registry
+                    .gauge("rd2.clock.epoch_hit_rate")
+                    .set(stats.epoch_hit_rate());
+            }
+            DetectorCore::Parallel(d) => d.feed(registry),
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        match self {
+            DetectorCore::Serial(_) => false,
+            DetectorCore::Parallel(d) => d.degraded(),
+        }
+    }
+}
+
+impl Analysis for DetectorCore {
+    fn name(&self) -> &str {
+        "rd2"
+    }
+
+    fn on_fork(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        match self {
+            DetectorCore::Serial(d) => d.on_fork(parent, child),
+            DetectorCore::Parallel(d) => d.on_fork(parent, child),
+        }
+    }
+
+    fn on_join(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        match self {
+            DetectorCore::Serial(d) => d.on_join(parent, child),
+            DetectorCore::Parallel(d) => d.on_join(parent, child),
+        }
+    }
+
+    fn on_acquire(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        match self {
+            DetectorCore::Serial(d) => d.on_acquire(tid, lock),
+            DetectorCore::Parallel(d) => d.on_acquire(tid, lock),
+        }
+    }
+
+    fn on_release(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        match self {
+            DetectorCore::Serial(d) => d.on_release(tid, lock),
+            DetectorCore::Parallel(d) => d.on_release(tid, lock),
+        }
+    }
+
+    fn on_action(&self, tid: crace_model::ThreadId, action: &crace_model::Action) {
+        match self {
+            DetectorCore::Serial(d) => d.on_action(tid, action),
+            DetectorCore::Parallel(d) => d.on_action(tid, action),
+        }
+    }
+
+    fn on_read(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        match self {
+            DetectorCore::Serial(d) => d.on_read(tid, loc),
+            DetectorCore::Parallel(d) => d.on_read(tid, loc),
+        }
+    }
+
+    fn on_write(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        match self {
+            DetectorCore::Serial(d) => d.on_write(tid, loc),
+            DetectorCore::Parallel(d) => d.on_write(tid, loc),
+        }
+    }
+
+    fn abandon_thread(&self, tid: crace_model::ThreadId) {
+        match self {
+            DetectorCore::Serial(d) => d.abandon_thread(tid),
+            DetectorCore::Parallel(d) => d.abandon_thread(tid),
+        }
+    }
+
+    fn report(&self) -> RaceReport {
+        match self {
+            DetectorCore::Serial(d) => d.report(),
+            DetectorCore::Parallel(d) => d.report(),
+        }
+    }
+}
+
+/// The analysis a session's dispatcher drives: lazy object registration
+/// in front of the detector core.
+struct SessionAnalysis {
+    core: DetectorCore,
+    compiled: Arc<CompiledSpec>,
+    registered: Mutex<BTreeSet<ObjId>>,
+    delivered: AtomicU64,
+}
+
+impl SessionAnalysis {
+    fn ensure_registered(&self, obj: ObjId) {
+        let mut seen = self
+            .registered
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if seen.insert(obj) {
+            self.core.register(obj, Arc::clone(&self.compiled));
+        }
+    }
+}
+
+impl Analysis for SessionAnalysis {
+    fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    fn on_fork(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.core.on_fork(parent, child);
+    }
+
+    fn on_join(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.core.on_join(parent, child);
+    }
+
+    fn on_acquire(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.core.on_acquire(tid, lock);
+    }
+
+    fn on_release(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.core.on_release(tid, lock);
+    }
+
+    fn on_action(&self, tid: crace_model::ThreadId, action: &crace_model::Action) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.ensure_registered(action.obj());
+        self.core.on_action(tid, action);
+    }
+
+    fn on_read(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.core.on_read(tid, loc);
+    }
+
+    fn on_write(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.core.on_write(tid, loc);
+    }
+
+    fn report(&self) -> RaceReport {
+        self.core.report()
+    }
+}
+
+/// Exactly what a stream lost, for the final accounting. Mirrors
+/// [`crace_cli::TornTrace`] but for a live connection, where only the
+/// damage actually observed on the wire can be counted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamDamage {
+    /// Bytes received that could not be interpreted (a torn tail, or a
+    /// damaged record line including its newline).
+    pub lost_bytes: u64,
+    /// Damaged record lines observed (a mid-record disconnect tail
+    /// counts as one).
+    pub lost_records: u64,
+    /// What was wrong with the first damaged input.
+    pub reason: String,
+}
+
+/// A finished session's full accounting — the server keeps these so a
+/// torn session's report outlives its connection.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// Session name.
+    pub name: String,
+    /// Spec it detected against (as given in HELLO).
+    pub spec_name: String,
+    /// Worker count (0 = serial).
+    pub workers: usize,
+    /// Framed records decoded and offered to the ring.
+    pub events_ingested: u64,
+    /// Events shed by the ingress ring's overload ladder.
+    pub shed_ring: u64,
+    /// Events shed after quarantine (the fail-open window).
+    pub shed_quarantine: u64,
+    /// Analysis panics absorbed (organic or injected).
+    pub analysis_panics: u64,
+    /// True iff the session ended degraded (quarantined detector or a
+    /// degraded parallel pipeline).
+    pub degraded: bool,
+    /// Wire damage, if the stream tore.
+    pub damage: Option<StreamDamage>,
+    /// True iff the client closed with BYE.
+    pub clean_bye: bool,
+    /// The final report.
+    pub report: RaceReport,
+    /// `report.to_json()`, the bytes served to the client — kept so
+    /// tests can compare bit-for-bit without re-rendering.
+    pub report_json: String,
+}
+
+/// A live session. Owned by an `Arc` shared between the connection
+/// handler and the server's scrape path.
+pub struct Session {
+    name: String,
+    spec_name: String,
+    workers: usize,
+    spec: Spec,
+    ring: Arc<IngressRing>,
+    analysis: Arc<Isolated<FaultedAnalysis<SessionAnalysis>>>,
+    injector: Arc<FaultInjector>,
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+    recorder: Option<Mutex<FramedWriter<Box<dyn Write + Send>>>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    lineno: AtomicU64,
+}
+
+impl Session {
+    /// Builds the session and starts its dispatcher thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the capture sink rejects the framed header.
+    pub fn spawn(
+        name: &str,
+        spec_name: &str,
+        spec: Spec,
+        compiled: Arc<CompiledSpec>,
+        cfg: SessionConfig,
+    ) -> std::io::Result<Arc<Session>> {
+        let tracer = cfg.traced.then(|| Arc::new(Tracer::new()));
+        let core = if cfg.workers > 0 {
+            let pcfg = ParallelConfig {
+                tracer: tracer.clone(),
+                ..ParallelConfig::default()
+            };
+            DetectorCore::Parallel(ParallelRd2::with_config(cfg.workers, pcfg))
+        } else if let Some(t) = &tracer {
+            DetectorCore::Serial(TraceDetector::with_tracer(t, DISPATCH_SPAN_EVERY))
+        } else {
+            DetectorCore::Serial(TraceDetector::new())
+        };
+        let injector = Arc::new(FaultInjector::new(cfg.faults.unwrap_or_default()));
+        let faulted = FaultedAnalysis::new(
+            SessionAnalysis {
+                core,
+                compiled,
+                registered: Mutex::new(BTreeSet::new()),
+                delivered: AtomicU64::new(0),
+            },
+            Arc::clone(&injector),
+        );
+        let analysis = Arc::new(match &tracer {
+            Some(t) => Isolated::with_tracer(faulted, t),
+            None => Isolated::new(faulted),
+        });
+        let recorder = match cfg.record_to {
+            Some(sink) => Some(Mutex::new(FramedWriter::new(sink)?)),
+            None => None,
+        };
+        let ring = Arc::new(IngressRing::new(cfg.ring_capacity, cfg.shed_grace));
+        let dispatcher = {
+            let ring = Arc::clone(&ring);
+            let analysis = Arc::clone(&analysis);
+            std::thread::Builder::new()
+                .name(format!("craced-session-{name}"))
+                .spawn(move || {
+                    while let Some(event) = ring.pop() {
+                        analysis.on_event(&event);
+                    }
+                })?
+        };
+        Ok(Arc::new(Session {
+            name: name.to_string(),
+            spec_name: spec_name.to_string(),
+            workers: cfg.workers,
+            spec,
+            ring,
+            analysis,
+            injector,
+            registry: Arc::new(Registry::new()),
+            tracer,
+            recorder,
+            dispatcher: Mutex::new(Some(dispatcher)),
+            lineno: AtomicU64::new(0),
+        }))
+    }
+
+    /// Session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spec used to decode wire records.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// The session's metric registry (fed lazily; see
+    /// [`Session::feed_metrics`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The session's tracer, when tracing was requested.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Decodes one framed record line and enqueues the event (recording
+    /// it to the capture file first, so the capture reflects everything
+    /// that arrived intact — including events later shed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error for a damaged or malformed record; the
+    /// caller turns it into the torn-stream finalization.
+    pub fn ingest_line(&self, line: &str) -> Result<(), TraceParseError> {
+        let lineno = self.lineno.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = parse_framed_record(line, &self.spec, lineno as usize)?;
+        if let Some(recorder) = &self.recorder {
+            let mut w = recorder.lock().unwrap_or_else(PoisonError::into_inner);
+            // Capture I/O errors must not kill the session: the capture
+            // is an observability artifact, detection is the product.
+            let _ = w.record(&event, &self.spec);
+        }
+        self.ring.push(event);
+        Ok(())
+    }
+
+    /// Waits until everything ingested so far is absorbed, then renders
+    /// the report — the interim `REPORT` request.
+    pub fn report_now(&self) -> RaceReport {
+        self.ring.wait_drained();
+        self.analysis.report()
+    }
+
+    /// Folds current detector/ring/fault/isolation counters into the
+    /// session registry (idempotent where the sources are).
+    pub fn feed_metrics(&self) {
+        let r = &*self.registry;
+        let set_counter = |name: &str, now: u64| {
+            let c = r.counter(name);
+            let cur = c.get();
+            if now > cur {
+                c.add(now - cur);
+            }
+        };
+        set_counter("ingress.events", self.ring.pushed() + self.ring.shed());
+        set_counter("shed.ring", self.ring.shed());
+        set_counter("shed.quarantine", self.analysis.events_shed());
+        r.set_gauge("ingress.depth", self.ring.depth() as f64);
+        self.analysis.feed(r); // rd2.analysis_panics / events_shed / degraded_mode
+        self.injector.feed(r); // fault.*
+        self.analysis.inner().inner().core.feed(r); // detector internals
+        if let Some(t) = &self.tracer {
+            t.feed_timeline(r);
+        }
+    }
+
+    /// Closes the ring, joins the dispatcher, and produces the final
+    /// accounting. Idempotent: later calls return an outcome with the
+    /// same counters (the first call's join already happened).
+    pub fn finalize(&self, clean_bye: bool, damage: Option<StreamDamage>) -> SessionOutcome {
+        self.ring.close();
+        if let Some(handle) = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            // The dispatcher drains the ring then exits; a panic inside
+            // it is impossible by construction (Isolated absorbs them),
+            // but a poisoned join must not take the server down.
+            let _ = handle.join();
+        }
+        let report = self.analysis.report();
+        let report_json = report.to_json();
+        let degraded = self.analysis.quarantined()
+            || self.analysis.inner().inner().core.degraded()
+            || damage.is_some();
+        self.feed_metrics();
+        self.registry.counter("races.total").add(
+            report
+                .total()
+                .saturating_sub(self.registry.counter("races.total").get()),
+        );
+        if let Some(d) = &damage {
+            self.registry.counter("stream.lost_bytes").add(d.lost_bytes);
+            self.registry
+                .counter("stream.lost_records")
+                .add(d.lost_records);
+        }
+        SessionOutcome {
+            name: self.name.clone(),
+            spec_name: self.spec_name.clone(),
+            workers: self.workers,
+            events_ingested: self.ring.pushed() + self.ring.shed(),
+            shed_ring: self.ring.shed(),
+            shed_quarantine: self.analysis.events_shed(),
+            analysis_panics: self.analysis.analysis_panics(),
+            degraded,
+            damage,
+            clean_bye,
+            report,
+            report_json,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_cli::frame_event;
+    use crace_core::translate;
+    use crace_model::Trace;
+    use crace_spec::builtin;
+
+    fn fig3() -> (Trace, Spec) {
+        let spec = builtin::dictionary();
+        let text = "fork 0 1\nfork 0 2\nact 2 o1 put(\"a.com\", 1)/nil\nact 1 o1 put(\"a.com\", 2)/1\njoin 0 1\njoin 0 2\n";
+        let trace = crace_cli::parse_trace(text, &spec).unwrap();
+        (trace, spec)
+    }
+
+    fn session(workers: usize, cfg: SessionConfig) -> Arc<Session> {
+        let (_, spec) = fig3();
+        let compiled = Arc::new(translate(&spec).unwrap());
+        Session::spawn(
+            "t",
+            "dictionary",
+            spec,
+            compiled,
+            SessionConfig { workers, ..cfg },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_records_match_offline_replay() {
+        let (trace, spec) = fig3();
+        for workers in [0usize, 2] {
+            let s = session(workers, SessionConfig::default());
+            for event in trace.iter() {
+                s.ingest_line(&frame_event(event, &spec)).unwrap();
+            }
+            let outcome = s.finalize(true, None);
+            // Offline reference: serial detector, up-front registration.
+            let d = TraceDetector::new();
+            let compiled = Arc::new(translate(&spec).unwrap());
+            d.register(crace_model::ObjId(1), Arc::clone(&compiled));
+            let offline = crace_model::replay(&trace, &d);
+            assert_eq!(outcome.report, offline, "workers={workers}");
+            assert_eq!(outcome.report_json, offline.to_json());
+            assert_eq!(outcome.events_ingested, trace.len() as u64);
+            assert_eq!(outcome.shed_ring, 0);
+            assert!(!outcome.degraded);
+            assert!(outcome.report.total() > 0, "fig3 has the race");
+        }
+    }
+
+    #[test]
+    fn damaged_record_is_rejected_with_line_number() {
+        let s = session(0, SessionConfig::default());
+        let (trace, spec) = fig3();
+        let mut line = frame_event(&trace.events()[0], &spec);
+        line.push('x'); // breaks the length field
+        let e = s.ingest_line(&line).unwrap_err();
+        assert_eq!(e.kind, crace_cli::TraceErrorKind::Torn);
+        s.finalize(
+            false,
+            Some(StreamDamage {
+                lost_bytes: (line.len() + 1) as u64,
+                lost_records: 1,
+                reason: e.message,
+            }),
+        );
+    }
+
+    #[test]
+    fn injected_panic_quarantines_and_fails_open() {
+        let (trace, spec) = fig3();
+        let cfg = SessionConfig {
+            faults: Some(FaultPlan::parse("panic@2").unwrap()),
+            ..SessionConfig::default()
+        };
+        let s = session(0, cfg);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for event in trace.iter() {
+            s.ingest_line(&frame_event(event, &spec)).unwrap();
+        }
+        let outcome = s.finalize(true, None);
+        std::panic::set_hook(prev);
+        assert_eq!(outcome.analysis_panics, 1);
+        assert!(outcome.degraded);
+        // Fail open: a report still comes out, and shedding can only
+        // hide races, never invent them.
+        let d = TraceDetector::new();
+        let compiled = Arc::new(translate(&spec).unwrap());
+        d.register(crace_model::ObjId(1), Arc::clone(&compiled));
+        let offline = crace_model::replay(&trace, &d);
+        assert!(outcome.report.total() <= offline.total());
+    }
+
+    #[test]
+    fn capture_file_holds_every_intact_record() {
+        let (trace, spec) = fig3();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = SessionConfig {
+            record_to: Some(Box::new(Shared(Arc::clone(&buf)))),
+            ..SessionConfig::default()
+        };
+        let s = session(0, cfg);
+        for event in trace.iter() {
+            s.ingest_line(&frame_event(event, &spec)).unwrap();
+        }
+        s.finalize(true, None);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(crace_cli::parse_trace(&text, &spec).unwrap(), trace);
+    }
+}

@@ -1,0 +1,283 @@
+//! Malformed-input fuzz: the daemon must survive arbitrary garbage.
+//!
+//! Every case here is a byte string thrown at a live server on a fresh
+//! connection. The contract is uniform: the server never panics, never
+//! wedges, answers with an `ERR` line (or an HTTP error) where a reply
+//! is possible, and — the part each case re-proves — keeps serving
+//! clean sessions afterwards. The corpus covers bad HELLOs, oversized
+//! frames and announced lengths, CRC flips, truncated length prefixes,
+//! binary garbage, interleaved garbage mid-session, and HTTP junk.
+
+use crace_daemon::{Client, Endpoint, Server, ServerConfig};
+use crace_spec::builtin;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_server() -> Server {
+    Server::start(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        ServerConfig::default(),
+    )
+    .expect("bind fuzz server")
+}
+
+fn addr(server: &Server) -> String {
+    match server.endpoint() {
+        Endpoint::Tcp(a) => a.clone(),
+        Endpoint::Unix(_) => unreachable!("fuzz server is TCP"),
+    }
+}
+
+/// Throws `payload` at the server on a fresh socket and drains whatever
+/// comes back (bounded by the read timeout, so a mute server cannot hang
+/// the test).
+fn throw(addr: &str, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The server may close its end mid-write (e.g. after an early ERR);
+    // a broken pipe here is the server working as intended.
+    let _ = stream.write_all(payload);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    String::from_utf8_lossy(&reply).into_owned()
+}
+
+/// The aliveness probe: a complete clean session must still work.
+fn assert_alive(server: &Server) {
+    let mut client = Client::connect(server.endpoint()).expect("server stopped accepting");
+    client
+        .hello("probe", "dictionary", 0, None)
+        .expect("server stopped taking sessions");
+    let spec = builtin::dictionary();
+    let event = crace_model::Event::Fork {
+        parent: crace_model::ThreadId(0),
+        child: crace_model::ThreadId(1),
+    };
+    client.send_event(&event, &spec).expect("send");
+    let (report, stats) = client.bye().expect("BYE");
+    assert!(report.contains("\"total\""));
+    assert_eq!(stats.get("events"), 1);
+}
+
+#[test]
+fn forty_flavors_of_garbage_cannot_kill_the_server() {
+    let server = start_server();
+    let addr = addr(&server);
+    let spec = builtin::dictionary();
+    let valid_record = crace_cli::frame_event(
+        &crace_model::Event::Fork {
+            parent: crace_model::ThreadId(0),
+            child: crace_model::ThreadId(1),
+        },
+        &spec,
+    );
+
+    let long_name = "a".repeat(65);
+    let long_spec = "s".repeat(300);
+    let huge_line = "x".repeat(80 * 1024);
+    let mut flipped = valid_record.clone().into_bytes();
+    let flip_at = flipped.len() - 1;
+    flipped[flip_at] ^= 0x20;
+    let flipped = String::from_utf8_lossy(&flipped).into_owned();
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        // --- HELLO abuse ---
+        ("empty hello", b"HELLO\n".to_vec()),
+        ("hello missing spec", b"HELLO x\n".to_vec()),
+        ("hello dash name", b"HELLO -x dictionary\n".to_vec()),
+        ("hello dot name", b"HELLO .. dictionary\n".to_vec()),
+        ("hello slash name", b"HELLO a/b dictionary\n".to_vec()),
+        (
+            "hello unknown spec",
+            b"HELLO ok no-such-spec-anywhere\n".to_vec(),
+        ),
+        (
+            "hello bad workers",
+            b"HELLO ok dictionary workers=abc\n".to_vec(),
+        ),
+        (
+            "hello huge workers",
+            b"HELLO ok dictionary workers=99999\n".to_vec(),
+        ),
+        (
+            "hello negative workers",
+            b"HELLO ok dictionary workers=-1\n".to_vec(),
+        ),
+        (
+            "hello bad fault plan",
+            b"HELLO ok dictionary faults=bogus@zzz\n".to_vec(),
+        ),
+        (
+            "hello unknown option",
+            b"HELLO ok dictionary frobnicate=1\n".to_vec(),
+        ),
+        ("hello lowercase verb", b"hello ok dictionary\n".to_vec()),
+        (
+            "hello long name",
+            format!("HELLO {long_name} dictionary\n").into_bytes(),
+        ),
+        (
+            "hello long spec",
+            format!("HELLO ok {long_spec}\n").into_bytes(),
+        ),
+        (
+            "double hello",
+            b"HELLO a dictionary\nHELLO b dictionary\n".to_vec(),
+        ),
+        // --- control verbs out of place ---
+        ("report before hello", b"REPORT\n".to_vec()),
+        ("bye before hello", b"BYE\n".to_vec()),
+        (
+            "report with args",
+            b"HELLO r1 dictionary\nREPORT now please\n".to_vec(),
+        ),
+        ("bye with args", b"HELLO r2 dictionary\nBYE bye\n".to_vec()),
+        ("unknown verb", b"FROBNICATE the detector\n".to_vec()),
+        // --- framed-record damage ---
+        (
+            "record before hello",
+            format!("{valid_record}\n").into_bytes(),
+        ),
+        ("bare equals", b"=\n".to_vec()),
+        ("empty length", b"=:deadbeef x\n".to_vec()),
+        ("alpha length", b"=abc:deadbeef x\n".to_vec()),
+        ("truncated prefix no colon", b"=12345\n".to_vec()),
+        (
+            "oversized announcement",
+            b"=999999999:deadbeef x\n".to_vec(),
+        ),
+        (
+            "length payload mismatch",
+            b"HELLO f1 dictionary\n=99:00000000 fork 0 1\n".to_vec(),
+        ),
+        (
+            "crc flip",
+            format!("HELLO f2 dictionary\n{flipped}\n").into_bytes(),
+        ),
+        (
+            "bad crc digits",
+            b"HELLO f3 dictionary\n=10:zzzzzzzz fork 0 1\n".to_vec(),
+        ),
+        (
+            "garbage between records",
+            format!("HELLO f4 dictionary\n{valid_record}\nGARBAGE IN THE STREAM\n").into_bytes(),
+        ),
+        (
+            "truncated record then eof",
+            format!("HELLO f5 dictionary\n{valid_record}\n=13:0000").into_bytes(),
+        ),
+        // --- raw bytes ---
+        ("empty connection", Vec::new()),
+        ("lone newline", b"\n".to_vec()),
+        ("null bytes", b"\x00\x00\x00\x00\n".to_vec()),
+        ("invalid utf8", b"\xff\xfe\xfd HELLO\n".to_vec()),
+        (
+            "invalid utf8 mid-session",
+            format!("HELLO f6 dictionary\n{valid_record}\n")
+                .into_bytes()
+                .into_iter()
+                .chain(b"\xffgarbage\xfe\n".iter().copied())
+                .collect(),
+        ),
+        ("huge line no newline", huge_line.clone().into_bytes()),
+        (
+            "huge line with newline",
+            format!("{huge_line}\n").into_bytes(),
+        ),
+        // --- HTTP junk ---
+        ("bare get", b"GET\n".to_vec()),
+        ("http 404", b"GET /nothere HTTP/1.1\r\n\r\n".to_vec()),
+        ("http post", b"POST /metrics HTTP/1.1\r\n\r\n".to_vec()),
+        ("http no version", b"GET /metrics\r\n\r\n".to_vec()),
+        ("http absurd header flood", {
+            let mut req = b"GET /metrics HTTP/1.1\r\n".to_vec();
+            for i in 0..200 {
+                req.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "y".repeat(100)).as_bytes());
+            }
+            req.extend_from_slice(b"\r\n");
+            req
+        }),
+    ];
+
+    assert!(cases.len() >= 40, "corpus shrank to {}", cases.len());
+    for (name, payload) in &cases {
+        let reply = throw(&addr, payload);
+        // Where the server could say anything at all, it speaks the
+        // protocol: an ERR line, an OK/REPORT exchange, or HTTP.
+        if !reply.is_empty() {
+            assert!(
+                reply.starts_with("ERR ")
+                    || reply.starts_with("OK ")
+                    || reply.starts_with("HTTP/1.1 "),
+                "case `{name}`: server spoke gibberish: {reply:.120}"
+            );
+        }
+        assert_alive(&server);
+    }
+
+    // Nothing above may leak a session (every torn one finalizes).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.active_sessions() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fuzz leaked {} session(s)",
+            server.active_sessions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+/// Hostile connection counts: more simultaneous connections than the
+/// bound. The extras are turned away with an `ERR`, the server keeps
+/// serving, and the reject counter moves.
+#[test]
+fn connection_flood_is_bounded_not_fatal() {
+    let server = Server::start(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        ServerConfig {
+            max_connections: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = addr(&server);
+    // Hold several sessions open…
+    let mut held = Vec::new();
+    for i in 0..4 {
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        client
+            .hello(&format!("hold-{i}"), "dictionary", 0, None)
+            .expect("HELLO");
+        held.push(client);
+    }
+    // …then flood. Some rejections must occur; none may kill the server.
+    let mut rejected = 0;
+    for _ in 0..12 {
+        let reply = throw(&addr, b"HELLO flood dictionary\n");
+        if reply.contains("connection capacity") {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "the bound never engaged");
+    drop(held);
+    // With the held sessions gone, service resumes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut client = Client::connect(server.endpoint()).expect("connect");
+        if client.hello("after-flood", "dictionary", 0, None).is_ok() {
+            let _ = client.bye();
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never recovered from the flood"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -94,6 +94,42 @@ impl Snapshot {
         self.values.iter()
     }
 
+    /// A copy of this snapshot with every metric name prefixed by
+    /// `prefix` (typically ending in `.`). Name order is preserved:
+    /// prefixing every name with the same string keeps the sort.
+    ///
+    /// This is how a multi-tenant server namespaces per-session
+    /// registries: `session.snapshot().prefixed("session.alice.")`.
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .map(|(n, v)| (format!("{prefix}{n}"), *v))
+                .collect(),
+        }
+    }
+
+    /// Merges snapshots into one, re-sorted by name. Duplicate names
+    /// keep the value from the later operand (last write wins), so a
+    /// scrape endpoint can union a server registry with prefixed
+    /// per-session snapshots and still render deterministically.
+    pub fn merged<I: IntoIterator<Item = Snapshot>>(parts: I) -> Snapshot {
+        let mut values: Vec<(String, MetricValue)> =
+            parts.into_iter().flat_map(|s| s.values).collect();
+        // Stable sort: equal names keep insertion order, so `last = later
+        // operand` after the backwards dedup below.
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut deduped: Vec<(String, MetricValue)> = Vec::with_capacity(values.len());
+        for (name, value) in values {
+            match deduped.last_mut() {
+                Some(last) if last.0 == name => last.1 = value,
+                _ => deduped.push((name, value)),
+            }
+        }
+        Snapshot { values: deduped }
+    }
+
     /// Looks up a metric by exact name.
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
         self.values
@@ -269,6 +305,43 @@ mod tests {
         assert_eq!(s.get("zzz"), None);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn prefixed_preserves_order_and_lookup() {
+        let p = sample().prefixed("session.t1.");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get("session.t1.a.count"), Some(&MetricValue::Counter(7)));
+        assert_eq!(p.get("a.count"), None);
+        // Still sorted, so binary-search lookups keep working.
+        let names: Vec<&str> = p.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        crate::json::validate(&p.to_json()).expect("valid json");
+    }
+
+    #[test]
+    fn merged_unions_and_later_operand_wins() {
+        let a = Snapshot::new(vec![
+            ("x".into(), MetricValue::Counter(1)),
+            ("y".into(), MetricValue::Counter(2)),
+        ]);
+        let b = Snapshot::new(vec![
+            ("w".into(), MetricValue::Counter(9)),
+            ("y".into(), MetricValue::Counter(5)),
+        ]);
+        let m = Snapshot::merged([a, b]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("w"), Some(&MetricValue::Counter(9)));
+        assert_eq!(m.get("y"), Some(&MetricValue::Counter(5)));
+        let names: Vec<&str> = m.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["w", "x", "y"]);
+        // Merging prefixed session snapshots with a server snapshot is
+        // the /metrics scrape shape; it must stay render-clean.
+        let scrape = Snapshot::merged([sample().prefixed("session.a."), sample()]);
+        crate::json::validate(&scrape.to_json()).expect("valid json");
+        assert_eq!(scrape.len(), 6);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! degradation counters; it is the object the runtime consults once per
 //! dispatch slot.
 
+use crace_model::Analysis;
 use crace_obs::Registry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -280,6 +281,132 @@ impl FaultInjector {
     }
 }
 
+/// An [`Analysis`] wrapper that executes a [`FaultPlan`] on the dispatch
+/// path: every delivered event claims one injector slot, and the planned
+/// fault (if any) fires *inside* the dispatch.
+///
+/// This is how a service layer (the `crace-daemon` session dispatcher)
+/// chaos-tests its own degradation ladder: wrap the session detector as
+/// `Isolated<FaultedAnalysis<D>>` and an injected [`Fault::PanicThread`]
+/// panics in exactly the place a detector bug would, so the surrounding
+/// [`Isolated`](crace_model::Isolated) must quarantine and fail open.
+///
+/// The shed discipline matches the runtime's: [`Fault::Drop`] planned on
+/// a synchronization slot is suppressed (the event still delivers),
+/// because losing a happens-before edge could *invent* races, which the
+/// degradation contract forbids. Drops on data-plane slots (actions,
+/// reads, writes) skip delivery and are counted. [`Fault::Delay`] sleeps
+/// for the planned microseconds, then delivers.
+pub struct FaultedAnalysis<A: Analysis> {
+    inner: A,
+    injector: std::sync::Arc<FaultInjector>,
+}
+
+impl<A: Analysis> FaultedAnalysis<A> {
+    /// Wraps `inner`, consulting `injector` once per delivered event.
+    pub fn new(inner: A, injector: std::sync::Arc<FaultInjector>) -> FaultedAnalysis<A> {
+        FaultedAnalysis { inner, injector }
+    }
+
+    /// The injector this wrapper consults (for degradation counters).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The wrapped analysis.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Claims the next slot and executes its fault. Returns `false` iff
+    /// the dispatch was shed (data-plane drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot holds [`Fault::PanicThread`] — by design; the
+    /// caller is expected to sit inside a panic-isolation boundary.
+    fn gate(&self, sync: bool) -> bool {
+        let (at, fault) = self.injector.next();
+        match fault {
+            None => true,
+            Some(Fault::PanicThread) => {
+                self.injector.record_panic();
+                panic!("injected analysis panic at dispatch slot {at}");
+            }
+            Some(Fault::Drop) => {
+                if sync {
+                    true // never shed a happens-before edge
+                } else {
+                    self.injector.record_drop();
+                    false
+                }
+            }
+            Some(Fault::Delay(us)) => {
+                self.injector.record_delay();
+                std::thread::sleep(std::time::Duration::from_micros(us));
+                true
+            }
+        }
+    }
+}
+
+impl<A: Analysis> Analysis for FaultedAnalysis<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_fork(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        if self.gate(true) {
+            self.inner.on_fork(parent, child);
+        }
+    }
+
+    fn on_join(&self, parent: crace_model::ThreadId, child: crace_model::ThreadId) {
+        if self.gate(true) {
+            self.inner.on_join(parent, child);
+        }
+    }
+
+    fn on_acquire(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        if self.gate(true) {
+            self.inner.on_acquire(tid, lock);
+        }
+    }
+
+    fn on_release(&self, tid: crace_model::ThreadId, lock: crace_model::LockId) {
+        if self.gate(true) {
+            self.inner.on_release(tid, lock);
+        }
+    }
+
+    fn on_action(&self, tid: crace_model::ThreadId, action: &crace_model::Action) {
+        if self.gate(false) {
+            self.inner.on_action(tid, action);
+        }
+    }
+
+    fn on_read(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        if self.gate(false) {
+            self.inner.on_read(tid, loc);
+        }
+    }
+
+    fn on_write(&self, tid: crace_model::ThreadId, loc: crace_model::LocId) {
+        if self.gate(false) {
+            self.inner.on_write(tid, loc);
+        }
+    }
+
+    fn abandon_thread(&self, tid: crace_model::ThreadId) {
+        // Control-plane: not a dispatch slot, always delivered.
+        self.inner.abandon_thread(tid);
+    }
+
+    fn report(&self) -> crace_model::RaceReport {
+        self.inner.report()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +453,49 @@ mod tests {
         assert_eq!(inj.next(), (2, Some(Fault::Drop)));
         assert_eq!(inj.next(), (3, None));
         assert_eq!(inj.events_seen(), 4);
+    }
+
+    #[test]
+    fn faulted_analysis_sheds_data_plane_only_and_panics_on_cue() {
+        use crace_model::{Recorder, ThreadId};
+        use std::sync::Arc;
+
+        // Slots: 0 fork (sync), 1 read (data), 2 read (data), 3 rel (sync).
+        let plan = FaultPlan::new()
+            .with(0, Fault::Drop)
+            .with(1, Fault::Drop)
+            .with(2, Fault::Delay(1));
+        let inj = Arc::new(FaultInjector::new(plan));
+        let wrapped = FaultedAnalysis::new(Recorder::new(), Arc::clone(&inj));
+        wrapped.on_fork(ThreadId(0), ThreadId(1));
+        wrapped.on_read(ThreadId(1), crace_model::LocId(7));
+        wrapped.on_read(ThreadId(1), crace_model::LocId(8));
+        wrapped.on_release(ThreadId(1), crace_model::LockId(0));
+        // The sync drop was suppressed, the data drop shed, the delay
+        // delivered: 3 of 4 events reach the recorder.
+        assert_eq!(wrapped.inner().snapshot().len(), 3);
+        assert_eq!(
+            inj.degradation(),
+            Degradation {
+                panics_injected: 0,
+                events_dropped: 1,
+                events_delayed: 1,
+            }
+        );
+
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new().with(0, Fault::PanicThread),
+        ));
+        let wrapped = FaultedAnalysis::new(Recorder::new(), Arc::clone(&inj));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wrapped.on_fork(ThreadId(0), ThreadId(1));
+        }))
+        .is_err();
+        std::panic::set_hook(prev);
+        assert!(died, "planned panic must fire inside the dispatch");
+        assert_eq!(inj.degradation().panics_injected, 1);
     }
 
     #[test]

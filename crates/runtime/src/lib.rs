@@ -75,7 +75,7 @@ pub mod sim;
 pub use cell::TrackedCell;
 pub use counter::MonitoredCounter;
 pub use dict::MonitoredDict;
-pub use fault::{Fault, FaultInjector, FaultPlan};
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultedAnalysis};
 pub use queue::MonitoredQueue;
 pub use register::MonitoredRegister;
 pub use registry::ObjectRegistry;

@@ -16,6 +16,12 @@
 //!               [--workers N] [--metrics[=json|prom]] [--trace-out <file>]
 //! crace bench-diff <old.json> <new.json> [--threshold PCT]  # bench regression gate
 //! crace frame   <trace-file> --spec <file>  # convert to the framed format
+//! crace serve   (--socket <path> | --tcp <addr>) [--workers N] [--ring N]
+//!               [--grace-ms N] [--max-conns N] [--record-dir D] [--trace-dir D]
+//!               [--allow-faults] [--addr-file F]   # streaming detection daemon
+//! crace submit  <trace-file> --spec <name> (--socket <path> | --tcp <addr>)
+//!               [--session NAME] [--workers N] [--chunk BYTES] [--json]
+//!               [--tolerate-truncation]   # stream a trace to a daemon
 //! crace table2  [scale]                     # regenerate Table 2
 //! crace builtins                            # list builtin specifications
 //! ```
@@ -55,6 +61,8 @@ fn main() -> ExitCode {
         Some("explore") => cmd_explore(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("frame") => cmd_frame(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("table2") => cmd_table2(&args[1..]),
         Some("builtins") => cmd_builtins(),
         _ => {
@@ -91,6 +99,12 @@ usage:
                 [--workers N] [--metrics[=json|prom]] [--trace-out <file>]
   crace bench-diff <old.json> <new.json> [--threshold PCT]
   crace frame   <trace-file> --spec <spec-file|builtin>
+  crace serve   (--socket <path> | --tcp <addr>) [--workers N] [--ring N]
+                [--grace-ms N] [--max-conns N] [--record-dir <dir>]
+                [--trace-dir <dir>] [--allow-faults] [--addr-file <file>]
+  crace submit  <trace-file> --spec <spec-file|builtin>
+                (--socket <path> | --tcp <addr>) [--session NAME]
+                [--workers N] [--chunk BYTES] [--json] [--tolerate-truncation]
   crace table2  [scale]
   crace builtins
 
@@ -979,6 +993,184 @@ fn cmd_frame(args: &[String]) -> Result<ExitCode, String> {
     };
     print!("{}", crace_cli::render_framed(&loaded.trace, &loaded.spec));
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parses the one endpoint flag shared by `serve` and `submit`. Returns
+/// `Ok(None)` when `arg` is neither flag.
+fn parse_endpoint_flag<'a>(
+    arg: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<Option<crace_daemon::Endpoint>, String> {
+    match arg {
+        "--socket" => {
+            let path = it.next().ok_or("--socket needs a path")?;
+            Ok(Some(crace_daemon::Endpoint::Unix(path.into())))
+        }
+        "--tcp" => {
+            let addr = it.next().ok_or("--tcp needs an address")?;
+            Ok(Some(crace_daemon::Endpoint::Tcp(addr.clone())))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint: Option<crace_daemon::Endpoint> = None;
+    let mut cfg = crace_daemon::ServerConfig {
+        // A network-facing daemon takes no fault plans unless the
+        // operator opts into the chaos test plane.
+        allow_faults: false,
+        ..crace_daemon::ServerConfig::default()
+    };
+    let mut addr_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(e) = parse_endpoint_flag(arg, &mut it)? {
+            endpoint = Some(e);
+            continue;
+        }
+        match arg.as_str() {
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                cfg.default_workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+            }
+            "--ring" => {
+                let n = it.next().ok_or("--ring needs a capacity")?;
+                cfg.ring_capacity = n.parse().map_err(|_| format!("bad ring capacity `{n}`"))?;
+            }
+            "--grace-ms" => {
+                let n = it.next().ok_or("--grace-ms needs a duration")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad grace `{n}`"))?;
+                cfg.shed_grace = std::time::Duration::from_millis(ms);
+            }
+            "--max-conns" => {
+                let n = it.next().ok_or("--max-conns needs a count")?;
+                cfg.max_connections = n.parse().map_err(|_| format!("bad bound `{n}`"))?;
+            }
+            "--record-dir" => {
+                cfg.record_dir = Some(it.next().ok_or("--record-dir needs a directory")?.into());
+            }
+            "--trace-dir" => {
+                cfg.trace_dir = Some(it.next().ok_or("--trace-dir needs a directory")?.into());
+            }
+            "--allow-faults" => cfg.allow_faults = true,
+            "--addr-file" => addr_file = Some(it.next().ok_or("--addr-file needs a file")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let endpoint = endpoint.ok_or("serve needs --socket <path> or --tcp <addr>")?;
+    let server =
+        crace_daemon::Server::start(&endpoint, cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    // The resolved endpoint (TCP port 0 becomes the real port) goes to
+    // stdout and, for scripts, the --addr-file.
+    println!("craced listening on {}", server.endpoint());
+    if let Some(path) = addr_file {
+        let bare = match server.endpoint() {
+            crace_daemon::Endpoint::Unix(p) => p.display().to_string(),
+            crace_daemon::Endpoint::Tcp(a) => a.clone(),
+        };
+        std::fs::write(&path, format!("{bare}\n")).map_err(|e| format!("--addr-file: {e}"))?;
+    }
+    // Serve until killed; the accept loop runs on its own thread.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint: Option<crace_daemon::Endpoint> = None;
+    let mut session: Option<String> = None;
+    let mut workers = 0usize;
+    let mut chunk = 0usize;
+    let mut json = false;
+    let mut tolerate = false;
+    let opts = parse_replay_opts(args, |arg, it| {
+        if let Some(e) = parse_endpoint_flag(arg, it)? {
+            endpoint = Some(e);
+            return Ok(true);
+        }
+        match arg {
+            "--session" => session = Some(it.next().ok_or("--session needs a name")?.clone()),
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+            }
+            "--chunk" => {
+                let n = it.next().ok_or("--chunk needs a byte count")?;
+                chunk = n.parse().map_err(|_| format!("bad chunk size `{n}`"))?;
+            }
+            "--json" => json = true,
+            "--tolerate-truncation" => tolerate = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    let endpoint = endpoint.ok_or("submit needs --socket <path> or --tcp <addr>")?;
+    let loaded = match load_trace(&opts, tolerate) {
+        Ok(loaded) => loaded,
+        Err(failure) => return torn_exit(failure),
+    };
+    if let Some(recovery) = &loaded.recovery {
+        eprintln!("warning: `{}` is torn: {recovery}", opts.trace_path);
+    }
+    // Default session name: the trace file's stem, sanitized to the
+    // protocol's name alphabet, pid-suffixed so repeats don't collide.
+    let session = session.unwrap_or_else(|| {
+        let stem = std::path::Path::new(&opts.trace_path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "submit".to_string());
+        let mut name: String = stem
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(40)
+            .collect();
+        if name.is_empty() || name.starts_with('-') {
+            name.insert(0, 's');
+        }
+        format!("{name}-{}", std::process::id())
+    });
+    let mut client = crace_daemon::Client::connect(&endpoint)
+        .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+    let ok = client
+        .hello(&session, &opts.spec_name, workers, None)
+        .map_err(|e| format!("daemon rejected HELLO: {e}"))?;
+    if !json {
+        println!("{ok}");
+        println!(
+            "streaming {} event(s) as session `{session}` …",
+            loaded.trace.len()
+        );
+    }
+    if chunk > 0 {
+        let body = crace_cli::render_framed(&loaded.trace, &loaded.spec);
+        client
+            .send_chunked(body.as_bytes(), chunk)
+            .map_err(|e| format!("stream failed: {e}"))?;
+    } else {
+        for event in loaded.trace.events() {
+            client
+                .send_event(event, &loaded.spec)
+                .map_err(|e| format!("stream failed: {e}"))?;
+        }
+    }
+    let (report, stats) = client.bye().map_err(|e| format!("daemon error: {e}"))?;
+    if json {
+        print!("{report}");
+    } else {
+        println!(
+            "events={} shed={} races={} degraded={}",
+            stats.get("events"),
+            stats.get("shed_ring") + stats.get("shed_quarantine"),
+            stats.get("races"),
+            stats.get("degraded"),
+        );
+    }
+    Ok(if stats.get("races") > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {

@@ -38,7 +38,10 @@
 //! * [`boost`] — abstract locking from access points (commutativity-based
 //!   optimistic concurrency control),
 //! * [`cli`] — the textual trace format behind the `crace` command-line
-//!   tool.
+//!   tool,
+//! * [`daemon`] — the multi-tenant streaming detection service
+//!   (`crace serve` / `crace submit`): framed events over Unix or TCP
+//!   sockets, one detector per session, live `/metrics`.
 //!
 //! # Quickstart
 //!
@@ -90,6 +93,7 @@ pub use crace_atomicity as atomicity;
 pub use crace_boost as boost;
 pub use crace_cli as cli;
 pub use crace_core as core;
+pub use crace_daemon as daemon;
 pub use crace_fasttrack as fasttrack;
 pub use crace_model as model;
 pub use crace_obs as obs;
@@ -105,6 +109,7 @@ pub use crace_core::{
     translate, ClockMode, Direct, ParallelConfig, ParallelRd2, ParallelStats, Rd2, TraceDetector,
     TranslateError,
 };
+pub use crace_daemon::{Client, Endpoint, Server, ServerConfig, Session, SessionOutcome};
 pub use crace_fasttrack::FastTrack;
 pub use crace_model::{
     replay, Action, Analysis, Event, Isolated, LocId, LockId, MethodId, NoopAnalysis, ObjId,

@@ -7,7 +7,7 @@ use std::process::{Command, Output};
 
 fn data(name: &str) -> String {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.push("tests/data");
+    p.push("crates/cli/tests/data");
     p.push(name);
     p.to_str().unwrap().to_string()
 }

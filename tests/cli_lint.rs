@@ -8,7 +8,7 @@ use std::process::{Command, Output};
 
 fn fixture(name: &str) -> String {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.push("tests/data/lint");
+    p.push("crates/cli/tests/data/lint");
     p.push(name);
     p.to_str().unwrap().to_string()
 }
