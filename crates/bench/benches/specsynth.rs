@@ -1,0 +1,46 @@
+//! Cost of weakest-condition synthesis (`crace synth`): per builtin type
+//! at the default universe, and for the dictionary across growing
+//! universes. Synthesis dominates linting because it labels every bounded
+//! action pair *and* runs a prime-implicant cover per method pair, so the
+//! universe sweep exposes the exponential bounded-domain factor the
+//! `--max-actions` budget guards against.
+
+use crace_specsynth::{synthesize, SynthConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_types(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specsynth_type");
+    let config = SynthConfig::default();
+    for name in [
+        "dictionary",
+        "dictionary_ext",
+        "set",
+        "counter",
+        "register",
+        "queue",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| synthesize(name, &config).expect("synthesize"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specsynth_universe");
+    for max_int in [2i64, 3, 4] {
+        let config = SynthConfig {
+            max_int,
+            max_actions: 1 << 20,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("dictionary", max_int),
+            &config,
+            |b, cfg| b.iter(|| synthesize("dictionary", cfg).expect("synthesize")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_types, bench_universe);
+criterion_main!(benches);

@@ -534,9 +534,12 @@ impl Formula {
                     if need {
                         out.push('(');
                     }
+                    // The parser folds `&&` left-associatively, so a
+                    // right-nested And child must keep its parentheses for
+                    // the reparse to rebuild this exact tree.
                     go(a, sig1, sig2, 2, out);
                     out.push_str(" && ");
-                    go(b, sig1, sig2, 2, out);
+                    go(b, sig1, sig2, 3, out);
                     if need {
                         out.push(')');
                     }
@@ -548,7 +551,7 @@ impl Formula {
                     }
                     go(a, sig1, sig2, 1, out);
                     out.push_str(" || ");
-                    go(b, sig1, sig2, 1, out);
+                    go(b, sig1, sig2, 2, out);
                     if need {
                         out.push(')');
                     }

@@ -157,3 +157,64 @@ fn builtin_specs_round_trip_semantically() {
         }
     }
 }
+
+/// Structural round-trip: `parse(render(s)) == s` — the reparse must
+/// rebuild the *same formula trees*, not merely semantically equivalent
+/// ones. The property holds on the parser's image (builder-made formulas
+/// may contain inexpressible detail, e.g. the side tag of a const-only
+/// atom, which the parser constant-folds away), so each generated spec is
+/// first projected to canonical form through one parse; on canonical
+/// specs render∘parse must be the identity. This is what makes the
+/// printer parenthesize right-nested children of the left-associative
+/// `&&`/`||`.
+#[test]
+fn random_specs_round_trip_structurally() {
+    let mut checked = 0u32;
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(generated) = gen_spec(&mut rng) else {
+            continue;
+        };
+        let canonical = generated.to_source();
+        let spec = parse(&canonical)
+            .unwrap_or_else(|e| panic!("seed {seed}: {}\n{canonical}", e.render(&canonical)));
+        let source = spec.to_source();
+        let reparsed = parse(&source)
+            .unwrap_or_else(|e| panic!("seed {seed}: {}\n{source}", e.render(&source)));
+        for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let (x, y) = (MethodId(x), MethodId(y));
+            assert_eq!(
+                spec.formula(x, y),
+                reparsed.formula(x, y),
+                "seed {seed}: pair ({x:?}, {y:?})\n{source}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 700);
+}
+
+#[test]
+fn builtin_specs_round_trip_structurally() {
+    for spec in crace_spec::builtin::all() {
+        let source = spec.to_source();
+        let reparsed = parse(&source).expect("builtins round trip");
+        assert_eq!(reparsed.name(), spec.name());
+        assert_eq!(reparsed.num_methods(), spec.num_methods());
+        for i in 0..spec.num_methods() as u32 {
+            assert_eq!(
+                reparsed.sig(MethodId(i)).name(),
+                spec.sig(MethodId(i)).name()
+            );
+            for j in 0..spec.num_methods() as u32 {
+                let (x, y) = (MethodId(i), MethodId(j));
+                assert_eq!(
+                    spec.formula(x, y),
+                    reparsed.formula(x, y),
+                    "{}: pair ({x:?}, {y:?})\n{source}",
+                    spec.name()
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
-//! The lint driver: lenient resolution, the five analysis passes, and
+//! The lint driver: lenient resolution, the six analysis passes, and
 //! report assembly.
 
+use crate::oracle::{self, OracleConfig};
 use crate::{audit, model, passes, Code, Diagnostic, LintReport, MethodCost, Severity, Summary};
 use crace_core::{translate, MAX_ATOMS_PER_METHOD};
 use crace_model::MethodId;
@@ -22,6 +23,32 @@ use std::collections::{BTreeMap, BTreeSet};
 /// method table that cannot be built (duplicate method names). Everything
 /// else is a [`Diagnostic`] in the report.
 pub fn lint(source: &str) -> Result<LintReport, SpecError> {
+    lint_with(source, &LintOptions::default())
+}
+
+/// Knobs for [`lint_with`]; [`Default`] reproduces [`lint`].
+#[derive(Clone, Copy, Debug)]
+pub struct LintOptions {
+    /// Per-pair execution budget for the bounded-model audits (L010/L011);
+    /// surfaced on the CLI as `crace lint --max-actions N`. A pair over
+    /// budget becomes a spanned error, never a silent truncation.
+    pub max_actions: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            max_actions: oracle::DEFAULT_MAX_ACTIONS,
+        }
+    }
+}
+
+/// [`lint`] with explicit [`LintOptions`].
+///
+/// # Errors
+///
+/// Same contract as [`lint`].
+pub fn lint_with(source: &str, options: &LintOptions) -> Result<LintReport, SpecError> {
     let ast = crace_spec::parse_ast(source)?;
     let methods = resolve_methods(&ast)?;
     let mut diags: Vec<Diagnostic> = Vec::new();
@@ -177,7 +204,7 @@ pub fn lint(source: &str) -> Result<LintReport, SpecError> {
 
     // Pass 3 (L005/L006/L007): conjunct diagnostics per kept rule, over the
     // shared bounded value universe.
-    let universe = audit::spec_universe(&spec);
+    let universe = oracle::spec_universe(&spec);
     for ((m1, m2), r) in &kept {
         let ctx = passes::RuleCtx {
             formula: &r.formula,
@@ -216,9 +243,9 @@ pub fn lint(source: &str) -> Result<LintReport, SpecError> {
         });
     }
 
-    // Summary stats, pass 4 (L009) and pass 5 (L010). Translation stats and
-    // the differential pipeline audit need a translatable (ECL, bounded)
-    // spec; the soundness audit only needs `Spec::commute`.
+    // Summary stats, pass 4 (L009) and passes 5-6 (L010/L011). Translation
+    // stats and the differential pipeline audit need a translatable (ECL,
+    // bounded) spec; the model audits only need the formula semantics.
     let mut summary = Summary {
         spec_name: ast.name.clone(),
         methods: spec.num_methods(),
@@ -242,7 +269,12 @@ pub fn lint(source: &str) -> Result<LintReport, SpecError> {
             .collect();
         diags.extend(audit::audit_pipeline(&spec, &universe, &span_of));
     }
-    diags.extend(model::audit_soundness(&spec, &span_of));
+    let ruled: BTreeSet<(MethodId, MethodId)> = pair_spans.keys().cloned().collect();
+    let oracle_cfg = OracleConfig {
+        max_actions: options.max_actions,
+        ..OracleConfig::default()
+    };
+    diags.extend(model::audit_model(&spec, &ruled, &span_of, &oracle_cfg));
 
     diags.sort_by_key(|d| (d.span.map_or(u32::MAX, |s| s.start), d.code));
     Ok(LintReport {
@@ -261,15 +293,8 @@ mod tests {
     }
 
     #[test]
-    fn builtins_lint_clean() {
-        for name in [
-            "dictionary",
-            "dictionary_ext",
-            "set",
-            "counter",
-            "register",
-            "queue",
-        ] {
+    fn precise_builtins_lint_clean() {
+        for name in ["dictionary", "dictionary_ext", "set", "counter"] {
             let source = builtin::source(name).unwrap();
             let report = lint(source).unwrap();
             assert_eq!(report.exit_code(), 0, "{name}: {:#?}", report.diagnostics);
@@ -277,6 +302,44 @@ mod tests {
             assert!(report.summary.classes.is_some());
             assert!(!report.summary.conflict_checks.is_empty());
         }
+    }
+
+    #[test]
+    fn underclaiming_builtins_lint_with_l011_warnings_only() {
+        // register and queue deliberately under-claim (their precise
+        // conditions are outside ECL — see the builtin sources); the
+        // precision audit documents that as warnings, nothing else fires.
+        for name in ["register", "queue"] {
+            let source = builtin::source(name).unwrap();
+            let report = lint(source).unwrap();
+            assert_eq!(report.exit_code(), 2, "{name}: {:#?}", report.diagnostics);
+            assert!(
+                report.diagnostics.iter().all(|d| d.code == Code::L011),
+                "{name}: {:#?}",
+                report.diagnostics
+            );
+            assert!(report.summary.is_ecl);
+        }
+    }
+
+    #[test]
+    fn max_actions_budget_overflow_is_a_spanned_l010_error() {
+        let report = lint_with(builtin::DICTIONARY_SRC, &LintOptions { max_actions: 100 }).unwrap();
+        assert_eq!(report.exit_code(), 3, "{:#?}", report.diagnostics);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::L010 && d.message.contains("--max-actions")));
+        assert!(report.diagnostics.iter().all(|d| d.span.is_some()));
+        // A raised budget restores the clean verdict.
+        let report = lint_with(
+            builtin::DICTIONARY_SRC,
+            &LintOptions {
+                max_actions: 10_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.exit_code(), 0, "{:#?}", report.diagnostics);
     }
 
     #[test]

@@ -8,67 +8,11 @@
 //! preserves that equivalence. A mismatch here means either a translation
 //! bug or a spec outside the translation's assumptions — both are errors.
 
+use crate::oracle::enumerate_actions;
 use crate::{Code, Diagnostic, Severity};
 use crace_core::{translate_with, OptPass, A3_PIPELINE};
-use crace_model::{Action, MethodId, ObjId, Value};
-use crace_spec::{Formula, Span, Spec};
-
-/// Soft cap on the enumerated action set; beyond it the enumeration is
-/// stride-sampled so the quadratic pair check stays cheap.
-const MAX_ACTIONS: usize = 160;
-
-/// The bounded value universe for a whole spec: every pairwise formula's
-/// constants plus the shared small defaults (see [`crate::passes`]).
-pub(crate) fn spec_universe(spec: &Spec) -> Vec<Value> {
-    let formulas: Vec<Formula> = (0..spec.num_methods())
-        .flat_map(|i| {
-            (i..spec.num_methods()).map(move |j| (MethodId(i as u32), MethodId(j as u32)))
-        })
-        .map(|(m1, m2)| spec.formula(m1, m2))
-        .collect();
-    crate::passes::value_universe(formulas.iter())
-}
-
-/// Enumerates one action per slot assignment over `universe`, for every
-/// method, stride-sampled down to roughly [`MAX_ACTIONS`] entries.
-pub(crate) fn enumerate_actions(spec: &Spec, universe: &[Value]) -> Vec<Action> {
-    let mut out = Vec::new();
-    for m in 0..spec.num_methods() {
-        let id = MethodId(m as u32);
-        let slots = spec.sig(id).num_slots();
-        let mut idx = vec![0usize; slots];
-        loop {
-            let vals: Vec<Value> = idx.iter().map(|&i| universe[i].clone()).collect();
-            let (args, ret) = vals.split_at(slots - 1);
-            out.push(Action::new(ObjId(0), id, args.to_vec(), ret[0].clone()));
-            let mut k = 0;
-            loop {
-                if k == slots {
-                    break;
-                }
-                idx[k] += 1;
-                if idx[k] < universe.len() {
-                    break;
-                }
-                idx[k] = 0;
-                k += 1;
-            }
-            if k == slots {
-                break;
-            }
-        }
-    }
-    if out.len() > MAX_ACTIONS {
-        let stride = out.len().div_ceil(MAX_ACTIONS);
-        out = out
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| i % stride == 0)
-            .map(|(_, a)| a)
-            .collect();
-    }
-    out
-}
+use crace_model::{MethodId, Value};
+use crace_spec::{Span, Spec};
 
 /// Runs the differential audit. `rule_span` maps a method pair to the span
 /// of its declared rule so a mismatch can be anchored in the source.
@@ -132,6 +76,7 @@ pub(crate) fn audit_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::spec_universe;
     use crace_spec::builtin;
 
     #[test]
@@ -152,6 +97,6 @@ mod tests {
         let universe = spec_universe(&spec);
         let actions = enumerate_actions(&spec, &universe);
         assert!(!actions.is_empty());
-        assert!(actions.len() <= MAX_ACTIONS + spec.num_methods());
+        assert!(actions.len() <= crate::oracle::SOFT_ACTION_CAP + spec.num_methods());
     }
 }

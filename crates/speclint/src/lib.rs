@@ -6,7 +6,7 @@
 //! spec that wrongly asserts commutativity silently makes the detector
 //! unsound (Definition 4.2 permits imprecision, never unsoundness). The
 //! [`lint`] entry point audits all of this statically, before a spec is
-//! trusted, in five passes:
+//! trusted, in six passes:
 //!
 //! 1. **Fragment conformance** — every formula must be in the ECL fragment
 //!    ([`Code::L001`], [`Code::L002`]); for conforming specs the static
@@ -26,11 +26,24 @@
 //!    commutativity claim is bounded-model-checked against executable
 //!    method semantics; a small counterexample refutes the claim
 //!    ([`Code::L010`]).
+//! 6. **Precision audit** — the dual direction: a declared condition that
+//!    rejects realized pairs which commute from *every* bounded state is
+//!    sound but strictly stronger than the weakest bounded condition (the
+//!    one `crace synth` generates), and each rejected pair is a false
+//!    commutativity race at detection time ([`Code::L011`]).
+//!
+//! Passes 5–6 share one executable-semantics oracle, [`oracle`], which is
+//! public so the `crace-specsynth` crate labels its training pairs with
+//! exactly the semantics the linter audits against. The oracle's
+//! enumeration is budgeted ([`oracle::OracleConfig::max_actions`]); a pair
+//! over budget surfaces as a spanned error naming the `--max-actions`
+//! override, never as a silent truncation. [`lint_with`] exposes the knob
+//! programmatically.
 //!
 //! Semantic checks (implication, constancy, the audits) enumerate **bounded
 //! value domains** — a handful of small integers, `nil`, and every constant
 //! the spec mentions. A clean lint is therefore evidence, not proof: a
-//! defect only visible outside the bounded domain escapes passes 3–5
+//! defect only visible outside the bounded domain escapes passes 3–6
 //! (passes 1–2 are exact).
 //!
 //! # Exit-code contract
@@ -55,13 +68,15 @@
 mod analyze;
 mod audit;
 mod model;
+pub mod oracle;
 mod passes;
 mod render;
 
 use crace_spec::Span;
 use std::fmt;
 
-pub use analyze::lint;
+pub use analyze::{lint, lint_with, LintOptions};
+pub use passes::abstract_equiv;
 
 /// Severity of a [`Diagnostic`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -118,6 +133,10 @@ pub enum Code {
     /// The spec claims a pair commutes, but executing the builtin's method
     /// semantics found a small counterexample state where it does not.
     L010,
+    /// A declared condition is sound but strictly stronger than the weakest
+    /// bounded condition: it rejects realized pairs that commute from every
+    /// bounded state, each of which becomes a false commutativity race.
+    L011,
 }
 
 impl Code {
@@ -135,6 +154,7 @@ impl Code {
             Code::L008 => "L008",
             Code::L009 => "L009",
             Code::L010 => "L010",
+            Code::L011 => "L011",
         }
     }
 }

@@ -1,301 +1,167 @@
-//! Bounded-model soundness audit (L010): executable reference semantics
-//! for the builtin structures, used to refute wrong commutativity claims.
+//! Bounded-model audits against executable reference semantics: the
+//! soundness audit (L010) and the precision audit (L011), both driven by
+//! the shared [`crate::oracle`].
 //!
-//! A spec *names* a builtin structure when its spec name matches one of the
-//! builtins (`dictionary`, `dictionary_ext`, `set`, `counter`, `register`,
-//! `queue`). Methods are matched by name **and** arity; pairs involving an
-//! unmatched method are skipped. For every matched pair, every initial
-//! state and argument tuple from a small bounded domain is executed in both
-//! orders; if the spec claims the realized actions commute but the two
-//! orders disagree on a return value or the final state, the claim is
-//! refuted with a concrete counterexample ([`crate::Code::L010`]).
-//!
-//! Soundness (Definition 4.2) only requires that `ϕ` *implies*
-//! commutativity — claiming too little is imprecise but fine, claiming too
+//! **Soundness (L010).** Definition 4.2 only requires that `ϕ` *implies*
+//! commutativity. For every matched pair, every realized execution where
+//! the spec claims the actions commute but the two orders disagree on a
+//! return value or the final state refutes the claim with a concrete
+//! counterexample. Claiming too little is imprecise but fine; claiming too
 //! much is what this audit catches.
+//!
+//! **Precision (L011).** The dual direction: a declared condition that
+//! *rejects* a slot vector whose every bounded realization commutes is
+//! sound but strictly stronger than the weakest bounded condition — the
+//! one `crace synth` builds by covering exactly the aggregated-commuting
+//! samples. Such imprecision makes the detector report false
+//! commutativity races, so it is surfaced as a warning with a concrete
+//! missed pair. Only pairs with a declared rule are audited: an undeclared
+//! pair already gets L008 for its implicit `false`.
+//!
+//! A pair whose bounded enumeration exceeds the action budget is reported
+//! as an L010 **error** naming the `--max-actions` override — never
+//! silently truncated, because a truncated audit would claim more than it
+//! checked.
 
+use crate::oracle::{self, OracleConfig};
 use crate::{Code, Diagnostic, Severity};
-use crace_model::{Action, MethodId, MethodSig, ObjId, Value};
+use crace_model::{MethodId, MethodSig, Value};
 use crace_spec::{Span, Spec};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Kind {
-    Dict,
-    Set,
-    Counter,
-    Register,
-    Queue,
-}
-
-fn kind_for(spec_name: &str) -> Option<Kind> {
-    match spec_name {
-        "dictionary" | "dictionary_ext" => Some(Kind::Dict),
-        "set" => Some(Kind::Set),
-        "counter" => Some(Kind::Counter),
-        "register" => Some(Kind::Register),
-        "queue" => Some(Kind::Queue),
-        _ => None,
-    }
-}
-
-/// Concrete object state of a reference model.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum State {
-    Map(BTreeMap<i64, Value>),
-    Set(BTreeSet<i64>),
-    Counter(i64),
-    Register(Value),
-    Queue(Vec<i64>),
-}
-
-impl State {
-    fn show(&self) -> String {
-        match self {
-            State::Map(m) => {
-                let entries: Vec<String> = m.iter().map(|(k, v)| format!("{k}: {v}")).collect();
-                format!("{{{}}}", entries.join(", "))
-            }
-            State::Set(s) => {
-                let entries: Vec<String> = s.iter().map(|x| x.to_string()).collect();
-                format!("{{{}}}", entries.join(", "))
-            }
-            State::Counter(n) => n.to_string(),
-            State::Register(v) => v.to_string(),
-            State::Queue(q) => {
-                let entries: Vec<String> = q.iter().map(|x| x.to_string()).collect();
-                format!("[{}]", entries.join(", "))
-            }
-        }
-    }
-}
-
-fn initial_states(kind: Kind) -> Vec<State> {
-    match kind {
-        Kind::Dict => {
-            // Every map over keys {0, 1} with values from {absent, 1, 2}.
-            let choices = [None, Some(Value::Int(1)), Some(Value::Int(2))];
-            let mut out = Vec::new();
-            for c0 in &choices {
-                for c1 in &choices {
-                    let mut m = BTreeMap::new();
-                    if let Some(v) = c0 {
-                        m.insert(0, v.clone());
-                    }
-                    if let Some(v) = c1 {
-                        m.insert(1, v.clone());
-                    }
-                    out.push(State::Map(m));
-                }
-            }
-            out
-        }
-        Kind::Set => (0..4)
-            .map(|bits: u32| State::Set((0..2).filter(|k| bits & (1 << k) != 0).collect()))
-            .collect(),
-        Kind::Counter => vec![State::Counter(0), State::Counter(1)],
-        Kind::Register => vec![State::Register(Value::Nil), State::Register(Value::Int(1))],
-        Kind::Queue => vec![
-            State::Queue(vec![]),
-            State::Queue(vec![1]),
-            State::Queue(vec![2]),
-            State::Queue(vec![1, 2]),
-        ],
-    }
-}
-
-/// Argument tuples for a modeled method, or `None` when the model does not
-/// know the method under that name and arity.
-fn arg_tuples(kind: Kind, sig: &MethodSig) -> Option<Vec<Vec<Value>>> {
-    let keys = || vec![Value::Int(0), Value::Int(1)];
-    let vals = || vec![Value::Nil, Value::Int(1), Value::Int(2)];
-    match (kind, sig.name(), sig.num_args()) {
-        (Kind::Dict, "put", 2) => Some(
-            keys()
-                .into_iter()
-                .flat_map(|k| vals().into_iter().map(move |v| vec![k.clone(), v]))
-                .collect(),
-        ),
-        (Kind::Dict, "get" | "remove" | "contains_key", 1) => {
-            Some(keys().into_iter().map(|k| vec![k]).collect())
-        }
-        (Kind::Dict, "size", 0) => Some(vec![vec![]]),
-        (Kind::Set, "add" | "remove" | "contains", 1) => {
-            Some(keys().into_iter().map(|k| vec![k]).collect())
-        }
-        (Kind::Set, "size", 0) => Some(vec![vec![]]),
-        (Kind::Counter, "inc" | "dec" | "read", 0) => Some(vec![vec![]]),
-        (Kind::Register, "write", 1) => Some(vec![vec![Value::Int(1)], vec![Value::Int(2)]]),
-        (Kind::Register, "read", 0) => Some(vec![vec![]]),
-        (Kind::Queue, "enq", 1) => Some(vec![vec![Value::Int(1)], vec![Value::Int(2)]]),
-        (Kind::Queue, "deq" | "len", 0) => Some(vec![vec![]]),
-        _ => None,
-    }
-}
-
-fn as_int(v: &Value) -> Option<i64> {
-    match v {
-        Value::Int(n) => Some(*n),
-        _ => None,
-    }
-}
-
-/// Executes one method invocation, returning the next state and the return
-/// value. `None` when the method is not modeled.
-fn step(kind: Kind, state: &State, sig: &MethodSig, args: &[Value]) -> Option<(State, Value)> {
-    match (kind, state, sig.name()) {
-        (Kind::Dict, State::Map(m), "put") => {
-            let k = as_int(&args[0])?;
-            let mut m = m.clone();
-            // put(k, nil) removes the key; the previous value is returned.
-            let prev = if args[1] == Value::Nil {
-                m.remove(&k)
-            } else {
-                m.insert(k, args[1].clone())
-            };
-            Some((State::Map(m), prev.unwrap_or(Value::Nil)))
-        }
-        (Kind::Dict, State::Map(m), "get") => {
-            let k = as_int(&args[0])?;
-            Some((state.clone(), m.get(&k).cloned().unwrap_or(Value::Nil)))
-        }
-        (Kind::Dict, State::Map(m), "remove") => {
-            let k = as_int(&args[0])?;
-            let mut m = m.clone();
-            let prev = m.remove(&k);
-            Some((State::Map(m), prev.unwrap_or(Value::Nil)))
-        }
-        (Kind::Dict, State::Map(m), "contains_key") => {
-            let k = as_int(&args[0])?;
-            Some((state.clone(), Value::Bool(m.contains_key(&k))))
-        }
-        (Kind::Dict, State::Map(m), "size") => Some((state.clone(), Value::Int(m.len() as i64))),
-        (Kind::Set, State::Set(s), "add") => {
-            let x = as_int(&args[0])?;
-            let mut s = s.clone();
-            let fresh = s.insert(x);
-            Some((State::Set(s), Value::Bool(fresh)))
-        }
-        (Kind::Set, State::Set(s), "remove") => {
-            let x = as_int(&args[0])?;
-            let mut s = s.clone();
-            let was = s.remove(&x);
-            Some((State::Set(s), Value::Bool(was)))
-        }
-        (Kind::Set, State::Set(s), "contains") => {
-            let x = as_int(&args[0])?;
-            Some((state.clone(), Value::Bool(s.contains(&x))))
-        }
-        (Kind::Set, State::Set(s), "size") => Some((state.clone(), Value::Int(s.len() as i64))),
-        (Kind::Counter, State::Counter(n), "inc") => Some((State::Counter(n + 1), Value::Nil)),
-        (Kind::Counter, State::Counter(n), "dec") => Some((State::Counter(n - 1), Value::Nil)),
-        (Kind::Counter, State::Counter(n), "read") => Some((state.clone(), Value::Int(*n))),
-        (Kind::Register, State::Register(_), "write") => {
-            Some((State::Register(args[0].clone()), Value::Nil))
-        }
-        (Kind::Register, State::Register(v), "read") => Some((state.clone(), v.clone())),
-        (Kind::Queue, State::Queue(q), "enq") => {
-            let x = as_int(&args[0])?;
-            let mut q = q.clone();
-            q.push(x);
-            Some((State::Queue(q), Value::Nil))
-        }
-        (Kind::Queue, State::Queue(q), "deq") => {
-            let mut q = q.clone();
-            if q.is_empty() {
-                Some((State::Queue(q), Value::Nil))
-            } else {
-                let x = q.remove(0);
-                Some((State::Queue(q), Value::Int(x)))
-            }
-        }
-        (Kind::Queue, State::Queue(q), "len") => Some((state.clone(), Value::Int(q.len() as i64))),
-        _ => None,
-    }
-}
-
-fn describe(sig: &MethodSig, args: &[Value], ret: &Value) -> String {
+fn describe(sig: &MethodSig, slots: &[Value]) -> String {
+    let (args, ret) = slots.split_at(sig.num_args());
     let args: Vec<String> = args.iter().map(|v| v.to_string()).collect();
-    format!("{}({}) -> {ret}", sig.name(), args.join(", "))
+    format!("{}({}) -> {}", sig.name(), args.join(", "), ret[0])
 }
 
-/// Runs the soundness audit against the matching builtin model, if any.
-/// `rule_span` maps a method pair to the span of its declared rule.
-pub(crate) fn audit_soundness(
+/// Runs the soundness (L010) and precision (L011) audits against the
+/// matching builtin model, if any. `rule_span` maps a method pair to the
+/// span of its declared rule; `declared` holds the pairs that have one.
+pub(crate) fn audit_model(
     spec: &Spec,
+    declared: &BTreeSet<(MethodId, MethodId)>,
     rule_span: &dyn Fn(MethodId, MethodId) -> Option<Span>,
+    config: &OracleConfig,
 ) -> Vec<Diagnostic> {
-    let Some(kind) = kind_for(spec.name()) else {
+    let Some(kind) = oracle::kind_for(spec.name()) else {
         return Vec::new();
     };
-    let states = initial_states(kind);
     let mut diags = Vec::new();
     for i in 0..spec.num_methods() {
-        'pair: for j in i..spec.num_methods() {
+        for j in i..spec.num_methods() {
             let (m1, m2) = (MethodId(i as u32), MethodId(j as u32));
             let (sig1, sig2) = (spec.sig(m1), spec.sig(m2));
-            let (Some(args1), Some(args2)) = (arg_tuples(kind, sig1), arg_tuples(kind, sig2))
-            else {
-                continue; // unmatched method: skip the pair
-            };
-            for s0 in &states {
-                for a1 in &args1 {
-                    for a2 in &args2 {
-                        // Realize each order; if the spec claims the
-                        // realized actions commute, the other order must
-                        // reproduce both returns and the final state.
-                        for &(first, fa, fs, second, sa, ss) in
-                            &[(m1, a1, sig1, m2, a2, sig2), (m2, a2, sig2, m1, a1, sig1)]
-                        {
-                            let Some((mid, r_first)) = step(kind, s0, fs, fa) else {
-                                continue 'pair;
-                            };
-                            let Some((end, r_second)) = step(kind, &mid, ss, sa) else {
-                                continue 'pair;
-                            };
-                            let act_first =
-                                Action::new(ObjId(0), first, fa.clone(), r_first.clone());
-                            let act_second =
-                                Action::new(ObjId(0), second, sa.clone(), r_second.clone());
-                            if !spec.commute(&act_first, &act_second) {
-                                continue;
-                            }
-                            let (mid_b, r2b) = step(kind, s0, ss, sa).expect("modeled above");
-                            let (end_b, r1b) = step(kind, &mid_b, fs, fa).expect("modeled above");
-                            if r2b != r_second || r1b != r_first || end_b != end {
-                                diags.push(Diagnostic {
-                                    code: Code::L010,
-                                    severity: Severity::Error,
-                                    message: format!(
-                                        "spec claims `{}` and `{}` commute, but the \
-                                         `{}` model refutes it on a bounded \
-                                         counterexample",
-                                        fs.name(),
-                                        ss.name(),
-                                        spec.name()
-                                    ),
-                                    span: rule_span(first, second),
-                                    notes: vec![
-                                        format!("from state {}:", s0.show()),
-                                        format!(
-                                            "  order A: {} ; {} -> state {}",
-                                            describe(fs, fa, &r_first),
-                                            describe(ss, sa, &r_second),
-                                            end.show()
-                                        ),
-                                        format!(
-                                            "  order B: {} ; {} -> state {}",
-                                            describe(ss, sa, &r2b),
-                                            describe(fs, fa, &r1b),
-                                            end_b.show()
-                                        ),
-                                    ],
-                                });
-                                continue 'pair; // first counterexample only
-                            }
-                        }
-                    }
+            let realized = match oracle::realized_pairs(kind, sig1, sig2, config) {
+                Ok(Some(r)) => r,
+                Ok(None) => continue, // unmatched method: skip the pair
+                Err(budget) => {
+                    diags.push(Diagnostic {
+                        code: Code::L010,
+                        severity: Severity::Error,
+                        message: format!("soundness audit skipped: {budget}"),
+                        span: rule_span(m1, m2),
+                        notes: vec![
+                            "an audit over a truncated enumeration would claim more than \
+                             it checked, so the budget overflow is an error instead"
+                                .to_string(),
+                        ],
+                    });
+                    continue;
                 }
+            };
+            let phi = spec.formula(m1, m2);
+
+            // L010: the first refuted commute claim, with both orders shown.
+            if let Some(cex) = realized
+                .iter()
+                .find(|r| !r.commutes && phi.eval(&r.slots1, &r.slots2))
+            {
+                let (fs, f_slots, ss, s_slots) = if cex.sig1_first {
+                    (sig1, &cex.slots1, sig2, &cex.slots2)
+                } else {
+                    (sig2, &cex.slots2, sig1, &cex.slots1)
+                };
+                let (other_f, other_s) = if cex.sig1_first {
+                    (&cex.other_ret1, &cex.other_ret2)
+                } else {
+                    (&cex.other_ret2, &cex.other_ret1)
+                };
+                let redescribe = |sig: &MethodSig, slots: &[Value], ret: &Value| {
+                    let mut slots = slots.to_vec();
+                    *slots.last_mut().expect("slots include the return") = ret.clone();
+                    describe(sig, &slots)
+                };
+                diags.push(Diagnostic {
+                    code: Code::L010,
+                    severity: Severity::Error,
+                    message: format!(
+                        "spec claims `{}` and `{}` commute, but the `{}` model \
+                         refutes it on a bounded counterexample",
+                        sig1.name(),
+                        sig2.name(),
+                        spec.name()
+                    ),
+                    span: rule_span(m1, m2),
+                    notes: vec![
+                        format!("from state {}:", cex.state.show()),
+                        format!(
+                            "  order A: {} ; {} -> state {}",
+                            describe(fs, f_slots),
+                            describe(ss, s_slots),
+                            cex.end_this.show()
+                        ),
+                        format!(
+                            "  order B: {} ; {} -> state {}",
+                            redescribe(ss, s_slots, other_s),
+                            redescribe(fs, f_slots, other_f),
+                            cex.end_other.show()
+                        ),
+                    ],
+                });
+                continue; // an unsound pair is not additionally "imprecise"
+            }
+
+            // L011: declared conditions that reject aggregated-commuting
+            // samples (see the module docs for the aggregation argument).
+            if !declared.contains(&(m1, m2)) {
+                continue;
+            }
+            let samples = oracle::aggregate(&realized);
+            let missed: Vec<_> = samples
+                .iter()
+                .filter(|s| s.commutes && !phi.eval(&s.slots1, &s.slots2))
+                .collect();
+            if let Some(first) = missed.first() {
+                diags.push(Diagnostic {
+                    code: Code::L011,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "condition for (`{}`, `{}`) is sound but strictly stronger than \
+                         the weakest bounded condition: it rejects {} realized pair(s) \
+                         that always commute",
+                        sig1.name(),
+                        sig2.name(),
+                        missed.len()
+                    ),
+                    span: rule_span(m1, m2),
+                    notes: vec![
+                        format!(
+                            "e.g. {} and {} commute from every bounded state realizing \
+                             them, yet the condition rejects the pair",
+                            describe(sig1, &first.slots1),
+                            describe(sig2, &first.slots2)
+                        ),
+                        "every rejected commuting pair becomes a false commutativity race \
+                         at detection time"
+                            .to_string(),
+                        format!(
+                            "`crace synth {}` generates the weakest condition consistent \
+                             with the bounded semantics",
+                            spec.name()
+                        ),
+                    ],
+                });
             }
         }
     }
@@ -307,11 +173,68 @@ mod tests {
     use super::*;
     use crace_spec::builtin;
 
+    fn audit(spec: &Spec, config: &OracleConfig) -> Vec<Diagnostic> {
+        let declared: BTreeSet<(MethodId, MethodId)> = (0..spec.num_methods())
+            .flat_map(|i| {
+                (i..spec.num_methods()).map(move |j| (MethodId(i as u32), MethodId(j as u32)))
+            })
+            .filter(|&(m1, m2)| spec.rule_span(m1, m2).is_some())
+            .collect();
+        audit_model(spec, &declared, &|m1, m2| spec.rule_span(m1, m2), config)
+    }
+
     #[test]
-    fn builtins_pass_their_own_models() {
+    fn builtins_pass_the_soundness_audit() {
         for spec in builtin::all() {
-            let diags = audit_soundness(&spec, &|m1, m2| spec.rule_span(m1, m2));
-            assert!(diags.is_empty(), "{}: {diags:#?}", spec.name());
+            let diags = audit(&spec, &OracleConfig::default());
+            assert!(
+                diags.iter().all(|d| d.code != Code::L010),
+                "{}: {diags:#?}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn precise_builtins_have_no_l011() {
+        // dictionary, dictionary_ext, set and counter are already the
+        // weakest bounded conditions; register and queue deliberately
+        // under-claim (their refinements are outside ECL — see the builtin
+        // sources) and are pinned in `l011_flags_the_underclaiming_builtins`.
+        for name in ["dictionary", "dictionary_ext", "set", "counter"] {
+            let spec = builtin::all()
+                .into_iter()
+                .find(|s| s.name() == name)
+                .unwrap();
+            let diags = audit(&spec, &OracleConfig::default());
+            assert!(diags.is_empty(), "{name}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn l011_flags_the_underclaiming_builtins() {
+        let flagged = |name: &str| -> Vec<String> {
+            let spec = builtin::all()
+                .into_iter()
+                .find(|s| s.name() == name)
+                .unwrap();
+            let diags = audit(&spec, &OracleConfig::default());
+            assert!(diags.iter().all(|d| d.code == Code::L011), "{diags:#?}");
+            assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+            diags.iter().map(|d| d.message.clone()).collect()
+        };
+        let register = flagged("register");
+        assert_eq!(register.len(), 1, "{register:#?}");
+        assert!(register[0].contains("`write`, `write`"), "{register:#?}");
+        let queue = flagged("queue");
+        assert_eq!(queue.len(), 4, "{queue:#?}");
+        for pair in [
+            "`enq`, `enq`",
+            "`enq`, `deq`",
+            "`deq`, `deq`",
+            "`deq`, `len`",
+        ] {
+            assert!(queue.iter().any(|m| m.contains(pair)), "{pair}: {queue:#?}");
         }
     }
 
@@ -321,17 +244,39 @@ mod tests {
         let src =
             builtin::DICTIONARY_SRC.replace("when k1 != k2 || (v1 == p1 && v2 == p2)", "when true");
         let spec = crace_spec::parse(&src).unwrap();
-        let diags = audit_soundness(&spec, &|m1, m2| spec.rule_span(m1, m2));
+        let diags = audit(&spec, &OracleConfig::default());
         assert_eq!(diags.len(), 1, "{diags:#?}");
         assert_eq!(diags[0].code, Code::L010);
         assert!(diags[0].span.is_some());
-        assert!(!diags[0].notes.is_empty());
+        assert!(diags[0].notes.iter().any(|n| n.contains("order B")));
+    }
+
+    #[test]
+    fn budget_overflow_surfaces_a_spanned_error() {
+        let spec = builtin::all()
+            .into_iter()
+            .find(|s| s.name() == "dictionary")
+            .unwrap();
+        let cfg = OracleConfig {
+            max_int: 2,
+            max_actions: 100,
+        };
+        let diags = audit(&spec, &cfg);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.code == Code::L010));
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        assert!(
+            diags[0].message.contains("--max-actions"),
+            "{:#?}",
+            diags[0]
+        );
+        assert!(diags[0].span.is_some());
     }
 
     #[test]
     fn non_builtin_names_are_skipped() {
         let spec =
             crace_spec::parse("spec custom { method m(); commute m(), m() when true; }").unwrap();
-        assert!(audit_soundness(&spec, &|_, _| None).is_empty());
+        assert!(audit(&spec, &OracleConfig::default()).is_empty());
     }
 }

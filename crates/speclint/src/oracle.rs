@@ -1,0 +1,620 @@
+//! The bounded executable-semantics oracle shared by the soundness audit
+//! (L010), the precision audit (L011) and the `crace-specsynth` crate.
+//!
+//! A spec *names* a builtin structure when its spec name matches one of the
+//! builtins (`dictionary`, `dictionary_ext`, `set`, `counter`, `register`,
+//! `queue`); [`kind_for`] performs that match. Methods are matched by name
+//! **and** arity. The oracle then runs real reference semantics
+//! ([`step`]) over a small bounded domain of [`initial_states`] and
+//! [`arg_tuples`] — sized by [`OracleConfig::max_int`] — and labels every
+//! realized action pair commute / non-commute by executing both orders and
+//! comparing the returns and the final state ([`realized_pairs`]).
+//!
+//! Two views of the labels are provided:
+//!
+//! * [`realized_pairs`] keeps one entry per *execution* (initial state ×
+//!   argument tuples × order), with enough detail to print the L010
+//!   counterexample notes;
+//! * [`labeled_samples`] aggregates executions by their observable slot
+//!   vectors. Distinct hidden states can realize the *same* argument/return
+//!   vectors with different verdicts (e.g. `(enq(1), deq() -> 1)` commutes
+//!   from the one-element queue `[1]` but not from the empty queue), and a
+//!   condition over slots cannot tell them apart — so a slot vector is only
+//!   labeled *commuting* when **every** realization of it commutes. This is
+//!   the precision ground truth: the weakest sound condition expressible
+//!   over the slots admits exactly the aggregated-commuting samples.
+//!
+//! Enumeration is budgeted: a pair whose execution count would exceed
+//! [`OracleConfig::max_actions`] is reported as a [`BudgetExceeded`] error
+//! (surfaced as a spanned diagnostic by the linter and as a CLI error by
+//! `crace synth`, both naming the `--max-actions` override) instead of
+//! being silently truncated. The L009 differential audit's
+//! [`enumerate_actions`] keeps its deliberate stride-sampling under
+//! [`SOFT_ACTION_CAP`]: sampling is sound there (any sampled mismatch is a
+//! real mismatch), whereas sampling the soundness or precision audit would
+//! silently weaken their claims.
+
+use crace_model::{Action, MethodId, MethodSig, ObjId, Value};
+use crace_spec::{Formula, Spec};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Default per-pair execution budget for the realized-execution audits
+/// ([`realized_pairs`]); the densest builtin pair (dictionary `put`/`put`)
+/// needs 648 executions at the default domain, so the default leaves ample
+/// headroom while still catching accidental blow-ups from `--universe`.
+pub const DEFAULT_MAX_ACTIONS: usize = 4096;
+
+/// Soft cap on the L009 differential audit's enumerated action set; beyond
+/// it [`enumerate_actions`] stride-samples so the quadratic pair check
+/// stays cheap. Sampling is sound for that audit (it can only miss
+/// mismatches, never invent them), so exceeding this cap is not an error.
+pub const SOFT_ACTION_CAP: usize = 160;
+
+/// Bounds of the oracle's enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Largest integer used for stored values / elements; the default `2`
+    /// reproduces the domains the L010 audit has always used. Dictionary
+    /// and set keys stay `{0, 1}` — precision comes from value variety,
+    /// key variety only scales the state space.
+    pub max_int: i64,
+    /// Per-pair execution budget for [`realized_pairs`]; exceeding it is a
+    /// [`BudgetExceeded`] error, never a silent truncation.
+    pub max_actions: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            max_int: 2,
+            max_actions: DEFAULT_MAX_ACTIONS,
+        }
+    }
+}
+
+/// The builtin structure a spec name refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// `dictionary` / `dictionary_ext` — an integer-keyed map.
+    Dict,
+    /// `set` — a set of small integers.
+    Set,
+    /// `counter` — a single saturating-free integer counter.
+    Counter,
+    /// `register` — a single read/write cell.
+    Register,
+    /// `queue` — a FIFO queue of small integers.
+    Queue,
+}
+
+/// Maps a spec name to the builtin structure it models, if any.
+pub fn kind_for(spec_name: &str) -> Option<Kind> {
+    match spec_name {
+        "dictionary" | "dictionary_ext" => Some(Kind::Dict),
+        "set" => Some(Kind::Set),
+        "counter" => Some(Kind::Counter),
+        "register" => Some(Kind::Register),
+        "queue" => Some(Kind::Queue),
+        _ => None,
+    }
+}
+
+/// Concrete object state of a reference model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum State {
+    /// A dictionary's key → value map.
+    Map(BTreeMap<i64, Value>),
+    /// A set's members.
+    Set(BTreeSet<i64>),
+    /// A counter's value.
+    Counter(i64),
+    /// A register's content.
+    Register(Value),
+    /// A queue's contents, front first.
+    Queue(Vec<i64>),
+}
+
+impl State {
+    /// Human-readable rendering for counterexample notes.
+    pub fn show(&self) -> String {
+        match self {
+            State::Map(m) => {
+                let entries: Vec<String> = m.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+                format!("{{{}}}", entries.join(", "))
+            }
+            State::Set(s) => {
+                let entries: Vec<String> = s.iter().map(|x| x.to_string()).collect();
+                format!("{{{}}}", entries.join(", "))
+            }
+            State::Counter(n) => n.to_string(),
+            State::Register(v) => v.to_string(),
+            State::Queue(q) => {
+                let entries: Vec<String> = q.iter().map(|x| x.to_string()).collect();
+                format!("[{}]", entries.join(", "))
+            }
+        }
+    }
+}
+
+/// The bounded initial states a pair audit starts from.
+pub fn initial_states(kind: Kind, config: &OracleConfig) -> Vec<State> {
+    let max = config.max_int.max(1);
+    match kind {
+        Kind::Dict => {
+            // Every map over keys {0, 1} with values from {absent, 1..max}.
+            let mut choices = vec![None];
+            choices.extend((1..=max).map(|v| Some(Value::Int(v))));
+            let mut out = Vec::new();
+            for c0 in &choices {
+                for c1 in &choices {
+                    let mut m = BTreeMap::new();
+                    if let Some(v) = c0 {
+                        m.insert(0, v.clone());
+                    }
+                    if let Some(v) = c1 {
+                        m.insert(1, v.clone());
+                    }
+                    out.push(State::Map(m));
+                }
+            }
+            out
+        }
+        Kind::Set => (0..4)
+            .map(|bits: u32| State::Set((0..2).filter(|k| bits & (1 << k) != 0).collect()))
+            .collect(),
+        Kind::Counter => vec![State::Counter(0), State::Counter(1)],
+        Kind::Register => {
+            let mut out = vec![State::Register(Value::Nil)];
+            out.extend((1..max).map(|v| State::Register(Value::Int(v))));
+            if max == 1 {
+                out.push(State::Register(Value::Int(1)));
+            }
+            out
+        }
+        Kind::Queue => {
+            let mut out = vec![State::Queue(vec![])];
+            out.extend((1..=max).map(|x| State::Queue(vec![x])));
+            for a in 1..=max {
+                for b in (a + 1)..=max {
+                    out.push(State::Queue(vec![a, b]));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Argument tuples for a modeled method, or `None` when the model does not
+/// know the method under that name and arity.
+pub fn arg_tuples(kind: Kind, sig: &MethodSig, config: &OracleConfig) -> Option<Vec<Vec<Value>>> {
+    let max = config.max_int.max(1);
+    let keys = || vec![Value::Int(0), Value::Int(1)];
+    let vals = move || {
+        let mut v = vec![Value::Nil];
+        v.extend((1..=max).map(Value::Int));
+        v
+    };
+    let elems = move || (1..=max).map(|x| vec![Value::Int(x)]).collect();
+    match (kind, sig.name(), sig.num_args()) {
+        (Kind::Dict, "put", 2) => Some(
+            keys()
+                .into_iter()
+                .flat_map(|k| vals().into_iter().map(move |v| vec![k.clone(), v]))
+                .collect(),
+        ),
+        (Kind::Dict, "get" | "remove" | "contains_key", 1) => {
+            Some(keys().into_iter().map(|k| vec![k]).collect())
+        }
+        (Kind::Dict, "size", 0) => Some(vec![vec![]]),
+        (Kind::Set, "add" | "remove" | "contains", 1) => {
+            Some(keys().into_iter().map(|k| vec![k]).collect())
+        }
+        (Kind::Set, "size", 0) => Some(vec![vec![]]),
+        (Kind::Counter, "inc" | "dec" | "read", 0) => Some(vec![vec![]]),
+        (Kind::Register, "write", 1) => Some(elems()),
+        (Kind::Register, "read", 0) => Some(vec![vec![]]),
+        (Kind::Queue, "enq", 1) => Some(elems()),
+        (Kind::Queue, "deq" | "len", 0) => Some(vec![vec![]]),
+        _ => None,
+    }
+}
+
+fn as_int(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Executes one method invocation, returning the next state and the return
+/// value. `None` when the method is not modeled.
+pub fn step(kind: Kind, state: &State, sig: &MethodSig, args: &[Value]) -> Option<(State, Value)> {
+    match (kind, state, sig.name()) {
+        (Kind::Dict, State::Map(m), "put") => {
+            let k = as_int(&args[0])?;
+            let mut m = m.clone();
+            // put(k, nil) removes the key; the previous value is returned.
+            let prev = if args[1] == Value::Nil {
+                m.remove(&k)
+            } else {
+                m.insert(k, args[1].clone())
+            };
+            Some((State::Map(m), prev.unwrap_or(Value::Nil)))
+        }
+        (Kind::Dict, State::Map(m), "get") => {
+            let k = as_int(&args[0])?;
+            Some((state.clone(), m.get(&k).cloned().unwrap_or(Value::Nil)))
+        }
+        (Kind::Dict, State::Map(m), "remove") => {
+            let k = as_int(&args[0])?;
+            let mut m = m.clone();
+            let prev = m.remove(&k);
+            Some((State::Map(m), prev.unwrap_or(Value::Nil)))
+        }
+        (Kind::Dict, State::Map(m), "contains_key") => {
+            let k = as_int(&args[0])?;
+            Some((state.clone(), Value::Bool(m.contains_key(&k))))
+        }
+        (Kind::Dict, State::Map(m), "size") => Some((state.clone(), Value::Int(m.len() as i64))),
+        (Kind::Set, State::Set(s), "add") => {
+            let x = as_int(&args[0])?;
+            let mut s = s.clone();
+            let fresh = s.insert(x);
+            Some((State::Set(s), Value::Bool(fresh)))
+        }
+        (Kind::Set, State::Set(s), "remove") => {
+            let x = as_int(&args[0])?;
+            let mut s = s.clone();
+            let was = s.remove(&x);
+            Some((State::Set(s), Value::Bool(was)))
+        }
+        (Kind::Set, State::Set(s), "contains") => {
+            let x = as_int(&args[0])?;
+            Some((state.clone(), Value::Bool(s.contains(&x))))
+        }
+        (Kind::Set, State::Set(s), "size") => Some((state.clone(), Value::Int(s.len() as i64))),
+        (Kind::Counter, State::Counter(n), "inc") => Some((State::Counter(n + 1), Value::Nil)),
+        (Kind::Counter, State::Counter(n), "dec") => Some((State::Counter(n - 1), Value::Nil)),
+        (Kind::Counter, State::Counter(n), "read") => Some((state.clone(), Value::Int(*n))),
+        (Kind::Register, State::Register(_), "write") => {
+            Some((State::Register(args[0].clone()), Value::Nil))
+        }
+        (Kind::Register, State::Register(v), "read") => Some((state.clone(), v.clone())),
+        (Kind::Queue, State::Queue(q), "enq") => {
+            let x = as_int(&args[0])?;
+            let mut q = q.clone();
+            q.push(x);
+            Some((State::Queue(q), Value::Nil))
+        }
+        (Kind::Queue, State::Queue(q), "deq") => {
+            let mut q = q.clone();
+            if q.is_empty() {
+                Some((State::Queue(q), Value::Nil))
+            } else {
+                let x = q.remove(0);
+                Some((State::Queue(q), Value::Int(x)))
+            }
+        }
+        (Kind::Queue, State::Queue(q), "len") => Some((state.clone(), Value::Int(q.len() as i64))),
+        _ => None,
+    }
+}
+
+/// The enumeration budget for one method pair was exceeded.
+///
+/// Raised instead of silently truncating: a truncated soundness or
+/// precision audit would claim more than it checked. The message names the
+/// `--max-actions` override so the caller can raise the budget explicitly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// First method of the pair.
+    pub method1: String,
+    /// Second method of the pair.
+    pub method2: String,
+    /// Executions the pair would need.
+    pub needed: usize,
+    /// The budget that was in force.
+    pub max_actions: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bounded audit of (`{}`, `{}`) needs {} realized executions, over the \
+             action budget of {}; raise it with `--max-actions N` or shrink \
+             `--universe`",
+            self.method1, self.method2, self.needed, self.max_actions
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// One realized execution of a method pair: the observable slot vectors
+/// (arguments then return, per method), the order they were executed in,
+/// the commute verdict, and what the *other* order produced — enough to
+/// print a concrete counterexample.
+#[derive(Clone, Debug)]
+pub struct RealizedPair {
+    /// The initial state the pair ran from.
+    pub state: State,
+    /// `sig1`'s arguments followed by its realized return value.
+    pub slots1: Vec<Value>,
+    /// `sig2`'s arguments followed by its realized return value.
+    pub slots2: Vec<Value>,
+    /// Whether `sig1`'s invocation ran first in this realization.
+    pub sig1_first: bool,
+    /// Whether the reversed order reproduces both returns and the final
+    /// state.
+    pub commutes: bool,
+    /// `sig1`'s return value in the reversed order.
+    pub other_ret1: Value,
+    /// `sig2`'s return value in the reversed order.
+    pub other_ret2: Value,
+    /// Final state of the realized order.
+    pub end_this: State,
+    /// Final state of the reversed order.
+    pub end_other: State,
+}
+
+/// Executes every bounded initial state × argument tuple combination of
+/// `(sig1, sig2)` in both orders and labels each realization.
+///
+/// Returns `Ok(None)` when either method is not modeled under that name
+/// and arity (the pair is skipped, exactly as the L010 audit always has),
+/// and [`BudgetExceeded`] when the pair needs more executions than
+/// `config.max_actions`.
+pub fn realized_pairs(
+    kind: Kind,
+    sig1: &MethodSig,
+    sig2: &MethodSig,
+    config: &OracleConfig,
+) -> Result<Option<Vec<RealizedPair>>, BudgetExceeded> {
+    let (Some(args1), Some(args2)) = (
+        arg_tuples(kind, sig1, config),
+        arg_tuples(kind, sig2, config),
+    ) else {
+        return Ok(None);
+    };
+    let states = initial_states(kind, config);
+    let needed = states
+        .len()
+        .saturating_mul(args1.len())
+        .saturating_mul(args2.len())
+        .saturating_mul(2);
+    if needed > config.max_actions {
+        return Err(BudgetExceeded {
+            method1: sig1.name().to_string(),
+            method2: sig2.name().to_string(),
+            needed,
+            max_actions: config.max_actions,
+        });
+    }
+    let mut out = Vec::with_capacity(needed);
+    for s0 in &states {
+        for a1 in &args1 {
+            for a2 in &args2 {
+                for &sig1_first in &[true, false] {
+                    let (fs, fa, ss, sa) = if sig1_first {
+                        (sig1, a1, sig2, a2)
+                    } else {
+                        (sig2, a2, sig1, a1)
+                    };
+                    let Some((mid, r_first)) = step(kind, s0, fs, fa) else {
+                        return Ok(None); // unmodeled state/arg combo: skip pair
+                    };
+                    let Some((end, r_second)) = step(kind, &mid, ss, sa) else {
+                        return Ok(None);
+                    };
+                    let (mid_b, r2b) = step(kind, s0, ss, sa).expect("modeled above");
+                    let (end_b, r1b) = step(kind, &mid_b, fs, fa).expect("modeled above");
+                    let commutes = r2b == r_second && r1b == r_first && end_b == end;
+                    let slots = |args: &[Value], ret: &Value| {
+                        let mut s = args.to_vec();
+                        s.push(ret.clone());
+                        s
+                    };
+                    let (slots1, slots2, other_ret1, other_ret2) = if sig1_first {
+                        (slots(fa, &r_first), slots(sa, &r_second), r1b, r2b)
+                    } else {
+                        (slots(sa, &r_second), slots(fa, &r_first), r2b, r1b)
+                    };
+                    out.push(RealizedPair {
+                        state: s0.clone(),
+                        slots1,
+                        slots2,
+                        sig1_first,
+                        commutes,
+                        other_ret1,
+                        other_ret2,
+                        end_this: end,
+                        end_other: end_b,
+                    });
+                }
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+/// One aggregated observable sample: slot vectors plus the conservative
+/// commute label (`true` only when every realization of these slots
+/// commutes — see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabeledSample {
+    /// `sig1`'s arguments followed by its return value.
+    pub slots1: Vec<Value>,
+    /// `sig2`'s arguments followed by its return value.
+    pub slots2: Vec<Value>,
+    /// `true` iff every bounded realization of these slots commutes.
+    pub commutes: bool,
+}
+
+/// Aggregates [`realized_pairs`] by observable slot vectors (see the
+/// module docs for why non-commute wins on conflicts). Samples come out in
+/// deterministic (sorted) order.
+pub fn labeled_samples(
+    kind: Kind,
+    sig1: &MethodSig,
+    sig2: &MethodSig,
+    config: &OracleConfig,
+) -> Result<Option<Vec<LabeledSample>>, BudgetExceeded> {
+    let Some(pairs) = realized_pairs(kind, sig1, sig2, config)? else {
+        return Ok(None);
+    };
+    Ok(Some(aggregate(&pairs)))
+}
+
+/// Aggregates already-realized executions by observable slot vectors.
+pub fn aggregate(pairs: &[RealizedPair]) -> Vec<LabeledSample> {
+    let mut by_slots: BTreeMap<(Vec<Value>, Vec<Value>), bool> = BTreeMap::new();
+    for p in pairs {
+        let entry = by_slots
+            .entry((p.slots1.clone(), p.slots2.clone()))
+            .or_insert(true);
+        *entry &= p.commutes;
+    }
+    by_slots
+        .into_iter()
+        .map(|((slots1, slots2), commutes)| LabeledSample {
+            slots1,
+            slots2,
+            commutes,
+        })
+        .collect()
+}
+
+/// The bounded value universe for a whole spec: every pairwise formula's
+/// constants plus the shared small defaults (see [`crate::passes`]).
+pub(crate) fn spec_universe(spec: &Spec) -> Vec<Value> {
+    let formulas: Vec<Formula> = (0..spec.num_methods())
+        .flat_map(|i| {
+            (i..spec.num_methods()).map(move |j| (MethodId(i as u32), MethodId(j as u32)))
+        })
+        .map(|(m1, m2)| spec.formula(m1, m2))
+        .collect();
+    crate::passes::value_universe(formulas.iter())
+}
+
+/// Enumerates one action per slot assignment over `universe`, for every
+/// method, stride-sampled down to roughly [`SOFT_ACTION_CAP`] entries (the
+/// L009 differential audit tolerates sampling; see the module docs).
+pub fn enumerate_actions(spec: &Spec, universe: &[Value]) -> Vec<Action> {
+    let mut out = Vec::new();
+    for m in 0..spec.num_methods() {
+        let id = MethodId(m as u32);
+        let slots = spec.sig(id).num_slots();
+        let mut idx = vec![0usize; slots];
+        loop {
+            let vals: Vec<Value> = idx.iter().map(|&i| universe[i].clone()).collect();
+            let (args, ret) = vals.split_at(slots - 1);
+            out.push(Action::new(ObjId(0), id, args.to_vec(), ret[0].clone()));
+            let mut k = 0;
+            loop {
+                if k == slots {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] < universe.len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == slots {
+                break;
+            }
+        }
+    }
+    if out.len() > SOFT_ACTION_CAP {
+        let stride = out.len().div_ceil(SOFT_ACTION_CAP);
+        out = out
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(_, a)| a)
+            .collect();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_spec::builtin;
+
+    fn sig<'a>(spec: &'a Spec, name: &str) -> &'a MethodSig {
+        spec.sig(spec.method_id(name).unwrap())
+    }
+
+    #[test]
+    fn default_config_reproduces_the_historical_domains() {
+        let cfg = OracleConfig::default();
+        assert_eq!(initial_states(Kind::Dict, &cfg).len(), 9);
+        assert_eq!(initial_states(Kind::Set, &cfg).len(), 4);
+        assert_eq!(
+            initial_states(Kind::Register, &cfg),
+            vec![State::Register(Value::Nil), State::Register(Value::Int(1))]
+        );
+        assert_eq!(initial_states(Kind::Queue, &cfg).len(), 4);
+    }
+
+    #[test]
+    fn aggregation_is_conservative_across_hidden_states() {
+        // (enq(x), deq() -> v): from [v] the pair commutes, from [] the
+        // same slots realize only when v == x and do not commute. The
+        // aggregated label for any same-value slots must be non-commute.
+        let cfg = OracleConfig::default();
+        let spec = builtin::all()
+            .into_iter()
+            .find(|s| s.name() == "queue")
+            .unwrap();
+        let samples = labeled_samples(Kind::Queue, sig(&spec, "enq"), sig(&spec, "deq"), &cfg)
+            .unwrap()
+            .unwrap();
+        let same = samples
+            .iter()
+            .find(|s| s.slots1[0] == Value::Int(1) && s.slots2[0] == Value::Int(1))
+            .unwrap();
+        assert!(!same.commutes, "{same:?}");
+        let diff = samples
+            .iter()
+            .find(|s| s.slots1[0] == Value::Int(1) && s.slots2[0] == Value::Int(2))
+            .unwrap();
+        assert!(diff.commutes, "{diff:?}");
+    }
+
+    #[test]
+    fn budget_overflow_is_an_error_not_a_truncation() {
+        let cfg = OracleConfig {
+            max_int: 2,
+            max_actions: 10,
+        };
+        let spec = builtin::all()
+            .into_iter()
+            .find(|s| s.name() == "dictionary")
+            .unwrap();
+        let err = realized_pairs(Kind::Dict, sig(&spec, "put"), sig(&spec, "put"), &cfg)
+            .expect_err("put/put needs 648 executions");
+        assert_eq!(err.needed, 648);
+        assert!(err.to_string().contains("--max-actions"), "{err}");
+    }
+
+    #[test]
+    fn unmatched_methods_are_skipped_not_errors() {
+        let spec =
+            crace_spec::parse("spec dictionary { method frobnicate(); commute frobnicate(), frobnicate() when true; }")
+                .unwrap();
+        let cfg = OracleConfig::default();
+        let got = realized_pairs(
+            Kind::Dict,
+            sig(&spec, "frobnicate"),
+            sig(&spec, "frobnicate"),
+            &cfg,
+        )
+        .unwrap();
+        assert!(got.is_none());
+    }
+}

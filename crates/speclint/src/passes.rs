@@ -59,7 +59,11 @@ fn eval_abstract(phi: &Formula, atoms: &[AtomKey], mask: u32) -> bool {
 /// Truth-table equivalence treating atoms as free booleans. Sound for
 /// distinguishing formulas (`Some(false)` means genuinely different);
 /// returns `None` when the combined atom count exceeds 16.
-pub(crate) fn abstract_equiv(a: &Formula, b: &Formula) -> Option<bool> {
+///
+/// Public because the `crace-specsynth` crate uses the same table to
+/// decide whether a synthesized condition is structurally equivalent to a
+/// handwritten one (the L003/L004 machinery, run in reverse).
+pub fn abstract_equiv(a: &Formula, b: &Formula) -> Option<bool> {
     let mut atoms = BTreeSet::new();
     collect_atoms(a, &mut atoms);
     collect_atoms(b, &mut atoms);

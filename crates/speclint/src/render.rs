@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn pretty_clean_report() {
-        let src = builtin::source("register").unwrap();
+        let src = builtin::source("counter").unwrap();
         let report = lint(src).unwrap();
         let text = report.render_pretty(src);
         assert!(text.contains("clean: no findings"), "{text}");

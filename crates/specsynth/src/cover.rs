@@ -1,0 +1,498 @@
+//! The greedy prime-implicant cover at the heart of the synthesizer.
+//!
+//! Given labeled samples — observable slot vectors of a method pair, each
+//! marked *commuting* (every bounded realization commutes) or
+//! *non-commuting* — [`synthesize_pair`] searches for the weakest DNF
+//! formula in the ECL fragment that admits every commuting sample it can
+//! and no non-commuting sample:
+//!
+//! 1. **Candidate literals** are the ECL atoms over the pair's slots:
+//!    the cross-action inequality `a_i != b_j` (the only cross atom ECL
+//!    has; restricted to the diagonal for same-method pairs, where
+//!    off-diagonal atoms are inherently asymmetric), per-side slot/slot
+//!    equalities, and per-side slot/constant equalities over every value
+//!    observed in the samples — each in both polarities.
+//! 2. **Seeding**: each yet-uncovered commuting sample contributes the
+//!    conjunction of *all* candidate literals it satisfies. Constants pin
+//!    the sample exactly, so (after label aggregation) the full
+//!    conjunction never admits a non-commuting sample — every commuting
+//!    sample is coverable unless the cross-clause discipline below
+//!    retired the atoms it needs.
+//! 3. **Greedy literal dropping** weakens the clause to a prime implicant:
+//!    literals are dropped most-specific-first (integer-constant pins,
+//!    then slot/slot links, then the `nil`/boolean guards, cross atoms
+//!    last) and a drop is kept only if the clause still rejects every
+//!    non-commuting sample. Clause weakening is monotone, so one pass
+//!    yields a prime clause: a literal whose removal admits a bad sample
+//!    at its turn still admits it against any weaker final clause.
+//! 4. **ECL discipline**: the fragment `X ::= S | B | X∧X | X∨B` allows
+//!    only one cross-bearing disjunct, so once a clause containing a
+//!    cross atom is emitted, cross atoms are retired from later seeds.
+//!    The cross clause is ordered first and the disjunction left-folded,
+//!    which keeps the result in ECL by construction.
+//! 5. **Symmetrization**: for same-method pairs the clause set is closed
+//!    under side-swapping (mirror clauses are added, or merged when the
+//!    clause carries cross atoms), so the formula passes the linter's
+//!    L003 truth-table check.
+//! 6. **Pruning** removes clauses (mirror orbits, for same-method pairs)
+//!    whose covered samples are covered by the rest.
+
+use crace_model::Value;
+use crace_spec::{CmpOp, Formula, Side, Term};
+use std::collections::BTreeSet;
+
+/// One aggregated training sample for a method pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// First method's arguments followed by its return value.
+    pub slots1: Vec<Value>,
+    /// Second method's arguments followed by its return value.
+    pub slots2: Vec<Value>,
+    /// `true` iff every realization of these slots commutes.
+    pub commutes: bool,
+}
+
+/// Shape of the pair being synthesized.
+#[derive(Clone, Copy, Debug)]
+pub struct PairOptions {
+    /// Slot count (arguments + return) of the first method.
+    pub slots1: usize,
+    /// Slot count of the second method.
+    pub slots2: usize,
+    /// Whether both actions are invocations of the same method, which
+    /// demands a side-symmetric condition (L003).
+    pub same_method: bool,
+}
+
+/// The synthesized condition for one pair plus its anatomy.
+#[derive(Clone, Debug)]
+pub struct PairSynthesis {
+    /// The weakest consistent ECL formula found.
+    pub formula: Formula,
+    /// The DNF clauses, each a set of literal formulas (conjuncts); empty
+    /// for the degenerate `true`/`false` results.
+    pub clauses: Vec<Vec<Formula>>,
+    /// Commuting samples the formula fails to admit (inexpressible under
+    /// the single-cross-clause discipline); `0` for every builtin.
+    pub uncovered: usize,
+}
+
+/// A candidate literal: one ECL atom with a polarity.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Literal {
+    /// `slots1[i] != slots2[j]` — the cross-action LS atom.
+    Cross { i: usize, j: usize },
+    /// `side.slots[i] == rhs` (or its negation), `rhs` a later slot of the
+    /// same side or an observed constant.
+    Lb {
+        side: Side,
+        i: usize,
+        rhs: Term,
+        neg: bool,
+    },
+}
+
+impl Literal {
+    fn eval(&self, s: &Sample) -> bool {
+        match self {
+            Literal::Cross { i, j } => s.slots1[*i] != s.slots2[*j],
+            Literal::Lb { side, i, rhs, neg } => {
+                let slots = match side {
+                    Side::First => &s.slots1,
+                    Side::Second => &s.slots2,
+                };
+                let rhs = match rhs {
+                    Term::Slot(j) => &slots[*j],
+                    Term::Const(v) => v,
+                };
+                (slots[*i] == *rhs) != *neg
+            }
+        }
+    }
+
+    fn to_formula(&self) -> Formula {
+        match self {
+            Literal::Cross { i, j } => Formula::NeqCross { i: *i, j: *j },
+            Literal::Lb { side, i, rhs, neg } => {
+                let op = if *neg { CmpOp::Ne } else { CmpOp::Eq };
+                Formula::atom(*side, op, Term::Slot(*i), rhs.clone())
+            }
+        }
+    }
+
+    /// Drop priority: lower classes are dropped first, so the clause keeps
+    /// its most general guards. Integer-constant pins are the most
+    /// overfit-prone and go first; `nil`/boolean guards are exactly the
+    /// Fig. 6 idiom (`p == nil`, `b == false`) and are kept longest among
+    /// the LB atoms; cross atoms are the most general and dropped last.
+    fn drop_class(&self) -> u8 {
+        match self {
+            Literal::Lb {
+                rhs: Term::Const(Value::Int(_)),
+                neg,
+                ..
+            } => u8::from(*neg),
+            Literal::Lb {
+                rhs: Term::Slot(_),
+                neg,
+                ..
+            } => 2 + u8::from(*neg),
+            Literal::Lb { neg, .. } => 4 + u8::from(!*neg),
+            Literal::Cross { .. } => 6,
+        }
+    }
+
+    fn swap_sides(&self) -> Literal {
+        match self {
+            Literal::Cross { i, j } => Literal::Cross { i: *j, j: *i },
+            Literal::Lb { side, i, rhs, neg } => Literal::Lb {
+                side: side.flip(),
+                i: *i,
+                rhs: rhs.clone(),
+                neg: *neg,
+            },
+        }
+    }
+
+    fn is_cross(&self) -> bool {
+        matches!(self, Literal::Cross { .. })
+    }
+}
+
+/// All candidate literals for a pair, from its shape and the values its
+/// samples realize.
+fn candidates(samples: &[Sample], opts: &PairOptions) -> Vec<Literal> {
+    let mut out = BTreeSet::new();
+    for i in 0..opts.slots1 {
+        for j in 0..opts.slots2 {
+            if opts.same_method && i != j {
+                // Off-diagonal cross atoms relate different slots of the
+                // two interchangeable actions and are inherently
+                // asymmetric; the diagonal ones are self-symmetric.
+                continue;
+            }
+            out.insert(Literal::Cross { i, j });
+        }
+    }
+    for (side, slots) in [(Side::First, opts.slots1), (Side::Second, opts.slots2)] {
+        let observed: BTreeSet<Value> = samples
+            .iter()
+            .flat_map(|s| match side {
+                Side::First => s.slots1.iter(),
+                Side::Second => s.slots2.iter(),
+            })
+            .cloned()
+            .collect();
+        for i in 0..slots {
+            for j in (i + 1)..slots {
+                for neg in [false, true] {
+                    out.insert(Literal::Lb {
+                        side,
+                        i,
+                        rhs: Term::Slot(j),
+                        neg,
+                    });
+                }
+            }
+            for v in &observed {
+                for neg in [false, true] {
+                    out.insert(Literal::Lb {
+                        side,
+                        i,
+                        rhs: Term::Const(v.clone()),
+                        neg,
+                    });
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn admits_any(clause: &[Literal], samples: &[&Sample]) -> bool {
+    samples.iter().any(|s| clause.iter().all(|l| l.eval(s)))
+}
+
+fn clause_formula(clause: &[Literal]) -> Formula {
+    let mut lits = clause.to_vec();
+    // Cross atoms first, then a stable order — matches the Fig. 6 idiom
+    // (`k1 != k2 || …`) and keeps renders deterministic.
+    lits.sort_by_key(|l| (u8::from(!l.is_cross()), l.clone()));
+    lits.iter()
+        .map(Literal::to_formula)
+        .fold(Formula::True, Formula::and)
+}
+
+/// Runs the cover search. `samples` should already be aggregated by slot
+/// vectors (the function re-aggregates defensively, non-commute winning).
+pub fn synthesize_pair(samples: &[Sample], opts: &PairOptions) -> PairSynthesis {
+    // Defensive aggregation: identical slots with conflicting labels
+    // collapse to non-commuting.
+    let mut agg: Vec<Sample> = Vec::new();
+    for s in samples {
+        if let Some(prev) = agg
+            .iter_mut()
+            .find(|p| p.slots1 == s.slots1 && p.slots2 == s.slots2)
+        {
+            prev.commutes &= s.commutes;
+        } else {
+            agg.push(s.clone());
+        }
+    }
+    let good: Vec<&Sample> = agg.iter().filter(|s| s.commutes).collect();
+    let bad: Vec<&Sample> = agg.iter().filter(|s| !s.commutes).collect();
+    if bad.is_empty() {
+        return PairSynthesis {
+            formula: Formula::True,
+            clauses: Vec::new(),
+            uncovered: 0,
+        };
+    }
+    if good.is_empty() {
+        return PairSynthesis {
+            formula: Formula::False,
+            clauses: Vec::new(),
+            uncovered: 0,
+        };
+    }
+
+    let pool = candidates(&agg, opts);
+    // The ECL fragment affords only one cross-bearing clause, so the
+    // cross budget must go to the seeds that use it best: those whose
+    // true cross atoms *by themselves* already exclude every
+    // non-commuting sample (e.g. dictionary's distinct-key pairs, where
+    // `k1 != k2` alone is consistent). Greedy dropping turns such a seed
+    // into a maximally general pure-cross clause. Processing any other
+    // seed first can spend the budget on a clause full of incidental
+    // inequalities that is later pruned, leaving the distinct-key seeds
+    // to a brittle constant encoding of `!=`.
+    let cross_seeds_consistent = |s: &Sample| {
+        let crosses: Vec<&Literal> = pool.iter().filter(|l| l.is_cross() && l.eval(s)).collect();
+        !crosses.is_empty() && !bad.iter().any(|b| crosses.iter().all(|l| l.eval(b)))
+    };
+    let mut good = good;
+    good.sort_by_key(|s| !cross_seeds_consistent(s));
+    // Greedy drop, most-specific-first, over the literals of `pool` true
+    // on `seed`. Weakening is monotone, so one pass yields a prime clause
+    // (see the module docs). `None` when no consistent clause exists.
+    let greedy = |seed: &Sample, use_cross: bool| -> Option<Vec<Literal>> {
+        let mut clause: Vec<Literal> = pool
+            .iter()
+            .filter(|l| (use_cross || !l.is_cross()) && l.eval(seed))
+            .cloned()
+            .collect();
+        if admits_any(&clause, &bad) {
+            return None;
+        }
+        clause.sort_by_key(|l| (l.drop_class(), l.clone()));
+        let mut k = 0;
+        while k < clause.len() {
+            let cand = clause.remove(k);
+            if admits_any(&clause, &bad) {
+                clause.insert(k, cand);
+                k += 1;
+            }
+        }
+        Some(clause)
+    };
+    // The clause(s) covering one seed: the greedy prime clause, plus the
+    // discipline the assembled formula must obey — at most one
+    // cross-bearing clause overall, and side-symmetry for same-method
+    // pairs. `None` when the seed cannot be covered under `use_cross`.
+    let clauses_for_seed = |seed: &Sample, use_cross: bool| -> Option<Vec<Vec<Literal>>> {
+        let clause = greedy(seed, use_cross)?;
+        if !opts.same_method {
+            return Some(vec![clause]);
+        }
+        let set: BTreeSet<Literal> = clause.iter().cloned().collect();
+        let swapped: BTreeSet<Literal> = set.iter().map(Literal::swap_sides).collect();
+        if swapped == set {
+            return Some(vec![clause]);
+        }
+        if clause.iter().any(Literal::is_cross) {
+            // Merging with the mirror keeps a single cross clause; the
+            // union must still cover the seed (its mirror literals may be
+            // false there) — otherwise the caller retries without cross.
+            let union: Vec<Literal> = set.union(&swapped).cloned().collect();
+            if union.iter().all(|l| l.eval(seed)) && !admits_any(&union, &bad) {
+                return Some(vec![union]);
+            }
+            return None;
+        }
+        // Samples are swap-closed with symmetric labels, so the mirror
+        // clause is consistent whenever the clause is; keep both.
+        let mirror: Vec<Literal> = swapped.into_iter().collect();
+        if admits_any(&mirror, &bad) {
+            return None;
+        }
+        Some(vec![clause, mirror])
+    };
+    let mut clauses: Vec<Vec<Literal>> = Vec::new();
+    let mut cross_allowed = true;
+    for seed in &good {
+        if clauses.iter().any(|c| c.iter().all(|l| l.eval(seed))) {
+            continue; // already covered
+        }
+        let new = clauses_for_seed(seed, cross_allowed).or_else(|| {
+            // A cross-bearing clause that could not be symmetrized still
+            // leaves the seed coverable by its constant pins alone.
+            cross_allowed
+                .then(|| clauses_for_seed(seed, false))
+                .flatten()
+        });
+        let Some(new) = new else {
+            continue; // inexpressible seed (counted as uncovered below)
+        };
+        if new.iter().flatten().any(|l| l.is_cross()) {
+            cross_allowed = false;
+        }
+        clauses.extend(new);
+    }
+
+    // Prune clauses whose coverage the rest already provides. Mirror
+    // orbits are pruned atomically for same-method pairs so the clause
+    // set stays swap-closed.
+    let covers = |clauses: &[Vec<Literal>], s: &Sample| -> bool {
+        clauses.iter().any(|c| c.iter().all(|l| l.eval(s)))
+    };
+    let mut idx = 0;
+    while idx < clauses.len() {
+        let orbit: Vec<usize> = if opts.same_method {
+            // The clause and its mirror live or die together, wherever
+            // the mirror sits in the list — pruning one alone would leave
+            // an asymmetric formula.
+            let mirror: BTreeSet<Literal> = clauses[idx].iter().map(Literal::swap_sides).collect();
+            (0..clauses.len())
+                .filter(|&k| {
+                    k == idx || clauses[k].iter().cloned().collect::<BTreeSet<_>>() == mirror
+                })
+                .collect()
+        } else {
+            vec![idx]
+        };
+        let rest: Vec<Vec<Literal>> = clauses
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !orbit.contains(k))
+            .map(|(_, c)| c.clone())
+            .collect();
+        let orbit_needed = good
+            .iter()
+            .any(|s| covers(&clauses, s) && !covers(&rest, s));
+        if orbit_needed {
+            idx += 1;
+        } else {
+            clauses = rest;
+        }
+    }
+
+    // Assemble: the cross clause (at most one) first, left-folded — ECL by
+    // construction.
+    clauses.sort_by_key(|c| u8::from(!c.iter().any(Literal::is_cross)));
+    let formula = clauses
+        .iter()
+        .map(|c| clause_formula(c))
+        .fold(Formula::False, Formula::or);
+    let uncovered = good.iter().filter(|s| !covers(&clauses, s)).count();
+    PairSynthesis {
+        formula,
+        clauses: clauses
+            .iter()
+            .map(|c| c.iter().map(Literal::to_formula).collect())
+            .collect(),
+        uncovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(slots1: &[i64], slots2: &[i64], commutes: bool) -> Sample {
+        Sample {
+            slots1: slots1.iter().map(|&v| Value::Int(v)).collect(),
+            slots2: slots2.iter().map(|&v| Value::Int(v)).collect(),
+            commutes,
+        }
+    }
+
+    #[test]
+    fn all_commuting_is_true() {
+        let s = [sample(&[1, 0], &[1, 0], true)];
+        let out = synthesize_pair(
+            &s,
+            &PairOptions {
+                slots1: 2,
+                slots2: 2,
+                same_method: false,
+            },
+        );
+        assert_eq!(out.formula, Formula::True);
+    }
+
+    #[test]
+    fn none_commuting_is_false() {
+        let s = [sample(&[1, 0], &[1, 0], false)];
+        let out = synthesize_pair(
+            &s,
+            &PairOptions {
+                slots1: 2,
+                slots2: 2,
+                same_method: false,
+            },
+        );
+        assert_eq!(out.formula, Formula::False);
+    }
+
+    #[test]
+    fn cross_inequality_is_recovered() {
+        // Commute exactly when the first slots differ.
+        let mut samples = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                samples.push(sample(&[a, 9], &[b, 9], a != b));
+            }
+        }
+        let out = synthesize_pair(
+            &samples,
+            &PairOptions {
+                slots1: 2,
+                slots2: 2,
+                same_method: true,
+            },
+        );
+        assert_eq!(out.formula, Formula::NeqCross { i: 0, j: 0 });
+        assert_eq!(out.uncovered, 0);
+    }
+
+    #[test]
+    fn formula_is_consistent_and_total_on_a_random_truthtable() {
+        // A dense arbitrary labeling must still synthesize a formula that
+        // admits every commuting sample and no non-commuting one (the
+        // constant pins make every sample expressible).
+        let mut samples = Vec::new();
+        for a in 0..4i64 {
+            for b in 0..4i64 {
+                let commutes = (a * 7 + b * 3) % 5 < 2;
+                samples.push(sample(&[a], &[b], commutes));
+            }
+        }
+        let out = synthesize_pair(
+            &samples,
+            &PairOptions {
+                slots1: 1,
+                slots2: 1,
+                same_method: false,
+            },
+        );
+        assert_eq!(out.uncovered, 0);
+        for s in &samples {
+            assert_eq!(
+                out.formula.eval(&s.slots1, &s.slots2),
+                s.commutes,
+                "{s:?} vs {}",
+                out.formula
+            );
+        }
+    }
+}

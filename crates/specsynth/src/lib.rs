@@ -1,0 +1,538 @@
+//! # crace-specsynth — weakest-condition synthesis of commutativity specs
+//!
+//! The linter's bounded oracle (`crace_speclint::oracle`) can *check* a
+//! handwritten commutativity condition against a type's executable
+//! reference semantics. This crate runs the same machinery in reverse: it
+//! **generates** the condition. For every method pair of a supported data
+//! type it
+//!
+//! 1. labels every bounded action pair commute/non-commute by executing
+//!    both orders against the reference state and aggregating by
+//!    observable slot vectors (non-commute wins — a condition over
+//!    arguments and return values cannot distinguish hidden states that
+//!    realize the same slots),
+//! 2. searches for the weakest DNF formula in the ECL fragment consistent
+//!    with the labels (a greedy prime-implicant cover — the per-pair
+//!    entry point is [`synthesize_pair`]), and
+//! 3. assembles the per-pair conditions into a full [`Spec`], renders it
+//!    to ECL source, and verifies the artifact end to end: the source
+//!    must reparse to the same formula trees, compile through the full
+//!    A.3 translation pipeline, and pass the entire lint gate.
+//!
+//! By construction the synthesized condition admits **every** slot vector
+//! the oracle labels always-commuting and **none** it labels
+//! non-commuting, so on the bounded domain it is the weakest sound
+//! slot-expressible condition — the same yardstick pass L011 holds the
+//! handwritten builtins to. `crace synth dictionary` reproduces the
+//! paper's Fig. 6 dictionary spec; `crace synth register` and `queue`
+//! show where the handwritten specs are sound but strictly stronger.
+//!
+//! ```
+//! let synthesis = crace_specsynth::synthesize(
+//!     "counter",
+//!     &crace_specsynth::SynthConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(synthesis.lint_exit, 0);
+//! assert!(synthesis.source.contains("commute"));
+//! ```
+
+mod cover;
+
+pub use cover::{synthesize_pair, PairOptions, PairSynthesis, Sample};
+
+use crace_core::{translate_with, A3_PIPELINE};
+use crace_model::MethodId;
+use crace_spec::{builtin, parse, Formula, MethodRef, Spec, SpecBuilder};
+use crace_speclint::oracle::{self, OracleConfig};
+use crace_speclint::{abstract_equiv, lint_with, LintOptions};
+use std::fmt;
+
+/// Knobs for a synthesis run.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Largest integer in the bounded value universe (`--universe N`).
+    /// The default of 2 reproduces the domains the linter audits with.
+    pub max_int: i64,
+    /// Budget on realized executions per method pair (`--max-actions N`);
+    /// exceeding it is an error, never a silent truncation.
+    pub max_actions: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            max_int: OracleConfig::default().max_int,
+            max_actions: oracle::DEFAULT_MAX_ACTIONS,
+        }
+    }
+}
+
+impl SynthConfig {
+    fn oracle(&self) -> OracleConfig {
+        OracleConfig {
+            max_int: self.max_int,
+            max_actions: self.max_actions,
+        }
+    }
+}
+
+/// Why a synthesis run failed.
+#[derive(Clone, Debug)]
+pub enum SynthError {
+    /// The requested type has no executable reference semantics.
+    UnknownType(String),
+    /// The per-pair execution budget was exceeded; re-run with a larger
+    /// `--max-actions` or a smaller `--universe`.
+    Budget(oracle::BudgetExceeded),
+    /// The synthesized artifact failed its own verification (reparse,
+    /// translation, or lint) — a bug in the synthesizer, not the input.
+    Verification {
+        /// Which gate failed (`"parse"`, `"round-trip"`, `"translate"`,
+        /// `"lint"`, `"build"`).
+        stage: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::UnknownType(name) => write!(
+                f,
+                "no executable reference semantics for `{name}`; supported types: {}",
+                supported().join(", ")
+            ),
+            SynthError::Budget(b) => write!(f, "{b}"),
+            SynthError::Verification { stage, detail } => write!(
+                f,
+                "synthesized spec failed self-verification at the {stage} gate: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<oracle::BudgetExceeded> for SynthError {
+    fn from(b: oracle::BudgetExceeded) -> SynthError {
+        SynthError::Budget(b)
+    }
+}
+
+/// Comparison of a synthesized condition against the handwritten builtin.
+#[derive(Clone, Debug)]
+pub struct HandwrittenComparison {
+    /// The builtin's condition for the pair.
+    pub formula: Formula,
+    /// Truth-table equivalence verdict (`None` when the table is too
+    /// large to enumerate, which never happens for the builtins).
+    pub equivalent: Option<bool>,
+    /// Aggregated always-commuting samples the handwritten condition
+    /// admits; when below [`PairReport::commuting`], the handwritten
+    /// condition is strictly stronger (what L011 warns about).
+    pub admitted: usize,
+}
+
+/// The synthesis outcome for one method pair.
+#[derive(Clone, Debug)]
+pub struct PairReport {
+    /// First method name (pairs are reported with `method1 <= method2`).
+    pub method1: String,
+    /// Second method name.
+    pub method2: String,
+    /// The synthesized weakest condition.
+    pub formula: Formula,
+    /// The condition rendered as ECL source.
+    pub condition: String,
+    /// Aggregated labeled samples for the pair.
+    pub samples: usize,
+    /// How many of them always commute — all admitted by [`formula`]
+    /// whenever [`uncovered`] is zero.
+    ///
+    /// [`formula`]: PairReport::formula
+    /// [`uncovered`]: PairReport::uncovered
+    pub commuting: usize,
+    /// Always-commuting samples the formula fails to admit (inexpressible
+    /// in the single-cross-clause ECL fragment; `0` for every builtin).
+    pub uncovered: usize,
+    /// How the handwritten builtin condition compares.
+    pub handwritten: HandwrittenComparison,
+}
+
+/// A complete synthesized specification plus its verification evidence.
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    /// The data type (and spec) name.
+    pub name: String,
+    /// The synthesized spec, already round-tripped through the parser.
+    pub spec: Spec,
+    /// Rendered ECL source — parses back to [`spec`] and lints clean.
+    ///
+    /// [`spec`]: Synthesis::spec
+    pub source: String,
+    /// Per-pair synthesis reports, `method1 <= method2` order.
+    pub pairs: Vec<PairReport>,
+    /// Exit code of the full lint gate over [`source`] (0 = clean).
+    ///
+    /// [`source`]: Synthesis::source
+    pub lint_exit: i32,
+}
+
+/// The data types with executable reference semantics, i.e. the valid
+/// arguments to [`synthesize`].
+pub fn supported() -> Vec<&'static str> {
+    builtin::all()
+        .iter()
+        .filter(|s| oracle::kind_for(s.name()).is_some())
+        .map(|s| match s.name() {
+            "dictionary" => "dictionary",
+            "dictionary_ext" => "dictionary_ext",
+            "set" => "set",
+            "counter" => "counter",
+            "register" => "register",
+            "queue" => "queue",
+            other => unreachable!("unmodeled builtin {other}"),
+        })
+        .collect()
+}
+
+/// Synthesizes the weakest bounded-domain commutativity specification for
+/// one data type and verifies the emitted artifact end to end.
+pub fn synthesize(name: &str, config: &SynthConfig) -> Result<Synthesis, SynthError> {
+    let handwritten = builtin::all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| SynthError::UnknownType(name.to_string()))?;
+    let kind = oracle::kind_for(name).ok_or_else(|| SynthError::UnknownType(name.to_string()))?;
+    let ocfg = config.oracle();
+
+    let mut builder = SpecBuilder::new(name);
+    let mut ids: Vec<MethodRef> = Vec::new();
+    for sig in handwritten.methods() {
+        ids.push(builder.method(sig.name(), sig.num_args()));
+    }
+
+    let mut pairs = Vec::new();
+    for i in 0..handwritten.num_methods() {
+        for j in i..handwritten.num_methods() {
+            let (m1, m2) = (MethodId(i as u32), MethodId(j as u32));
+            let (sig1, sig2) = (handwritten.sig(m1), handwritten.sig(m2));
+            let samples = oracle::labeled_samples(kind, sig1, sig2, &ocfg)?.ok_or_else(|| {
+                SynthError::Verification {
+                    stage: "build",
+                    detail: format!(
+                        "reference semantics for `{name}` does not model `{}`/`{}`",
+                        sig1.name(),
+                        sig2.name()
+                    ),
+                }
+            })?;
+            let samples: Vec<Sample> = samples
+                .into_iter()
+                .map(|s| Sample {
+                    slots1: s.slots1,
+                    slots2: s.slots2,
+                    commutes: s.commutes,
+                })
+                .collect();
+            let opts = PairOptions {
+                slots1: sig1.num_args() + 1,
+                slots2: sig2.num_args() + 1,
+                same_method: i == j,
+            };
+            let synthesized = synthesize_pair(&samples, &opts);
+            let commuting = samples.iter().filter(|s| s.commutes).count();
+            let declared = handwritten.formula(m1, m2);
+            let handwritten_admitted = samples
+                .iter()
+                .filter(|s| s.commutes && declared.eval(&s.slots1, &s.slots2))
+                .count();
+            pairs.push(PairReport {
+                method1: sig1.name().to_string(),
+                method2: sig2.name().to_string(),
+                formula: synthesized.formula.clone(),
+                condition: synthesized.formula.to_string(),
+                samples: samples.len(),
+                commuting,
+                uncovered: synthesized.uncovered,
+                handwritten: HandwrittenComparison {
+                    equivalent: abstract_equiv(&declared, &synthesized.formula),
+                    formula: declared,
+                    admitted: handwritten_admitted,
+                },
+            });
+            builder
+                .rule(ids[i].id, ids[j].id, synthesized.formula)
+                .map_err(|e| SynthError::Verification {
+                    stage: "build",
+                    detail: format!("pair (`{}`, `{}`): {e}", sig1.name(), sig2.name()),
+                })?;
+        }
+    }
+    let built = builder.finish().map_err(|e| SynthError::Verification {
+        stage: "build",
+        detail: e.to_string(),
+    })?;
+
+    let source = render_source(&built, config);
+    let spec = verify(&built, &source)?;
+    let report = lint_with(
+        &source,
+        &LintOptions {
+            max_actions: config.max_actions,
+        },
+    )
+    .map_err(|e| SynthError::Verification {
+        stage: "lint",
+        detail: e.render(&source),
+    })?;
+    let lint_exit = report.exit_code();
+    if report.has_errors() {
+        return Err(SynthError::Verification {
+            stage: "lint",
+            detail: report.render_pretty(&source),
+        });
+    }
+    Ok(Synthesis {
+        name: name.to_string(),
+        spec,
+        source,
+        pairs,
+        lint_exit,
+    })
+}
+
+/// Synthesizes every supported type (the CLI's `crace synth all`).
+pub fn synthesize_all(config: &SynthConfig) -> Result<Vec<Synthesis>, SynthError> {
+    supported()
+        .into_iter()
+        .map(|name| synthesize(name, config))
+        .collect()
+}
+
+fn render_source(spec: &Spec, config: &SynthConfig) -> String {
+    let mut out = format!(
+        "# Synthesized by `crace synth {}` (value universe 1..={}):\n\
+         # the weakest bounded-domain ECL commutativity conditions consistent\n\
+         # with the type's executable reference semantics.\n",
+        spec.name(),
+        config.max_int
+    );
+    out.push_str(&spec.to_source());
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// The emitted artifact must round-trip through the parser to identical
+/// formula trees and compile through the full A.3 pipeline.
+fn verify(built: &Spec, source: &str) -> Result<Spec, SynthError> {
+    let reparsed = parse(source).map_err(|e| SynthError::Verification {
+        stage: "parse",
+        detail: e.render(source),
+    })?;
+    for i in 0..built.num_methods() {
+        for j in 0..built.num_methods() {
+            let (x, y) = (MethodId(i as u32), MethodId(j as u32));
+            if reparsed.formula(x, y) != built.formula(x, y) {
+                return Err(SynthError::Verification {
+                    stage: "round-trip",
+                    detail: format!(
+                        "pair (`{}`, `{}`) reparsed to `{}`, built `{}`",
+                        built.sig(x).name(),
+                        built.sig(y).name(),
+                        reparsed.formula(x, y),
+                        built.formula(x, y)
+                    ),
+                });
+            }
+        }
+    }
+    translate_with(&reparsed, &A3_PIPELINE).map_err(|e| SynthError::Verification {
+        stage: "translate",
+        detail: e.to_string(),
+    })?;
+    Ok(reparsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crace_spec::{CmpOp, Side, Term};
+
+    fn synth(name: &str) -> Synthesis {
+        synthesize(name, &SynthConfig::default()).expect(name)
+    }
+
+    fn pair<'a>(s: &'a Synthesis, m1: &str, m2: &str) -> &'a PairReport {
+        s.pairs
+            .iter()
+            .find(|p| p.method1 == m1 && p.method2 == m2)
+            .unwrap_or_else(|| panic!("no pair ({m1}, {m2})"))
+    }
+
+    #[test]
+    fn all_supported_types_synthesize_and_lint_clean() {
+        for name in supported() {
+            let s = synth(name);
+            assert_eq!(s.lint_exit, 0, "{name}:\n{}", s.source);
+            assert_eq!(
+                s.pairs.iter().map(|p| p.uncovered).sum::<usize>(),
+                0,
+                "{name} left commuting samples uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn dictionary_matches_fig6() {
+        let s = synth("dictionary");
+        for (m1, m2) in [("put", "put"), ("get", "put"), ("put", "size")] {
+            // Pairs are stored method-id ordered; look up either way.
+            let p = s
+                .pairs
+                .iter()
+                .find(|p| {
+                    (p.method1 == m1 && p.method2 == m2) || (p.method1 == m2 && p.method2 == m1)
+                })
+                .unwrap();
+            assert_eq!(
+                p.handwritten.equivalent,
+                Some(true),
+                "({}, {}): synthesized `{}` vs handwritten `{}`",
+                p.method1,
+                p.method2,
+                p.condition,
+                p.handwritten.formula
+            );
+        }
+        // Reads always commute.
+        assert_eq!(pair(&s, "get", "get").formula, Formula::True);
+        assert_eq!(pair(&s, "get", "size").formula, Formula::True);
+        assert_eq!(pair(&s, "size", "size").formula, Formula::True);
+    }
+
+    #[test]
+    fn synthesized_conditions_dominate_handwritten_on_the_oracle() {
+        // "Match or beat": for every pair the synthesized condition admits
+        // every always-commuting sample (uncovered == 0 and commuting ==
+        // admitted by construction), so it can only admit >= what the
+        // handwritten condition admits. For the L011-clean builtins the
+        // handwritten condition is already weakest on realized samples, so
+        // the two must tie exactly there. (Full truth-table equivalence
+        // can still differ on *unrealizable* slot vectors — e.g. dict_ext
+        // `put(k,1) -> 1` next to `remove(k) -> nil` asserts the key both
+        // present and absent — where weakest-on-samples is unconstrained.)
+        for name in supported() {
+            let s = synth(name);
+            for p in &s.pairs {
+                assert_eq!(p.uncovered, 0, "{name} ({}, {})", p.method1, p.method2);
+                assert!(
+                    p.handwritten.admitted <= p.commuting,
+                    "{name} ({}, {})",
+                    p.method1,
+                    p.method2
+                );
+                if matches!(name, "dictionary" | "dictionary_ext" | "set" | "counter") {
+                    assert_eq!(
+                        p.handwritten.admitted, p.commuting,
+                        "{name} ({}, {}): handwritten `{}` should be precise",
+                        p.method1, p.method2, p.handwritten.formula
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_synthesis_beats_the_handwritten_spec() {
+        let s = synth("queue");
+        // deq/deq: both must return nil (empty queue) — the handwritten
+        // spec says plain `false`.
+        let p = pair(&s, "deq", "deq");
+        assert_eq!(p.handwritten.equivalent, Some(false));
+        assert!(p.handwritten.admitted < p.commuting);
+        let nil_ret = |side| {
+            Formula::atom(
+                side,
+                CmpOp::Eq,
+                Term::Slot(0),
+                Term::Const(crace_model::Value::Nil),
+            )
+        };
+        assert_eq!(
+            p.formula,
+            nil_ret(Side::First).and(nil_ret(Side::Second)),
+            "got `{}`",
+            p.condition
+        );
+        // enq/deq: commute exactly when the deq returned a value that is
+        // neither nil (a miss ordered before the enq would have caught the
+        // enqueued value) nor the enqueued value itself (from an empty
+        // queue the other order misses). The nil guard appears as the
+        // cross atom `enq_ret != deq_ret` since enq always returns nil.
+        let p = pair(&s, "enq", "deq");
+        let one = [crace_model::Value::Int(1), crace_model::Value::Nil];
+        let eval = |deq_ret: crace_model::Value| p.formula.eval(&one, &[deq_ret]);
+        assert!(eval(crace_model::Value::Int(2)), "got `{}`", p.condition);
+        assert!(!eval(crace_model::Value::Int(1)), "got `{}`", p.condition);
+        assert!(!eval(crace_model::Value::Nil), "got `{}`", p.condition);
+        assert_eq!(p.handwritten.equivalent, Some(false));
+        assert!(p.handwritten.admitted < p.commuting);
+        // deq/len: the length is only unchanged when the deq missed.
+        let p = pair(&s, "deq", "len");
+        assert_eq!(p.formula, nil_ret(Side::First), "got `{}`", p.condition);
+        // enq/len never commutes — matches handwritten.
+        assert_eq!(pair(&s, "enq", "len").formula, Formula::False);
+        assert_eq!(pair(&s, "len", "len").formula, Formula::True);
+    }
+
+    #[test]
+    fn register_synthesis_is_strictly_weaker_than_handwritten() {
+        let s = synth("register");
+        let p = pair(&s, "write", "write");
+        assert_eq!(p.handwritten.equivalent, Some(false));
+        assert!(p.handwritten.admitted < p.commuting, "{}", p.condition);
+        assert!(p.uncovered == 0);
+        // Reads commute.
+        assert_eq!(pair(&s, "read", "read").formula, Formula::True);
+    }
+
+    #[test]
+    fn unknown_type_is_a_clean_error() {
+        let err = synthesize("heap", &SynthConfig::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("heap") && msg.contains("dictionary"), "{msg}");
+    }
+
+    #[test]
+    fn budget_overflow_names_the_flag() {
+        let err = synthesize(
+            "dictionary",
+            &SynthConfig {
+                max_actions: 100,
+                ..SynthConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthError::Budget(_)));
+        assert!(err.to_string().contains("--max-actions"), "{err}");
+    }
+
+    #[test]
+    fn larger_universe_still_verifies() {
+        let s = synthesize(
+            "counter",
+            &SynthConfig {
+                max_int: 4,
+                max_actions: 1 << 16,
+            },
+        )
+        .unwrap();
+        assert!(!s.source.is_empty());
+        assert_eq!(s.pairs.iter().map(|p| p.uncovered).sum::<usize>(), 0);
+    }
+}

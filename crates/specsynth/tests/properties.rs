@@ -1,0 +1,249 @@
+//! Soundness, maximality, and primeness of the cover search on *random*
+//! reference semantics — not just the builtins the crate ships with.
+//!
+//! Each case builds a random deterministic state machine (a transition
+//! table over a small state/argument domain), realizes every bounded
+//! action pair in both orders, aggregates labels by observable slot
+//! vectors exactly like the linter's oracle (non-commute wins), and runs
+//! [`synthesize_pair`] on the result. The synthesized formula must:
+//!
+//! * **soundness** — admit no aggregated non-commuting sample,
+//! * **maximality** — admit every aggregated always-commuting sample
+//!   (with constant pins in the candidate pool every aggregated sample is
+//!   expressible, so `uncovered` must be zero); together with soundness
+//!   this makes it the weakest consistent condition on the sample space,
+//! * **primeness** — for cross-method pairs, dropping any literal from
+//!   any clause must admit some non-commuting sample (no clause carries
+//!   dead weight),
+//! * **symmetry** — for same-method pairs (trained on swap-closed
+//!   samples), the formula must be invariant under swapping sides.
+
+use crace_model::Value;
+use crace_specsynth::{synthesize_pair, PairOptions, Sample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random deterministic reference semantics: `table[state][method
+/// encoding of args] -> (next state, return)`.
+struct Machine {
+    states: usize,
+    /// Per method: number of arguments (0 or 1 here — enough to exercise
+    /// both shapes) over the argument domain `0..vals`.
+    args: [usize; 2],
+    vals: i64,
+    table: Vec<Vec<Vec<(usize, i64)>>>,
+}
+
+impl Machine {
+    fn random(rng: &mut StdRng) -> Machine {
+        let states = rng.gen_range(2..=4);
+        let args = [rng.gen_range(0..=1), rng.gen_range(0..=1)];
+        let vals = rng.gen_range(2..=3);
+        let table = (0..2)
+            .map(|m| {
+                (0..states)
+                    .map(|_| {
+                        let arg_tuples = (vals as usize).pow(args[m] as u32);
+                        (0..arg_tuples)
+                            .map(|_| (rng.gen_range(0..states), rng.gen_range(0..vals)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Machine {
+            states,
+            args,
+            vals,
+            table,
+        }
+    }
+
+    fn arg_tuples(&self, method: usize) -> Vec<Vec<i64>> {
+        if self.args[method] == 0 {
+            vec![vec![]]
+        } else {
+            (0..self.vals).map(|v| vec![v]).collect()
+        }
+    }
+
+    fn step(&self, state: usize, method: usize, args: &[i64]) -> (usize, i64) {
+        let idx = args.first().map_or(0, |&v| v as usize);
+        self.table[method][state][idx]
+    }
+}
+
+fn slots(args: &[i64], ret: i64) -> Vec<Value> {
+    args.iter()
+        .map(|&v| Value::Int(v))
+        .chain([Value::Int(ret)])
+        .collect()
+}
+
+/// Realizes every bounded pair of invocations of `m1` then `m2` (both
+/// orders) from every state and aggregates by observable slots.
+fn labeled_samples(machine: &Machine, m1: usize, m2: usize) -> Vec<Sample> {
+    let mut agg: Vec<Sample> = Vec::new();
+    let mut record = |slots1: Vec<Value>, slots2: Vec<Value>, commutes: bool| {
+        if let Some(prev) = agg
+            .iter_mut()
+            .find(|p| p.slots1 == slots1 && p.slots2 == slots2)
+        {
+            prev.commutes &= commutes;
+        } else {
+            agg.push(Sample {
+                slots1,
+                slots2,
+                commutes,
+            });
+        }
+    };
+    for state in 0..machine.states {
+        for a1 in machine.arg_tuples(m1) {
+            for a2 in machine.arg_tuples(m2) {
+                // Order A: m1 then m2.
+                let (s_mid, r1) = machine.step(state, m1, &a1);
+                let (s_end_a, r2) = machine.step(s_mid, m2, &a2);
+                // Order B: m2 then m1.
+                let (s_mid_b, r2b) = machine.step(state, m2, &a2);
+                let (s_end_b, r1b) = machine.step(s_mid_b, m1, &a1);
+                let commutes = r1 == r1b && r2 == r2b && s_end_a == s_end_b;
+                record(slots(&a1, r1), slots(&a2, r2), commutes);
+                record(slots(&a1, r1b), slots(&a2, r2b), commutes);
+            }
+        }
+    }
+    agg
+}
+
+#[test]
+fn random_semantics_synthesize_sound_maximal_prime_conditions() {
+    let mut nontrivial = 0u32;
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let machine = Machine::random(&mut rng);
+        let samples = labeled_samples(&machine, 0, 1);
+        let opts = PairOptions {
+            slots1: machine.args[0] + 1,
+            slots2: machine.args[1] + 1,
+            same_method: false,
+        };
+        let out = synthesize_pair(&samples, &opts);
+        let good: Vec<&Sample> = samples.iter().filter(|s| s.commutes).collect();
+        let bad: Vec<&Sample> = samples.iter().filter(|s| !s.commutes).collect();
+        if !good.is_empty() && !bad.is_empty() {
+            nontrivial += 1;
+        }
+        // Soundness: no non-commuting sample is admitted.
+        for s in &bad {
+            assert!(
+                !out.formula.eval(&s.slots1, &s.slots2),
+                "seed {seed}: `{}` admits non-commuting {s:?}",
+                out.formula
+            );
+        }
+        // Maximality: every always-commuting sample is admitted — with
+        // constant pins in the pool, nothing is inexpressible.
+        assert_eq!(out.uncovered, 0, "seed {seed}: `{}`", out.formula);
+        for s in &good {
+            assert!(
+                out.formula.eval(&s.slots1, &s.slots2),
+                "seed {seed}: `{}` rejects always-commuting {s:?}",
+                out.formula
+            );
+        }
+        // Primeness: dropping any literal from any clause must admit some
+        // non-commuting sample, otherwise the clause carries dead weight.
+        for clause in &out.clauses {
+            for dropped in 0..clause.len() {
+                if clause.len() == 1 {
+                    // A singleton weakens to `true`; it must be there
+                    // because some bad sample exists at all.
+                    assert!(!bad.is_empty(), "seed {seed}");
+                    continue;
+                }
+                let admits_bad = bad.iter().any(|s| {
+                    clause
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != dropped)
+                        .all(|(_, lit)| lit.eval(&s.slots1, &s.slots2))
+                });
+                assert!(
+                    admits_bad,
+                    "seed {seed}: clause {clause:?} keeps a redundant literal"
+                );
+            }
+        }
+        // Determinism: the search is a pure function of its input.
+        let again = synthesize_pair(&samples, &opts);
+        assert_eq!(out.formula, again.formula, "seed {seed}");
+    }
+    // The generator must actually exercise the search, not just the
+    // `true`/`false` short-circuits.
+    assert!(nontrivial > 50, "only {nontrivial} nontrivial cases");
+}
+
+#[test]
+fn same_method_synthesis_is_symmetric() {
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let machine = Machine::random(&mut rng);
+        // Same method on both sides: the sample set is swap-closed with
+        // symmetric labels by construction (both orders are recorded).
+        let samples = labeled_samples(&machine, 0, 0);
+        let opts = PairOptions {
+            slots1: machine.args[0] + 1,
+            slots2: machine.args[0] + 1,
+            same_method: true,
+        };
+        let out = synthesize_pair(&samples, &opts);
+        // Symmetry: swapping the two actions never changes the verdict.
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    out.formula.eval(&a.slots1, &b.slots2),
+                    out.formula.eval(&b.slots2, &a.slots1),
+                    "seed {seed}: `{}` is asymmetric",
+                    out.formula
+                );
+            }
+        }
+        // Soundness and maximality hold here too.
+        for s in &samples {
+            assert_eq!(
+                out.formula.eval(&s.slots1, &s.slots2),
+                s.commutes,
+                "seed {seed}: `{}` wrong on {s:?} (uncovered {})",
+                out.formula,
+                out.uncovered
+            );
+        }
+        assert_eq!(out.uncovered, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn conflicting_labels_aggregate_to_non_commuting() {
+    // The engine re-aggregates defensively: two identical slot vectors
+    // with conflicting labels collapse to non-commuting, so the formula
+    // must reject them.
+    let s1 = Sample {
+        slots1: vec![Value::Int(1), Value::Int(0)],
+        slots2: vec![Value::Int(1), Value::Int(0)],
+        commutes: true,
+    };
+    let s2 = Sample {
+        commutes: false,
+        ..s1.clone()
+    };
+    let out = synthesize_pair(
+        &[s1.clone(), s2],
+        &PairOptions {
+            slots1: 2,
+            slots2: 2,
+            same_method: false,
+        },
+    );
+    assert!(!out.formula.eval(&s1.slots1, &s1.slots2));
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! crace check   <spec-file>                 # parse a specification, show basic facts
-//! crace lint    <spec-file> [--json]        # full static analysis (L000–L010)
+//! crace lint    <spec-file> [--json] [--max-actions N]  # full static analysis (L000–L011)
+//! crace synth   <type|all> [--universe N] [--max-actions N] [--json]
+//!               [--out spec.ecl]            # synthesize weakest commutativity specs
 //! crace compile <spec-file> [--dot]         # show its access points (or DOT graph)
 //! crace replay  <trace-file> --spec <file> [--detector rd2|direct|fasttrack]
 //!               [--workers N] [--json] [--metrics[=json|prom]] [--explain]
@@ -53,6 +55,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -82,7 +85,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   crace check   <spec-file|builtin>
-  crace lint    <spec-file|builtin> [--json]
+  crace lint    <spec-file|builtin> [--json] [--max-actions N]
+  crace synth   <type|all> [--universe N] [--max-actions N] [--json]
+                [--out <file>]
   crace compile <spec-file|builtin> [--dot]
   crace replay  <trace-file> --spec <spec-file|builtin>
                 [--detector rd2|direct|fasttrack] [--workers N] [--json]
@@ -184,14 +189,20 @@ fn cmd_builtins() -> Result<ExitCode, String> {
 fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     let name = args.first().ok_or("expected a spec file")?;
     let mut json = false;
-    for arg in &args[1..] {
+    let mut options = crace_speclint::LintOptions::default();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--max-actions" => {
+                let n = it.next().ok_or("--max-actions needs a budget")?;
+                options.max_actions = n.parse().map_err(|_| format!("bad budget `{n}`"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     let source = load_source(name)?;
-    let report = match crace_speclint::lint(&source) {
+    let report = match crace_speclint::lint_with(&source, &options) {
         Ok(report) => report,
         Err(e) => {
             // Unrecoverable (syntax / method table): render and use the
@@ -206,6 +217,149 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
         print!("{}", report.render_pretty(&source));
     }
     Ok(ExitCode::from(report.exit_code() as u8))
+}
+
+/// Renders the synthesis reports as one JSON object (validated against
+/// the crate's own RFC 8259 checker in the test suite).
+fn synth_json(syntheses: &[crace_specsynth::Synthesis]) -> String {
+    use crace_obs::json::escape;
+    use std::fmt::Write;
+    let mut out = String::from("{\"types\":[");
+    for (i, s) in syntheses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"lint_exit\":{},\"pairs\":[",
+            escape(&s.name),
+            s.lint_exit
+        );
+        for (j, p) in s.pairs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let equivalent = match p.handwritten.equivalent {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{{\"method1\":\"{}\",\"method2\":\"{}\",\"condition\":\"{}\",\
+                 \"samples\":{},\"commuting\":{},\"uncovered\":{},\
+                 \"handwritten\":{{\"condition\":\"{}\",\"equivalent\":{equivalent},\
+                 \"admitted\":{}}}}}",
+                escape(&p.method1),
+                escape(&p.method2),
+                escape(&p.condition),
+                p.samples,
+                p.commuting,
+                p.uncovered,
+                escape(&p.handwritten.formula.to_string()),
+                p.handwritten.admitted
+            );
+        }
+        let _ = write!(out, "],\"source\":\"{}\"}}", escape(&s.source));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One human-readable line per pair: the synthesized condition and how it
+/// relates to the handwritten builtin.
+fn synth_summary(s: &crace_specsynth::Synthesis, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "synthesized `{}`: {} pair(s), lint exit {}",
+        s.name,
+        s.pairs.len(),
+        s.lint_exit
+    );
+    for p in &s.pairs {
+        let verdict = if p.handwritten.equivalent == Some(true) {
+            "matches handwritten".to_string()
+        } else if p.handwritten.admitted < p.commuting {
+            format!(
+                "handwritten is stronger: rejects {} always-commuting pair(s)",
+                p.commuting - p.handwritten.admitted
+            )
+        } else {
+            "equal on all realized pairs".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  ({}, {}): {}\n      [{verdict}]",
+            p.method1, p.method2, p.condition
+        );
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
+    let target = args
+        .first()
+        .ok_or("expected a data type (`dictionary`, `set`, …) or `all`")?
+        .clone();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut config = crace_specsynth::SynthConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" => out_path = Some(it.next().ok_or("--out needs a file")?.clone()),
+            "--universe" => {
+                let n = it.next().ok_or("--universe needs an integer bound")?;
+                config.max_int = n.parse().map_err(|_| format!("bad bound `{n}`"))?;
+                if config.max_int < 1 {
+                    return Err("--universe must be at least 1".to_string());
+                }
+            }
+            "--max-actions" => {
+                let n = it.next().ok_or("--max-actions needs a budget")?;
+                config.max_actions = n.parse().map_err(|_| format!("bad budget `{n}`"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let syntheses = if target == "all" {
+        crace_specsynth::synthesize_all(&config)
+    } else {
+        crace_specsynth::synthesize(&target, &config).map(|s| vec![s])
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut sources = String::new();
+    for (i, s) in syntheses.iter().enumerate() {
+        if i > 0 {
+            sources.push('\n');
+        }
+        sources.push_str(&s.source);
+    }
+    if json {
+        println!("{}", synth_json(&syntheses));
+    }
+    if let Some(path) = &out_path {
+        std::fs::write(path, &sources).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        if !json {
+            let mut summary = String::new();
+            for s in &syntheses {
+                synth_summary(s, &mut summary);
+            }
+            print!("{summary}");
+            println!("wrote {} spec(s) to `{path}`", syntheses.len());
+        }
+    } else if !json {
+        // Sources go to stdout (`crace synth dictionary > dict.ecl` is a
+        // valid spec file); the summary goes to stderr.
+        let mut summary = String::new();
+        for s in &syntheses {
+            synth_summary(s, &mut summary);
+        }
+        eprint!("{summary}");
+        print!("{sources}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {

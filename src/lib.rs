@@ -17,8 +17,11 @@
 //! * [`speclint`] — static analysis for specifications (`crace lint`):
 //!   fragment conformance, symmetry and orientation consistency,
 //!   access-point diagnostics, a differential audit of the A.3
-//!   optimization passes, and a bounded-model soundness audit against
-//!   executable builtin semantics,
+//!   optimization passes, and a bounded-model soundness and precision
+//!   audit against executable builtin semantics,
+//! * [`specsynth`] — the linter's oracle run in reverse (`crace synth`):
+//!   synthesizes the weakest bounded-domain ECL commutativity condition
+//!   for every method pair of a type with executable reference semantics,
 //! * [`fasttrack`] — the FastTrack read-write race detector baseline,
 //! * [`vclock`] — vector clocks, epochs and Table 1 synchronization
 //!   handling,
@@ -100,6 +103,7 @@ pub use crace_obs as obs;
 pub use crace_runtime as runtime;
 pub use crace_spec as spec;
 pub use crace_speclint as speclint;
+pub use crace_specsynth as specsynth;
 pub use crace_vclock as vclock;
 pub use crace_workloads as workloads;
 
@@ -121,5 +125,6 @@ pub use crace_runtime::{
     MonitoredRegister, MonitoredSet, Runtime, ThreadCtx, TrackedCell, TrackedMutex,
 };
 pub use crace_spec::{parse as parse_spec, Spec, SpecBuilder};
-pub use crace_speclint::{lint as lint_spec, LintReport};
+pub use crace_speclint::{lint as lint_spec, lint_with, LintOptions, LintReport};
+pub use crace_specsynth::{synthesize, synthesize_all, SynthConfig, SynthError, Synthesis};
 pub use crace_vclock::{AdaptiveClock, ClockStats, PublishedClocks, VectorClock};

@@ -24,8 +24,8 @@ fn stdout(out: &Output) -> String {
     String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
 }
 
-const ALL_CODES: [&str; 11] = [
-    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+const ALL_CODES: [&str; 12] = [
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010", "L011",
 ];
 
 /// Lints a fixture and asserts the exit code plus that exactly the intended
@@ -57,19 +57,46 @@ fn assert_fixture(name: &str, code: &str, exit: i32) {
 }
 
 #[test]
-fn builtins_lint_clean() {
-    for name in [
-        "dictionary",
-        "dictionary_ext",
-        "set",
-        "counter",
-        "register",
-        "queue",
-    ] {
+fn precise_builtins_lint_clean() {
+    for name in ["dictionary", "dictionary_ext", "set", "counter"] {
         let out = crace(&["lint", name]);
         assert_eq!(out.status.code(), Some(0), "{name}: {out:?}");
         assert!(stdout(&out).contains("clean: no findings"), "{name}");
     }
+}
+
+#[test]
+fn underclaiming_builtins_lint_with_l011_warnings_only() {
+    // register and queue declare sound but strictly-stronger-than-weakest
+    // conditions; the precision audit flags each such pair as a warning
+    // (exit 2), with no other code firing.
+    for name in ["register", "queue"] {
+        let out = crace(&["lint", name]);
+        assert_eq!(out.status.code(), Some(2), "{name}: {out:?}");
+        let text = stdout(&out);
+        assert!(text.contains("[L011]"), "{name}: {text}");
+        for other in ALL_CODES.iter().filter(|c| **c != "L011") {
+            assert!(
+                !text.contains(&format!("[{other}]")),
+                "{name} unexpectedly fired {other}: {text}"
+            );
+        }
+        assert!(text.contains("crace synth"), "{name}: {text}");
+    }
+}
+
+#[test]
+fn lint_max_actions_budget_is_a_spanned_error() {
+    // A tiny budget turns the realized-execution audit into a spanned
+    // L010 error naming the flag, never a silent truncation; a generous
+    // budget restores the clean verdict.
+    let out = crace(&["lint", "dictionary", "--max-actions", "100"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("[L010]"), "{text}");
+    assert!(text.contains("--max-actions"), "{text}");
+    let out = crace(&["lint", "dictionary", "--max-actions", "10000"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
 
 #[test]

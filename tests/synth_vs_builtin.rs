@@ -1,0 +1,264 @@
+//! The synthesized specifications versus the handwritten Fig. 6
+//! builtins, end to end: pinned verdict tables under the bounded oracle,
+//! the full lint gate over every emitted artifact, the `crace synth` CLI
+//! contract, and a bit-for-bit replay differential — the committed
+//! fixture must produce the *identical* race report under the
+//! synthesized dictionary spec and the handwritten one.
+
+use crace::speclint::oracle::{self, OracleConfig};
+use crace::{synthesize, synthesize_all, SynthConfig};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn data(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("crates/cli/tests/data");
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+fn crace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_crace"))
+        .args(args)
+        .output()
+        .expect("run crace")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+/// The headline acceptance: on the bounded oracle's aggregated samples,
+/// the synthesized dict/set/counter specs admit every truly-commuting
+/// pair and zero non-commuting ones — matching or beating handwritten.
+#[test]
+fn synthesized_specs_match_or_beat_handwritten_on_the_oracle() {
+    for name in ["dictionary", "set", "counter"] {
+        let synthesis = synthesize(name, &SynthConfig::default()).expect(name);
+        let handwritten = crace::spec::builtin::all()
+            .into_iter()
+            .find(|s| s.name() == name)
+            .unwrap();
+        let kind = oracle::kind_for(name).unwrap();
+        for i in 0..handwritten.num_methods() {
+            for j in i..handwritten.num_methods() {
+                let (m1, m2) = (crace::MethodId(i as u32), crace::MethodId(j as u32));
+                let samples = oracle::labeled_samples(
+                    kind,
+                    handwritten.sig(m1),
+                    handwritten.sig(m2),
+                    &OracleConfig::default(),
+                )
+                .expect("within budget")
+                .expect("modeled");
+                let synth_phi = synthesis.spec.formula(m1, m2);
+                let hand_phi = handwritten.formula(m1, m2);
+                for s in &samples {
+                    let synth_admits = synth_phi.eval(&s.slots1, &s.slots2);
+                    let hand_admits = hand_phi.eval(&s.slots1, &s.slots2);
+                    assert_eq!(
+                        synth_admits, s.commutes,
+                        "{name} ({i},{j}): synthesized disagrees with the oracle on {s:?}"
+                    );
+                    // "Beat": wherever handwritten admits, so do we.
+                    assert!(
+                        synth_admits || !hand_admits,
+                        "{name} ({i},{j}): handwritten admits {s:?} but synthesized rejects"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pinned verdict tables: the exact per-pair conditions for the three
+/// headline types, as rendered ECL. A change here is a change to the
+/// synthesis algorithm's output and must be reviewed, not absorbed.
+type PairRow = (&'static str, &'static str, &'static str);
+
+#[test]
+fn verdict_tables_are_pinned() {
+    let table: &[(&str, &[PairRow])] = &[
+        (
+            "dictionary",
+            &[
+                ("put", "put", "x0 != y0 || [1](w1 == w2) && [2](w1 == w2)"),
+                ("put", "get", "x0 != y0 || [1](w1 == w2)"),
+                (
+                    "put",
+                    "size",
+                    "[1](w1 == nil) && [1](w2 == nil) || ![1](w1 == nil) && ![1](w2 == nil)",
+                ),
+                ("get", "get", "true"),
+                ("get", "size", "true"),
+                ("size", "size", "true"),
+            ],
+        ),
+        (
+            "set",
+            &[
+                (
+                    "add",
+                    "add",
+                    "x0 != y0 || [1](w1 == false) && [2](w1 == false)",
+                ),
+                ("add", "remove", "x0 != y0"),
+                ("add", "contains", "x0 != y0 || [1](w1 == false)"),
+                ("add", "size", "[1](w1 == false)"),
+                (
+                    "remove",
+                    "remove",
+                    "x0 != y0 || [1](w1 == false) && [2](w1 == false)",
+                ),
+                ("remove", "contains", "x0 != y0 || [1](w1 == false)"),
+                ("remove", "size", "[1](w1 == false)"),
+                ("contains", "contains", "true"),
+                ("contains", "size", "true"),
+                ("size", "size", "true"),
+            ],
+        ),
+        (
+            "counter",
+            &[
+                ("inc", "inc", "true"),
+                ("inc", "dec", "true"),
+                ("inc", "read", "false"),
+                ("dec", "dec", "true"),
+                ("dec", "read", "false"),
+                ("read", "read", "true"),
+            ],
+        ),
+    ];
+    for (name, pairs) in table {
+        let synthesis = synthesize(name, &SynthConfig::default()).expect(name);
+        assert_eq!(synthesis.pairs.len(), pairs.len(), "{name}");
+        for (m1, m2, condition) in *pairs {
+            let p = synthesis
+                .pairs
+                .iter()
+                .find(|p| p.method1 == *m1 && p.method2 == *m2)
+                .unwrap_or_else(|| panic!("{name}: no pair ({m1}, {m2})"));
+            assert_eq!(
+                p.condition, *condition,
+                "{name} ({m1}, {m2}) drifted from the pinned table"
+            );
+        }
+    }
+}
+
+/// Every emitted artifact passes the entire lint gate at exit 0 — the
+/// synthesized register/queue specs too, since they *are* the weakest
+/// conditions the precision audit compares against.
+#[test]
+fn every_synthesized_spec_lints_clean() {
+    for synthesis in synthesize_all(&SynthConfig::default()).expect("synthesize all") {
+        assert_eq!(synthesis.lint_exit, 0, "{}", synthesis.name);
+        let report = crace::lint_spec(&synthesis.source)
+            .unwrap_or_else(|e| panic!("{}: {}", synthesis.name, e.render(&synthesis.source)));
+        assert_eq!(
+            report.exit_code(),
+            0,
+            "{}:\n{}",
+            synthesis.name,
+            report.render_pretty(&synthesis.source)
+        );
+    }
+}
+
+/// Replay differential: the committed Fig. 3 fixture produces a
+/// bit-for-bit identical JSON race report under the synthesized
+/// dictionary spec and the handwritten builtin.
+#[test]
+fn replay_is_report_identical_under_the_synthesized_dictionary() {
+    let dir = std::env::temp_dir().join("crace_synth_replay");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("dictionary.synth.ecl");
+    let out = crace(&["synth", "dictionary", "--out", spec_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    for trace in ["fig3.trace", "fig3_ordered.trace"] {
+        let handwritten = crace(&["replay", &data(trace), "--spec", "dictionary", "--json"]);
+        let synthesized = crace(&[
+            "replay",
+            &data(trace),
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--json",
+        ]);
+        assert_eq!(
+            handwritten.status.code(),
+            synthesized.status.code(),
+            "{trace}: exit codes diverge"
+        );
+        assert_eq!(
+            stdout(&handwritten),
+            stdout(&synthesized),
+            "{trace}: reports diverge"
+        );
+    }
+    // The racy fixture really does exit 3 — the differential is not
+    // vacuously comparing two empty reports.
+    let racy = crace(&["replay", &data("fig3.trace"), "--spec", "dictionary"]);
+    assert_eq!(racy.status.code(), Some(3), "{racy:?}");
+}
+
+#[test]
+fn synth_cli_emits_a_replayable_spec_on_stdout() {
+    // stdout is the spec source (stderr carries the summary), so shell
+    // redirection produces a valid spec file.
+    let out = crace(&["synth", "dictionary"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let source = stdout(&out);
+    let spec = crace::parse_spec(&source).expect("stdout parses as a spec");
+    assert_eq!(spec.name(), "dictionary");
+    assert!(stderr(&out).contains("matches handwritten"), "{out:?}");
+}
+
+#[test]
+fn synth_cli_json_is_valid_and_complete() {
+    let out = crace(&["synth", "all", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = stdout(&out);
+    crace::obs::json::validate(json.trim()).unwrap_or_else(|e| panic!("{e}\n{json}"));
+    let parsed = crace::obs::json::parse(json.trim()).unwrap();
+    let types = parsed.get("types").and_then(|t| t.as_array()).unwrap();
+    assert_eq!(types.len(), 6);
+    for t in types {
+        assert_eq!(t.get("lint_exit").and_then(|e| e.as_f64()), Some(0.0));
+        let source = t.get("source").and_then(|s| s.as_str()).unwrap();
+        crace::parse_spec(source).expect("embedded source parses");
+    }
+}
+
+#[test]
+fn synth_cli_rejects_unknown_types_and_tiny_budgets() {
+    let out = crace(&["synth", "btree"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stderr(&out).contains("supported types"), "{out:?}");
+
+    let out = crace(&["synth", "dictionary", "--max-actions", "10"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stderr(&out).contains("--max-actions"), "{out:?}");
+}
+
+#[test]
+fn synth_universe_scales_the_bounded_domain() {
+    // A larger universe multiplies the realized executions; the budget
+    // error reports the need precisely, and raising the budget succeeds.
+    let out = crace(&["synth", "counter", "--universe", "4"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = crace(&[
+        "synth",
+        "dictionary",
+        "--universe",
+        "3",
+        "--max-actions",
+        "100",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stderr(&out).contains("--max-actions"), "{out:?}");
+}
