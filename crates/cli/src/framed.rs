@@ -293,6 +293,14 @@ impl<W: Write> FramedWriter<W> {
         self.sink.flush()
     }
 
+    /// Resumes writing into a sink that already carries the framed
+    /// header — a capture file reopened in append mode after a daemon
+    /// restart. Writes nothing: the next [`FramedWriter::record`]
+    /// continues the existing record sequence.
+    pub fn append(sink: W) -> FramedWriter<W> {
+        FramedWriter { sink }
+    }
+
     /// Unwraps the underlying sink.
     pub fn into_inner(self) -> W {
         self.sink

@@ -1,0 +1,602 @@
+//! Durable detector state: the [`Checkpoint`] trait and the shared
+//! serializers detectors use to implement it.
+//!
+//! A detector is a deterministic fold over the event stream, so its
+//! state at any record boundary is a value. `checkpoint()` writes that
+//! value down in the versioned, CRC-framed format of
+//! [`crace_vclock::ckpt`]; `restore()` reads it back into a
+//! freshly-configured detector, after which
+//! `restore(checkpoint(fold(prefix))) ≡ fold(prefix)` — the equivalence
+//! `tests/checkpoint_equivalence.rs` proves differentially for every
+//! detector in the workspace.
+//!
+//! Compiled specifications are deliberately **not** serialized: a
+//! checkpoint records each registered object's *spec name*, and restore
+//! resolves names through a caller-supplied [`SpecResolver`] (the daemon
+//! resolves against its session spec; tests against the builtins). This
+//! keeps checkpoints small and means a spec bugfix applies on restore
+//! rather than being fossilized into old state.
+//!
+//! Failure is always closed: any damage — version skew, kind mismatch,
+//! torn line, flipped byte, unresolvable spec — surfaces as a spanned
+//! [`CkptError`] and the caller falls back to replaying the full
+//! capture. A checkpoint never restores into a wrong report.
+
+use crate::engine::ClockMode;
+use crate::points::{AccessPoint, ClassId, CompiledSpec};
+use crace_model::{
+    Action, LocId, MethodId, ObjId, Provenance, RaceKind, RaceRecord, RaceReport, ThreadId, Value,
+};
+use crace_vclock::ckpt::{esc, CkptError, CkptReader, CkptRecord, CkptWriter};
+use std::sync::Arc;
+
+/// Resolves a registered object's spec name back to its compiled
+/// specification during restore. Returning `None` fails the restore
+/// closed (the checkpoint references a spec this process cannot check).
+pub type SpecResolver<'a> = dyn Fn(&str) -> Option<Arc<CompiledSpec>> + 'a;
+
+/// Durable detector state: serialize to the versioned CRC-framed
+/// checkpoint format, and restore from it.
+///
+/// `restore` is called on a **freshly-constructed detector with the
+/// same configuration** (clock mode, provenance window, worker count);
+/// a checkpoint written under a different configuration is rejected —
+/// silently continuing with different semantics could change verdicts.
+pub trait Checkpoint {
+    /// The detector-kind tag in the checkpoint header (e.g.
+    /// `rd2-trace`). Restore refuses a checkpoint of any other kind.
+    fn checkpoint_kind(&self) -> &'static str;
+
+    /// Serializes the complete detector state.
+    fn checkpoint(&self) -> String;
+
+    /// Restores state from `text` into `self`, resolving each
+    /// registered object's spec name through `resolve`.
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`CkptError`] on any damage or mismatch; `self` must
+    /// then be discarded (it may be partially overwritten).
+    fn restore(&self, text: &str, resolve: &SpecResolver<'_>) -> Result<(), CkptError>;
+}
+
+/// A [`SpecResolver`] over the builtin specifications, for tests and
+/// the CLI: translates the builtin of that name on demand.
+pub fn builtin_resolver() -> impl Fn(&str) -> Option<Arc<CompiledSpec>> {
+    |name: &str| {
+        let spec = crace_spec::builtin::all()
+            .into_iter()
+            .find(|s| s.name() == name)?;
+        crate::translate(&spec).ok().map(Arc::new)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Word-level serializers shared by every detector impl.
+// ---------------------------------------------------------------------
+
+/// A [`Value`] as a single word: `n` (nil), `b0`/`b1`, `i<int>`,
+/// `s<escaped>`, `r<id>`.
+pub fn value_word(v: &Value) -> String {
+    match v {
+        Value::Nil => "n".to_string(),
+        Value::Bool(b) => if *b { "b1" } else { "b0" }.to_string(),
+        Value::Int(i) => format!("i{i}"),
+        Value::Str(s) => format!("s{}", esc(s)),
+        Value::Ref(r) => format!("r{r}"),
+    }
+}
+
+/// Parses a [`value_word`] rendering.
+///
+/// # Errors
+///
+/// [`CkptError`] at `line` on malformation.
+pub fn value_parse(word: &str, line: usize) -> Result<Value, CkptError> {
+    let bad = || CkptError::at(line, format!("bad value token `{word}`"));
+    match word.split_at_checked(1) {
+        Some(("n", "")) => Ok(Value::Nil),
+        Some(("b", "0")) => Ok(Value::Bool(false)),
+        Some(("b", "1")) => Ok(Value::Bool(true)),
+        Some(("i", rest)) => rest.parse().map(Value::Int).map_err(|_| bad()),
+        Some(("s", rest)) => crace_vclock::ckpt::unesc(rest)
+            .map(|s| Value::Str(s.into()))
+            .map_err(|e| CkptError::at(line, e)),
+        Some(("r", rest)) => rest.parse().map(Value::Ref).map_err(|_| bad()),
+        _ => Err(bad()),
+    }
+}
+
+/// An [`AccessPoint`] as a single word: `<class>:<value>` with `_` for
+/// the value-free (ds) points.
+pub fn point_word(pt: &AccessPoint) -> String {
+    match &pt.value {
+        Some(v) => format!("{}:{}", pt.class.0, value_word(v)),
+        None => format!("{}:_", pt.class.0),
+    }
+}
+
+/// Parses a [`point_word`] rendering.
+///
+/// # Errors
+///
+/// [`CkptError`] at `line` on malformation.
+pub fn point_parse(word: &str, line: usize) -> Result<AccessPoint, CkptError> {
+    let (class, value) = word
+        .split_once(':')
+        .ok_or_else(|| CkptError::at(line, format!("bad access point `{word}`")))?;
+    let class: u32 = class
+        .parse()
+        .map_err(|_| CkptError::at(line, format!("bad access-point class `{class}`")))?;
+    let value = match value {
+        "_" => None,
+        v => Some(value_parse(v, line)?),
+    };
+    Ok(AccessPoint {
+        class: ClassId(class),
+        value,
+    })
+}
+
+/// Appends an [`Action`] to `words` as `<obj> <method> <argc> <args…>
+/// <ret>`.
+fn action_words(words: &mut Vec<String>, action: &Action) {
+    words.push(action.obj().0.to_string());
+    words.push(action.method().0.to_string());
+    words.push(action.args().len().to_string());
+    for arg in action.args() {
+        words.push(value_word(arg));
+    }
+    words.push(value_word(action.ret()));
+}
+
+/// Parses an [`action_words`] rendering starting at `rec.words[at]`,
+/// returning the action and the index just past it.
+fn action_parse(rec: &CkptRecord<'_>, at: usize) -> Result<(Action, usize), CkptError> {
+    let obj: u64 = rec.num(at)?;
+    let method: u32 = rec.num(at + 1)?;
+    let argc: usize = rec.num(at + 2)?;
+    let mut args = Vec::with_capacity(argc);
+    for i in 0..argc {
+        args.push(value_parse(rec.word(at + 3 + i)?, rec.line)?);
+    }
+    let ret = value_parse(rec.word(at + 3 + argc)?, rec.line)?;
+    Ok((
+        Action::new(ObjId(obj), MethodId(method), args, ret),
+        at + 4 + argc,
+    ))
+}
+
+/// Appends a [`RaceRecord`] to `words`:
+/// `<family> <site> <tid> <detail> (A <action…> | -) (P <prov…> | -)`.
+pub(crate) fn record_words(words: &mut Vec<String>, rec: &RaceRecord) {
+    let (family, site) = match &rec.kind {
+        RaceKind::Commutativity { obj } => (0u8, obj.0),
+        RaceKind::ReadWrite { loc } => (1, loc.0),
+    };
+    words.push(family.to_string());
+    words.push(site.to_string());
+    words.push(rec.tid.0.to_string());
+    words.push(esc(&rec.detail));
+    match &rec.action {
+        Some(a) => {
+            words.push("A".to_string());
+            action_words(words, a);
+        }
+        None => words.push("-".to_string()),
+    }
+    match &rec.provenance {
+        Some(p) => {
+            words.push("P".to_string());
+            words.push(esc(&p.current));
+            words.push(
+                p.prior
+                    .as_deref()
+                    .map_or("-".to_string(), |s| format!("+{}", esc(s))),
+            );
+            words.push(esc(&p.touched));
+            words.push(esc(&p.conflicting));
+            words.push(esc(&p.thread_clock));
+            words.push(esc(&p.point_clock));
+            words.push(p.recent.len().to_string());
+            for r in &p.recent {
+                words.push(esc(r));
+            }
+        }
+        None => words.push("-".to_string()),
+    }
+}
+
+/// Parses a [`record_words`] rendering starting at `rec.words[at]`,
+/// returning the record and the index just past it.
+pub(crate) fn record_parse(
+    rec: &CkptRecord<'_>,
+    at: usize,
+) -> Result<(RaceRecord, usize), CkptError> {
+    let family: u8 = rec.num(at)?;
+    let site: u64 = rec.num(at + 1)?;
+    let kind = match family {
+        0 => RaceKind::Commutativity { obj: ObjId(site) },
+        1 => RaceKind::ReadWrite { loc: LocId(site) },
+        _ => {
+            return Err(CkptError::at(
+                rec.line,
+                format!("unknown race family {family}"),
+            ))
+        }
+    };
+    let tid = ThreadId(rec.num(at + 2)?);
+    let detail = rec.text(at + 3)?;
+    let mut next = at + 4;
+    let action = match rec.word(next)? {
+        "A" => {
+            let (a, after) = action_parse(rec, next + 1)?;
+            next = after;
+            Some(a)
+        }
+        "-" => {
+            next += 1;
+            None
+        }
+        other => {
+            return Err(CkptError::at(
+                rec.line,
+                format!("bad action marker `{other}`"),
+            ))
+        }
+    };
+    let provenance = match rec.word(next)? {
+        "P" => {
+            let current = rec.text(next + 1)?;
+            let prior = match rec.word(next + 2)? {
+                "-" => None,
+                tagged => Some(
+                    tagged
+                        .strip_prefix('+')
+                        .ok_or_else(|| {
+                            CkptError::at(rec.line, format!("bad prior marker `{tagged}`"))
+                        })
+                        .and_then(|w| {
+                            crace_vclock::ckpt::unesc(w).map_err(|e| CkptError::at(rec.line, e))
+                        })?,
+                ),
+            };
+            let touched = rec.text(next + 3)?;
+            let conflicting = rec.text(next + 4)?;
+            let thread_clock = rec.text(next + 5)?;
+            let point_clock = rec.text(next + 6)?;
+            let nrecent: usize = rec.num(next + 7)?;
+            let mut recent = Vec::with_capacity(nrecent);
+            for i in 0..nrecent {
+                recent.push(rec.text(next + 8 + i)?);
+            }
+            next += 8 + nrecent;
+            Some(Box::new(Provenance {
+                current,
+                prior,
+                touched,
+                conflicting,
+                thread_clock,
+                point_clock,
+                recent,
+            }))
+        }
+        "-" => {
+            next += 1;
+            None
+        }
+        other => {
+            return Err(CkptError::at(
+                rec.line,
+                format!("bad provenance marker `{other}`"),
+            ))
+        }
+    };
+    Ok((
+        RaceRecord {
+            kind,
+            tid,
+            action,
+            detail,
+            provenance,
+        },
+        next,
+    ))
+}
+
+/// Writes a [`RaceReport`] as a `report` record (totals + capacity),
+/// one `site` record per distinct site, and one `rsample` record per
+/// retained sample. Tags can be prefixed (e.g. `w3.`) so several
+/// reports coexist in one checkpoint.
+pub fn report_write(w: &mut CkptWriter, prefix: &str, report: &RaceReport) {
+    w.rec(&format!(
+        "{prefix}report {} {} {}",
+        report.total(),
+        report.sample_capacity(),
+        report.samples().len()
+    ));
+    let mut sites: Vec<_> = report.site_counts().collect();
+    sites.sort();
+    for ((family, site), count) in sites {
+        w.rec(&format!("{prefix}site {family} {site} {count}"));
+    }
+    for sample in report.samples() {
+        let mut words = vec![format!("{prefix}rsample")];
+        record_words(&mut words, sample);
+        w.rec(&words.join(" "));
+    }
+}
+
+/// Reads back a report written by [`report_write`] with the same tag
+/// prefix. The reader must be positioned on the `report` record.
+///
+/// # Errors
+///
+/// [`CkptError`] on malformation or when the record counts disagree
+/// with the `report` header record.
+pub fn report_read(r: &mut CkptReader<'_>, prefix: &str) -> Result<RaceReport, CkptError> {
+    let head = r.next_rec().ok_or_else(|| {
+        CkptError::at(
+            0,
+            format!("checkpoint ends where a `{prefix}report` record was expected"),
+        )
+    })?;
+    if head.tag() != format!("{prefix}report") {
+        return Err(CkptError::at(
+            head.line,
+            format!("expected `{prefix}report`, found `{}`", head.tag()),
+        ));
+    }
+    let total: u64 = head.num(1)?;
+    let capacity: usize = head.num(2)?;
+    let nsamples: usize = head.num(3)?;
+    let site_tag = format!("{prefix}site");
+    let mut sites = Vec::new();
+    while let Some(rec) = r.peek() {
+        if rec.tag() != site_tag {
+            break;
+        }
+        let family: u8 = rec.num(1)?;
+        let site: u64 = rec.num(2)?;
+        let count: u64 = rec.num(3)?;
+        sites.push(((family, site), count));
+        r.next_rec();
+    }
+    let sample_tag = format!("{prefix}rsample");
+    let mut samples = Vec::with_capacity(nsamples);
+    for _ in 0..nsamples {
+        let rec = r.next_rec().ok_or_else(|| {
+            CkptError::at(
+                0,
+                format!("checkpoint ends inside `{prefix}rsample` records"),
+            )
+        })?;
+        if rec.tag() != sample_tag {
+            return Err(CkptError::at(
+                rec.line,
+                format!("expected `{sample_tag}`, found `{}`", rec.tag()),
+            ));
+        }
+        let (sample, _) = record_parse(rec, 1)?;
+        samples.push(sample);
+    }
+    Ok(RaceReport::from_parts(total, sites, samples, capacity))
+}
+
+/// [`ClockMode`] as a word.
+pub fn mode_word(mode: ClockMode) -> &'static str {
+    match mode {
+        ClockMode::Adaptive => "adaptive",
+        ClockMode::FullVector => "full",
+    }
+}
+
+/// Parses a [`mode_word`] rendering.
+///
+/// # Errors
+///
+/// [`CkptError`] at `line` on an unknown mode.
+pub fn mode_parse(word: &str, line: usize) -> Result<ClockMode, CkptError> {
+    match word {
+        "adaptive" => Ok(ClockMode::Adaptive),
+        "full" => Ok(ClockMode::FullVector),
+        other => Err(CkptError::at(line, format!("unknown clock mode `{other}`"))),
+    }
+}
+
+/// Builds the fail-closed error for a configuration mismatch between a
+/// checkpoint and the detector it is being restored into.
+pub(crate) fn config_mismatch(
+    line: usize,
+    what: &str,
+    checkpoint: impl std::fmt::Debug,
+    detector: impl std::fmt::Debug,
+) -> CkptError {
+    CkptError::at(
+        line,
+        format!(
+            "checkpoint {what} ({checkpoint:?}) does not match this detector's ({detector:?}) — \
+             restore into a detector with the same configuration"
+        ),
+    )
+}
+
+/// Writes the happens-before word of a provenance-free `vc` — thin
+/// re-export so detector impls only import this module.
+pub use crace_vclock::ckpt::{sync_read, sync_write};
+
+/// Writes one registered object header: `object <id> <spec-name>`.
+pub(crate) fn object_header(w: &mut CkptWriter, obj: ObjId, spec: &CompiledSpec) {
+    w.rec(&format!("object {} {}", obj.0, esc(spec.spec().name())));
+}
+
+/// Parses an `object` record into its id and resolved spec.
+///
+/// # Errors
+///
+/// [`CkptError`] when malformed or when `resolve` does not know the
+/// spec name.
+pub(crate) fn object_parse(
+    rec: &CkptRecord<'_>,
+    resolve: &SpecResolver<'_>,
+) -> Result<(ObjId, Arc<CompiledSpec>), CkptError> {
+    let obj = ObjId(rec.num(1)?);
+    let name = rec.text(2)?;
+    let spec = resolve(&name).ok_or_else(|| {
+        CkptError::at(
+            rec.line,
+            format!("checkpoint references unknown spec `{name}` — cannot restore"),
+        )
+    })?;
+    Ok((obj, spec))
+}
+
+/// Serializes a sorted list of abandoned threads as one record:
+/// `abandoned <n> [tids…]`.
+pub(crate) fn abandoned_write(w: &mut CkptWriter, abandoned: impl IntoIterator<Item = ThreadId>) {
+    let mut tids: Vec<u32> = abandoned.into_iter().map(|t| t.0).collect();
+    tids.sort_unstable();
+    let mut words = vec!["abandoned".to_string(), tids.len().to_string()];
+    words.extend(tids.iter().map(u32::to_string));
+    w.rec(&words.join(" "));
+}
+
+/// Parses an [`abandoned_write`] record (the reader must be positioned
+/// on it).
+///
+/// # Errors
+///
+/// [`CkptError`] when the record is missing or malformed.
+pub(crate) fn abandoned_read(r: &mut CkptReader<'_>) -> Result<Vec<ThreadId>, CkptError> {
+    let rec = r
+        .next_rec()
+        .ok_or_else(|| CkptError::at(0, "checkpoint ends where `abandoned` was expected"))?;
+    if rec.tag() != "abandoned" {
+        return Err(CkptError::at(
+            rec.line,
+            format!("expected `abandoned`, found `{}`", rec.tag()),
+        ));
+    }
+    let n: usize = rec.num(1)?;
+    let mut tids = Vec::with_capacity(n);
+    for i in 0..n {
+        tids.push(ThreadId(rec.num(2 + i)?));
+    }
+    Ok(tids)
+}
+
+/// Re-exported so callers need only this module: [`vc_word`] /
+/// [`vc_parse`] for raw clocks.
+pub use crace_vclock::ckpt::{vc_parse as clock_parse, vc_word as clock_word};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_words_round_trip() {
+        for v in [
+            Value::Nil,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Str("a b\nc".into()),
+            Value::Str("".into()),
+            Value::Ref(7),
+        ] {
+            assert_eq!(value_parse(&value_word(&v), 1).unwrap(), v, "{v}");
+        }
+        assert!(value_parse("x9", 1).is_err());
+        assert!(value_parse("", 1).is_err());
+        assert!(value_parse("b7", 1).is_err());
+    }
+
+    #[test]
+    fn point_words_round_trip() {
+        for pt in [
+            AccessPoint {
+                class: ClassId(3),
+                value: None,
+            },
+            AccessPoint {
+                class: ClassId(0),
+                value: Some(Value::Str("a.com".into())),
+            },
+        ] {
+            assert_eq!(point_parse(&point_word(&pt), 1).unwrap(), pt);
+        }
+        assert!(point_parse("nocolon", 1).is_err());
+    }
+
+    #[test]
+    fn reports_round_trip_with_action_and_provenance() {
+        let mut report = RaceReport::with_sample_capacity(4);
+        report.record(RaceRecord {
+            kind: RaceKind::Commutativity { obj: ObjId(1) },
+            tid: ThreadId(2),
+            action: Some(Action::new(
+                ObjId(1),
+                MethodId(0),
+                vec![Value::str("a.com"), Value::Int(2)],
+                Value::Int(1),
+            )),
+            detail: "w:\"a.com\" vs w:\"a.com\"".to_string(),
+            provenance: Some(Box::new(Provenance {
+                current: "τ2: o1.put(\"a.com\", 2)/1".into(),
+                prior: Some("τ1: o1.put(\"a.com\", 1)/nil".into()),
+                touched: "put.w0:\"a.com\"".into(),
+                conflicting: "put.w0:\"a.com\"".into(),
+                thread_clock: "⟨0, 1⟩".into(),
+                point_clock: "1@τ1".into(),
+                recent: vec!["e1".into(), "e2 with space".into()],
+            })),
+        });
+        report.record(RaceRecord {
+            kind: RaceKind::ReadWrite { loc: LocId(16) },
+            tid: ThreadId(0),
+            action: None,
+            detail: String::new(),
+            provenance: None,
+        });
+        for _ in 0..10 {
+            // Push the total past the sample capacity.
+            report.record(RaceRecord {
+                kind: RaceKind::Commutativity { obj: ObjId(9) },
+                tid: ThreadId(1),
+                action: None,
+                detail: "overflow".into(),
+                provenance: None,
+            });
+        }
+        let mut w = CkptWriter::new("t");
+        report_write(&mut w, "", &report);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob, "t").unwrap();
+        let restored = report_read(&mut r, "").unwrap();
+        assert_eq!(restored, report);
+        assert_eq!(restored.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn prefixed_reports_coexist() {
+        let mut a = RaceReport::new();
+        a.record(RaceRecord {
+            kind: RaceKind::Commutativity { obj: ObjId(1) },
+            tid: ThreadId(1),
+            action: None,
+            detail: String::new(),
+            provenance: None,
+        });
+        let b = RaceReport::with_sample_capacity(0);
+        let mut w = CkptWriter::new("t");
+        report_write(&mut w, "w0.", &a);
+        report_write(&mut w, "w1.", &b);
+        let blob = w.finish();
+        let mut r = CkptReader::new(&blob, "t").unwrap();
+        assert_eq!(report_read(&mut r, "w0.").unwrap(), a);
+        assert_eq!(report_read(&mut r, "w1.").unwrap(), b);
+        // Reading with the wrong prefix fails closed.
+        let mut r = CkptReader::new(&blob, "t").unwrap();
+        assert!(report_read(&mut r, "w9.").is_err());
+    }
+}

@@ -299,6 +299,104 @@ impl Analysis for TraceDetector {
     }
 }
 
+impl crate::Checkpoint for TraceDetector {
+    fn checkpoint_kind(&self) -> &'static str {
+        "rd2-trace"
+    }
+
+    fn checkpoint(&self) -> String {
+        use crate::checkpoint as ck;
+        let inner = self.inner.lock();
+        let mut w = crace_vclock::CkptWriter::new(self.checkpoint_kind());
+        w.rec(&format!(
+            "meta {} {} {}",
+            ck::mode_word(inner.mode),
+            inner
+                .provenance_window
+                .map_or("-".to_string(), |p| p.to_string()),
+            inner.shed
+        ));
+        ck::sync_write(&mut w, &inner.sync);
+        ck::abandoned_write(&mut w, inner.abandoned.iter().copied());
+        ck::report_write(&mut w, "", &inner.report);
+        let mut objects: Vec<ObjId> = inner.registry.keys().copied().collect();
+        objects.sort();
+        for obj in objects {
+            ck::object_header(&mut w, obj, &inner.registry[&obj]);
+            // Objects registered but never acted on have no shadow state
+            // yet; serialize an empty one so restore stays uniform.
+            match inner.objects.get(&obj) {
+                Some(state) => state.ckpt_write(&mut w),
+                None => match inner.provenance_window {
+                    Some(p) => ObjState::with_provenance(inner.mode, p).ckpt_write(&mut w),
+                    None => ObjState::with_mode(inner.mode).ckpt_write(&mut w),
+                },
+            }
+        }
+        w.finish()
+    }
+
+    fn restore(
+        &self,
+        text: &str,
+        resolve: &crate::SpecResolver<'_>,
+    ) -> Result<(), crace_vclock::CkptError> {
+        use crate::checkpoint as ck;
+        use crace_vclock::ckpt::CkptError;
+        let mut r = crace_vclock::CkptReader::new(text, self.checkpoint_kind())?;
+        let head = r
+            .next_rec()
+            .ok_or_else(|| CkptError::at(0, "checkpoint has no `meta` record"))?;
+        if head.tag() != "meta" {
+            return Err(CkptError::at(
+                head.line,
+                format!("expected `meta`, found `{}`", head.tag()),
+            ));
+        }
+        let mode = ck::mode_parse(head.word(1)?, head.line)?;
+        let provenance_window =
+            match head.word(2)? {
+                "-" => None,
+                p => Some(p.parse::<usize>().map_err(|_| {
+                    CkptError::at(head.line, format!("bad provenance window `{p}`"))
+                })?),
+            };
+        let shed: u64 = head.num(3)?;
+        let line = head.line;
+        let inner = &mut *self.inner.lock();
+        if mode != inner.mode {
+            return Err(ck::config_mismatch(line, "clock mode", mode, inner.mode));
+        }
+        if provenance_window != inner.provenance_window {
+            return Err(ck::config_mismatch(
+                line,
+                "provenance window",
+                provenance_window,
+                inner.provenance_window,
+            ));
+        }
+        inner.sync = ck::sync_read(&mut r)?;
+        inner.abandoned = ck::abandoned_read(&mut r)?.into_iter().collect();
+        inner.report = ck::report_read(&mut r, "")?;
+        inner.shed = shed;
+        inner.registry.clear();
+        inner.objects.clear();
+        while let Some(rec) = r.next_rec() {
+            if rec.tag() != "object" {
+                return Err(CkptError::at(
+                    rec.line,
+                    format!("expected `object`, found `{}`", rec.tag()),
+                ));
+            }
+            let (obj, spec) = ck::object_parse(rec, resolve)?;
+            let state = ObjState::ckpt_read(&mut r)?;
+            inner.registry.insert(obj, spec);
+            inner.objects.insert(obj, state);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -191,6 +191,124 @@ impl ObjState {
         before - self.active.len()
     }
 
+    /// Serializes this object's shadow state as checkpoint records:
+    /// one `ostate` header (mode, probes, clock stats, provenance cap),
+    /// one `pt` record per active access point (sorted for reproducible
+    /// checkpoints), and — in provenance mode — `owin`/`otouch` records
+    /// for the event window and last-touch map.
+    pub fn ckpt_write(&self, w: &mut crace_vclock::CkptWriter) {
+        use crate::checkpoint::{mode_word, point_word};
+        use crace_vclock::ckpt::{esc, stats_word};
+        let cap = match &self.trace {
+            Some(t) => t.cap.to_string(),
+            None => "-".to_string(),
+        };
+        w.rec(&format!(
+            "ostate {} {} {} {}",
+            mode_word(self.mode),
+            self.probes,
+            stats_word(&self.stats),
+            cap
+        ));
+        let mut points: Vec<(String, &AdaptiveClock)> = self
+            .active
+            .iter()
+            .map(|(pt, clock)| (point_word(pt), clock))
+            .collect();
+        points.sort_by(|a, b| a.0.cmp(&b.0));
+        for (pt, clock) in points {
+            w.rec_with(|out| {
+                use std::fmt::Write;
+                let _ = write!(out, "pt {pt} ");
+                crace_vclock::ckpt::adaptive_append(out, clock);
+            });
+        }
+        if let Some(trace) = &self.trace {
+            for entry in &trace.window {
+                w.rec(&format!("owin {}", esc(entry)));
+            }
+            let mut touches: Vec<(String, &String)> = trace
+                .last_touch
+                .iter()
+                .map(|(pt, desc)| (point_word(pt), desc))
+                .collect();
+            touches.sort_by(|a, b| a.0.cmp(&b.0));
+            for (pt, desc) in touches {
+                w.rec(&format!("otouch {pt} {}", esc(desc)));
+            }
+        }
+    }
+
+    /// Reads back the state written by [`ObjState::ckpt_write`]; the
+    /// reader must be positioned on the `ostate` record.
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`crace_vclock::CkptError`] on any malformation.
+    pub fn ckpt_read(
+        r: &mut crace_vclock::CkptReader<'_>,
+    ) -> Result<ObjState, crace_vclock::CkptError> {
+        use crate::checkpoint::{mode_parse, point_parse};
+        use crace_vclock::ckpt::{adaptive_parse, stats_parse, CkptError};
+        let head = r
+            .next_rec()
+            .ok_or_else(|| CkptError::at(0, "checkpoint ends where `ostate` was expected"))?;
+        if head.tag() != "ostate" {
+            return Err(CkptError::at(
+                head.line,
+                format!("expected `ostate`, found `{}`", head.tag()),
+            ));
+        }
+        let mode = mode_parse(head.word(1)?, head.line)?;
+        let probes: u64 = head.num(2)?;
+        let stats = stats_parse(head.word(3)?, head.line)?;
+        let trace = match head.word(4)? {
+            "-" => None,
+            cap => {
+                let cap: usize = cap.parse().map_err(|_| {
+                    CkptError::at(head.line, format!("bad provenance window `{cap}`"))
+                })?;
+                Some(Box::new(TraceState {
+                    cap,
+                    ..TraceState::default()
+                }))
+            }
+        };
+        let mut state = ObjState {
+            active: HashMap::new(),
+            probes,
+            stats,
+            mode,
+            trace,
+        };
+        while let Some(rec) = r.peek() {
+            match rec.tag() {
+                "pt" => {
+                    let pt = point_parse(rec.word(1)?, rec.line)?;
+                    let clock = adaptive_parse(rec.word(2)?, rec.line)?;
+                    state.active.insert(pt, clock);
+                }
+                "owin" => {
+                    let trace = state.trace.as_mut().ok_or_else(|| {
+                        CkptError::at(rec.line, "`owin` record on a provenance-free object")
+                    })?;
+                    trace.window.push_back(rec.text(1)?);
+                }
+                "otouch" => {
+                    let pt = point_parse(rec.word(1)?, rec.line)?;
+                    let desc = rec.text(2)?;
+                    let trace = state.trace.as_mut().ok_or_else(|| {
+                        CkptError::at(rec.line, "`otouch` record on a provenance-free object")
+                    })?;
+                    trace.last_touch.insert(pt, desc);
+                }
+                _ => break,
+            }
+            r.next_rec();
+        }
+        Ok(state)
+    }
+
     /// Processes one action event by thread `tid` with vector clock
     /// `vc(e) = clock` (which must be `T(tid)`, the acting thread's
     /// current clock): phase 1 checks every touched point against its

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod detector;
 mod direct;
 mod engine;
@@ -64,6 +65,7 @@ pub mod oracle;
 mod points;
 mod translate;
 
+pub use checkpoint::{builtin_resolver, Checkpoint, SpecResolver};
 pub use detector::TraceDetector;
 pub use direct::{Direct, DirectDetector};
 pub use engine::{ClockMode, ObjState, RaceHit};

@@ -33,10 +33,25 @@
 //!   of all live thread clocks and retires access points dominated by it
 //!   (see [`ObjState::retire_quiesced`]); a retired point re-materializes
 //!   exactly if touched again, so GC never changes a report;
-//! * **panic isolation** — each event is processed under `catch_unwind`;
-//!   a panicking worker degrades fail-open (sheds its further events,
-//!   keeps the races found before the panic, still answers report
-//!   barriers) instead of wedging the pipeline.
+//! * **supervision** — each event is processed under `catch_unwind`, and
+//!   a panicking worker is *healed* when that is sound: the worker keeps a
+//!   periodic in-memory snapshot of its shadow state plus a journal of the
+//!   batches processed since, rebuilds itself from the snapshot, replays
+//!   the journal, and skips only the poisoned message. Skipping an action
+//!   event can only *hide* a race (it removes a point update and a
+//!   detection), so the heal never invents one; a panic on a message that
+//!   writes clock or registry state (sync events, shared-stream views,
+//!   register/forget) cannot be healed by skipping — losing a
+//!   happens-before edge could fabricate races — so the worker degrades
+//!   fail-open instead (sheds its further events, keeps the races found
+//!   before the panic, still answers report barriers). The contract:
+//!   *heal when possible, shed only when healing fails, never invent
+//!   races*;
+//! * **checkpoint/restore** — the pipeline implements
+//!   [`Checkpoint`](crate::Checkpoint): a snapshot barrier collects every
+//!   worker's state consistent with one ingress sequence number, and
+//!   restore installs the parsed state back into a same-shaped pipeline,
+//!   after which detection continues exactly as if never interrupted.
 
 use crate::engine::{ClockMode, ObjState};
 use crate::points::CompiledSpec;
@@ -83,12 +98,19 @@ pub struct ParallelConfig {
     /// worker; `0` disables GC. Enabling GC assumes a fork-structured
     /// stream (every thread except the root enters via a fork event).
     pub gc_every: usize,
+    /// Refresh each worker's in-memory supervision snapshot every this
+    /// many processed events; `0` disables supervision entirely (a panic
+    /// then degrades the worker forever, the pre-PR-10 behavior). Between
+    /// refreshes the worker journals its processed batches, so a heal
+    /// costs one snapshot clone plus a bounded replay — there is no
+    /// per-event cloning on the hot path.
+    pub snapshot_every: usize,
     /// When set, the pipeline records span timelines into this tracer:
     /// ingress batch pushes, sync broadcasts, per-worker batch dispatch,
-    /// GC sweeps, and the report merge, plus ring-queue-depth counter
-    /// samples. `None` (the default) records nothing and adds no work to
-    /// any path — the same double-gating discipline as
-    /// `provenance_window`.
+    /// GC sweeps, worker heals, and the report merge, plus
+    /// ring-queue-depth counter samples. `None` (the default) records
+    /// nothing and adds no work to any path — the same double-gating
+    /// discipline as `provenance_window`.
     pub tracer: Option<Arc<Tracer>>,
 }
 
@@ -100,6 +122,7 @@ impl Default for ParallelConfig {
             mode: ClockMode::Adaptive,
             provenance_window: None,
             gc_every: 0,
+            snapshot_every: 4096,
             tracer: None,
         }
     }
@@ -145,10 +168,16 @@ enum Msg {
     /// per-event (online) dispatch composes after a shared stream.
     SyncState(Arc<SyncClocks>),
     /// Chaos hook: makes the worker panic while processing, exercising the
-    /// degradation path end to end.
+    /// supervision path (heal, or degrade without a snapshot) end to end.
     Poison,
     /// Report barrier: snapshot the worker's findings into the reply slot.
     Collect(Arc<Reply>),
+    /// Checkpoint barrier: snapshot the worker's complete shadow state
+    /// into the reply slot.
+    Snapshot(Arc<SnapReply>),
+    /// Restore barrier: replace the worker's shadow state with this
+    /// snapshot (clearing any degradation), then acknowledge.
+    Install(Box<WorkerSnapshot>, Arc<Reply>),
 }
 
 /// One thread-clock change produced by the ingress's master replay of a
@@ -165,12 +194,30 @@ struct ClockSet {
 
 impl Msg {
     /// How many events this message stands for in a worker's counters
-    /// (shared views span many; everything else is one).
+    /// (shared views span many; barriers none; everything else is one).
     fn weight(&self) -> u64 {
         match self {
             Msg::Shared { picks, .. } => picks.len() as u64,
+            Msg::Collect(_) | Msg::Snapshot(_) | Msg::Install(..) => 0,
             _ => 1,
         }
+    }
+
+    /// Barrier/control messages the worker loop answers itself; a heal
+    /// replay skips them (they were already answered).
+    fn is_control(&self) -> bool {
+        matches!(self, Msg::Collect(_) | Msg::Snapshot(_) | Msg::Install(..))
+    }
+
+    /// Whether a panic on this message can be healed by skipping it.
+    /// Only pure detection work qualifies: dropping an action removes a
+    /// point update and a detection, which can only *hide* a race.
+    /// Everything that writes clock, overlay, or registry state is
+    /// excluded — skipping one of those could delete a happens-before
+    /// edge and make a later pair look concurrent, i.e. invent a race —
+    /// so those degrade instead.
+    fn heals_by_skipping(&self) -> bool {
+        matches!(self, Msg::Action { .. } | Msg::Poison)
     }
 }
 
@@ -198,6 +245,207 @@ impl Reply {
                 .wait(guard)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+}
+
+/// A one-shot reply slot for a [`Msg::Snapshot`] checkpoint barrier.
+#[derive(Default)]
+struct SnapReply {
+    slot: Mutex<Option<WorkerSnapshot>>,
+    ready: Condvar,
+}
+
+impl SnapReply {
+    fn fill(&self, snapshot: WorkerSnapshot) {
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(snapshot);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> WorkerSnapshot {
+        let mut guard = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(snapshot) = guard.take() {
+                return snapshot;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A worker's complete shadow state as a value: the supervision
+/// snapshot a heal rebuilds from, and the per-worker section of a
+/// pipeline checkpoint. Exactly the data fields of [`WorkerState`] —
+/// configuration and tracing handles stay with the worker.
+#[derive(Clone)]
+struct WorkerSnapshot {
+    sync: SyncClocks,
+    overlay: HashMap<ThreadId, Arc<VectorClock>>,
+    registry: HashMap<ObjId, Arc<CompiledSpec>>,
+    objects: HashMap<ObjId, ObjState>,
+    detailed: Vec<(u64, RaceRecord)>,
+    overflow: RaceReport,
+    live: HashSet<ThreadId>,
+    since_gc: usize,
+    gc_retired: u64,
+    folded_probes: u64,
+    folded_stats: ClockStats,
+}
+
+impl WorkerSnapshot {
+    fn empty() -> WorkerSnapshot {
+        WorkerSnapshot {
+            sync: SyncClocks::new(),
+            overlay: HashMap::new(),
+            registry: HashMap::new(),
+            objects: HashMap::new(),
+            detailed: Vec::new(),
+            overflow: RaceReport::with_sample_capacity(0),
+            live: HashSet::new(),
+            since_gc: 0,
+            gc_retired: 0,
+            folded_probes: 0,
+            folded_stats: ClockStats::default(),
+        }
+    }
+
+    /// Serializes this worker's section of a pipeline checkpoint,
+    /// starting with its `worker <idx>` header.
+    fn ckpt_write(&self, idx: usize, w: &mut crace_vclock::CkptWriter) {
+        use crate::checkpoint as ck;
+        use crace_vclock::ckpt::{esc, stats_word};
+        w.rec(&format!("worker {idx}"));
+        ck::sync_write(w, &self.sync);
+        let mut overlay: Vec<(u32, &Arc<VectorClock>)> =
+            self.overlay.iter().map(|(t, c)| (t.0, c)).collect();
+        overlay.sort_unstable_by_key(|&(t, _)| t);
+        for (tid, clock) in overlay {
+            w.rec_with(|out| {
+                use std::fmt::Write;
+                let _ = write!(out, "wover {tid} ");
+                crace_vclock::ckpt::vc_append(out, clock);
+            });
+        }
+        let mut registry: Vec<(u64, &Arc<CompiledSpec>)> =
+            self.registry.iter().map(|(o, s)| (o.0, s)).collect();
+        registry.sort_unstable_by_key(|&(o, _)| o);
+        for (obj, spec) in registry {
+            w.rec(&format!("wreg {obj} {}", esc(spec.spec().name())));
+        }
+        let mut objects: Vec<(&ObjId, &ObjState)> = self.objects.iter().collect();
+        objects.sort_by_key(|(obj, _)| obj.0);
+        for (obj, state) in objects {
+            // Object states only exist for registered objects; the
+            // registry entry carries the spec name.
+            let Some(spec) = self.registry.get(obj) else {
+                continue;
+            };
+            ck::object_header(w, *obj, spec);
+            state.ckpt_write(w);
+        }
+        for (seq, record) in &self.detailed {
+            let mut words = vec!["wdet".to_string(), seq.to_string()];
+            ck::record_words(&mut words, record);
+            w.rec(&words.join(" "));
+        }
+        ck::report_write(w, &format!("w{idx}."), &self.overflow);
+        let mut live: Vec<u32> = self.live.iter().map(|t| t.0).collect();
+        live.sort_unstable();
+        let mut words = vec!["wlive".to_string(), live.len().to_string()];
+        words.extend(live.iter().map(u32::to_string));
+        w.rec(&words.join(" "));
+        w.rec(&format!(
+            "wctr {} {} {} {}",
+            self.since_gc,
+            self.gc_retired,
+            self.folded_probes,
+            stats_word(&self.folded_stats)
+        ));
+    }
+
+    /// Reads back one worker section; the reader must be positioned just
+    /// past the `worker <idx>` header.
+    fn ckpt_read(
+        r: &mut crace_vclock::CkptReader<'_>,
+        idx: usize,
+        resolve: &crate::SpecResolver<'_>,
+    ) -> Result<WorkerSnapshot, crace_vclock::CkptError> {
+        use crate::checkpoint as ck;
+        use crace_vclock::ckpt::{stats_parse, vc_parse, CkptError};
+        let mut snap = WorkerSnapshot::empty();
+        snap.sync = ck::sync_read(r)?;
+        while let Some(rec) = r.peek() {
+            if rec.tag() != "wover" {
+                break;
+            }
+            let tid = ThreadId(rec.num(1)?);
+            let clock = vc_parse(rec.word(2)?, rec.line)?;
+            snap.overlay.insert(tid, Arc::new(clock));
+            r.next_rec();
+        }
+        while let Some(rec) = r.peek() {
+            if rec.tag() != "wreg" {
+                break;
+            }
+            let obj = ObjId(rec.num(1)?);
+            let name = rec.text(2)?;
+            let spec = resolve(&name).ok_or_else(|| {
+                CkptError::at(
+                    rec.line,
+                    format!("checkpoint references unknown spec `{name}` — cannot restore"),
+                )
+            })?;
+            snap.registry.insert(obj, spec);
+            r.next_rec();
+        }
+        while let Some(rec) = r.peek() {
+            if rec.tag() != "object" {
+                break;
+            }
+            let (obj, _spec) = ck::object_parse(rec, resolve)?;
+            r.next_rec();
+            let state = ObjState::ckpt_read(r)?;
+            snap.objects.insert(obj, state);
+        }
+        while let Some(rec) = r.peek() {
+            if rec.tag() != "wdet" {
+                break;
+            }
+            let seq: u64 = rec.num(1)?;
+            let (record, _) = ck::record_parse(rec, 2)?;
+            snap.detailed.push((seq, record));
+            r.next_rec();
+        }
+        snap.overflow = ck::report_read(r, &format!("w{idx}."))?;
+        let rec = r
+            .next_rec()
+            .ok_or_else(|| CkptError::at(0, "checkpoint ends where `wlive` was expected"))?;
+        if rec.tag() != "wlive" {
+            return Err(CkptError::at(
+                rec.line,
+                format!("expected `wlive`, found `{}`", rec.tag()),
+            ));
+        }
+        let n: usize = rec.num(1)?;
+        for i in 0..n {
+            snap.live.insert(ThreadId(rec.num(2 + i)?));
+        }
+        let rec = r
+            .next_rec()
+            .ok_or_else(|| CkptError::at(0, "checkpoint ends where `wctr` was expected"))?;
+        if rec.tag() != "wctr" {
+            return Err(CkptError::at(
+                rec.line,
+                format!("expected `wctr`, found `{}`", rec.tag()),
+            ));
+        }
+        snap.since_gc = rec.num(1)?;
+        snap.gc_retired = rec.num(2)?;
+        snap.folded_probes = rec.num(3)?;
+        snap.folded_stats = stats_parse(rec.word(4)?, rec.line)?;
+        Ok(snap)
     }
 }
 
@@ -323,6 +571,7 @@ struct WorkerTrace {
     lane: Arc<Lane>,
     p_batch: PhaseId,
     p_gc: PhaseId,
+    p_heal: PhaseId,
 }
 
 /// Lock-free per-worker counters, shared between the worker thread and
@@ -336,6 +585,9 @@ struct WorkerShared {
     panics: AtomicU64,
     shed: AtomicU64,
     degraded: AtomicBool,
+    respawns: AtomicU64,
+    healed_events: AtomicU64,
+    heal_micros: AtomicU64,
 }
 
 /// Snapshot of one worker's pipeline counters.
@@ -351,10 +603,19 @@ pub struct WorkerStats {
     pub parks: u64,
     /// Panics caught inside this worker.
     pub panics: u64,
-    /// Events shed after the worker degraded.
+    /// Events shed after the worker degraded (plus one per message
+    /// skipped by a heal).
     pub events_shed: u64,
-    /// True once a panic tripped this worker into shedding mode.
+    /// True once a panic tripped this worker into shedding mode (healing
+    /// failed or supervision is off).
     pub degraded: bool,
+    /// Times the supervisor rebuilt this worker from its snapshot after
+    /// a panic.
+    pub respawns: u64,
+    /// Journal events replayed across all heals.
+    pub healed_events: u64,
+    /// Total wall-clock microseconds spent healing.
+    pub heal_micros: u64,
 }
 
 /// Snapshot of the whole pipeline's counters — the `parallel.*` metrics.
@@ -387,6 +648,21 @@ impl ParallelStats {
         bump(registry, "parallel.events_in", self.events_in);
         bump(registry, "parallel.sync_broadcasts", self.sync_broadcasts);
         bump(registry, "parallel.events_shed", self.events_shed);
+        bump(
+            registry,
+            "supervisor.respawns",
+            self.workers.iter().map(|w| w.respawns).sum(),
+        );
+        bump(
+            registry,
+            "supervisor.healed_events",
+            self.workers.iter().map(|w| w.healed_events).sum(),
+        );
+        bump(
+            registry,
+            "supervisor.heal_micros",
+            self.workers.iter().map(|w| w.heal_micros).sum(),
+        );
         registry.set_gauge("parallel.workers", self.workers.len() as f64);
         let total: u64 = self.workers.iter().map(|w| w.events).sum();
         for (i, w) in self.workers.iter().enumerate() {
@@ -683,9 +959,13 @@ impl ParallelRd2 {
     }
 
     /// Chaos hook: delivers a poison message to `worker` (modulo the pool
-    /// size), making it panic in-stream. The worker degrades fail-open:
-    /// it sheds its further events but keeps the races found so far and
-    /// still answers report barriers.
+    /// size), making it panic in-stream. With supervision enabled
+    /// ([`ParallelConfig::snapshot_every`] > 0, the default) the worker
+    /// heals: it rebuilds from its last snapshot, replays its journal,
+    /// skips only the poisoned message, and the report stays bit-for-bit
+    /// equal to serial. Without supervision it degrades fail-open: sheds
+    /// its further events but keeps the races found so far and still
+    /// answers report barriers.
     pub fn inject_worker_panic(&self, worker: usize) {
         let mut ingress = self.lock_ingress();
         let w = worker % self.workers;
@@ -870,6 +1150,9 @@ impl ParallelRd2 {
                     panics: s.panics.load(Ordering::Relaxed),
                     events_shed: s.shed.load(Ordering::Relaxed),
                     degraded: s.degraded.load(Ordering::Relaxed),
+                    respawns: s.respawns.load(Ordering::Relaxed),
+                    healed_events: s.healed_events.load(Ordering::Relaxed),
+                    heal_micros: s.heal_micros.load(Ordering::Relaxed),
                 })
                 .collect(),
             events_in: self.events_in.load(Ordering::Relaxed),
@@ -889,6 +1172,166 @@ impl ParallelRd2 {
         self.shared
             .iter()
             .any(|s| s.degraded.load(Ordering::Relaxed))
+    }
+
+    /// Checkpoint barrier: flushes a [`Msg::Snapshot`] to every worker
+    /// while holding the ingress lock, so the returned ingress state
+    /// (sequence number, master clocks, abandonment set) and the worker
+    /// snapshots all correspond to exactly the same stream prefix.
+    fn snapshot_barrier(&self) -> (u64, SyncClocks, HashSet<ThreadId>, Vec<WorkerSnapshot>) {
+        let replies: Vec<Arc<SnapReply>> = (0..self.workers)
+            .map(|_| Arc::new(SnapReply::default()))
+            .collect();
+        let (seq, sync, abandoned) = {
+            let mut ingress = self.lock_ingress();
+            for (w, reply) in replies.iter().enumerate() {
+                ingress.pending[w].push(Msg::Snapshot(Arc::clone(reply)));
+                self.flush(&mut ingress, w);
+            }
+            (ingress.seq, ingress.sync.clone(), ingress.abandoned.clone())
+        };
+        (
+            seq,
+            sync,
+            abandoned,
+            replies.iter().map(|r| r.wait()).collect(),
+        )
+    }
+}
+
+impl crate::Checkpoint for ParallelRd2 {
+    fn checkpoint_kind(&self) -> &'static str {
+        "rd2-parallel"
+    }
+
+    fn checkpoint(&self) -> String {
+        use crate::checkpoint as ck;
+        let (seq, sync, abandoned, snaps) = self.snapshot_barrier();
+        let mut w = crace_vclock::CkptWriter::new(self.checkpoint_kind());
+        w.rec(&format!(
+            "meta {} {} {} {} {} {} {}",
+            ck::mode_word(self.cfg.mode),
+            self.cfg
+                .provenance_window
+                .map_or("-".to_string(), |p| p.to_string()),
+            self.workers,
+            seq,
+            self.events_in.load(Ordering::Relaxed),
+            self.sync_broadcasts.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed)
+        ));
+        ck::sync_write(&mut w, &sync);
+        ck::abandoned_write(&mut w, abandoned.iter().copied());
+        for (idx, snap) in snaps.iter().enumerate() {
+            snap.ckpt_write(idx, &mut w);
+        }
+        w.finish()
+    }
+
+    fn restore(
+        &self,
+        text: &str,
+        resolve: &crate::SpecResolver<'_>,
+    ) -> Result<(), crace_vclock::CkptError> {
+        use crate::checkpoint as ck;
+        use crace_vclock::ckpt::CkptError;
+        let mut r = crace_vclock::CkptReader::new(text, self.checkpoint_kind())?;
+        let head = r
+            .next_rec()
+            .ok_or_else(|| CkptError::at(0, "checkpoint has no `meta` record"))?;
+        if head.tag() != "meta" {
+            return Err(CkptError::at(
+                head.line,
+                format!("expected `meta`, found `{}`", head.tag()),
+            ));
+        }
+        let mode = ck::mode_parse(head.word(1)?, head.line)?;
+        let provenance_window =
+            match head.word(2)? {
+                "-" => None,
+                p => Some(p.parse::<usize>().map_err(|_| {
+                    CkptError::at(head.line, format!("bad provenance window `{p}`"))
+                })?),
+            };
+        let workers: usize = head.num(3)?;
+        if mode != self.cfg.mode {
+            return Err(ck::config_mismatch(
+                head.line,
+                "clock mode",
+                mode,
+                self.cfg.mode,
+            ));
+        }
+        if provenance_window != self.cfg.provenance_window {
+            return Err(ck::config_mismatch(
+                head.line,
+                "provenance window",
+                provenance_window,
+                self.cfg.provenance_window,
+            ));
+        }
+        if workers != self.workers {
+            return Err(ck::config_mismatch(
+                head.line,
+                "worker count",
+                workers,
+                self.workers,
+            ));
+        }
+        let seq: u64 = head.num(4)?;
+        let events_in: u64 = head.num(5)?;
+        let sync_broadcasts: u64 = head.num(6)?;
+        let shed: u64 = head.num(7)?;
+        let sync = ck::sync_read(&mut r)?;
+        let abandoned: HashSet<ThreadId> = ck::abandoned_read(&mut r)?.into_iter().collect();
+        let mut snaps = Vec::with_capacity(self.workers);
+        for idx in 0..self.workers {
+            let rec = r.next_rec().ok_or_else(|| {
+                CkptError::at(
+                    0,
+                    format!("checkpoint ends where `worker {idx}` was expected"),
+                )
+            })?;
+            if rec.tag() != "worker" || rec.num::<usize>(1)? != idx {
+                return Err(CkptError::at(
+                    rec.line,
+                    format!("expected `worker {idx}`, found `{}`", rec.tag()),
+                ));
+            }
+            snaps.push(WorkerSnapshot::ckpt_read(&mut r, idx, resolve)?);
+        }
+        if let Some(rec) = r.peek() {
+            return Err(CkptError::at(
+                rec.line,
+                format!("unexpected trailing record `{}`", rec.tag()),
+            ));
+        }
+        // Install: discard whatever the pipeline held and load the
+        // checkpointed state into ingress and workers.
+        let replies: Vec<Arc<Reply>> = (0..self.workers)
+            .map(|_| Arc::new(Reply::default()))
+            .collect();
+        {
+            let mut ingress = self.lock_ingress();
+            ingress.seq = seq;
+            ingress.sync = sync;
+            ingress.abandoned = abandoned.clone();
+            for ((w, snap), reply) in snaps.drain(..).enumerate().zip(&replies) {
+                ingress.pending[w].clear();
+                ingress.pending[w].push(Msg::Install(Box::new(snap), Arc::clone(reply)));
+                self.flush(&mut ingress, w);
+            }
+        }
+        self.has_abandoned
+            .store(!abandoned.is_empty(), Ordering::Relaxed);
+        self.shed.store(shed, Ordering::Relaxed);
+        self.events_in.store(events_in, Ordering::Relaxed);
+        self.sync_broadcasts
+            .store(sync_broadcasts, Ordering::Relaxed);
+        for reply in &replies {
+            reply.wait();
+        }
+        Ok(())
     }
 }
 
@@ -1106,14 +1549,16 @@ impl WorkerState {
     }
 
     /// Applies one message; returns how many events of this worker's
-    /// sub-stream it processed (for the occupancy counters).
-    fn process(&mut self, msg: Msg) -> u64 {
+    /// sub-stream it processed (for the occupancy counters). Takes the
+    /// message by reference so the worker loop can journal processed
+    /// batches for heal replay without cloning the hot path.
+    fn process(&mut self, msg: &Msg) -> u64 {
         match msg {
-            Msg::Fork(parent, child) => self.fork(parent, child),
-            Msg::Join(parent, child) => self.join(parent, child),
-            Msg::Acquire(tid, lock) => self.acquire(tid, lock),
-            Msg::Release(tid, lock) => self.release(tid, lock),
-            Msg::Action { seq, tid, action } => self.action(seq, tid, &action),
+            Msg::Fork(parent, child) => self.fork(*parent, *child),
+            Msg::Join(parent, child) => self.join(*parent, *child),
+            Msg::Acquire(tid, lock) => self.acquire(*tid, *lock),
+            Msg::Release(tid, lock) => self.release(*tid, *lock),
+            Msg::Action { seq, tid, action } => self.action(*seq, *tid, action),
             Msg::Shared {
                 base,
                 trace,
@@ -1122,7 +1567,7 @@ impl WorkerState {
             } => {
                 let events = trace.events();
                 let mut next = 0usize;
-                for &off in &picks {
+                for &off in picks {
                     while next < sets.len() && sets[next].off < off {
                         self.clock_set(&sets[next]);
                         next += 1;
@@ -1130,7 +1575,7 @@ impl WorkerState {
                     // The ingress only picks action offsets; anything else
                     // would be an indexing bug, so don't detect on it.
                     if let Event::Action { tid, action } = &events[off as usize] {
-                        self.action(base + 1 + u64::from(off), *tid, action);
+                        self.action(*base + 1 + u64::from(off), *tid, action);
                     }
                 }
                 // Updates past the last pick still matter: a later chunk's
@@ -1141,29 +1586,75 @@ impl WorkerState {
                 return picks.len() as u64;
             }
             Msg::SyncState(state) => {
-                self.sync = (*state).clone();
+                self.sync = (**state).clone();
                 self.overlay.clear();
             }
             Msg::Register(obj, spec) => {
                 // Re-registration resets the object's state, as in the
                 // serial detectors.
-                self.objects.remove(&obj);
-                self.registry.insert(obj, spec);
+                self.objects.remove(obj);
+                self.registry.insert(*obj, Arc::clone(spec));
             }
             Msg::Forget(obj) => {
-                self.registry.remove(&obj);
-                self.objects.remove(&obj);
+                self.registry.remove(obj);
+                self.objects.remove(obj);
             }
             Msg::Abandon(tid) => {
-                self.sync.retire(tid);
-                self.overlay.remove(&tid);
-                self.live.remove(&tid);
+                self.sync.retire(*tid);
+                self.overlay.remove(tid);
+                self.live.remove(tid);
             }
             Msg::Poison => panic!("injected worker panic"),
             // Handled by the worker loop, never forwarded here.
-            Msg::Collect(_) => unreachable!("collect handled by the worker loop"),
+            Msg::Collect(_) | Msg::Snapshot(_) | Msg::Install(..) => {
+                unreachable!("barriers handled by the worker loop")
+            }
         }
         1
+    }
+
+    /// Clones the data fields into a [`WorkerSnapshot`].
+    fn snapshot(&self) -> WorkerSnapshot {
+        WorkerSnapshot {
+            sync: self.sync.clone(),
+            overlay: self.overlay.clone(),
+            registry: self.registry.clone(),
+            objects: self.objects.clone(),
+            detailed: self.detailed.clone(),
+            overflow: self.overflow.clone(),
+            live: self.live.clone(),
+            since_gc: self.since_gc,
+            gc_retired: self.gc_retired,
+            folded_probes: self.folded_probes,
+            folded_stats: self.folded_stats,
+        }
+    }
+
+    /// Replaces the data fields with `snap`, keeping configuration and
+    /// tracing handles.
+    fn install(&mut self, snap: WorkerSnapshot) {
+        self.sync = snap.sync;
+        self.overlay = snap.overlay;
+        self.registry = snap.registry;
+        self.objects = snap.objects;
+        self.detailed = snap.detailed;
+        self.overflow = snap.overflow;
+        self.live = snap.live;
+        self.since_gc = snap.since_gc;
+        self.gc_retired = snap.gc_retired;
+        self.folded_probes = snap.folded_probes;
+        self.folded_stats = snap.folded_stats;
+    }
+
+    /// A fresh worker rebuilt from a supervision snapshot.
+    fn from_snapshot(
+        snap: WorkerSnapshot,
+        cfg: &ParallelConfig,
+        trace: Option<WorkerTrace>,
+    ) -> WorkerState {
+        let mut state = WorkerState::new(cfg, trace);
+        state.install(snap);
+        state
     }
 
     fn action(&mut self, seq: u64, tid: ThreadId, action: &Action) {
@@ -1282,53 +1773,192 @@ impl WorkerState {
     }
 }
 
+/// The supervisor's view of one worker: the last known-good snapshot and
+/// the journal of batches processed since. Each journal entry carries the
+/// index of the first message to replay (messages before it are already
+/// folded into the snapshot by a mid-batch install or heal).
+struct Supervisor {
+    snap: Option<Box<WorkerSnapshot>>,
+    journal: Vec<(Vec<Msg>, usize)>,
+    events_since_snap: u64,
+}
+
+impl Supervisor {
+    /// Refreshes the snapshot to `state`'s current value and recycles the
+    /// journal buffers back to the ring.
+    fn refresh(&mut self, state: &WorkerState, ring: &Ring) {
+        self.snap = Some(Box::new(state.snapshot()));
+        for (batch, _) in self.journal.drain(..) {
+            ring.recycle(batch);
+        }
+        self.events_since_snap = 0;
+    }
+
+    /// Rebuilds a worker from the snapshot, replaying the journal and the
+    /// current batch up to (but excluding) the panicking message at
+    /// `batch[at]`. Returns the healed state and the number of events
+    /// replayed, or `None` when the replay itself panics (healing failed
+    /// — the caller degrades).
+    fn replay(
+        &self,
+        cfg: &ParallelConfig,
+        trace: &Option<WorkerTrace>,
+        batch: &[Msg],
+        from: usize,
+        at: usize,
+    ) -> Option<(WorkerState, u64)> {
+        let base = self.snap.as_ref()?;
+        let mut fresh = WorkerState::from_snapshot((**base).clone(), cfg, trace.clone());
+        let mut replayed = 0u64;
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            for (b, start) in &self.journal {
+                for msg in &b[*start..] {
+                    if msg.is_control() {
+                        continue;
+                    }
+                    replayed += fresh.process(msg);
+                }
+            }
+            for msg in &batch[from..at] {
+                if msg.is_control() {
+                    continue;
+                }
+                replayed += fresh.process(msg);
+            }
+        }));
+        ok.ok().map(|()| (fresh, replayed))
+    }
+}
+
 /// The worker loop: drain batches, process each message under a panic
-/// shield, answer report barriers even when degraded.
+/// shield, answer report/checkpoint barriers even when degraded, and heal
+/// from the supervision snapshot when a panic hits pure detection work.
 fn worker_main(ring: &Ring, shared: &WorkerShared, cfg: &ParallelConfig, w: usize) {
     let trace = cfg.tracer.as_ref().map(|t| WorkerTrace {
         lane: t.lane(&format!("worker{w}")),
         p_batch: t.phase("parallel.worker"),
         p_gc: t.phase("parallel.gc"),
+        p_heal: t.phase("parallel.heal"),
     });
     let mut state = WorkerState::new(cfg, trace.clone());
-    while let Some(mut batch) = ring.pop(shared) {
+    let supervise = cfg.snapshot_every > 0;
+    let mut sup = Supervisor {
+        snap: supervise.then(|| Box::new(state.snapshot())),
+        journal: Vec::new(),
+        events_since_snap: 0,
+    };
+    while let Some(batch) = ring.pop(shared) {
         shared.batches.fetch_add(1, Ordering::Relaxed);
         // The batch span's `aux` accumulates exactly what `events` gets:
         // the span-derived per-worker occupancy share is the counter-based
         // `parallel.*` one by construction.
         let mut span = trace.as_ref().map(|t| t.lane.span(t.p_batch));
-        for msg in batch.drain(..) {
-            if let Msg::Collect(reply) = msg {
-                // Fail-open report path: a panic while snapshotting trips
-                // the quarantine and answers with what we have (nothing).
-                let findings =
-                    catch_unwind(AssertUnwindSafe(|| state.findings())).unwrap_or_else(|_| {
-                        shared.panics.fetch_add(1, Ordering::Relaxed);
-                        shared.degraded.store(true, Ordering::Relaxed);
-                        WorkerFindings::default()
-                    });
-                reply.fill(findings);
-                continue;
+        // First index of this batch not yet folded into the snapshot.
+        let mut replay_from = 0usize;
+        for idx in 0..batch.len() {
+            match &batch[idx] {
+                Msg::Collect(reply) => {
+                    // Fail-open report path: a panic while snapshotting
+                    // trips the quarantine and answers with what we have.
+                    let findings = catch_unwind(AssertUnwindSafe(|| state.findings()))
+                        .unwrap_or_else(|_| {
+                            shared.panics.fetch_add(1, Ordering::Relaxed);
+                            shared.degraded.store(true, Ordering::Relaxed);
+                            WorkerFindings::default()
+                        });
+                    reply.fill(findings);
+                    continue;
+                }
+                Msg::Snapshot(reply) => {
+                    // Checkpoint barrier: even a degraded worker answers
+                    // with what it has (fail-open, like Collect).
+                    let snapshot = catch_unwind(AssertUnwindSafe(|| state.snapshot()))
+                        .unwrap_or_else(|_| {
+                            shared.panics.fetch_add(1, Ordering::Relaxed);
+                            shared.degraded.store(true, Ordering::Relaxed);
+                            WorkerSnapshot::empty()
+                        });
+                    reply.fill(snapshot);
+                    continue;
+                }
+                Msg::Install(snapshot, reply) => {
+                    // Restore barrier: replace the shadow state wholesale
+                    // and clear any degradation — the state is rebuilt, so
+                    // the quarantine reason is gone.
+                    state.install((**snapshot).clone());
+                    shared.degraded.store(false, Ordering::Relaxed);
+                    if supervise {
+                        sup.refresh(&state, ring);
+                        replay_from = idx + 1;
+                    }
+                    reply.fill(WorkerFindings::default());
+                    continue;
+                }
+                _ => {}
             }
             if shared.degraded.load(Ordering::Relaxed) {
-                shared.shed.fetch_add(msg.weight(), Ordering::Relaxed);
+                shared
+                    .shed
+                    .fetch_add(batch[idx].weight(), Ordering::Relaxed);
                 continue;
             }
-            match catch_unwind(AssertUnwindSafe(|| state.process(msg))) {
+            match catch_unwind(AssertUnwindSafe(|| state.process(&batch[idx]))) {
                 Ok(processed) => {
                     shared.events.fetch_add(processed, Ordering::Relaxed);
+                    sup.events_since_snap += processed;
                     if let Some(span) = span.as_mut() {
                         span.add_aux(processed);
                     }
                 }
                 Err(_) => {
                     shared.panics.fetch_add(1, Ordering::Relaxed);
-                    shared.degraded.store(true, Ordering::Relaxed);
+                    let healed = batch[idx].heals_by_skipping() && sup.snap.is_some() && {
+                        let started = std::time::Instant::now();
+                        let _hspan = trace.as_ref().map(|t| t.lane.span(t.p_heal));
+                        match sup.replay(cfg, &trace, &batch, replay_from, idx) {
+                            Some((fresh, replayed)) => {
+                                state = fresh;
+                                // The poisoned message is skipped —
+                                // shed, exactly one.
+                                shared
+                                    .shed
+                                    .fetch_add(batch[idx].weight().max(1), Ordering::Relaxed);
+                                shared.respawns.fetch_add(1, Ordering::Relaxed);
+                                shared.healed_events.fetch_add(replayed, Ordering::Relaxed);
+                                shared.heal_micros.fetch_add(
+                                    started.elapsed().as_micros() as u64,
+                                    Ordering::Relaxed,
+                                );
+                                // Re-baseline right away so the skipped
+                                // message never re-enters a replay.
+                                sup.refresh(&state, ring);
+                                replay_from = idx + 1;
+                                true
+                            }
+                            None => false,
+                        }
+                    };
+                    if !healed {
+                        // Healing impossible (sync-class message, no
+                        // snapshot) or the replay panicked too: quarantine.
+                        shared.degraded.store(true, Ordering::Relaxed);
+                        sup.snap = None;
+                        for (b, _) in sup.journal.drain(..) {
+                            ring.recycle(b);
+                        }
+                    }
                 }
             }
         }
         drop(span);
-        ring.recycle(batch);
+        if supervise && sup.snap.is_some() {
+            sup.journal.push((batch, replay_from));
+            if sup.events_since_snap >= cfg.snapshot_every as u64 {
+                sup.refresh(&state, ring);
+            }
+        } else {
+            ring.recycle(batch);
+        }
     }
 }
 
@@ -1585,12 +2215,94 @@ mod tests {
     }
 
     #[test]
-    fn injected_worker_panic_degrades_fail_open() {
+    fn injected_worker_panic_heals_and_matches_serial() {
         quiet(|| {
             let (spec, compiled) = dict_pair();
-            // Two objects on the same (single) worker: the race before the
-            // poison survives, events after it are shed, report still works.
+            // Supervision on (the default): the worker rebuilds from its
+            // snapshot, replays its journal, skips only the poison, and
+            // the final report is bit-for-bit the serial one.
             let rd2 = ParallelRd2::new(1);
+            let serial = Rd2::new();
+            rd2.register(ObjId(1), Arc::clone(&compiled));
+            serial.register(ObjId(1), Arc::clone(&compiled));
+            let pre = |a: &dyn Analysis| {
+                a.on_fork(ThreadId(0), ThreadId(1));
+                a.on_action(ThreadId(0), &put(&spec, 1, 1, 1, Value::Nil));
+                a.on_action(ThreadId(1), &put(&spec, 1, 1, 2, Value::Int(1)));
+            };
+            let post = |a: &dyn Analysis| {
+                a.on_action(ThreadId(0), &put(&spec, 1, 2, 1, Value::Nil));
+                a.on_action(ThreadId(1), &put(&spec, 1, 2, 2, Value::Int(1)));
+            };
+            pre(&rd2);
+            rd2.inject_worker_panic(0);
+            post(&rd2);
+            pre(&serial);
+            post(&serial);
+            assert_eq!(rd2.report(), serial.report(), "healed run equals serial");
+            assert!(!rd2.degraded(), "healed, not quarantined");
+            let stats = rd2.stats();
+            assert_eq!(stats.workers[0].panics, 1);
+            assert_eq!(stats.workers[0].respawns, 1);
+            assert_eq!(stats.workers[0].events_shed, 1, "only the poison is shed");
+        });
+    }
+
+    #[test]
+    fn repeated_panics_heal_across_snapshot_refreshes() {
+        quiet(|| {
+            let (spec, compiled) = dict_pair();
+            // Tiny batches and a tiny snapshot interval: heals replay
+            // partially from refreshed snapshots, repeatedly.
+            let rd2 = ParallelRd2::with_config(
+                2,
+                ParallelConfig {
+                    batch: 1,
+                    snapshot_every: 2,
+                    ..ParallelConfig::default()
+                },
+            );
+            let serial = Rd2::new();
+            for obj in 1..=4u64 {
+                rd2.register(ObjId(obj), Arc::clone(&compiled));
+                serial.register(ObjId(obj), Arc::clone(&compiled));
+            }
+            let drive = |a: &dyn Analysis, chaos: bool| {
+                a.on_fork(ThreadId(0), ThreadId(1));
+                for round in 0..3i64 {
+                    for obj in 1..=4u64 {
+                        a.on_action(ThreadId(0), &put(&spec, obj, round, 1, Value::Nil));
+                        a.on_action(ThreadId(1), &put(&spec, obj, round, 2, Value::Int(1)));
+                    }
+                    if chaos {
+                        rd2.inject_worker_panic(0);
+                        rd2.inject_worker_panic(1);
+                    }
+                }
+            };
+            drive(&rd2, true);
+            drive(&serial, false);
+            assert_eq!(rd2.report(), serial.report());
+            assert!(!rd2.degraded());
+            let stats = rd2.stats();
+            assert_eq!(stats.workers.iter().map(|w| w.respawns).sum::<u64>(), 6);
+        });
+    }
+
+    #[test]
+    fn panic_without_supervision_degrades_fail_open() {
+        quiet(|| {
+            let (spec, compiled) = dict_pair();
+            // snapshot_every: 0 turns supervision off — the legacy
+            // degrade-forever contract: the race before the poison
+            // survives, events after it are shed, report still works.
+            let rd2 = ParallelRd2::with_config(
+                1,
+                ParallelConfig {
+                    snapshot_every: 0,
+                    ..ParallelConfig::default()
+                },
+            );
             rd2.register(ObjId(1), Arc::clone(&compiled));
             rd2.on_fork(ThreadId(0), ThreadId(1));
             rd2.on_action(ThreadId(0), &put(&spec, 1, 1, 1, Value::Nil));
@@ -1604,6 +2316,91 @@ mod tests {
             let stats = rd2.stats();
             assert_eq!(stats.workers[0].panics, 1);
             assert!(stats.workers[0].events_shed >= 2);
+            assert_eq!(stats.workers[0].respawns, 0);
+        });
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_for_bit() {
+        use crate::Checkpoint;
+        let (spec, compiled) = dict_pair();
+        let resolver = crate::builtin_resolver();
+        for workers in [1usize, 2, 4] {
+            let cfg = ParallelConfig {
+                batch: 2,
+                provenance_window: Some(4),
+                ..ParallelConfig::default()
+            };
+            let rd2 = ParallelRd2::with_config(workers, cfg.clone());
+            for obj in 1..=6u64 {
+                rd2.register(ObjId(obj), Arc::clone(&compiled));
+            }
+            rd2.on_fork(ThreadId(0), ThreadId(1));
+            rd2.on_fork(ThreadId(0), ThreadId(2));
+            for obj in 1..=6u64 {
+                rd2.on_action(ThreadId(1), &put(&spec, obj, 1, 1, Value::Nil));
+            }
+            let blob = rd2.checkpoint();
+            let restored = ParallelRd2::with_config(workers, cfg.clone());
+            restored.restore(&blob, &resolver).unwrap();
+            // The suffix after the checkpoint runs on both pipelines.
+            for a in [&rd2, &restored] {
+                for obj in 1..=6u64 {
+                    a.on_action(ThreadId(2), &put(&spec, obj, 1, 2, Value::Int(1)));
+                }
+                a.on_join(ThreadId(0), ThreadId(1));
+            }
+            let (expected, resumed) = (rd2.report(), restored.report());
+            assert_eq!(resumed, expected, "workers={workers}");
+            assert_eq!(resumed.to_json(), expected.to_json(), "workers={workers}");
+            assert_eq!(restored.stats().events_in, rd2.stats().events_in);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_config_mismatch() {
+        use crate::Checkpoint;
+        let (_spec, compiled) = dict_pair();
+        let resolver = crate::builtin_resolver();
+        let rd2 = ParallelRd2::new(2);
+        rd2.register(ObjId(1), Arc::clone(&compiled));
+        let blob = rd2.checkpoint();
+        // Different worker count: fail closed.
+        let other = ParallelRd2::new(3);
+        assert!(other.restore(&blob, &resolver).is_err());
+        // Different provenance configuration: fail closed.
+        let other = ParallelRd2::with_provenance(2, 8);
+        assert!(other.restore(&blob, &resolver).is_err());
+        // Same shape: restores.
+        let same = ParallelRd2::new(2);
+        same.restore(&blob, &resolver).unwrap();
+        assert!(same.report().is_empty());
+    }
+
+    #[test]
+    fn restore_heals_a_degraded_pipeline() {
+        use crate::Checkpoint;
+        quiet(|| {
+            let (spec, compiled) = dict_pair();
+            let resolver = crate::builtin_resolver();
+            let cfg = ParallelConfig {
+                snapshot_every: 0, // supervision off: poison quarantines
+                ..ParallelConfig::default()
+            };
+            let rd2 = ParallelRd2::with_config(1, cfg.clone());
+            rd2.register(ObjId(1), Arc::clone(&compiled));
+            rd2.on_fork(ThreadId(0), ThreadId(1));
+            let blob = rd2.checkpoint();
+            rd2.inject_worker_panic(0);
+            let _ = rd2.report(); // deliver the poison
+            assert!(rd2.degraded());
+            // Installing a checkpoint rebuilds the state and clears the
+            // quarantine.
+            rd2.restore(&blob, &resolver).unwrap();
+            assert!(!rd2.degraded());
+            rd2.on_action(ThreadId(0), &put(&spec, 1, 1, 1, Value::Nil));
+            rd2.on_action(ThreadId(1), &put(&spec, 1, 1, 2, Value::Int(1)));
+            assert_eq!(rd2.report().total(), 1);
         });
     }
 

@@ -335,6 +335,140 @@ impl Analysis for Rd2 {
     }
 }
 
+impl crate::Checkpoint for Rd2 {
+    fn checkpoint_kind(&self) -> &'static str {
+        "rd2"
+    }
+
+    fn checkpoint(&self) -> String {
+        use crate::checkpoint as ck;
+        use crace_vclock::ckpt::vc_append;
+        use std::fmt::Write;
+        let mut w = crace_vclock::CkptWriter::new(self.checkpoint_kind());
+        w.rec(&format!(
+            "meta {} {} {}",
+            ck::mode_word(self.mode),
+            self.provenance_window
+                .map_or("-".to_string(), |p| p.to_string()),
+            self.shed.load(Ordering::Relaxed)
+        ));
+        // PublishedClocks slots are keyed snapshots (a retired slot is
+        // removed, not reset), so records carry explicit tids.
+        for (tid, clock) in self.sync.thread_snapshots() {
+            w.rec_with(|out| {
+                let _ = write!(out, "thread {} ", tid.0);
+                vc_append(out, &clock);
+            });
+        }
+        for (lock, clock) in self.sync.lock_snapshots() {
+            w.rec_with(|out| {
+                let _ = write!(out, "lock {} ", lock.0);
+                vc_append(out, &clock);
+            });
+        }
+        ck::abandoned_write(&mut w, self.abandoned.read().iter().copied());
+        ck::report_write(&mut w, "", &self.report.lock());
+        let mut objects: Vec<(ObjId, Arc<ObjEntry>)> = Vec::new();
+        for shard in &self.objects {
+            for (obj, entry) in shard.read().iter() {
+                objects.push((*obj, Arc::clone(entry)));
+            }
+        }
+        objects.sort_by_key(|(obj, _)| obj.0);
+        for (obj, entry) in objects {
+            ck::object_header(&mut w, obj, &entry.spec);
+            entry.state.lock().ckpt_write(&mut w);
+        }
+        w.finish()
+    }
+
+    fn restore(
+        &self,
+        text: &str,
+        resolve: &crate::SpecResolver<'_>,
+    ) -> Result<(), crace_vclock::CkptError> {
+        use crate::checkpoint as ck;
+        use crace_vclock::ckpt::{vc_parse, CkptError};
+        let mut r = crace_vclock::CkptReader::new(text, self.checkpoint_kind())?;
+        let head = r
+            .next_rec()
+            .ok_or_else(|| CkptError::at(0, "checkpoint has no `meta` record"))?;
+        if head.tag() != "meta" {
+            return Err(CkptError::at(
+                head.line,
+                format!("expected `meta`, found `{}`", head.tag()),
+            ));
+        }
+        let mode = ck::mode_parse(head.word(1)?, head.line)?;
+        let provenance_window =
+            match head.word(2)? {
+                "-" => None,
+                p => Some(p.parse::<usize>().map_err(|_| {
+                    CkptError::at(head.line, format!("bad provenance window `{p}`"))
+                })?),
+            };
+        if mode != self.mode {
+            return Err(ck::config_mismatch(
+                head.line,
+                "clock mode",
+                mode,
+                self.mode,
+            ));
+        }
+        if provenance_window != self.provenance_window {
+            return Err(ck::config_mismatch(
+                head.line,
+                "provenance window",
+                provenance_window,
+                self.provenance_window,
+            ));
+        }
+        self.shed.store(head.num(3)?, Ordering::Relaxed);
+        while let Some(rec) = r.peek() {
+            match rec.tag() {
+                "thread" => {
+                    let tid = ThreadId(rec.num(1)?);
+                    let clock = vc_parse(rec.word(2)?, rec.line)?;
+                    self.sync.import_thread(tid, clock);
+                }
+                "lock" => {
+                    let lock = LockId(rec.num(1)?);
+                    let clock = vc_parse(rec.word(2)?, rec.line)?;
+                    self.sync.import_lock(lock, clock);
+                }
+                _ => break,
+            }
+            r.next_rec();
+        }
+        let abandoned: HashSet<ThreadId> = ck::abandoned_read(&mut r)?.into_iter().collect();
+        self.has_abandoned
+            .store(!abandoned.is_empty(), Ordering::Relaxed);
+        *self.abandoned.write() = abandoned;
+        *self.report.lock() = ck::report_read(&mut r, "")?;
+        for shard in &self.objects {
+            shard.write().clear();
+        }
+        while let Some(rec) = r.next_rec() {
+            if rec.tag() != "object" {
+                return Err(CkptError::at(
+                    rec.line,
+                    format!("expected `object`, found `{}`", rec.tag()),
+                ));
+            }
+            let (obj, spec) = ck::object_parse(rec, resolve)?;
+            let state = crate::engine::ObjState::ckpt_read(&mut r)?;
+            self.shard(obj).write().insert(
+                obj,
+                Arc::new(ObjEntry {
+                    spec,
+                    state: Mutex::new(state),
+                }),
+            );
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

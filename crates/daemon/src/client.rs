@@ -139,6 +139,43 @@ impl Client {
         }
     }
 
+    /// Reopens a session on a restarted daemon. `seq` is the number of
+    /// records this client already delivered. Returns the server's `OK …`
+    /// line and the recovered sequence number — resend records starting
+    /// there.
+    ///
+    /// # Errors
+    ///
+    /// `Err` carries the server's rejection (or an IO failure rendered
+    /// as text).
+    pub fn resume(
+        &mut self,
+        session: &str,
+        seq: u64,
+        spec: &str,
+        workers: usize,
+    ) -> Result<(String, u64), String> {
+        let mut line = format!("RESUME {session} {seq} spec={spec}");
+        if workers > 0 {
+            line.push_str(&format!(" workers={workers}"));
+        }
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        let reply = self.read_line().map_err(|e| format!("read failed: {e}"))?;
+        if let Some(message) = reply.strip_prefix("ERR ") {
+            return Err(message.to_string());
+        }
+        let recovered = reply
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("seq="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("resume reply carries no seq: `{reply}`"))?;
+        Ok((reply, recovered))
+    }
+
     /// Streams one event as a framed record.
     ///
     /// # Errors

@@ -4,10 +4,19 @@
 //!
 //! ```text
 //! HELLO <session> <spec> [workers=N] [faults=<plan>]
+//! RESUME <session> <seq> spec=<spec> [workers=N]
 //! =<len>:<crc32> <event-text>          # one framed trace record
 //! REPORT                               # interim report, session stays open
 //! BYE                                  # final report + stats, then close
 //! ```
+//!
+//! `RESUME` reopens a session on a restarted daemon: the server restores
+//! the last durable checkpoint (falling back to a full capture replay on
+//! any checkpoint damage), replays the capture tail, and answers
+//! `OK craced/1 resume … seq=<recovered> …` — the client then resends
+//! its records starting at `recovered`. `<seq>` is the client's own
+//! high-water mark, carried for diagnostics; the server's capture is
+//! authoritative.
 //!
 //! Framed records are exactly the lines of the crash-consistent trace
 //! format (see `crace_cli::frame_event`), so a client can stream a
@@ -47,6 +56,9 @@ pub const MAX_WORKERS: usize = 64;
 pub enum Request {
     /// `HELLO <session> <spec> [workers=N] [faults=<plan>]` — open a session.
     Hello(Hello),
+    /// `RESUME <session> <seq> spec=<spec> [workers=N]` — reopen a
+    /// session from its durable state after a daemon restart.
+    Resume(Resume),
     /// A framed trace record, still in wire form (`=<len>:<crc32> …`).
     /// The session decodes it against its spec.
     Record(String),
@@ -70,6 +82,22 @@ pub struct Hello {
     pub workers: usize,
     /// Textual `FaultPlan` for the chaos test plane, if any.
     pub faults: Option<String>,
+}
+
+/// The fields of a RESUME request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Resume {
+    /// Name of the session to reopen.
+    pub session: String,
+    /// Records the client believes it delivered before the outage
+    /// (diagnostic; the server's capture file is authoritative).
+    pub seq: u64,
+    /// Spec the session was opened with — validated against the
+    /// checkpoint, and required for the capture-replay fallback.
+    pub spec: String,
+    /// Worker count the session was opened with; `0` means the server
+    /// default, as in HELLO.
+    pub workers: usize,
 }
 
 /// True iff `name` is a well-formed session name: 1–[`MAX_SESSION_NAME`]
@@ -167,6 +195,57 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Hello(hello))
         }
+        Some("RESUME") => {
+            let session = words
+                .next()
+                .ok_or("RESUME needs: <session> <seq> spec=<spec>")?;
+            let seq_text = words
+                .next()
+                .ok_or("RESUME needs: <session> <seq> spec=<spec>")?;
+            if !valid_session_name(session) {
+                return Err(format!(
+                    "bad session name `{}` (want 1-{MAX_SESSION_NAME} chars of [A-Za-z0-9._-], \
+                     not starting with `-` or `.`)",
+                    clip(session)
+                ));
+            }
+            let seq: u64 = seq_text
+                .parse()
+                .map_err(|_| format!("bad sequence number `{}`", clip(seq_text)))?;
+            let mut resume = Resume {
+                session: session.to_string(),
+                seq,
+                spec: String::new(),
+                workers: 0,
+            };
+            for option in words {
+                if let Some(spec) = option.strip_prefix("spec=") {
+                    if spec.len() > MAX_SPEC_NAME {
+                        return Err(format!(
+                            "spec name of {} byte(s) exceeds the {MAX_SPEC_NAME}-byte limit",
+                            spec.len()
+                        ));
+                    }
+                    resume.spec = spec.to_string();
+                } else if let Some(n) = option.strip_prefix("workers=") {
+                    let workers: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad worker count `{}`", clip(n)))?;
+                    if workers > MAX_WORKERS {
+                        return Err(format!(
+                            "workers={workers} exceeds the limit of {MAX_WORKERS}"
+                        ));
+                    }
+                    resume.workers = workers;
+                } else {
+                    return Err(format!("unknown RESUME option `{}`", clip(option)));
+                }
+            }
+            if resume.spec.is_empty() {
+                return Err("RESUME needs a spec= option".to_string());
+            }
+            Ok(Request::Resume(resume))
+        }
         Some(other) => Err(format!("unknown request `{}`", clip(other))),
         None => Ok(Request::Ignored),
     }
@@ -197,6 +276,41 @@ mod tests {
                 faults: Some("panic@5".into()),
             })
         );
+    }
+
+    #[test]
+    fn resume_parses_and_rejects_malformation() {
+        let r = parse_request("RESUME tenant-1 512 spec=dictionary workers=4").unwrap();
+        assert_eq!(
+            r,
+            Request::Resume(Resume {
+                session: "tenant-1".into(),
+                seq: 512,
+                spec: "dictionary".into(),
+                workers: 4,
+            })
+        );
+        let r = parse_request("RESUME t 0 spec=counter").unwrap();
+        assert_eq!(
+            r,
+            Request::Resume(Resume {
+                session: "t".into(),
+                seq: 0,
+                spec: "counter".into(),
+                workers: 0,
+            })
+        );
+        for bad in [
+            "RESUME",
+            "RESUME t",
+            "RESUME t notanumber spec=dictionary",
+            "RESUME t 5",                  // no spec
+            "RESUME -t 5 spec=dictionary", // bad name
+            "RESUME t 5 spec=dictionary workers=9999",
+            "RESUME t 5 spec=dictionary frobnicate=1",
+        ] {
+            assert!(parse_request(bad).is_err(), "`{bad}` should be rejected");
+        }
     }
 
     #[test]

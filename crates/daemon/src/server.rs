@@ -20,8 +20,9 @@
 //! accounting, and the outcome is retained server-side so nothing about
 //! the tenant's run is lost with the connection.
 
-use crate::protocol::{parse_request, Request, MAX_LINE_BYTES};
-use crate::session::{Session, SessionConfig, SessionOutcome, StreamDamage};
+use crate::protocol::{parse_request, Request, Resume, MAX_LINE_BYTES};
+use crate::session::{peek_checkpoint_meta, Session, SessionConfig, SessionOutcome, StreamDamage};
+use crace_cli::{parse_framed_tolerant, FRAMED_HEADER};
 use crace_core::{translate, CompiledSpec};
 use crace_obs::{Registry, Snapshot};
 use crace_runtime::FaultPlan;
@@ -76,6 +77,15 @@ pub struct ServerConfig {
     pub trace_dir: Option<PathBuf>,
     /// How many finished-session outcomes to retain for inspection.
     pub outcome_capacity: usize,
+    /// Write a durable session checkpoint every this many ingested
+    /// records (`0` disables checkpointing). Requires `record_dir` —
+    /// a checkpoint without its capture tail cannot catch up to the
+    /// present, so none is written.
+    pub checkpoint_every: u64,
+    /// Also checkpoint when the last one is older than this *and* new
+    /// records arrived since (checked on ingest; an idle session has
+    /// nothing new to make durable).
+    pub checkpoint_max_age: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +99,8 @@ impl Default for ServerConfig {
             record_dir: None,
             trace_dir: None,
             outcome_capacity: 128,
+            checkpoint_every: 256,
+            checkpoint_max_age: Duration::from_secs(5),
         }
     }
 }
@@ -476,6 +488,49 @@ fn drive_protocol(
                     }
                 }
             }
+            Request::Resume(resume) => {
+                if let Some(s) = state.take() {
+                    inner.registry.counter("daemon.protocol_errors").inc();
+                    finish_torn(inner, writer, s, 0, 0, "RESUME on an open session");
+                    return;
+                }
+                match resume_session(inner, &resume) {
+                    Ok(resumed) => {
+                        let ok = format!(
+                            "OK craced/1 resume session={} spec={} workers={} seq={} \
+                             lost_bytes={} lost_records={}\n",
+                            resumed.session.name(),
+                            resume.spec,
+                            if resume.workers > 0 {
+                                resume.workers
+                            } else {
+                                inner.cfg.default_workers
+                            },
+                            resumed.recovered,
+                            resumed.lost_bytes,
+                            resumed.lost_records,
+                        );
+                        if writer.write_all(ok.as_bytes()).is_err() {
+                            close_session(
+                                inner,
+                                ConnState {
+                                    session: resumed.session,
+                                },
+                                false,
+                                None,
+                            );
+                            return;
+                        }
+                        state = Some(ConnState {
+                            session: resumed.session,
+                        });
+                    }
+                    Err(message) => {
+                        protocol_error(inner, writer, &message);
+                        return;
+                    }
+                }
+            }
             Request::Record(record) => match &state {
                 Some(s) => {
                     if let Err(e) = s.session.ingest_line(&record) {
@@ -484,6 +539,7 @@ fn drive_protocol(
                         finish_torn(inner, writer, s, lost, 1, &e.message);
                         return;
                     }
+                    maybe_checkpoint(inner, &s.session);
                 }
                 None => {
                     protocol_error(inner, writer, "HELLO first");
@@ -535,7 +591,8 @@ fn stats_line(outcome: &SessionOutcome) -> String {
     let damage = outcome.damage.as_ref();
     format!(
         "STATS events={} shed_ring={} shed_quarantine={} panics={} races={} \
-         lost_bytes={} lost_records={} torn={} degraded={}\n",
+         lost_bytes={} lost_records={} torn={} degraded={} \
+         checkpoint_seq={} checkpoint_age_ms={} respawns={}\n",
         outcome.events_ingested,
         outcome.shed_ring,
         outcome.shed_quarantine,
@@ -545,6 +602,9 @@ fn stats_line(outcome: &SessionOutcome) -> String {
         damage.map_or(0, |d| d.lost_records),
         u8::from(outcome.damage.is_some()),
         u8::from(outcome.degraded),
+        outcome.checkpoint_seq,
+        outcome.checkpoint_age_ms,
+        outcome.respawns,
     )
 }
 
@@ -586,24 +646,35 @@ fn resolve_spec(inner: &Inner, name: &str) -> Result<(Spec, Arc<CompiledSpec>), 
     Ok((spec, compiled))
 }
 
+/// The capture file name of `session` at lineage `attempt` (1 = the
+/// original, 2… = collision suffixes).
+fn capture_file_name(session: &str, attempt: u32) -> String {
+    if attempt == 1 {
+        format!("{session}.framed.trace")
+    } else {
+        format!("{session}-{attempt}.framed.trace")
+    }
+}
+
 /// Opens a collision-safe per-session capture file in `dir`:
 /// `<session>.framed.trace`, then `<session>-2.framed.trace`, … —
-/// `create_new` makes the claim atomic, so two sessions (or a reused
-/// name) never interleave writes into one file.
-fn open_record_file(dir: &std::path::Path, session: &str) -> std::io::Result<std::fs::File> {
+/// `create_new` makes the claim atomic, so two *fresh* sessions with a
+/// reused name never interleave writes into one file. A RESUME never
+/// comes through here: it reopens its original lineage in append mode
+/// (see [`resume_session`]) instead of forking a `-N` sibling.
+fn open_record_file(
+    dir: &std::path::Path,
+    session: &str,
+) -> std::io::Result<(std::fs::File, String)> {
     std::fs::create_dir_all(dir)?;
     for attempt in 1..10_000u32 {
-        let file = if attempt == 1 {
-            dir.join(format!("{session}.framed.trace"))
-        } else {
-            dir.join(format!("{session}-{attempt}.framed.trace"))
-        };
+        let name = capture_file_name(session, attempt);
         match std::fs::File::options()
             .write(true)
             .create_new(true)
-            .open(&file)
+            .open(dir.join(&name))
         {
-            Ok(f) => return Ok(f),
+            Ok(f) => return Ok((f, name)),
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
             Err(e) => return Err(e),
         }
@@ -612,6 +683,21 @@ fn open_record_file(dir: &std::path::Path, session: &str) -> std::io::Result<std
         std::io::ErrorKind::AlreadyExists,
         "no free capture file name",
     ))
+}
+
+/// The newest existing capture lineage of `session` in `dir`, if any —
+/// what a RESUME without a (readable) checkpoint replays and appends to.
+fn latest_capture(dir: &std::path::Path, session: &str) -> Option<String> {
+    let mut newest = None;
+    for attempt in 1..10_000u32 {
+        let name = capture_file_name(session, attempt);
+        if dir.join(&name).exists() {
+            newest = Some(name);
+        } else if attempt > 1 {
+            break;
+        }
+    }
+    newest
 }
 
 fn open_session(
@@ -628,12 +714,15 @@ fn open_session(
         None => None,
     };
     let (spec, compiled) = resolve_spec(inner, &hello.spec)?;
-    let record_to: Option<Box<dyn Write + Send>> = match &inner.cfg.record_dir {
-        Some(dir) => Some(Box::new(
-            open_record_file(dir, &hello.session).map_err(|e| format!("capture file: {e}"))?,
-        )),
-        None => None,
-    };
+    let (record_to, capture_name): (Option<Box<dyn Write + Send>>, Option<String>) =
+        match &inner.cfg.record_dir {
+            Some(dir) => {
+                let (file, name) = open_record_file(dir, &hello.session)
+                    .map_err(|e| format!("capture file: {e}"))?;
+                (Some(Box::new(file)), Some(name))
+            }
+            None => (None, None),
+        };
     let cfg = SessionConfig {
         workers: if hello.workers > 0 {
             hello.workers
@@ -644,6 +733,7 @@ fn open_session(
         shed_grace: inner.cfg.shed_grace,
         faults,
         record_to,
+        capture_name,
         traced: inner.cfg.trace_dir.is_some(),
     };
     let mut sessions = inner
@@ -661,6 +751,234 @@ fn open_session(
     Ok(session)
 }
 
+/// Writes a durable checkpoint of `session` when one is due: every
+/// [`ServerConfig::checkpoint_every`] ingested records, or sooner when
+/// the last one is older than [`ServerConfig::checkpoint_max_age`] and
+/// records arrived since. The write is atomic (`.ckpt.tmp` + rename), so
+/// a crash mid-write leaves the previous checkpoint intact, never a torn
+/// one.
+fn maybe_checkpoint(inner: &Arc<Inner>, session: &Arc<Session>) {
+    let every = inner.cfg.checkpoint_every;
+    let Some(dir) = &inner.cfg.record_dir else {
+        return;
+    };
+    if every == 0 {
+        return;
+    }
+    let seq = session.seq();
+    let due = match session.checkpoint_state() {
+        None => seq >= every,
+        Some((at, age)) => seq >= at + every || (seq > at && age >= inner.cfg.checkpoint_max_age),
+    };
+    if !due {
+        return;
+    }
+    let (blob, seq) = session.checkpoint_blob();
+    let tmp = dir.join(format!("{}.ckpt.tmp", session.name()));
+    let fin = dir.join(format!("{}.ckpt", session.name()));
+    match std::fs::write(&tmp, &blob).and_then(|()| std::fs::rename(&tmp, &fin)) {
+        Ok(()) => {
+            session.note_checkpoint(seq);
+            inner.registry.counter("daemon.checkpoints_written").inc();
+        }
+        Err(_) => {
+            inner
+                .registry
+                .counter("daemon.checkpoint_write_failures")
+                .inc();
+        }
+    }
+}
+
+/// A successfully-resumed session and what its recovery observed.
+struct Resumed {
+    session: Arc<Session>,
+    /// Records recovered from durable state — the client resends from
+    /// this sequence number.
+    recovered: u64,
+    /// Bytes clipped from the capture's torn tail (the record that was
+    /// mid-write at the crash; the client's resend covers it).
+    lost_bytes: u64,
+    /// Records those bytes amounted to.
+    lost_records: u64,
+}
+
+/// Reopens a session from its durable state: restores the last
+/// checkpoint when it is intact and matches the requested shape, falls
+/// closed to a full capture replay otherwise, clips a torn capture tail
+/// to the valid prefix with exact loss accounting, replays the tail past
+/// the checkpoint, and reopens the *same* capture lineage in append mode
+/// — a resumed session never forks a `-N` sibling capture.
+fn resume_session(inner: &Arc<Inner>, resume: &Resume) -> Result<Resumed, String> {
+    let Some(dir) = inner.cfg.record_dir.clone() else {
+        return Err("this server keeps no captures (no record dir); RESUME is unavailable".into());
+    };
+    if inner
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .contains_key(&resume.session)
+    {
+        return Err(format!("session `{}` is still open", resume.session));
+    }
+    let (spec, compiled) = resolve_spec(inner, &resume.spec)?;
+    let workers = if resume.workers > 0 {
+        resume.workers
+    } else {
+        inner.cfg.default_workers
+    };
+
+    // The checkpoint, if present, intact, and for this exact session
+    // shape; anything else falls closed to a full capture replay.
+    let ckpt_text = std::fs::read_to_string(dir.join(format!("{}.ckpt", resume.session))).ok();
+    let ckpt = ckpt_text
+        .as_deref()
+        .and_then(|text| match peek_checkpoint_meta(text) {
+            Ok(meta) if meta.spec_name == resume.spec && meta.workers == workers => {
+                Some((text, meta))
+            }
+            Ok(_) | Err(_) => {
+                inner
+                    .registry
+                    .counter("daemon.checkpoint_restore_failures")
+                    .inc();
+                None
+            }
+        });
+
+    // Locate the capture lineage: the checkpoint names its file; without
+    // one, the newest lineage on disk.
+    let capture = ckpt
+        .as_ref()
+        .and_then(|(_, meta)| meta.capture.clone())
+        .or_else(|| latest_capture(&dir, &resume.session))
+        .unwrap_or_else(|| capture_file_name(&resume.session, 1));
+    let path = dir.join(&capture);
+
+    // Read the capture, clipping any torn tail (a record half-written at
+    // the crash) back to the valid prefix.
+    let (trace, lost_bytes, lost_records) = if path.exists() {
+        let bytes = std::fs::read(&path).map_err(|e| format!("capture file: {e}"))?;
+        let (text, utf8_lost) = match String::from_utf8(bytes) {
+            Ok(s) => (s, 0usize),
+            Err(e) => {
+                let valid = e.utf8_error().valid_up_to();
+                let bytes = e.into_bytes();
+                (
+                    String::from_utf8_lossy(&bytes[..valid]).into_owned(),
+                    bytes.len() - valid,
+                )
+            }
+        };
+        let (trace, torn) = parse_framed_tolerant(&text, &spec);
+        let torn_lost = torn.as_ref().map_or(0, |t| t.lost_bytes);
+        if torn_lost + utf8_lost > 0 {
+            let keep = (text.len() - torn_lost) as u64;
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| format!("capture file: {e}"))?;
+            f.set_len(keep).map_err(|e| format!("capture file: {e}"))?;
+        }
+        (
+            trace,
+            (torn_lost + utf8_lost) as u64,
+            u64::from(torn_lost + utf8_lost > 0),
+        )
+    } else {
+        // Nothing was captured before the crash: resume from zero into a
+        // fresh file of the same name.
+        std::fs::create_dir_all(&dir).map_err(|e| format!("capture file: {e}"))?;
+        std::fs::write(&path, format!("{FRAMED_HEADER}\n"))
+            .map_err(|e| format!("capture file: {e}"))?;
+        (crace_model::Trace::new(), 0, 0)
+    };
+
+    let make_cfg = || SessionConfig {
+        workers,
+        ring_capacity: inner.cfg.ring_capacity,
+        shed_grace: inner.cfg.shed_grace,
+        faults: None,
+        record_to: None,
+        capture_name: Some(capture.clone()),
+        traced: inner.cfg.trace_dir.is_some(),
+    };
+    let spawn = |cfg: SessionConfig| {
+        Session::spawn(
+            &resume.session,
+            &resume.spec,
+            spec.clone(),
+            Arc::clone(&compiled),
+            cfg,
+        )
+        .map_err(|e| format!("cannot start session: {e}"))
+    };
+    let mut session = spawn(make_cfg())?;
+    let mut from = 0usize;
+    if let Some((text, meta)) = ckpt {
+        let resolver = |name: &str| -> Option<Arc<CompiledSpec>> {
+            if name == spec.name() {
+                Some(Arc::clone(&compiled))
+            } else {
+                resolve_spec(inner, name).ok().map(|(_, c)| c)
+            }
+        };
+        // A checkpoint ahead of its capture means the capture lost
+        // history the detector already folded — replay from scratch
+        // rather than trust state the tail cannot reach.
+        let restored =
+            meta.seq as usize <= trace.len() && session.restore_blob(text, &resolver).is_ok();
+        if restored {
+            from = meta.seq as usize;
+        } else {
+            inner
+                .registry
+                .counter("daemon.checkpoint_restore_failures")
+                .inc();
+            // The half-restored session is scrap: retire it, start clean.
+            session.finalize(true, None);
+            session = spawn(make_cfg())?;
+        }
+    }
+    for event in &trace.events()[from..] {
+        session.resume_feed(event);
+    }
+    // Reopen the capture for appending — same lineage, no forked `-N`.
+    let file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("capture file: {e}"))?;
+    session.attach_recorder(Box::new(file));
+    {
+        let mut sessions = inner
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if sessions.contains_key(&resume.session) {
+            session.finalize(true, None);
+            return Err(format!("session `{}` is still open", resume.session));
+        }
+        sessions.insert(resume.session.clone(), Arc::clone(&session));
+    }
+    inner.registry.counter("daemon.sessions_resumed").inc();
+    if lost_bytes > 0 {
+        inner
+            .registry
+            .counter("daemon.capture_lost_bytes")
+            .add(lost_bytes);
+        inner
+            .registry
+            .counter("daemon.capture_lost_records")
+            .add(lost_records);
+    }
+    Ok(Resumed {
+        session,
+        recovered: trace.len() as u64,
+        lost_bytes,
+        lost_records,
+    })
+}
+
 fn close_session(
     inner: &Arc<Inner>,
     s: ConnState,
@@ -673,6 +991,15 @@ fn close_session(
         .unwrap_or_else(PoisonError::into_inner)
         .remove(s.session.name());
     let outcome = s.session.finalize(clean, damage);
+    if clean {
+        // A clean BYE is the end of the lineage: its checkpoint has
+        // nothing left to resume and would only shadow a future session
+        // reusing the name.
+        if let Some(dir) = &inner.cfg.record_dir {
+            let _ = std::fs::remove_file(dir.join(format!("{}.ckpt", outcome.name)));
+            let _ = std::fs::remove_file(dir.join(format!("{}.ckpt.tmp", outcome.name)));
+        }
+    }
     if let Some(dir) = &inner.cfg.trace_dir {
         if let Some(tracer) = s.session.tracer() {
             let chrome = tracer.to_chrome_json();

@@ -22,20 +22,74 @@
 
 use crate::ring::IngressRing;
 use crace_cli::{parse_framed_record, FramedWriter, TraceParseError};
-use crace_core::{CompiledSpec, ParallelConfig, ParallelRd2, TraceDetector};
-use crace_model::{Analysis, Isolated, ObjId, RaceReport};
+use crace_core::{
+    Checkpoint, CompiledSpec, ParallelConfig, ParallelRd2, SpecResolver, TraceDetector,
+};
+use crace_model::{Analysis, Event, Isolated, ObjId, RaceReport};
 use crace_obs::{Registry, Tracer};
 use crace_runtime::{FaultInjector, FaultPlan, FaultedAnalysis};
 use crace_spec::Spec;
+use crace_vclock::ckpt::{esc, CkptError, CkptReader, CkptWriter};
 use std::collections::BTreeSet;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sampling period for per-event dispatch spans on the session lane.
 const DISPATCH_SPAN_EVERY: u64 = 64;
+
+/// Checkpoint-kind tag of a whole-session checkpoint (the daemon's
+/// `.ckpt` files). The nested detector blob carries its own kind.
+pub const SESSION_CKPT_KIND: &str = "craced-session";
+
+/// The session-level header of a `.ckpt` file, readable without (and
+/// before) constructing the session it restores into.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptMeta {
+    /// Spec name the session detected against.
+    pub spec_name: String,
+    /// Worker count (0 = serial).
+    pub workers: usize,
+    /// Records the detector had absorbed when the checkpoint was taken.
+    pub seq: u64,
+    /// Capture file (relative to the record dir) the sequence refers to.
+    pub capture: Option<String>,
+}
+
+/// Validates `text` as a session checkpoint and returns its metadata —
+/// the server peeks this to configure the replacement session before
+/// restoring into it.
+///
+/// # Errors
+///
+/// A spanned [`CkptError`] on any damage or a missing `meta` record.
+pub fn peek_checkpoint_meta(text: &str) -> Result<CkptMeta, CkptError> {
+    let mut r = CkptReader::new(text, SESSION_CKPT_KIND)?;
+    let rec = r
+        .next_rec()
+        .ok_or_else(|| CkptError::at(0, "checkpoint has no `meta` record"))?;
+    if rec.tag() != "meta" {
+        return Err(CkptError::at(
+            rec.line,
+            format!("expected `meta` record, found `{}`", rec.tag()),
+        ));
+    }
+    let spec_name = rec.text(1)?;
+    let workers = rec.num(2)?;
+    let seq = rec.num(3)?;
+    let capture = match r.peek() {
+        Some(rec) if rec.tag() == "capture" => Some(rec.text(1)?),
+        _ => None,
+    };
+    Ok(CkptMeta {
+        spec_name,
+        workers,
+        seq,
+        capture,
+    })
+}
 
 /// Per-session knobs, resolved by the server from its config plus the
 /// HELLO options.
@@ -51,6 +105,10 @@ pub struct SessionConfig {
     /// When set, every decoded event is also appended to this sink as a
     /// framed record (the per-session capture file).
     pub record_to: Option<Box<dyn Write + Send>>,
+    /// File name of the capture sink (relative to the record dir), so a
+    /// checkpoint can name the capture its sequence number refers to and
+    /// a resume can append to the same lineage instead of forking one.
+    pub capture_name: Option<String>,
     /// When `true`, a tracer records the session's span timeline.
     pub traced: bool,
 }
@@ -63,6 +121,7 @@ impl Default for SessionConfig {
             shed_grace: Duration::from_millis(50),
             faults: None,
             record_to: None,
+            capture_name: None,
             traced: false,
         }
     }
@@ -103,6 +162,36 @@ impl DetectorCore {
         match self {
             DetectorCore::Serial(_) => false,
             DetectorCore::Parallel(d) => d.degraded(),
+        }
+    }
+
+    fn respawns(&self) -> u64 {
+        match self {
+            DetectorCore::Serial(_) => 0,
+            DetectorCore::Parallel(d) => d.stats().workers.iter().map(|w| w.respawns).sum(),
+        }
+    }
+}
+
+impl Checkpoint for DetectorCore {
+    fn checkpoint_kind(&self) -> &'static str {
+        match self {
+            DetectorCore::Serial(d) => d.checkpoint_kind(),
+            DetectorCore::Parallel(d) => d.checkpoint_kind(),
+        }
+    }
+
+    fn checkpoint(&self) -> String {
+        match self {
+            DetectorCore::Serial(d) => d.checkpoint(),
+            DetectorCore::Parallel(d) => d.checkpoint(),
+        }
+    }
+
+    fn restore(&self, text: &str, resolve: &SpecResolver<'_>) -> Result<(), CkptError> {
+        match self {
+            DetectorCore::Serial(d) => d.restore(text, resolve),
+            DetectorCore::Parallel(d) => d.restore(text, resolve),
         }
     }
 }
@@ -281,6 +370,12 @@ pub struct SessionOutcome {
     pub degraded: bool,
     /// Wire damage, if the stream tore.
     pub damage: Option<StreamDamage>,
+    /// Sequence number of the last durable checkpoint (0 = never).
+    pub checkpoint_seq: u64,
+    /// Milliseconds since the last durable checkpoint (0 = never).
+    pub checkpoint_age_ms: u64,
+    /// Detector workers the supervisor rebuilt after panics.
+    pub respawns: u64,
     /// True iff the client closed with BYE.
     pub clean_bye: bool,
     /// The final report.
@@ -302,9 +397,14 @@ pub struct Session {
     injector: Arc<FaultInjector>,
     registry: Arc<Registry>,
     tracer: Option<Arc<Tracer>>,
-    recorder: Option<Mutex<FramedWriter<Box<dyn Write + Send>>>>,
+    recorder: Mutex<Option<FramedWriter<Box<dyn Write + Send>>>>,
+    capture_name: Option<String>,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
     lineno: AtomicU64,
+    /// Records already absorbed by the restored checkpoint — counted
+    /// into `events_ingested` although they never crossed this ring.
+    restored_seq: AtomicU64,
+    last_ckpt: Mutex<Option<(u64, Instant)>>,
 }
 
 impl Session {
@@ -347,7 +447,7 @@ impl Session {
             None => Isolated::new(faulted),
         });
         let recorder = match cfg.record_to {
-            Some(sink) => Some(Mutex::new(FramedWriter::new(sink)?)),
+            Some(sink) => Some(FramedWriter::new(sink)?),
             None => None,
         };
         let ring = Arc::new(IngressRing::new(cfg.ring_capacity, cfg.shed_grace));
@@ -372,9 +472,12 @@ impl Session {
             injector,
             registry: Arc::new(Registry::new()),
             tracer,
-            recorder,
+            recorder: Mutex::new(recorder),
+            capture_name: cfg.capture_name,
             dispatcher: Mutex::new(Some(dispatcher)),
             lineno: AtomicU64::new(0),
+            restored_seq: AtomicU64::new(0),
+            last_ckpt: Mutex::new(None),
         }))
     }
 
@@ -410,14 +513,39 @@ impl Session {
     pub fn ingest_line(&self, line: &str) -> Result<(), TraceParseError> {
         let lineno = self.lineno.fetch_add(1, Ordering::Relaxed) + 1;
         let event = parse_framed_record(line, &self.spec, lineno as usize)?;
-        if let Some(recorder) = &self.recorder {
-            let mut w = recorder.lock().unwrap_or_else(PoisonError::into_inner);
-            // Capture I/O errors must not kill the session: the capture
-            // is an observability artifact, detection is the product.
-            let _ = w.record(&event, &self.spec);
+        {
+            let mut guard = self.recorder.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(w) = guard.as_mut() {
+                // Capture I/O errors must not kill the session: the capture
+                // is an observability artifact, detection is the product.
+                let _ = w.record(&event, &self.spec);
+            }
         }
         self.ring.push(event);
         Ok(())
+    }
+
+    /// Enqueues an event recovered from the capture file during resume.
+    /// Advances the ingest sequence like [`Session::ingest_line`] but
+    /// bypasses the recorder — the event is already durable in the
+    /// capture, and re-recording it would duplicate the lineage.
+    pub fn resume_feed(&self, event: &Event) {
+        self.lineno.fetch_add(1, Ordering::Relaxed);
+        self.ring.push(event.clone());
+    }
+
+    /// Attaches (or replaces) the capture sink after a resume: the sink
+    /// must already carry the framed header, so writing continues the
+    /// original record sequence in place.
+    pub fn attach_recorder(&self, sink: Box<dyn Write + Send>) {
+        let mut guard = self.recorder.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(FramedWriter::append(sink));
+    }
+
+    /// Records decoded and enqueued so far — the sequence number a
+    /// checkpoint of the current state belongs to.
+    pub fn seq(&self) -> u64 {
+        self.lineno.load(Ordering::Relaxed)
     }
 
     /// Waits until everything ingested so far is absorbed, then renders
@@ -425,6 +553,125 @@ impl Session {
     pub fn report_now(&self) -> RaceReport {
         self.ring.wait_drained();
         self.analysis.report()
+    }
+
+    /// Serializes the whole session at the current record boundary:
+    /// drains the ring so the detector has absorbed every ingested
+    /// record, then writes session metadata (spec, workers, sequence,
+    /// capture lineage), the lazily-registered object set, and the
+    /// nested detector checkpoint. Returns the blob plus the sequence
+    /// number it is valid at.
+    pub fn checkpoint_blob(&self) -> (String, u64) {
+        self.ring.wait_drained();
+        let seq = self.seq();
+        let sa = self.analysis.inner().inner();
+        let mut w = CkptWriter::new(SESSION_CKPT_KIND);
+        w.rec(&format!(
+            "meta {} {} {seq}",
+            esc(&self.spec_name),
+            self.workers
+        ));
+        if let Some(capture) = &self.capture_name {
+            w.rec(&format!("capture {}", esc(capture)));
+        }
+        {
+            let seen = sa.registered.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut rec = format!("registered {}", seen.len());
+            for obj in seen.iter() {
+                rec.push_str(&format!(" {}", obj.0));
+            }
+            w.rec(&rec);
+        }
+        w.rec(&format!("detector {}", esc(&sa.core.checkpoint())));
+        (w.finish(), seq)
+    }
+
+    /// Restores a freshly-spawned session from a [`Session::checkpoint_blob`]:
+    /// validates the spec name and worker count against this session's
+    /// configuration, rebuilds the lazily-registered object set *without*
+    /// re-registering (registration wipes object state the nested restore
+    /// is about to install), restores the detector, and fast-forwards the
+    /// ingest sequence. Returns the sequence number the capture tail must
+    /// be replayed from.
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`CkptError`] on any damage or configuration mismatch;
+    /// the session must then be discarded and the capture replayed in
+    /// full.
+    pub fn restore_blob(&self, text: &str, resolve: &SpecResolver<'_>) -> Result<u64, CkptError> {
+        let meta = peek_checkpoint_meta(text)?;
+        if meta.spec_name != self.spec_name {
+            return Err(CkptError::at(
+                2,
+                format!(
+                    "checkpoint is for spec `{}`, session runs `{}`",
+                    meta.spec_name, self.spec_name
+                ),
+            ));
+        }
+        if meta.workers != self.workers {
+            return Err(CkptError::at(
+                2,
+                format!(
+                    "checkpoint took {} worker(s), session runs {}",
+                    meta.workers, self.workers
+                ),
+            ));
+        }
+        let mut r = CkptReader::new(text, SESSION_CKPT_KIND)?;
+        let sa = self.analysis.inner().inner();
+        let mut detector_blob: Option<String> = None;
+        let mut objects: Vec<ObjId> = Vec::new();
+        while let Some(rec) = r.next_rec() {
+            match rec.tag() {
+                "meta" | "capture" => {}
+                "registered" => {
+                    let count: usize = rec.num(1)?;
+                    for i in 0..count {
+                        objects.push(ObjId(rec.num(2 + i)?));
+                    }
+                }
+                "detector" => detector_blob = Some(rec.text(1)?),
+                other => {
+                    return Err(CkptError::at(
+                        rec.line,
+                        format!("unknown session record `{other}`"),
+                    ))
+                }
+            }
+        }
+        let blob =
+            detector_blob.ok_or_else(|| CkptError::at(0, "checkpoint has no `detector` record"))?;
+        sa.core.restore(&blob, resolve)?;
+        {
+            let mut seen = sa.registered.lock().unwrap_or_else(PoisonError::into_inner);
+            seen.clear();
+            seen.extend(objects);
+        }
+        self.lineno.store(meta.seq, Ordering::Relaxed);
+        self.restored_seq.store(meta.seq, Ordering::Relaxed);
+        self.note_checkpoint(meta.seq);
+        Ok(meta.seq)
+    }
+
+    /// Remembers that a checkpoint at `seq` was made durable — feeds the
+    /// `checkpoint.seq` / `checkpoint.age_ms` gauges and the STATS line.
+    pub fn note_checkpoint(&self, seq: u64) {
+        let mut guard = self
+            .last_ckpt
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard = Some((seq, Instant::now()));
+    }
+
+    /// `(seq, age)` of the last durable checkpoint, if any.
+    pub fn checkpoint_state(&self) -> Option<(u64, Duration)> {
+        let guard = self
+            .last_ckpt
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.map(|(seq, at)| (seq, at.elapsed()))
     }
 
     /// Folds current detector/ring/fault/isolation counters into the
@@ -438,13 +685,30 @@ impl Session {
                 c.add(now - cur);
             }
         };
-        set_counter("ingress.events", self.ring.pushed() + self.ring.shed());
+        set_counter(
+            "ingress.events",
+            self.restored_seq.load(Ordering::Relaxed) + self.ring.pushed() + self.ring.shed(),
+        );
         set_counter("shed.ring", self.ring.shed());
         set_counter("shed.quarantine", self.analysis.events_shed());
         r.set_gauge("ingress.depth", self.ring.depth() as f64);
         self.analysis.feed(r); // rd2.analysis_panics / events_shed / degraded_mode
         self.injector.feed(r); // fault.*
         self.analysis.inner().inner().core.feed(r); // detector internals
+        set_counter(
+            "supervisor.respawns",
+            self.analysis.inner().inner().core.respawns(),
+        );
+        match self.checkpoint_state() {
+            Some((seq, age)) => {
+                r.set_gauge("checkpoint.seq", seq as f64);
+                r.set_gauge("checkpoint.age_ms", age.as_millis() as f64);
+            }
+            None => {
+                r.set_gauge("checkpoint.seq", 0.0);
+                r.set_gauge("checkpoint.age_ms", 0.0);
+            }
+        }
         if let Some(t) = &self.tracer {
             t.feed_timeline(r);
         }
@@ -483,16 +747,24 @@ impl Session {
                 .counter("stream.lost_records")
                 .add(d.lost_records);
         }
+        let (checkpoint_seq, checkpoint_age_ms) = self
+            .checkpoint_state()
+            .map_or((0, 0), |(seq, age)| (seq, age.as_millis() as u64));
         SessionOutcome {
             name: self.name.clone(),
             spec_name: self.spec_name.clone(),
             workers: self.workers,
-            events_ingested: self.ring.pushed() + self.ring.shed(),
+            events_ingested: self.restored_seq.load(Ordering::Relaxed)
+                + self.ring.pushed()
+                + self.ring.shed(),
             shed_ring: self.ring.shed(),
             shed_quarantine: self.analysis.events_shed(),
             analysis_panics: self.analysis.analysis_panics(),
             degraded,
             damage,
+            checkpoint_seq,
+            checkpoint_age_ms,
+            respawns: self.analysis.inner().inner().core.respawns(),
             clean_bye,
             report,
             report_json,

@@ -301,6 +301,38 @@ impl RaceReport {
         }
     }
 
+    /// The raw per-site counters keyed by the stable `(family, id)` site
+    /// key, for checkpoint serialization. `family` is 0 for objects
+    /// (commutativity races) and 1 for memory locations.
+    pub fn site_counts(&self) -> impl Iterator<Item = ((u8, u64), u64)> + '_ {
+        self.sites.iter().map(|(&site, &count)| (site, count))
+    }
+
+    /// The configured sample-retention cap.
+    pub fn sample_capacity(&self) -> usize {
+        self.max_samples
+    }
+
+    /// Rebuilds a report from its raw parts — the exact inverse of
+    /// [`RaceReport::total`] / [`RaceReport::site_counts`] /
+    /// [`RaceReport::samples`] / [`RaceReport::sample_capacity`], used by
+    /// checkpoint restore. The caller is trusted to pass counters
+    /// consistent with the samples (a checkpoint written by this build
+    /// always is; the CRC framing rejects damaged ones).
+    pub fn from_parts(
+        total: u64,
+        sites: impl IntoIterator<Item = ((u8, u64), u64)>,
+        samples: Vec<RaceRecord>,
+        max_samples: usize,
+    ) -> RaceReport {
+        RaceReport {
+            total,
+            sites: sites.into_iter().collect(),
+            samples,
+            max_samples,
+        }
+    }
+
     /// The report as a JSON document (hand-written; the workspace builds
     /// with no registry access, so no serde):
     ///

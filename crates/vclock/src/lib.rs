@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+pub mod ckpt;
 mod clock;
 mod epoch;
 mod published;
 mod sync;
 
 pub use adaptive::{AdaptiveClock, ClockStats, Observation};
+pub use ckpt::{CkptError, CkptReader, CkptWriter};
 pub use clock::VectorClock;
 pub use epoch::Epoch;
 pub use published::PublishedClocks;

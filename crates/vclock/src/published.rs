@@ -206,6 +206,43 @@ impl PublishedClocks {
     pub fn num_threads(&self) -> usize {
         self.threads.iter().map(|s| s.read().len()).sum()
     }
+
+    /// Every initialized thread slot as a `(tid, clock)` snapshot, in
+    /// tid order, for checkpoint serialization.
+    pub fn thread_snapshots(&self) -> Vec<(ThreadId, VectorClock)> {
+        let mut out = Vec::new();
+        for shard in &self.threads {
+            for (tid, slot) in shard.read().iter() {
+                out.push((*tid, (**slot.clock.read()).clone()));
+            }
+        }
+        out.sort_by_key(|(t, _)| t.0);
+        out
+    }
+
+    /// Every lock clock as a `(lock, clock)` snapshot, in lock order,
+    /// for checkpoint serialization.
+    pub fn lock_snapshots(&self) -> Vec<(LockId, VectorClock)> {
+        let mut out = Vec::new();
+        for shard in &self.locks {
+            for (lock, clock) in shard.read().iter() {
+                out.push((*lock, (**clock).clone()));
+            }
+        }
+        out.sort_by_key(|(l, _)| l.0);
+        out
+    }
+
+    /// Publishes a restored thread clock verbatim (checkpoint import;
+    /// bypasses the fresh-thread lazy initialization).
+    pub fn import_thread(&self, tid: ThreadId, clock: VectorClock) {
+        self.publish(tid, clock);
+    }
+
+    /// Installs a restored lock clock verbatim (checkpoint import).
+    pub fn import_lock(&self, lock: LockId, clock: VectorClock) {
+        self.lock_shard(lock).write().insert(lock, Arc::new(clock));
+    }
 }
 
 impl Default for PublishedClocks {

@@ -154,6 +154,30 @@ impl SyncClocks {
     pub fn num_threads(&self) -> usize {
         self.threads.len()
     }
+
+    /// Iterates the raw thread slots `T(τ0), T(τ1), …` in index order,
+    /// including retired (`⊥`) slots, for checkpoint serialization.
+    pub fn thread_slots(&self) -> impl Iterator<Item = &VectorClock> {
+        self.threads.iter()
+    }
+
+    /// Iterates the lock-clock map `L` in arbitrary order, for
+    /// checkpoint serialization (callers sort for determinism).
+    pub fn lock_slots(&self) -> impl Iterator<Item = (LockId, &VectorClock)> {
+        self.locks.iter().map(|(l, c)| (*l, c))
+    }
+
+    /// Rebuilds the state from raw slots, the inverse of
+    /// [`SyncClocks::thread_slots`] / [`SyncClocks::lock_slots`].
+    pub fn from_slots(
+        threads: Vec<VectorClock>,
+        locks: impl IntoIterator<Item = (LockId, VectorClock)>,
+    ) -> SyncClocks {
+        SyncClocks {
+            threads,
+            locks: locks.into_iter().collect(),
+        }
+    }
 }
 
 impl fmt::Display for SyncClocks {

@@ -35,9 +35,11 @@
 //! profile, explore or chaos), 4 explore found a detector invariant
 //! violation, 5 chaos found a degradation-contract violation, 6 the
 //! trace file is torn (truncated mid-record; `--tolerate-truncation`
-//! recovers the valid prefix instead). `lint` has its own contract:
-//! 0 clean, 2 warnings only, 3 any error. `bench-diff` exits 2 when a
-//! row regresses beyond the threshold.
+//! recovers the valid prefix instead), 7 submit could not reach the
+//! daemon (connection refused/reset, or lost after exhausting
+//! `--retry`). `lint` has its own contract: 0 clean, 2 warnings only,
+//! 3 any error. `bench-diff` exits 2 when a row regresses beyond the
+//! threshold.
 
 use crace_cli::{parse_program, parse_trace, render_program, render_trace};
 use crace_core::{translate, Direct, ParallelConfig, ParallelRd2, TraceDetector, TranslateError};
@@ -106,15 +108,19 @@ usage:
   crace frame   <trace-file> --spec <spec-file|builtin>
   crace serve   (--socket <path> | --tcp <addr>) [--workers N] [--ring N]
                 [--grace-ms N] [--max-conns N] [--record-dir <dir>]
-                [--trace-dir <dir>] [--allow-faults] [--addr-file <file>]
+                [--trace-dir <dir>] [--checkpoint-every N]
+                [--checkpoint-age-ms N] [--allow-faults] [--addr-file <file>]
   crace submit  <trace-file> --spec <spec-file|builtin>
                 (--socket <path> | --tcp <addr>) [--session NAME]
-                [--workers N] [--chunk BYTES] [--json] [--tolerate-truncation]
+                [--workers N] [--chunk BYTES] [--retry N] [--backoff-ms N]
+                [--json] [--tolerate-truncation]
   crace table2  [scale]
   crace builtins
 
 exit codes: 0 ok, 1 error, 2 usage, 3 races found, 4 invariant violation,
-            5 chaos degradation-contract violation, 6 torn trace file
+            5 chaos degradation-contract violation, 6 torn trace file,
+            7 submit could not reach the daemon (connection refused, reset,
+            or lost after exhausting --retry)
             (lint: 0 clean, 2 warnings only, 3 any error;
              bench-diff: 2 when a row regresses beyond the threshold)
 ";
@@ -1207,6 +1213,15 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             "--trace-dir" => {
                 cfg.trace_dir = Some(it.next().ok_or("--trace-dir needs a directory")?.into());
             }
+            "--checkpoint-every" => {
+                let n = it.next().ok_or("--checkpoint-every needs a record count")?;
+                cfg.checkpoint_every = n.parse().map_err(|_| format!("bad record count `{n}`"))?;
+            }
+            "--checkpoint-age-ms" => {
+                let n = it.next().ok_or("--checkpoint-age-ms needs a duration")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad duration `{n}`"))?;
+                cfg.checkpoint_max_age = std::time::Duration::from_millis(ms);
+            }
             "--allow-faults" => cfg.allow_faults = true,
             "--addr-file" => addr_file = Some(it.next().ok_or("--addr-file needs a file")?.clone()),
             other => return Err(format!("unknown option `{other}`")),
@@ -1231,11 +1246,78 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// True for the IO failures that mean "the daemon is not there (yet)" —
+/// the class `submit --retry` waits out, and exit code 7 reports.
+fn is_conn_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotFound // unix socket path gone while the daemon is down
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// True when a client-layer error string wraps a socket failure (the
+/// daemon died mid-exchange) rather than a server `ERR` rejection.
+fn is_wire_failure(message: &str) -> bool {
+    [
+        "write failed",
+        "read failed",
+        "short report",
+        "expected `REPORT",
+    ]
+    .iter()
+    .any(|p| message.starts_with(p))
+}
+
+/// Backoff jitter without a PRNG dependency: a hash of pid + wall-clock
+/// nanoseconds, bounded to a quarter of the current delay.
+fn backoff_jitter(delay: u64) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut h);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos())
+        .hash(&mut h);
+    h.finish() % (delay / 4).max(1)
+}
+
+/// Connects to the daemon, spending retries from `attempts_left` on
+/// connection-level failures with bounded exponential backoff + jitter.
+fn connect_with_retry(
+    endpoint: &crace_daemon::Endpoint,
+    attempts_left: &mut u32,
+    backoff_ms: u64,
+) -> std::io::Result<crace_daemon::Client> {
+    let mut delay = backoff_ms.max(1);
+    loop {
+        match crace_daemon::Client::connect(endpoint) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                if *attempts_left == 0 || !is_conn_error(&e) {
+                    return Err(e);
+                }
+                *attempts_left -= 1;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    delay + backoff_jitter(delay),
+                ));
+                delay = (delay * 2).min(10_000);
+            }
+        }
+    }
+}
+
 fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
     let mut endpoint: Option<crace_daemon::Endpoint> = None;
     let mut session: Option<String> = None;
     let mut workers = 0usize;
     let mut chunk = 0usize;
+    let mut retry = 0u32;
+    let mut backoff_ms = 200u64;
     let mut json = false;
     let mut tolerate = false;
     let opts = parse_replay_opts(args, |arg, it| {
@@ -1252,6 +1334,14 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
             "--chunk" => {
                 let n = it.next().ok_or("--chunk needs a byte count")?;
                 chunk = n.parse().map_err(|_| format!("bad chunk size `{n}`"))?;
+            }
+            "--retry" => {
+                let n = it.next().ok_or("--retry needs a count")?;
+                retry = n.parse().map_err(|_| format!("bad retry count `{n}`"))?;
+            }
+            "--backoff-ms" => {
+                let n = it.next().ok_or("--backoff-ms needs a duration")?;
+                backoff_ms = n.parse().map_err(|_| format!("bad backoff `{n}`"))?;
             }
             "--json" => json = true,
             "--tolerate-truncation" => tolerate = true,
@@ -1284,8 +1374,35 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
         }
         format!("{name}-{}", std::process::id())
     });
-    let mut client = crace_daemon::Client::connect(&endpoint)
-        .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+
+    // Streams events[from..]; `chunk > 0` keeps the pathological-framing
+    // byte dribble, re-rendered per attempt so a resume starts exactly at
+    // the recovered record.
+    let stream_from = |client: &mut crace_daemon::Client, from: usize| -> std::io::Result<()> {
+        if chunk > 0 {
+            let mut body = String::new();
+            for event in &loaded.trace.events()[from..] {
+                body.push_str(&crace_cli::frame_event(event, &loaded.spec));
+                body.push('\n');
+            }
+            client.send_chunked(body.as_bytes(), chunk)
+        } else {
+            for event in &loaded.trace.events()[from..] {
+                client.send_event(event, &loaded.spec)?;
+            }
+            Ok(())
+        }
+    };
+
+    let mut attempts_left = retry;
+    let mut client = match connect_with_retry(&endpoint, &mut attempts_left, backoff_ms) {
+        Ok(client) => client,
+        Err(e) if is_conn_error(&e) => {
+            eprintln!("error: cannot connect to {endpoint}: {e}");
+            return Ok(ExitCode::from(7));
+        }
+        Err(e) => return Err(format!("cannot connect to {endpoint}: {e}")),
+    };
     let ok = client
         .hello(&session, &opts.spec_name, workers, None)
         .map_err(|e| format!("daemon rejected HELLO: {e}"))?;
@@ -1296,35 +1413,81 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
             loaded.trace.len()
         );
     }
-    if chunk > 0 {
-        let body = crace_cli::render_framed(&loaded.trace, &loaded.spec);
-        client
-            .send_chunked(body.as_bytes(), chunk)
-            .map_err(|e| format!("stream failed: {e}"))?;
-    } else {
-        for event in loaded.trace.events() {
-            client
-                .send_event(event, &loaded.spec)
-                .map_err(|e| format!("stream failed: {e}"))?;
+    let mut sent = 0usize;
+    loop {
+        // One delivery attempt; on success the session closes and we are
+        // done. Any socket failure below falls through to the
+        // reconnect-and-resume tail of the loop.
+        let disconnect = match stream_from(&mut client, sent) {
+            Ok(()) => match client.bye() {
+                Ok((report, stats)) => {
+                    if json {
+                        print!("{report}");
+                    } else {
+                        println!(
+                            "events={} shed={} races={} degraded={}",
+                            stats.get("events"),
+                            stats.get("shed_ring") + stats.get("shed_quarantine"),
+                            stats.get("races"),
+                            stats.get("degraded"),
+                        );
+                    }
+                    return Ok(if stats.get("races") > 0 {
+                        ExitCode::from(3)
+                    } else {
+                        ExitCode::SUCCESS
+                    });
+                }
+                Err(message) if is_wire_failure(&message) => message,
+                Err(message) => return Err(format!("daemon error: {message}")),
+            },
+            Err(e) => e.to_string(),
+        };
+        if attempts_left == 0 {
+            eprintln!("error: connection to {endpoint} lost ({disconnect}); no retries left");
+            return Ok(ExitCode::from(7));
+        }
+        if !json {
+            eprintln!("connection lost ({disconnect}); reconnecting …");
+        }
+        client = match connect_with_retry(&endpoint, &mut attempts_left, backoff_ms) {
+            Ok(client) => client,
+            Err(e) if is_conn_error(&e) => {
+                eprintln!("error: cannot reconnect to {endpoint}: {e}");
+                return Ok(ExitCode::from(7));
+            }
+            Err(e) => return Err(format!("cannot reconnect to {endpoint}: {e}")),
+        };
+        match client.resume(&session, sent as u64, &opts.spec_name, workers) {
+            Ok((ok_line, recovered)) => {
+                sent = recovered as usize;
+                if !json {
+                    println!("{ok_line}");
+                    println!("resuming at record {sent} …");
+                }
+            }
+            Err(message) => {
+                // The server cannot resume (no capture dir, old build, a
+                // rejected RESUME closes the connection) — start the
+                // session over on a fresh connection and resend all.
+                if !json {
+                    eprintln!("resume unavailable ({message}); resending from the start");
+                }
+                client = match connect_with_retry(&endpoint, &mut attempts_left, backoff_ms) {
+                    Ok(client) => client,
+                    Err(e) if is_conn_error(&e) => {
+                        eprintln!("error: cannot reconnect to {endpoint}: {e}");
+                        return Ok(ExitCode::from(7));
+                    }
+                    Err(e) => return Err(format!("cannot reconnect to {endpoint}: {e}")),
+                };
+                client
+                    .hello(&session, &opts.spec_name, workers, None)
+                    .map_err(|e| format!("daemon rejected HELLO: {e}"))?;
+                sent = 0;
+            }
         }
     }
-    let (report, stats) = client.bye().map_err(|e| format!("daemon error: {e}"))?;
-    if json {
-        print!("{report}");
-    } else {
-        println!(
-            "events={} shed={} races={} degraded={}",
-            stats.get("events"),
-            stats.get("shed_ring") + stats.get("shed_quarantine"),
-            stats.get("races"),
-            stats.get("degraded"),
-        );
-    }
-    Ok(if stats.get("races") > 0 {
-        ExitCode::from(3)
-    } else {
-        ExitCode::SUCCESS
-    })
 }
 
 fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {

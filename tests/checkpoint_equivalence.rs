@@ -1,0 +1,405 @@
+//! Differential gate for durable detector state (checkpoint/restore).
+//!
+//! The RD2 detectors are deterministic folds over the event stream, so
+//! durability has a crisp correctness statement:
+//!
+//! ```text
+//! restore(checkpoint(fold(prefix))) ⨟ fold(suffix)  ≡  fold(prefix ⨟ suffix)
+//! ```
+//!
+//! This file proves that equivalence bit-for-bit (`RaceReport` derives
+//! `Eq`) on randomly generated well-formed programs, split at random
+//! boundaries, for every checkpointable detector: the offline
+//! [`TraceDetector`], the live [`Rd2`], the [`FastTrack`] baseline, and
+//! the sharded [`ParallelRd2`] at worker counts 1/2/4/8. It also checks
+//! the fail-closed half of the contract — a version-bumped, truncated,
+//! or byte-flipped checkpoint must be rejected with an error, never
+//! silently restored into a detector that reports wrong races — and the
+//! supervision half: a worker panic mid-stream heals from its last
+//! snapshot and the final report still equals serial exactly.
+
+use std::sync::Arc;
+
+use crace::core::{builtin_resolver, Checkpoint, ParallelConfig, ParallelRd2, TraceDetector};
+use crace::model::{replay, LocId};
+use crace::spec::builtin;
+use crace::{
+    translate, Action, Analysis, Event, FastTrack, LockId, ObjId, Rd2, ThreadId, Trace, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const NUM_OBJECTS: u64 = 4;
+
+/// Generates a random well-formed program mixing high-level dictionary
+/// actions (for the RD2 detectors) with low-level reads and writes (for
+/// FastTrack), plus forks, joins and lock acquire/release pairs. Small
+/// key and location spaces keep conflicts frequent.
+fn random_trace(seed: u64, events: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").unwrap();
+    let get = spec.method_id("get").unwrap();
+    let size = spec.method_id("size").unwrap();
+    let mut trace = Trace::new();
+    let mut live: Vec<u32> = vec![0];
+    let mut next_tid = 1u32;
+    let value = |rng: &mut StdRng| -> Value {
+        if rng.gen_bool(0.3) {
+            Value::Nil
+        } else {
+            Value::Int(rng.gen_range(0..3))
+        }
+    };
+    for _ in 0..events {
+        let tid = ThreadId(live[rng.gen_range(0..live.len())]);
+        let obj = ObjId(1 + rng.gen_range(0..NUM_OBJECTS));
+        match rng.gen_range(0..13) {
+            0 => {
+                let child = ThreadId(next_tid);
+                next_tid += 1;
+                trace.push(Event::Fork { parent: tid, child });
+                live.push(child.0);
+            }
+            1 if live.len() > 1 => {
+                let other = live[rng.gen_range(0..live.len())];
+                if other != tid.0 {
+                    trace.push(Event::Join {
+                        parent: tid,
+                        child: ThreadId(other),
+                    });
+                    live.retain(|&t| t != other);
+                }
+            }
+            2 => {
+                let lock = LockId(rng.gen_range(0..2));
+                trace.push(Event::Acquire { tid, lock });
+                trace.push(Event::Release { tid, lock });
+            }
+            3..=5 => {
+                let k = Value::Int(rng.gen_range(0..3));
+                let action = Action::new(obj, put, vec![k, value(&mut rng)], value(&mut rng));
+                trace.push(Event::Action { tid, action });
+            }
+            6 | 7 => {
+                let k = Value::Int(rng.gen_range(0..3));
+                let action = Action::new(obj, get, vec![k], value(&mut rng));
+                trace.push(Event::Action { tid, action });
+            }
+            8 => {
+                let action = Action::new(obj, size, vec![], Value::Int(rng.gen_range(0..4)));
+                trace.push(Event::Action { tid, action });
+            }
+            9 | 10 => trace.push(Event::Write {
+                tid,
+                loc: LocId(rng.gen_range(0..4)),
+            }),
+            _ => trace.push(Event::Read {
+                tid,
+                loc: LocId(rng.gen_range(0..4)),
+            }),
+        }
+    }
+    trace
+}
+
+fn compiled_dict() -> Arc<crace::core::CompiledSpec> {
+    Arc::new(translate(&builtin::dictionary()).unwrap())
+}
+
+/// The core equivalence check, generic over any checkpointable
+/// detector: folding the whole trace uninterrupted, pausing at `split`
+/// to checkpoint (the live detector keeps running afterwards — a
+/// checkpoint must be observation-only), and restoring that checkpoint
+/// into a freshly-configured detector all produce the same report.
+fn assert_checkpoint_equivalence<D, F>(label: &str, make: F, trace: &Trace, split: usize)
+where
+    D: Analysis + Checkpoint,
+    F: Fn() -> D,
+{
+    let resolve = builtin_resolver();
+    let uninterrupted = replay(trace, &make());
+    let (prefix, suffix) = trace.events().split_at(split);
+
+    let live = make();
+    for event in prefix {
+        live.on_event(event);
+    }
+    let blob = live.checkpoint();
+    for event in suffix {
+        live.on_event(event);
+    }
+    assert_eq!(
+        live.report(),
+        uninterrupted,
+        "{label}: taking a checkpoint perturbed the live detector"
+    );
+
+    let restored = make();
+    restored
+        .restore(&blob, &resolve)
+        .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    for event in suffix {
+        restored.on_event(event);
+    }
+    assert_eq!(
+        restored.report(),
+        uninterrupted,
+        "{label}: restore(checkpoint(fold(prefix))) != fold(prefix)"
+    );
+    assert_eq!(
+        restored.report().to_json(),
+        uninterrupted.to_json(),
+        "{label}: JSON reports diverge after restore"
+    );
+}
+
+fn make_rd2() -> Rd2 {
+    let detector = Rd2::new();
+    let compiled = compiled_dict();
+    for obj in 1..=NUM_OBJECTS {
+        detector.register(ObjId(obj), Arc::clone(&compiled));
+    }
+    detector
+}
+
+fn make_trace_detector() -> TraceDetector {
+    let detector = TraceDetector::new();
+    let compiled = compiled_dict();
+    for obj in 1..=NUM_OBJECTS {
+        detector.register(ObjId(obj), Arc::clone(&compiled));
+    }
+    detector
+}
+
+fn make_parallel(workers: usize, cfg: &ParallelConfig) -> ParallelRd2 {
+    let detector = ParallelRd2::with_config(workers, cfg.clone());
+    let compiled = compiled_dict();
+    for obj in 1..=NUM_OBJECTS {
+        detector.register(ObjId(obj), Arc::clone(&compiled));
+    }
+    detector
+}
+
+/// `restore(checkpoint(fold(prefix))) ≡ fold(prefix)` for the serial
+/// detectors — Rd2, TraceDetector, FastTrack in both provenance modes —
+/// on random programs split at random boundaries.
+#[test]
+fn restore_equals_fold_prefix_for_serial_detectors_on_random_traces() {
+    for seed in 0..40u64 {
+        let trace = random_trace(seed, 140);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4E9);
+        let split = rng.gen_range(0..=trace.len());
+        assert_checkpoint_equivalence(
+            &format!("rd2 seed {seed} split {split}"),
+            make_rd2,
+            &trace,
+            split,
+        );
+        assert_checkpoint_equivalence(
+            &format!("trace-detector seed {seed} split {split}"),
+            make_trace_detector,
+            &trace,
+            split,
+        );
+        assert_checkpoint_equivalence(
+            &format!("fasttrack seed {seed} split {split}"),
+            FastTrack::new,
+            &trace,
+            split,
+        );
+        assert_checkpoint_equivalence(
+            &format!("fasttrack+prov seed {seed} split {split}"),
+            FastTrack::with_provenance,
+            &trace,
+            split,
+        );
+    }
+}
+
+/// The same equivalence for the sharded pipeline at every worker count:
+/// the checkpoint barrier snapshots ingress and all workers against one
+/// consistent stream prefix, and a fresh pipeline restored from it and
+/// fed the suffix merges to the exact serial report.
+#[test]
+fn restore_equals_fold_prefix_for_the_parallel_pipeline_at_every_width() {
+    for seed in 100..125u64 {
+        let trace = random_trace(seed, 120);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+        let split = rng.gen_range(0..=trace.len());
+        let batch = [1usize, 3, 512][seed as usize % 3];
+        for workers in WIDTHS {
+            let cfg = ParallelConfig {
+                batch,
+                ..ParallelConfig::default()
+            };
+            assert_checkpoint_equivalence(
+                &format!("parallel w{workers} seed {seed} split {split} batch {batch}"),
+                || make_parallel(workers, &cfg),
+                &trace,
+                split,
+            );
+        }
+    }
+}
+
+/// Supervision differential: poison messages injected at several points
+/// mid-stream are healed — snapshot + journal replay, skipping only the
+/// poisoned message — and the final report is still bit-for-bit equal
+/// to serial. The pipeline never enters the degraded quarantine and the
+/// supervisor counters record every respawn.
+#[test]
+fn healed_pipelines_match_serial_bit_for_bit_on_random_traces() {
+    for seed in 700..720u64 {
+        let trace = random_trace(seed, 140);
+        let serial = replay(&trace, &make_rd2());
+        for workers in [1usize, 4] {
+            let cfg = ParallelConfig {
+                batch: 4,
+                snapshot_every: 16,
+                ..ParallelConfig::default()
+            };
+            let detector = make_parallel(workers, &cfg);
+            let events = trace.events();
+            let injections = [events.len() / 3, 2 * events.len() / 3];
+            for (i, event) in events.iter().enumerate() {
+                if injections.contains(&i) {
+                    detector.inject_worker_panic(seed as usize + i);
+                }
+                detector.on_event(event);
+            }
+            let report = detector.report();
+            assert_eq!(
+                report, serial,
+                "seed {seed}, {workers} worker(s): healed run diverges from serial"
+            );
+            assert!(
+                !detector.degraded(),
+                "seed {seed}, {workers} worker(s): pipeline degraded instead of healing"
+            );
+            let stats = detector.stats();
+            let respawns: u64 = stats.workers.iter().map(|w| w.respawns).sum();
+            assert_eq!(
+                respawns,
+                injections.len() as u64,
+                "seed {seed}, {workers} worker(s): every poison heals exactly once"
+            );
+        }
+    }
+}
+
+/// Fail-closed format evolution: a future format version, a checkpoint
+/// of a different detector kind, and a checkpoint whose spec names this
+/// process cannot resolve are all rejected with an error — never
+/// half-restored.
+#[test]
+fn version_bumps_kind_mismatches_and_unknown_specs_fail_closed() {
+    let trace = random_trace(7, 120);
+    let detector = make_rd2();
+    for event in trace.events() {
+        detector.on_event(event);
+    }
+    let blob = detector.checkpoint();
+    let resolve = builtin_resolver();
+    assert!(
+        blob.starts_with("#%crace-ckpt v1 "),
+        "checkpoint header changed; update the format-evolution tests"
+    );
+
+    // A version bump from a future writer must be refused.
+    let bumped = blob.replacen("#%crace-ckpt v1 ", "#%crace-ckpt v2 ", 1);
+    let err = make_rd2().restore(&bumped, &resolve).unwrap_err();
+    assert!(
+        err.to_string().contains("v"),
+        "version error should mention the version: {err}"
+    );
+
+    // An Rd2 checkpoint refuses to restore into a TraceDetector (and
+    // vice versa): the kinds differ even though the payload would parse.
+    assert!(make_trace_detector().restore(&blob, &resolve).is_err());
+    assert!(make_rd2()
+        .restore(&make_trace_detector().checkpoint(), &resolve)
+        .is_err());
+
+    // A resolver that cannot supply the referenced spec fails the
+    // restore closed instead of silently dropping the object.
+    let none: &crace::core::SpecResolver<'_> = &|_: &str| None;
+    assert!(make_rd2().restore(&blob, none).is_err());
+
+    // An empty blob is damage, not an empty detector.
+    assert!(make_rd2().restore("", &resolve).is_err());
+}
+
+/// Truncation property: cutting the checkpoint anywhere that loses
+/// information is detected (the record count trailer or a CRC frame no
+/// longer checks out). A cut may only restore cleanly when it removed
+/// nothing but trailing whitespace.
+#[test]
+fn truncated_checkpoints_fail_closed() {
+    let trace = random_trace(11, 100);
+    let detector = make_rd2();
+    for event in trace.events() {
+        detector.on_event(event);
+    }
+    let blob = detector.checkpoint();
+    let resolve = builtin_resolver();
+    for cut in (0..blob.len()).step_by(17).chain([blob.len() - 1]) {
+        let truncated = &blob[..cut];
+        if make_rd2().restore(truncated, &resolve).is_ok() {
+            assert!(
+                blob[cut..].trim().is_empty(),
+                "cut at {cut} lost content but restored cleanly"
+            );
+        }
+    }
+}
+
+/// Corruption property, in the style of `tracefmt_roundtrip`: flipping
+/// any single byte of a checkpoint either leaves a blob that is
+/// rejected outright, or — if it somehow still restores — the restored
+/// detector must finish with the exact uninterrupted report. A damaged
+/// checkpoint never produces a *wrong* report.
+#[test]
+fn byte_flipped_checkpoints_never_restore_to_a_wrong_report() {
+    let trace = random_trace(13, 100);
+    let split = trace.len() / 2;
+    let uninterrupted = replay(&trace, &make_rd2());
+    let (prefix, suffix) = trace.events().split_at(split);
+    let detector = make_rd2();
+    for event in prefix {
+        detector.on_event(event);
+    }
+    let blob = detector.checkpoint();
+    let resolve = builtin_resolver();
+    let mut rejected = 0usize;
+    let mut tried = 0usize;
+    for pos in (0..blob.len()).step_by(5) {
+        let mut bytes = blob.clone().into_bytes();
+        bytes[pos] = if bytes[pos] == b'~' { b'!' } else { b'~' };
+        let Ok(flipped) = String::from_utf8(bytes) else {
+            continue;
+        };
+        tried += 1;
+        let fresh = make_rd2();
+        match fresh.restore(&flipped, &resolve) {
+            Err(_) => rejected += 1,
+            Ok(()) => {
+                for event in suffix {
+                    fresh.on_event(event);
+                }
+                assert_eq!(
+                    fresh.report(),
+                    uninterrupted,
+                    "flip at {pos} restored but changed the report"
+                );
+            }
+        }
+    }
+    // The CRC framing should catch essentially every flip; if most get
+    // through, the format lost its integrity checking.
+    assert!(
+        rejected * 10 >= tried * 9,
+        "only {rejected}/{tried} byte flips were rejected"
+    );
+}

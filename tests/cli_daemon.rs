@@ -258,6 +258,105 @@ fn metrics_endpoint_serves_valid_prometheus_and_json() {
     assert!(missing.starts_with("HTTP/1.1 404"));
 }
 
+/// Exit-code contract for an unreachable daemon: connection refused maps
+/// to exit 7, with and without the retry loop.
+#[test]
+fn submit_to_a_dead_daemon_exits_7() {
+    // Bind-then-drop: the port is real but nobody listens.
+    let dead = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().to_string()
+    };
+    let refused = Command::new(bin())
+        .arg("submit")
+        .args([fixture(), "--spec", "dictionary"])
+        .args(["--tcp", &dead])
+        .output()
+        .expect("run crace submit");
+    assert_eq!(
+        refused.status.code(),
+        Some(7),
+        "refused connection must exit 7: {}",
+        String::from_utf8_lossy(&refused.stderr)
+    );
+
+    let retried = Command::new(bin())
+        .arg("submit")
+        .args([fixture(), "--spec", "dictionary"])
+        .args(["--retry", "2", "--backoff-ms", "10"])
+        .args(["--tcp", &dead])
+        .output()
+        .expect("run crace submit");
+    assert_eq!(
+        retried.status.code(),
+        Some(7),
+        "exhausted retries must still exit 7"
+    );
+    assert!(
+        String::from_utf8_lossy(&retried.stderr).contains("cannot connect"),
+        "stderr must say the daemon was unreachable: {}",
+        String::from_utf8_lossy(&retried.stderr)
+    );
+}
+
+/// Durability telemetry at the scrape boundary: a live checkpointing
+/// session exposes `checkpoint.seq` / `checkpoint.age_ms` gauges and the
+/// `supervisor.respawns` counter under its `session.<name>.` prefix, and
+/// the closing STATS line carries the same fields.
+#[test]
+fn scrape_and_stats_expose_checkpoint_and_supervisor_fields() {
+    use crace::daemon::{Client, Endpoint};
+
+    let record_dir =
+        std::env::temp_dir().join(format!("craced-ckpt-scrape-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&record_dir);
+    let daemon = Daemon::spawn(&[
+        "--record-dir",
+        record_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "2",
+    ]);
+
+    let spec = crace::spec::builtin::dictionary();
+    let trace = crace::cli::parse_trace(&std::fs::read_to_string(fixture()).unwrap(), &spec)
+        .expect("fixture parses");
+    let endpoint = Endpoint::Tcp(daemon.addr.clone());
+    let mut client = Client::connect(&endpoint).expect("connect");
+    client
+        .hello("live", "dictionary", 2, None)
+        .expect("HELLO accepted");
+    for event in trace.events() {
+        client.send_event(event, &spec).expect("send");
+    }
+    // Interim REPORT forces a drain, so the scrape sees settled gauges.
+    client.report().expect("interim REPORT");
+
+    let prom = http_get(&daemon.addr, "/metrics");
+    let body = prom.split("\r\n\r\n").nth(1).unwrap_or("");
+    let gauge = |name: &str| -> f64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("scrape lacks {name}:\n{body}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        gauge("crace_session_live_checkpoint_seq") >= 2.0,
+        "checkpoint-every=2 over 7 records must have checkpointed"
+    );
+    assert!(gauge("crace_session_live_checkpoint_age_ms") >= 0.0);
+    assert!(
+        body.contains("# TYPE crace_session_live_supervisor_respawns counter"),
+        "supervisor.respawns must be scraped:\n{body}"
+    );
+
+    let (_, stats) = client.bye().expect("BYE");
+    assert!(stats.get("checkpoint_seq") >= 2, "STATS line: {stats:?}");
+    assert!(stats.fields.contains_key("checkpoint_age_ms"));
+    assert_eq!(stats.get("respawns"), 0, "healthy run respawns nothing");
+    let _ = std::fs::remove_dir_all(&record_dir);
+}
+
 fn http_get(addr: &str, path: &str) -> String {
     let mut stream = std::net::TcpStream::connect(addr).expect("connect http");
     stream

@@ -1,0 +1,387 @@
+//! Durable-state differential gate: kill the daemon at random record
+//! boundaries, restart it, RESUME the session — the final report must be
+//! bit-for-bit the uninterrupted (offline serial replay) report.
+//!
+//! The "kill" here is the in-process equivalent of SIGKILL: the first
+//! server's in-memory state is discarded entirely, and the second server
+//! reconstructs the session purely from what is durable on disk — the
+//! last atomic checkpoint plus the flush-per-record capture file. The
+//! suite also drives every fallback the recovery path promises to fail
+//! *closed* through: no checkpoint at all, a corrupted or truncated
+//! checkpoint, a capture with a torn tail (clipped with exact
+//! `lost_bytes`/`lost_records` accounting), and the lineage rule that a
+//! resumed session appends to its original capture instead of forking a
+//! `-2` sibling.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crace::daemon::{Client, Endpoint, Server, ServerConfig};
+use crace::model::replay;
+use crace::spec::builtin;
+use crace::{translate, Action, Event, LockId, ObjId, ThreadId, Trace, TraceDetector, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_OBJECTS: u64 = 4;
+
+/// Same generator shape as `daemon_vs_replay.rs`: forks, joins, lock
+/// pairs, and put/get/size over four objects with tiny keys.
+fn random_trace(seed: u64, events: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = builtin::dictionary();
+    let put = spec.method_id("put").unwrap();
+    let get = spec.method_id("get").unwrap();
+    let size = spec.method_id("size").unwrap();
+    let mut trace = Trace::new();
+    let mut live: Vec<u32> = vec![0];
+    let mut next_tid = 1u32;
+    let value = |rng: &mut StdRng| -> Value {
+        if rng.gen_bool(0.3) {
+            Value::Nil
+        } else {
+            Value::Int(rng.gen_range(0..3))
+        }
+    };
+    for _ in 0..events {
+        let tid = ThreadId(live[rng.gen_range(0..live.len())]);
+        let obj = ObjId(1 + rng.gen_range(0..NUM_OBJECTS));
+        match rng.gen_range(0..10) {
+            0 => {
+                let child = ThreadId(next_tid);
+                next_tid += 1;
+                trace.push(Event::Fork { parent: tid, child });
+                live.push(child.0);
+            }
+            1 if live.len() > 1 => {
+                let other = live[rng.gen_range(0..live.len())];
+                if other != tid.0 {
+                    trace.push(Event::Join {
+                        parent: tid,
+                        child: ThreadId(other),
+                    });
+                    live.retain(|&t| t != other);
+                }
+            }
+            2 => {
+                let lock = LockId(rng.gen_range(0..2));
+                trace.push(Event::Acquire { tid, lock });
+                trace.push(Event::Release { tid, lock });
+            }
+            3..=6 => {
+                let k = Value::Int(rng.gen_range(0..3));
+                let action = Action::new(obj, put, vec![k, value(&mut rng)], value(&mut rng));
+                trace.push(Event::Action { tid, action });
+            }
+            7 | 8 => {
+                let k = Value::Int(rng.gen_range(0..3));
+                let action = Action::new(obj, get, vec![k], value(&mut rng));
+                trace.push(Event::Action { tid, action });
+            }
+            _ => {
+                let action = Action::new(obj, size, vec![], Value::Int(rng.gen_range(0..4)));
+                trace.push(Event::Action { tid, action });
+            }
+        }
+    }
+    trace
+}
+
+/// The uninterrupted ground truth: a serial replay's report JSON.
+fn offline_json(trace: &Trace) -> String {
+    let detector = TraceDetector::new();
+    let compiled = Arc::new(translate(&builtin::dictionary()).unwrap());
+    for obj in 1..=NUM_OBJECTS {
+        detector.register(ObjId(obj), Arc::clone(&compiled));
+    }
+    replay(trace, &detector).to_json()
+}
+
+/// A fresh per-test record dir under the system temp dir.
+fn record_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("crace-daemon-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config(dir: &std::path::Path, checkpoint_every: u64) -> ServerConfig {
+    ServerConfig {
+        record_dir: Some(dir.to_path_buf()),
+        checkpoint_every,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(cfg: ServerConfig) -> Server {
+    Server::start(&Endpoint::Tcp("127.0.0.1:0".to_string()), cfg).expect("bind test server")
+}
+
+/// Streams `trace[..kill_at]` into a fresh session, then "kills" the
+/// daemon: drops the connection, waits for the torn finalization (so no
+/// handler thread still appends to the capture — a real SIGKILL stops
+/// all writers at once), and discards the server's in-memory state.
+fn stream_then_kill(
+    cfg: ServerConfig,
+    session: &str,
+    trace: &Trace,
+    workers: usize,
+    kill_at: usize,
+) {
+    let spec = builtin::dictionary();
+    let server = start(cfg);
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    client
+        .hello(session, "dictionary", workers, None)
+        .expect("HELLO accepted");
+    for event in &trace.events()[..kill_at] {
+        client.send_event(event, &spec).expect("send");
+    }
+    drop(client);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active_sessions() > 0 {
+        assert!(Instant::now() < deadline, "torn finalization stuck");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.shutdown();
+}
+
+/// Restarts the daemon on the same record dir, RESUMEs, resends from the
+/// recovered sequence, and returns the final `(report, events)` plus the
+/// restarted server (so callers can inspect its counters).
+fn resume_and_finish(
+    cfg: ServerConfig,
+    session: &str,
+    trace: &Trace,
+    workers: usize,
+) -> (String, u64, Server) {
+    let spec = builtin::dictionary();
+    let server = start(cfg);
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    let (ok, recovered) = client
+        .resume(session, trace.len() as u64, "dictionary", workers)
+        .expect("RESUME accepted");
+    assert!(ok.starts_with("OK craced/1 resume "), "bad reply: {ok}");
+    assert!(
+        recovered <= trace.len() as u64,
+        "recovered {recovered} past what was ever sent"
+    );
+    for event in &trace.events()[recovered as usize..] {
+        client.send_event(event, &spec).expect("resend");
+    }
+    let (report, stats) = client.bye().expect("BYE accepted");
+    assert_eq!(stats.get("torn"), 0, "resumed session must close clean");
+    (report, stats.get("events"), server)
+}
+
+/// The headline gate: 100 random kill points (20 programs × 5 cuts) over
+/// serial and sharded sessions — every resumed report is byte-identical
+/// to the uninterrupted offline replay.
+#[test]
+fn killed_and_resumed_sessions_report_bit_for_bit() {
+    let widths = [0usize, 1, 2, 4, 8];
+    for seed in 0..20u64 {
+        let trace = random_trace(seed, 120);
+        let offline = offline_json(&trace);
+        let workers = widths[seed as usize % widths.len()];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        for cut in 0..5 {
+            let kill_at = rng.gen_range(0..=trace.len());
+            let dir = record_dir(&format!("kill-{seed}-{cut}"));
+            let session = format!("k{seed}-{cut}");
+            stream_then_kill(durable_config(&dir, 16), &session, &trace, workers, kill_at);
+            let (report, events, server) =
+                resume_and_finish(durable_config(&dir, 16), &session, &trace, workers);
+            assert_eq!(
+                report, offline,
+                "seed {seed} cut {cut} (kill at {kill_at}, {workers} workers): \
+                 resumed report diverges from the uninterrupted run"
+            );
+            assert_eq!(events, trace.len() as u64, "seed {seed} cut {cut}");
+            assert_eq!(
+                server.registry().counter("daemon.sessions_resumed").get(),
+                1
+            );
+            server.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// With checkpointing disabled the resume falls back to a full capture
+/// replay and still reports bit-for-bit.
+#[test]
+fn resume_without_a_checkpoint_replays_the_full_capture() {
+    let trace = random_trace(31, 150);
+    let offline = offline_json(&trace);
+    let dir = record_dir("nockpt");
+    stream_then_kill(durable_config(&dir, 0), "nockpt", &trace, 2, 90);
+    assert!(
+        !dir.join("nockpt.ckpt").exists(),
+        "checkpoint_every=0 must write no checkpoint"
+    );
+    let (report, events, server) = resume_and_finish(durable_config(&dir, 0), "nockpt", &trace, 2);
+    assert_eq!(report, offline);
+    assert_eq!(events, trace.len() as u64);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Damaged checkpoints — flipped bytes, truncation, plain garbage — must
+/// fail closed: the restore is abandoned, the capture is replayed in
+/// full, and the report is still exact.
+#[test]
+fn corrupt_checkpoints_fall_closed_to_capture_replay() {
+    let trace = random_trace(47, 140);
+    let offline = offline_json(&trace);
+    for (i, corrupt) in [
+        |b: &mut Vec<u8>| {
+            let mid = b.len() / 2;
+            b[mid] = b[mid].wrapping_add(1);
+        },
+        |b: &mut Vec<u8>| b.truncate(b.len() / 3),
+        |b: &mut Vec<u8>| *b = b"#%crace-ckpt v9 craced-session\n".to_vec(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let dir = record_dir(&format!("corrupt-{i}"));
+        let session = format!("corrupt-{i}");
+        stream_then_kill(durable_config(&dir, 16), &session, &trace, 4, 100);
+        let ckpt = dir.join(format!("{session}.ckpt"));
+        let mut bytes = std::fs::read(&ckpt).expect("a checkpoint was written");
+        corrupt(&mut bytes);
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let (report, events, server) =
+            resume_and_finish(durable_config(&dir, 16), &session, &trace, 4);
+        assert_eq!(
+            report, offline,
+            "variant {i}: corrupt checkpoint leaked state"
+        );
+        assert_eq!(events, trace.len() as u64);
+        assert!(
+            server
+                .registry()
+                .counter("daemon.checkpoint_restore_failures")
+                .get()
+                >= 1,
+            "variant {i}: the failed restore must be counted"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A capture with a torn tail — the record that was mid-write at the
+/// kill — is clipped back to the valid prefix with exact byte/record
+/// accounting in the RESUME reply, and the resend covers the clipped
+/// record so nothing is lost end-to-end.
+#[test]
+fn torn_capture_tails_are_clipped_with_exact_accounting() {
+    let trace = random_trace(59, 130);
+    let offline = offline_json(&trace);
+    let dir = record_dir("torn");
+    stream_then_kill(durable_config(&dir, 32), "torn", &trace, 2, 80);
+    // Half a record, no newline: exactly what a SIGKILL mid-write leaves.
+    let tail = b"=41:0000";
+    let capture = dir.join("torn.framed.trace");
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::options()
+            .append(true)
+            .open(&capture)
+            .unwrap();
+        f.write_all(tail).unwrap();
+    }
+    let server = start(durable_config(&dir, 32));
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    let (ok, recovered) = client
+        .resume("torn", trace.len() as u64, "dictionary", 2)
+        .expect("RESUME accepted");
+    let field = |k: &str| -> u64 {
+        ok.split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{k}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("reply lacks {k}=: {ok}"))
+    };
+    assert_eq!(field("lost_bytes"), tail.len() as u64, "{ok}");
+    assert_eq!(field("lost_records"), 1, "{ok}");
+    assert_eq!(recovered, 80, "the valid prefix is everything sent");
+    let spec = builtin::dictionary();
+    for event in &trace.events()[recovered as usize..] {
+        client.send_event(event, &spec).expect("resend");
+    }
+    let (report, stats) = client.bye().expect("BYE");
+    assert_eq!(report, offline, "clipped tail leaked into the report");
+    assert_eq!(stats.get("events"), trace.len() as u64);
+    // The clipped capture was healed in place: it now parses whole.
+    let text = std::fs::read_to_string(&capture).unwrap();
+    let (reparsed, torn) = crace::cli::parse_framed_tolerant(&text, &spec);
+    assert!(
+        torn.is_none(),
+        "capture still torn after clipping: {torn:?}"
+    );
+    assert_eq!(reparsed.len(), trace.len(), "capture lineage incomplete");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The lineage audit: a resumed session appends to its original capture
+/// file — no `-2` sibling is forked, and the single capture ends up
+/// holding the entire stream.
+#[test]
+fn resumed_sessions_append_to_their_original_capture_lineage() {
+    let trace = random_trace(73, 110);
+    let dir = record_dir("lineage");
+    stream_then_kill(durable_config(&dir, 16), "lineage", &trace, 0, 60);
+    let (_, _, server) = resume_and_finish(durable_config(&dir, 16), "lineage", &trace, 0);
+    server.shutdown();
+    assert!(dir.join("lineage.framed.trace").exists());
+    assert!(
+        !dir.join("lineage-2.framed.trace").exists(),
+        "resume forked a -2 capture lineage"
+    );
+    let spec = builtin::dictionary();
+    let text = std::fs::read_to_string(dir.join("lineage.framed.trace")).unwrap();
+    let (reparsed, torn) = crace::cli::parse_framed_tolerant(&text, &spec);
+    assert!(torn.is_none());
+    assert_eq!(
+        reparsed.events(),
+        trace.events(),
+        "the original capture must hold the whole stream"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A clean BYE retires the session's checkpoint: nothing is left to
+/// resume, and a future session reusing the name starts unshadowed.
+#[test]
+fn clean_bye_retires_the_checkpoint() {
+    let trace = random_trace(91, 120);
+    let dir = record_dir("retire");
+    let spec = builtin::dictionary();
+    let server = start(durable_config(&dir, 8));
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    client
+        .hello("retire", "dictionary", 2, None)
+        .expect("HELLO");
+    for event in trace.events() {
+        client.send_event(event, &spec).expect("send");
+    }
+    // Mid-session, checkpoints exist …
+    client.report().expect("interim REPORT");
+    assert!(
+        dir.join("retire.ckpt").exists(),
+        "checkpoint_every=8 over 100+ records must have checkpointed"
+    );
+    let (_, stats) = client.bye().expect("BYE");
+    assert!(stats.get("checkpoint_seq") > 0, "STATS carries the seq");
+    // … and a clean close retires them.
+    assert!(
+        !dir.join("retire.ckpt").exists(),
+        "clean BYE must delete the checkpoint"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
